@@ -1,0 +1,58 @@
+//! Regenerates every figure and worked example of the paper.
+//!
+//! Usage: `reproduce [section]` where section is one of
+//! `fig1 fig2 fig3 fig4 fig5 fig6 fig7 pushjoin crossover strategies
+//! ablation validate all` (default: `all`).
+
+use oorq_bench::reports::*;
+use oorq_bench::PaperSetup;
+
+fn main() {
+    let section = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let all = section == "all";
+    let want = |s: &str| all || section == s;
+    if want("fig1") {
+        println!("{}", fig1_report());
+    }
+    if want("fig2") {
+        println!("{}", fig2_report());
+    }
+    if want("fig3") {
+        println!("{}", fig3_report());
+    }
+    if want("fig4") || want("fig6") {
+        let setup = PaperSetup::new(PaperSetup::paper_scale());
+        if want("fig4") {
+            println!("{}", fig4_report(&setup));
+        }
+        if want("fig6") {
+            println!("{}", fig6_report(&setup));
+        }
+    }
+    if want("fig7") {
+        // The §4.6 conclusion ("pushing is not worthwhile here") arises
+        // when the pushed filter saves little; see the E9 crossover for
+        // the full picture.
+        let mut setup = PaperSetup::new(oorq_bench::reports::fig7_config());
+        println!("{}", fig7_report(&mut setup));
+    }
+    if want("fig5") {
+        println!("{}", fig5_report());
+    }
+    if want("pushjoin") {
+        let mut setup = PaperSetup::new(PaperSetup::paper_scale());
+        println!("{}", pushjoin_report(&mut setup));
+    }
+    if want("crossover") {
+        println!("{}", crossover_report());
+    }
+    if want("strategies") {
+        println!("{}", strategies_report(6));
+    }
+    if want("ablation") {
+        println!("{}", ablation_report());
+    }
+    if want("validate") {
+        println!("{}", validation_report());
+    }
+}

@@ -1,0 +1,127 @@
+//! Standard experimental setups shared by the `reproduce` binary and the
+//! Criterion benches.
+
+use std::rc::Rc;
+
+use oorq_core::{Optimized, Optimizer, OptimizerConfig};
+use oorq_cost::{CostModel, CostParams};
+use oorq_datagen::{MusicConfig, MusicDb};
+use oorq_exec::{ExecReport, Executor, MethodRegistry};
+use oorq_index::{IndexSet, PathIndex, SelectionIndex};
+use oorq_query::paper::{fig3_query, influencer_view, music_catalog, sec45_pushjoin_query};
+use oorq_query::{Expr, NameRef, QArc, QueryGraph, SpjNode};
+use oorq_storage::DbStats;
+use oorq_pt::{Pt, PtEnv};
+
+/// A music database with the paper's physical design (the
+/// `works.instruments` path index and a selection index on names),
+/// statistics, and built index structures.
+pub struct PaperSetup {
+    /// The generated database.
+    pub m: MusicDb,
+    /// Built index structures.
+    pub idx: IndexSet,
+    /// Collected statistics.
+    pub stats: DbStats,
+}
+
+impl PaperSetup {
+    /// Build a setup at the given configuration.
+    pub fn new(cfg: MusicConfig) -> Self {
+        let cat = Rc::new(music_catalog());
+        let mut m = MusicDb::generate(cat, cfg);
+        let mut idx = IndexSet::new();
+        idx.add_path(PathIndex::build(
+            &mut m.db,
+            vec![(m.composer, m.works_attr), (m.composition, m.instruments_attr)],
+        ));
+        idx.add_selection(SelectionIndex::build(&mut m.db, m.composer, m.name_attr));
+        let stats = DbStats::collect(&m.db);
+        PaperSetup { m, idx, stats }
+    }
+
+    /// The default §4.6-scale configuration: 100 composers in chains of
+    /// 10, 4 works each, 3 instruments per work — the regime of the
+    /// paper's comprehensive example, where the pushed selection's path
+    /// expression is expensive relative to its filtering power.
+    pub fn paper_scale() -> MusicConfig {
+        MusicConfig {
+            chains: 10,
+            chain_len: 10,
+            works_per_composer: 4,
+            instruments_per_work: 3,
+            instrument_pool: 12,
+            harpsichord_fraction: 0.25,
+            clustered: false,
+            buffer_frames: 32,
+            seed: 1992,
+        }
+    }
+
+    /// The Figure 3 query with the `Influencer` view expanded.
+    pub fn fig3(&self) -> QueryGraph {
+        let cat = self.m.db.catalog();
+        let mut q = fig3_query(cat);
+        influencer_view(cat).expand(&mut q, cat).unwrap();
+        q
+    }
+
+    /// Figure 3 with a custom generation bound (so tiny databases can
+    /// have non-empty answers).
+    pub fn fig3_gen(&self, gen: i64) -> QueryGraph {
+        let cat = self.m.db.catalog();
+        let influencer = cat.relation_by_name("Influencer").expect("music schema");
+        let mut q = QueryGraph::new(NameRef::Derived("Answer".into()));
+        q.add_spj(
+            NameRef::Derived("Answer".into()),
+            SpjNode {
+                inputs: vec![QArc::new(NameRef::Relation(influencer), "i")],
+                pred: Expr::path("i", &["master", "works", "instruments", "name"])
+                    .eq(Expr::text("harpsichord"))
+                    .and(Expr::path("i", &["gen"]).ge(Expr::int(gen))),
+                out_proj: vec![("name".into(), Expr::path("i", &["disciple", "name"]))],
+            },
+        );
+        influencer_view(cat).expand(&mut q, cat).unwrap();
+        q
+    }
+
+    /// The §4.5 push-join query with the view expanded.
+    pub fn pushjoin(&self) -> QueryGraph {
+        let cat = self.m.db.catalog();
+        let mut q = sec45_pushjoin_query(cat);
+        influencer_view(cat).expand(&mut q, cat).unwrap();
+        q
+    }
+
+    /// Optimize a query under the given configuration.
+    pub fn optimize(&self, q: &QueryGraph, config: OptimizerConfig) -> Optimized {
+        let model = CostModel::new(
+            self.m.db.catalog(),
+            self.m.db.physical(),
+            &self.stats,
+            CostParams::default(),
+        );
+        Optimizer::new(model, config).optimize(q).expect("optimization must succeed")
+    }
+
+    /// Execute a plan cold-cache and report resources + answer size.
+    pub fn execute(&mut self, pt: &Pt) -> (ExecReport, usize) {
+        let methods = MethodRegistry::new();
+        self.m.db.cold_cache();
+        let mut ex = Executor::new(&mut self.m.db, &self.idx, &methods);
+        let out = ex.run(pt).expect("execution must succeed");
+        (ex.report(), out.len())
+    }
+
+    /// A display environment for plans over this setup.
+    pub fn env(&self) -> PtEnv<'_> {
+        PtEnv {
+            catalog: self.m.db.catalog(),
+            physical: self.m.db.physical(),
+            temp_fields: [("Influencer".to_string(), self.m.influencer_fields())]
+                .into_iter()
+                .collect(),
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Optimizer errors.
+
+use std::fmt;
+
+use oorq_cost::CostError;
+use oorq_pt::PtError;
+use oorq_query::QueryError;
+
+/// Errors raised by the optimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// The query graph is invalid.
+    Query(QueryError),
+    /// Plan manipulation failed.
+    Pt(PtError),
+    /// Cost estimation failed.
+    Cost(CostError),
+    /// A name node consumed by the query has no producer and no extension.
+    Unplannable(String),
+    /// A class extension has no home entity in the physical schema.
+    NoEntity(String),
+    /// The graph's dependencies are cyclic in a non-fixpoint way.
+    CyclicGraph,
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::Query(e) => write!(f, "query: {e}"),
+            OptError::Pt(e) => write!(f, "plan: {e}"),
+            OptError::Cost(e) => write!(f, "cost: {e}"),
+            OptError::Unplannable(n) => write!(f, "cannot plan name `{n}`"),
+            OptError::NoEntity(n) => write!(f, "no physical entity for `{n}`"),
+            OptError::CyclicGraph => write!(f, "non-fixpoint cyclic dependency"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+impl From<QueryError> for OptError {
+    fn from(e: QueryError) -> Self {
+        OptError::Query(e)
+    }
+}
+impl From<PtError> for OptError {
+    fn from(e: PtError) -> Self {
+        OptError::Pt(e)
+    }
+}
+impl From<CostError> for OptError {
+    fn from(e: CostError) -> Self {
+        OptError::Cost(e)
+    }
+}

@@ -1,0 +1,760 @@
+//! The optimizer pipeline of §4.1:
+//!
+//! ```text
+//! optimize(Q) {
+//!   rewrite(Q);
+//!   for each (N, tree) of Q              translate(N, tree);
+//!   for each SPJ(In, pred, out) of Q
+//!     | (∀ N ∈ In) isaPT(N)             Q := ... ∪ {N ← generatePT(...)};
+//!   repeat transformPT(Q) until saturation;
+//! }
+//! ```
+//!
+//! The condition `(∀ N ∈ In) isaPT(N)` forces bottom-up processing of
+//! the query graph (so every cost is computable); `transformPT` is
+//! postponed until a complete solution PT exists — a two-pass search
+//! strategy \[IC90\] — so the decision of pushing selective operations
+//! through recursion is taken in the presence of the cost model.
+
+use std::collections::HashMap;
+
+use oorq_cost::{CostModel, PlanCost};
+use oorq_query::{Expr, GraphTerm, NameRef, QArc, QueryGraph, SpjNode, TreeLabel};
+use oorq_schema::{ResolvedType, ViewKind};
+use oorq_pt::Pt;
+
+use crate::error::OptError;
+use crate::generate::{generate_pt, SpjStrategy};
+use crate::rewrite::rewrite;
+use crate::trace::{OptTrace, Step, StrategyKind};
+use crate::transform::{
+    can_push, filter_action, propagated_columns, push_join_action, rand_optimize, FixInfo,
+    PushStrategy, RandConfig,
+};
+use crate::translate::{translate_arc, ArcChain, BasePlan};
+
+/// Optimizer configuration.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Join-enumeration strategy for predicate nodes.
+    pub spj_strategy: SpjStrategy,
+    /// How pushing through recursion is decided.
+    pub push: PushStrategy,
+    /// Randomized re-optimization of the final plan, if any.
+    pub rand: Option<RandConfig>,
+    /// Cap on translated alternatives per arc.
+    pub max_arc_alternatives: usize,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            spj_strategy: SpjStrategy::Dp,
+            push: PushStrategy::CostControlled,
+            rand: Some(RandConfig::default()),
+            max_arc_alternatives: 12,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// The paper's configuration (cost-controlled pushing, DP spj's,
+    /// iterative-improvement re-optimization).
+    pub fn cost_controlled() -> Self {
+        Self::default()
+    }
+
+    /// The deductive-DB baseline: always push when legal (rewriting
+    /// heuristic, no cost comparison).
+    pub fn deductive_heuristic() -> Self {
+        OptimizerConfig { push: PushStrategy::AlwaysPush, ..Self::default() }
+    }
+
+    /// Never push through recursion.
+    pub fn never_push() -> Self {
+        OptimizerConfig { push: PushStrategy::NeverPush, ..Self::default() }
+    }
+
+    /// The exhaustive \[KZ88\] baseline.
+    pub fn exhaustive() -> Self {
+        OptimizerConfig { spj_strategy: SpjStrategy::Exhaustive, ..Self::default() }
+    }
+}
+
+/// The result of an optimization.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// The chosen execution plan.
+    pub pt: Pt,
+    /// Its output column names.
+    pub out_cols: Vec<String>,
+    /// Its estimated cost (with per-node breakdown).
+    pub cost: PlanCost,
+    /// The optimization trace (Figure 6 material).
+    pub trace: OptTrace,
+}
+
+/// Arc-index → pushed replacement plan (with its typed output columns).
+type PluggedOverrides = HashMap<usize, (Pt, Vec<(String, ResolvedType)>)>;
+
+/// A planned name node.
+#[derive(Debug, Clone)]
+struct Planned {
+    pt: Pt,
+    out_cols: Vec<(String, ResolvedType)>,
+    fix: Option<FixInfo>,
+}
+
+/// The cost-controlled optimizer.
+pub struct Optimizer<'a> {
+    /// The cost model (owned so temp shapes can be registered).
+    pub model: CostModel<'a>,
+    /// Configuration.
+    pub config: OptimizerConfig,
+    fresh: usize,
+}
+
+impl<'a> Optimizer<'a> {
+    /// New optimizer over a cost model.
+    pub fn new(model: CostModel<'a>, config: OptimizerConfig) -> Self {
+        Optimizer { model, config, fresh: 0 }
+    }
+
+    /// Optimize a query graph into an execution plan.
+    pub fn optimize(&mut self, graph: &QueryGraph) -> Result<Optimized, OptError> {
+        let catalog = self.model.catalog;
+        let mut g = graph.clone();
+        g.normalize(catalog)?;
+        g.validate(catalog)?;
+        let mut trace = OptTrace::default();
+
+        // Step 1: rewrite (irrevocable).
+        rewrite(&mut g, &mut trace);
+
+        // Steps 2+3: translate + generatePT, bottom-up over the graph.
+        let mut planned: HashMap<NameRef, Planned> = HashMap::new();
+        let mut remaining: Vec<(NameRef, GraphTerm)> = g.nodes.clone();
+        while !remaining.is_empty() {
+            let idx = remaining
+                .iter()
+                .position(|(name, term)| self.ready(name, term, &planned))
+                .ok_or(OptError::CyclicGraph)?;
+            let (name, term) = remaining.remove(idx);
+            let p = self.plan_term(&g, &name, &term, &planned, &mut trace)?;
+            planned.insert(name, p);
+        }
+
+        let answer = planned
+            .get(&g.answer)
+            .ok_or_else(|| OptError::Unplannable("answer".into()))?
+            .clone();
+
+        // Step 4: transformPT — randomized re-optimization of the final
+        // plan (the push decisions were taken, cost-compared, while
+        // assembling consumers of fixpoints; see `plan_spj`).
+        let final_pt = match &self.config.rand {
+            Some(rc) => {
+                let t =
+                    trace.record(Step::TransformPt, "the entire query (PT)", StrategyKind::CostBasedTransformational);
+                t.note(format!("randomized strategy: {:?}", rc.kind));
+                rand_optimize(&self.model, answer.pt.clone(), rc)
+            }
+            None => answer.pt.clone(),
+        };
+
+        let cost = self.model.cost(&final_pt)?;
+        let out_cols = answer.out_cols.iter().map(|(n, _)| n.clone()).collect();
+        Ok(Optimized { pt: final_pt, out_cols, cost, trace })
+    }
+
+    fn ready(
+        &self,
+        self_name: &NameRef,
+        term: &GraphTerm,
+        planned: &HashMap<NameRef, Planned>,
+    ) -> bool {
+        let catalog = self.model.catalog;
+        term.consumed_names().iter().all(|n| {
+            if *n == self_name {
+                return true; // recursive occurrence, resolved as a temp
+            }
+            match n {
+                NameRef::Class(_) => true,
+                NameRef::Relation(r) => {
+                    catalog.relation(*r).kind == ViewKind::Stored || planned.contains_key(n)
+                }
+                NameRef::Derived(_) => planned.contains_key(n),
+            }
+        })
+    }
+
+    #[allow(clippy::only_used_in_recursion)]
+    fn plan_term(
+        &mut self,
+        g: &QueryGraph,
+        name: &NameRef,
+        term: &GraphTerm,
+        planned: &HashMap<NameRef, Planned>,
+        trace: &mut OptTrace,
+    ) -> Result<Planned, OptError> {
+        match term {
+            GraphTerm::Spj(spj) => {
+                let (pt, out_cols, _) = self.plan_spj(g, spj, None, planned, trace, None)?;
+                Ok(Planned { pt, out_cols, fix: None })
+            }
+            GraphTerm::Union(l, r) => {
+                let lp = self.plan_term(g, name, l, planned, trace)?;
+                let rp = self.plan_term(g, name, r, planned, trace)?;
+                Ok(Planned {
+                    pt: Pt::union(lp.pt, rp.pt),
+                    out_cols: lp.out_cols,
+                    fix: None,
+                })
+            }
+            GraphTerm::Fix(fname, body) => self.plan_fix(g, fname, body, planned, trace),
+        }
+    }
+
+    fn plan_fix(
+        &mut self,
+        g: &QueryGraph,
+        fname: &NameRef,
+        body: &GraphTerm,
+        planned: &HashMap<NameRef, Planned>,
+        trace: &mut OptTrace,
+    ) -> Result<Planned, OptError> {
+        let catalog = self.model.catalog;
+        let GraphTerm::Union(l, r) = body else {
+            // A fixpoint over a single SPJ (no base): not computable.
+            return Err(OptError::Unplannable("Fix body must be a Union".into()));
+        };
+        let references = |t: &GraphTerm| {
+            t.spjs().iter().any(|s| s.inputs.iter().any(|a| a.name == *fname))
+        };
+        let (base_term, rec_term) =
+            if references(l) { (r.as_ref(), l.as_ref()) } else { (l.as_ref(), r.as_ref()) };
+        let GraphTerm::Spj(base_spj) = base_term else {
+            return Err(OptError::Unplannable("nested non-spj fix base".into()));
+        };
+        let GraphTerm::Spj(rec_spj) = rec_term else {
+            return Err(OptError::Unplannable("nested non-spj fix recursion".into()));
+        };
+
+        // The temporary: named after the view/derived name; its fields
+        // come from the declared relation type (or the base projection).
+        let temp = format!("{}", fname.display(catalog));
+        let fields: Vec<(String, ResolvedType)> = match g.type_of(catalog, fname)? {
+            ResolvedType::Tuple(fs) => fs,
+            other => vec![("value".to_string(), other)],
+        };
+        self.model.temp_fields.insert(temp.clone(), fields.clone());
+
+        // Plan the base, estimate the fixpoint's size, then plan the
+        // recursive side with a realistic delta-cardinality hint.
+        let (base_pt, base_cols, _) =
+            self.plan_spj(g, base_spj, None, planned, trace, None)?;
+        let base_col_names: Vec<String> = base_cols.iter().map(|(n, _)| n.clone()).collect();
+        let base_rows = self.model.cost(&base_pt)?.rows;
+        let growth = self.model.stats.avg_chain_depth().unwrap_or(2.0).max(1.0);
+        let iters = self.model.fix_iterations().max(1.0);
+        self.model.hint_temp_rows(temp.clone(), (base_rows * growth / iters).max(1.0));
+        let (rec_pt, _, _) =
+            self.plan_spj(g, rec_spj, Some((fname, &temp)), planned, trace, None)?;
+
+        let fix_pt = Pt::fix(temp.clone(), Pt::union(base_pt, rec_pt));
+        let propagated = propagated_columns(&fix_pt);
+        let info = FixInfo {
+            temp,
+            out_cols: base_col_names,
+            fields,
+            propagated,
+        };
+        Ok(Planned { pt: fix_pt, out_cols: base_cols, fix: Some(info) })
+    }
+
+    /// Plan one predicate node. `self_fix` marks the name whose arcs are
+    /// the recursive occurrence (bound to the temporary). `pred_override`
+    /// replaces the node's predicate (used by the push replanning).
+    #[allow(clippy::type_complexity)]
+    fn plan_spj(
+        &mut self,
+        g: &QueryGraph,
+        spj: &SpjNode,
+        self_fix: Option<(&NameRef, &str)>,
+        planned: &HashMap<NameRef, Planned>,
+        trace: &mut OptTrace,
+        pred_override: Option<(&Expr, &PluggedOverrides)>,
+    ) -> Result<(Pt, Vec<(String, ResolvedType)>, f64), OptError> {
+        let catalog = self.model.catalog;
+        let physical = self.model.physical;
+        // Effective predicate node: on a push replanning, the pushed
+        // conjuncts are removed and tree-label branches that no longer
+        // bind any used variable are pruned (their implicit joins moved
+        // inside the fixpoint).
+        let effective_spj = match pred_override {
+            Some((pred, _)) => {
+                let mut s = spj.clone();
+                s.pred = pred.clone();
+                let mut used: std::collections::BTreeSet<String> = s.pred.vars();
+                for (_, e) in &s.out_proj {
+                    used.extend(e.vars());
+                }
+                for arc in &mut s.inputs {
+                    arc.label = prune_label(&arc.label, &used);
+                }
+                s
+            }
+            None => spj.clone(),
+        };
+        // Translate every arc.
+        let mut chains: Vec<Vec<ArcChain>> = Vec::new();
+        {
+            let t = trace.record(Step::Translate, "one arc", StrategyKind::CostBased);
+            for (i, arc) in effective_spj.inputs.iter().enumerate() {
+                let base = self.base_plan(g, arc, self_fix, planned, pred_override, i)?;
+                let mut counter = self.fresh;
+                let mut fresh = || {
+                    counter += 1;
+                    format!("_o{counter}")
+                };
+                let alts = translate_arc(
+                    catalog,
+                    physical,
+                    arc,
+                    base,
+                    &mut fresh,
+                    self.config.max_arc_alternatives,
+                )?;
+                self.fresh = counter;
+                for a in &alts {
+                    for op in &a.ops {
+                        t.generated(match op {
+                            crate::translate::ChainOp::Ij { .. } => "IJ",
+                            crate::translate::ChainOp::Pij { .. } => "PIJ",
+                        });
+                    }
+                }
+                chains.push(alts);
+            }
+        }
+
+        // generatePT for the predicate node.
+        let (pt, out_cols, cost) = {
+            let t = trace.record(
+                Step::GeneratePt,
+                "one predicate node",
+                StrategyKind::CostBasedGenerative,
+            );
+            let r = generate_pt(&self.model, &effective_spj, &chains, self.config.spj_strategy)?;
+            t.generated("Sel");
+            if spj.inputs.len() > 1 {
+                t.generated("EJ");
+            }
+            r
+        };
+        // Typed output columns from the (normalized) projection.
+        let out_types: Vec<(String, ResolvedType)> = match g.spj_out_type(catalog, spj) {
+            Ok(ResolvedType::Tuple(fs)) => fs,
+            _ => out_cols
+                .iter()
+                .map(|n| (n.clone(), ResolvedType::Atomic(oorq_schema::AtomicType::Int)))
+                .collect(),
+        };
+        debug_assert_eq!(
+            out_types.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+            out_cols
+        );
+
+        // transformPT consideration: the node consumes a fixpoint —
+        // decide the position of selective operations w.r.t. recursion.
+        if pred_override.is_none() && self.config.push != PushStrategy::NeverPush {
+            if let Some((pushed_pt, pushed_cols, pushed_cost)) =
+                self.try_push(g, spj, self_fix, planned, trace)?
+            {
+                let keep_pushed = match self.config.push {
+                    PushStrategy::AlwaysPush => true,
+                    PushStrategy::CostControlled => pushed_cost < cost,
+                    PushStrategy::NeverPush => false,
+                };
+                let t = trace.record(
+                    Step::TransformPt,
+                    "the entire query (PT)",
+                    StrategyKind::CostBasedTransformational,
+                );
+                t.note(format!(
+                    "filter/push-join candidate: pushed cost {pushed_cost:.1} vs \
+                     unpushed {cost:.1} -> {}",
+                    if keep_pushed { "pushed" } else { "unpushed" }
+                ));
+                if keep_pushed {
+                    return Ok((pushed_pt, pushed_cols, pushed_cost));
+                }
+            }
+        }
+        Ok((pt, out_types, cost))
+    }
+
+    fn base_plan(
+        &mut self,
+        g: &QueryGraph,
+        arc: &QArc,
+        self_fix: Option<(&NameRef, &str)>,
+        planned: &HashMap<NameRef, Planned>,
+        pred_override: Option<(&Expr, &PluggedOverrides)>,
+        arc_index: usize,
+    ) -> Result<BasePlan, OptError> {
+        let catalog = self.model.catalog;
+        // Plugged override (push replanning substitutes the pushed fix).
+        if let Some((_, overrides)) = pred_override {
+            if let Some((pt, cols)) = overrides.get(&arc_index) {
+                return Ok(BasePlan::Plugged(pt.clone(), cols.clone()));
+            }
+        }
+        if let Some((fix_name, temp)) = self_fix {
+            if arc.name == *fix_name {
+                let fields = self.model.temp_fields.get(temp).cloned().unwrap_or_default();
+                return Ok(BasePlan::Temp(temp.to_string(), fields));
+            }
+        }
+        match &arc.name {
+            NameRef::Class(c) => {
+                let active = self.model.physical.entities_of_class(*c);
+                if active.is_empty() {
+                    return Err(OptError::NoEntity(catalog.class(*c).name.clone()));
+                }
+                // Vertical fragments all hold every instance: scan the
+                // cheapest one. Horizontal fragments partition the
+                // extension: scan their union.
+                let vertical = active.iter().all(|e| {
+                    matches!(
+                        self.model.physical.entity(*e).fragment,
+                        Some(oorq_storage::FragmentSpec::Vertical { .. })
+                    )
+                });
+                let entities = if active.len() > 1 && vertical {
+                    let cheapest = active
+                        .iter()
+                        .copied()
+                        .min_by_key(|e| {
+                            self.model.stats.entity(*e).map(|s| s.pages).unwrap_or(u64::MAX)
+                        })
+                        .expect("non-empty");
+                    vec![cheapest]
+                } else {
+                    active.to_vec()
+                };
+                Ok(BasePlan::Class(entities, *c))
+            }
+            NameRef::Relation(r) if catalog.relation(*r).kind == ViewKind::Stored => {
+                let e = self
+                    .model
+                    .physical
+                    .entities_of_relation(*r)
+                    .first()
+                    .copied()
+                    .ok_or_else(|| OptError::NoEntity(catalog.relation(*r).name.clone()))?;
+                Ok(BasePlan::Relation(e, catalog.relation(*r).fields.clone()))
+            }
+            name => {
+                let p = planned.get(name).ok_or_else(|| {
+                    OptError::Unplannable(format!("{}", name.display(catalog)))
+                })?;
+                let _ = g;
+                Ok(BasePlan::Plugged(p.pt.clone(), p.out_cols.clone()))
+            }
+        }
+    }
+
+    /// Build the pushed variant of a consumer of a fixpoint: pushable
+    /// selection conjuncts move inside via the `filter` action, and a
+    /// selective explicit join is pushed as a semi-join (§4.5). Returns
+    /// `None` when nothing is pushable.
+    #[allow(clippy::type_complexity)]
+    fn try_push(
+        &mut self,
+        g: &QueryGraph,
+        spj: &SpjNode,
+        self_fix: Option<(&NameRef, &str)>,
+        planned: &HashMap<NameRef, Planned>,
+        trace: &mut OptTrace,
+    ) -> Result<Option<(Pt, Vec<(String, ResolvedType)>, f64)>, OptError> {
+        // Find a fix-backed arc.
+        let mut fix_arc: Option<(usize, &FixInfo, &Planned)> = None;
+        for (i, arc) in spj.inputs.iter().enumerate() {
+            if let Some(p) = planned.get(&arc.name) {
+                if let Some(info) = &p.fix {
+                    fix_arc = Some((i, info, p));
+                    break;
+                }
+            }
+        }
+        let Some((arc_i, info, fix_planned)) = fix_arc else { return Ok(None) };
+        let info = info.clone();
+        let fix_planned = fix_planned.clone();
+        let arc = &spj.inputs[arc_i];
+        let Some(arc_var) = arc.var.clone() else { return Ok(None) };
+
+        // Map the arc's label variables to their field paths.
+        let var_paths = label_var_paths(&arc.label);
+
+        // Translate each conjunct of the (normalized) predicate into an
+        // expression over the fixpoint's output columns, when possible.
+        let over_fix = |c: &Expr| -> Option<Expr> {
+            let mut ok = true;
+            let rewritten = c.map_leaves(&mut |leaf| match leaf {
+                Expr::Var(v) => match var_paths.get(v) {
+                    Some((field, steps)) if steps.is_empty() => {
+                        Some(Expr::Var(field.clone()))
+                    }
+                    Some((field, steps)) => {
+                        Some(Expr::Path { base: field.clone(), steps: steps.clone() })
+                    }
+                    None => {
+                        if *v != arc_var {
+                            // Variable of another arc: not a pure
+                            // selection on the fixpoint.
+                        }
+                        ok = false;
+                        None
+                    }
+                },
+                Expr::Path { .. } => {
+                    ok = false;
+                    None
+                }
+                _ => None,
+            });
+            ok.then_some(rewritten)
+        };
+
+        let mut pushed_sel: Vec<Expr> = Vec::new();
+        let mut remaining: Vec<Expr> = Vec::new();
+        for c in spj.pred.conjuncts() {
+            match over_fix(c) {
+                Some(fixed) if can_push(&fixed, &info) => pushed_sel.push(fixed),
+                _ => remaining.push(c.clone()),
+            }
+        }
+
+        // Join-push candidate: an equality conjunct between a propagated
+        // fix column and another single arc (the §4.5 pattern), pushed as
+        // a semi-join. Only attempted when the *other* side of the query
+        // restricts that arc (e.g. `c.name = "Bach"`).
+        let mut pushed_join: Option<(Expr, Pt)> = None;
+        if spj.inputs.len() == 2 {
+            let other_i = 1 - arc_i;
+            let other_arc = &spj.inputs[other_i];
+            if let Some(other_var) = other_arc.var.clone() {
+                let other_paths = label_var_paths(&other_arc.label);
+                let mut join_expr: Option<Expr> = None;
+                let mut other_sels: Vec<Expr> = Vec::new();
+                for c in &remaining {
+                    let vars = c.vars();
+                    let fix_side: Vec<&String> =
+                        vars.iter().filter(|v| var_paths.contains_key(*v)).collect();
+                    let other_side: Vec<&String> = vars
+                        .iter()
+                        .filter(|v| other_paths.contains_key(*v) || **v == other_var)
+                        .collect();
+                    if !fix_side.is_empty() && !other_side.is_empty() {
+                        // Crossing conjunct: the join itself.
+                        let fixed_ok = fix_side.iter().all(|v| {
+                            var_paths
+                                .get(*v)
+                                .map(|(f, _)| info.propagated.contains(f))
+                                .unwrap_or(false)
+                        });
+                        if fixed_ok && join_expr.is_none() {
+                            join_expr = Some(c.clone());
+                        }
+                    } else if !other_side.is_empty() && fix_side.is_empty() {
+                        other_sels.push(c.clone());
+                    }
+                }
+                if let Some(je) = join_expr {
+                    // Build the inner plan: the other arc with its own
+                    // selections applied.
+                    let inner = self.plan_single_arc(g, other_arc, planned, &other_sels)?;
+                    // Rewrite the join conjunct: fix-side vars over fix
+                    // columns; other-side vars via the inner's subst.
+                    let rewritten = je.map_leaves(&mut |leaf| match leaf {
+                        Expr::Var(v) => {
+                            if let Some((f, steps)) = var_paths.get(v) {
+                                Some(if steps.is_empty() {
+                                    Expr::Var(f.clone())
+                                } else {
+                                    Expr::Path { base: f.clone(), steps: steps.clone() }
+                                })
+                            } else {
+                                inner.1.get(v).cloned()
+                            }
+                        }
+                        _ => None,
+                    });
+                    pushed_join = Some((rewritten, inner.0));
+                }
+            }
+        }
+
+        if pushed_sel.is_empty() && pushed_join.is_none() {
+            return Ok(None);
+        }
+
+        // Build the pushed fixpoint.
+        let mut pushed_fix = fix_planned.pt.clone();
+        if let Some((jpred, inner)) = &pushed_join {
+            pushed_fix = push_join_action(&pushed_fix, &info, jpred, inner)?;
+        }
+        if !pushed_sel.is_empty() {
+            let pred = Expr::conjoin(pushed_sel.clone());
+            pushed_fix = filter_action(&self.model, &pushed_fix, &info, &pred)?;
+        }
+
+        // Replan the consumer with the pushed fix and the reduced
+        // predicate.
+        let reduced = Expr::conjoin(remaining);
+        let mut overrides = HashMap::new();
+        overrides.insert(arc_i, (pushed_fix, info.fields.clone()));
+        let result = self.plan_spj(
+            g,
+            spj,
+            self_fix,
+            planned,
+            trace,
+            Some((&reduced, &overrides)),
+        )?;
+        Ok(Some(result))
+    }
+
+    /// Plan a single arc in isolation (used as the inner of a pushed
+    /// semi-join), applying the given selections. Returns the plan and
+    /// the variable substitution.
+    fn plan_single_arc(
+        &mut self,
+        g: &QueryGraph,
+        arc: &QArc,
+        planned: &HashMap<NameRef, Planned>,
+        sels: &[Expr],
+    ) -> Result<(Pt, HashMap<String, Expr>), OptError> {
+        let base = self.base_plan(g, arc, None, planned, None, usize::MAX)?;
+        let mut counter = self.fresh;
+        let mut fresh = || {
+            counter += 1;
+            format!("_o{counter}")
+        };
+        let alts = translate_arc(
+            self.model.catalog,
+            self.model.physical,
+            arc,
+            base,
+            &mut fresh,
+            self.config.max_arc_alternatives,
+        )?;
+        self.fresh = counter;
+        let mut best: Option<(f64, Pt, HashMap<String, Expr>)> = None;
+        for chain in &alts {
+            let subst = chain.subst.clone();
+            let rewritten: Vec<Expr> = sels
+                .iter()
+                .map(|c| crate::generate::rewrite_expr(c, &subst))
+                .collect();
+            let mut pt = chain.base.clone();
+            let mut available = chain.base_cols.clone();
+            let mut remaining: Vec<Expr> = rewritten;
+            let apply_ready = |pt: Pt, available: &[String], remaining: &mut Vec<Expr>| {
+                let (ready, later): (Vec<Expr>, Vec<Expr>) = remaining
+                    .drain(..)
+                    .partition(|c| c.vars().iter().all(|v| available.contains(&v.to_string())));
+                *remaining = later;
+                if ready.is_empty() {
+                    pt
+                } else {
+                    Pt::sel(Expr::conjoin(ready), pt)
+                }
+            };
+            pt = apply_ready(pt, &available, &mut remaining);
+            for op in &chain.ops {
+                pt = op.apply(pt);
+                available.extend(op.produces());
+                pt = apply_ready(pt, &available, &mut remaining);
+            }
+            if !remaining.is_empty() {
+                pt = Pt::sel(Expr::conjoin(remaining), pt);
+            }
+            if let Ok(pc) = self.model.cost(&pt) {
+                let total = pc.total(&self.model.params);
+                match &best {
+                    Some((c, _, _)) if *c <= total => {}
+                    _ => best = Some((total, pt, subst)),
+                }
+            }
+        }
+        best.map(|(_, pt, subst)| (pt, subst))
+            .ok_or_else(|| OptError::Unplannable("semi-join inner".into()))
+    }
+}
+
+/// Map each variable bound in a (row-rooted) tree label to its
+/// `(field, attribute-steps)` path.
+fn label_var_paths(label: &TreeLabel) -> HashMap<String, (String, Vec<String>)> {
+    let mut out = HashMap::new();
+    for child in &label.children {
+        let Some(field) = &child.attr else { continue };
+        if let Some(v) = &child.var {
+            out.insert(v.clone(), (field.clone(), Vec::new()));
+        }
+        collect_deep(&child.tree, field, &mut Vec::new(), &mut out);
+    }
+    out
+}
+
+fn collect_deep(
+    tree: &TreeLabel,
+    field: &str,
+    steps: &mut Vec<String>,
+    out: &mut HashMap<String, (String, Vec<String>)>,
+) {
+    for child in &tree.children {
+        let pushed = if let Some(a) = &child.attr {
+            steps.push(a.clone());
+            true
+        } else {
+            false
+        };
+        if let Some(v) = &child.var {
+            out.insert(v.clone(), (field.to_string(), steps.clone()));
+        }
+        collect_deep(&child.tree, field, steps, out);
+        if pushed {
+            steps.pop();
+        }
+    }
+}
+
+/// Drop tree-label branches that bind no used variable (their implicit
+/// joins have moved inside a pushed fixpoint).
+fn prune_label(
+    label: &TreeLabel,
+    used: &std::collections::BTreeSet<String>,
+) -> TreeLabel {
+    TreeLabel {
+        children: label
+            .children
+            .iter()
+            .filter_map(|c| {
+                let pruned = prune_label(&c.tree, used);
+                let keep_var =
+                    c.var.as_ref().map(|v| used.contains(v)).unwrap_or(false);
+                if keep_var || !pruned.children.is_empty() {
+                    Some(oorq_query::TreeChild {
+                        attr: c.attr.clone(),
+                        var: c.var.clone(),
+                        tree: pruned,
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect(),
+    }
+}

@@ -1,0 +1,135 @@
+//! The `rewrite` step (§4.2): make `Union` and `Fix` explicit.
+//!
+//! ```text
+//! rewrite(Q) { repeat union(Q); fixpoint(Q) until saturation }
+//! ```
+//!
+//! Both actions are *irrevocable* — applied to saturation with no choices
+//! involved, like in classic query rewriters.
+
+use oorq_query::{GraphTerm, NameRef, QueryGraph};
+
+use crate::trace::{OptTrace, Step, StrategyKind};
+
+/// Apply the `union` action once: two producers of the same name are
+/// merged into one `Union` term. Returns whether anything changed.
+///
+/// ```text
+/// union: Q | (Name ← p1) ∈ Q ∧ (Name ← p2) ∈ Q
+///        → Q − {(Name ← p1), (Name ← p2)} ∪ {(Name ← Union(p1, p2))}
+/// ```
+pub fn union_action(graph: &mut QueryGraph) -> bool {
+    for i in 0..graph.nodes.len() {
+        for j in (i + 1)..graph.nodes.len() {
+            if graph.nodes[i].0 == graph.nodes[j].0 {
+                let (_, p2) = graph.nodes.remove(j);
+                let (name, p1) = graph.nodes.remove(i);
+                graph
+                    .nodes
+                    .insert(i, (name, GraphTerm::Union(Box::new(p1), Box::new(p2))));
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// True when `Name = p(Name)` is computable as a fixpoint: the term's
+/// SPJ inputs reference `name` itself (linearly — at most one recursive
+/// occurrence per SPJ, which both the semi-naive evaluator and the
+/// Kifer–Lozinskii push conditions assume).
+pub fn fixpoint_recursion(name: &NameRef, term: &GraphTerm) -> bool {
+    if matches!(term, GraphTerm::Fix(..)) {
+        return false; // already rewritten
+    }
+    term.spjs()
+        .iter()
+        .any(|spj| spj.inputs.iter().any(|arc| arc.name == *name))
+}
+
+/// Apply the `fixpoint` action once.
+///
+/// ```text
+/// fixpoint: Name | (Name ← p) ∈ Q ∧ fixpointRecursion(Name)
+///           → Fix(Name, p)
+/// ```
+pub fn fixpoint_action(graph: &mut QueryGraph) -> bool {
+    for i in 0..graph.nodes.len() {
+        let (name, term) = &graph.nodes[i];
+        if fixpoint_recursion(name, term) {
+            let (name, term) = graph.nodes.remove(i);
+            graph.nodes.insert(
+                i,
+                (name.clone(), GraphTerm::Fix(name, Box::new(term))),
+            );
+            return true;
+        }
+    }
+    false
+}
+
+/// The full `rewrite` procedure: both actions to saturation.
+pub fn rewrite(graph: &mut QueryGraph, trace: &mut OptTrace) {
+    let rec = trace.record(Step::Rewrite, "the entire query (graph)", StrategyKind::Irrevocable);
+    loop {
+        let mut changed = false;
+        while union_action(graph) {
+            rec.generated("Union");
+            changed = true;
+        }
+        while fixpoint_action(graph) {
+            rec.generated("Fix");
+            changed = true;
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oorq_query::paper::{fig3_query, influencer_view, music_catalog};
+
+    #[test]
+    fn rewrite_makes_union_and_fix_explicit() {
+        let cat = music_catalog();
+        let mut q = fig3_query(&cat);
+        influencer_view(&cat).expand(&mut q, &cat).unwrap();
+        assert_eq!(q.nodes.len(), 3);
+        let mut trace = OptTrace::default();
+        rewrite(&mut q, &mut trace);
+        // P1 and P2 merged into Union, wrapped in Fix.
+        assert_eq!(q.nodes.len(), 2);
+        let influencer = cat.relation_by_name("Influencer").unwrap();
+        let producers = q.producers(&NameRef::Relation(influencer));
+        assert_eq!(producers.len(), 1);
+        match producers[0] {
+            GraphTerm::Fix(n, body) => {
+                assert_eq!(*n, NameRef::Relation(influencer));
+                assert!(matches!(body.as_ref(), GraphTerm::Union(..)));
+            }
+            other => panic!("expected Fix, got {other:?}"),
+        }
+        // Trace recorded both node kinds.
+        let s = trace.summary();
+        assert!(s.contains("rewrite"), "{s}");
+        assert!(s.contains("Fix, Union"), "{s}");
+        // Saturation: rewriting again changes nothing.
+        let before = q.clone();
+        let mut t2 = OptTrace::default();
+        rewrite(&mut q, &mut t2);
+        assert_eq!(q, before);
+    }
+
+    #[test]
+    fn non_recursive_graph_untouched() {
+        let cat = music_catalog();
+        let mut q = oorq_query::paper::fig2_query(&cat);
+        let before = q.clone();
+        let mut trace = OptTrace::default();
+        rewrite(&mut q, &mut trace);
+        assert_eq!(q, before);
+    }
+}

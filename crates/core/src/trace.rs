@@ -1,0 +1,134 @@
+//! Optimizer trace: the Figure 6 summary, observed on a real run.
+//!
+//! Each optimization step records its granularity, the kind of strategy
+//! that drove it, and the PT node kinds it generated, so the summary
+//! table of Figure 6 can be regenerated from an actual optimization.
+
+use std::fmt;
+
+/// The four optimization steps of §4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// `rewrite` — make `Union`/`Fix` explicit.
+    Rewrite,
+    /// `translate` — onto the physical schema.
+    Translate,
+    /// `generatePT` — optimize predicate nodes.
+    GeneratePt,
+    /// `transformPT` — position selective operators w.r.t. recursion.
+    TransformPt,
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Step::Rewrite => "rewrite",
+            Step::Translate => "translate",
+            Step::GeneratePt => "generatePT",
+            Step::TransformPt => "transformPT",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Strategy kind driving a step (Figure 6's "Strategy" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// No choices involved, applied to saturation.
+    Irrevocable,
+    /// Cost-based generative (builds candidates bottom-up).
+    CostBasedGenerative,
+    /// Cost-based transformational (rewrites a complete plan).
+    CostBasedTransformational,
+    /// Cost-based (choice among alternatives).
+    CostBased,
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StrategyKind::Irrevocable => "irrevocable",
+            StrategyKind::CostBasedGenerative => "cost-based (generative)",
+            StrategyKind::CostBasedTransformational => "cost-based (transformational)",
+            StrategyKind::CostBased => "cost-based",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One recorded step.
+#[derive(Debug, Clone)]
+pub struct StepTrace {
+    /// Which step.
+    pub step: Step,
+    /// Optimization granule ("the entire query (graph)", "one arc", ...).
+    pub granularity: String,
+    /// Strategy kind.
+    pub strategy: StrategyKind,
+    /// PT node kinds generated (`Fix`, `Union`, `IJ`, `PIJ`, `EJ`, `Sel`).
+    pub nodes_generated: Vec<String>,
+    /// Free-form notes (actions applied, costs compared).
+    pub notes: Vec<String>,
+}
+
+/// The whole optimization trace.
+#[derive(Debug, Clone, Default)]
+pub struct OptTrace {
+    /// Recorded steps, in order.
+    pub steps: Vec<StepTrace>,
+}
+
+impl OptTrace {
+    /// Record a step.
+    pub fn record(
+        &mut self,
+        step: Step,
+        granularity: impl Into<String>,
+        strategy: StrategyKind,
+    ) -> &mut StepTrace {
+        self.steps.push(StepTrace {
+            step,
+            granularity: granularity.into(),
+            strategy,
+            nodes_generated: Vec::new(),
+            notes: Vec::new(),
+        });
+        self.steps.last_mut().expect("just pushed")
+    }
+
+    /// Render the Figure 6 style summary table.
+    pub fn summary(&self) -> String {
+        let mut out = String::from(
+            "| Procedure | Granularity | Strategy | PT nodes generated |\n\
+             |---|---|---|---|\n",
+        );
+        for s in &self.steps {
+            let nodes = if s.nodes_generated.is_empty() {
+                "none".to_string()
+            } else {
+                let mut uniq: Vec<&str> =
+                    s.nodes_generated.iter().map(String::as_str).collect();
+                uniq.sort();
+                uniq.dedup();
+                uniq.join(", ")
+            };
+            out.push_str(&format!(
+                "| {} | {} | {} | {} |\n",
+                s.step, s.granularity, s.strategy, nodes
+            ));
+        }
+        out
+    }
+}
+
+impl StepTrace {
+    /// Note a generated node kind.
+    pub fn generated(&mut self, kind: &str) {
+        self.nodes_generated.push(kind.to_string());
+    }
+
+    /// Add a note.
+    pub fn note(&mut self, n: impl Into<String>) {
+        self.notes.push(n.into());
+    }
+}

@@ -1,0 +1,673 @@
+//! The `transformPT` step (§4.5): pushing selective operations through
+//! recursion, then randomized re-optimization.
+//!
+//! Unlike deductive-DB rewriters, pushing happens *after* a complete PT
+//! exists, so the effect of the transformation is measured by the cost
+//! model before it is committed (the paper's central claim). The
+//! `filter` action pushes selections through the fixpoint following
+//! \[KL86\]; a similar action pushes **joins** — the novel case §4.5
+//! highlights. Randomized strategies (Iterative Improvement and
+//! Simulated Annealing, per \[IC90\]) then try to further improve the
+//! transformed plan (e.g. by using an applicable index after a portion
+//! of the PT was shifted).
+
+use oorq_cost::CostModel;
+use oorq_query::{CmpOp, Expr};
+use oorq_schema::{ClassId, ResolvedType};
+use oorq_storage::EntitySource;
+use oorq_pt::{AccessMethod, IjStep, JoinAlgo, Pt};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::OptError;
+use crate::translate::{collapse_alternatives, ChainOp};
+
+/// How pushing through recursion is decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushStrategy {
+    /// The paper: build both plans, keep the cheaper (cost-controlled).
+    CostControlled,
+    /// The deductive-DB heuristic: always push when legal.
+    AlwaysPush,
+    /// Never push (selection stays above the fixpoint).
+    NeverPush,
+}
+
+/// Facts about a planned fixpoint needed by the push actions.
+#[derive(Debug, Clone)]
+pub struct FixInfo {
+    /// The temporary's name.
+    pub temp: String,
+    /// Output column names of the fixpoint.
+    pub out_cols: Vec<String>,
+    /// Field types of the temporary.
+    pub fields: Vec<(String, ResolvedType)>,
+    /// Columns *propagated unchanged* by the recursive side (copied from
+    /// the temporary input) — the \[KL86\] `canPush` condition: a
+    /// selection on these columns commutes with the fixpoint.
+    pub propagated: Vec<String>,
+}
+
+/// Compute the propagated columns of a fixpoint body: output columns of
+/// the recursive side's top projection that are verbatim copies of the
+/// temporary's fields.
+pub fn propagated_columns(fix: &Pt) -> Vec<String> {
+    let Pt::Fix { temp, body } = fix else { return Vec::new() };
+    let Pt::Union { left, right } = body.as_ref() else { return Vec::new() };
+    let rec = if left.references_temp(temp) { left } else { right };
+    // Temp leaf variable inside the recursive side.
+    let mut temp_var = None;
+    rec.visit(&mut |n| {
+        if let Pt::Temp { name, var } = n {
+            if name == temp && temp_var.is_none() {
+                temp_var = Some(var.clone());
+            }
+        }
+    });
+    let Some(tv) = temp_var else { return Vec::new() };
+    let Pt::Proj { cols, .. } = rec.as_ref() else { return Vec::new() };
+    cols.iter()
+        .filter(|(name, e)| matches!(e, Expr::Var(v) if *v == format!("{tv}.{name}")))
+        .map(|(name, _)| name.clone())
+        .collect()
+}
+
+/// The `canPush` constraint for one conjunct expressed over the
+/// fixpoint's output columns: every column it references must be
+/// propagated.
+pub fn can_push(conjunct: &Expr, info: &FixInfo) -> bool {
+    let vars = conjunct.vars();
+    !vars.is_empty()
+        && vars.iter().all(|v| info.propagated.contains(v))
+        // Linearity is guaranteed by construction (one temp occurrence).
+        && !matches!(conjunct, Expr::True)
+}
+
+/// The `filter` action: push a selection (over fix-output columns)
+/// through the recursion:
+///
+/// ```text
+/// filter: Sel_pred(pt(Fix(Rec, Union(Base, pt'(Rec)))))
+///         | canPush(pred, Rec)
+///         → Fix(Rec, Union(Sel_pred(pt(Base)), pt'(Sel_pred(pt(Rec)))))
+/// ```
+///
+/// The base side gets the selection over its output columns; in the
+/// recursive side the selection wraps the recursive occurrence (the
+/// temporary leaf, with the predicate re-qualified to its columns).
+/// When the predicate embeds a path expression, the selection is
+/// *expanded* into an IJ chain (and collapsed into a `PIJ` if an index
+/// applies) so the shifted portion is re-optimized — this is what puts
+/// "additional implicit joins inside the computation of the fixpoint"
+/// (§2.3) and makes the push a genuine cost trade-off.
+pub fn filter_action(
+    model: &CostModel<'_>,
+    fix: &Pt,
+    info: &FixInfo,
+    pred: &Expr,
+) -> Result<Pt, OptError> {
+    let Pt::Fix { temp, body } = fix else {
+        return Err(OptError::Pt(oorq_pt::PtError::FixBodyNotUnion));
+    };
+    let Pt::Union { left, right } = body.as_ref() else {
+        return Err(OptError::Pt(oorq_pt::PtError::FixBodyNotUnion));
+    };
+    let (base, rec) = if left.references_temp(temp) {
+        (right.as_ref().clone(), left.as_ref().clone())
+    } else {
+        (left.as_ref().clone(), right.as_ref().clone())
+    };
+
+    // Base side: selection over the base's output columns, expanded.
+    let base_sel = best_selection(model, pred.clone(), base, &info.out_cols)?;
+
+    // Recursive side: wrap the temporary occurrence. Re-qualify the
+    // predicate to the temp leaf's columns.
+    let mut temp_var = None;
+    rec.visit(&mut |n| {
+        if let Pt::Temp { name, var } = n {
+            if name == temp && temp_var.is_none() {
+                temp_var = Some(var.clone());
+            }
+        }
+    });
+    let tv = temp_var.ok_or_else(|| OptError::Unplannable("no temp occurrence".into()))?;
+    let qualified = pred.map_leaves(&mut |leaf| match leaf {
+        Expr::Var(v) if info.propagated.contains(v) => Some(Expr::Var(format!("{tv}.{v}"))),
+        Expr::Path { base, steps } if info.propagated.contains(base) => Some(Expr::Path {
+            base: format!("{tv}.{base}"),
+            steps: steps.clone(),
+        }),
+        _ => None,
+    });
+    let temp_cols: Vec<String> =
+        info.fields.iter().map(|(n, _)| format!("{tv}.{n}")).collect();
+    let rec_pushed = replace_temp_with(&rec, temp, &|leaf| {
+        // Defer the expansion choice to `best_selection` on a clone.
+        Pt::sel(qualified.clone(), leaf)
+    });
+    // Expand the selection we just wrapped around the temp leaf.
+    let rec_pushed = expand_sels_over_temp(model, rec_pushed, temp, &temp_cols)?;
+
+    Ok(Pt::fix(temp.clone(), Pt::union(base_sel, rec_pushed)))
+}
+
+/// The push-join action (§4.5): restrict the fixpoint's base by a very
+/// selective explicit join (a semi-join, projected back to the
+/// temporary's fields). The join predicate must reference only
+/// propagated columns on the fixpoint side, so every derived tuple of a
+/// surviving base tuple still joins — and every derived tuple of a
+/// dropped one would not.
+pub fn push_join_action(
+    fix: &Pt,
+    info: &FixInfo,
+    join_pred_over_fix_cols: &Expr,
+    inner: &Pt,
+) -> Result<Pt, OptError> {
+    let Pt::Fix { temp, body } = fix else {
+        return Err(OptError::Pt(oorq_pt::PtError::FixBodyNotUnion));
+    };
+    let Pt::Union { left, right } = body.as_ref() else {
+        return Err(OptError::Pt(oorq_pt::PtError::FixBodyNotUnion));
+    };
+    let (base, rec) = if left.references_temp(temp) {
+        (right.as_ref().clone(), left.as_ref().clone())
+    } else {
+        (left.as_ref().clone(), right.as_ref().clone())
+    };
+    // Semi-join: EJ then project back to the temporary's fields (the
+    // projection deduplicates).
+    let semi = Pt::proj(
+        info.out_cols.iter().map(|c| (c.clone(), Expr::Var(c.clone()))).collect(),
+        Pt::ej(join_pred_over_fix_cols.clone(), base, inner.clone()),
+    );
+    Ok(Pt::fix(temp.clone(), Pt::union(semi, rec)))
+}
+
+/// Build the cheapest realization of `Sel_pred(input)` where `pred` may
+/// contain long path expressions over `cols`: either the plain selection
+/// (paths evaluated by dereference) or the expansion into an IJ chain
+/// (optionally collapsed into a `PIJ`), projected back to `cols`.
+pub fn best_selection(
+    model: &CostModel<'_>,
+    pred: Expr,
+    input: Pt,
+    cols: &[String],
+) -> Result<Pt, OptError> {
+    let mut candidates = vec![Pt::sel(pred.clone(), input.clone())];
+    if let Some(expanded) = expand_path_selection(model, &pred, &input, cols)? {
+        candidates.extend(expanded);
+    }
+    pick_cheapest(model, candidates)
+}
+
+fn pick_cheapest(model: &CostModel<'_>, candidates: Vec<Pt>) -> Result<Pt, OptError> {
+    let mut best: Option<(f64, Pt)> = None;
+    for pt in candidates {
+        let Ok(pc) = model.cost(&pt) else { continue };
+        let total = pc.total(&model.params);
+        match &best {
+            Some((c, _)) if *c <= total => {}
+            _ => best = Some((total, pt)),
+        }
+    }
+    best.map(|(_, pt)| pt).ok_or_else(|| OptError::Unplannable("selection".into()))
+}
+
+/// Expand each long-path conjunct of `pred` into an IJ chain plus a
+/// short selection, projecting back to `cols` afterwards. Returns all
+/// collapse alternatives (`None` if no conjunct has a long path).
+fn expand_path_selection(
+    model: &CostModel<'_>,
+    pred: &Expr,
+    input: &Pt,
+    cols: &[String],
+) -> Result<Option<Vec<Pt>>, OptError> {
+    // Resolve column classes from the input plan.
+    let env = oorq_pt::PtEnv {
+        catalog: model.catalog,
+        physical: model.physical,
+        temp_fields: model.temp_fields.clone(),
+    };
+    let col_types: std::collections::HashMap<String, ResolvedType> = input
+        .output_columns(&env)
+        .map_err(OptError::Pt)?
+        .into_iter()
+        .collect();
+    let mut ops: Vec<ChainOp> = Vec::new();
+    let mut fresh = 0usize;
+    let mut any_long = false;
+    let rewritten = try_rewrite(pred, &col_types, model, &mut ops, &mut fresh, &mut any_long)?;
+    if !any_long {
+        return Ok(None);
+    }
+    let mut out = Vec::new();
+    for alt in collapse_alternatives(model.catalog, model.physical, &ops) {
+        let mut pt = input.clone();
+        for op in &alt {
+            pt = op.apply(pt);
+        }
+        pt = Pt::sel(rewritten.clone(), pt);
+        // Project back to the original columns.
+        pt = Pt::proj(
+            cols.iter().map(|c| (c.clone(), Expr::Var(c.clone()))).collect(),
+            pt,
+        );
+        out.push(pt);
+    }
+    Ok(Some(out))
+}
+
+/// Rewrite long paths in the predicate into references to fresh IJ
+/// output columns, accumulating the chain ops.
+fn try_rewrite(
+    pred: &Expr,
+    col_types: &std::collections::HashMap<String, ResolvedType>,
+    model: &CostModel<'_>,
+    ops: &mut Vec<ChainOp>,
+    fresh: &mut usize,
+    any_long: &mut bool,
+) -> Result<Expr, OptError> {
+    let mut failure = None;
+    let result = pred.map_leaves(&mut |leaf| {
+        let Expr::Path { base, steps } = leaf else { return None };
+        if steps.len() < 2 {
+            return None;
+        }
+        let mut col: String;
+        let mut class: ClassId;
+        let mut consumed: usize;
+        let mut emitted = false;
+        if let Some(ty) = col_types.get(base) {
+            class = strip(ty.clone()).object_class()?;
+            col = base.clone();
+            consumed = 0;
+        } else {
+            // Qualified column `base.step0`: an oid-valued field of a
+            // row. Its dereference is itself an implicit join (e.g.
+            // `IJ_master(Influencer, Composer)`).
+            let q = format!("{base}.{}", steps[0]);
+            let ty = col_types.get(&q)?;
+            class = strip(ty.clone()).object_class()?;
+            if steps.len() >= 2 {
+                *fresh += 1;
+                let out = format!("_x{fresh}");
+                let target = match model.physical.entities_of_class(class).first() {
+                    Some(e) => *e,
+                    None => {
+                        failure = Some(OptError::NoEntity(format!("{class:?}")));
+                        return None;
+                    }
+                };
+                ops.push(ChainOp::Ij {
+                    on: Expr::Var(q),
+                    step: IjStep::field(steps[0].clone()),
+                    out: out.clone(),
+                    target,
+                });
+                emitted = true;
+                col = out;
+            } else {
+                col = q;
+            }
+            consumed = 1;
+        }
+        while consumed < steps.len() {
+            let step = &steps[consumed];
+            let Some((aid, attr)) = model.catalog.attr(class, step) else { break };
+            match attr.ty.referenced_class() {
+                Some(next) if consumed + 1 < steps.len() => {
+                    *fresh += 1;
+                    let out = format!("_x{fresh}");
+                    let target = match model.physical.entities_of_class(next).first() {
+                        Some(e) => *e,
+                        None => {
+                            failure = Some(OptError::NoEntity(format!("{next:?}")));
+                            return None;
+                        }
+                    };
+                    ops.push(ChainOp::Ij {
+                        on: Expr::Path { base: col.clone(), steps: vec![step.clone()] },
+                        step: IjStep::class_attr(model.catalog, class, aid),
+                        out: out.clone(),
+                        target,
+                    });
+                    emitted = true;
+                    col = out;
+                    class = next;
+                    consumed += 1;
+                }
+                _ => break,
+            }
+        }
+        if !emitted {
+            return None;
+        }
+        *any_long = true;
+        let rest: Vec<String> = steps[consumed..].to_vec();
+        Some(if rest.is_empty() {
+            Expr::Var(col)
+        } else {
+            Expr::Path { base: col, steps: rest }
+        })
+    });
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(result),
+    }
+}
+
+trait ObjectClass {
+    fn object_class(&self) -> Option<ClassId>;
+}
+impl ObjectClass for ResolvedType {
+    fn object_class(&self) -> Option<ClassId> {
+        match self {
+            ResolvedType::Object(c) => Some(*c),
+            _ => None,
+        }
+    }
+}
+
+fn strip(ty: ResolvedType) -> ResolvedType {
+    match ty {
+        ResolvedType::Set(e) | ResolvedType::List(e) => strip(*e),
+        other => other,
+    }
+}
+
+/// Replace every `Temp(temp)` leaf by `wrap(leaf)`.
+fn replace_temp_with(pt: &Pt, temp: &str, wrap: &impl Fn(Pt) -> Pt) -> Pt {
+    match pt {
+        Pt::Temp { name, .. } if name == temp => wrap(pt.clone()),
+        other => {
+            let mut out = other.clone();
+            let originals: Vec<Pt> = other.children().into_iter().cloned().collect();
+            for (i, child) in out.children_mut().into_iter().enumerate() {
+                *child = replace_temp_with(&originals[i], temp, wrap);
+            }
+            out
+        }
+    }
+}
+
+/// Expand any `Sel` sitting directly on a `Temp(temp)` leaf (inserted by
+/// the filter action) into its cheapest realization.
+fn expand_sels_over_temp(
+    model: &CostModel<'_>,
+    pt: Pt,
+    temp: &str,
+    temp_cols: &[String],
+) -> Result<Pt, OptError> {
+    match &pt {
+        Pt::Sel { pred, input, .. } if matches!(input.as_ref(), Pt::Temp { name, .. } if name == temp) =>
+        {
+            best_selection(model, pred.clone(), input.as_ref().clone(), temp_cols)
+        }
+        _ => {
+            let mut out = pt.clone();
+            let originals: Vec<Pt> = pt.children().into_iter().cloned().collect();
+            for (i, child) in out.children_mut().into_iter().enumerate() {
+                *child = expand_sels_over_temp(model, originals[i].clone(), temp, temp_cols)?;
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// §5's "open problem" transformation, expressible in this framework:
+/// distribute an explicit join over a union,
+/// `EJ_pred(Union(a, b), c) → Union(EJ_pred(a, c), EJ_pred(b, c))` —
+/// stated as a declarative `action: F | constraint → G` over the
+/// pattern engine, and offered to the randomized strategies as a move.
+pub fn distribute_join_over_union_action<'a>() -> oorq_pt::TransformAction<'a> {
+    use oorq_pt::{Pattern, TransformAction};
+    TransformAction::new(
+        "distributeJoinOverUnion",
+        Pattern::ej(
+            Pattern::union(Pattern::bind("a"), Pattern::bind("b")),
+            Pattern::bind("c"),
+        )
+        .named("join"),
+        |bindings| {
+            let Pt::EJ { pred, algo, .. } = bindings.tree("join").ok()? else {
+                return None;
+            };
+            let a = bindings.tree("a").ok()?.clone();
+            let b = bindings.tree("b").ok()?.clone();
+            let c = bindings.tree("c").ok()?.clone();
+            Some(Pt::union(
+                Pt::EJ {
+                    pred: pred.clone(),
+                    algo: *algo,
+                    left: Box::new(a),
+                    right: Box::new(c.clone()),
+                },
+                Pt::EJ {
+                    pred: pred.clone(),
+                    algo: *algo,
+                    left: Box::new(b),
+                    right: Box::new(c),
+                },
+            ))
+        },
+    )
+}
+
+// ---------------------------------------------------------------------
+// Randomized re-optimization (Iterative Improvement / Simulated
+// Annealing, per [IC90]).
+// ---------------------------------------------------------------------
+
+/// Randomized strategy kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RandKind {
+    /// Iterative Improvement: random downhill walks with restarts.
+    IterativeImprovement,
+    /// Simulated Annealing: accepts uphill moves with decaying
+    /// probability.
+    SimulatedAnnealing,
+}
+
+/// Configuration of the randomized phase.
+#[derive(Debug, Clone)]
+pub struct RandConfig {
+    /// Which strategy.
+    pub kind: RandKind,
+    /// Moves attempted per walk.
+    pub moves_per_walk: usize,
+    /// Restarts (II) / temperature steps (SA).
+    pub restarts: usize,
+    /// Initial temperature (SA).
+    pub initial_temperature: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandConfig {
+    fn default() -> Self {
+        RandConfig {
+            kind: RandKind::IterativeImprovement,
+            moves_per_walk: 30,
+            restarts: 3,
+            initial_temperature: 2.0,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// All neighbour plans reachable by one transformation move: swapping
+/// explicit-join operands, toggling join algorithms, and toggling
+/// selection access methods where an index applies.
+pub fn neighbours(model: &CostModel<'_>, pt: &Pt) -> Vec<Pt> {
+    let mut out = Vec::new();
+    for (path, sub) in oorq_pt::subtrees(pt) {
+        match sub {
+            Pt::EJ { pred, algo, left, right } => {
+                // Swap operands.
+                let swapped = Pt::EJ {
+                    pred: pred.clone(),
+                    algo: JoinAlgo::NestedLoop,
+                    left: right.clone(),
+                    right: left.clone(),
+                };
+                push_variant(pt, &path, swapped, &mut out);
+                // Toggle algorithm.
+                match algo {
+                    JoinAlgo::IndexJoin(_) => {
+                        let nl = Pt::EJ {
+                            pred: pred.clone(),
+                            algo: JoinAlgo::NestedLoop,
+                            left: left.clone(),
+                            right: right.clone(),
+                        };
+                        push_variant(pt, &path, nl, &mut out);
+                    }
+                    JoinAlgo::NestedLoop => {
+                        if let Some(idx) = applicable_join_index(model, pred, right) {
+                            let ij = Pt::EJ {
+                                pred: pred.clone(),
+                                algo: JoinAlgo::IndexJoin(idx),
+                                left: left.clone(),
+                                right: right.clone(),
+                            };
+                            push_variant(pt, &path, ij, &mut out);
+                        }
+                    }
+                }
+            }
+            Pt::Sel { pred, method, input } => match method {
+                AccessMethod::Index(_) => {
+                    let scan = Pt::sel(pred.clone(), input.as_ref().clone());
+                    push_variant(pt, &path, scan, &mut out);
+                }
+                AccessMethod::Scan => {
+                    if let Some(idx) = applicable_sel_index(model, pred, input) {
+                        let isel = Pt::Sel {
+                            pred: pred.clone(),
+                            method: AccessMethod::Index(idx),
+                            input: input.clone(),
+                        };
+                        push_variant(pt, &path, isel, &mut out);
+                    }
+                }
+            },
+            _ => {}
+        }
+    }
+    // Distribution of join over union (§5), as additional moves.
+    out.extend(distribute_join_over_union_action().apply_all(pt));
+    out
+}
+
+fn push_variant(pt: &Pt, path: &[usize], replacement: Pt, out: &mut Vec<Pt>) {
+    let mut variant = pt.clone();
+    if variant.replace_at(path, replacement).is_ok() {
+        out.push(variant);
+    }
+}
+
+fn applicable_sel_index(
+    model: &CostModel<'_>,
+    pred: &Expr,
+    input: &Pt,
+) -> Option<oorq_storage::IndexId> {
+    let Pt::Entity { id, var } = input else { return None };
+    let EntitySource::Class(class) = model.physical.entity(*id).source else {
+        return None;
+    };
+    for c in pred.conjuncts() {
+        if let Expr::Cmp { op: CmpOp::Eq, lhs, rhs } = c {
+            let path = match (lhs.as_ref(), rhs.as_ref()) {
+                (Expr::Path { base, steps }, Expr::Lit(_)) if steps.len() == 1 => {
+                    Some((base, &steps[0]))
+                }
+                (Expr::Lit(_), Expr::Path { base, steps }) if steps.len() == 1 => {
+                    Some((base, &steps[0]))
+                }
+                _ => None,
+            };
+            if let Some((b, attr_name)) = path {
+                if b == var {
+                    if let Some((aid, _)) = model.catalog.attr(class, attr_name) {
+                        if let Some(desc) = model.physical.selection_index(class, aid) {
+                            return Some(desc.id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn applicable_join_index(
+    model: &CostModel<'_>,
+    pred: &Expr,
+    right: &Pt,
+) -> Option<oorq_storage::IndexId> {
+    let Pt::Entity { id, var } = right else { return None };
+    let EntitySource::Class(class) = model.physical.entity(*id).source else {
+        return None;
+    };
+    for c in pred.conjuncts() {
+        if let Expr::Cmp { op: CmpOp::Eq, lhs, rhs } = c {
+            for side in [lhs.as_ref(), rhs.as_ref()] {
+                if let Expr::Path { base, steps } = side {
+                    if base == var && steps.len() == 1 {
+                        if let Some((aid, _)) = model.catalog.attr(class, &steps[0]) {
+                            if let Some(desc) = model.physical.selection_index(class, aid) {
+                                return Some(desc.id);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Run a randomized strategy from a starting plan; returns the best plan
+/// found (never worse than the start).
+pub fn rand_optimize(model: &CostModel<'_>, start: Pt, config: &RandConfig) -> Pt {
+    let Ok(start_cost) = model.cost(&start) else { return start };
+    let mut best = start.clone();
+    let mut best_cost = start_cost.total(&model.params);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    for _ in 0..config.restarts.max(1) {
+        let mut current = best.clone();
+        let mut current_cost = best_cost;
+        let mut temperature = config.initial_temperature;
+        for _ in 0..config.moves_per_walk {
+            let ns = neighbours(model, &current);
+            if ns.is_empty() {
+                break;
+            }
+            let pick = ns[rng.gen_range(0..ns.len())].clone();
+            let Ok(pc) = model.cost(&pick) else { continue };
+            let c = pc.total(&model.params);
+            let accept = match config.kind {
+                RandKind::IterativeImprovement => c < current_cost,
+                RandKind::SimulatedAnnealing => {
+                    c < current_cost
+                        || rng.gen_bool(
+                            (-(c - current_cost) / temperature.max(1e-9))
+                                .exp()
+                                .clamp(0.0, 1.0),
+                        )
+                }
+            };
+            if accept {
+                current = pick;
+                current_cost = c;
+                if c < best_cost {
+                    best = current.clone();
+                    best_cost = c;
+                }
+            }
+            temperature *= 0.9;
+        }
+    }
+    best
+}

@@ -1,0 +1,20 @@
+//! The cost model of §3.2: cost formulas for every PT node over the
+//! physical-schema statistics, combining I/O and CPU time.
+//!
+//! Two layers are provided:
+//! - [`CostModel`] — the general estimator predicting the pipelined
+//!   executor of `oorq-exec` (clustering-, buffer- and index-aware);
+//! - [`paper_mode`] — symbolic cost expressions reproducing Figure 5's
+//!   formula table and the §4.6 simplified model behind Figure 7.
+
+mod error;
+mod model;
+pub mod paper_mode;
+mod params;
+
+pub use error::CostError;
+pub use model::{CostModel, NodeCost, PlanCost};
+pub use params::{Cost, CostParams};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,767 @@
+//! The cost estimator: Figure 5's formulas generalized to arbitrary PTs
+//! over the statistics of §3.2.
+//!
+//! The estimator predicts the behaviour of the pipelined executor in
+//! `oorq-exec`: page I/O of scans, implicit-join dereferences (clustering
+//! aware), path-index probes (`‖C‖ · (nblevels + nbleaves/‖C₁‖)`),
+//! nested-loop rescans (buffer aware), index-join probes, and semi-naive
+//! fixpoints (`Σᵢ cost(Exp(Tᵢ))` with the iteration count bounded by the
+//! chain-depth statistics).
+
+use std::collections::HashMap;
+
+use oorq_query::{CmpOp, Expr};
+use oorq_schema::{AttrId, AttributeKind, Catalog, ClassId, ResolvedType};
+use oorq_storage::{
+    DbStats, EntitySource, IndexKindDesc, PhysicalSchema, WidthModel,
+};
+use oorq_pt::{AccessMethod, JoinAlgo, Pt};
+
+use crate::error::CostError;
+use crate::params::{Cost, CostParams};
+
+/// Per-node cost line of a plan-cost breakdown.
+#[derive(Debug, Clone)]
+pub struct NodeCost {
+    /// Short label of the node (operator + key detail).
+    pub label: String,
+    /// The node's own cost (excluding children).
+    pub cost: Cost,
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Estimated output pages if materialized.
+    pub pages: f64,
+}
+
+/// The cost estimate of a whole plan.
+#[derive(Debug, Clone)]
+pub struct PlanCost {
+    /// Total cost.
+    pub cost: Cost,
+    /// Estimated answer cardinality.
+    pub rows: f64,
+    /// Post-order per-node breakdown.
+    pub breakdown: Vec<NodeCost>,
+}
+
+impl PlanCost {
+    /// Weighted total.
+    pub fn total(&self, params: &CostParams) -> f64 {
+        self.cost.total(params)
+    }
+}
+
+/// Column provenance tracked during estimation.
+#[derive(Debug, Clone)]
+struct ColInfo {
+    ty: ResolvedType,
+    /// True when direct attribute reads on this column cost no I/O (the
+    /// object's page is in hand at that point of the pipeline).
+    resident: bool,
+}
+
+/// Snapshot taken when a fan-out operator (IJ/PIJ) multiplies the row
+/// count: remembers the pre-fanout columns and cardinality so a later
+/// projection back onto those columns can estimate the *existential*
+/// row count (`rows_before * (1 - (1 - sel)^mult)`, independence
+/// assumption) instead of keeping the multiplied one.
+#[derive(Debug, Clone)]
+struct FanoutBase {
+    cols: Vec<String>,
+    rows: f64,
+    mult: f64,
+    sel: f64,
+}
+
+#[derive(Debug, Clone)]
+struct NodeEst {
+    rows: f64,
+    pages: f64,
+    cols: HashMap<String, ColInfo>,
+    cost: Cost,
+    fanout_base: Option<FanoutBase>,
+}
+
+/// The cost model: catalog + physical schema + statistics + parameters.
+pub struct CostModel<'a> {
+    /// Conceptual catalog.
+    pub catalog: &'a Catalog,
+    /// Physical schema (entities, clustering, indexes).
+    pub physical: &'a PhysicalSchema,
+    /// Database statistics.
+    pub stats: &'a DbStats,
+    /// Model parameters.
+    pub params: CostParams,
+    /// Width model for page estimates of intermediate results.
+    pub width: WidthModel,
+    /// Shapes of temporaries (qualified by PT `Temp` names).
+    pub temp_fields: HashMap<String, Vec<(String, ResolvedType)>>,
+    /// Assumed cardinality of temporaries referenced *outside* a `Fix`
+    /// that builds them (e.g. while planning the recursive side of a
+    /// fixpoint in isolation).
+    pub temp_rows_hint: HashMap<String, f64>,
+}
+
+impl<'a> CostModel<'a> {
+    /// New model with default width.
+    pub fn new(
+        catalog: &'a Catalog,
+        physical: &'a PhysicalSchema,
+        stats: &'a DbStats,
+        params: CostParams,
+    ) -> Self {
+        CostModel {
+            catalog,
+            physical,
+            stats,
+            params,
+            width: WidthModel::default(),
+            temp_fields: HashMap::new(),
+            temp_rows_hint: HashMap::new(),
+        }
+    }
+
+    /// Assume a cardinality for a temporary when no fixpoint context
+    /// provides one.
+    pub fn hint_temp_rows(&mut self, name: impl Into<String>, rows: f64) {
+        self.temp_rows_hint.insert(name.into(), rows);
+    }
+
+    /// Register a temporary's shape.
+    pub fn with_temp(
+        mut self,
+        name: impl Into<String>,
+        fields: Vec<(String, ResolvedType)>,
+    ) -> Self {
+        self.temp_fields.insert(name.into(), fields);
+        self
+    }
+
+    /// Estimate the cost of a whole plan.
+    pub fn cost(&self, pt: &Pt) -> Result<PlanCost, CostError> {
+        let mut ctx = EstCtx { model: self, temp_rows: HashMap::new(), breakdown: Vec::new() };
+        let est = ctx.est(pt, true)?;
+        Ok(PlanCost { cost: est.cost, rows: est.rows, breakdown: ctx.breakdown })
+    }
+
+    /// Estimated iteration count for fixpoints: the deepest chain in the
+    /// statistics, or the configured default.
+    pub fn fix_iterations(&self) -> f64 {
+        self.stats
+            .max_chain_depth()
+            .map(|d| (d as f64).max(1.0))
+            .unwrap_or(self.params.default_fix_iterations)
+    }
+
+    fn entity_rows_pages(&self, id: oorq_storage::EntityId) -> (f64, f64) {
+        match self.stats.entity(id) {
+            Some(s) => (s.cardinality as f64, s.pages as f64),
+            None => (0.0, 0.0),
+        }
+    }
+
+    /// Fan-out (average members, discounted by nulls) of an attribute.
+    fn attr_fanout(&self, class: ClassId, attr: AttrId) -> f64 {
+        let Some(&entity) = self.physical.entities_of_class(class).first() else {
+            return 1.0;
+        };
+        match self.stats.entity(entity).and_then(|s| s.attrs.get(attr.0 as usize)) {
+            Some(a) => (a.avg_fanout * (1.0 - a.null_fraction)).max(0.0),
+            None => 1.0,
+        }
+    }
+
+    /// Distinct values of an attribute (for equality selectivity).
+    fn attr_distinct(&self, class: ClassId, attr: AttrId) -> f64 {
+        let Some(&entity) = self.physical.entities_of_class(class).first() else {
+            return 10.0;
+        };
+        match self.stats.entity(entity).and_then(|s| s.attrs.get(attr.0 as usize)) {
+            Some(a) if a.distinct > 0 => a.distinct as f64,
+            _ => 10.0,
+        }
+    }
+
+    fn is_clustered(&self, class: ClassId, attr: AttrId) -> bool {
+        self.physical
+            .entities_of_class(class)
+            .first()
+            .map(|&e| self.physical.entity(e).is_clustered(attr))
+            .unwrap_or(false)
+    }
+}
+
+struct EstCtx<'m, 'a> {
+    model: &'m CostModel<'a>,
+    /// Cardinality assumed for each temporary (set while estimating the
+    /// recursive side of a fixpoint: the delta size).
+    temp_rows: HashMap<String, f64>,
+    breakdown: Vec<NodeCost>,
+}
+
+impl EstCtx<'_, '_> {
+    /// Estimate a node. `charge_scan` is false for leaves accessed
+    /// through an index (their sequential scan is replaced by probes).
+    fn est(&mut self, pt: &Pt, charge_scan: bool) -> Result<NodeEst, CostError> {
+        let m = self.model;
+        let p = &m.params;
+        let est = match pt {
+            Pt::Entity { id, var } => {
+                let (rows, pages) = m.entity_rows_pages(*id);
+                let desc = m.physical.entity(*id);
+                let mut cols = HashMap::new();
+                match &desc.source {
+                    EntitySource::Class(c) => {
+                        cols.insert(
+                            var.clone(),
+                            ColInfo { ty: ResolvedType::Object(*c), resident: true },
+                        );
+                    }
+                    EntitySource::Relation(r) => {
+                        for (n, t) in &m.catalog.relation(*r).fields {
+                            cols.insert(
+                                format!("{var}.{n}"),
+                                ColInfo { ty: t.clone(), resident: false },
+                            );
+                        }
+                    }
+                    EntitySource::Temporary => {
+                        return Err(CostError::TempAsEntity(desc.name.clone()))
+                    }
+                }
+                let io = if charge_scan { pages } else { 0.0 };
+                self.note(format!("scan {}", desc.name), Cost::new(io, 0.0), rows, pages);
+                NodeEst { rows, pages, cols, cost: Cost::new(io, 0.0), fanout_base: None }
+            }
+            Pt::Temp { name, var } => {
+                let fields = m
+                    .temp_fields
+                    .get(name)
+                    .ok_or_else(|| CostError::UnknownTemp(name.clone()))?;
+                let rows = self
+                    .temp_rows
+                    .get(name)
+                    .or_else(|| m.temp_rows_hint.get(name))
+                    .copied()
+                    .unwrap_or(0.0);
+                let types: Vec<ResolvedType> = fields.iter().map(|(_, t)| t.clone()).collect();
+                let pages = m.width.pages_for(rows.ceil() as u64, &types) as f64;
+                let mut cols = HashMap::new();
+                for (n, t) in fields {
+                    cols.insert(format!("{var}.{n}"), ColInfo { ty: t.clone(), resident: false });
+                }
+                let io = if charge_scan { pages } else { 0.0 };
+                self.note(format!("scan temp {name}"), Cost::new(io, 0.0), rows, pages);
+                NodeEst { rows, pages, cols, cost: Cost::new(io, 0.0), fanout_base: None }
+            }
+            Pt::Sel { pred, method, input } => {
+                match method {
+                    AccessMethod::Scan => {
+                        let mut child = self.est(input, true)?;
+                        let (io_row, cpu_row) = self.expr_access_cost(pred, &child.cols);
+                        let sel = self.selectivity(pred, &child.cols);
+                        let own = Cost::new(child.rows * io_row, child.rows * cpu_row);
+                        child.cost += own;
+                        child.rows *= sel;
+                        child.pages = (child.pages * sel).max(child.rows.min(1.0));
+                        if let Some(fb) = &mut child.fanout_base {
+                            fb.sel *= sel;
+                        }
+                        self.note(format!("Sel[{pred}]"), own, child.rows, child.pages);
+                        child
+                    }
+                    AccessMethod::Index(idx) => {
+                        // Index access replaces the scan of the entity leaf.
+                        let mut child = self.est(input, false)?;
+                        let desc = m.physical.index(*idx);
+                        let sel = self.selectivity(pred, &child.cols);
+                        let matches = child.rows * sel;
+                        let probe_io = desc.stats.nblevels as f64
+                            + (matches / 8.0).max(0.0)
+                            + matches; // fetch matched objects' pages
+                        let own = Cost::new(probe_io, matches);
+                        child.cost += own;
+                        child.rows = matches;
+                        child.pages = (child.pages * sel).max(child.rows.min(1.0));
+                        self.note(format!("Sel^idx[{pred}]"), own, child.rows, child.pages);
+                        child
+                    }
+                }
+            }
+            Pt::Proj { cols, input } => {
+                let child = self.est(input, true)?;
+                let mut io_row = 0.0;
+                let mut cpu_row = 0.0;
+                for (_, e) in cols {
+                    let (i, c) = self.expr_access_cost(e, &child.cols);
+                    io_row += i;
+                    cpu_row += c.max(0.1);
+                }
+                let own = Cost::new(child.rows * io_row, child.rows * cpu_row);
+                // Existential dedup: projecting back onto columns that
+                // existed before a fan-out collapses the multiplied rows
+                // (independence assumption over the fanned-out members).
+                let mut out_rows = child.rows;
+                if let Some(fb) = &child.fanout_base {
+                    let mut sources: Vec<String> = Vec::new();
+                    for (_, e) in cols {
+                        for v in e.vars() {
+                            sources.push(v);
+                        }
+                    }
+                    if sources.iter().all(|v| fb.cols.contains(v)) {
+                        let pass = 1.0 - (1.0 - fb.sel.clamp(0.0, 1.0)).powf(fb.mult.max(1.0));
+                        out_rows = out_rows.min(fb.rows * pass.clamp(0.0, 1.0));
+                    }
+                }
+                let mut out_cols = HashMap::new();
+                for (n, e) in cols {
+                    let ty = self.expr_out_type(e, &child.cols);
+                    out_cols.insert(n.clone(), ColInfo { ty, resident: false });
+                }
+                let types: Vec<ResolvedType> =
+                    out_cols.values().map(|c| c.ty.clone()).collect();
+                let pages = m.width.pages_for(out_rows.ceil() as u64, &types) as f64;
+                self.note("Proj".to_string(), own, out_rows, pages);
+                NodeEst { rows: out_rows, pages, cols: out_cols, cost: child.cost + own, fanout_base: None }
+            }
+            Pt::IJ { on, step, out, input, target } => {
+                let child = self.est(input, true)?;
+                let (on_io, on_cpu) = self.expr_access_cost(on, &child.cols);
+                let (fanout, clustered) = match step.class_attr {
+                    Some((c, a)) => (m.attr_fanout(c, a).max(0.0), m.is_clustered(c, a)),
+                    // Oid-valued relation/temporary field: scalar, never
+                    // clustered with the consuming temporary.
+                    None => (1.0, false),
+                };
+                let rows = child.rows * fanout.max(f64::MIN_POSITIVE);
+                let per_deref = if clustered { p.clustered_access } else { 1.0 };
+                let own = Cost::new(
+                    child.rows * on_io + rows * per_deref,
+                    child.rows * on_cpu,
+                );
+                let target_class = match target.as_ref() {
+                    Pt::Entity { id, .. } => match m.physical.entity(*id).source {
+                        EntitySource::Class(c) => Some(c),
+                        _ => None,
+                    },
+                    _ => None,
+                }
+                .or_else(|| {
+                    step.class_attr
+                        .and_then(|(c, a)| m.catalog.attribute(c, a).ty.referenced_class())
+                })
+                .ok_or_else(|| {
+                    CostError::Pt(oorq_pt::PtError::NotAReference(step.name.clone()))
+                })?;
+                let mut cols = child.cols.clone();
+                cols.insert(
+                    out.clone(),
+                    ColInfo { ty: ResolvedType::Object(target_class), resident: true },
+                );
+                let types: Vec<ResolvedType> = cols.values().map(|c| c.ty.clone()).collect();
+                let pages = m.width.pages_for(rows.ceil() as u64, &types) as f64;
+                let fanout_base = Some(match child.fanout_base {
+                    Some(fb) => FanoutBase { mult: fb.mult * fanout.max(1.0), ..fb },
+                    None => FanoutBase {
+                        cols: child.cols.keys().cloned().collect(),
+                        rows: child.rows,
+                        mult: fanout.max(1.0),
+                        sel: 1.0,
+                    },
+                });
+                self.note(format!("IJ_{}", step.name), own, rows, pages);
+                NodeEst { rows, pages, cols, cost: child.cost + own, fanout_base }
+            }
+            Pt::PIJ { index, on, outs, input, .. } => {
+                let child = self.est(input, true)?;
+                let desc = m.physical.index(*index);
+                let IndexKindDesc::Path { path } = desc.kind.clone() else {
+                    return Err(CostError::Pt(oorq_pt::PtError::NotAPathIndex));
+                };
+                let head_class = path[0].0;
+                let head_entity = m
+                    .physical
+                    .entities_of_class(head_class)
+                    .first()
+                    .copied()
+                    .ok_or(CostError::MissingStats)?;
+                let head_card = m
+                    .stats
+                    .entity(head_entity)
+                    .map(|s| s.cardinality as f64)
+                    .unwrap_or(1.0)
+                    .max(1.0);
+                let (on_io, on_cpu) = self.expr_access_cost(on, &child.cols);
+                // Figure 5: ‖C‖ * (nblevels + nbleaves / ‖C₁‖).
+                let probe = desc.stats.nblevels as f64
+                    + desc.stats.nbleaves as f64 / head_card;
+                let mut fan = 1.0;
+                for (c, a) in &path {
+                    fan *= m.attr_fanout(*c, *a).max(f64::MIN_POSITIVE);
+                }
+                let rows = child.rows * fan;
+                let own =
+                    Cost::new(child.rows * (on_io + probe), child.rows * on_cpu);
+                let mut cols = child.cols.clone();
+                for (i, outn) in outs.iter().enumerate() {
+                    let (c, a) = path[i];
+                    let attr = m.catalog.attribute(c, a);
+                    if let Some(tc) = attr.ty.referenced_class() {
+                        cols.insert(
+                            outn.clone(),
+                            // Index-only: the objects' pages are NOT read.
+                            ColInfo { ty: ResolvedType::Object(tc), resident: false },
+                        );
+                    }
+                }
+                let types: Vec<ResolvedType> = cols.values().map(|c| c.ty.clone()).collect();
+                let pages = m.width.pages_for(rows.ceil() as u64, &types) as f64;
+                let fanout_base = Some(match child.fanout_base {
+                    Some(fb) => FanoutBase { mult: fb.mult * fan.max(1.0), ..fb },
+                    None => FanoutBase {
+                        cols: child.cols.keys().cloned().collect(),
+                        rows: child.rows,
+                        mult: fan.max(1.0),
+                        sel: 1.0,
+                    },
+                });
+                self.note(
+                    format!("PIJ_{}", desc.display_name(m.catalog)),
+                    own,
+                    rows,
+                    pages,
+                );
+                NodeEst { rows, pages, cols, cost: child.cost + own, fanout_base }
+            }
+            Pt::EJ { pred, algo, left, right } => {
+                let l = self.est(left, true)?;
+                match algo {
+                    JoinAlgo::NestedLoop => {
+                        let r = self.est(right, true)?;
+                        let mut cols = l.cols.clone();
+                        for (k, v) in &r.cols {
+                            cols.insert(k.clone(), v.clone());
+                        }
+                        let sel = self.selectivity(pred, &cols);
+                        let rows = l.rows * r.rows * sel;
+                        // Inner rescans: free when the inner fits in the
+                        // buffer, a full rescan per outer row otherwise.
+                        let rescan_io = if r.pages <= p.buffer_frames as f64 {
+                            0.0
+                        } else {
+                            (l.rows - 1.0).max(0.0) * r.pages
+                        };
+                        let (pio, pcpu) = self.expr_access_cost(pred, &cols);
+                        let own = Cost::new(
+                            rescan_io + l.rows * r.rows * pio,
+                            l.rows * r.rows * pcpu.max(1.0),
+                        );
+                        let types: Vec<ResolvedType> =
+                            cols.values().map(|c| c.ty.clone()).collect();
+                        let pages = m.width.pages_for(rows.ceil() as u64, &types) as f64;
+                        self.note(format!("EJ[{pred}]"), own, rows, pages);
+                        NodeEst { rows, pages, cols, cost: l.cost + r.cost + own, fanout_base: None }
+                    }
+                    JoinAlgo::IndexJoin(idx) => {
+                        let r = self.est(right, false)?;
+                        let desc = m.physical.index(*idx);
+                        let mut cols = l.cols.clone();
+                        for (k, v) in &r.cols {
+                            cols.insert(k.clone(), v.clone());
+                        }
+                        let sel = self.selectivity(pred, &cols);
+                        let rows = l.rows * r.rows * sel;
+                        let matches_per_probe = (r.rows * sel * l.rows).max(0.0)
+                            / l.rows.max(1.0);
+                        let own = Cost::new(
+                            l.rows * (desc.stats.nblevels as f64 + matches_per_probe),
+                            rows.max(l.rows),
+                        );
+                        let types: Vec<ResolvedType> =
+                            cols.values().map(|c| c.ty.clone()).collect();
+                        let pages = m.width.pages_for(rows.ceil() as u64, &types) as f64;
+                        self.note(format!("EJ^idx[{pred}]"), own, rows, pages);
+                        NodeEst { rows, pages, cols, cost: l.cost + r.cost + own, fanout_base: None }
+                    }
+                }
+            }
+            Pt::Union { left, right } => {
+                let l = self.est(left, true)?;
+                let r = self.est(right, true)?;
+                let rows = l.rows + r.rows;
+                self.note("Union".to_string(), Cost::zero(), rows, l.pages + r.pages);
+                NodeEst {
+                    rows,
+                    pages: l.pages + r.pages,
+                    cols: l.cols,
+                    cost: l.cost + r.cost,
+                    fanout_base: None,
+                }
+            }
+            Pt::Fix { temp, body } => {
+                let Pt::Union { left, right } = body.as_ref() else {
+                    return Err(CostError::Pt(oorq_pt::PtError::FixBodyNotUnion));
+                };
+                let (base, rec) = if left.references_temp(temp) {
+                    (right.as_ref(), left.as_ref())
+                } else {
+                    (left.as_ref(), right.as_ref())
+                };
+                if !rec.references_temp(temp) {
+                    return Err(CostError::NotRecursive(temp.clone()));
+                }
+                let base_est = self.est(base, true)?;
+                let n = m.fix_iterations().max(1.0);
+                let growth = m.stats.avg_chain_depth().unwrap_or(2.0).max(1.0);
+                let total_rows = base_est.rows * growth;
+                let delta = (total_rows / n).max(1.0);
+                // One estimate of the recursive side with the delta as the
+                // temp's cardinality, multiplied by the iteration count
+                // (Figure 5's Σ cost(Exp(Tᵢ)) with Tᵢ ≈ Δ).
+                let saved = self.temp_rows.insert(temp.clone(), delta);
+                let rec_est = self.est(rec, true)?;
+                match saved {
+                    Some(s) => {
+                        self.temp_rows.insert(temp.clone(), s);
+                    }
+                    None => {
+                        self.temp_rows.remove(temp);
+                    }
+                }
+                let iter_cost = Cost::new(
+                    rec_est.cost.io * (n - 1.0).max(1.0),
+                    rec_est.cost.cpu * (n - 1.0).max(1.0),
+                );
+                // Materialization writes of the accumulated temporary.
+                let fields = m
+                    .temp_fields
+                    .get(temp)
+                    .ok_or_else(|| CostError::UnknownTemp(temp.clone()))?;
+                let types: Vec<ResolvedType> = fields.iter().map(|(_, t)| t.clone()).collect();
+                let total_pages = m.width.pages_for(total_rows.ceil() as u64, &types) as f64;
+                let own = iter_cost + Cost::new(total_pages, total_rows); // dedup cpu
+                let mut cols = HashMap::new();
+                for (nf, t) in fields {
+                    cols.insert(nf.clone(), ColInfo { ty: t.clone(), resident: false });
+                }
+                self.note(format!("Fix({temp}) x{n:.0}"), own, total_rows, total_pages);
+                NodeEst {
+                    rows: total_rows,
+                    pages: total_pages,
+                    cols,
+                    cost: base_est.cost + own,
+                    fanout_base: None,
+                }
+            }
+        };
+        Ok(est)
+    }
+
+    fn note(&mut self, label: String, cost: Cost, rows: f64, pages: f64) {
+        self.breakdown.push(NodeCost { label, cost, rows, pages });
+    }
+
+    /// Per-row (io, cpu) cost of evaluating an expression: page fetches
+    /// for dereferences along paths (fanning out over collections),
+    /// method-invocation costs for computed attributes, and one
+    /// evaluation per comparison.
+    fn expr_access_cost(&self, expr: &Expr, cols: &HashMap<String, ColInfo>) -> (f64, f64) {
+        let m = self.model;
+        let mut io = 0.0;
+        let mut cpu = 0.0;
+        match expr {
+            Expr::True | Expr::Lit(_) | Expr::Var(_) => {}
+            Expr::Path { base, steps } => {
+                // Resolve the base column, allowing qualified `var.field`.
+                let (info, rest): (Option<&ColInfo>, &[String]) = if let Some(ci) =
+                    cols.get(base)
+                {
+                    (Some(ci), steps.as_slice())
+                } else if !steps.is_empty() {
+                    let q = format!("{base}.{}", steps[0]);
+                    (cols.get(&q), &steps[1..])
+                } else {
+                    (None, steps.as_slice())
+                };
+                let Some(info) = info else { return (0.0, 0.0) };
+                let mut mult = 1.0f64;
+                let mut in_hand = info.resident;
+                let mut ty = info.ty.clone();
+                for step in rest {
+                    ty = strip(ty);
+                    let ResolvedType::Object(class) = ty else { break };
+                    if !in_hand {
+                        io += mult; // fetch the object's page
+                    }
+                    let Some((aid, attr)) = m.catalog.attr(class, step) else { break };
+                    if let AttributeKind::Computed { eval_cost } = attr.kind {
+                        cpu += mult * eval_cost;
+                    }
+                    if attr.ty.is_collection() {
+                        mult *= m.attr_fanout(class, aid).max(f64::MIN_POSITIVE);
+                    }
+                    ty = attr.ty.clone();
+                    in_hand = false; // referenced objects not yet fetched
+                }
+                cpu += mult * 0.0; // leaf read itself is free; comparison adds cpu
+            }
+            Expr::Cmp { lhs, rhs, .. } => {
+                let (li, lc) = self.expr_access_cost(lhs, cols);
+                let (ri, rc) = self.expr_access_cost(rhs, cols);
+                io += li + ri;
+                cpu += lc + rc + 1.0; // one evaluation per comparison
+            }
+            Expr::And(l, r) | Expr::Or(l, r) | Expr::Add(l, r) => {
+                let (li, lc) = self.expr_access_cost(l, cols);
+                let (ri, rc) = self.expr_access_cost(r, cols);
+                io += li + ri;
+                cpu += lc + rc;
+            }
+            Expr::Not(e) => {
+                let (i, c) = self.expr_access_cost(e, cols);
+                io += i;
+                cpu += c;
+            }
+        }
+        (io, cpu)
+    }
+
+    /// Output type of a projection expression (best effort).
+    fn expr_out_type(&self, expr: &Expr, cols: &HashMap<String, ColInfo>) -> ResolvedType {
+        let env: HashMap<String, ResolvedType> =
+            cols.iter().map(|(k, v)| (k.clone(), v.ty.clone())).collect();
+        oorq_pt::type_of_column_expr(self.model.catalog, expr, &env)
+            .unwrap_or(ResolvedType::Atomic(oorq_schema::AtomicType::Int))
+    }
+
+    /// Selectivity of a predicate.
+    fn selectivity(&self, expr: &Expr, cols: &HashMap<String, ColInfo>) -> f64 {
+        match expr {
+            Expr::True => 1.0,
+            Expr::And(l, r) => self.selectivity(l, cols) * self.selectivity(r, cols),
+            Expr::Or(l, r) => {
+                let a = self.selectivity(l, cols);
+                let b = self.selectivity(r, cols);
+                (a + b - a * b).clamp(0.0, 1.0)
+            }
+            Expr::Not(e) => 1.0 - self.selectivity(e, cols),
+            Expr::Cmp { op, lhs, rhs } => {
+                let dl = self.expr_distinct(lhs, cols);
+                let dr = self.expr_distinct(rhs, cols);
+                match op {
+                    CmpOp::Eq => {
+                        let per_member = match (dl, dr) {
+                            (Some(a), Some(b)) => 1.0 / a.max(b).max(1.0),
+                            (Some(d), None) | (None, Some(d)) => 1.0 / d.max(1.0),
+                            (None, None) => self.model.params.default_selectivity,
+                        };
+                        // Existential semantics: a path fanning out over
+                        // collections succeeds when *any* member matches
+                        // (independence assumption) — keeps the plain
+                        // path-selection estimate consistent with its
+                        // IJ/PIJ-expanded form.
+                        let fan = self.expr_fanout(lhs, cols) * self.expr_fanout(rhs, cols);
+                        if fan > 1.0 {
+                            1.0 - (1.0 - per_member.clamp(0.0, 1.0)).powf(fan)
+                        } else {
+                            per_member
+                        }
+                    }
+                    CmpOp::Ne => match dl.or(dr) {
+                        Some(d) => 1.0 - 1.0 / d.max(1.0),
+                        None => 1.0 - self.model.params.default_selectivity,
+                    },
+                    _ => 1.0 / 3.0,
+                }
+            }
+            _ => self.model.params.default_selectivity,
+        }
+    }
+
+    /// Total collection fan-out of a path expression (product of the
+    /// average member counts of its collection-valued steps); 1.0 for
+    /// non-paths.
+    fn expr_fanout(&self, expr: &Expr, cols: &HashMap<String, ColInfo>) -> f64 {
+        let m = self.model;
+        let Expr::Path { base, steps } = expr else { return 1.0 };
+        let (info, rest): (Option<&ColInfo>, &[String]) = if let Some(ci) = cols.get(base) {
+            (Some(ci), steps.as_slice())
+        } else if !steps.is_empty() {
+            let q = format!("{base}.{}", steps[0]);
+            (cols.get(&q), &steps[1..])
+        } else {
+            (None, steps)
+        };
+        let Some(info) = info else { return 1.0 };
+        let mut ty = strip(info.ty.clone());
+        let mut fan = 1.0f64;
+        for step in rest {
+            let ResolvedType::Object(class) = ty else { break };
+            let Some((aid, attr)) = m.catalog.attr(class, step) else { break };
+            if attr.ty.is_collection() {
+                fan *= self.model.attr_fanout(class, aid).max(1.0);
+            }
+            ty = strip(attr.ty.clone());
+        }
+        fan
+    }
+
+    /// Distinct-value count of an expression when it resolves to an
+    /// attribute or a column; `None` for constants and computed values.
+    fn expr_distinct(&self, expr: &Expr, cols: &HashMap<String, ColInfo>) -> Option<f64> {
+        let m = self.model;
+        match expr {
+            Expr::Var(v) => {
+                let info = cols.get(v)?;
+                match &strip(info.ty.clone()) {
+                    ResolvedType::Object(c) => {
+                        let e = m.physical.entities_of_class(*c).first()?;
+                        Some(m.stats.entity(*e)?.cardinality as f64)
+                    }
+                    _ => None,
+                }
+            }
+            Expr::Path { base, steps } => {
+                let (info, rest): (Option<&ColInfo>, &[String]) = if let Some(ci) =
+                    cols.get(base)
+                {
+                    (Some(ci), steps.as_slice())
+                } else if !steps.is_empty() {
+                    let q = format!("{base}.{}", steps[0]);
+                    (cols.get(&q), &steps[1..])
+                } else {
+                    (None, steps)
+                };
+                let info = info?;
+                let mut ty = strip(info.ty.clone());
+                if rest.is_empty() {
+                    return match ty {
+                        ResolvedType::Object(c) => {
+                            let e = m.physical.entities_of_class(c).first()?;
+                            Some(m.stats.entity(*e)?.cardinality as f64)
+                        }
+                        _ => None,
+                    };
+                }
+                let mut last: Option<f64> = None;
+                for step in rest {
+                    ty = strip(ty);
+                    let ResolvedType::Object(class) = ty else { return last };
+                    let (aid, attr) = m.catalog.attr(class, step)?;
+                    last = Some(m.attr_distinct(class, aid));
+                    ty = attr.ty.clone();
+                }
+                last
+            }
+            _ => None,
+        }
+    }
+}
+
+fn strip(ty: ResolvedType) -> ResolvedType {
+    match ty {
+        ResolvedType::Set(e) | ResolvedType::List(e) => strip(*e),
+        other => other,
+    }
+}

@@ -1,0 +1,258 @@
+//! Symbolic cost expressions reproducing the paper's Figure 5 and the
+//! §4.6 simplified model behind Figure 7.
+//!
+//! Under the §4.6 assumptions — no access structure besides path
+//! indices, sub-objects not clustered, no materialization —
+//!
+//! ```text
+//! access_cost(Ci, P) = |Ci| * pr      eval_cost(Ci, P) = ev
+//! access_cost(Ci)    = |Ci| * pr      nbtuples(Ci, P)  = ‖Ci‖
+//! access_cost(Ci,Cj) = pr             nbpages(Ci, P)   = |Ci|
+//! nbleaves(index)    = lea            nblevels(index)  = lev
+//! ```
+//!
+//! [`Sym`] is a tiny symbolic expression type that prints in the paper's
+//! notation (`|Cpr|*pr + ‖Cpr‖*|Inf_i|*(pr+ev)`) and evaluates under a
+//! parameter environment, so Figure 7's per-node table can be produced
+//! both symbolically and numerically.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A symbolic cost expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sym {
+    /// Numeric constant.
+    Num(f64),
+    /// Named parameter (`pr`, `ev`, `lev`, `lea`, `n1`, `n2`, ...).
+    Par(String),
+    /// `‖X‖`: cardinality of entity X.
+    Card(String),
+    /// `|X|`: pages of entity X.
+    Pages(String),
+    /// Sum.
+    Add(Vec<Sym>),
+    /// Product.
+    Mul(Vec<Sym>),
+}
+
+impl Sym {
+    /// Parameter.
+    pub fn par(name: &str) -> Sym {
+        Sym::Par(name.to_string())
+    }
+    /// Cardinality symbol `‖name‖`.
+    pub fn card(name: &str) -> Sym {
+        Sym::Card(name.to_string())
+    }
+    /// Page-count symbol `|name|`.
+    pub fn pages(name: &str) -> Sym {
+        Sym::Pages(name.to_string())
+    }
+    /// Sum of terms (flattens nested sums).
+    pub fn add(terms: impl IntoIterator<Item = Sym>) -> Sym {
+        let mut out = Vec::new();
+        for t in terms {
+            match t {
+                Sym::Add(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        if out.len() == 1 {
+            out.pop().expect("len checked")
+        } else {
+            Sym::Add(out)
+        }
+    }
+    /// Product of factors (flattens nested products).
+    pub fn mul(factors: impl IntoIterator<Item = Sym>) -> Sym {
+        let mut out = Vec::new();
+        for t in factors {
+            match t {
+                Sym::Mul(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        if out.len() == 1 {
+            out.pop().expect("len checked")
+        } else {
+            Sym::Mul(out)
+        }
+    }
+    /// `pr + ev` — the per-access-and-eval unit used all over Figure 7.
+    pub fn pr_plus_ev() -> Sym {
+        Sym::add([Sym::par("pr"), Sym::par("ev")])
+    }
+
+    /// Evaluate under an environment binding parameters and `|X|`/`‖X‖`
+    /// symbols (keys: parameter names, `|X|`, `||X||`).
+    pub fn eval(&self, env: &HashMap<String, f64>) -> f64 {
+        match self {
+            Sym::Num(v) => *v,
+            Sym::Par(p) => env.get(p).copied().unwrap_or(0.0),
+            Sym::Card(c) => env.get(&format!("||{c}||")).copied().unwrap_or(0.0),
+            Sym::Pages(c) => env.get(&format!("|{c}|")).copied().unwrap_or(0.0),
+            Sym::Add(ts) => ts.iter().map(|t| t.eval(env)).sum(),
+            Sym::Mul(ts) => ts.iter().map(|t| t.eval(env)).product(),
+        }
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sym::Num(v) => {
+                if v.fract() == 0.0 {
+                    write!(f, "{}", *v as i64)
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Sym::Par(p) => write!(f, "{p}"),
+            Sym::Card(c) => write!(f, "||{c}||"),
+            Sym::Pages(c) => write!(f, "|{c}|"),
+            Sym::Add(ts) => {
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                Ok(())
+            }
+            Sym::Mul(ts) => {
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "*")?;
+                    }
+                    match t {
+                        Sym::Add(_) => write!(f, "({t})")?,
+                        _ => write!(f, "{t}")?,
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One row of a Figure 5 / Figure 7 style table.
+#[derive(Debug, Clone)]
+pub struct CostRow {
+    /// Node label (`T1`, `Sel_selpred(C)`, ...).
+    pub node: String,
+    /// Symbolic cost formula.
+    pub formula: Sym,
+}
+
+impl CostRow {
+    /// New row.
+    pub fn new(node: impl Into<String>, formula: Sym) -> Self {
+        CostRow { node: node.into(), formula }
+    }
+}
+
+/// The generic cost formulas of Figure 5, instantiated under the §4.6
+/// simplified assumptions for a generic entity `C` (and inner `Cj` for
+/// joins, path `pathInd` over head class `C1`).
+pub fn fig5_formulas() -> Vec<CostRow> {
+    vec![
+        // Sel_selpred(C) = access_cost(C, selpred) + nbpages * eval
+        CostRow::new(
+            "Sel_selpred(C)",
+            Sym::add([
+                Sym::mul([Sym::pages("C"), Sym::par("pr")]),
+                Sym::mul([Sym::pages("C"), Sym::par("ev")]),
+            ]),
+        ),
+        // EJ_pred(Ci, Cj) = access(Ci) + nbtuples(Ci) * (access(Cj) + nbpages(Cj)*eval)
+        CostRow::new(
+            "EJ_pred(Ci, Cj)",
+            Sym::add([
+                Sym::mul([Sym::pages("Ci"), Sym::par("pr")]),
+                Sym::mul([
+                    Sym::card("Ci"),
+                    Sym::add([
+                        Sym::mul([Sym::pages("Cj"), Sym::par("pr")]),
+                        Sym::mul([Sym::pages("Cj"), Sym::par("ev")]),
+                    ]),
+                ]),
+            ]),
+        ),
+        // IJ_Ai(Ci, Cj) = access(Ci) + ||Ci|| * access(Ci, Cj)
+        CostRow::new(
+            "IJ_Ai(Ci, Cj)",
+            Sym::add([
+                Sym::mul([Sym::pages("Ci"), Sym::par("pr")]),
+                Sym::mul([Sym::card("Ci"), Sym::par("pr")]),
+            ]),
+        ),
+        // PIJ_pathInd(C, C2..Cn) = ||C|| * (nblevels + nbleaves/||C1||)
+        CostRow::new(
+            "PIJ_pathInd(C, C2, ..., Cn)",
+            Sym::mul([
+                Sym::card("C"),
+                Sym::add([
+                    Sym::par("lev"),
+                    Sym::mul([Sym::par("lea"), Sym::par("1/||C1||")]),
+                ]),
+            ]),
+        ),
+        // Fix(T, P) = sum_i cost(Exp(T_i)) — symbolically n * cost(Exp)
+        CostRow::new(
+            "Fix(T, P)",
+            Sym::mul([Sym::par("n"), Sym::par("cost(Exp(T_i))")]),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sym_displays_in_paper_notation() {
+        let t13 = Sym::add([
+            Sym::mul([Sym::pages("Cpr"), Sym::par("pr")]),
+            Sym::mul([Sym::card("Cpr"), Sym::pages("T11"), Sym::pr_plus_ev()]),
+        ]);
+        assert_eq!(t13.to_string(), "|Cpr|*pr + ||Cpr||*|T11|*(pr + ev)");
+    }
+
+    #[test]
+    fn sym_evaluates() {
+        let env: HashMap<String, f64> = [
+            ("pr".to_string(), 1.0),
+            ("ev".to_string(), 1.0),
+            ("|Cpr|".to_string(), 10.0),
+            ("||Cpr||".to_string(), 100.0),
+            ("|T11|".to_string(), 5.0),
+        ]
+        .into_iter()
+        .collect();
+        let t13 = Sym::add([
+            Sym::mul([Sym::pages("Cpr"), Sym::par("pr")]),
+            Sym::mul([Sym::card("Cpr"), Sym::pages("T11"), Sym::pr_plus_ev()]),
+        ]);
+        assert_eq!(t13.eval(&env), 10.0 + 100.0 * 5.0 * 2.0);
+    }
+
+    #[test]
+    fn fig5_table_has_every_operator() {
+        let rows = fig5_formulas();
+        let names: Vec<&str> = rows.iter().map(|r| r.node.as_str()).collect();
+        assert!(names.iter().any(|n| n.starts_with("Sel")));
+        assert!(names.iter().any(|n| n.starts_with("EJ")));
+        assert!(names.iter().any(|n| n.starts_with("IJ")));
+        assert!(names.iter().any(|n| n.starts_with("PIJ")));
+        assert!(names.iter().any(|n| n.starts_with("Fix")));
+    }
+
+    #[test]
+    fn add_mul_flatten_and_simplify_singletons() {
+        let a = Sym::add([Sym::add([Sym::par("a"), Sym::par("b")]), Sym::par("c")]);
+        assert_eq!(a.to_string(), "a + b + c");
+        let m = Sym::mul([Sym::par("x")]);
+        assert_eq!(m, Sym::par("x"));
+    }
+}

@@ -1,0 +1,306 @@
+//! Cost-model tests: each Figure 5 formula exercised on generated data.
+
+use std::rc::Rc;
+
+use oorq_datagen::{MusicConfig, MusicDb};
+use oorq_query::paper::music_catalog;
+use oorq_query::Expr;
+use oorq_pt::Pt;
+use oorq_storage::DbStats;
+
+use crate::*;
+
+fn setup(cfg: MusicConfig) -> (MusicDb, DbStats) {
+    let cat = Rc::new(music_catalog());
+    let m = MusicDb::generate(cat, cfg);
+    let stats = DbStats::collect(&m.db);
+    (m, stats)
+}
+
+fn model<'a>(m: &'a MusicDb, stats: &'a DbStats) -> CostModel<'a> {
+    CostModel::new(m.db.catalog(), m.db.physical(), stats, CostParams::default())
+        .with_temp("Influencer", m.influencer_fields())
+}
+
+#[test]
+fn entity_scan_costs_its_pages() {
+    let (m, stats) = setup(MusicConfig::default());
+    let cm = model(&m, &stats);
+    let e = m.db.physical().entities_of_class(m.composer)[0];
+    let pc = cm.cost(&Pt::entity(e, "x")).unwrap();
+    let s = stats.entity(e).unwrap();
+    assert_eq!(pc.cost.io, s.pages as f64);
+    assert_eq!(pc.rows, s.cardinality as f64);
+    assert_eq!(pc.cost.cpu, 0.0);
+}
+
+#[test]
+fn selection_reduces_cardinality_by_selectivity() {
+    let (m, stats) = setup(MusicConfig { chains: 10, chain_len: 10, ..Default::default() });
+    let cm = model(&m, &stats);
+    let e = m.db.physical().entities_of_class(m.composer)[0];
+    // name is a key: equality selectivity 1/100.
+    let sel = Pt::sel(
+        Expr::path("x", &["name"]).eq(Expr::text("Bach")),
+        Pt::entity(e, "x"),
+    );
+    let pc = cm.cost(&sel).unwrap();
+    assert!((pc.rows - 1.0).abs() < 0.2, "expected ~1 row, got {}", pc.rows);
+    // CPU: one evaluation per scanned row.
+    assert!(pc.cost.cpu >= 100.0);
+}
+
+#[test]
+fn deep_path_predicate_costs_dereferences() {
+    let (m, stats) = setup(MusicConfig::default());
+    let cm = model(&m, &stats);
+    let e = m.db.physical().entities_of_class(m.composer)[0];
+    let cheap = Pt::sel(
+        Expr::path("x", &["name"]).eq(Expr::text("Bach")),
+        Pt::entity(e, "x"),
+    );
+    // The §2.3 expensive selection: works.instruments.name.
+    let expensive = Pt::sel(
+        Expr::path("x", &["works", "instruments", "name"]).eq(Expr::text("harpsichord")),
+        Pt::entity(e, "x"),
+    );
+    let c1 = cm.cost(&cheap).unwrap();
+    let c2 = cm.cost(&expensive).unwrap();
+    assert!(
+        c2.cost.io > c1.cost.io * 2.0,
+        "path predicate must cost far more I/O: {} vs {}",
+        c2.cost.io,
+        c1.cost.io
+    );
+}
+
+#[test]
+fn computed_attribute_charges_method_cost() {
+    let (m, stats) = setup(MusicConfig::default());
+    let cm = model(&m, &stats);
+    let e = m.db.physical().entities_of_class(m.composer)[0];
+    let on_stored = Pt::sel(
+        Expr::path("x", &["birth_year"]).ge(Expr::int(1700)),
+        Pt::entity(e, "x"),
+    );
+    // `age` is computed with eval_cost 2.0 per invocation.
+    let on_method =
+        Pt::sel(Expr::path("x", &["age"]).ge(Expr::int(40)), Pt::entity(e, "x"));
+    let c1 = cm.cost(&on_stored).unwrap();
+    let c2 = cm.cost(&on_method).unwrap();
+    assert!(c2.cost.cpu > c1.cost.cpu, "{} vs {}", c2.cost.cpu, c1.cost.cpu);
+}
+
+#[test]
+fn ij_cost_reflects_clustering() {
+    let cat = Rc::new(music_catalog());
+    let unclustered = MusicDb::generate(
+        Rc::clone(&cat),
+        MusicConfig { clustered: false, ..Default::default() },
+    );
+    let clustered =
+        MusicDb::generate(cat, MusicConfig { clustered: true, ..Default::default() });
+    let su = DbStats::collect(&unclustered.db);
+    let sc = DbStats::collect(&clustered.db);
+    let build = |m: &MusicDb| {
+        let e = m.db.physical().entities_of_class(m.composer)[0];
+        let t = m.db.physical().entities_of_class(m.composition)[0];
+        Pt::IJ {
+            on: Expr::path("x", &["works"]),
+            step: oorq_pt::IjStep::class_attr(m.db.catalog(), m.composer, m.works_attr),
+            out: "w".into(),
+            input: Box::new(Pt::entity(e, "x")),
+            target: Box::new(Pt::entity(t, "wt")),
+        }
+    };
+    let mu = model(&unclustered, &su);
+    let mc = model(&clustered, &sc);
+    let cu = mu.cost(&build(&unclustered)).unwrap();
+    let cc = mc.cost(&build(&clustered)).unwrap();
+    assert!(
+        cc.cost.io < cu.cost.io,
+        "clustered IJ must be cheaper: {} vs {}",
+        cc.cost.io,
+        cu.cost.io
+    );
+    // Cardinality: composers * works fan-out either way.
+    assert!((cu.rows - cc.rows).abs() < 1e-6);
+    assert!((cu.rows - (unclustered.composer_count() as f64 * 3.0)).abs() < 1.0);
+}
+
+#[test]
+fn pij_probe_follows_figure5_formula() {
+    let (mut m, _) = setup(MusicConfig::default());
+    // Register a works.instruments path index descriptor.
+    let composer = m.composer;
+    let composition = m.composition;
+    let idx = m.db.physical_mut().add_index(
+        oorq_storage::IndexKindDesc::Path {
+            path: vec![(composer, m.works_attr), (composition, m.instruments_attr)],
+        },
+        oorq_storage::IndexStats { nblevels: 3, nbleaves: 40 },
+    );
+    let stats = DbStats::collect(&m.db);
+    let cm = model(&m, &stats);
+    let e = m.db.physical().entities_of_class(composer)[0];
+    let ce = m.db.physical().entities_of_class(composition)[0];
+    let ie = m.db.physical().entities_of_class(m.instrument)[0];
+    let pij = Pt::PIJ {
+        index: idx,
+        on: Expr::var("x"),
+        outs: vec!["w".into(), "ins".into()],
+        input: Box::new(Pt::entity(e, "x")),
+        targets: vec![Pt::entity(ce, "ct"), Pt::entity(ie, "it")],
+    };
+    let pc = cm.cost(&pij).unwrap();
+    let n = m.composer_count() as f64;
+    let scan = stats.entity(e).unwrap().pages as f64;
+    let expected = scan + n * (3.0 + 40.0 / n);
+    assert!(
+        (pc.cost.io - expected).abs() < 1e-6,
+        "Figure 5 PIJ formula: got {}, want {}",
+        pc.cost.io,
+        expected
+    );
+    // Output: composers * works * instruments fan-outs.
+    assert!((pc.rows - n * 3.0 * 2.0).abs() < 1.0);
+}
+
+#[test]
+fn nested_loop_rescans_depend_on_buffer() {
+    let (m, stats) = setup(MusicConfig { chains: 10, chain_len: 10, ..Default::default() });
+    let e = m.db.physical().entities_of_class(m.composer)[0];
+    let join = Pt::ej(
+        Expr::path("l", &["master"]).eq(Expr::var("r")),
+        Pt::entity(e, "l"),
+        Pt::entity(e, "r"),
+    );
+    let small = CostParams { buffer_frames: 0, ..CostParams::default() };
+    let large = CostParams { buffer_frames: 10_000, ..CostParams::default() };
+    let cm_small = CostModel::new(m.db.catalog(), m.db.physical(), &stats, small);
+    let cm_large = CostModel::new(m.db.catalog(), m.db.physical(), &stats, large);
+    let c_small = cm_small.cost(&join).unwrap();
+    let c_large = cm_large.cost(&join).unwrap();
+    assert!(
+        c_small.cost.io > c_large.cost.io * 10.0,
+        "tiny buffer must force rescans: {} vs {}",
+        c_small.cost.io,
+        c_large.cost.io
+    );
+}
+
+#[test]
+fn fix_cost_scales_with_chain_depth() {
+    let shallow = setup(MusicConfig { chains: 16, chain_len: 2, ..Default::default() });
+    let deep = setup(MusicConfig { chains: 2, chain_len: 16, ..Default::default() });
+    let fix_plan = |m: &MusicDb| {
+        let e = m.db.physical().entities_of_class(m.composer)[0];
+        let base = Pt::proj(
+            vec![
+                ("master".into(), Expr::path("x", &["master"])),
+                ("disciple".into(), Expr::var("x")),
+                ("gen".into(), Expr::int(1)),
+            ],
+            Pt::sel(
+                Expr::path("x", &["master"]).ne(Expr::Lit(oorq_query::Literal::Null)),
+                Pt::entity(e, "x"),
+            ),
+        );
+        let rec = Pt::proj(
+            vec![
+                ("master".into(), Expr::var("i.master")),
+                ("disciple".into(), Expr::var("x")),
+                ("gen".into(), Expr::var("i.gen").add(Expr::int(1))),
+            ],
+            Pt::ej(
+                Expr::var("i.disciple").eq(Expr::path("x", &["master"])),
+                Pt::temp("Influencer", "i"),
+                Pt::entity(e, "x"),
+            ),
+        );
+        Pt::fix("Influencer", Pt::union(base, rec))
+    };
+    let cm_s = model(&shallow.0, &shallow.1);
+    let cm_d = model(&deep.0, &deep.1);
+    assert_eq!(cm_s.fix_iterations(), 1.0);
+    assert_eq!(cm_d.fix_iterations(), 15.0);
+    let cs = cm_s.cost(&fix_plan(&shallow.0)).unwrap();
+    let cd = cm_d.cost(&fix_plan(&deep.0)).unwrap();
+    // Same number of composers, but the deep DB iterates far more.
+    assert!(
+        cd.cost.io + cd.cost.cpu > 2.0 * (cs.cost.io + cs.cost.cpu),
+        "deep: {:?} shallow: {:?}",
+        cd.cost,
+        cs.cost
+    );
+    // TC of chains: shallow = 16 pairs; deep = 2 * (15*16/2) = 240 pairs.
+    assert!(cd.rows > cs.rows);
+}
+
+#[test]
+fn fix_requires_recursive_union() {
+    let (m, stats) = setup(MusicConfig::default());
+    let cm = model(&m, &stats);
+    let e = m.db.physical().entities_of_class(m.composer)[0];
+    let bad = Pt::fix("Influencer", Pt::entity(e, "x"));
+    assert!(matches!(cm.cost(&bad), Err(CostError::Pt(_))));
+    let not_rec = Pt::fix(
+        "Influencer",
+        Pt::union(Pt::entity(e, "x"), Pt::entity(e, "y")),
+    );
+    assert!(matches!(cm.cost(&not_rec), Err(CostError::NotRecursive(_))));
+}
+
+#[test]
+fn unknown_temp_is_reported() {
+    let (m, stats) = setup(MusicConfig::default());
+    let cm = CostModel::new(m.db.catalog(), m.db.physical(), &stats, CostParams::default());
+    let pt = Pt::temp("Nope", "n");
+    assert_eq!(cm.cost(&pt).unwrap_err(), CostError::UnknownTemp("Nope".into()));
+}
+
+#[test]
+fn breakdown_covers_every_node() {
+    let (m, stats) = setup(MusicConfig::default());
+    let cm = model(&m, &stats);
+    let e = m.db.physical().entities_of_class(m.composer)[0];
+    let plan = Pt::sel(
+        Expr::path("x", &["name"]).eq(Expr::text("Bach")),
+        Pt::entity(e, "x"),
+    );
+    let pc = cm.cost(&plan).unwrap();
+    assert_eq!(pc.breakdown.len(), 2);
+    assert!(pc.breakdown[0].label.starts_with("scan"));
+    assert!(pc.breakdown[1].label.starts_with("Sel"));
+    // Totals are weighted consistently.
+    let params = CostParams::default();
+    assert!(pc.total(&params) > 0.0);
+}
+
+#[test]
+fn index_selection_beats_scan_for_selective_predicates() {
+    let (mut m, _) = setup(MusicConfig { chains: 30, chain_len: 10, ..Default::default() });
+    let idx = m.db.physical_mut().add_index(
+        oorq_storage::IndexKindDesc::Selection { class: m.composer, attr: m.name_attr },
+        oorq_storage::IndexStats { nblevels: 2, nbleaves: 20 },
+    );
+    let stats = DbStats::collect(&m.db);
+    let cm = model(&m, &stats);
+    let e = m.db.physical().entities_of_class(m.composer)[0];
+    let pred = Expr::path("x", &["name"]).eq(Expr::text("Bach"));
+    let scan = Pt::sel(pred.clone(), Pt::entity(e, "x"));
+    let indexed = Pt::Sel {
+        pred,
+        method: oorq_pt::AccessMethod::Index(idx),
+        input: Box::new(Pt::entity(e, "x")),
+    };
+    let c_scan = cm.cost(&scan).unwrap();
+    let c_idx = cm.cost(&indexed).unwrap();
+    let p = CostParams::default();
+    assert!(
+        c_idx.total(&p) < c_scan.total(&p),
+        "index probe must beat a 300-composer scan: {} vs {}",
+        c_idx.total(&p),
+        c_scan.total(&p)
+    );
+}

@@ -1,0 +1,229 @@
+//! Synthetic join-chain databases for optimizer-scaling experiments.
+//!
+//! A schema of `k` stored relations `R0..R(k-1)`, each `[a: int, b:
+//! int]`, joined pairwise `Ri.b = R(i+1).a` — the classic workload for
+//! comparing join-enumeration strategies (exhaustive vs DP vs greedy vs
+//! randomized), as in \[IC90\] and \[KZ88\].
+
+use std::rc::Rc;
+
+use oorq_query::{Expr, NameRef, QArc, QueryGraph, SpjNode};
+use oorq_schema::{Catalog, Field, RelationDef, SchemaBuilder, TypeExpr};
+use oorq_storage::{Database, StorageConfig, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the chain generator.
+#[derive(Debug, Clone)]
+pub struct ChainConfig {
+    /// Number of relations in the chain.
+    pub relations: usize,
+    /// Rows per relation.
+    pub rows: u32,
+    /// Domain of the join columns (smaller domain = larger joins).
+    pub domain: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        ChainConfig { relations: 4, rows: 200, domain: 50, seed: 11 }
+    }
+}
+
+/// A generated chain database.
+pub struct ChainDb {
+    /// The store.
+    pub db: Database,
+    /// Relation names, in chain order.
+    pub names: Vec<String>,
+    /// The configuration used.
+    pub config: ChainConfig,
+}
+
+/// Like [`ChainDb::generate`] but with *skewed* relation sizes
+/// (`rows * 2^i` rows in relation `Ri`), so join order genuinely
+/// matters and greedy/exhaustive strategies can diverge.
+pub fn generate_skewed(config: ChainConfig) -> ChainDb {
+    let catalog = Rc::new(chain_catalog(config.relations));
+    let mut db = Database::new(Rc::clone(&catalog), StorageConfig::default());
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut names = Vec::new();
+    for i in 0..config.relations {
+        let name = format!("R{i}");
+        let rel = catalog.relation_by_name(&name).expect("just built");
+        let rows = config.rows << i.min(6);
+        for _ in 0..rows {
+            let a = rng.gen_range(0..config.domain);
+            let b = rng.gen_range(0..config.domain);
+            db.insert_row(rel, vec![Value::Int(a), Value::Int(b)]).expect("insert");
+        }
+        names.push(name);
+    }
+    ChainDb { db, names, config }
+}
+
+/// Build the chain catalog for `k` relations.
+pub fn chain_catalog(k: usize) -> Catalog {
+    let mut b = SchemaBuilder::new();
+    for i in 0..k {
+        b = b.relation(RelationDef::new(
+            format!("R{i}"),
+            TypeExpr::Tuple(vec![
+                Field::new("a", TypeExpr::int()),
+                Field::new("b", TypeExpr::int()),
+            ]),
+        ));
+    }
+    b.build().expect("chain schema must validate")
+}
+
+impl ChainDb {
+    /// Generate a chain database.
+    pub fn generate(config: ChainConfig) -> Self {
+        let catalog = Rc::new(chain_catalog(config.relations));
+        let mut db = Database::new(Rc::clone(&catalog), StorageConfig::default());
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut names = Vec::new();
+        for i in 0..config.relations {
+            let name = format!("R{i}");
+            let rel = catalog.relation_by_name(&name).expect("just built");
+            for _ in 0..config.rows {
+                let a = rng.gen_range(0..config.domain);
+                let b = rng.gen_range(0..config.domain);
+                db.insert_row(rel, vec![Value::Int(a), Value::Int(b)]).expect("insert");
+            }
+            names.push(name);
+        }
+        ChainDb { db, names, config }
+    }
+
+    /// The k-way chain-join query:
+    /// `select R0.a, R(k-1).b where Ri.b = R(i+1).a, R0.a < limit`.
+    pub fn chain_query(&self, limit: i64) -> QueryGraph {
+        let catalog = self.db.catalog();
+        let k = self.config.relations;
+        let mut inputs = Vec::new();
+        for i in 0..k {
+            let rel = catalog.relation_by_name(&format!("R{i}")).expect("chain schema");
+            inputs.push(QArc::new(NameRef::Relation(rel), format!("r{i}")));
+        }
+        let mut pred = Expr::path("r0", &["a"]).lt(Expr::int(limit));
+        for i in 0..k - 1 {
+            pred = pred.and(
+                Expr::path(format!("r{i}"), &["b"])
+                    .eq(Expr::path(format!("r{}", i + 1), &["a"])),
+            );
+        }
+        let mut q = QueryGraph::new(NameRef::Derived("Answer".into()));
+        q.add_spj(
+            NameRef::Derived("Answer".into()),
+            SpjNode {
+                inputs,
+                pred,
+                out_proj: vec![
+                    ("first".into(), Expr::path("r0", &["a"])),
+                    ("last".into(), Expr::path(format!("r{}", k - 1), &["b"])),
+                ],
+            },
+        );
+        q
+    }
+}
+
+impl ChainDb {
+    /// The chain-join query with the selective bound on the *last*
+    /// relation: a syntactic (query-order) translator joins the
+    /// unfiltered head relations first and drags huge intermediates down
+    /// the chain, while a cost-based optimizer starts from the filtered
+    /// tail.
+    pub fn selective_tail_query(&self, limit: i64) -> QueryGraph {
+        let catalog = self.db.catalog();
+        let k = self.config.relations;
+        let mut inputs = Vec::new();
+        for i in 0..k {
+            let rel = catalog.relation_by_name(&format!("R{i}")).expect("chain schema");
+            inputs.push(QArc::new(NameRef::Relation(rel), format!("r{i}")));
+        }
+        let mut pred = Expr::path(format!("r{}", k - 1), &["b"]).lt(Expr::int(limit));
+        for i in 0..k - 1 {
+            pred = pred.and(
+                Expr::path(format!("r{i}"), &["b"])
+                    .eq(Expr::path(format!("r{}", i + 1), &["a"])),
+            );
+        }
+        let mut q = QueryGraph::new(NameRef::Derived("Answer".into()));
+        q.add_spj(
+            NameRef::Derived("Answer".into()),
+            SpjNode {
+                inputs,
+                pred,
+                out_proj: vec![("first".into(), Expr::path("r0", &["a"]))],
+            },
+        );
+        q
+    }
+
+    /// A star query: `R0` joins every other relation on `R0.a = Ri.a`,
+    /// with a bound on `R0.b`. Join order matters here (the satellites
+    /// have different sizes under [`generate_skewed`]).
+    pub fn star_query(&self, limit: i64) -> QueryGraph {
+        let catalog = self.db.catalog();
+        let k = self.config.relations;
+        // Satellites listed largest-first, so a non-optimizing
+        // (syntactic) translator joins the big ones early.
+        let mut order: Vec<usize> = (1..k).rev().collect();
+        order.insert(0, 0);
+        let mut inputs = Vec::new();
+        for i in order {
+            let rel = catalog.relation_by_name(&format!("R{i}")).expect("chain schema");
+            inputs.push(QArc::new(NameRef::Relation(rel), format!("r{i}")));
+        }
+        // The selective bound sits on the *last-listed* (smallest)
+        // satellite: an optimizer joins it first, a syntactic translator
+        // leaves it for the end.
+        let mut pred = Expr::path("r1", &["b"]).lt(Expr::int(limit));
+        for i in 1..k {
+            pred = pred.and(
+                Expr::path("r0", &["a"]).eq(Expr::path(format!("r{i}"), &["a"])),
+            );
+        }
+        let mut q = QueryGraph::new(NameRef::Derived("Answer".into()));
+        q.add_spj(
+            NameRef::Derived("Answer".into()),
+            SpjNode {
+                inputs,
+                pred,
+                out_proj: vec![("hub".into(), Expr::path("r0", &["a"]))],
+            },
+        );
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewed_star_generates_and_validates() {
+        let c = generate_skewed(ChainConfig { relations: 3, rows: 10, ..Default::default() });
+        let q = c.star_query(5);
+        q.validate(c.db.catalog()).unwrap();
+        let r2 = c.db.catalog().relation_by_name("R2").unwrap();
+        let e = c.db.physical().entities_of_relation(r2)[0];
+        assert_eq!(c.db.entity_len(e), 40, "skew doubles each relation");
+    }
+
+    #[test]
+    fn chain_db_generates_and_query_validates() {
+        let c = ChainDb::generate(ChainConfig { relations: 3, rows: 20, ..Default::default() });
+        assert_eq!(c.names.len(), 3);
+        let q = c.chain_query(10);
+        q.validate(c.db.catalog()).unwrap();
+        let rel = c.db.catalog().relation_by_name("R1").unwrap();
+        let e = c.db.physical().entities_of_relation(rel)[0];
+        assert_eq!(c.db.entity_len(e), 20);
+    }
+}

@@ -1,0 +1,19 @@
+//! Deterministic synthetic data generators for the paper's workloads:
+//! the Figure 1 music schema (master chains, nested works/instruments)
+//! and an engineering parts hierarchy (the \[CS90\] motivation).
+//!
+//! Every generator is seeded and parameterizes exactly the statistics
+//! the cost-controlled optimizer's decisions depend on: chain depth
+//! (fixpoint iterations), fan-outs (path-expression cost), selectivities
+//! and physical placement (clustering).
+
+pub mod chain;
+pub mod music;
+pub mod parts;
+
+pub use chain::{chain_catalog, generate_skewed, ChainConfig, ChainDb};
+pub use music::{MusicConfig, MusicDb};
+pub use parts::{parts_catalog, PartsConfig, PartsDb};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,504 @@
+//! The PT interpreter: a bottom-up, operand-order executor with honest
+//! page-I/O accounting through the store's buffer manager.
+
+use std::collections::{HashMap, HashSet};
+
+use oorq_index::IndexSet;
+use oorq_query::{CmpOp, Expr};
+use oorq_schema::ResolvedType;
+use oorq_storage::{Database, EntityId, EntitySource, IoStats, Oid, Value};
+use oorq_pt::{AccessMethod, JoinAlgo, Pt, PtEnv};
+
+use crate::error::ExecError;
+use crate::eval::{Batch, Counters, EvalCtx};
+use crate::methods::MethodRegistry;
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Safety bound on semi-naive iterations.
+    pub max_fix_iterations: u32,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { max_fix_iterations: 10_000 }
+    }
+}
+
+/// A report of the resources one execution consumed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecReport {
+    /// Page I/O accumulated by the store.
+    pub io: IoStats,
+    /// Predicate evaluations performed.
+    pub evals: u64,
+    /// Method invocations performed.
+    pub method_calls: u64,
+}
+
+impl ExecReport {
+    /// Weighted total comparable with the cost model's units.
+    pub fn total(&self, pr: f64, ev: f64) -> f64 {
+        (self.io.page_reads + self.io.index_reads + self.io.page_writes) as f64 * pr
+            + self.evals as f64 * ev
+    }
+}
+
+/// The PT executor.
+pub struct Executor<'a> {
+    db: &'a mut Database,
+    indexes: &'a IndexSet,
+    methods: &'a MethodRegistry,
+    counters: Counters,
+    config: ExecConfig,
+    /// Per-temporary: (accumulator entity, delta entity).
+    temps: HashMap<String, (EntityId, EntityId)>,
+    /// Column names (unqualified) of each temporary.
+    temp_cols: HashMap<String, Vec<String>>,
+    /// Field shapes of temporaries (for `PtEnv` typing).
+    temp_fields: HashMap<String, Vec<(String, ResolvedType)>>,
+    /// Temporaries currently bound to their delta (inside a fixpoint
+    /// iteration).
+    delta_active: HashSet<String>,
+}
+
+impl<'a> Executor<'a> {
+    /// New executor over a store, built indexes and method registry.
+    pub fn new(db: &'a mut Database, indexes: &'a IndexSet, methods: &'a MethodRegistry) -> Self {
+        Executor {
+            db,
+            indexes,
+            methods,
+            counters: Counters::default(),
+            config: ExecConfig::default(),
+            temps: HashMap::new(),
+            temp_cols: HashMap::new(),
+            temp_fields: HashMap::new(),
+            delta_active: HashSet::new(),
+        }
+    }
+
+    /// Override the configuration.
+    pub fn with_config(mut self, config: ExecConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Reset I/O and CPU counters (e.g. after a warm-up run).
+    pub fn reset_counters(&mut self) {
+        self.db.reset_io();
+        self.counters = Counters::default();
+    }
+
+    /// The resources consumed so far.
+    pub fn report(&self) -> ExecReport {
+        ExecReport {
+            io: self.db.io_stats(),
+            evals: self.counters.evals.get(),
+            method_calls: self.counters.method_calls.get(),
+        }
+    }
+
+    /// Execute a plan and return its (deduplicated) answer.
+    pub fn run(&mut self, pt: &Pt) -> Result<Batch, ExecError> {
+        let mut out = self.exec(pt)?;
+        out.dedup();
+        Ok(out)
+    }
+
+    fn ctx(&self) -> EvalCtx<'_> {
+        EvalCtx { db: self.db, methods: self.methods, counters: &self.counters, account_io: true }
+    }
+
+    fn exec(&mut self, pt: &Pt) -> Result<Batch, ExecError> {
+        match pt {
+            Pt::Entity { id, var } => self.scan_entity(*id, var),
+            Pt::Temp { name, var } => {
+                let (acc, delta) = *self
+                    .temps
+                    .get(name)
+                    .ok_or_else(|| ExecError::BadFixpoint(format!("temp `{name}` not built")))?;
+                let entity = if self.delta_active.contains(name) { delta } else { acc };
+                let fields = self.temp_cols.get(name).cloned().unwrap_or_default();
+                let cols: Vec<String> = fields.iter().map(|f| format!("{var}.{f}")).collect();
+                let rows = self.db.scan(entity).into_iter().map(|r| r.values).collect();
+                Ok(Batch { cols, rows })
+            }
+            Pt::Sel { pred, method, input } => match method {
+                AccessMethod::Scan => {
+                    let batch = self.exec(input)?;
+                    self.filter(batch, pred)
+                }
+                AccessMethod::Index(idx) => self.indexed_select(*idx, pred, input),
+            },
+            Pt::Proj { cols, input } => {
+                let batch = self.exec(input)?;
+                let ctx = self.ctx();
+                let mut out = Batch::new(cols.iter().map(|(n, _)| n.clone()).collect());
+                for row in &batch.rows {
+                    let mut new_row = Vec::with_capacity(cols.len());
+                    for (_, e) in cols {
+                        new_row.push(ctx.eval(e, &batch.cols, row)?);
+                    }
+                    out.rows.push(new_row);
+                }
+                out.dedup();
+                Ok(out)
+            }
+            Pt::IJ { on, out, input, .. } => {
+                let batch = self.exec(input)?;
+                let ctx = self.ctx();
+                let mut cols = batch.cols.clone();
+                cols.push(out.clone());
+                let mut result = Batch::new(cols);
+                for row in &batch.rows {
+                    for m in ctx.eval_members(on, &batch.cols, row)? {
+                        if let Value::Oid(o) = m {
+                            // Touch the sub-object's page: the implicit
+                            // join is what pays the dereference.
+                            let _ = ctx.db.read_object(o)?;
+                            let mut r = row.clone();
+                            r.push(Value::Oid(o));
+                            result.rows.push(r);
+                        }
+                    }
+                }
+                Ok(result)
+            }
+            Pt::PIJ { index, on, outs, input, .. } => {
+                let pix = self.indexes.path(*index).ok_or(ExecError::MissingIndex)?;
+                let batch = self.exec(input)?;
+                let ctx = self.ctx();
+                let mut cols = batch.cols.clone();
+                cols.extend(outs.iter().cloned());
+                let mut result = Batch::new(cols);
+                for row in &batch.rows {
+                    for m in ctx.eval_members(on, &batch.cols, row)? {
+                        let Value::Oid(head) = m else { continue };
+                        for tail in pix.probe(ctx.db, head) {
+                            if tail.len() < outs.len() {
+                                continue;
+                            }
+                            let mut r = row.clone();
+                            for o in tail.iter().take(outs.len()) {
+                                r.push(Value::Oid(*o));
+                            }
+                            result.rows.push(r);
+                        }
+                    }
+                }
+                Ok(result)
+            }
+            Pt::EJ { pred, algo, left, right } => match algo {
+                JoinAlgo::NestedLoop => self.nested_loop(pred, left, right),
+                JoinAlgo::IndexJoin(idx) => self.index_join(*idx, pred, left, right),
+            },
+            Pt::Union { left, right } => {
+                let l = self.exec(left)?;
+                let r = self.exec(right)?;
+                let r = l.aligned(r)?;
+                let mut out = l;
+                out.rows.extend(r.rows);
+                Ok(out)
+            }
+            Pt::Fix { temp, body } => self.fixpoint(temp, body),
+        }
+    }
+
+    fn scan_entity(&mut self, id: EntityId, var: &str) -> Result<Batch, ExecError> {
+        let desc = self.db.physical().entity(id).clone();
+        match desc.source {
+            EntitySource::Class(c) => {
+                let mut out = Batch::new(vec![var.to_string()]);
+                for row in self.db.scan(id) {
+                    out.rows.push(vec![Value::Oid(Oid::new(c, row.key))]);
+                }
+                Ok(out)
+            }
+            EntitySource::Relation(r) => {
+                let fields = self.db.catalog().relation(r).fields.clone();
+                let cols = fields.iter().map(|(n, _)| format!("{var}.{n}")).collect();
+                let mut out = Batch::new(cols);
+                for row in self.db.scan(id) {
+                    out.rows.push(row.values);
+                }
+                Ok(out)
+            }
+            EntitySource::Temporary => {
+                Err(ExecError::BadFixpoint(format!("temporary `{}` used as entity", desc.name)))
+            }
+        }
+    }
+
+    fn filter(&self, mut batch: Batch, pred: &Expr) -> Result<Batch, ExecError> {
+        let ctx = self.ctx();
+        let cols = batch.cols.clone();
+        let mut kept = Vec::new();
+        for row in batch.rows.drain(..) {
+            if ctx.truthy(pred, &cols, &row)? {
+                kept.push(row);
+            }
+        }
+        batch.rows = kept;
+        Ok(batch)
+    }
+
+    /// Selection through a selection index: extract an `attr = literal`
+    /// conjunct matching the index, probe, then apply the full predicate
+    /// as a residual filter. Falls back to a scan when the predicate has
+    /// no usable conjunct.
+    fn indexed_select(
+        &mut self,
+        idx: oorq_storage::IndexId,
+        pred: &Expr,
+        input: &Pt,
+    ) -> Result<Batch, ExecError> {
+        let Some(six) = self.indexes.selection(idx) else {
+            return Err(ExecError::MissingIndex);
+        };
+        let Pt::Entity { id, var } = input else {
+            let batch = self.exec(input)?;
+            return self.filter(batch, pred);
+        };
+        let desc = self.db.physical().entity(*id).clone();
+        let EntitySource::Class(class) = desc.source else {
+            let batch = self.exec(input)?;
+            return self.filter(batch, pred);
+        };
+        let attr_name = self.db.catalog().attribute(six.class, six.attr).name.clone();
+        // Find `var.attr = literal` among the conjuncts.
+        let mut key: Option<Value> = None;
+        for c in pred.conjuncts() {
+            if let Expr::Cmp { op: CmpOp::Eq, lhs, rhs } = c {
+                let (path, lit) = match (lhs.as_ref(), rhs.as_ref()) {
+                    (Expr::Path { base, steps }, Expr::Lit(l)) => ((base, steps), l),
+                    (Expr::Lit(l), Expr::Path { base, steps }) => ((base, steps), l),
+                    _ => continue,
+                };
+                if path.0 == var && path.1.len() == 1 && path.1[0] == attr_name {
+                    key = Some(crate::eval::lit_value(lit));
+                    break;
+                }
+            }
+        }
+        let Some(key) = key else {
+            let batch = self.exec(input)?;
+            return self.filter(batch, pred);
+        };
+        let oids = six.probe(self.db, &key);
+        let mut batch = Batch::new(vec![var.to_string()]);
+        for o in oids {
+            if o.class == class {
+                // Fetch the object's page (the probe yields only oids).
+                let _ = self.db.read_object(o)?;
+                batch.rows.push(vec![Value::Oid(o)]);
+            }
+        }
+        self.filter(batch, pred)
+    }
+
+    /// True when re-executing the subtree per outer row is the honest
+    /// nested-loop behaviour (leaf-ish inners). Complex inners are
+    /// materialized once.
+    fn rescannable(pt: &Pt) -> bool {
+        match pt {
+            Pt::Entity { .. } | Pt::Temp { .. } => true,
+            Pt::Sel { input, method: AccessMethod::Scan, .. } | Pt::Proj { input, .. } => {
+                Self::rescannable(input)
+            }
+            _ => false,
+        }
+    }
+
+    fn nested_loop(&mut self, pred: &Expr, left: &Pt, right: &Pt) -> Result<Batch, ExecError> {
+        let l = self.exec(left)?;
+        let mut out: Option<Batch> = None;
+        if Self::rescannable(right) {
+            // Honest nested loop: rescan the leaf-ish inner through the
+            // buffer manager for every outer row.
+            for lrow in &l.rows {
+                let r = self.exec(right)?;
+                let ctx = self.ctx();
+                let out_batch = out.get_or_insert_with(|| {
+                    let mut cols = l.cols.clone();
+                    cols.extend(r.cols.iter().cloned());
+                    Batch::new(cols)
+                });
+                for rrow in &r.rows {
+                    let mut combined = lrow.clone();
+                    combined.extend(rrow.iter().cloned());
+                    if ctx.truthy(pred, &out_batch.cols, &combined)? {
+                        out_batch.rows.push(combined);
+                    }
+                }
+            }
+        } else {
+            // Complex inner: materialize once.
+            let r = self.exec(right)?;
+            let mut cols = l.cols.clone();
+            cols.extend(r.cols.iter().cloned());
+            let mut out_batch = Batch::new(cols);
+            let ctx = self.ctx();
+            for lrow in &l.rows {
+                for rrow in &r.rows {
+                    let mut combined = lrow.clone();
+                    combined.extend(rrow.iter().cloned());
+                    if ctx.truthy(pred, &out_batch.cols, &combined)? {
+                        out_batch.rows.push(combined);
+                    }
+                }
+            }
+            out = Some(out_batch);
+        }
+        Ok(out.unwrap_or_else(|| Batch::new(l.cols.clone())))
+    }
+
+    fn index_join(
+        &mut self,
+        idx: oorq_storage::IndexId,
+        pred: &Expr,
+        left: &Pt,
+        right: &Pt,
+    ) -> Result<Batch, ExecError> {
+        let Some(six) = self.indexes.selection(idx) else {
+            return Err(ExecError::MissingIndex);
+        };
+        let Pt::Entity { id, var } = right else {
+            return self.nested_loop(pred, left, right);
+        };
+        let desc = self.db.physical().entity(*id).clone();
+        let EntitySource::Class(class) = desc.source else {
+            return self.nested_loop(pred, left, right);
+        };
+        let l = self.exec(left)?;
+        let attr_name = self.db.catalog().attribute(six.class, six.attr).name.clone();
+        // Find the equality conjunct `outer-expr = var.attr`.
+        let mut outer_expr: Option<Expr> = None;
+        for c in pred.conjuncts() {
+            if let Expr::Cmp { op: CmpOp::Eq, lhs, rhs } = c {
+                let matches_inner = |e: &Expr| {
+                    matches!(e, Expr::Path { base, steps }
+                             if base == var && steps.len() == 1 && steps[0] == attr_name)
+                };
+                if matches_inner(rhs) && !lhs.vars().contains(var) {
+                    outer_expr = Some((**lhs).clone());
+                    break;
+                }
+                if matches_inner(lhs) && !rhs.vars().contains(var) {
+                    outer_expr = Some((**rhs).clone());
+                    break;
+                }
+            }
+        }
+        let Some(outer_expr) = outer_expr else {
+            return self.nested_loop(pred, left, right);
+        };
+        let mut cols = l.cols.clone();
+        cols.push(var.clone());
+        let mut out = Batch::new(cols);
+        for lrow in &l.rows {
+            let keys = {
+                let ctx = self.ctx();
+                ctx.eval_members(&outer_expr, &l.cols, lrow)?
+            };
+            for key in keys {
+                let oids = six.probe(self.db, &key);
+                for o in oids {
+                    if o.class != class {
+                        continue;
+                    }
+                    let _ = self.db.read_object(o)?;
+                    let mut combined = lrow.clone();
+                    combined.push(Value::Oid(o));
+                    let ctx = self.ctx();
+                    if ctx.truthy(pred, &out.cols, &combined)? {
+                        out.rows.push(combined);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Semi-naive fixpoint: materialize the base into the accumulator and
+    /// the delta, then iterate the recursive side over the delta until no
+    /// new rows appear.
+    fn fixpoint(&mut self, temp: &str, body: &Pt) -> Result<Batch, ExecError> {
+        let Pt::Union { left, right } = body else {
+            return Err(ExecError::BadFixpoint("Fix body must be a Union".into()));
+        };
+        let (base, rec) = if left.references_temp(temp) {
+            (right.as_ref(), left.as_ref())
+        } else {
+            (left.as_ref(), right.as_ref())
+        };
+        if !rec.references_temp(temp) {
+            return Err(ExecError::BadFixpoint(format!(
+                "neither union side references `{temp}`"
+            )));
+        }
+
+        // Shape of the temporary, from the base side.
+        let (field_names, field_types) = {
+            let env = PtEnv {
+                catalog: self.db.catalog(),
+                physical: self.db.physical(),
+                temp_fields: self.temp_fields.clone(),
+            };
+            let cols = base
+                .output_columns(&env)
+                .map_err(|e| ExecError::BadFixpoint(e.to_string()))?;
+            let names: Vec<String> = cols.iter().map(|(n, _)| n.clone()).collect();
+            let types: Vec<ResolvedType> = cols.iter().map(|(_, t)| t.clone()).collect();
+            (names, types)
+        };
+        self.temp_fields.insert(
+            temp.to_string(),
+            field_names.iter().cloned().zip(field_types.iter().cloned()).collect(),
+        );
+        self.temp_cols.insert(temp.to_string(), field_names.clone());
+        if !self.temps.contains_key(temp) {
+            let acc = self.db.create_temp(temp.to_string(), field_types.clone());
+            let delta = self.db.create_temp(format!("{temp}#delta"), field_types.clone());
+            self.temps.insert(temp.to_string(), (acc, delta));
+        }
+        let (acc_e, delta_e) = self.temps[temp];
+        self.db.truncate_temp(acc_e)?;
+        self.db.truncate_temp(delta_e)?;
+
+        // Base case.
+        let mut base_batch = self.exec(base)?;
+        base_batch.dedup();
+        let mut acc_rows: Vec<Vec<Value>> = Vec::new();
+        let mut seen: HashSet<Vec<Value>> = HashSet::new();
+        for row in &base_batch.rows {
+            seen.insert(row.clone());
+            acc_rows.push(row.clone());
+            self.db.append_temp(acc_e, row.clone())?;
+            self.db.append_temp(delta_e, row.clone())?;
+        }
+
+        // Iterate.
+        let mut iterations = 0u32;
+        while self.db.entity_len(delta_e) > 0 {
+            iterations += 1;
+            if iterations > self.config.max_fix_iterations {
+                return Err(ExecError::FixpointDiverged(temp.to_string()));
+            }
+            self.delta_active.insert(temp.to_string());
+            let rec_batch = self.exec(rec);
+            self.delta_active.remove(temp);
+            let rec_batch = base_batch.aligned(rec_batch?)?;
+            self.db.truncate_temp(delta_e)?;
+            for row in rec_batch.rows {
+                if seen.insert(row.clone()) {
+                    acc_rows.push(row.clone());
+                    self.db.append_temp(acc_e, row.clone())?;
+                    self.db.append_temp(delta_e, row)?;
+                }
+            }
+        }
+        Ok(Batch { cols: field_names, rows: acc_rows })
+    }
+}

@@ -1,0 +1,24 @@
+//! The execution engine: a PT interpreter with honest page-I/O and CPU
+//! accounting (validating the cost model of `oorq-cost`), plus a naive
+//! reference evaluator for query graphs used as a correctness oracle.
+//!
+//! Operators implemented: entity/temporary scans, selections (sequential
+//! or through a selection index), projections, implicit joins
+//! (dereferences), path-index joins, explicit joins (nested-loop with
+//! honest inner rescans, or index join), unions, and **semi-naive
+//! fixpoints** with materialized accumulator/delta temporaries.
+
+mod error;
+mod eval;
+mod executor;
+mod methods;
+mod reference;
+
+pub use error::ExecError;
+pub use eval::{lit_value, Batch, Counters, EvalCtx};
+pub use executor::{ExecConfig, ExecReport, Executor};
+pub use methods::{MethodFn, MethodRegistry};
+pub use reference::eval_query_graph;
+
+#[cfg(test)]
+mod tests;

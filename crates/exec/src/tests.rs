@@ -1,0 +1,545 @@
+//! Executor and reference-evaluator tests on generated music data.
+
+use std::rc::Rc;
+
+use oorq_datagen::{MusicConfig, MusicDb};
+use oorq_index::{IndexSet, PathIndex, SelectionIndex};
+use oorq_query::paper::{fig3_query, influencer_view, music_catalog};
+use oorq_query::Expr;
+use oorq_pt::Pt;
+use oorq_storage::Value;
+
+use crate::*;
+
+fn small_music() -> MusicDb {
+    let cat = Rc::new(music_catalog());
+    MusicDb::generate(
+        cat,
+        MusicConfig {
+            chains: 3,
+            chain_len: 4,
+            works_per_composer: 2,
+            instruments_per_work: 2,
+            harpsichord_fraction: 0.5,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn scan_and_select_by_name() {
+    let mut m = small_music();
+    let e = m.db.physical().entities_of_class(m.composer)[0];
+    let idx = IndexSet::new();
+    let methods = MethodRegistry::with_music_methods(m.db.catalog());
+    let mut ex = Executor::new(&mut m.db, &idx, &methods);
+    let plan = Pt::sel(
+        Expr::path("x", &["name"]).eq(Expr::text("Bach")),
+        Pt::entity(e, "x"),
+    );
+    let out = ex.run(&plan).unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.rows[0][0], Value::Oid(m.bach));
+    let report = ex.report();
+    assert!(report.io.fetches() > 0, "scan accounted I/O");
+    assert!(report.evals >= 12, "one comparison per composer");
+}
+
+#[test]
+fn indexed_select_matches_scan_with_less_io() {
+    let mut m = MusicDb::generate(
+        Rc::new(music_catalog()),
+        MusicConfig { chains: 20, chain_len: 10, ..Default::default() },
+    );
+    let e = m.db.physical().entities_of_class(m.composer)[0];
+    let mut idx = IndexSet::new();
+    let sid = idx.add_selection(SelectionIndex::build(&mut m.db, m.composer, m.name_attr));
+    let methods = MethodRegistry::new();
+    let pred = Expr::path("x", &["name"]).eq(Expr::text("Bach"));
+    let mut ex = Executor::new(&mut m.db, &idx, &methods);
+
+    ex.reset_counters();
+    let scan_out = ex.run(&Pt::sel(pred.clone(), Pt::entity(e, "x"))).unwrap();
+    let scan_reads = ex.report().io.page_reads;
+
+    ex.reset_counters();
+    let idx_plan = Pt::Sel {
+        pred,
+        method: oorq_pt::AccessMethod::Index(sid),
+        input: Box::new(Pt::entity(e, "x")),
+    };
+    let idx_out = ex.run(&idx_plan).unwrap();
+    let idx_reads = ex.report().io.page_reads;
+    assert_eq!(scan_out.rows, idx_out.rows);
+    assert!(
+        idx_reads < scan_reads,
+        "index probe reads fewer data pages: {idx_reads} vs {scan_reads}"
+    );
+}
+
+#[test]
+fn implicit_join_fans_out_over_works() {
+    let mut m = small_music();
+    let e = m.db.physical().entities_of_class(m.composer)[0];
+    let t = m.db.physical().entities_of_class(m.composition)[0];
+    let idx = IndexSet::new();
+    let methods = MethodRegistry::new();
+    let plan = Pt::IJ {
+        on: Expr::path("x", &["works"]),
+        step: oorq_pt::IjStep::class_attr(m.db.catalog(), m.composer, m.works_attr),
+        out: "w".into(),
+        input: Box::new(Pt::entity(e, "x")),
+        target: Box::new(Pt::entity(t, "wt")),
+    };
+    let mut ex = Executor::new(&mut m.db, &idx, &methods);
+    let out = ex.run(&plan).unwrap();
+    assert_eq!(out.len(), 12 * 2, "12 composers x 2 works");
+    assert_eq!(out.cols, vec!["x".to_string(), "w".to_string()]);
+}
+
+#[test]
+fn pij_equals_ij_chain() {
+    let mut m = small_music();
+    let mut idx = IndexSet::new();
+    let pix = idx.add_path(PathIndex::build(
+        &mut m.db,
+        vec![(m.composer, m.works_attr), (m.composition, m.instruments_attr)],
+    ));
+    let e = m.db.physical().entities_of_class(m.composer)[0];
+    let ce = m.db.physical().entities_of_class(m.composition)[0];
+    let ie = m.db.physical().entities_of_class(m.instrument)[0];
+    let methods = MethodRegistry::new();
+
+    let ij_chain = Pt::IJ {
+        on: Expr::path("w", &["instruments"]),
+        step: oorq_pt::IjStep::class_attr(m.db.catalog(), m.composition, m.instruments_attr),
+        out: "ins".into(),
+        input: Box::new(Pt::IJ {
+            on: Expr::path("x", &["works"]),
+            step: oorq_pt::IjStep::class_attr(m.db.catalog(), m.composer, m.works_attr),
+            out: "w".into(),
+            input: Box::new(Pt::entity(e, "x")),
+            target: Box::new(Pt::entity(ce, "ct")),
+        }),
+        target: Box::new(Pt::entity(ie, "it")),
+    };
+    let pij = Pt::PIJ {
+        index: pix,
+        on: Expr::var("x"),
+        outs: vec!["w".into(), "ins".into()],
+        input: Box::new(Pt::entity(e, "x")),
+        targets: vec![Pt::entity(ce, "ct"), Pt::entity(ie, "it")],
+    };
+    let mut ex = Executor::new(&mut m.db, &idx, &methods);
+    let a = ex.run(&ij_chain).unwrap();
+    ex.reset_counters();
+    let b = ex.run(&pij).unwrap();
+    let mut ra = a.rows.clone();
+    let rb_aligned = a.aligned(b.clone()).unwrap();
+    let mut rb = rb_aligned.rows.clone();
+    ra.sort();
+    rb.sort();
+    assert_eq!(ra, rb, "PIJ must produce the same triples as the IJ chain");
+    // The PIJ touches only index pages for the traversal.
+    assert!(ex.report().io.index_reads > 0);
+}
+
+#[test]
+fn nested_loop_and_index_join_agree() {
+    let mut m = small_music();
+    let e = m.db.physical().entities_of_class(m.composer)[0];
+    let mut idx = IndexSet::new();
+    let sid = idx.add_selection(SelectionIndex::build(&mut m.db, m.composer, m.master_attr));
+    let methods = MethodRegistry::new();
+    let pred = Expr::path("l", &["master"]).eq(Expr::path("r", &["master"]));
+    // pred: l.master = r.master -- needs the index on master keyed by oid.
+    let nl = Pt::ej(pred.clone(), Pt::entity(e, "l"), Pt::entity(e, "r"));
+    let ij = Pt::EJ {
+        pred,
+        algo: oorq_pt::JoinAlgo::IndexJoin(sid),
+        left: Box::new(Pt::entity(e, "l")),
+        right: Box::new(Pt::entity(e, "r")),
+    };
+    let mut ex = Executor::new(&mut m.db, &idx, &methods);
+    let a = ex.run(&nl).unwrap();
+    let b = ex.run(&ij).unwrap();
+    let mut ra = a.rows.clone();
+    let mut rb = b.rows.clone();
+    ra.sort();
+    rb.sort();
+    assert_eq!(ra, rb);
+}
+
+/// Build the translated Influencer fixpoint by hand (what translate +
+/// generatePT will produce automatically).
+fn influencer_fix(m: &MusicDb) -> Pt {
+    let e = m.db.physical().entities_of_class(m.composer)[0];
+    let base = Pt::proj(
+        vec![
+            ("master".into(), Expr::path("x", &["master"])),
+            ("disciple".into(), Expr::var("x")),
+            ("gen".into(), Expr::int(1)),
+        ],
+        Pt::sel(
+            Expr::path("x", &["master"]).ne(Expr::Lit(oorq_query::Literal::Null)),
+            Pt::entity(e, "x"),
+        ),
+    );
+    let rec = Pt::proj(
+        vec![
+            ("master".into(), Expr::var("i.master")),
+            ("disciple".into(), Expr::var("x")),
+            ("gen".into(), Expr::var("i.gen").add(Expr::int(1))),
+        ],
+        Pt::ej(
+            Expr::var("i.disciple").eq(Expr::path("x", &["master"])),
+            Pt::temp("Influencer", "i"),
+            Pt::entity(e, "x"),
+        ),
+    );
+    Pt::fix("Influencer", Pt::union(base, rec))
+}
+
+#[test]
+fn seminaive_fixpoint_computes_transitive_closure() {
+    let mut m = small_music();
+    let idx = IndexSet::new();
+    let methods = MethodRegistry::new();
+    let plan = influencer_fix(&m);
+    let mut ex = Executor::new(&mut m.db, &idx, &methods);
+    let out = ex.run(&plan).unwrap();
+    // 3 chains of length 4: per chain pairs = 3+2+1 = 6; total 18.
+    assert_eq!(out.len(), 18);
+    assert_eq!(out.cols, vec!["master", "disciple", "gen"]);
+    // Max generation is 3.
+    let max_gen = out
+        .rows
+        .iter()
+        .map(|r| r[2].as_int().unwrap())
+        .max()
+        .unwrap();
+    assert_eq!(max_gen, 3);
+    // Temp writes were accounted.
+    assert!(ex.report().io.page_writes > 0);
+}
+
+#[test]
+fn fixpoint_then_selection_matches_reference_evaluator() {
+    let mut m = small_music();
+    let cat = m.db.catalog_rc();
+    // Reference: the Figure 3 query over the expanded Influencer view.
+    let mut q = fig3_query(&cat);
+    influencer_view(&cat).expand(&mut q, &cat).unwrap();
+    q.normalize(&cat).unwrap();
+    let methods = MethodRegistry::new();
+    let reference = eval_query_graph(&m.db, &methods, &q).unwrap();
+
+    // Hand-built PT for the same query: selection after the fixpoint.
+    // gen >= 2 here (the tiny DB has chains of length 4, so gen reaches 3).
+    let fix = influencer_fix(&m);
+    let sel = Pt::sel(
+        Expr::path("i", &["master", "works", "instruments", "name"])
+            .eq(Expr::text("harpsichord"))
+            .and(Expr::path("i", &["gen"]).ge(Expr::int(6))),
+        Pt::proj(
+            vec![
+                ("i.master".into(), Expr::var("master")),
+                ("i.disciple".into(), Expr::var("disciple")),
+                ("i.gen".into(), Expr::var("gen")),
+            ],
+            fix,
+        ),
+    );
+    let plan = Pt::proj(
+        vec![("name".into(), Expr::path("i", &["disciple", "name"]))],
+        sel,
+    );
+    let idx = IndexSet::new();
+    let mut ex = Executor::new(&mut m.db, &idx, &methods);
+    let got = ex.run(&plan).unwrap();
+    // With chains of length 4, gen >= 6 selects nothing — in both.
+    assert_eq!(reference.len(), got.len());
+    assert!(got.is_empty());
+}
+
+#[test]
+fn fig3_with_reachable_generation_matches_reference() {
+    let mut m = MusicDb::generate(
+        Rc::new(music_catalog()),
+        MusicConfig {
+            chains: 2,
+            chain_len: 8,
+            harpsichord_fraction: 0.6,
+            ..Default::default()
+        },
+    );
+    let cat = m.db.catalog_rc();
+    // Like Figure 3 but gen >= 3 so the answer is non-empty.
+    let influencer = cat.relation_by_name("Influencer").unwrap();
+    let mut q = oorq_query::QueryGraph::new(oorq_query::NameRef::Derived("Answer".into()));
+    q.add_spj(
+        oorq_query::NameRef::Derived("Answer".into()),
+        oorq_query::SpjNode {
+            inputs: vec![oorq_query::QArc::new(
+                oorq_query::NameRef::Relation(influencer),
+                "i",
+            )],
+            pred: Expr::path("i", &["master", "works", "instruments", "name"])
+                .eq(Expr::text("harpsichord"))
+                .and(Expr::path("i", &["gen"]).ge(Expr::int(3))),
+            out_proj: vec![("name".into(), Expr::path("i", &["disciple", "name"]))],
+        },
+    );
+    influencer_view(&cat).expand(&mut q, &cat).unwrap();
+    let methods = MethodRegistry::new();
+    let reference = eval_query_graph(&m.db, &methods, &q).unwrap();
+    assert!(!reference.is_empty(), "some disciples qualify");
+
+    let fix = influencer_fix(&m);
+    let plan = Pt::proj(
+        vec![("name".into(), Expr::path("i", &["disciple", "name"]))],
+        Pt::sel(
+            Expr::path("i", &["master", "works", "instruments", "name"])
+                .eq(Expr::text("harpsichord"))
+                .and(Expr::path("i", &["gen"]).ge(Expr::int(3))),
+            Pt::proj(
+                vec![
+                    ("i.master".into(), Expr::var("master")),
+                    ("i.disciple".into(), Expr::var("disciple")),
+                    ("i.gen".into(), Expr::var("gen")),
+                ],
+                fix,
+            ),
+        ),
+    );
+    let idx = IndexSet::new();
+    let mut ex = Executor::new(&mut m.db, &idx, &methods);
+    let got = ex.run(&plan).unwrap();
+    let mut a: Vec<_> = reference.rows.clone();
+    let mut b: Vec<_> = got.rows.clone();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "PT execution must match the reference semantics");
+}
+
+#[test]
+fn computed_attribute_dispatches_to_method() {
+    let mut m = small_music();
+    let e = m.db.physical().entities_of_class(m.composer)[0];
+    let idx = IndexSet::new();
+    let methods = MethodRegistry::with_music_methods(m.db.catalog());
+    let mut ex = Executor::new(&mut m.db, &idx, &methods);
+    let plan = Pt::proj(
+        vec![("age".into(), Expr::path("x", &["age"]))],
+        Pt::entity(e, "x"),
+    );
+    let out = ex.run(&plan).unwrap();
+    assert!(!out.is_empty());
+    assert!(ex.report().method_calls >= out.len() as u64);
+    // Missing method errors cleanly.
+    let empty = MethodRegistry::new();
+    let mut ex2 = Executor::new(&mut m.db, &idx, &empty);
+    let err = ex2.run(&Pt::proj(
+        vec![("age".into(), Expr::path("x", &["age"]))],
+        Pt::entity(e, "x"),
+    ));
+    assert!(matches!(err, Err(ExecError::MissingMethod(_))));
+}
+
+#[test]
+fn union_aligns_columns() {
+    let mut m = small_music();
+    let e = m.db.physical().entities_of_class(m.composer)[0];
+    let idx = IndexSet::new();
+    let methods = MethodRegistry::new();
+    let mut ex = Executor::new(&mut m.db, &idx, &methods);
+    let l = Pt::proj(
+        vec![("a".into(), Expr::var("x")), ("n".into(), Expr::path("x", &["name"]))],
+        Pt::entity(e, "x"),
+    );
+    let r = Pt::proj(
+        vec![("n".into(), Expr::path("x", &["name"])), ("a".into(), Expr::var("x"))],
+        Pt::entity(e, "x"),
+    );
+    let out = ex.run(&Pt::union(l, r)).unwrap();
+    // Same rows from both sides after alignment; dedup leaves one copy.
+    assert_eq!(out.len(), 12);
+}
+
+#[test]
+fn reference_evaluator_handles_fig3_shape() {
+    let m = small_music();
+    let cat = m.db.catalog_rc();
+    let mut q = fig3_query(&cat);
+    influencer_view(&cat).expand(&mut q, &cat).unwrap();
+    let methods = MethodRegistry::new();
+    // Unnormalized and normalized agree.
+    let a = eval_query_graph(&m.db, &methods, &q).unwrap();
+    let mut qn = q.clone();
+    qn.normalize(&cat).unwrap();
+    let b = eval_query_graph(&m.db, &methods, &qn).unwrap();
+    let mut ra = a.rows.clone();
+    let mut rb = b.rows.clone();
+    ra.sort();
+    rb.sort();
+    assert_eq!(ra, rb);
+}
+
+#[test]
+fn clustered_execution_costs_less_io_than_scattered() {
+    let cat = Rc::new(music_catalog());
+    let cfg = MusicConfig {
+        chains: 10,
+        chain_len: 10,
+        works_per_composer: 3,
+        buffer_frames: 8,
+        ..Default::default()
+    };
+    let run = |clustered: bool| {
+        let mut m = MusicDb::generate(
+            Rc::clone(&cat),
+            MusicConfig { clustered, ..cfg.clone() },
+        );
+        let e = m.db.physical().entities_of_class(m.composer)[0];
+        let t = m.db.physical().entities_of_class(m.composition)[0];
+        let plan = Pt::IJ {
+            on: Expr::path("x", &["works"]),
+            step: oorq_pt::IjStep::class_attr(m.db.catalog(), m.composer, m.works_attr),
+            out: "w".into(),
+            input: Box::new(Pt::entity(e, "x")),
+            target: Box::new(Pt::entity(t, "wt")),
+        };
+        let idx = IndexSet::new();
+        let methods = MethodRegistry::new();
+        let mut ex = Executor::new(&mut m.db, &idx, &methods);
+        m_run(&mut ex, &plan)
+    };
+    fn m_run(ex: &mut Executor<'_>, plan: &Pt) -> u64 {
+        ex.reset_counters();
+        ex.run(plan).unwrap();
+        ex.report().io.page_reads
+    }
+    let clustered = run(true);
+    let scattered = run(false);
+    assert!(
+        clustered < scattered,
+        "clustered IJ: {clustered} reads, scattered: {scattered}"
+    );
+}
+
+#[test]
+fn horizontally_decomposed_class_scans_union_of_fragments() {
+    let mut m = small_music();
+    // Split composers by name parity.
+    let frags = m
+        .db
+        .decompose_horizontal(
+            m.composer,
+            2,
+            &["even oid".into(), "odd oid".into()],
+            |vals| (vals[0].as_text().map(|s| s.len()).unwrap_or(0)) % 2,
+        )
+        .unwrap();
+    // A union plan over the fragments enumerates every composer once.
+    let plan = Pt::union(
+        Pt::entity(frags[0], "x"),
+        Pt::entity(frags[1], "x"),
+    );
+    let idx = IndexSet::new();
+    let methods = MethodRegistry::new();
+    let mut ex = Executor::new(&mut m.db, &idx, &methods);
+    let out = ex.run(&plan).unwrap();
+    assert_eq!(out.len(), 12);
+    // Attribute reads still route to the right fragment.
+    let plan2 = Pt::proj(
+        vec![("n".into(), Expr::path("x", &["name"]))],
+        Pt::union(Pt::entity(frags[0], "x"), Pt::entity(frags[1], "x")),
+    );
+    let mut ex2 = Executor::new(&mut m.db, &idx, &methods);
+    let out2 = ex2.run(&plan2).unwrap();
+    assert_eq!(out2.len(), 12);
+}
+
+#[test]
+fn expression_evaluation_edge_cases() {
+    let mut m = small_music();
+    let e = m.db.physical().entities_of_class(m.composer)[0];
+    let idx = IndexSet::new();
+    let methods = MethodRegistry::new();
+    // Or / Not / Add / float mixing.
+    // Project the (unique) name alongside: Proj has set semantics and
+    // birth years collide.
+    let plan = Pt::proj(
+        vec![
+            ("n".into(), Expr::path("x", &["name"])),
+            ("v".into(), Expr::path("x", &["birth_year"]).add(Expr::int(100))),
+        ],
+        Pt::sel(
+            Expr::path("x", &["name"])
+                .eq(Expr::text("Bach"))
+                .or(Expr::Not(Box::new(Expr::path("x", &["name"]).eq(Expr::text("Bach"))))),
+            Pt::entity(e, "x"),
+        ),
+    );
+    let mut ex = Executor::new(&mut m.db, &idx, &methods);
+    let out = ex.run(&plan).unwrap();
+    assert_eq!(out.len(), 12, "tautology keeps everybody");
+    for row in &out.rows {
+        assert!(row[1].as_int().unwrap() >= 1700);
+    }
+    // Unknown column errors cleanly.
+    let bad = Pt::sel(Expr::var("nope").eq(Expr::int(1)), Pt::entity(e, "x"));
+    let mut ex2 = Executor::new(&mut m.db, &idx, &methods);
+    assert!(matches!(ex2.run(&bad), Err(ExecError::UnknownColumn(_))));
+    // Adding incompatible values errors cleanly.
+    let bad_add = Pt::proj(
+        vec![("v".into(), Expr::path("x", &["name"]).add(Expr::int(1)))],
+        Pt::entity(e, "x"),
+    );
+    let mut ex3 = Executor::new(&mut m.db, &idx, &methods);
+    assert!(matches!(ex3.run(&bad_add), Err(ExecError::BadValue(_))));
+}
+
+#[test]
+fn union_mismatch_is_reported() {
+    let mut m = small_music();
+    let e = m.db.physical().entities_of_class(m.composer)[0];
+    let idx = IndexSet::new();
+    let methods = MethodRegistry::new();
+    let l = Pt::proj(vec![("a".into(), Expr::var("x"))], Pt::entity(e, "x"));
+    let r = Pt::proj(vec![("b".into(), Expr::var("x"))], Pt::entity(e, "x"));
+    let mut ex = Executor::new(&mut m.db, &idx, &methods);
+    assert!(matches!(ex.run(&Pt::union(l, r)), Err(ExecError::UnionMismatch)));
+}
+
+#[test]
+fn fixpoint_over_empty_base_terminates_empty() {
+    let mut m = small_music();
+    let e = m.db.physical().entities_of_class(m.composer)[0];
+    let idx = IndexSet::new();
+    let methods = MethodRegistry::new();
+    let base = Pt::proj(
+        vec![
+            ("master".into(), Expr::path("x", &["master"])),
+            ("disciple".into(), Expr::var("x")),
+            ("gen".into(), Expr::int(1)),
+        ],
+        Pt::sel(Expr::path("x", &["name"]).eq(Expr::text("Nobody")), Pt::entity(e, "x")),
+    );
+    let rec = Pt::proj(
+        vec![
+            ("master".into(), Expr::var("i.master")),
+            ("disciple".into(), Expr::var("x")),
+            ("gen".into(), Expr::var("i.gen").add(Expr::int(1))),
+        ],
+        Pt::ej(
+            Expr::var("i.disciple").eq(Expr::path("x", &["master"])),
+            Pt::temp("Empty", "i"),
+            Pt::entity(e, "x"),
+        ),
+    );
+    let plan = Pt::fix("Empty", Pt::union(base, rec));
+    let mut ex = Executor::new(&mut m.db, &idx, &methods);
+    let out = ex.run(&plan).unwrap();
+    assert!(out.is_empty());
+}

@@ -1,0 +1,59 @@
+//! Access methods for OORQ: a from-scratch B+-tree, selection indices,
+//! and Maier–Stein path indices (generalizing join indices).
+//!
+//! Index *descriptors* (existence + `nblevels`/`nbleaves` statistics)
+//! live in the physical schema of [`oorq_storage`] so the optimizer and
+//! cost model can reason about them; the concrete structures built here
+//! are held in an [`IndexSet`] consumed by the execution engine.
+
+mod btree;
+mod path;
+mod selection;
+
+pub use btree::BPlusTree;
+pub use path::PathIndex;
+pub use selection::SelectionIndex;
+
+use oorq_storage::IndexId;
+use std::collections::HashMap;
+
+/// The built index structures of a database, keyed by descriptor id.
+#[derive(Debug, Default)]
+pub struct IndexSet {
+    selections: HashMap<IndexId, SelectionIndex>,
+    paths: HashMap<IndexId, PathIndex>,
+}
+
+impl IndexSet {
+    /// New empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a built selection index.
+    pub fn add_selection(&mut self, idx: SelectionIndex) -> IndexId {
+        let id = idx.id;
+        self.selections.insert(id, idx);
+        id
+    }
+
+    /// Register a built path index.
+    pub fn add_path(&mut self, idx: PathIndex) -> IndexId {
+        let id = idx.id;
+        self.paths.insert(id, idx);
+        id
+    }
+
+    /// Selection index by id.
+    pub fn selection(&self, id: IndexId) -> Option<&SelectionIndex> {
+        self.selections.get(&id)
+    }
+
+    /// Path index by id.
+    pub fn path(&self, id: IndexId) -> Option<&PathIndex> {
+        self.paths.get(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests;

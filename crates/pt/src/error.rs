@@ -1,0 +1,66 @@
+//! Processing-tree errors.
+
+use std::fmt;
+
+use oorq_query::QueryError;
+
+/// Errors raised while manipulating processing trees.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PtError {
+    /// A child-index path pointed outside a node's arity.
+    BadPath {
+        /// Offending index.
+        index: usize,
+        /// The node's arity.
+        arity: usize,
+    },
+    /// A temporary was referenced through an `Entity` leaf.
+    TempAsEntity(String),
+    /// A `Temp` leaf references an unregistered temporary.
+    UnknownTemp(String),
+    /// `IJ`'s attribute does not reference a class.
+    NotAReference(String),
+    /// A `PIJ` node names an index that is not a path index.
+    NotAPathIndex,
+    /// A `PIJ` node binds more outputs than the path has steps.
+    PathIndexArity {
+        /// Outputs requested.
+        wanted: usize,
+    },
+    /// A `Fix` body is not a `Union`.
+    FixBodyNotUnion,
+    /// Column-expression typing failed.
+    Typing(QueryError),
+    /// A pattern variable was not bound by the match.
+    UnboundPatternVar(String),
+}
+
+impl fmt::Display for PtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PtError::BadPath { index, arity } => {
+                write!(f, "child index {index} out of range (arity {arity})")
+            }
+            PtError::TempAsEntity(n) => write!(f, "temporary `{n}` used as an entity leaf"),
+            PtError::UnknownTemp(n) => write!(f, "unknown temporary `{n}`"),
+            PtError::NotAReference(a) => {
+                write!(f, "attribute `{a}` does not reference a class")
+            }
+            PtError::NotAPathIndex => write!(f, "PIJ names a non-path index"),
+            PtError::PathIndexArity { wanted } => {
+                write!(f, "PIJ binds {wanted} outputs but the path is shorter")
+            }
+            PtError::FixBodyNotUnion => write!(f, "Fix body must be a Union"),
+            PtError::Typing(e) => write!(f, "typing: {e}"),
+            PtError::UnboundPatternVar(v) => write!(f, "pattern variable `{v}` unbound"),
+        }
+    }
+}
+
+impl std::error::Error for PtError {}
+
+impl From<QueryError> for PtError {
+    fn from(e: QueryError) -> Self {
+        PtError::Typing(e)
+    }
+}

@@ -1,0 +1,19 @@
+//! Processing trees (PTs): the execution-plan algebra of §3.1, plus the
+//! declarative transformation-action engine of §4.1.
+//!
+//! PTs refer to *physical* entities, so the impact of every optimizer
+//! action on the plan cost is directly computable — the paper's central
+//! methodological point. Interior nodes are operators (`Sel`, `Proj`,
+//! `IJ`, `PIJ`, `EJ`, `Union`, `Fix`); leaves are atomic entities of the
+//! physical schema or temporary files.
+
+mod error;
+mod node;
+mod pattern;
+
+pub use error::PtError;
+pub use node::{type_of_column_expr, AccessMethod, IjStep, JoinAlgo, Pt, PtDisplay, PtEnv};
+pub use pattern::{match_pattern, subtrees, Binding, Bindings, Pattern, TransformAction};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,582 @@
+//! Processing-tree nodes (§3.1 of the paper).
+//!
+//! A PT is an algebra over *physical* entities: interior nodes are
+//! operators (`Sel`, `Proj`, `IJ`, `PIJ`, `EJ`, `Union`, `Fix`) and leaf
+//! nodes are atomic entities of the physical schema or temporary files.
+//! PTs are functional terms — e.g. Figure 4.(i)'s root is
+//! `IJ_disc(Sel_name="harpsichord"(...), Composer)` — and model a
+//! bottom-up execution consuming operands left to right.
+//!
+//! Operationally every node produces a stream of *binding rows* with
+//! named, typed columns: an `Entity` leaf binds its instances to the
+//! leaf's variable (class extents bind oids; relation extents bind one
+//! column per field, qualified `var.field`), `IJ` dereferences an
+//! oid-valued expression and binds each referenced sub-object, `PIJ`
+//! probes a path index, `EJ`/`Sel`/`Proj`/`Union`/`Fix` behave as usual.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use oorq_query::{expr_type, Expr};
+use oorq_schema::{AttrId, Catalog, ClassId, ResolvedType};
+use oorq_storage::{EntityId, EntitySource, IndexId, IndexKindDesc, PhysicalSchema};
+
+use crate::error::PtError;
+
+/// Access method of a selection over an entity leaf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMethod {
+    /// Sequential scan.
+    Scan,
+    /// Probe of a selection index.
+    Index(IndexId),
+}
+
+/// Join algorithm of an explicit join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinAlgo {
+    /// Nested-loop join.
+    NestedLoop,
+    /// Index join: probe a selection index on the inner operand.
+    IndexJoin(IndexId),
+}
+
+/// The attribute (or relation/temporary field) an implicit join
+/// traverses. Class attributes carry their `(class, attr)` ids so the
+/// cost model can consult fan-out and clustering statistics; oid-valued
+/// relation/temporary fields (e.g. `Influencer.disc`) carry only a name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IjStep {
+    /// Attribute/field name, as displayed (`IJ_<name>`).
+    pub name: String,
+    /// The declaring class and attribute id, when traversing a class
+    /// attribute.
+    pub class_attr: Option<(ClassId, AttrId)>,
+}
+
+impl IjStep {
+    /// Step through a class attribute.
+    pub fn class_attr(catalog: &Catalog, class: ClassId, attr: AttrId) -> Self {
+        IjStep {
+            name: catalog.attribute(class, attr).name.clone(),
+            class_attr: Some((class, attr)),
+        }
+    }
+
+    /// Step through an oid-valued relation/temporary field.
+    pub fn field(name: impl Into<String>) -> Self {
+        IjStep { name: name.into(), class_attr: None }
+    }
+}
+
+/// A processing-tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pt {
+    /// Atomic entity of the physical schema, binding `var`.
+    Entity {
+        /// The entity scanned.
+        id: EntityId,
+        /// Binding variable (class extents: the oid; relations: the
+        /// prefix of `var.field` columns).
+        var: String,
+    },
+    /// A temporary file (intermediate result), e.g. the recursive
+    /// occurrence inside a fixpoint.
+    Temp {
+        /// Temporary name (e.g. `Influencer`).
+        name: String,
+        /// Binding variable prefix.
+        var: String,
+    },
+    /// Selection.
+    Sel {
+        /// The predicate (an expression over input columns; short
+        /// attribute paths on oid columns are allowed and account their
+        /// page fetches at execution).
+        pred: Expr,
+        /// Access method (only meaningful over an `Entity` leaf).
+        method: AccessMethod,
+        /// Input.
+        input: Box<Pt>,
+    },
+    /// Projection (with set semantics: duplicate output rows removed).
+    Proj {
+        /// Output columns.
+        cols: Vec<(String, Expr)>,
+        /// Input.
+        input: Box<Pt>,
+    },
+    /// Implicit join: dereference the oid-valued `on` expression of each
+    /// input row and bind each referenced sub-object to `out`.
+    IJ {
+        /// Expression producing the oid(s) to dereference (fans out over
+        /// collection values).
+        on: Expr,
+        /// The attribute or field traversed (display, fan-out and
+        /// clustering lookup).
+        step: IjStep,
+        /// Output column (holds the sub-object oid).
+        out: String,
+        /// Input.
+        input: Box<Pt>,
+        /// The atomic entity holding the sub-objects.
+        target: Box<Pt>,
+    },
+    /// Path implicit join: probe a path index with the head oid and bind
+    /// the oids along the path.
+    PIJ {
+        /// The path index used.
+        index: IndexId,
+        /// Head-oid expression.
+        on: Expr,
+        /// Output columns, one per path step.
+        outs: Vec<String>,
+        /// Input.
+        input: Box<Pt>,
+        /// The atomic entities spanned (display only; the probe itself
+        /// touches only index pages).
+        targets: Vec<Pt>,
+    },
+    /// Explicit join.
+    EJ {
+        /// Join predicate.
+        pred: Expr,
+        /// Algorithm.
+        algo: JoinAlgo,
+        /// Outer operand.
+        left: Box<Pt>,
+        /// Inner operand.
+        right: Box<Pt>,
+    },
+    /// Union (bag union; `Fix` and `Proj` deduplicate).
+    Union {
+        /// Left operand.
+        left: Box<Pt>,
+        /// Right operand.
+        right: Box<Pt>,
+    },
+    /// Fixpoint of `temp = body(temp)`, computed semi-naively. The body
+    /// must be a `Union` whose one side (the base) does not reference
+    /// `Temp(temp)` and whose other side (the recursive part) does.
+    Fix {
+        /// The temporary holding the accumulated result.
+        temp: String,
+        /// The fixpoint equation.
+        body: Box<Pt>,
+    },
+}
+
+impl Pt {
+    /// Entity leaf.
+    pub fn entity(id: EntityId, var: impl Into<String>) -> Pt {
+        Pt::Entity { id, var: var.into() }
+    }
+
+    /// Temporary leaf.
+    pub fn temp(name: impl Into<String>, var: impl Into<String>) -> Pt {
+        Pt::Temp { name: name.into(), var: var.into() }
+    }
+
+    /// Selection with sequential access.
+    pub fn sel(pred: Expr, input: Pt) -> Pt {
+        Pt::Sel { pred, method: AccessMethod::Scan, input: Box::new(input) }
+    }
+
+    /// Projection.
+    pub fn proj(cols: Vec<(String, Expr)>, input: Pt) -> Pt {
+        Pt::Proj { cols, input: Box::new(input) }
+    }
+
+    /// Nested-loop explicit join.
+    pub fn ej(pred: Expr, left: Pt, right: Pt) -> Pt {
+        Pt::EJ { pred, algo: JoinAlgo::NestedLoop, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// Union.
+    pub fn union(left: Pt, right: Pt) -> Pt {
+        Pt::Union { left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// Fixpoint.
+    pub fn fix(temp: impl Into<String>, body: Pt) -> Pt {
+        Pt::Fix { temp: temp.into(), body: Box::new(body) }
+    }
+
+    /// Children in operand order.
+    pub fn children(&self) -> Vec<&Pt> {
+        match self {
+            Pt::Entity { .. } | Pt::Temp { .. } => vec![],
+            Pt::Sel { input, .. } | Pt::Proj { input, .. } | Pt::Fix { body: input, .. } => {
+                vec![input]
+            }
+            Pt::IJ { input, target, .. } => vec![input, target],
+            Pt::PIJ { input, targets, .. } => {
+                let mut v = vec![input.as_ref()];
+                v.extend(targets.iter());
+                v
+            }
+            Pt::EJ { left, right, .. } | Pt::Union { left, right } => vec![left, right],
+        }
+    }
+
+    /// Mutable children in operand order.
+    pub fn children_mut(&mut self) -> Vec<&mut Pt> {
+        match self {
+            Pt::Entity { .. } | Pt::Temp { .. } => vec![],
+            Pt::Sel { input, .. } | Pt::Proj { input, .. } | Pt::Fix { body: input, .. } => {
+                vec![input]
+            }
+            Pt::IJ { input, target, .. } => vec![input, target],
+            Pt::PIJ { input, targets, .. } => {
+                let mut v = vec![input.as_mut()];
+                v.extend(targets.iter_mut());
+                v
+            }
+            Pt::EJ { left, right, .. } | Pt::Union { left, right } => vec![left, right],
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// True when the tree contains a `Temp` leaf with the given name.
+    pub fn references_temp(&self, name: &str) -> bool {
+        match self {
+            Pt::Temp { name: n, .. } => n == name,
+            other => other.children().iter().any(|c| c.references_temp(name)),
+        }
+    }
+
+    /// Depth-first pre-order visit of every subtree.
+    pub fn visit(&self, f: &mut impl FnMut(&Pt)) {
+        f(self);
+        for c in self.children() {
+            c.visit(f);
+        }
+    }
+
+    /// The subtree at a child-index path (empty path = self).
+    pub fn at_path(&self, path: &[usize]) -> Option<&Pt> {
+        let mut cur = self;
+        for &i in path {
+            cur = *cur.children().get(i)?;
+        }
+        Some(cur)
+    }
+
+    /// Replace the subtree at a child-index path, returning the old one.
+    pub fn replace_at(&mut self, path: &[usize], new: Pt) -> Result<Pt, PtError> {
+        if path.is_empty() {
+            return Ok(std::mem::replace(self, new));
+        }
+        let mut cur = self;
+        for &i in &path[..path.len() - 1] {
+            let n = cur.children_mut().len();
+            cur = cur
+                .children_mut()
+                .into_iter()
+                .nth(i)
+                .ok_or(PtError::BadPath { index: i, arity: n })?;
+        }
+        let last = *path.last().expect("non-empty");
+        let n = cur.children_mut().len();
+        let slot = cur
+            .children_mut()
+            .into_iter()
+            .nth(last)
+            .ok_or(PtError::BadPath { index: last, arity: n })?;
+        Ok(std::mem::replace(slot, new))
+    }
+
+    /// Output columns of the node, given the environment (catalog,
+    /// physical schema, temporary shapes).
+    pub fn output_columns(&self, env: &PtEnv) -> Result<Vec<(String, ResolvedType)>, PtError> {
+        match self {
+            Pt::Entity { id, var } => {
+                let desc = env.physical.entity(*id);
+                match &desc.source {
+                    EntitySource::Class(c) => Ok(vec![(var.clone(), ResolvedType::Object(*c))]),
+                    EntitySource::Relation(r) => Ok(env
+                        .catalog
+                        .relation(*r)
+                        .fields
+                        .iter()
+                        .map(|(n, t)| (format!("{var}.{n}"), t.clone()))
+                        .collect()),
+                    EntitySource::Temporary => Err(PtError::TempAsEntity(desc.name.clone())),
+                }
+            }
+            Pt::Temp { name, var } => {
+                let fields = env
+                    .temp_fields
+                    .get(name)
+                    .ok_or_else(|| PtError::UnknownTemp(name.clone()))?;
+                Ok(fields.iter().map(|(n, t)| (format!("{var}.{n}"), t.clone())).collect())
+            }
+            Pt::Sel { input, .. } => input.output_columns(env),
+            Pt::Proj { cols, input } => {
+                let in_cols = input.output_columns(env)?;
+                let cenv: HashMap<String, ResolvedType> = in_cols.into_iter().collect();
+                cols.iter()
+                    .map(|(n, e)| {
+                        Ok((n.clone(), type_of_column_expr(env.catalog, e, &cenv)?))
+                    })
+                    .collect()
+            }
+            Pt::IJ { out, input, step, target, .. } => {
+                let mut cols = input.output_columns(env)?;
+                // Target class: from the target entity leaf, falling back
+                // to the attribute's referenced class.
+                let c = match target.as_ref() {
+                    Pt::Entity { id, .. } => match env.physical.entity(*id).source {
+                        EntitySource::Class(c) => Some(c),
+                        _ => None,
+                    },
+                    _ => None,
+                }
+                .or_else(|| {
+                    step.class_attr
+                        .and_then(|(c, a)| env.catalog.attribute(c, a).ty.referenced_class())
+                })
+                .ok_or_else(|| PtError::NotAReference(step.name.clone()))?;
+                cols.push((out.clone(), ResolvedType::Object(c)));
+                Ok(cols)
+            }
+            Pt::PIJ { index, outs, input, .. } => {
+                let mut cols = input.output_columns(env)?;
+                let desc = env.physical.index(*index);
+                let IndexKindDesc::Path { path } = &desc.kind else {
+                    return Err(PtError::NotAPathIndex);
+                };
+                for (i, out) in outs.iter().enumerate() {
+                    let (cls, attr) = path
+                        .get(i)
+                        .ok_or(PtError::PathIndexArity { wanted: outs.len() })?;
+                    let a = env.catalog.attribute(*cls, *attr);
+                    let c = a
+                        .ty
+                        .referenced_class()
+                        .ok_or_else(|| PtError::NotAReference(a.name.clone()))?;
+                    cols.push((out.clone(), ResolvedType::Object(c)));
+                }
+                Ok(cols)
+            }
+            Pt::EJ { left, right, .. } => {
+                let mut cols = left.output_columns(env)?;
+                cols.extend(right.output_columns(env)?);
+                Ok(cols)
+            }
+            Pt::Union { left, .. } => left.output_columns(env),
+            Pt::Fix { temp, body } => {
+                // The fixpoint's output is the temporary's shape; derive it
+                // from the base (non-recursive) side of the body union.
+                let Pt::Union { left, right } = body.as_ref() else {
+                    return Err(PtError::FixBodyNotUnion);
+                };
+                let base =
+                    if left.references_temp(temp) { right.as_ref() } else { left.as_ref() };
+                base.output_columns(env)
+            }
+        }
+    }
+
+    /// Render the PT as a functional term using catalog/physical names.
+    pub fn display<'a>(&'a self, env: &'a PtEnv<'a>) -> PtDisplay<'a> {
+        PtDisplay { pt: self, env }
+    }
+
+    /// Render the PT as an indented operator tree (EXPLAIN-style).
+    pub fn explain(&self, env: &PtEnv<'_>) -> String {
+        let mut out = String::new();
+        self.explain_into(env, 0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, env: &PtEnv<'_>, depth: usize, out: &mut String) {
+        use std::fmt::Write as _;
+        let pad = "  ".repeat(depth);
+        let line = match self {
+            Pt::Entity { id, var } => {
+                format!("scan {} as {var}", env.physical.entity(*id).name)
+            }
+            Pt::Temp { name, var } => format!("scan temp {name} as {var}"),
+            Pt::Sel { pred, method, .. } => match method {
+                AccessMethod::Scan => format!("select {pred}"),
+                AccessMethod::Index(idx) => format!(
+                    "select {pred} via index {}",
+                    env.physical.index(*idx).display_name(env.catalog)
+                ),
+            },
+            Pt::Proj { cols, .. } => {
+                let cs: Vec<String> = cols
+                    .iter()
+                    .map(|(n, e)| {
+                        if matches!(e, Expr::Var(v) if v == n) {
+                            n.clone()
+                        } else {
+                            format!("{n}: {e}")
+                        }
+                    })
+                    .collect();
+                format!("project [{}]", cs.join(", "))
+            }
+            Pt::IJ { step, out: o, .. } => format!("implicit join .{} as {o}", step.name),
+            Pt::PIJ { index, outs, .. } => format!(
+                "path-index join {} as [{}]",
+                env.physical.index(*index).display_name(env.catalog),
+                outs.join(", ")
+            ),
+            Pt::EJ { pred, algo, .. } => match algo {
+                JoinAlgo::NestedLoop => format!("nested-loop join on {pred}"),
+                JoinAlgo::IndexJoin(idx) => format!(
+                    "index join on {pred} via {}",
+                    env.physical.index(*idx).display_name(env.catalog)
+                ),
+            },
+            Pt::Union { .. } => "union".to_string(),
+            Pt::Fix { temp, .. } => format!("fixpoint into temp {temp} (semi-naive)"),
+        };
+        let _ = writeln!(out, "{pad}{line}");
+        // Operand order: print the driving input last so the tree reads
+        // top-down like an EXPLAIN.
+        for child in self.children() {
+            child.explain_into(env, depth + 1, out);
+        }
+    }
+}
+
+/// Shared naming/typing environment for PTs.
+pub struct PtEnv<'a> {
+    /// Conceptual catalog.
+    pub catalog: &'a Catalog,
+    /// Physical schema.
+    pub physical: &'a PhysicalSchema,
+    /// Field shapes of temporaries (by name).
+    pub temp_fields: HashMap<String, Vec<(String, ResolvedType)>>,
+}
+
+impl<'a> PtEnv<'a> {
+    /// New environment with no temporaries.
+    pub fn new(catalog: &'a Catalog, physical: &'a PhysicalSchema) -> Self {
+        PtEnv { catalog, physical, temp_fields: HashMap::new() }
+    }
+
+    /// Register a temporary's shape.
+    pub fn with_temp(
+        mut self,
+        name: impl Into<String>,
+        fields: Vec<(String, ResolvedType)>,
+    ) -> Self {
+        self.temp_fields.insert(name.into(), fields);
+        self
+    }
+}
+
+/// Type an expression over column names. Unlike [`expr_type`]'s variable
+/// environment, columns of the form `var.field` may be referenced either
+/// directly or as `Path { base: var, steps: [field, ...] }`.
+pub fn type_of_column_expr(
+    catalog: &Catalog,
+    expr: &Expr,
+    cols: &HashMap<String, ResolvedType>,
+) -> Result<ResolvedType, PtError> {
+    // Rewrite `var.field...` paths whose prefix is a qualified column.
+    let rewritten = expr.map_leaves(&mut |leaf| match leaf {
+        Expr::Path { base, steps } if !cols.contains_key(base) && !steps.is_empty() => {
+            let qualified = format!("{base}.{}", steps[0]);
+            cols.contains_key(&qualified).then(|| {
+                if steps.len() == 1 {
+                    Expr::Var(qualified)
+                } else {
+                    Expr::Path { base: qualified, steps: steps[1..].to_vec() }
+                }
+            })
+        }
+        _ => None,
+    });
+    expr_type(catalog, &rewritten, cols).map_err(PtError::Typing)
+}
+
+/// Helper rendering a [`Pt`] as a functional term.
+pub struct PtDisplay<'a> {
+    pt: &'a Pt,
+    env: &'a PtEnv<'a>,
+}
+
+impl fmt::Display for PtDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_pt(self.pt, self.env, f)
+    }
+}
+
+fn write_pt(pt: &Pt, env: &PtEnv<'_>, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match pt {
+        Pt::Entity { id, .. } => write!(f, "{}", env.physical.entity(*id).name),
+        Pt::Temp { name, .. } => write!(f, "{name}"),
+        Pt::Sel { pred, input, method } => {
+            match method {
+                AccessMethod::Scan => write!(f, "Sel_{{{pred}}}(")?,
+                AccessMethod::Index(_) => write!(f, "Sel^idx_{{{pred}}}(")?,
+            }
+            write_pt(input, env, f)?;
+            write!(f, ")")
+        }
+        Pt::Proj { cols, input } => {
+            write!(f, "Proj_[")?;
+            for (i, (n, e)) in cols.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                if matches!(e, Expr::Var(v) if v == n) {
+                    write!(f, "{n}")?;
+                } else {
+                    write!(f, "{n}: {e}")?;
+                }
+            }
+            write!(f, "](")?;
+            write_pt(input, env, f)?;
+            write!(f, ")")
+        }
+        Pt::IJ { step, input, target, .. } => {
+            write!(f, "IJ_{}(", step.name)?;
+            write_pt(input, env, f)?;
+            write!(f, ", ")?;
+            write_pt(target, env, f)?;
+            write!(f, ")")
+        }
+        Pt::PIJ { index, input, targets, .. } => {
+            let desc = env.physical.index(*index);
+            write!(f, "PIJ_{}(", desc.display_name(env.catalog))?;
+            write_pt(input, env, f)?;
+            for t in targets {
+                write!(f, ", ")?;
+                write_pt(t, env, f)?;
+            }
+            write!(f, ")")
+        }
+        Pt::EJ { pred, algo, left, right } => {
+            match algo {
+                JoinAlgo::NestedLoop => write!(f, "EJ_{{{pred}}}(")?,
+                JoinAlgo::IndexJoin(_) => write!(f, "EJ^idx_{{{pred}}}(")?,
+            }
+            write_pt(left, env, f)?;
+            write!(f, ", ")?;
+            write_pt(right, env, f)?;
+            write!(f, ")")
+        }
+        Pt::Union { left, right } => {
+            write!(f, "Union(")?;
+            write_pt(left, env, f)?;
+            write!(f, ", ")?;
+            write_pt(right, env, f)?;
+            write!(f, ")")
+        }
+        Pt::Fix { temp, body } => {
+            write!(f, "Fix({temp}, ")?;
+            write_pt(body, env, f)?;
+            write!(f, ")")
+        }
+    }
+}

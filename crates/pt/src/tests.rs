@@ -1,0 +1,245 @@
+//! PT construction, display, typing and pattern-matching tests.
+
+use std::rc::Rc;
+
+use oorq_query::paper::music_catalog;
+use oorq_query::Expr;
+use oorq_schema::{Catalog, ResolvedType};
+use oorq_storage::{Database, StorageConfig};
+
+use crate::*;
+
+/// A database over the Figure 1 schema (no data needed for these tests —
+/// only the physical schema matters).
+fn setup() -> (Rc<Catalog>, Database) {
+    let cat = Rc::new(music_catalog());
+    let db = Database::new(Rc::clone(&cat), StorageConfig::default());
+    (cat, db)
+}
+
+#[test]
+fn display_matches_paper_notation() {
+    let (cat, mut db) = setup();
+    let composer = cat.class_by_name("Composer").unwrap();
+    let influencer_fields = vec![
+        ("master".to_string(), ResolvedType::Object(composer)),
+        ("disciple".to_string(), ResolvedType::Object(composer)),
+        (
+            "gen".to_string(),
+            ResolvedType::Atomic(oorq_schema::AtomicType::Int),
+        ),
+    ];
+    let (composer_e, composition_e, instrument_e, pix) = {
+        let composition = cat.class_by_name("Composition").unwrap();
+        let (works, _) = cat.attr(composer, "works").unwrap();
+        let (instruments, _) = cat.attr(composition, "instruments").unwrap();
+        let pix = db.physical_mut().add_index(
+            oorq_storage::IndexKindDesc::Path {
+                path: vec![(composer, works), (composition, instruments)],
+            },
+            oorq_storage::IndexStats { nblevels: 2, nbleaves: 30 },
+        );
+        (
+            db.physical().entities_of_class(composer)[0],
+            db.physical().entities_of_class(composition)[0],
+            db.physical()
+                .entities_of_class(cat.class_by_name("Instrument").unwrap())[0],
+            pix,
+        )
+    };
+    let (master, _) = cat.attr(composer, "master").unwrap();
+    let ij = Pt::IJ {
+        on: Expr::path("i", &["master"]),
+        step: IjStep::class_attr(&cat, composer, master),
+        out: "m".into(),
+        input: Box::new(Pt::temp("Influencer", "i")),
+        target: Box::new(Pt::entity(composer_e, "mc")),
+    };
+    let pij = Pt::PIJ {
+        index: pix,
+        on: Expr::var("m"),
+        outs: vec!["w".into(), "ins".into()],
+        input: Box::new(ij),
+        targets: vec![Pt::entity(composition_e, "wc"), Pt::entity(instrument_e, "ic")],
+    };
+    let sel = Pt::sel(Expr::path("ins", &["name"]).eq(Expr::text("harpsichord")), pij);
+    let env = PtEnv::new(&cat, db.physical()).with_temp("Influencer", influencer_fields);
+    assert_eq!(
+        sel.display(&env).to_string(),
+        "Sel_{ins.name=\"harpsichord\"}(PIJ_works.instruments(IJ_master(Influencer, \
+         Composer), Composition, Instrument))"
+    );
+    // Output columns: Influencer fields + m + w + ins.
+    let cols = sel.output_columns(&env).unwrap();
+    let names: Vec<&str> = cols.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, ["i.master", "i.disciple", "i.gen", "m", "w", "ins"]);
+}
+
+#[test]
+fn tree_navigation_and_replacement() {
+    let (cat, db) = setup();
+    let composer = cat.class_by_name("Composer").unwrap();
+    let e = db.physical().entities_of_class(composer)[0];
+    let pt = Pt::sel(
+        Expr::var("x").eq(Expr::int(1)),
+        Pt::union(Pt::entity(e, "a"), Pt::entity(e, "b")),
+    );
+    assert_eq!(pt.size(), 4);
+    assert!(matches!(pt.at_path(&[0, 1]), Some(Pt::Entity { .. })));
+    assert!(pt.at_path(&[0, 2]).is_none());
+    let mut pt2 = pt.clone();
+    let old = pt2.replace_at(&[0, 1], Pt::temp("T", "t")).unwrap();
+    assert!(matches!(old, Pt::Entity { .. }));
+    assert!(pt2.references_temp("T"));
+    assert!(!pt.references_temp("T"));
+    assert!(matches!(
+        pt2.replace_at(&[5], Pt::temp("X", "x")),
+        Err(PtError::BadPath { .. })
+    ));
+}
+
+#[test]
+fn fix_output_columns_come_from_base_side() {
+    let (cat, db) = setup();
+    let composer = cat.class_by_name("Composer").unwrap();
+    let e = db.physical().entities_of_class(composer)[0];
+    let base = Pt::proj(
+        vec![
+            ("master".into(), Expr::path("x", &["master"])),
+            ("disciple".into(), Expr::var("x")),
+            ("gen".into(), Expr::int(1)),
+        ],
+        Pt::entity(e, "x"),
+    );
+    let rec = Pt::proj(
+        vec![
+            ("master".into(), Expr::var("i.master")),
+            ("disciple".into(), Expr::var("x")),
+            ("gen".into(), Expr::var("i.gen").add(Expr::int(1))),
+        ],
+        Pt::ej(
+            Expr::var("i.disciple").eq(Expr::path("x", &["master"])),
+            Pt::temp("Influencer", "i"),
+            Pt::entity(e, "x"),
+        ),
+    );
+    let fix = Pt::fix("Influencer", Pt::union(base, rec));
+    let env = PtEnv::new(&cat, db.physical()).with_temp(
+        "Influencer",
+        vec![
+            ("master".into(), ResolvedType::Object(composer)),
+            ("disciple".into(), ResolvedType::Object(composer)),
+            ("gen".into(), ResolvedType::Atomic(oorq_schema::AtomicType::Int)),
+        ],
+    );
+    let cols = fix.output_columns(&env).unwrap();
+    let names: Vec<&str> = cols.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, ["master", "disciple", "gen"]);
+    assert!(matches!(cols[2].1, ResolvedType::Atomic(_)));
+}
+
+#[test]
+fn pattern_matches_fix_through_context() {
+    let (cat, db) = setup();
+    let composer = cat.class_by_name("Composer").unwrap();
+    let e = db.physical().entities_of_class(composer)[0];
+    // Sel(IJ(Fix(Union(Entity, EJ(Temp, Entity))), Entity)) — selection
+    // separated from the fixpoint by an implicit join, as in Figure 4.(i).
+    let fix = Pt::fix(
+        "R",
+        Pt::union(
+            Pt::entity(e, "b"),
+            Pt::ej(Expr::True, Pt::temp("R", "r"), Pt::entity(e, "x")),
+        ),
+    );
+    let (master, _) = cat.attr(composer, "master").unwrap();
+    let ij = Pt::IJ {
+        on: Expr::var("d"),
+        step: IjStep::class_attr(&cat, composer, master),
+        out: "o".into(),
+        input: Box::new(fix),
+        target: Box::new(Pt::entity(e, "t")),
+    };
+    let sel = Pt::sel(Expr::var("o").eq(Expr::int(1)), ij);
+
+    // Pattern: Sel(pt(Fix(Union(Base, pt'(Temp))))).
+    let pattern = Pattern::sel(Pattern::context(
+        "ctx",
+        Pattern::fix(Pattern::union(
+            Pattern::bind("base"),
+            Pattern::context("rctx", Pattern::temp().named("rec")),
+        ))
+        .named("fix"),
+    ));
+    let ms = match_pattern(&sel, &pattern);
+    assert!(!ms.is_empty(), "filter pattern must match through the IJ context");
+    let m = &ms[0];
+    assert!(matches!(m.tree("base").unwrap(), Pt::Entity { .. }));
+    assert!(matches!(m.tree("rec").unwrap(), Pt::Temp { .. }));
+    assert!(matches!(m.tree("fix").unwrap(), Pt::Fix { .. }));
+    // The outer context holds the IJ with the Fix in its hole.
+    assert!(matches!(m.hole_of("ctx").unwrap(), Pt::Fix { .. }));
+    assert!(!m.is_trivial_ctx("ctx"));
+    // Plugging a replacement into the context rebuilds the IJ around it.
+    let plugged = m.plug("ctx", Pt::temp("X", "x")).unwrap();
+    assert!(matches!(plugged, Pt::IJ { .. }));
+    assert!(plugged.references_temp("X"));
+}
+
+#[test]
+fn transform_action_applies_and_saturates() {
+    let (cat, db) = setup();
+    let composer = cat.class_by_name("Composer").unwrap();
+    let e = db.physical().entities_of_class(composer)[0];
+    // Action: collapse Union(X, X) -> X (just for testing the machinery).
+    let action = TransformAction::new(
+        "dedup-union",
+        Pattern::union(Pattern::bind("l"), Pattern::bind("r")),
+        |b| Some(b.tree("l").ok()?.clone()),
+    )
+    .with_constraint(|b| {
+        matches!((b.tree("l"), b.tree("r")), (Ok(l), Ok(r)) if l == r)
+    });
+    let pt = Pt::union(
+        Pt::union(Pt::entity(e, "a"), Pt::entity(e, "a")),
+        Pt::entity(e, "a"),
+    );
+    let once = action.apply(&pt).unwrap();
+    assert_eq!(once.size(), 3);
+    let saturated = action.saturate(pt, 10);
+    assert_eq!(saturated, Pt::entity(e, "a"));
+    // No match -> None.
+    assert!(action.apply(&Pt::entity(e, "a")).is_none());
+}
+
+#[test]
+fn apply_all_enumerates_every_position() {
+    let (cat, db) = setup();
+    let composer = cat.class_by_name("Composer").unwrap();
+    let e = db.physical().entities_of_class(composer)[0];
+    // Action: wrap any entity leaf in a trivial projection.
+    let action = TransformAction::new("wrap", Pattern::entity().named("e"), |b| {
+        Some(Pt::proj(vec![], b.tree("e").ok()?.clone()))
+    });
+    let pt = Pt::union(Pt::entity(e, "a"), Pt::entity(e, "b"));
+    let all = action.apply_all(&pt);
+    assert_eq!(all.len(), 2, "one rewrite per leaf");
+    assert_ne!(all[0], all[1]);
+}
+
+#[test]
+fn column_expr_typing_handles_qualified_names() {
+    let (cat, _db) = setup();
+    let composer = cat.class_by_name("Composer").unwrap();
+    let cols: std::collections::HashMap<String, ResolvedType> = [
+        ("i.disciple".to_string(), ResolvedType::Object(composer)),
+        ("i.gen".to_string(), ResolvedType::Atomic(oorq_schema::AtomicType::Int)),
+    ]
+    .into_iter()
+    .collect();
+    // `i.disciple.name` resolves through the qualified column.
+    let t = type_of_column_expr(&cat, &Expr::path("i", &["disciple", "name"]), &cols).unwrap();
+    assert_eq!(t, ResolvedType::Atomic(oorq_schema::AtomicType::Text));
+    let t = type_of_column_expr(&cat, &Expr::path("i", &["gen"]), &cols).unwrap();
+    assert_eq!(t, ResolvedType::Atomic(oorq_schema::AtomicType::Int));
+}

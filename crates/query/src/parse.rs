@@ -1,0 +1,678 @@
+//! A small textual query language producing query graphs.
+//!
+//! The surface syntax follows the paper's §2.3 examples (ESQL/O2Query
+//! flavoured):
+//!
+//! ```text
+//! view Influencer as
+//!   select [master: x.master, disciple: x, gen: 1]
+//!   from x in Composer
+//!   where x.master <> null
+//!   union
+//!   select [master: i.master, disciple: x, gen: i.gen + 1]
+//!   from i in Influencer, x in Composer
+//!   where i.disciple = x.master;
+//!
+//! select [name: i.disciple.name]
+//! from i in Influencer
+//! where i.master.works.instruments.name = "harpsichord" and i.gen >= 6
+//! ```
+//!
+//! `parse_program` returns the final query as a [`QueryGraph`] (its
+//! answer is the derived name `Answer`) with every `view` definition
+//! registered in a [`ViewRegistry`]; [`parse_query`] additionally
+//! expands the referenced views into the graph.
+
+use std::fmt;
+
+use oorq_schema::{Catalog, ViewKind};
+
+use crate::expr::{CmpOp, Expr, Literal};
+use crate::graph::{NameRef, QArc, QueryGraph, SpjNode, ViewRegistry};
+
+/// A parse error with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The result of parsing a program: the query graph (unexpanded) plus
+/// the view definitions it may reference.
+#[derive(Debug, Clone)]
+pub struct ParsedProgram {
+    /// The final query, answer name `Answer`.
+    pub graph: QueryGraph,
+    /// Registered view definitions.
+    pub views: ViewRegistry,
+}
+
+/// Parse a program and expand its views into the graph.
+pub fn parse_query(catalog: &Catalog, src: &str) -> Result<QueryGraph, ParseError> {
+    let ParsedProgram { mut graph, views } = parse_program(catalog, src)?;
+    views.expand(&mut graph, catalog).map_err(|e| ParseError {
+        line: 0,
+        col: 0,
+        message: e.to_string(),
+    })?;
+    Ok(graph)
+}
+
+/// Parse a program without expanding views.
+pub fn parse_program(catalog: &Catalog, src: &str) -> Result<ParsedProgram, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { catalog, tokens, pos: 0 };
+    let mut views = ViewRegistry::new();
+    loop {
+        if p.peek_kw("view") {
+            let (rel, defs) = p.view_def()?;
+            views.define(rel, defs);
+            continue;
+        }
+        break;
+    }
+    let selects = p.selects()?;
+    p.expect_eof()?;
+    let mut graph = QueryGraph::new(NameRef::Derived("Answer".into()));
+    for spj in selects {
+        graph.add_spj(NameRef::Derived("Answer".into()), spj);
+    }
+    Ok(ParsedProgram { graph, views })
+}
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Sym(&'static str),
+    Eof,
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = src.chars().peekable();
+    let err = |line: usize, col: usize, m: String| ParseError { line, col, message: m };
+    while let Some(&c) = chars.peek() {
+        let (tl, tc) = (line, col);
+        let bump = |chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+                        line: &mut usize,
+                        col: &mut usize| {
+            let c = chars.next();
+            if c == Some('\n') {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            c
+        };
+        match c {
+            c if c.is_whitespace() => {
+                bump(&mut chars, &mut line, &mut col);
+            }
+            '-' => {
+                // Comment `-- ...` to end of line, or a negative number.
+                bump(&mut chars, &mut line, &mut col);
+                if chars.peek() == Some(&'-') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                    line += 1;
+                    col = 1;
+                } else if chars.peek().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                    let n = lex_number(&mut chars, &mut col, true, tl, tc)?;
+                    out.push(Spanned { tok: n, line: tl, col: tc });
+                } else {
+                    return Err(err(tl, tc, "unexpected `-`".into()));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let n = lex_number(&mut chars, &mut col, false, tl, tc)?;
+                out.push(Spanned { tok: n, line: tl, col: tc });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        s.push(c);
+                        bump(&mut chars, &mut line, &mut col);
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned { tok: Tok::Ident(s), line: tl, col: tc });
+            }
+            '"' => {
+                bump(&mut chars, &mut line, &mut col);
+                let mut s = String::new();
+                let mut closed = false;
+                while let Some(c) = bump(&mut chars, &mut line, &mut col) {
+                    if c == '"' {
+                        closed = true;
+                        break;
+                    }
+                    s.push(c);
+                }
+                if !closed {
+                    return Err(err(tl, tc, "unterminated string".into()));
+                }
+                out.push(Spanned { tok: Tok::Str(s), line: tl, col: tc });
+            }
+            '<' => {
+                bump(&mut chars, &mut line, &mut col);
+                let sym = match chars.peek() {
+                    Some('>') => {
+                        bump(&mut chars, &mut line, &mut col);
+                        "<>"
+                    }
+                    Some('=') => {
+                        bump(&mut chars, &mut line, &mut col);
+                        "<="
+                    }
+                    _ => "<",
+                };
+                out.push(Spanned { tok: Tok::Sym(sym), line: tl, col: tc });
+            }
+            '>' => {
+                bump(&mut chars, &mut line, &mut col);
+                let sym = if chars.peek() == Some(&'=') {
+                    bump(&mut chars, &mut line, &mut col);
+                    ">="
+                } else {
+                    ">"
+                };
+                out.push(Spanned { tok: Tok::Sym(sym), line: tl, col: tc });
+            }
+            '=' | '[' | ']' | '(' | ')' | ',' | ':' | '.' | '+' | ';' => {
+                bump(&mut chars, &mut line, &mut col);
+                let sym: &'static str = match c {
+                    '=' => "=",
+                    '[' => "[",
+                    ']' => "]",
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    ':' => ":",
+                    '.' => ".",
+                    '+' => "+",
+                    ';' => ";",
+                    _ => unreachable!(),
+                };
+                out.push(Spanned { tok: Tok::Sym(sym), line: tl, col: tc });
+            }
+            other => return Err(err(tl, tc, format!("unexpected character `{other}`"))),
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, line, col });
+    Ok(out)
+}
+
+fn lex_number(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    col: &mut usize,
+    negative: bool,
+    line: usize,
+    start_col: usize,
+) -> Result<Tok, ParseError> {
+    let mut s = String::new();
+    if negative {
+        s.push('-');
+    }
+    let mut is_float = false;
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_digit() {
+            s.push(c);
+            chars.next();
+            *col += 1;
+        } else if c == '.' {
+            // A digit must follow for this to be a float (else it is a
+            // path dot — but numbers never start paths, so accept).
+            let mut clone = chars.clone();
+            clone.next();
+            if clone.peek().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                is_float = true;
+                s.push('.');
+                chars.next();
+                *col += 1;
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    if is_float {
+        s.parse::<f64>()
+            .map(Tok::Float)
+            .map_err(|_| ParseError { line, col: start_col, message: "bad float".into() })
+    } else {
+        s.parse::<i64>()
+            .map(Tok::Int)
+            .map_err(|_| ParseError { line, col: start_col, message: "bad integer".into() })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    catalog: &'a Catalog,
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn cur(&self) -> &Spanned {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn error(&self, m: impl Into<String>) -> ParseError {
+        let c = self.cur();
+        ParseError { line: c.line, col: c.col, message: m.into() }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(&self.cur().tok, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{kw}`")))
+        }
+    }
+
+    fn peek_sym(&self, sym: &str) -> bool {
+        matches!(&self.cur().tok, Tok::Sym(s) if *s == sym)
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if self.peek_sym(sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<(), ParseError> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{sym}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match &self.cur().tok {
+            Tok::Ident(s) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.error("expected identifier")),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        // Allow a trailing semicolon.
+        self.eat_sym(";");
+        if matches!(self.cur().tok, Tok::Eof) {
+            Ok(())
+        } else {
+            Err(self.error("expected end of input"))
+        }
+    }
+
+    /// `view NAME as <selects> ;`
+    fn view_def(&mut self) -> Result<(oorq_schema::RelationId, Vec<SpjNode>), ParseError> {
+        self.expect_kw("view")?;
+        let name = self.ident()?;
+        let rel = self
+            .catalog
+            .relation_by_name(&name)
+            .filter(|r| self.catalog.relation(*r).kind == ViewKind::View)
+            .ok_or_else(|| {
+                self.error(format!("`{name}` is not a declared view of the schema"))
+            })?;
+        self.expect_kw("as")?;
+        let defs = self.selects()?;
+        self.expect_sym(";")?;
+        Ok((rel, defs))
+    }
+
+    /// `select ... (union select ...)*`
+    fn selects(&mut self) -> Result<Vec<SpjNode>, ParseError> {
+        let mut out = vec![self.select()?];
+        while self.eat_kw("union") {
+            out.push(self.select()?);
+        }
+        Ok(out)
+    }
+
+    /// `select [f: e, ...] from v in Name, ... (where expr)?`
+    fn select(&mut self) -> Result<SpjNode, ParseError> {
+        self.expect_kw("select")?;
+        self.expect_sym("[")?;
+        let mut out_proj = Vec::new();
+        loop {
+            let field = self.ident()?;
+            self.expect_sym(":")?;
+            let e = self.expr()?;
+            out_proj.push((field, e));
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_sym("]")?;
+        self.expect_kw("from")?;
+        let mut inputs = Vec::new();
+        loop {
+            let var = self.ident()?;
+            self.expect_kw("in")?;
+            let name = self.ident()?;
+            let name_ref = if let Some(c) = self.catalog.class_by_name(&name) {
+                NameRef::Class(c)
+            } else if let Some(r) = self.catalog.relation_by_name(&name) {
+                NameRef::Relation(r)
+            } else {
+                return Err(self.error(format!("unknown class or relation `{name}`")));
+            };
+            inputs.push(QArc::new(name_ref, var));
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        let pred = if self.eat_kw("where") { self.expr()? } else { Expr::True };
+        Ok(SpjNode { inputs, pred, out_proj })
+    }
+
+    /// Disjunction.
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.conjunction()?;
+        while self.eat_kw("or") {
+            let r = self.conjunction()?;
+            e = e.or(r);
+        }
+        Ok(e)
+    }
+
+    fn conjunction(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.comparison()?;
+        while self.eat_kw("and") {
+            let r = self.comparison()?;
+            e = e.and(r);
+        }
+        Ok(e)
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kw("not") {
+            self.expect_sym("(")?;
+            let inner = self.expr()?;
+            self.expect_sym(")")?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        let lhs = self.sum()?;
+        let op = if self.eat_sym("=") {
+            Some(CmpOp::Eq)
+        } else if self.eat_sym("<>") {
+            Some(CmpOp::Ne)
+        } else if self.eat_sym("<=") {
+            Some(CmpOp::Le)
+        } else if self.eat_sym(">=") {
+            Some(CmpOp::Ge)
+        } else if self.eat_sym("<") {
+            Some(CmpOp::Lt)
+        } else if self.eat_sym(">") {
+            Some(CmpOp::Gt)
+        } else {
+            None
+        };
+        match op {
+            None => Ok(lhs),
+            Some(op) => {
+                let rhs = self.sum()?;
+                Ok(Expr::Cmp { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+            }
+        }
+    }
+
+    fn sum(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        while self.eat_sym("+") {
+            let r = self.primary()?;
+            e = e.add(r);
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.cur().tok.clone() {
+            Tok::Int(i) => {
+                self.pos += 1;
+                Ok(Expr::Lit(Literal::Int(i)))
+            }
+            Tok::Float(x) => {
+                self.pos += 1;
+                Ok(Expr::Lit(Literal::Float(x)))
+            }
+            Tok::Str(s) => {
+                self.pos += 1;
+                Ok(Expr::Lit(Literal::Text(s)))
+            }
+            Tok::Sym("(") => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Tok::Ident(id) if id.eq_ignore_ascii_case("null") => {
+                self.pos += 1;
+                Ok(Expr::Lit(Literal::Null))
+            }
+            Tok::Ident(id) if id.eq_ignore_ascii_case("true") => {
+                self.pos += 1;
+                Ok(Expr::Lit(Literal::Bool(true)))
+            }
+            Tok::Ident(id) if id.eq_ignore_ascii_case("false") => {
+                self.pos += 1;
+                Ok(Expr::Lit(Literal::Bool(false)))
+            }
+            Tok::Ident(id) => {
+                self.pos += 1;
+                let mut steps = Vec::new();
+                while self.eat_sym(".") {
+                    steps.push(self.ident()?);
+                }
+                if steps.is_empty() {
+                    Ok(Expr::Var(id))
+                } else {
+                    Ok(Expr::Path { base: id, steps })
+                }
+            }
+            _ => Err(self.error("expected expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::music_catalog;
+
+    const INFLUENCER_VIEW: &str = r#"
+        view Influencer as
+          select [master: x.master, disciple: x, gen: 1]
+          from x in Composer
+          where x.master <> null
+          union
+          select [master: i.master, disciple: x, gen: i.gen + 1]
+          from i in Influencer, x in Composer
+          where i.disciple = x.master;
+    "#;
+
+    #[test]
+    fn parses_the_fig3_program() {
+        let cat = music_catalog();
+        let src = format!(
+            "{INFLUENCER_VIEW}
+             select [name: i.disciple.name]
+             from i in Influencer
+             where i.master.works.instruments.name = \"harpsichord\" and i.gen >= 6"
+        );
+        let q = parse_query(&cat, &src).unwrap();
+        q.validate(&cat).unwrap();
+        assert_eq!(q.nodes.len(), 3, "P3 + expanded P1, P2");
+        // Identical to the hand-built Figure 3 graph.
+        let mut reference = crate::paper::fig3_query(&cat);
+        crate::paper::influencer_view(&cat).expand(&mut reference, &cat).unwrap();
+        assert_eq!(q.display(&cat).to_string(), reference.display(&cat).to_string());
+    }
+
+    #[test]
+    fn parses_fig2_style_query() {
+        let cat = music_catalog();
+        let q = parse_query(
+            &cat,
+            r#"select [title: w.title]
+               from c in Composer
+               where c.name = "Bach" and c.works.instruments.name = "harpsichord"
+                 and c.works.instruments.name = "flute" and c.works.title = w.title"#,
+        );
+        // `w` is unbound — expect a validation error at normalize time,
+        // but the parse itself must succeed.
+        assert!(q.is_ok());
+    }
+
+    #[test]
+    fn comments_whitespace_and_semicolons() {
+        let cat = music_catalog();
+        let q = parse_query(
+            &cat,
+            "-- all composers\nselect [n: x.name] from x in Composer;",
+        )
+        .unwrap();
+        q.validate(&cat).unwrap();
+    }
+
+    #[test]
+    fn operators_and_literals() {
+        let cat = music_catalog();
+        let q = parse_query(
+            &cat,
+            r#"select [n: x.name, b: x.birth_year]
+               from x in Composer
+               where (x.birth_year >= 1650 and x.birth_year < 1700)
+                  or x.name <> "Bach" or x.birth_year = -1
+                  or not(x.birth_year <= 10) and x.name > "A""#,
+        )
+        .unwrap();
+        let s = q.display(&cat).to_string();
+        assert!(s.contains("x.birth_year>=1650"), "{s}");
+        assert!(s.contains("-1"), "{s}");
+    }
+
+    #[test]
+    fn float_and_bool_literals() {
+        let cat = music_catalog();
+        let q = parse_query(
+            &cat,
+            "select [n: x.name] from x in Composer where x.birth_year >= 1650.5 and true = true",
+        )
+        .unwrap();
+        assert!(q.display(&cat).to_string().contains("1650.5"));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let cat = music_catalog();
+        let err = parse_query(&cat, "select [n: x.name] frum x in Composer").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("from"), "{err}");
+        let err = parse_query(&cat, "select [n: x.name]\nfrom x in Nope").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("Nope"));
+        let err = parse_query(&cat, "select [n: @]").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        let err = parse_query(&cat, "select [n: \"oops]").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn view_must_be_declared_in_schema() {
+        let cat = music_catalog();
+        let err = parse_query(
+            &cat,
+            "view Nonsense as select [a: x.name] from x in Composer;
+             select [a: x.name] from x in Composer",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("not a declared view"), "{err}");
+    }
+
+    #[test]
+    fn missing_view_definition_is_reported_at_expansion() {
+        let cat = music_catalog();
+        let err =
+            parse_query(&cat, "select [g: i.gen] from i in Influencer").unwrap_err();
+        assert!(err.message.contains("Influencer"), "{err}");
+    }
+
+    #[test]
+    fn parsed_views_round_trip_through_the_optimizer_pipeline_inputs() {
+        // The program parser and the hand-built constructors agree on the
+        // §4.5 query too.
+        let cat = music_catalog();
+        let src = format!(
+            "{INFLUENCER_VIEW}
+             select [name: i.disciple.name]
+             from i in Influencer, c in Composer
+             where i.master = c.master and c.name = \"Bach\""
+        );
+        let q = parse_query(&cat, &src).unwrap();
+        let mut reference = crate::paper::sec45_pushjoin_query(&cat);
+        crate::paper::influencer_view(&cat).expand(&mut reference, &cat).unwrap();
+        assert_eq!(q.display(&cat).to_string(), reference.display(&cat).to_string());
+    }
+}

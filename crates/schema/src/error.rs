@@ -1,0 +1,58 @@
+//! Schema validation errors.
+
+use std::fmt;
+
+/// Errors raised while building or validating a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// Two classes/relations/views share a name.
+    DuplicateName(String),
+    /// A class references an unknown superclass.
+    UnknownSuperclass { class: String, superclass: String },
+    /// The `isa` hierarchy contains a cycle.
+    InheritanceCycle(String),
+    /// A type expression references an unknown class.
+    UnknownClass { context: String, class: String },
+    /// Two attributes of the same (flattened) class share a name.
+    DuplicateAttribute { class: String, attr: String },
+    /// An inverse declaration points at a missing class or attribute.
+    BadInverse { class: String, attr: String, detail: String },
+    /// The two sides of an inverse pair have incompatible types.
+    InverseTypeMismatch { class: String, attr: String },
+    /// A relation's type is not a tuple.
+    RelationNotTuple(String),
+    /// A name was looked up but does not exist.
+    NotFound(String),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateName(n) => write!(f, "duplicate schema name `{n}`"),
+            SchemaError::UnknownSuperclass { class, superclass } => {
+                write!(f, "class `{class}`: unknown superclass `{superclass}`")
+            }
+            SchemaError::InheritanceCycle(c) => {
+                write!(f, "inheritance cycle through class `{c}`")
+            }
+            SchemaError::UnknownClass { context, class } => {
+                write!(f, "{context}: unknown class `{class}`")
+            }
+            SchemaError::DuplicateAttribute { class, attr } => {
+                write!(f, "class `{class}`: duplicate attribute `{attr}`")
+            }
+            SchemaError::BadInverse { class, attr, detail } => {
+                write!(f, "inverse on `{class}.{attr}`: {detail}")
+            }
+            SchemaError::InverseTypeMismatch { class, attr } => {
+                write!(f, "inverse on `{class}.{attr}`: type mismatch with its partner")
+            }
+            SchemaError::RelationNotTuple(r) => {
+                write!(f, "relation `{r}` must have a tuple type")
+            }
+            SchemaError::NotFound(n) => write!(f, "schema name `{n}` not found"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}

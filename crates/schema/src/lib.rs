@@ -1,0 +1,32 @@
+//! Conceptual schema model for object-oriented recursive queries.
+//!
+//! This crate implements Section 2.1 of Lanzelotte, Valduriez & Zaït
+//! (SIGMOD 1992): a conceptual model of *classes* (whose instances are
+//! objects with identity) and *relations* (whose instances are values),
+//! with types built from atomic types and the tuple/set/list constructors.
+//! Classes support single inheritance (`isa`), *inverse* attribute pairs
+//! (e.g. `Composition.author` inverse of `Composer.works`) and methods as
+//! *computed attributes* carrying an evaluation-cost hint used by the cost
+//! model.
+//!
+//! The central artifact is the [`Catalog`]: a validated, name-resolved view
+//! of a schema in which every class has a flattened attribute layout
+//! (inherited attributes first) so that the storage layer can lay objects
+//! out as attribute vectors.
+
+mod catalog;
+mod error;
+mod types;
+
+pub use catalog::{
+    AttrId, Attribute, AttributeKind, Catalog, ClassCat, ClassId, RelationCat, RelationId,
+    SchemaBuilder, ViewKind,
+};
+pub use error::SchemaError;
+pub use types::{
+    AtomicType, AttributeDef, AttributeDefKind, ClassDef, Field, RelationDef, ResolvedType,
+    TypeExpr,
+};
+
+#[cfg(test)]
+mod tests;

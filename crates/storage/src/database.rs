@@ -1,0 +1,582 @@
+//! The object store: a page-accounted, single-node object database
+//! following the direct storage model of \[VKC86\].
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use oorq_schema::{AttrId, AttributeKind, Catalog, ClassId, RelationId, ResolvedType, ViewKind};
+
+use crate::buffer::{BufferManager, IoStats};
+use crate::error::StorageError;
+use crate::page::{PageId, WidthModel};
+use crate::physical::{EntityId, EntitySource, FragmentSpec, PhysicalSchema};
+use crate::segment::{Row, Segment};
+use crate::value::{Oid, Value};
+
+/// Configuration of the store.
+#[derive(Debug, Clone)]
+pub struct StorageConfig {
+    /// Number of buffer frames.
+    pub buffer_frames: usize,
+    /// Width model mapping records to pages.
+    pub width: WidthModel,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig { buffer_frames: 64, width: WidthModel::default() }
+    }
+}
+
+/// How a class extension is laid out across atomic entities.
+#[derive(Debug, Clone)]
+enum ClassLayout {
+    /// One non-decomposed extension.
+    Single(EntityId),
+    /// Vertical fragments; each holds a subset of the attributes.
+    Vertical(Vec<(EntityId, Vec<AttrId>)>),
+    /// Horizontal fragments.
+    Horizontal(Vec<EntityId>),
+}
+
+/// The object database: conceptual catalog + physical schema + segments +
+/// buffer manager.
+///
+/// All read paths account page I/O through the buffer manager (interior
+/// mutability; the store is single-threaded by design, matching the
+/// paper's centralized cost model). Bulk loading does not count I/O;
+/// call [`Database::reset_io`] before a measured run anyway.
+#[derive(Debug)]
+pub struct Database {
+    catalog: Rc<Catalog>,
+    physical: PhysicalSchema,
+    segments: RefCell<Vec<Segment>>,
+    class_layout: HashMap<ClassId, ClassLayout>,
+    relation_home: HashMap<RelationId, EntityId>,
+    class_count: HashMap<ClassId, u32>,
+    relation_count: HashMap<RelationId, u32>,
+    buffer: RefCell<BufferManager>,
+    width: WidthModel,
+}
+
+impl Database {
+    /// Create a store for the given catalog: one entity per class and per
+    /// stored relation (views get no extension).
+    pub fn new(catalog: Rc<Catalog>, config: StorageConfig) -> Self {
+        let mut physical = PhysicalSchema::new();
+        let mut segments = Vec::new();
+        let mut class_layout = HashMap::new();
+        let mut relation_home = HashMap::new();
+        for (i, c) in catalog.classes().iter().enumerate() {
+            let cid = ClassId(i as u32);
+            let id = physical.add_entity(c.name.clone(), EntitySource::Class(cid), None);
+            segments.push(Self::class_segment(&catalog, cid, None, &config.width));
+            debug_assert_eq!(id.0 as usize, segments.len() - 1);
+            class_layout.insert(cid, ClassLayout::Single(id));
+        }
+        for (i, r) in catalog.relations().iter().enumerate() {
+            if r.kind != ViewKind::Stored {
+                continue;
+            }
+            let rid = RelationId(i as u32);
+            let id = physical.add_entity(r.name.clone(), EntitySource::Relation(rid), None);
+            let types: Vec<ResolvedType> = r.fields.iter().map(|(_, t)| t.clone()).collect();
+            let rpp = config.width.records_per_page(&types);
+            segments.push(Segment::with_rpp(types, rpp));
+            debug_assert_eq!(id.0 as usize, segments.len() - 1);
+            relation_home.insert(rid, id);
+        }
+        Database {
+            catalog,
+            physical,
+            segments: RefCell::new(segments),
+            class_layout,
+            relation_home,
+            class_count: HashMap::new(),
+            relation_count: HashMap::new(),
+            buffer: RefCell::new(BufferManager::new(config.buffer_frames)),
+            width: config.width,
+        }
+    }
+
+    /// Build a segment for (a fragment of) a class extension. Computed
+    /// attributes occupy a slot (holding `Null`) but contribute no width.
+    fn class_segment(
+        catalog: &Catalog,
+        class: ClassId,
+        attrs: Option<&[AttrId]>,
+        width: &WidthModel,
+    ) -> Segment {
+        let all = &catalog.class(class).attrs;
+        let selected: Vec<usize> = match attrs {
+            Some(subset) => subset.iter().map(|a| a.0 as usize).collect(),
+            None => (0..all.len()).collect(),
+        };
+        let types: Vec<ResolvedType> =
+            selected.iter().map(|&i| all[i].ty.clone()).collect();
+        let stored_types: Vec<ResolvedType> = selected
+            .iter()
+            .filter(|&&i| all[i].kind == AttributeKind::Stored)
+            .map(|&i| all[i].ty.clone())
+            .collect();
+        let rpp = width.records_per_page(&stored_types);
+        Segment::with_rpp(types, rpp)
+    }
+
+    /// The conceptual catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Shared handle to the catalog.
+    pub fn catalog_rc(&self) -> Rc<Catalog> {
+        Rc::clone(&self.catalog)
+    }
+
+    /// The physical schema (entities, fragments, clustering, indexes).
+    pub fn physical(&self) -> &PhysicalSchema {
+        &self.physical
+    }
+
+    /// Mutable access to the physical schema (registering indexes,
+    /// declaring clustering).
+    pub fn physical_mut(&mut self) -> &mut PhysicalSchema {
+        &mut self.physical
+    }
+
+    /// The width model in use.
+    pub fn width_model(&self) -> &WidthModel {
+        &self.width
+    }
+
+    // ------------------------------------------------------------------
+    // Loading
+    // ------------------------------------------------------------------
+
+    /// Positions (attr ids) of the stored attributes of a class.
+    pub fn stored_layout(&self, class: ClassId) -> Vec<AttrId> {
+        self.catalog
+            .class(class)
+            .attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.kind == AttributeKind::Stored)
+            .map(|(i, _)| AttrId(i as u16))
+            .collect()
+    }
+
+    /// Insert an object, supplying values for the *stored* attributes in
+    /// layout order; computed attribute slots are filled with `Null`.
+    pub fn insert_object(
+        &mut self,
+        class: ClassId,
+        stored_values: Vec<Value>,
+    ) -> Result<Oid, StorageError> {
+        let layout = self.stored_layout(class);
+        if stored_values.len() != layout.len() {
+            return Err(StorageError::ArityMismatch {
+                context: format!("insert into `{}`", self.catalog.class(class).name),
+                expected: layout.len(),
+                got: stored_values.len(),
+            });
+        }
+        let home = match self.class_layout.get(&class) {
+            Some(ClassLayout::Single(e)) => *e,
+            Some(_) => return Err(StorageError::Decomposed(class)),
+            None => return Err(StorageError::NoHome(class)),
+        };
+        let n_attrs = self.catalog.class(class).attrs.len();
+        let mut values = vec![Value::Null; n_attrs];
+        for (attr, v) in layout.into_iter().zip(stored_values) {
+            values[attr.0 as usize] = v;
+        }
+        let count = self.class_count.entry(class).or_insert(0);
+        let index = *count;
+        *count += 1;
+        self.segments.borrow_mut()[home.0 as usize].append(Row { key: index, values });
+        Ok(Oid::new(class, index))
+    }
+
+    /// Update a stored attribute of an existing object (used by loaders to
+    /// wire cyclic references such as `master`).
+    pub fn set_attr(&mut self, oid: Oid, attr: AttrId, value: Value) -> Result<(), StorageError> {
+        let entity = self.entity_holding(oid, attr)?;
+        let mut segs = self.segments.borrow_mut();
+        let seg = &mut segs[entity.0 as usize];
+        let pos = seg.position_of(oid.index).ok_or(StorageError::DanglingOid(oid))?;
+        // Row mutation in place.
+        let slot = self.attr_slot(entity, oid.class, attr);
+        let row_values = {
+            let row = seg.row_at(pos).ok_or(StorageError::DanglingOid(oid))?;
+            let mut v = row.values.clone();
+            if slot >= v.len() {
+                return Err(StorageError::DanglingOid(oid));
+            }
+            v[slot] = value;
+            v
+        };
+        seg.replace_values(pos, row_values);
+        Ok(())
+    }
+
+    /// Insert a row into a stored relation.
+    pub fn insert_row(
+        &mut self,
+        relation: RelationId,
+        values: Vec<Value>,
+    ) -> Result<u32, StorageError> {
+        let home = *self
+            .relation_home
+            .get(&relation)
+            .ok_or(StorageError::BadEntity(EntityId(u32::MAX)))?;
+        let expected = self.catalog.relation(relation).fields.len();
+        if values.len() != expected {
+            return Err(StorageError::ArityMismatch {
+                context: format!("insert into `{}`", self.catalog.relation(relation).name),
+                expected,
+                got: values.len(),
+            });
+        }
+        let count = self.relation_count.entry(relation).or_insert(0);
+        let id = *count;
+        *count += 1;
+        self.segments.borrow_mut()[home.0 as usize].append(Row { key: id, values });
+        Ok(id)
+    }
+
+    /// Number of objects in a class extension.
+    pub fn object_count(&self, class: ClassId) -> u32 {
+        self.class_count.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Scatter the physical placement of an entity (models an unclustered
+    /// extension; see [`Segment::shuffle`]).
+    pub fn shuffle_entity(&mut self, entity: EntityId, seed: u64) {
+        self.segments.borrow_mut()[entity.0 as usize].shuffle(seed);
+        self.buffer.borrow_mut().invalidate_entity(entity);
+    }
+
+    // ------------------------------------------------------------------
+    // Decomposition
+    // ------------------------------------------------------------------
+
+    /// Decompose a class extension vertically into fragments holding the
+    /// given attribute groups (every attribute must appear in exactly one
+    /// group). Returns the fragment entities.
+    pub fn decompose_vertical(
+        &mut self,
+        class: ClassId,
+        groups: &[Vec<AttrId>],
+    ) -> Result<Vec<EntityId>, StorageError> {
+        let home = match self.class_layout.get(&class) {
+            Some(ClassLayout::Single(e)) => *e,
+            _ => return Err(StorageError::Decomposed(class)),
+        };
+        let cname = self.catalog.class(class).name.clone();
+        let mut fragments = Vec::new();
+        for (i, group) in groups.iter().enumerate() {
+            let id = self.physical.add_entity(
+                format!("{cname}_v{i}"),
+                EntitySource::Class(class),
+                Some(FragmentSpec::Vertical { attrs: group.clone() }),
+            );
+            let seg = Self::class_segment(&self.catalog, class, Some(group), &self.width);
+            self.segments.borrow_mut().push(seg);
+            fragments.push(id);
+        }
+        // Move the data.
+        {
+            let mut segs = self.segments.borrow_mut();
+            let rows: Vec<Row> = segs[home.0 as usize].iter().cloned().collect();
+            for row in rows {
+                for (fi, group) in groups.iter().enumerate() {
+                    let vals: Vec<Value> =
+                        group.iter().map(|a| row.values[a.0 as usize].clone()).collect();
+                    segs[fragments[fi].0 as usize].append(Row { key: row.key, values: vals });
+                }
+            }
+            segs[home.0 as usize].clear();
+        }
+        self.buffer.borrow_mut().invalidate_entity(home);
+        self.physical.deactivate_entity(home);
+        self.class_layout.insert(
+            class,
+            ClassLayout::Vertical(
+                fragments.iter().copied().zip(groups.iter().cloned()).collect(),
+            ),
+        );
+        Ok(fragments)
+    }
+
+    /// Decompose a class extension horizontally; `route` maps a record to
+    /// a fragment number in `0..n_fragments`. `predicates` describe each
+    /// fragment for the physical schema.
+    pub fn decompose_horizontal(
+        &mut self,
+        class: ClassId,
+        n_fragments: usize,
+        predicates: &[String],
+        route: impl Fn(&[Value]) -> usize,
+    ) -> Result<Vec<EntityId>, StorageError> {
+        let home = match self.class_layout.get(&class) {
+            Some(ClassLayout::Single(e)) => *e,
+            _ => return Err(StorageError::Decomposed(class)),
+        };
+        let cname = self.catalog.class(class).name.clone();
+        let total = self.object_count(class).max(1) as f64;
+        // First pass: count per fragment for the fraction statistic.
+        let mut counts = vec![0u64; n_fragments];
+        {
+            let segs = self.segments.borrow();
+            for row in segs[home.0 as usize].iter() {
+                counts[route(&row.values).min(n_fragments - 1)] += 1;
+            }
+        }
+        let mut fragments = Vec::new();
+        for (i, count) in counts.iter().enumerate() {
+            let id = self.physical.add_entity(
+                format!("{cname}_h{i}"),
+                EntitySource::Class(class),
+                Some(FragmentSpec::Horizontal {
+                    predicate: predicates.get(i).cloned().unwrap_or_default(),
+                    fraction: *count as f64 / total,
+                }),
+            );
+            let seg = Self::class_segment(&self.catalog, class, None, &self.width);
+            self.segments.borrow_mut().push(seg);
+            fragments.push(id);
+        }
+        {
+            let mut segs = self.segments.borrow_mut();
+            let rows: Vec<Row> = segs[home.0 as usize].iter().cloned().collect();
+            for row in rows {
+                let f = route(&row.values).min(n_fragments - 1);
+                segs[fragments[f].0 as usize].append(row);
+            }
+            segs[home.0 as usize].clear();
+        }
+        self.buffer.borrow_mut().invalidate_entity(home);
+        self.physical.deactivate_entity(home);
+        self.class_layout.insert(class, ClassLayout::Horizontal(fragments.clone()));
+        Ok(fragments)
+    }
+
+    // ------------------------------------------------------------------
+    // Temporaries
+    // ------------------------------------------------------------------
+
+    /// Create a temporary entity (intermediate result file).
+    pub fn create_temp(&mut self, name: impl Into<String>, field_types: Vec<ResolvedType>) -> EntityId {
+        let id = self.physical.add_entity(name, EntitySource::Temporary, None);
+        let rpp = self.width.records_per_page(&field_types);
+        self.segments.borrow_mut().push(Segment::with_rpp(field_types, rpp));
+        id
+    }
+
+    /// Append a row to a temporary, counting a page write whenever a new
+    /// page is started.
+    pub fn append_temp(&self, entity: EntityId, values: Vec<Value>) -> Result<u32, StorageError> {
+        if self.physical.entity(entity).source != EntitySource::Temporary {
+            return Err(StorageError::NotTemporary(entity));
+        }
+        let mut segs = self.segments.borrow_mut();
+        let seg = &mut segs[entity.0 as usize];
+        let key = seg.len() as u32;
+        let pos = seg.append(Row { key, values });
+        let page = seg.page_of_position(pos);
+        if pos.is_multiple_of(seg.rows_per_page()) {
+            self.buffer.borrow_mut().write(PageId { entity, page });
+        }
+        Ok(key)
+    }
+
+    /// Clear a temporary's contents.
+    pub fn truncate_temp(&self, entity: EntityId) -> Result<(), StorageError> {
+        if self.physical.entity(entity).source != EntitySource::Temporary {
+            return Err(StorageError::NotTemporary(entity));
+        }
+        self.segments.borrow_mut()[entity.0 as usize].clear();
+        self.buffer.borrow_mut().invalidate_entity(entity);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Reading (I/O accounted)
+    // ------------------------------------------------------------------
+
+    /// Number of pages of an entity.
+    pub fn num_pages(&self, entity: EntityId) -> u32 {
+        self.segments.borrow()[entity.0 as usize].num_pages()
+    }
+
+    /// Number of records of an entity.
+    pub fn entity_len(&self, entity: EntityId) -> u32 {
+        self.segments.borrow()[entity.0 as usize].len() as u32
+    }
+
+    /// Field types of an entity's records.
+    pub fn entity_field_types(&self, entity: EntityId) -> Vec<ResolvedType> {
+        self.segments.borrow()[entity.0 as usize].field_types().to_vec()
+    }
+
+    /// Fetch one page of an entity and return its records (cloned).
+    /// Returns `None` past the last page.
+    pub fn scan_page(&self, entity: EntityId, page: u32) -> Option<Vec<Row>> {
+        let segs = self.segments.borrow();
+        let seg = &segs[entity.0 as usize];
+        if page >= seg.num_pages() {
+            return None;
+        }
+        self.buffer.borrow_mut().fetch(PageId { entity, page });
+        Some(seg.page_rows(page).to_vec())
+    }
+
+    /// Scan a whole entity, fetching every page (convenience).
+    pub fn scan(&self, entity: EntityId) -> Vec<Row> {
+        let mut out = Vec::new();
+        let mut page = 0;
+        while let Some(mut rows) = self.scan_page(entity, page) {
+            out.append(&mut rows);
+            page += 1;
+        }
+        out
+    }
+
+    /// Scan without I/O accounting (bulk index builds, statistics).
+    pub fn scan_raw(&self, entity: EntityId) -> Vec<Row> {
+        self.segments.borrow()[entity.0 as usize].iter().cloned().collect()
+    }
+
+    /// Which entity holds the given attribute of the given object.
+    fn entity_holding(&self, oid: Oid, attr: AttrId) -> Result<EntityId, StorageError> {
+        match self.class_layout.get(&oid.class).ok_or(StorageError::NoHome(oid.class))? {
+            ClassLayout::Single(e) => Ok(*e),
+            ClassLayout::Vertical(frags) => frags
+                .iter()
+                .find(|(_, attrs)| attrs.contains(&attr))
+                .map(|(e, _)| *e)
+                .ok_or(StorageError::DanglingOid(oid)),
+            ClassLayout::Horizontal(frags) => {
+                let segs = self.segments.borrow();
+                frags
+                    .iter()
+                    .find(|e| segs[e.0 as usize].position_of(oid.index).is_some())
+                    .copied()
+                    .ok_or(StorageError::DanglingOid(oid))
+            }
+        }
+    }
+
+    /// Slot of `attr` within the records of `entity` (vertical fragments
+    /// store only a subset of attributes).
+    fn attr_slot(&self, entity: EntityId, _class: ClassId, attr: AttrId) -> usize {
+        match &self.physical.entity(entity).fragment {
+            Some(FragmentSpec::Vertical { attrs }) => {
+                attrs.iter().position(|a| *a == attr).unwrap_or(usize::MAX)
+            }
+            _ => attr.0 as usize,
+        }
+    }
+
+    /// Read one attribute of an object *without* I/O accounting (index
+    /// builds, statistics, reference loaders).
+    pub fn read_attr_raw(&self, oid: Oid, attr: AttrId) -> Result<Value, StorageError> {
+        let entity = self.entity_holding(oid, attr)?;
+        let segs = self.segments.borrow();
+        let seg = &segs[entity.0 as usize];
+        let pos = seg.position_of(oid.index).ok_or(StorageError::DanglingOid(oid))?;
+        let slot = self.attr_slot(entity, oid.class, attr);
+        seg.row_at(pos)
+            .and_then(|r| r.values.get(slot))
+            .cloned()
+            .ok_or(StorageError::DanglingOid(oid))
+    }
+
+    /// Read one attribute of an object, fetching (and accounting) only the
+    /// page of the fragment holding that attribute.
+    pub fn read_attr(&self, oid: Oid, attr: AttrId) -> Result<Value, StorageError> {
+        let entity = self.entity_holding(oid, attr)?;
+        let segs = self.segments.borrow();
+        let seg = &segs[entity.0 as usize];
+        let pos = seg.position_of(oid.index).ok_or(StorageError::DanglingOid(oid))?;
+        let page = seg.page_of_position(pos);
+        self.buffer.borrow_mut().fetch(PageId { entity, page });
+        let slot = self.attr_slot(entity, oid.class, attr);
+        seg.row_at(pos)
+            .and_then(|r| r.values.get(slot))
+            .cloned()
+            .ok_or(StorageError::DanglingOid(oid))
+    }
+
+    /// Read a whole object (assembling vertical fragments), accounting a
+    /// page fetch per fragment touched.
+    pub fn read_object(&self, oid: Oid) -> Result<Vec<Value>, StorageError> {
+        let layout =
+            self.class_layout.get(&oid.class).ok_or(StorageError::NoHome(oid.class))?.clone();
+        match layout {
+            ClassLayout::Single(e) => self.read_object_from(oid, e),
+            ClassLayout::Horizontal(frags) => {
+                let entity = {
+                    let segs = self.segments.borrow();
+                    frags
+                        .iter()
+                        .find(|e| segs[e.0 as usize].position_of(oid.index).is_some())
+                        .copied()
+                        .ok_or(StorageError::DanglingOid(oid))?
+                };
+                self.read_object_from(oid, entity)
+            }
+            ClassLayout::Vertical(frags) => {
+                let n_attrs = self.catalog.class(oid.class).attrs.len();
+                let mut values = vec![Value::Null; n_attrs];
+                for (entity, attrs) in frags {
+                    let segs = self.segments.borrow();
+                    let seg = &segs[entity.0 as usize];
+                    let pos =
+                        seg.position_of(oid.index).ok_or(StorageError::DanglingOid(oid))?;
+                    let page = seg.page_of_position(pos);
+                    self.buffer.borrow_mut().fetch(PageId { entity, page });
+                    let row = seg.row_at(pos).ok_or(StorageError::DanglingOid(oid))?;
+                    for (slot, attr) in attrs.iter().enumerate() {
+                        values[attr.0 as usize] = row.values[slot].clone();
+                    }
+                }
+                Ok(values)
+            }
+        }
+    }
+
+    fn read_object_from(&self, oid: Oid, entity: EntityId) -> Result<Vec<Value>, StorageError> {
+        let segs = self.segments.borrow();
+        let seg = &segs[entity.0 as usize];
+        let pos = seg.position_of(oid.index).ok_or(StorageError::DanglingOid(oid))?;
+        let page = seg.page_of_position(pos);
+        self.buffer.borrow_mut().fetch(PageId { entity, page });
+        Ok(seg.row_at(pos).ok_or(StorageError::DanglingOid(oid))?.values.clone())
+    }
+
+    // ------------------------------------------------------------------
+    // I/O accounting
+    // ------------------------------------------------------------------
+
+    /// Count index page reads performed by an index probe.
+    pub fn note_index_reads(&self, n: u64) {
+        self.buffer.borrow_mut().add_index_reads(n);
+    }
+
+    /// Accumulated I/O statistics.
+    pub fn io_stats(&self) -> IoStats {
+        self.buffer.borrow().stats()
+    }
+
+    /// Reset I/O counters (keeps buffer residency).
+    pub fn reset_io(&self) {
+        self.buffer.borrow_mut().reset_stats();
+    }
+
+    /// Drop buffer residency and counters (cold-cache measurement).
+    pub fn cold_cache(&self) {
+        self.buffer.borrow_mut().clear();
+    }
+}

@@ -1,0 +1,33 @@
+//! Object store substrate for OORQ.
+//!
+//! Implements the physical database model of §3 of the paper: the *direct
+//! storage* approach of \[VKC86\] (sub-object oids stored within owners),
+//! page-based extensions with a buffer manager that accounts physical
+//! I/O, static clustering, horizontal/vertical decomposition into atomic
+//! entities, temporary files for intermediate results, and the statistics
+//! (`|C|`, `‖C‖`, selectivities, fan-outs, chain depths) consumed by the
+//! cost model.
+
+mod buffer;
+mod database;
+mod error;
+mod page;
+pub mod physical;
+mod segment;
+mod stats;
+mod value;
+
+pub use buffer::{BufferManager, IoStats};
+pub use database::{Database, StorageConfig};
+pub use error::StorageError;
+pub use page::{PageId, WidthModel};
+pub use physical::{
+    EntityDesc, EntityId, EntitySource, FragmentSpec, IndexDesc, IndexId, IndexKindDesc,
+    IndexStats, PhysicalSchema,
+};
+pub use segment::{Row, Segment};
+pub use stats::{AttrStats, ChainDepth, DbStats, EntityStats};
+pub use value::{Oid, Value};
+
+#[cfg(test)]
+mod tests;

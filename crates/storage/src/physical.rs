@@ -1,0 +1,308 @@
+//! The physical schema: atomic entities, fragments, clustering and index
+//! descriptors.
+//!
+//! Following §3 of the paper, the physical model uses *direct storage*
+//! (oids of sub-objects stored inside owners), allows *clustering*
+//! sub-object instances close to the owner, allows *decomposing*
+//! extensions into horizontal or vertical fragments, and provides *path
+//! indices* spanning whole attribute hierarchies. An *atomic entity* is a
+//! non-decomposed extension or one fragment of a decomposed extension.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use oorq_schema::{AttrId, ClassId, RelationId};
+
+/// Identifier of an atomic entity of the physical schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntityId(pub u32);
+
+impl fmt::Display for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Identifier of an index descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IndexId(pub u32);
+
+/// What conceptual extension an entity implements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntitySource {
+    /// The (whole) extension of a class.
+    Class(ClassId),
+    /// The (whole) extension of a stored relation.
+    Relation(RelationId),
+    /// A temporary file holding an intermediate result (e.g. the
+    /// materialized `Influencer` of Figure 4).
+    Temporary,
+}
+
+/// Fragmentation of a decomposed extension.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FragmentSpec {
+    /// Horizontal fragment: a predicate-defined subset of instances.
+    /// `fraction` is the fraction of the extension it holds.
+    Horizontal {
+        /// Human-readable description of the fragmentation predicate.
+        predicate: String,
+        /// Fraction of the class extension stored here.
+        fraction: f64,
+    },
+    /// Vertical fragment: the projection of the extension on a subset of
+    /// attributes (the oid is implicitly kept in every fragment).
+    Vertical {
+        /// Attributes stored in this fragment.
+        attrs: Vec<AttrId>,
+    },
+}
+
+/// Descriptor of one atomic entity.
+#[derive(Debug, Clone)]
+pub struct EntityDesc {
+    /// Entity id.
+    pub id: EntityId,
+    /// Name, for display (`Composer`, `Composer_v1`, `Influencer'`).
+    pub name: String,
+    /// Conceptual source.
+    pub source: EntitySource,
+    /// `None` for a non-decomposed extension.
+    pub fragment: Option<FragmentSpec>,
+    /// Attributes whose referenced sub-objects are clustered close to the
+    /// owner (same or neighbour page) — §3's static clustering strategy.
+    pub clustered_attrs: Vec<AttrId>,
+}
+
+impl EntityDesc {
+    /// Is `attr`'s target clustered with this entity's instances?
+    pub fn is_clustered(&self, attr: AttrId) -> bool {
+        self.clustered_attrs.contains(&attr)
+    }
+}
+
+/// B+-tree statistics used by the cost formulas of Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexStats {
+    /// Number of levels of the B+-tree (`nblevels`).
+    pub nblevels: u32,
+    /// Number of leaves (`nbleaves`).
+    pub nbleaves: u32,
+}
+
+/// Kind of index available in the physical schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexKindDesc {
+    /// Selection index on one attribute of one class.
+    Selection {
+        /// Indexed class.
+        class: ClassId,
+        /// Indexed attribute.
+        attr: AttrId,
+    },
+    /// Path index \[MS86\] on `C1.A1...A(n-1)`: entries are tuples of the
+    /// oids of the objects along the path. Denoted by its attribute
+    /// sequence, e.g. `works.instruments`.
+    Path {
+        /// The path as `(class, attribute)` steps; `path[i].0` is the class
+        /// in which `path[i].1` is defined.
+        path: Vec<(ClassId, AttrId)>,
+    },
+}
+
+/// Descriptor of an index.
+#[derive(Debug, Clone)]
+pub struct IndexDesc {
+    /// Index id.
+    pub id: IndexId,
+    /// Kind and coverage.
+    pub kind: IndexKindDesc,
+    /// B+-tree statistics.
+    pub stats: IndexStats,
+}
+
+impl IndexDesc {
+    /// The attribute-name path of a path index, as printed by the paper
+    /// (e.g. `works.instruments`). Selection indices render as
+    /// `Class.attr`.
+    pub fn display_name(&self, catalog: &oorq_schema::Catalog) -> String {
+        match &self.kind {
+            IndexKindDesc::Selection { class, attr } => format!(
+                "{}.{}",
+                catalog.class(*class).name,
+                catalog.attribute(*class, *attr).name
+            ),
+            IndexKindDesc::Path { path } => path
+                .iter()
+                .map(|(c, a)| catalog.attribute(*c, *a).name.clone())
+                .collect::<Vec<_>>()
+                .join("."),
+        }
+    }
+}
+
+/// The physical schema: the set of atomic entities and indices.
+#[derive(Debug, Clone, Default)]
+pub struct PhysicalSchema {
+    entities: Vec<EntityDesc>,
+    indexes: Vec<IndexDesc>,
+    class_entities: HashMap<ClassId, Vec<EntityId>>,
+    relation_entities: HashMap<RelationId, Vec<EntityId>>,
+}
+
+impl PhysicalSchema {
+    /// New empty physical schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an entity; its `id` field is assigned here.
+    pub fn add_entity(
+        &mut self,
+        name: impl Into<String>,
+        source: EntitySource,
+        fragment: Option<FragmentSpec>,
+    ) -> EntityId {
+        let id = EntityId(self.entities.len() as u32);
+        match &source {
+            EntitySource::Class(c) => self.class_entities.entry(*c).or_default().push(id),
+            EntitySource::Relation(r) => {
+                self.relation_entities.entry(*r).or_default().push(id)
+            }
+            EntitySource::Temporary => {}
+        }
+        self.entities.push(EntityDesc {
+            id,
+            name: name.into(),
+            source,
+            fragment,
+            clustered_attrs: Vec::new(),
+        });
+        id
+    }
+
+    /// Declare that sub-objects referenced by `attr` of `entity` are
+    /// clustered with the owner instances.
+    pub fn set_clustered(&mut self, entity: EntityId, attr: AttrId) {
+        let e = &mut self.entities[entity.0 as usize];
+        if !e.clustered_attrs.contains(&attr) {
+            e.clustered_attrs.push(attr);
+        }
+    }
+
+    /// Remove an entity from its class/relation lookup (it keeps its
+    /// descriptor but no longer implements the extension — used when a
+    /// decomposition supersedes the original home entity).
+    pub fn deactivate_entity(&mut self, id: EntityId) {
+        for v in self.class_entities.values_mut() {
+            v.retain(|e| *e != id);
+        }
+        for v in self.relation_entities.values_mut() {
+            v.retain(|e| *e != id);
+        }
+    }
+
+    /// Register an index descriptor; its id is assigned here.
+    pub fn add_index(&mut self, kind: IndexKindDesc, stats: IndexStats) -> IndexId {
+        let id = IndexId(self.indexes.len() as u32);
+        self.indexes.push(IndexDesc { id, kind, stats });
+        id
+    }
+
+    /// Update the statistics of an index (after bulk loading).
+    pub fn set_index_stats(&mut self, id: IndexId, stats: IndexStats) {
+        self.indexes[id.0 as usize].stats = stats;
+    }
+
+    /// Entity descriptor by id.
+    pub fn entity(&self, id: EntityId) -> &EntityDesc {
+        &self.entities[id.0 as usize]
+    }
+
+    /// All entities.
+    pub fn entities(&self) -> &[EntityDesc] {
+        &self.entities
+    }
+
+    /// Index descriptor by id.
+    #[allow(clippy::should_implement_trait)]
+    pub fn index(&self, id: IndexId) -> &IndexDesc {
+        &self.indexes[id.0 as usize]
+    }
+
+    /// All indexes.
+    pub fn indexes(&self) -> &[IndexDesc] {
+        &self.indexes
+    }
+
+    /// The entities implementing a class extension.
+    pub fn entities_of_class(&self, class: ClassId) -> &[EntityId] {
+        self.class_entities.get(&class).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The entities implementing a relation extension.
+    pub fn entities_of_relation(&self, rel: RelationId) -> &[EntityId] {
+        self.relation_entities.get(&rel).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Find a selection index on `class.attr`.
+    pub fn selection_index(&self, class: ClassId, attr: AttrId) -> Option<&IndexDesc> {
+        self.indexes.iter().find(|d| {
+            matches!(&d.kind, IndexKindDesc::Selection { class: c, attr: a }
+                     if *c == class && *a == attr)
+        })
+    }
+
+    /// Find a path index whose attribute path equals `path` — the paper's
+    /// `existPathIndex` constraint of the `collapse` action.
+    pub fn path_index(&self, path: &[(ClassId, AttrId)]) -> Option<&IndexDesc> {
+        self.indexes
+            .iter()
+            .find(|d| matches!(&d.kind, IndexKindDesc::Path { path: p } if p == path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entity_registration_and_lookup() {
+        let mut ps = PhysicalSchema::new();
+        let c = ClassId(0);
+        let e0 = ps.add_entity("Composer", EntitySource::Class(c), None);
+        let e1 = ps.add_entity(
+            "Composer_h1",
+            EntitySource::Class(c),
+            Some(FragmentSpec::Horizontal { predicate: "name < 'M'".into(), fraction: 0.5 }),
+        );
+        assert_eq!(ps.entities_of_class(c), &[e0, e1]);
+        assert_eq!(ps.entity(e0).name, "Composer");
+        assert!(ps.entity(e1).fragment.is_some());
+    }
+
+    #[test]
+    fn clustering_flags() {
+        let mut ps = PhysicalSchema::new();
+        let e = ps.add_entity("C", EntitySource::Class(ClassId(0)), None);
+        assert!(!ps.entity(e).is_clustered(AttrId(1)));
+        ps.set_clustered(e, AttrId(1));
+        ps.set_clustered(e, AttrId(1)); // idempotent
+        assert!(ps.entity(e).is_clustered(AttrId(1)));
+        assert_eq!(ps.entity(e).clustered_attrs.len(), 1);
+    }
+
+    #[test]
+    fn index_lookup_by_shape() {
+        let mut ps = PhysicalSchema::new();
+        let stats = IndexStats { nblevels: 2, nbleaves: 10 };
+        let sel =
+            ps.add_index(IndexKindDesc::Selection { class: ClassId(0), attr: AttrId(0) }, stats);
+        let path = vec![(ClassId(0), AttrId(4)), (ClassId(1), AttrId(2))];
+        let pix = ps.add_index(IndexKindDesc::Path { path: path.clone() }, stats);
+        assert_eq!(ps.selection_index(ClassId(0), AttrId(0)).unwrap().id, sel);
+        assert!(ps.selection_index(ClassId(0), AttrId(1)).is_none());
+        assert_eq!(ps.path_index(&path).unwrap().id, pix);
+        assert!(ps.path_index(&path[..1]).is_none());
+    }
+}

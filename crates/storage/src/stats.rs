@@ -1,0 +1,197 @@
+//! Database statistics feeding the cost model.
+//!
+//! Statistics are collected by scanning segments directly (no I/O
+//! accounting — a real system would maintain them incrementally).
+
+use std::collections::{HashMap, HashSet};
+
+use oorq_schema::{AttrId, ClassId};
+
+use crate::database::Database;
+use crate::physical::{EntityId, EntitySource};
+use crate::value::Value;
+
+/// Per-field statistics of an entity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrStats {
+    /// Number of distinct values (collections: distinct members).
+    pub distinct: u64,
+    /// Average number of members for collection values; 1.0 for scalars
+    /// (counting non-null only).
+    pub avg_fanout: f64,
+    /// Fraction of records whose value is `Null`.
+    pub null_fraction: f64,
+}
+
+impl Default for AttrStats {
+    fn default() -> Self {
+        AttrStats { distinct: 0, avg_fanout: 0.0, null_fraction: 1.0 }
+    }
+}
+
+/// Statistics of one atomic entity.
+#[derive(Debug, Clone, Default)]
+pub struct EntityStats {
+    /// `‖C‖`: number of records.
+    pub cardinality: u64,
+    /// `|C|`: number of pages.
+    pub pages: u64,
+    /// Per-field statistics, in layout order.
+    pub attrs: Vec<AttrStats>,
+}
+
+/// Statistics of the whole database.
+#[derive(Debug, Clone, Default)]
+pub struct DbStats {
+    per_entity: HashMap<EntityId, EntityStats>,
+    /// For self-referencing scalar attributes (e.g. `Composer.master`),
+    /// the maximum and average chain length — used to estimate the number
+    /// of semi-naive iterations of a fixpoint.
+    chain_depth: HashMap<(ClassId, AttrId), ChainDepth>,
+}
+
+/// Chain-length statistics of a self-referencing attribute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChainDepth {
+    /// Longest chain (bounds the iteration count of the fixpoint).
+    pub max: u32,
+    /// Mean chain length.
+    pub avg: f64,
+}
+
+impl DbStats {
+    /// Collect statistics for every entity of the database.
+    pub fn collect(db: &Database) -> Self {
+        let mut per_entity = HashMap::new();
+        for desc in db.physical().entities() {
+            if desc.source == EntitySource::Temporary {
+                continue;
+            }
+            per_entity.insert(desc.id, Self::entity_stats(db, desc.id));
+        }
+        let mut chain_depth = HashMap::new();
+        for (ci, class) in db.catalog().classes().iter().enumerate() {
+            let cid = ClassId(ci as u32);
+            for (ai, attr) in class.attrs.iter().enumerate() {
+                let aid = AttrId(ai as u16);
+                if attr.ty.referenced_class() == Some(cid) && !attr.ty.is_collection() {
+                    if let Some(d) = Self::chain_stats(db, cid, aid) {
+                        chain_depth.insert((cid, aid), d);
+                    }
+                }
+            }
+        }
+        DbStats { per_entity, chain_depth }
+    }
+
+    fn entity_stats(db: &Database, entity: EntityId) -> EntityStats {
+        let rows = db.scan_raw(entity);
+        let n_fields = db.entity_field_types(entity).len();
+        let cardinality = rows.len() as u64;
+        let pages = db.num_pages(entity) as u64;
+        let mut attrs = Vec::with_capacity(n_fields);
+        for f in 0..n_fields {
+            let mut distinct: HashSet<&Value> = HashSet::new();
+            let mut members = 0u64;
+            let mut nulls = 0u64;
+            let mut non_null = 0u64;
+            for row in &rows {
+                match &row.values[f] {
+                    Value::Null => nulls += 1,
+                    v => {
+                        non_null += 1;
+                        for m in v.members() {
+                            distinct.insert(m);
+                            members += 1;
+                        }
+                    }
+                }
+            }
+            attrs.push(AttrStats {
+                distinct: distinct.len() as u64,
+                avg_fanout: if non_null == 0 { 0.0 } else { members as f64 / non_null as f64 },
+                null_fraction: if cardinality == 0 {
+                    1.0
+                } else {
+                    nulls as f64 / cardinality as f64
+                },
+            });
+        }
+        EntityStats { cardinality, pages, attrs }
+    }
+
+    /// Follow `attr` chains from every object of `class` until `Null`
+    /// (with a cycle guard), computing chain-depth statistics.
+    fn chain_stats(db: &Database, class: ClassId, attr: AttrId) -> Option<ChainDepth> {
+        let n = db.object_count(class);
+        if n == 0 {
+            return None;
+        }
+        // Build the successor map without I/O accounting.
+        let entity = *db.physical().entities_of_class(class).first()?;
+        let mut succ: HashMap<u32, Option<u32>> = HashMap::new();
+        for row in db.scan_raw(entity) {
+            let next = match &row.values[attr.0 as usize] {
+                Value::Oid(o) if o.class == class => Some(o.index),
+                _ => None,
+            };
+            succ.insert(row.key, next);
+        }
+        let mut max = 0u32;
+        let mut total = 0u64;
+        for start in succ.keys() {
+            let mut depth = 0u32;
+            let mut cur = Some(*start);
+            let mut hops = 0u32;
+            while let Some(k) = cur {
+                if hops > succ.len() as u32 {
+                    break; // cycle guard
+                }
+                hops += 1;
+                match succ.get(&k) {
+                    Some(Some(next)) => {
+                        depth += 1;
+                        cur = Some(*next);
+                    }
+                    _ => cur = None,
+                }
+            }
+            max = max.max(depth);
+            total += depth as u64;
+        }
+        Some(ChainDepth { max, avg: total as f64 / succ.len().max(1) as f64 })
+    }
+
+    /// Statistics of one entity.
+    pub fn entity(&self, id: EntityId) -> Option<&EntityStats> {
+        self.per_entity.get(&id)
+    }
+
+    /// Insert or replace statistics for an entity (used for temporaries
+    /// whose sizes are estimated rather than measured).
+    pub fn set_entity(&mut self, id: EntityId, stats: EntityStats) {
+        self.per_entity.insert(id, stats);
+    }
+
+    /// Chain-depth statistics of a self-referencing attribute.
+    pub fn chain(&self, class: ClassId, attr: AttrId) -> Option<ChainDepth> {
+        self.chain_depth.get(&(class, attr)).copied()
+    }
+
+    /// The deepest chain of any self-referencing attribute — bounds the
+    /// iteration count of fixpoints over the database.
+    pub fn max_chain_depth(&self) -> Option<u32> {
+        self.chain_depth.values().map(|c| c.max).max()
+    }
+
+    /// The largest average chain depth of any self-referencing attribute.
+    pub fn avg_chain_depth(&self) -> Option<f64> {
+        self.chain_depth.values().map(|c| c.avg).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(a) if v > a => v,
+                Some(a) => a,
+            })
+        })
+    }
+}

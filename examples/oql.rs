@@ -1,0 +1,105 @@
+//! Textual query front-end: parse an OQL-style program, optimize it
+//! cost-controlled, print the chosen plan, and execute it.
+//!
+//! Run with a program as the first argument, or without arguments to run
+//! the built-in Figure 3 program:
+//!
+//! ```text
+//! cargo run --release --example oql -- '
+//!   select [name: c.name] from c in Composer where c.birth_year >= 1700'
+//! ```
+
+use std::rc::Rc;
+
+use oorq::cost::{CostModel, CostParams};
+use oorq::datagen::{MusicConfig, MusicDb};
+use oorq::exec::{Executor, MethodRegistry};
+use oorq::index::{IndexSet, PathIndex, SelectionIndex};
+use oorq::optimizer::{Optimizer, OptimizerConfig};
+use oorq::query::parse::parse_query;
+use oorq::query::paper::music_catalog;
+use oorq::storage::DbStats;
+
+const DEFAULT_PROGRAM: &str = r#"
+-- The paper's Figure 3, as text.
+view Influencer as
+  select [master: x.master, disciple: x, gen: 1]
+  from x in Composer
+  where x.master <> null
+  union
+  select [master: i.master, disciple: x, gen: i.gen + 1]
+  from i in Influencer, x in Composer
+  where i.disciple = x.master;
+
+select [name: i.disciple.name, gen: i.gen]
+from i in Influencer
+where i.master.works.instruments.name = "harpsichord" and i.gen >= 3
+"#;
+
+fn main() {
+    let program = std::env::args().nth(1).unwrap_or_else(|| DEFAULT_PROGRAM.to_string());
+    let catalog = Rc::new(music_catalog());
+
+    let query = match parse_query(&catalog, &program) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = query.validate(&catalog) {
+        eprintln!("invalid query: {e}");
+        std::process::exit(1);
+    }
+    println!("parsed query graph:\n{}\n", query.display(&catalog));
+
+    let mut music = MusicDb::generate(
+        Rc::clone(&catalog),
+        MusicConfig { chains: 8, chain_len: 8, harpsichord_fraction: 0.3, ..Default::default() },
+    );
+    let mut indexes = IndexSet::new();
+    indexes.add_path(PathIndex::build(
+        &mut music.db,
+        vec![(music.composer, music.works_attr), (music.composition, music.instruments_attr)],
+    ));
+    indexes.add_selection(SelectionIndex::build(&mut music.db, music.composer, music.name_attr));
+    let stats = DbStats::collect(&music.db);
+
+    let model =
+        CostModel::new(music.db.catalog(), music.db.physical(), &stats, CostParams::default());
+    let plan = match Optimizer::new(model, OptimizerConfig::cost_controlled()).optimize(&query) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot optimize: {e}");
+            std::process::exit(1);
+        }
+    };
+    let env = oorq::pt::PtEnv {
+        catalog: music.db.catalog(),
+        physical: music.db.physical(),
+        temp_fields: [("Influencer".to_string(), music.influencer_fields())]
+            .into_iter()
+            .collect(),
+    };
+    println!("chosen plan (estimated {:.0}):", plan.cost.total(&CostParams::default()));
+    println!("{}\n", plan.pt.explain(&env));
+
+    let methods = MethodRegistry::with_music_methods(music.db.catalog());
+    music.db.cold_cache();
+    let mut executor = Executor::new(&mut music.db, &indexes, &methods);
+    match executor.run(&plan.pt) {
+        Ok(answer) => {
+            println!("{} row(s): {}", answer.len(), answer.cols.join(" | "));
+            for row in answer.rows.iter().take(20) {
+                let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                println!("  {}", cells.join(" | "));
+            }
+            let r = executor.report();
+            println!(
+                "\nmeasured: {} page reads, {} index reads, {} evaluations, {} method calls",
+                r.io.page_reads, r.io.index_reads, r.evals, r.method_calls
+            );
+        }
+        Err(e) => eprintln!("execution failed: {e}"),
+    }
+}

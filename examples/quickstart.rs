@@ -1,0 +1,94 @@
+//! Quickstart: define a schema, load objects, ask a recursive query,
+//! optimize it cost-controlled, and execute the plan.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::rc::Rc;
+
+use oorq::cost::{CostModel, CostParams};
+use oorq::datagen::{MusicConfig, MusicDb};
+use oorq::exec::{Executor, MethodRegistry};
+use oorq::index::{IndexSet, PathIndex, SelectionIndex};
+use oorq::optimizer::{Optimizer, OptimizerConfig};
+use oorq::query::paper::{influencer_view, music_catalog};
+use oorq::query::{Expr, NameRef, QArc, QueryGraph, SpjNode};
+use oorq::storage::DbStats;
+
+fn main() {
+    // 1. The conceptual schema (the paper's Figure 1): Person, Composer
+    //    isa Person, Composition, Instrument, and the recursive
+    //    Influencer view.
+    let catalog = Rc::new(music_catalog());
+    println!("schema: {} classes, {} relations/views", catalog.classes().len(), catalog.relations().len());
+
+    // 2. A synthetic object base: 8 master-chains of 8 composers, with
+    //    nested works and instruments, physically scattered (unclustered).
+    let mut music = MusicDb::generate(
+        Rc::clone(&catalog),
+        MusicConfig { chains: 8, chain_len: 8, harpsichord_fraction: 0.3, ..Default::default() },
+    );
+    println!("loaded {} composers", music.composer_count());
+
+    // 3. The physical design: a Maier–Stein path index on
+    //    works.instruments and a B+-tree on Composer.name.
+    let mut indexes = IndexSet::new();
+    indexes.add_path(PathIndex::build(
+        &mut music.db,
+        vec![(music.composer, music.works_attr), (music.composition, music.instruments_attr)],
+    ));
+    indexes.add_selection(SelectionIndex::build(&mut music.db, music.composer, music.name_attr));
+
+    // 4. A recursive query: "names of composers influenced — over at
+    //    least 3 generations — by composers for harpsichord".
+    let influencer = catalog.relation_by_name("Influencer").expect("declared in the schema");
+    let mut query = QueryGraph::new(NameRef::Derived("Answer".into()));
+    query.add_spj(
+        NameRef::Derived("Answer".into()),
+        SpjNode {
+            inputs: vec![QArc::new(NameRef::Relation(influencer), "i")],
+            pred: Expr::path("i", &["master", "works", "instruments", "name"])
+                .eq(Expr::text("harpsichord"))
+                .and(Expr::path("i", &["gen"]).ge(Expr::int(3))),
+            out_proj: vec![("name".into(), Expr::path("i", &["disciple", "name"]))],
+        },
+    );
+    influencer_view(&catalog).expand(&mut query, &catalog).expect("view registered");
+    println!("\nquery graph:\n{}", query.display(&catalog));
+
+    // 5. Optimize with the paper's cost-controlled strategy: the decision
+    //    of pushing the harpsichord selection through the recursion is
+    //    taken by comparing complete-plan costs, not by heuristic.
+    let stats = DbStats::collect(&music.db);
+    let model = CostModel::new(music.db.catalog(), music.db.physical(), &stats, CostParams::default());
+    let mut optimizer = Optimizer::new(model, OptimizerConfig::cost_controlled());
+    let plan = optimizer.optimize(&query).expect("query optimizes");
+    drop(optimizer);
+    println!(
+        "\nchosen plan (estimated cost {:.0} io + {:.0} cpu):",
+        plan.cost.cost.io, plan.cost.cost.cpu
+    );
+    let env = oorq::pt::PtEnv {
+        catalog: music.db.catalog(),
+        physical: music.db.physical(),
+        temp_fields: [("Influencer".to_string(), music.influencer_fields())].into_iter().collect(),
+    };
+    println!("  {}", plan.pt.display(&env));
+    println!("\noptimization trace (the paper's Figure 6):\n{}", plan.trace.summary());
+
+    // 6. Execute with honest page-I/O accounting.
+    let methods = MethodRegistry::with_music_methods(music.db.catalog());
+    music.db.cold_cache();
+    let mut executor = Executor::new(&mut music.db, &indexes, &methods);
+    let answer = executor.run(&plan.pt).expect("plan executes");
+    let report = executor.report();
+    println!(
+        "answer: {} composers; measured {} page reads, {} index reads, {} evaluations",
+        answer.len(),
+        report.io.page_reads,
+        report.io.index_reads,
+        report.evals
+    );
+    for row in answer.rows.iter().take(5) {
+        println!("  {}", row[0]);
+    }
+}

@@ -1,0 +1,14 @@
+//! Facade crate re-exporting the whole OORQ public API.
+//!
+//! See the individual crates for details:
+//! [`oorq_schema`], [`oorq_storage`], [`oorq_index`], [`oorq_query`],
+//! [`oorq_pt`], [`oorq_cost`], [`oorq_exec`], [`oorq_core`], [`oorq_datagen`].
+pub use oorq_core as optimizer;
+pub use oorq_cost as cost;
+pub use oorq_datagen as datagen;
+pub use oorq_exec as exec;
+pub use oorq_index as index;
+pub use oorq_pt as pt;
+pub use oorq_query as query;
+pub use oorq_schema as schema;
+pub use oorq_storage as storage;

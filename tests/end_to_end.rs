@@ -1,0 +1,250 @@
+//! Cross-crate integration tests: every plan the optimizer emits —
+//! under every strategy — must produce exactly the reference evaluator's
+//! answer, across schemas and physical designs.
+
+use std::rc::Rc;
+
+use oorq::cost::{CostModel, CostParams};
+use oorq::datagen::{parts_catalog, ChainConfig, ChainDb, MusicConfig, MusicDb, PartsConfig, PartsDb};
+use oorq::exec::{eval_query_graph, Executor, MethodRegistry};
+use oorq::index::{IndexSet, PathIndex, SelectionIndex};
+use oorq::optimizer::{Optimized, Optimizer, OptimizerConfig};
+use oorq::query::paper::{fig2_query, influencer_view, music_catalog, sec45_pushjoin_query};
+use oorq::query::{Expr, NameRef, QArc, QueryGraph, SpjNode, ViewRegistry};
+use oorq::storage::{Database, DbStats};
+
+fn all_configs() -> Vec<OptimizerConfig> {
+    vec![
+        OptimizerConfig::cost_controlled(),
+        OptimizerConfig::deductive_heuristic(),
+        OptimizerConfig::never_push(),
+        OptimizerConfig::exhaustive(),
+        OptimizerConfig {
+            spj_strategy: oorq::optimizer::SpjStrategy::Greedy,
+            ..OptimizerConfig::cost_controlled()
+        },
+    ]
+}
+
+fn optimize(db: &Database, stats: &DbStats, q: &QueryGraph, config: OptimizerConfig) -> Optimized {
+    let model = CostModel::new(db.catalog(), db.physical(), stats, CostParams::default());
+    Optimizer::new(model, config).optimize(q).expect("optimizes")
+}
+
+fn check_equivalence(
+    db: &mut Database,
+    idx: &IndexSet,
+    methods: &MethodRegistry,
+    q: &QueryGraph,
+    label: &str,
+) {
+    let stats = DbStats::collect(db);
+    let reference = eval_query_graph(db, methods, q).expect("reference evaluates");
+    for config in all_configs() {
+        let plan = optimize(db, &stats, q, config.clone());
+        let mut ex = Executor::new(db, idx, methods);
+        let got = ex.run(&plan.pt).expect("plan executes");
+        let mut a = reference.rows.clone();
+        let mut b = got.rows.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "{label}: {config:?} diverged from the reference");
+    }
+}
+
+fn music_setup(cfg: MusicConfig) -> (MusicDb, IndexSet) {
+    let cat = Rc::new(music_catalog());
+    let mut m = MusicDb::generate(cat, cfg);
+    let mut idx = IndexSet::new();
+    idx.add_path(PathIndex::build(
+        &mut m.db,
+        vec![(m.composer, m.works_attr), (m.composition, m.instruments_attr)],
+    ));
+    idx.add_selection(SelectionIndex::build(&mut m.db, m.composer, m.name_attr));
+    (m, idx)
+}
+
+fn fig3_gen(cat: &oorq::schema::Catalog, gen: i64) -> QueryGraph {
+    let influencer = cat.relation_by_name("Influencer").unwrap();
+    let mut q = QueryGraph::new(NameRef::Derived("Answer".into()));
+    q.add_spj(
+        NameRef::Derived("Answer".into()),
+        SpjNode {
+            inputs: vec![QArc::new(NameRef::Relation(influencer), "i")],
+            pred: Expr::path("i", &["master", "works", "instruments", "name"])
+                .eq(Expr::text("harpsichord"))
+                .and(Expr::path("i", &["gen"]).ge(Expr::int(gen))),
+            out_proj: vec![("name".into(), Expr::path("i", &["disciple", "name"]))],
+        },
+    );
+    influencer_view(cat).expand(&mut q, cat).unwrap();
+    q
+}
+
+#[test]
+fn music_queries_all_strategies_match_reference() {
+    let (mut m, idx) = music_setup(MusicConfig {
+        chains: 3,
+        chain_len: 5,
+        works_per_composer: 2,
+        instruments_per_work: 2,
+        harpsichord_fraction: 0.5,
+        ..Default::default()
+    });
+    let methods = MethodRegistry::new();
+    let cat = m.db.catalog_rc();
+    check_equivalence(&mut m.db, &idx, &methods, &fig2_query(&cat), "fig2");
+    check_equivalence(&mut m.db, &idx, &methods, &fig3_gen(&cat, 2), "fig3");
+    let qj = {
+        let mut q = sec45_pushjoin_query(&cat);
+        influencer_view(&cat).expand(&mut q, &cat).unwrap();
+        q
+    };
+    check_equivalence(&mut m.db, &idx, &methods, &qj, "pushjoin");
+}
+
+#[test]
+fn clustered_physical_design_matches_reference() {
+    let (mut m, idx) = music_setup(MusicConfig {
+        chains: 2,
+        chain_len: 6,
+        clustered: true,
+        harpsichord_fraction: 0.6,
+        ..Default::default()
+    });
+    let methods = MethodRegistry::new();
+    let cat = m.db.catalog_rc();
+    check_equivalence(&mut m.db, &idx, &methods, &fig3_gen(&cat, 2), "fig3-clustered");
+}
+
+#[test]
+fn queries_with_methods_match_reference() {
+    // A query whose predicate invokes the computed attribute `age`.
+    let (mut m, idx) = music_setup(MusicConfig { chains: 3, chain_len: 4, ..Default::default() });
+    let cat = m.db.catalog_rc();
+    let composer = cat.class_by_name("Composer").unwrap();
+    let mut q = QueryGraph::new(NameRef::Derived("A".into()));
+    q.add_spj(
+        NameRef::Derived("A".into()),
+        SpjNode {
+            inputs: vec![QArc::new(NameRef::Class(composer), "x")],
+            pred: Expr::path("x", &["age"]).ge(Expr::int(60)),
+            out_proj: vec![("name".into(), Expr::path("x", &["name"]))],
+        },
+    );
+    let methods = MethodRegistry::with_music_methods(&cat);
+    check_equivalence(&mut m.db, &idx, &methods, &q, "method-query");
+}
+
+#[test]
+fn parts_bom_query_matches_reference() {
+    let cat = Rc::new(parts_catalog());
+    let mut p = PartsDb::generate(
+        Rc::clone(&cat),
+        PartsConfig { roots: 2, fanout: 2, depth: 3, ..Default::default() },
+    );
+    let part = cat.class_by_name("Part").unwrap();
+    let contains = cat.relation_by_name("Contains").unwrap();
+    let mut reg = ViewRegistry::new();
+    reg.define(
+        contains,
+        vec![
+            SpjNode {
+                inputs: vec![
+                    QArc::new(NameRef::Class(part), "p"),
+                    QArc::new(NameRef::Class(part), "s"),
+                ],
+                pred: Expr::path("p", &["subparts"]).eq(Expr::var("s")),
+                out_proj: vec![
+                    ("assembly".into(), Expr::var("p")),
+                    ("component".into(), Expr::var("s")),
+                    ("depth".into(), Expr::int(1)),
+                ],
+            },
+            SpjNode {
+                inputs: vec![
+                    QArc::new(NameRef::Relation(contains), "c"),
+                    QArc::new(NameRef::Class(part), "s"),
+                ],
+                pred: Expr::path("c", &["component", "subparts"]).eq(Expr::var("s")),
+                out_proj: vec![
+                    ("assembly".into(), Expr::path("c", &["assembly"])),
+                    ("component".into(), Expr::var("s")),
+                    ("depth".into(), Expr::path("c", &["depth"]).add(Expr::int(1))),
+                ],
+            },
+        ],
+    );
+    let mut q = QueryGraph::new(NameRef::Derived("Answer".into()));
+    q.add_spj(
+        NameRef::Derived("Answer".into()),
+        SpjNode {
+            inputs: vec![QArc::new(NameRef::Relation(contains), "k")],
+            pred: Expr::path("k", &["assembly", "name"])
+                .eq(Expr::text("asm0"))
+                .and(Expr::path("k", &["component", "weight"]).ge(Expr::int(40))),
+            out_proj: vec![
+                ("component".into(), Expr::path("k", &["component", "name"])),
+                ("cost".into(), Expr::path("k", &["component", "unit_test_cost"])),
+            ],
+        },
+    );
+    reg.expand(&mut q, &cat).unwrap();
+    let methods = MethodRegistry::with_parts_methods(&cat);
+    let idx = IndexSet::new();
+    check_equivalence(&mut p.db, &idx, &methods, &q, "parts-bom");
+    // Sanity: the answer is the set of heavy descendants of asm0.
+    let reference = eval_query_graph(&p.db, &methods, &q).unwrap();
+    assert!(!reference.is_empty());
+}
+
+#[test]
+fn chain_joins_match_reference_across_strategies() {
+    let mut chain =
+        ChainDb::generate(ChainConfig { relations: 4, rows: 40, domain: 12, seed: 3 });
+    let q = chain.chain_query(6);
+    let methods = MethodRegistry::new();
+    let idx = IndexSet::new();
+    check_equivalence(&mut chain.db, &idx, &methods, &q, "chain-4");
+}
+
+#[test]
+fn decomposed_extensions_still_answer_queries() {
+    // Vertically decompose Composition; the executor reads through
+    // fragments transparently.
+    let (mut m, idx) = music_setup(MusicConfig { chains: 2, chain_len: 4, ..Default::default() });
+    let cat = m.db.catalog_rc();
+    let composition = cat.class_by_name("Composition").unwrap();
+    let (title, _) = cat.attr(composition, "title").unwrap();
+    let (author, _) = cat.attr(composition, "author").unwrap();
+    let (instruments, _) = cat.attr(composition, "instruments").unwrap();
+    m.db.decompose_vertical(composition, &[vec![title], vec![author, instruments]])
+        .unwrap();
+    let methods = MethodRegistry::new();
+    // A query touching both fragments through paths.
+    let composer = cat.class_by_name("Composer").unwrap();
+    let mut q = QueryGraph::new(NameRef::Derived("A".into()));
+    q.add_spj(
+        NameRef::Derived("A".into()),
+        SpjNode {
+            inputs: vec![QArc::new(NameRef::Class(composer), "x")],
+            pred: Expr::path("x", &["works", "instruments", "name"]).eq(Expr::text("flute")),
+            out_proj: vec![("name".into(), Expr::path("x", &["name"]))],
+        },
+    );
+    let reference = eval_query_graph(&m.db, &methods, &q).unwrap();
+    let stats = DbStats::collect(&m.db);
+    let plan = optimize(&m.db, &stats, &q, OptimizerConfig::cost_controlled());
+    let mut ex = Executor::new(&mut m.db, &idx, &methods);
+    let got = ex.run(&plan.pt).unwrap();
+    let mut a = reference.rows.clone();
+    let mut b = got.rows.clone();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn reports_semantics_verified() {
+    oorq_bench::reports::verify_reports_semantics().expect("report plans are sound");
+}

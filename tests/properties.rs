@@ -1,0 +1,168 @@
+//! Property-based integration tests: on randomized databases and query
+//! parameters, every optimizer configuration produces plans that match
+//! the reference evaluator, and the optimality ordering of the search
+//! strategies holds.
+
+use std::rc::Rc;
+
+use oorq::cost::{CostModel, CostParams};
+use oorq::datagen::{ChainConfig, ChainDb, MusicConfig, MusicDb};
+use oorq::exec::{eval_query_graph, Executor, MethodRegistry};
+use oorq::index::{IndexSet, PathIndex, SelectionIndex};
+use oorq::optimizer::{Optimizer, OptimizerConfig, SpjStrategy};
+use oorq::query::paper::{influencer_view, music_catalog};
+use oorq::query::{Expr, NameRef, QArc, QueryGraph, SpjNode};
+use oorq::storage::DbStats;
+use proptest::prelude::*;
+
+fn music(chains: u32, len: u32, works: u32, fraction: f64, seed: u64) -> (MusicDb, IndexSet) {
+    let cat = Rc::new(music_catalog());
+    let mut m = MusicDb::generate(
+        cat,
+        MusicConfig {
+            chains,
+            chain_len: len,
+            works_per_composer: works,
+            instruments_per_work: 2,
+            harpsichord_fraction: fraction,
+            seed,
+            ..Default::default()
+        },
+    );
+    let mut idx = IndexSet::new();
+    idx.add_path(PathIndex::build(
+        &mut m.db,
+        vec![(m.composer, m.works_attr), (m.composition, m.instruments_attr)],
+    ));
+    idx.add_selection(SelectionIndex::build(&mut m.db, m.composer, m.name_attr));
+    (m, idx)
+}
+
+fn influenced(cat: &oorq::schema::Catalog, gen: i64, instrument: &str) -> QueryGraph {
+    let influencer = cat.relation_by_name("Influencer").unwrap();
+    let mut q = QueryGraph::new(NameRef::Derived("Answer".into()));
+    q.add_spj(
+        NameRef::Derived("Answer".into()),
+        SpjNode {
+            inputs: vec![QArc::new(NameRef::Relation(influencer), "i")],
+            pred: Expr::path("i", &["master", "works", "instruments", "name"])
+                .eq(Expr::text(instrument))
+                .and(Expr::path("i", &["gen"]).ge(Expr::int(gen))),
+            out_proj: vec![
+                ("name".into(), Expr::path("i", &["disciple", "name"])),
+                ("gen".into(), Expr::path("i", &["gen"])),
+            ],
+        },
+    );
+    influencer_view(cat).expand(&mut q, cat).unwrap();
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// Optimized plans preserve query semantics on random databases and
+    /// filter parameters, pushed or not.
+    #[test]
+    fn optimizer_preserves_semantics(
+        chains in 1u32..4,
+        len in 2u32..6,
+        works in 1u32..3,
+        fraction in 0.0f64..1.0,
+        seed in 0u64..1000,
+        gen in 1i64..4,
+        instrument_idx in 0usize..3,
+    ) {
+        let instrument = ["harpsichord", "flute", "instrument2"][instrument_idx];
+        let (mut m, idx) = music(chains, len, works, fraction, seed);
+        let cat = m.db.catalog_rc();
+        let q = influenced(&cat, gen, instrument);
+        let methods = MethodRegistry::new();
+        let reference = eval_query_graph(&m.db, &methods, &q).unwrap();
+        let stats = DbStats::collect(&m.db);
+        for config in [
+            OptimizerConfig::cost_controlled(),
+            OptimizerConfig::deductive_heuristic(),
+            OptimizerConfig::never_push(),
+        ] {
+            let plan = {
+                let model = CostModel::new(
+                    m.db.catalog(), m.db.physical(), &stats, CostParams::default());
+                Optimizer::new(model, config.clone()).optimize(&q).unwrap()
+            };
+            let mut ex = Executor::new(&mut m.db, &idx, &methods);
+            let got = ex.run(&plan.pt).unwrap();
+            let mut a = reference.rows.clone();
+            let mut b = got.rows.clone();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b, "{:?} diverged", config);
+        }
+    }
+
+    /// Exhaustive enumeration never loses to DP or greedy (estimated
+    /// cost), and all three agree with the reference on answers.
+    #[test]
+    fn strategy_optimality_ordering(
+        relations in 2usize..4,
+        rows in 10u32..25,
+        domain in 5i64..20,
+        seed in 0u64..1000,
+        limit in 1i64..10,
+    ) {
+        let mut chain = ChainDb::generate(ChainConfig { relations, rows, domain, seed });
+        let q = chain.chain_query(limit);
+        let stats = DbStats::collect(&chain.db);
+        let params = CostParams::default();
+        let mut costs = Vec::new();
+        let methods = MethodRegistry::new();
+        let reference = eval_query_graph(&chain.db, &methods, &q).unwrap();
+        for strategy in [SpjStrategy::Exhaustive, SpjStrategy::Dp, SpjStrategy::Greedy] {
+            let plan = {
+                let model = CostModel::new(
+                    chain.db.catalog(), chain.db.physical(), &stats, params);
+                Optimizer::new(
+                    model,
+                    OptimizerConfig { spj_strategy: strategy, rand: None, ..Default::default() },
+                )
+                .optimize(&q)
+                .unwrap()
+            };
+            costs.push(plan.cost.total(&params));
+            let idx = IndexSet::new();
+            let mut ex = Executor::new(&mut chain.db, &idx, &methods);
+            let got = ex.run(&plan.pt).unwrap();
+            let mut a = reference.rows.clone();
+            let mut b = got.rows.clone();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b, "{:?} diverged", strategy);
+        }
+        prop_assert!(costs[0] <= costs[1] + 1e-6, "exhaustive {} > dp {}", costs[0], costs[1]);
+        prop_assert!(costs[0] <= costs[2] + 1e-6, "exhaustive {} > greedy {}", costs[0], costs[2]);
+    }
+
+    /// Cost estimates are finite, non-negative, and monotone in database
+    /// cardinality for the fixpoint query.
+    #[test]
+    fn cost_is_sane_and_monotone(seed in 0u64..500) {
+        let (small, _) = music(2, 3, 2, 0.5, seed);
+        let (large, _) = music(6, 6, 2, 0.5, seed);
+        let cat = small.db.catalog_rc();
+        let q = influenced(&cat, 2, "harpsichord");
+        let mut totals = Vec::new();
+        for m in [&small, &large] {
+            let stats = DbStats::collect(&m.db);
+            let model = CostModel::new(
+                m.db.catalog(), m.db.physical(), &stats, CostParams::default());
+            let plan = Optimizer::new(model, OptimizerConfig::never_push())
+                .optimize(&q)
+                .unwrap();
+            let t = plan.cost.total(&CostParams::default());
+            prop_assert!(t.is_finite() && t >= 0.0);
+            totals.push(t);
+        }
+        prop_assert!(totals[1] > totals[0],
+            "larger database must cost more: {} vs {}", totals[1], totals[0]);
+    }
+}
