@@ -1,0 +1,14 @@
+#!/bin/sh
+# Repo CI gate: formatting, lints, tests. Run from the repo root.
+set -eu
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "CI OK"

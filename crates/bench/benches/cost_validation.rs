@@ -1,29 +1,29 @@
 //! E11: cost-model validation — the executor runs the plans the model
-//! priced; Criterion measures the wall-clock side of the story while the
-//! `reproduce validate` table compares the resource counts.
+//! priced; the harness measures the wall-clock side of the story while
+//! the `reproduce validate` table compares the resource counts.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use oorq_bench::harness::Group;
 use oorq_bench::PaperSetup;
 use oorq_core::OptimizerConfig;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cost_validation");
+fn main() {
+    let mut group = Group::new("cost_validation");
     group.sample_size(10);
-    group.bench_function("fig3_execute_and_account", |b| {
+    {
         let mut setup = PaperSetup::new(PaperSetup::paper_scale());
         let q = setup.fig3_gen(3);
         let plan = setup.optimize(&q, OptimizerConfig::cost_controlled());
-        b.iter(|| setup.execute(&plan.pt));
-    });
-    group.bench_function("fig3_estimate_only", |b| {
+        group.bench_function("fig3_execute_and_account", || setup.execute(&plan.pt));
+    }
+    {
         let setup = PaperSetup::new(PaperSetup::paper_scale());
         let q = setup.fig3_gen(3);
-        b.iter(|| setup.optimize(&q, OptimizerConfig::cost_controlled()).cost.total(
-            &oorq_cost::CostParams::default(),
-        ));
-    });
+        group.bench_function("fig3_estimate_only", || {
+            setup
+                .optimize(&q, OptimizerConfig::cost_controlled())
+                .cost
+                .total(&oorq_cost::CostParams::default())
+        });
+    }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,13 +1,13 @@
 //! E9: the push/no-push crossover — executing both plans at the extreme
 //! selectivities shows why the decision needs a cost model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oorq_bench::harness::Group;
 use oorq_bench::PaperSetup;
 use oorq_core::OptimizerConfig;
 use oorq_datagen::MusicConfig;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("crossover");
+fn main() {
+    let mut group = Group::new("crossover");
     group.sample_size(10);
     for fraction in [0.05f64, 0.9] {
         let cfg = MusicConfig {
@@ -20,20 +20,11 @@ fn bench(c: &mut Criterion) {
             ("unpushed", OptimizerConfig::never_push()),
             ("pushed", OptimizerConfig::deductive_heuristic()),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, fraction),
-                &fraction,
-                |b, _| {
-                    let mut setup = PaperSetup::new(cfg.clone());
-                    let q = setup.fig3_gen(3);
-                    let plan = setup.optimize(&q, config.clone());
-                    b.iter(|| setup.execute(&plan.pt));
-                },
-            );
+            let mut setup = PaperSetup::new(cfg.clone());
+            let q = setup.fig3_gen(3);
+            let plan = setup.optimize(&q, config.clone());
+            group.bench_function(&format!("{name}/{fraction}"), || setup.execute(&plan.pt));
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

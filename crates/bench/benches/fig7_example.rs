@@ -1,35 +1,38 @@
 //! E7 (Figure 7 / §4.6): the comprehensive example — optimize the
 //! Figure 3 query with and without pushing, and execute both plans.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use oorq_bench::harness::Group;
 use oorq_bench::PaperSetup;
 use oorq_core::OptimizerConfig;
 use oorq_datagen::MusicConfig;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7");
+fn main() {
+    let mut group = Group::new("fig7");
     group.sample_size(10);
-    let cfg = MusicConfig { chains: 6, chain_len: 6, ..PaperSetup::paper_scale() };
+    let cfg = MusicConfig {
+        chains: 6,
+        chain_len: 6,
+        ..PaperSetup::paper_scale()
+    };
 
-    group.bench_function("optimize_cost_controlled", |b| {
+    {
         let setup = PaperSetup::new(cfg.clone());
         let q = setup.fig3();
-        b.iter(|| setup.optimize(&q, OptimizerConfig::cost_controlled()));
-    });
-    group.bench_function("execute_pt_i_unpushed", |b| {
+        group.bench_function("optimize_cost_controlled", || {
+            setup.optimize(&q, OptimizerConfig::cost_controlled())
+        });
+    }
+    {
         let mut setup = PaperSetup::new(cfg.clone());
         let q = setup.fig3();
         let plan = setup.optimize(&q, OptimizerConfig::never_push());
-        b.iter(|| setup.execute(&plan.pt));
-    });
-    group.bench_function("execute_pt_ii_pushed", |b| {
+        group.bench_function("execute_pt_i_unpushed", || setup.execute(&plan.pt));
+    }
+    {
         let mut setup = PaperSetup::new(cfg.clone());
         let q = setup.fig3();
         let plan = setup.optimize(&q, OptimizerConfig::deductive_heuristic());
-        b.iter(|| setup.execute(&plan.pt));
-    });
+        group.bench_function("execute_pt_ii_pushed", || setup.execute(&plan.pt));
+    }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,30 +1,31 @@
 //! E8 (§4.5): pushing a very selective join through recursion — the
 //! transformation this paper is the first to explore.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use oorq_bench::harness::Group;
 use oorq_bench::PaperSetup;
 use oorq_core::OptimizerConfig;
 use oorq_datagen::MusicConfig;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("push_join");
+fn main() {
+    let mut group = Group::new("push_join");
     group.sample_size(10);
-    let cfg = MusicConfig { chains: 12, chain_len: 8, ..PaperSetup::paper_scale() };
+    let cfg = MusicConfig {
+        chains: 12,
+        chain_len: 8,
+        ..PaperSetup::paper_scale()
+    };
 
-    group.bench_function("execute_unpushed", |b| {
+    {
         let mut setup = PaperSetup::new(cfg.clone());
         let q = setup.pushjoin();
         let plan = setup.optimize(&q, OptimizerConfig::never_push());
-        b.iter(|| setup.execute(&plan.pt));
-    });
-    group.bench_function("execute_pushed_semijoin", |b| {
+        group.bench_function("execute_unpushed", || setup.execute(&plan.pt));
+    }
+    {
         let mut setup = PaperSetup::new(cfg.clone());
         let q = setup.pushjoin();
         let plan = setup.optimize(&q, OptimizerConfig::cost_controlled());
-        b.iter(|| setup.execute(&plan.pt));
-    });
+        group.bench_function("execute_pushed_semijoin", || setup.execute(&plan.pt));
+    }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

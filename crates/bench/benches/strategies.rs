@@ -1,17 +1,21 @@
 //! E10: join-enumeration strategies (exhaustive \[KZ88\] vs Selinger DP vs
 //! greedy) — optimization time as the join count grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oorq_bench::harness::Group;
 use oorq_core::{Optimizer, OptimizerConfig, SpjStrategy};
 use oorq_cost::{CostModel, CostParams};
 use oorq_datagen::{ChainConfig, ChainDb};
 use oorq_storage::DbStats;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("strategies");
+fn main() {
+    let mut group = Group::new("strategies");
     group.sample_size(10);
     for k in [3usize, 5, 7] {
-        let chain = ChainDb::generate(ChainConfig { relations: k, rows: 100, ..Default::default() });
+        let chain = ChainDb::generate(ChainConfig {
+            relations: k,
+            rows: 100,
+            ..Default::default()
+        });
         let stats = DbStats::collect(&chain.db);
         let q = chain.chain_query(25);
         for (name, strategy) in [
@@ -19,26 +23,25 @@ fn bench(c: &mut Criterion) {
             ("dp", SpjStrategy::Dp),
             ("greedy", SpjStrategy::Greedy),
         ] {
-            group.bench_with_input(BenchmarkId::new(name, k), &k, |b, _| {
-                b.iter(|| {
-                    let model = CostModel::new(
-                        chain.db.catalog(),
-                        chain.db.physical(),
-                        &stats,
-                        CostParams::default(),
-                    );
-                    Optimizer::new(
-                        model,
-                        OptimizerConfig { spj_strategy: strategy, rand: None, ..Default::default() },
-                    )
-                    .optimize(&q)
-                    .expect("optimizes")
-                });
+            group.bench_function(&format!("{name}/{k}"), || {
+                let model = CostModel::new(
+                    chain.db.catalog(),
+                    chain.db.physical(),
+                    &stats,
+                    CostParams::default(),
+                );
+                Optimizer::new(
+                    model,
+                    OptimizerConfig {
+                        spj_strategy: strategy,
+                        rand: None,
+                        ..Default::default()
+                    },
+                )
+                .optimize(&q)
+                .expect("optimizes")
             });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! Usage: `reproduce [section]` where section is one of
 //! `fig1 fig2 fig3 fig4 fig5 fig6 fig7 pushjoin crossover strategies
-//! ablation validate all` (default: `all`).
+//! ablation lint validate all` (default: `all`).
 
 use oorq_bench::reports::*;
 use oorq_bench::PaperSetup;
@@ -51,6 +51,10 @@ fn main() {
     }
     if want("ablation") {
         println!("{}", ablation_report());
+    }
+    if want("lint") {
+        let setup = PaperSetup::new(PaperSetup::paper_scale());
+        println!("{}", lint_report(&setup));
     }
     if want("validate") {
         println!("{}", validation_report());

@@ -1,0 +1,82 @@
+//! A minimal wall-clock benchmark harness for the `[[bench]]` targets
+//! (`harness = false`), with no dependency outside the standard library.
+//!
+//! The surface intentionally mirrors the subset of Criterion the benches
+//! use: a named group, a configurable sample size, and one timed closure
+//! per case. Each case is warmed up once, then sampled `sample_size`
+//! times; min / median / max wall-clock times are printed per case.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A named group of benchmark cases.
+pub struct Group {
+    name: String,
+    sample_size: usize,
+    printed_header: bool,
+}
+
+impl Group {
+    /// New group with the default sample size (10).
+    pub fn new(name: impl Into<String>) -> Self {
+        Group {
+            name: name.into(),
+            sample_size: 10,
+            printed_header: false,
+        }
+    }
+
+    /// Override the number of timed samples per case.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time one case: warm up once, then run `sample_size` samples.
+    pub fn bench_function<T>(&mut self, case: &str, mut f: impl FnMut() -> T) {
+        if !self.printed_header {
+            println!(
+                "{:<40} {:>12} {:>12} {:>12}",
+                self.name, "min", "median", "max"
+            );
+            self.printed_header = true;
+        }
+        black_box(f());
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            samples.push(start.elapsed());
+        }
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let max = samples[samples.len() - 1];
+        println!(
+            "{:<40} {:>12} {:>12} {:>12}",
+            format!("{}/{}", self.name, case),
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(max),
+        );
+    }
+
+    /// End the group (parity with the Criterion API; prints a blank
+    /// separator line).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}

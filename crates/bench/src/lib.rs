@@ -2,9 +2,10 @@
 //!
 //! The [`scenarios`] module builds the standard experimental setups; the
 //! [`reports`] module produces the tables printed by the `reproduce`
-//! binary (one section per figure / worked example) and exercised by the
-//! Criterion benches.
+//! binary (one section per figure / worked example); the [`harness`]
+//! module is the minimal wall-clock timer the `[[bench]]` targets use.
 
+pub mod harness;
 pub mod reports;
 pub mod scenarios;
 
@@ -25,7 +26,12 @@ mod tests {
         });
         let mut env = fig7_symbol_env(&setup);
         // Derived sizes for the T-symbols the table references.
-        for (k, v) in [("|Inf_i|", 2.0), ("|T1|", 8.0), ("|T2|", 3.0), ("||T2||", 40.0)] {
+        for (k, v) in [
+            ("|Inf_i|", 2.0),
+            ("|T1|", 8.0),
+            ("|T2|", 3.0),
+            ("||T2||", 40.0),
+        ] {
             env.insert(k.to_string(), v);
         }
         let rows = fig7_symbolic();
@@ -48,7 +54,13 @@ mod tests {
     #[test]
     fn fig5_report_lists_all_operators() {
         let r = fig5_report();
-        for op in ["Sel_selpred", "EJ_pred", "IJ_Ai", "PIJ_pathInd", "Fix(T, P)"] {
+        for op in [
+            "Sel_selpred",
+            "EJ_pred",
+            "IJ_Ai",
+            "PIJ_pathInd",
+            "Fix(T, P)",
+        ] {
             assert!(r.contains(op), "missing {op}:\n{r}");
         }
     }
@@ -64,8 +76,15 @@ mod tests {
         assert!(m
             .db
             .physical()
-            .path_index(&[(m.composer, m.works_attr), (m.composition, m.instruments_attr)])
+            .path_index(&[
+                (m.composer, m.works_attr),
+                (m.composition, m.instruments_attr)
+            ])
             .is_some());
-        assert!(m.db.physical().selection_index(m.composer, m.name_attr).is_some());
+        assert!(m
+            .db
+            .physical()
+            .selection_index(m.composer, m.name_attr)
+            .is_some());
     }
 }

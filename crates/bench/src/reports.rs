@@ -47,8 +47,11 @@ pub fn fig1_report() -> String {
             oorq_schema::ViewKind::Stored => "relation",
             oorq_schema::ViewKind::View => "view",
         };
-        let fields: Vec<String> =
-            r.fields.iter().map(|(n, t)| format!("{n}: {t:?}")).collect();
+        let fields: Vec<String> = r
+            .fields
+            .iter()
+            .map(|(n, t)| format!("{n}: {t:?}"))
+            .collect();
         let _ = writeln!(out, "{kind} {}: [{}]", r.name, fields.join(", "));
     }
     out
@@ -60,10 +63,7 @@ pub fn fig2_report() -> String {
     let cat = music_catalog();
     let q = fig2_query(&cat);
     q.validate(&cat).expect("figure 2 must validate");
-    format!(
-        "=== Figure 2: a query graph ===\n{}\n",
-        q.display(&cat)
-    )
+    format!("=== Figure 2: a query graph ===\n{}\n", q.display(&cat))
 }
 
 /// Figure 3: the recursive query over the `Influencer` view.
@@ -87,8 +87,16 @@ pub fn fig4_report(setup: &PaperSetup) -> String {
     let pushed = setup.optimize(&q, OptimizerConfig::deductive_heuristic());
     let env = setup.env();
     let mut out = String::from("=== Figure 4: processing trees for the Figure 3 query ===\n");
-    let _ = writeln!(out, "(i)  selection after the fixpoint:\n     {}", unpushed.pt.display(&env));
-    let _ = writeln!(out, "(ii) selection pushed through recursion:\n     {}", pushed.pt.display(&env));
+    let _ = writeln!(
+        out,
+        "(i)  selection after the fixpoint:\n     {}",
+        unpushed.pt.display(&env)
+    );
+    let _ = writeln!(
+        out,
+        "(ii) selection pushed through recursion:\n     {}",
+        pushed.pt.display(&env)
+    );
     out
 }
 
@@ -112,7 +120,9 @@ pub fn fig6_report(setup: &PaperSetup) -> String {
     // the paper's four-row summary.
     let mut seen = Vec::new();
     let mut out = String::from("=== Figure 6: summary of optimization steps (traced) ===\n");
-    out.push_str("| Procedure | Granularity | Strategy | PT nodes generated |\n|---|---|---|---|\n");
+    out.push_str(
+        "| Procedure | Granularity | Strategy | PT nodes generated |\n|---|---|---|---|\n",
+    );
     for line in plan.trace.summary().lines().skip(2) {
         let key: String = line.split('|').take(4).collect::<Vec<_>>().join("|");
         if !seen.contains(&key) {
@@ -154,7 +164,10 @@ pub fn fig7_symbolic() -> Vec<CostRow> {
             "T4",
             Sym::mul([
                 Sym::card("T3"),
-                Sym::add([Sym::par("lev"), Sym::mul([Sym::par("lea"), Sym::par("inv_Cpr")])]),
+                Sym::add([
+                    Sym::par("lev"),
+                    Sym::mul([Sym::par("lea"), Sym::par("inv_Cpr")]),
+                ]),
             ]),
         ),
         CostRow::new("T5", Sym::mul([Sym::pages("T4"), pe()])),
@@ -176,7 +189,10 @@ pub fn fig7_symbolic() -> Vec<CostRow> {
             "T8",
             Sym::mul([
                 Sym::card("T7"),
-                Sym::add([Sym::par("lev"), Sym::mul([Sym::par("lea"), Sym::par("inv_Cpr")])]),
+                Sym::add([
+                    Sym::par("lev"),
+                    Sym::mul([Sym::par("lea"), Sym::par("inv_Cpr")]),
+                ]),
             ]),
         ),
         CostRow::new("T9", Sym::mul([Sym::pages("T8"), pe()])),
@@ -191,7 +207,10 @@ pub fn fig7_symbolic() -> Vec<CostRow> {
             "T11",
             Sym::mul([
                 Sym::card("T10"),
-                Sym::add([Sym::par("lev"), Sym::mul([Sym::par("lea"), Sym::par("inv_Cpr")])]),
+                Sym::add([
+                    Sym::par("lev"),
+                    Sym::mul([Sym::par("lea"), Sym::par("inv_Cpr")]),
+                ]),
             ]),
         ),
         CostRow::new("T12", Sym::mul([Sym::pages("T11"), pe()])),
@@ -259,9 +278,15 @@ pub fn fig7_report(setup: &mut PaperSetup) -> String {
         params,
     )
     .with_temp("Influencer", setup.m.influencer_fields());
-    for (label, plan) in [("PT (i) — unpushed", &unpushed), ("PT (ii) — pushed", &pushed)] {
+    for (label, plan) in [
+        ("PT (i) — unpushed", &unpushed),
+        ("PT (ii) — pushed", &pushed),
+    ] {
         let pc = model.cost(&plan.pt).expect("cost");
-        let _ = writeln!(out, "\n{label}: estimated per-node costs (paper-mode pr=ev=1):");
+        let _ = writeln!(
+            out,
+            "\n{label}: estimated per-node costs (paper-mode pr=ev=1):"
+        );
         out.push_str("| node | io | cpu | est. rows |\n|---|---|---|---|\n");
         for n in &pc.breakdown {
             let _ = writeln!(
@@ -286,7 +311,11 @@ pub fn fig7_report(setup: &mut PaperSetup) -> String {
         out,
         "\nEstimated totals (production weights): PT(i) = {cu:.0}, PT(ii) = {cp:.0} \
          -> pushing selection is {}",
-        if cp > cu { "NOT worthwhile (the paper's conclusion)" } else { "worthwhile" }
+        if cp > cu {
+            "NOT worthwhile (the paper's conclusion)"
+        } else {
+            "worthwhile"
+        }
     );
 
     // Measured execution.
@@ -296,8 +325,14 @@ pub fn fig7_report(setup: &mut PaperSetup) -> String {
         out,
         "\nMeasured execution (cold cache): PT(i): {} page reads + {} index reads + {} evals \
          ({} rows); PT(ii): {} + {} + {} ({} rows)",
-        ri.io.page_reads, ri.io.index_reads, ri.evals, ni,
-        rii.io.page_reads, rii.io.index_reads, rii.evals, nii,
+        ri.io.page_reads,
+        ri.io.index_reads,
+        ri.evals,
+        ni,
+        rii.io.page_reads,
+        rii.io.index_reads,
+        rii.evals,
+        nii,
     );
     let ti = ri.total(dparams.pr, dparams.ev);
     let tii = rii.total(dparams.pr, dparams.ev);
@@ -305,7 +340,11 @@ pub fn fig7_report(setup: &mut PaperSetup) -> String {
         out,
         "Measured totals (same weights): PT(i) = {ti:.0}, PT(ii) = {tii:.0} -> \
          measured: pushing is {}",
-        if tii > ti { "NOT worthwhile" } else { "worthwhile" }
+        if tii > ti {
+            "NOT worthwhile"
+        } else {
+            "worthwhile"
+        }
     );
     out
 }
@@ -381,7 +420,11 @@ pub fn crossover_report() -> String {
             let mu = mu_rep.total(params.pr, params.ev);
             let mp = mp_rep.total(params.pr, params.ev);
             let meas_winner = if mp < mu { "push" } else { "no-push" };
-            let tracked = if (c - u.min(p)).abs() < 1e-6 { "yes" } else { "NO" };
+            let tracked = if (c - u.min(p)).abs() < 1e-6 {
+                "yes"
+            } else {
+                "NO"
+            };
             let _ = writeln!(
                 out,
                 "| {fraction} | {works} | {u:.0} | {p:.0} | {mu:.0} | {mp:.0} | \
@@ -405,22 +448,36 @@ pub fn strategies_report(max_relations: usize) -> String {
                db: &oorq_storage::Database,
                stats: &DbStats,
                strategy: SpjStrategy| {
-        let model =
-            CostModel::new(db.catalog(), db.physical(), stats, CostParams::default());
+        let model = CostModel::new(db.catalog(), db.physical(), stats, CostParams::default());
         let mut opt = oorq_core::Optimizer::new(
             model,
-            OptimizerConfig { spj_strategy: strategy, rand: None, ..Default::default() },
+            OptimizerConfig {
+                spj_strategy: strategy,
+                rand: None,
+                ..Default::default()
+            },
         );
         let t0 = Instant::now();
         let plan = opt.optimize(q).expect("plans");
-        (t0.elapsed().as_micros(), plan.cost.total(&CostParams::default()))
+        (
+            t0.elapsed().as_micros(),
+            plan.cost.total(&CostParams::default()),
+        )
     };
     for k in 2..=max_relations {
-        let chain = ChainDb::generate(ChainConfig { relations: k, rows: 200, ..Default::default() });
+        let chain = ChainDb::generate(ChainConfig {
+            relations: k,
+            rows: 200,
+            ..Default::default()
+        });
         let stats = DbStats::collect(&chain.db);
         let q = chain.chain_query(25);
         let mut cells = Vec::new();
-        for strategy in [SpjStrategy::Exhaustive, SpjStrategy::Dp, SpjStrategy::Greedy] {
+        for strategy in [
+            SpjStrategy::Exhaustive,
+            SpjStrategy::Dp,
+            SpjStrategy::Greedy,
+        ] {
             let (us, cost) = run(&q, &chain.db, &stats, strategy);
             cells.push(format!("{us} / {cost:.0}"));
         }
@@ -472,16 +529,17 @@ pub fn validation_report() -> String {
          | query | plan | est. total | measured total | ratio |\n|---|---|---|---|---|\n",
     );
     let params = CostParams::default();
-    let mut row = |query: &str, plan_name: &str, setup: &mut PaperSetup, plan: &oorq_core::Optimized| {
-        let est = plan.cost.total(&params);
-        let (rep, _) = setup.execute(&plan.pt);
-        let measured = rep.total(params.pr, params.ev);
-        let _ = writeln!(
-            out,
-            "| {query} | {plan_name} | {est:.0} | {measured:.0} | {:.2} |",
-            est / measured.max(1e-9)
-        );
-    };
+    let mut row =
+        |query: &str, plan_name: &str, setup: &mut PaperSetup, plan: &oorq_core::Optimized| {
+            let est = plan.cost.total(&params);
+            let (rep, _) = setup.execute(&plan.pt);
+            let measured = rep.total(params.pr, params.ev);
+            let _ = writeln!(
+                out,
+                "| {query} | {plan_name} | {est:.0} | {measured:.0} | {:.2} |",
+                est / measured.max(1e-9)
+            );
+        };
     let mut setup = PaperSetup::new(PaperSetup::paper_scale());
     let q3 = setup.fig3_gen(3);
     let unpushed = setup.optimize(&q3, OptimizerConfig::never_push());
@@ -504,13 +562,17 @@ pub fn validation_report() -> String {
 pub fn ablation_report() -> String {
     let mut out = String::from("=== E12: physical-design ablations (measured, fig3 gen>=3) ===\n");
     let params = CostParams::default();
-    let base_cfg = MusicConfig { ..PaperSetup::paper_scale() };
+    let base_cfg = MusicConfig {
+        ..PaperSetup::paper_scale()
+    };
 
     // (a) Clustering: sub-objects co-located with owners vs scattered.
     out.push_str("\n(a) clustering | est. total | measured total |\n|---|---|---|\n");
     for clustered in [false, true] {
-        let mut setup =
-            PaperSetup::new(MusicConfig { clustered, ..base_cfg.clone() });
+        let mut setup = PaperSetup::new(MusicConfig {
+            clustered,
+            ..base_cfg.clone()
+        });
         let q = setup.fig3_gen(3);
         let plan = setup.optimize(&q, OptimizerConfig::cost_controlled());
         let (rep, _) = setup.execute(&plan.pt);
@@ -527,12 +589,18 @@ pub fn ablation_report() -> String {
     // capacities (rescans of the fixpoint inner become hits).
     out.push_str("\n(b) buffer frames | measured page reads |\n|---|---|\n");
     for frames in [4usize, 16, 64, 256] {
-        let mut setup =
-            PaperSetup::new(MusicConfig { buffer_frames: frames, ..base_cfg.clone() });
+        let mut setup = PaperSetup::new(MusicConfig {
+            buffer_frames: frames,
+            ..base_cfg.clone()
+        });
         let q = setup.fig3_gen(3);
         let plan = setup.optimize(&q, OptimizerConfig::cost_controlled());
         let (rep, _) = setup.execute(&plan.pt);
-        let _ = writeln!(out, "| {frames} | {} |", rep.io.page_reads + rep.io.index_reads);
+        let _ = writeln!(
+            out,
+            "| {frames} | {} |",
+            rep.io.page_reads + rep.io.index_reads
+        );
     }
 
     // (c) Path index: with the works.instruments index the translate
@@ -550,10 +618,17 @@ pub fn ablation_report() -> String {
         if with_index {
             idx.add_path(oorq_index::PathIndex::build(
                 &mut m.db,
-                vec![(m.composer, m.works_attr), (m.composition, m.instruments_attr)],
+                vec![
+                    (m.composer, m.works_attr),
+                    (m.composition, m.instruments_attr),
+                ],
             ));
         }
-        idx.add_selection(oorq_index::SelectionIndex::build(&mut m.db, m.composer, m.name_attr));
+        idx.add_selection(oorq_index::SelectionIndex::build(
+            &mut m.db,
+            m.composer,
+            m.name_attr,
+        ));
         let stats = DbStats::collect(&m.db);
         let mut setup = PaperSetup { m, idx, stats };
         let q = setup.fig3_gen(3);
@@ -601,8 +676,7 @@ pub fn verify_reports_semantics() -> Result<(), String> {
             let plan = setup.optimize(&q, config);
             let (_, _n) = setup.execute(&plan.pt);
             let methods2 = MethodRegistry::new();
-            let mut ex =
-                oorq_exec::Executor::new(&mut setup.m.db, &setup.idx, &methods2);
+            let mut ex = oorq_exec::Executor::new(&mut setup.m.db, &setup.idx, &methods2);
             let got = ex.run(&plan.pt).map_err(|e| format!("{name}: exec: {e}"))?;
             let mut a = reference.rows.clone();
             let mut b = got.rows.clone();
@@ -614,6 +688,89 @@ pub fn verify_reports_semantics() -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Static verification: the lint-code table plus a worked pass over the
+/// paper's recursive query — graph lint, plan verification of the
+/// optimized plan, a deliberately broken plan, and the cost sanity pass.
+pub fn lint_report(setup: &PaperSetup) -> String {
+    use oorq_lint::{lint_graph, lint_plan_cost, verify_pt, LintCode};
+    use oorq_pt::Pt;
+    use oorq_query::Expr;
+
+    let mut out = String::from("=== Static verification: lint codes and passes ===\n");
+    let _ = writeln!(out, "| Code | Severity | Checks that |");
+    let _ = writeln!(out, "|---|---|---|");
+    for c in LintCode::all() {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} |",
+            c.code(),
+            c.severity(),
+            c.describe()
+        );
+    }
+
+    // Graph pass over the expanded Figure 3 query.
+    let q = setup.fig3();
+    let graph = lint_graph(setup.m.db.catalog(), &q);
+    let _ = writeln!(out, "\n-- graph pass: figure 3 (Influencer expanded) --");
+    let _ = writeln!(
+        out,
+        "{}",
+        if graph.is_clean() {
+            "clean (notes below)"
+        } else {
+            "ERRORS"
+        }
+    );
+    let _ = write!(out, "{}", graph.render());
+
+    // Plan pass over the optimized plan.
+    let plan = setup.optimize(&q, OptimizerConfig::never_push());
+    let env = setup.env();
+    let verified = verify_pt(&env, &plan.pt);
+    let _ = writeln!(out, "\n-- plan pass: optimized figure 3 plan --");
+    let _ = writeln!(
+        out,
+        "{}",
+        if verified.is_clean() {
+            "clean"
+        } else {
+            "ERRORS"
+        }
+    );
+    let _ = write!(out, "{}", verified.render());
+
+    // A deliberately broken plan: the projection drops `x.birth`, which
+    // the selection above it still consumes.
+    let composer_e = setup.m.db.physical().entities_of_class(setup.m.composer)[0];
+    let broken = Pt::sel(
+        Expr::var("x.birth").eq(Expr::int(1685)),
+        Pt::proj(
+            vec![("x.name".into(), Expr::path("x", &["name"]))],
+            Pt::entity(composer_e, "x"),
+        ),
+    );
+    let bad = verify_pt(&env, &broken);
+    let _ = writeln!(
+        out,
+        "\n-- plan pass: a broken plan (selection over a dropped column) --"
+    );
+    let _ = write!(out, "{}", bad.render());
+
+    // Cost sanity pass over the optimized plan.
+    let model = CostModel::new(
+        setup.m.db.catalog(),
+        setup.m.db.physical(),
+        &setup.stats,
+        CostParams::default(),
+    );
+    let cost = lint_plan_cost(&model, &plan.pt);
+    let _ = writeln!(out, "\n-- cost pass: optimized figure 3 plan --");
+    let _ = writeln!(out, "{}", if cost.is_clean() { "clean" } else { "ERRORS" });
+    let _ = write!(out, "{}", cost.render());
+    out
 }
 
 /// Convenience: a map environment for evaluating Figure 7 symbols from

@@ -8,10 +8,10 @@ use oorq_cost::{CostModel, CostParams};
 use oorq_datagen::{MusicConfig, MusicDb};
 use oorq_exec::{ExecReport, Executor, MethodRegistry};
 use oorq_index::{IndexSet, PathIndex, SelectionIndex};
+use oorq_pt::{Pt, PtEnv};
 use oorq_query::paper::{fig3_query, influencer_view, music_catalog, sec45_pushjoin_query};
 use oorq_query::{Expr, NameRef, QArc, QueryGraph, SpjNode};
 use oorq_storage::DbStats;
-use oorq_pt::{Pt, PtEnv};
 
 /// A music database with the paper's physical design (the
 /// `works.instruments` path index and a selection index on names),
@@ -33,7 +33,10 @@ impl PaperSetup {
         let mut idx = IndexSet::new();
         idx.add_path(PathIndex::build(
             &mut m.db,
-            vec![(m.composer, m.works_attr), (m.composition, m.instruments_attr)],
+            vec![
+                (m.composer, m.works_attr),
+                (m.composition, m.instruments_attr),
+            ],
         ));
         idx.add_selection(SelectionIndex::build(&mut m.db, m.composer, m.name_attr));
         let stats = DbStats::collect(&m.db);
@@ -102,7 +105,9 @@ impl PaperSetup {
             &self.stats,
             CostParams::default(),
         );
-        Optimizer::new(model, config).optimize(q).expect("optimization must succeed")
+        Optimizer::new(model, config)
+            .optimize(q)
+            .expect("optimization must succeed")
     }
 
     /// Execute a plan cold-cache and report resources + answer size.

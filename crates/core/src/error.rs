@@ -21,6 +21,13 @@ pub enum OptError {
     NoEntity(String),
     /// The graph's dependencies are cyclic in a non-fixpoint way.
     CyclicGraph,
+    /// The static verifier found errors (stage, rendered diagnostics).
+    Lint {
+        /// Which optimization stage produced the offending artifact.
+        stage: String,
+        /// The error-severity diagnostics, rendered one per line.
+        errors: String,
+    },
 }
 
 impl fmt::Display for OptError {
@@ -32,6 +39,9 @@ impl fmt::Display for OptError {
             OptError::Unplannable(n) => write!(f, "cannot plan name `{n}`"),
             OptError::NoEntity(n) => write!(f, "no physical entity for `{n}`"),
             OptError::CyclicGraph => write!(f, "non-fixpoint cyclic dependency"),
+            OptError::Lint { stage, errors } => {
+                write!(f, "verification failed after {stage}:\n{errors}")
+            }
         }
     }
 }

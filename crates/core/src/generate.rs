@@ -10,9 +10,9 @@
 use std::collections::HashMap;
 
 use oorq_cost::CostModel;
+use oorq_pt::{AccessMethod, JoinAlgo, Pt};
 use oorq_query::{CmpOp, Expr, SpjNode};
 use oorq_storage::EntitySource;
-use oorq_pt::{AccessMethod, JoinAlgo, Pt};
 
 use crate::error::OptError;
 use crate::translate::ArcChain;
@@ -51,13 +51,20 @@ pub fn rewrite_expr(expr: &Expr, subst: &HashMap<String, Expr>) -> Expr {
     expr.map_leaves(&mut |leaf| match leaf {
         Expr::Var(v) => subst.get(v).cloned(),
         Expr::Path { base, steps } => subst.get(base).map(|repl| match repl {
-            Expr::Var(col) => {
-                Expr::Path { base: col.clone(), steps: steps.clone() }
-            }
-            Expr::Path { base: b2, steps: s2 } => {
+            Expr::Var(col) => Expr::Path {
+                base: col.clone(),
+                steps: steps.clone(),
+            },
+            Expr::Path {
+                base: b2,
+                steps: s2,
+            } => {
                 let mut s = s2.clone();
                 s.extend(steps.iter().cloned());
-                Expr::Path { base: b2.clone(), steps: s }
+                Expr::Path {
+                    base: b2.clone(),
+                    steps: s,
+                }
             }
             other => other.clone(),
         }),
@@ -86,8 +93,12 @@ pub fn generate_pt(
         }
     }
     // Rewrite predicate and projection onto columns.
-    let conjuncts: Vec<Expr> =
-        spj.pred.conjuncts().into_iter().map(|c| rewrite_expr(c, &subst)).collect();
+    let conjuncts: Vec<Expr> = spj
+        .pred
+        .conjuncts()
+        .into_iter()
+        .map(|c| rewrite_expr(c, &subst))
+        .collect();
     let out_proj: Vec<(String, Expr)> = spj
         .out_proj
         .iter()
@@ -142,9 +153,7 @@ pub fn generate_pt(
     let joined = match candidates.len() {
         1 => candidates[0][0].clone(),
         _ => match strategy {
-            SpjStrategy::Exhaustive => {
-                enumerate_exhaustive(model, &candidates, &join_conjuncts)?
-            }
+            SpjStrategy::Exhaustive => enumerate_exhaustive(model, &candidates, &join_conjuncts)?,
             SpjStrategy::Dp => enumerate_dp(model, &candidates, &join_conjuncts)?,
             SpjStrategy::Greedy => enumerate_greedy(model, &candidates, &join_conjuncts)?,
             SpjStrategy::Syntactic => enumerate_syntactic(model, &candidates, &join_conjuncts)?,
@@ -165,7 +174,10 @@ pub fn generate_pt(
     // Final projection.
     let out_names: Vec<String> = out_proj.iter().map(|(n, _)| n.clone()).collect();
     pt = Pt::proj(out_proj, pt);
-    let cost = model.cost(&pt).map_err(OptError::Cost)?.total(&model.params);
+    let cost = model
+        .cost(&pt)
+        .map_err(OptError::Cost)?
+        .total(&model.params);
     Ok((pt, out_names, cost))
 }
 
@@ -194,8 +206,10 @@ fn assemble_arc(model: &CostModel<'_>, chain: &ArcChain, sels: &[Expr]) -> Vec<P
     // Scan variant base.
     let mut scan_base = chain.base.clone();
     if !base_ready.is_empty() {
-        scan_base =
-            Pt::sel(Expr::conjoin(base_ready.iter().map(|c| (*c).clone())), scan_base);
+        scan_base = Pt::sel(
+            Expr::conjoin(base_ready.iter().map(|c| (*c).clone())),
+            scan_base,
+        );
     }
     variants.push(scan_base);
 
@@ -204,7 +218,12 @@ fn assemble_arc(model: &CostModel<'_>, chain: &ArcChain, sels: &[Expr]) -> Vec<P
     if let Some(entity) = chain.leaf_entity {
         if let EntitySource::Class(class) = model.physical.entity(entity).source {
             for c in &base_ready {
-                if let Expr::Cmp { op: CmpOp::Eq, lhs, rhs } = c {
+                if let Expr::Cmp {
+                    op: CmpOp::Eq,
+                    lhs,
+                    rhs,
+                } = c
+                {
                     let path = match (lhs.as_ref(), rhs.as_ref()) {
                         (Expr::Path { base, steps }, Expr::Lit(_)) if steps.len() == 1 => {
                             Some((base, &steps[0]))
@@ -214,7 +233,9 @@ fn assemble_arc(model: &CostModel<'_>, chain: &ArcChain, sels: &[Expr]) -> Vec<P
                         }
                         _ => None,
                     };
-                    let Some((base_col, attr_name)) = path else { continue };
+                    let Some((base_col, attr_name)) = path else {
+                        continue;
+                    };
                     if *base_col != chain.root_var {
                         continue;
                     }
@@ -292,7 +313,11 @@ fn join_pair(
     let mut out = Vec::new();
     let mut push = |pt: Pt| {
         if let Ok(pc) = model.cost(&pt) {
-            out.push(Candidate { pt, cols: cols.clone(), cost: pc.total(&model.params) });
+            out.push(Candidate {
+                pt,
+                cols: cols.clone(),
+                cost: pc.total(&model.params),
+            });
         }
     };
     push(Pt::ej(pred.clone(), left.pt.clone(), right.pt.clone()));
@@ -301,15 +326,17 @@ fn join_pair(
     if let Pt::Entity { id, var } = &right.pt {
         if let EntitySource::Class(class) = model.physical.entity(*id).source {
             for c in &applicable {
-                if let Expr::Cmp { op: CmpOp::Eq, lhs, rhs } = c {
+                if let Expr::Cmp {
+                    op: CmpOp::Eq,
+                    lhs,
+                    rhs,
+                } = c
+                {
                     for (inner, _outer) in [(rhs, lhs), (lhs, rhs)] {
                         if let Expr::Path { base, steps } = inner.as_ref() {
                             if base == var && steps.len() == 1 {
-                                if let Some((aid, _)) = model.catalog.attr(class, &steps[0])
-                                {
-                                    if let Some(desc) =
-                                        model.physical.selection_index(class, aid)
-                                    {
+                                if let Some((aid, _)) = model.catalog.attr(class, &steps[0]) {
+                                    if let Some(desc) = model.physical.selection_index(class, aid) {
                                         push(Pt::EJ {
                                             pred: pred.clone(),
                                             algo: JoinAlgo::IndexJoin(desc.id),
@@ -373,7 +400,14 @@ fn enumerate_exhaustive(
                     for joined in join_pair(model, current, cand, join_conjuncts, force) {
                         extended_any = true;
                         used[i] = true;
-                        recurse(model, candidates, join_conjuncts, &joined, used, best_so_far);
+                        recurse(
+                            model,
+                            candidates,
+                            join_conjuncts,
+                            &joined,
+                            used,
+                            best_so_far,
+                        );
                         used[i] = false;
                     }
                 }
@@ -385,7 +419,14 @@ fn enumerate_exhaustive(
         for start in cands {
             let mut used = vec![false; candidates.len()];
             used[i] = true;
-            recurse(model, candidates, join_conjuncts, start, &mut used, &mut best_so_far);
+            recurse(
+                model,
+                candidates,
+                join_conjuncts,
+                start,
+                &mut used,
+                &mut best_so_far,
+            );
         }
     }
     best_so_far.ok_or_else(|| OptError::Unplannable("exhaustive join enumeration".into()))
@@ -418,7 +459,9 @@ fn enumerate_dp(
                     continue;
                 }
                 let rest = subset & !bit;
-                let Some(left) = table.get(&rest) else { continue };
+                let Some(left) = table.get(&rest) else {
+                    continue;
+                };
                 for pass in 0..2 {
                     let force = pass == 1;
                     let mut found = false;

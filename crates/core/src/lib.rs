@@ -27,13 +27,13 @@ mod translate;
 
 pub use error::OptError;
 pub use generate::{generate_pt, rewrite_expr, Candidate, SpjStrategy};
-pub use optimizer::{Optimized, Optimizer, OptimizerConfig};
+pub use optimizer::{Optimized, Optimizer, OptimizerConfig, VerifyLevel};
 pub use rewrite::{fixpoint_action, fixpoint_recursion, rewrite, union_action};
 pub use trace::{OptTrace, Step, StepTrace, StrategyKind};
 pub use transform::{
     best_selection, can_push, distribute_join_over_union_action, filter_action, neighbours,
-    propagated_columns, push_join_action, rand_optimize, FixInfo, PushStrategy, RandConfig,
-    RandKind,
+    propagated_columns, push_join_action, rand_optimize, rand_optimize_with, FixInfo, MoveFn,
+    PushStrategy, RandConfig, RandKind, RandOutcome,
 };
 pub use translate::{collapse_alternatives, translate_arc, ArcChain, BasePlan, ChainOp};
 

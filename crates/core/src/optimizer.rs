@@ -19,19 +19,44 @@
 use std::collections::HashMap;
 
 use oorq_cost::{CostModel, PlanCost};
+use oorq_pt::Pt;
 use oorq_query::{Expr, GraphTerm, NameRef, QArc, QueryGraph, SpjNode, TreeLabel};
 use oorq_schema::{ResolvedType, ViewKind};
-use oorq_pt::Pt;
 
 use crate::error::OptError;
 use crate::generate::{generate_pt, SpjStrategy};
 use crate::rewrite::rewrite;
 use crate::trace::{OptTrace, Step, StrategyKind};
 use crate::transform::{
-    can_push, filter_action, propagated_columns, push_join_action, rand_optimize, FixInfo,
-    PushStrategy, RandConfig,
+    can_push, filter_action, neighbours, propagated_columns, push_join_action, rand_optimize_with,
+    FixInfo, PushStrategy, RandConfig,
 };
 use crate::translate::{translate_arc, ArcChain, BasePlan};
+
+/// When the static verifier (the `oorq-lint` passes) runs inside the
+/// optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyLevel {
+    /// Never.
+    Off,
+    /// In debug builds only (the default): every transformation result
+    /// is checked, release builds pay nothing.
+    #[default]
+    Debug,
+    /// Always, also in release builds.
+    Strict,
+}
+
+impl VerifyLevel {
+    /// Whether verification is active in this build.
+    pub fn active(&self) -> bool {
+        match self {
+            VerifyLevel::Off => false,
+            VerifyLevel::Debug => cfg!(debug_assertions),
+            VerifyLevel::Strict => true,
+        }
+    }
+}
 
 /// Optimizer configuration.
 #[derive(Debug, Clone)]
@@ -44,6 +69,8 @@ pub struct OptimizerConfig {
     pub rand: Option<RandConfig>,
     /// Cap on translated alternatives per arc.
     pub max_arc_alternatives: usize,
+    /// Static verification of intermediate plans.
+    pub verify: VerifyLevel,
 }
 
 impl Default for OptimizerConfig {
@@ -53,31 +80,47 @@ impl Default for OptimizerConfig {
             push: PushStrategy::CostControlled,
             rand: Some(RandConfig::default()),
             max_arc_alternatives: 12,
+            verify: VerifyLevel::default(),
         }
     }
 }
 
 impl OptimizerConfig {
     /// The paper's configuration (cost-controlled pushing, DP spj's,
-    /// iterative-improvement re-optimization).
+    /// iterative-improvement re-optimization). The randomized phase
+    /// runs with the explicitly seeded [`RandConfig::default`], so the
+    /// strategy is deterministic.
     pub fn cost_controlled() -> Self {
         Self::default()
     }
 
     /// The deductive-DB baseline: always push when legal (rewriting
-    /// heuristic, no cost comparison).
+    /// heuristic, no cost comparison). No randomized phase — the
+    /// baseline measures the heuristic alone, deterministically.
     pub fn deductive_heuristic() -> Self {
-        OptimizerConfig { push: PushStrategy::AlwaysPush, ..Self::default() }
+        OptimizerConfig {
+            push: PushStrategy::AlwaysPush,
+            rand: None,
+            ..Self::default()
+        }
     }
 
-    /// Never push through recursion.
+    /// Never push through recursion. No randomized phase.
     pub fn never_push() -> Self {
-        OptimizerConfig { push: PushStrategy::NeverPush, ..Self::default() }
+        OptimizerConfig {
+            push: PushStrategy::NeverPush,
+            rand: None,
+            ..Self::default()
+        }
     }
 
-    /// The exhaustive \[KZ88\] baseline.
+    /// The exhaustive \[KZ88\] baseline. No randomized phase.
     pub fn exhaustive() -> Self {
-        OptimizerConfig { spj_strategy: SpjStrategy::Exhaustive, ..Self::default() }
+        OptimizerConfig {
+            spj_strategy: SpjStrategy::Exhaustive,
+            rand: None,
+            ..Self::default()
+        }
     }
 }
 
@@ -117,7 +160,11 @@ pub struct Optimizer<'a> {
 impl<'a> Optimizer<'a> {
     /// New optimizer over a cost model.
     pub fn new(model: CostModel<'a>, config: OptimizerConfig) -> Self {
-        Optimizer { model, config, fresh: 0 }
+        Optimizer {
+            model,
+            config,
+            fresh: 0,
+        }
     }
 
     /// Optimize a query graph into an execution plan.
@@ -127,9 +174,11 @@ impl<'a> Optimizer<'a> {
         g.normalize(catalog)?;
         g.validate(catalog)?;
         let mut trace = OptTrace::default();
+        self.verify_graph(&g, "normalize (query graph)")?;
 
         // Step 1: rewrite (irrevocable).
         rewrite(&mut g, &mut trace);
+        self.verify_graph(&g, "rewrite (query graph)")?;
 
         // Steps 2+3: translate + generatePT, bottom-up over the graph.
         let mut planned: HashMap<NameRef, Planned> = HashMap::new();
@@ -141,6 +190,11 @@ impl<'a> Optimizer<'a> {
                 .ok_or(OptError::CyclicGraph)?;
             let (name, term) = remaining.remove(idx);
             let p = self.plan_term(&g, &name, &term, &planned, &mut trace)?;
+            self.verify_stage(
+                &p.pt,
+                &format!("generatePT({})", name.display(catalog)),
+                &mut trace,
+            )?;
             planned.insert(name, p);
         }
 
@@ -151,20 +205,90 @@ impl<'a> Optimizer<'a> {
 
         // Step 4: transformPT — randomized re-optimization of the final
         // plan (the push decisions were taken, cost-compared, while
-        // assembling consumers of fixpoints; see `plan_spj`).
+        // assembling consumers of fixpoints; see `plan_spj`). Under
+        // verification every candidate move is checked before it can be
+        // accepted; rejected moves are recorded in the trace.
         let final_pt = match &self.config.rand {
             Some(rc) => {
-                let t =
-                    trace.record(Step::TransformPt, "the entire query (PT)", StrategyKind::CostBasedTransformational);
+                let t = trace.record(
+                    Step::TransformPt,
+                    "the entire query (PT)",
+                    StrategyKind::CostBasedTransformational,
+                );
                 t.note(format!("randomized strategy: {:?}", rc.kind));
-                rand_optimize(&self.model, answer.pt.clone(), rc)
+                let outcome = rand_optimize_with(
+                    &self.model,
+                    answer.pt.clone(),
+                    rc,
+                    &neighbours,
+                    self.config.verify.active(),
+                    Some(&mut trace),
+                );
+                outcome.pt
             }
             None => answer.pt.clone(),
         };
+        self.verify_stage(&final_pt, "transformPT (final plan)", &mut trace)?;
 
         let cost = self.model.cost(&final_pt)?;
         let out_cols = answer.out_cols.iter().map(|(n, _)| n.clone()).collect();
-        Ok(Optimized { pt: final_pt, out_cols, cost, trace })
+        Ok(Optimized {
+            pt: final_pt,
+            out_cols,
+            cost,
+            trace,
+        })
+    }
+
+    /// The environment the lint passes see: the model's catalog,
+    /// physical schema and currently registered temporaries.
+    fn lint_env(&self) -> oorq_pt::PtEnv<'a> {
+        oorq_pt::PtEnv {
+            catalog: self.model.catalog,
+            physical: self.model.physical,
+            temp_fields: self.model.temp_fields.clone(),
+        }
+    }
+
+    /// Run the plan verifier on an intermediate PT (when configured):
+    /// errors abort the optimization and are recorded in the trace.
+    fn verify_stage(&self, pt: &Pt, stage: &str, trace: &mut OptTrace) -> Result<(), OptError> {
+        if !self.config.verify.active() {
+            return Ok(());
+        }
+        let report = oorq_lint::verify_pt(&self.lint_env(), pt);
+        if report.is_clean() {
+            return Ok(());
+        }
+        let errors: String = report.errors().map(|d| format!("{d}\n")).collect();
+        let t = trace.record(
+            Step::TransformPt,
+            format!("verification after {stage}"),
+            StrategyKind::Irrevocable,
+        );
+        for d in report.errors() {
+            t.note(format!("{d}"));
+        }
+        Err(OptError::Lint {
+            stage: stage.into(),
+            errors,
+        })
+    }
+
+    /// Run the graph lint pass (when configured): errors abort.
+    fn verify_graph(&self, g: &QueryGraph, stage: &str) -> Result<(), OptError> {
+        if !self.config.verify.active() {
+            return Ok(());
+        }
+        let report = oorq_lint::lint_graph(self.model.catalog, g);
+        if report.is_clean() {
+            return Ok(());
+        }
+        let errors: String = report.errors().map(|d| format!("{d}\n")).collect();
+        Err(OptError::Lint {
+            stage: stage.into(),
+            errors,
+        })
     }
 
     fn ready(
@@ -200,7 +324,11 @@ impl<'a> Optimizer<'a> {
         match term {
             GraphTerm::Spj(spj) => {
                 let (pt, out_cols, _) = self.plan_spj(g, spj, None, planned, trace, None)?;
-                Ok(Planned { pt, out_cols, fix: None })
+                Ok(Planned {
+                    pt,
+                    out_cols,
+                    fix: None,
+                })
             }
             GraphTerm::Union(l, r) => {
                 let lp = self.plan_term(g, name, l, planned, trace)?;
@@ -229,10 +357,15 @@ impl<'a> Optimizer<'a> {
             return Err(OptError::Unplannable("Fix body must be a Union".into()));
         };
         let references = |t: &GraphTerm| {
-            t.spjs().iter().any(|s| s.inputs.iter().any(|a| a.name == *fname))
+            t.spjs()
+                .iter()
+                .any(|s| s.inputs.iter().any(|a| a.name == *fname))
         };
-        let (base_term, rec_term) =
-            if references(l) { (r.as_ref(), l.as_ref()) } else { (l.as_ref(), r.as_ref()) };
+        let (base_term, rec_term) = if references(l) {
+            (r.as_ref(), l.as_ref())
+        } else {
+            (l.as_ref(), r.as_ref())
+        };
         let GraphTerm::Spj(base_spj) = base_term else {
             return Err(OptError::Unplannable("nested non-spj fix base".into()));
         };
@@ -251,13 +384,13 @@ impl<'a> Optimizer<'a> {
 
         // Plan the base, estimate the fixpoint's size, then plan the
         // recursive side with a realistic delta-cardinality hint.
-        let (base_pt, base_cols, _) =
-            self.plan_spj(g, base_spj, None, planned, trace, None)?;
+        let (base_pt, base_cols, _) = self.plan_spj(g, base_spj, None, planned, trace, None)?;
         let base_col_names: Vec<String> = base_cols.iter().map(|(n, _)| n.clone()).collect();
         let base_rows = self.model.cost(&base_pt)?.rows;
         let growth = self.model.stats.avg_chain_depth().unwrap_or(2.0).max(1.0);
         let iters = self.model.fix_iterations().max(1.0);
-        self.model.hint_temp_rows(temp.clone(), (base_rows * growth / iters).max(1.0));
+        self.model
+            .hint_temp_rows(temp.clone(), (base_rows * growth / iters).max(1.0));
         let (rec_pt, _, _) =
             self.plan_spj(g, rec_spj, Some((fname, &temp)), planned, trace, None)?;
 
@@ -269,7 +402,11 @@ impl<'a> Optimizer<'a> {
             fields,
             propagated,
         };
-        Ok(Planned { pt: fix_pt, out_cols: base_cols, fix: Some(info) })
+        Ok(Planned {
+            pt: fix_pt,
+            out_cols: base_cols,
+            fix: Some(info),
+        })
     }
 
     /// Plan one predicate node. `self_fix` marks the name whose arcs are
@@ -345,7 +482,12 @@ impl<'a> Optimizer<'a> {
                 "one predicate node",
                 StrategyKind::CostBasedGenerative,
             );
-            let r = generate_pt(&self.model, &effective_spj, &chains, self.config.spj_strategy)?;
+            let r = generate_pt(
+                &self.model,
+                &effective_spj,
+                &chains,
+                self.config.spj_strategy,
+            )?;
             t.generated("Sel");
             if spj.inputs.len() > 1 {
                 t.generated("EJ");
@@ -357,7 +499,12 @@ impl<'a> Optimizer<'a> {
             Ok(ResolvedType::Tuple(fs)) => fs,
             _ => out_cols
                 .iter()
-                .map(|n| (n.clone(), ResolvedType::Atomic(oorq_schema::AtomicType::Int)))
+                .map(|n| {
+                    (
+                        n.clone(),
+                        ResolvedType::Atomic(oorq_schema::AtomicType::Int),
+                    )
+                })
                 .collect(),
         };
         debug_assert_eq!(
@@ -367,6 +514,22 @@ impl<'a> Optimizer<'a> {
 
         // transformPT consideration: the node consumes a fixpoint —
         // decide the position of selective operations w.r.t. recursion.
+        // Under the never-push (deductive) strategy the decision is made
+        // without costing an alternative, but it is still a transformPT
+        // decision and is recorded as such.
+        let consumes_fix = pred_override.is_none()
+            && spj
+                .inputs
+                .iter()
+                .any(|arc| planned.get(&arc.name).is_some_and(|p| p.fix.is_some()));
+        if consumes_fix && self.config.push == PushStrategy::NeverPush {
+            let t = trace.record(
+                Step::TransformPt,
+                "the entire query (PT)",
+                StrategyKind::Irrevocable,
+            );
+            t.note("never-push strategy: selective operations stay outside the fixpoint");
+        }
         if pred_override.is_none() && self.config.push != PushStrategy::NeverPush {
             if let Some((pushed_pt, pushed_cols, pushed_cost)) =
                 self.try_push(g, spj, self_fix, planned, trace)?
@@ -387,6 +550,9 @@ impl<'a> Optimizer<'a> {
                     if keep_pushed { "pushed" } else { "unpushed" }
                 ));
                 if keep_pushed {
+                    // The push actions rewrote a complete plan; verify
+                    // the result before committing to it.
+                    self.verify_stage(&pushed_pt, "transformPT (filter/push-join actions)", trace)?;
                     return Ok((pushed_pt, pushed_cols, pushed_cost));
                 }
             }
@@ -412,7 +578,12 @@ impl<'a> Optimizer<'a> {
         }
         if let Some((fix_name, temp)) = self_fix {
             if arc.name == *fix_name {
-                let fields = self.model.temp_fields.get(temp).cloned().unwrap_or_default();
+                let fields = self
+                    .model
+                    .temp_fields
+                    .get(temp)
+                    .cloned()
+                    .unwrap_or_default();
                 return Ok(BasePlan::Temp(temp.to_string(), fields));
             }
         }
@@ -436,7 +607,11 @@ impl<'a> Optimizer<'a> {
                         .iter()
                         .copied()
                         .min_by_key(|e| {
-                            self.model.stats.entity(*e).map(|s| s.pages).unwrap_or(u64::MAX)
+                            self.model
+                                .stats
+                                .entity(*e)
+                                .map(|s| s.pages)
+                                .unwrap_or(u64::MAX)
                         })
                         .expect("non-empty");
                     vec![cheapest]
@@ -456,9 +631,9 @@ impl<'a> Optimizer<'a> {
                 Ok(BasePlan::Relation(e, catalog.relation(*r).fields.clone()))
             }
             name => {
-                let p = planned.get(name).ok_or_else(|| {
-                    OptError::Unplannable(format!("{}", name.display(catalog)))
-                })?;
+                let p = planned
+                    .get(name)
+                    .ok_or_else(|| OptError::Unplannable(format!("{}", name.display(catalog))))?;
                 let _ = g;
                 Ok(BasePlan::Plugged(p.pt.clone(), p.out_cols.clone()))
             }
@@ -488,11 +663,15 @@ impl<'a> Optimizer<'a> {
                 }
             }
         }
-        let Some((arc_i, info, fix_planned)) = fix_arc else { return Ok(None) };
+        let Some((arc_i, info, fix_planned)) = fix_arc else {
+            return Ok(None);
+        };
         let info = info.clone();
         let fix_planned = fix_planned.clone();
         let arc = &spj.inputs[arc_i];
-        let Some(arc_var) = arc.var.clone() else { return Ok(None) };
+        let Some(arc_var) = arc.var.clone() else {
+            return Ok(None);
+        };
 
         // Map the arc's label variables to their field paths.
         let var_paths = label_var_paths(&arc.label);
@@ -503,12 +682,11 @@ impl<'a> Optimizer<'a> {
             let mut ok = true;
             let rewritten = c.map_leaves(&mut |leaf| match leaf {
                 Expr::Var(v) => match var_paths.get(v) {
-                    Some((field, steps)) if steps.is_empty() => {
-                        Some(Expr::Var(field.clone()))
-                    }
-                    Some((field, steps)) => {
-                        Some(Expr::Path { base: field.clone(), steps: steps.clone() })
-                    }
+                    Some((field, steps)) if steps.is_empty() => Some(Expr::Var(field.clone())),
+                    Some((field, steps)) => Some(Expr::Path {
+                        base: field.clone(),
+                        steps: steps.clone(),
+                    }),
                     None => {
                         if *v != arc_var {
                             // Variable of another arc: not a pure
@@ -583,7 +761,10 @@ impl<'a> Optimizer<'a> {
                                 Some(if steps.is_empty() {
                                     Expr::Var(f.clone())
                                 } else {
-                                    Expr::Path { base: f.clone(), steps: steps.clone() }
+                                    Expr::Path {
+                                        base: f.clone(),
+                                        steps: steps.clone(),
+                                    }
                                 })
                             } else {
                                 inner.1.get(v).cloned()
@@ -733,18 +914,14 @@ fn collect_deep(
 
 /// Drop tree-label branches that bind no used variable (their implicit
 /// joins have moved inside a pushed fixpoint).
-fn prune_label(
-    label: &TreeLabel,
-    used: &std::collections::BTreeSet<String>,
-) -> TreeLabel {
+fn prune_label(label: &TreeLabel, used: &std::collections::BTreeSet<String>) -> TreeLabel {
     TreeLabel {
         children: label
             .children
             .iter()
             .filter_map(|c| {
                 let pruned = prune_label(&c.tree, used);
-                let keep_var =
-                    c.var.as_ref().map(|v| used.contains(v)).unwrap_or(false);
+                let keep_var = c.var.as_ref().map(|v| used.contains(v)).unwrap_or(false);
                 if keep_var || !pruned.children.is_empty() {
                     Some(oorq_query::TreeChild {
                         attr: c.attr.clone(),

@@ -58,10 +58,9 @@ pub fn fixpoint_action(graph: &mut QueryGraph) -> bool {
         let (name, term) = &graph.nodes[i];
         if fixpoint_recursion(name, term) {
             let (name, term) = graph.nodes.remove(i);
-            graph.nodes.insert(
-                i,
-                (name.clone(), GraphTerm::Fix(name, Box::new(term))),
-            );
+            graph
+                .nodes
+                .insert(i, (name.clone(), GraphTerm::Fix(name, Box::new(term))));
             return true;
         }
     }
@@ -70,7 +69,11 @@ pub fn fixpoint_action(graph: &mut QueryGraph) -> bool {
 
 /// The full `rewrite` procedure: both actions to saturation.
 pub fn rewrite(graph: &mut QueryGraph, trace: &mut OptTrace) {
-    let rec = trace.record(Step::Rewrite, "the entire query (graph)", StrategyKind::Irrevocable);
+    let rec = trace.record(
+        Step::Rewrite,
+        "the entire query (graph)",
+        StrategyKind::Irrevocable,
+    );
     loop {
         let mut changed = false;
         while union_action(graph) {

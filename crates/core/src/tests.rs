@@ -7,12 +7,12 @@ use oorq_cost::{CostModel, CostParams};
 use oorq_datagen::{MusicConfig, MusicDb};
 use oorq_exec::{eval_query_graph, Executor, MethodRegistry};
 use oorq_index::{IndexSet, PathIndex, SelectionIndex};
+use oorq_pt::Pt;
 use oorq_query::paper::{
     fig2_query, fig3_query, influencer_view, music_catalog, sec45_pushjoin_query,
 };
 use oorq_query::{Expr, NameRef, QArc, QueryGraph, SpjNode};
 use oorq_storage::DbStats;
-use oorq_pt::Pt;
 
 use crate::*;
 
@@ -24,7 +24,10 @@ fn setup(cfg: MusicConfig) -> (MusicDb, IndexSet, DbStats) {
     let mut idx = IndexSet::new();
     idx.add_path(PathIndex::build(
         &mut m.db,
-        vec![(m.composer, m.works_attr), (m.composition, m.instruments_attr)],
+        vec![
+            (m.composer, m.works_attr),
+            (m.composition, m.instruments_attr),
+        ],
     ));
     idx.add_selection(SelectionIndex::build(&mut m.db, m.composer, m.name_attr));
     let stats = DbStats::collect(&m.db);
@@ -58,13 +61,13 @@ fn fig3_graph_gen(m: &MusicDb, gen: i64) -> QueryGraph {
     q
 }
 
-fn optimizer<'a>(
-    m: &'a MusicDb,
-    stats: &'a DbStats,
-    config: OptimizerConfig,
-) -> Optimizer<'a> {
-    let model =
-        CostModel::new(m.db.catalog(), m.db.physical(), stats, CostParams::default());
+fn optimizer<'a>(m: &'a MusicDb, stats: &'a DbStats, config: OptimizerConfig) -> Optimizer<'a> {
+    let model = CostModel::new(
+        m.db.catalog(),
+        m.db.physical(),
+        stats,
+        CostParams::default(),
+    );
     Optimizer::new(model, config)
 }
 
@@ -105,7 +108,10 @@ fn fig3_recursive_query_output_matches_reference() {
     let q = fig3_graph_gen(&m, 2);
     let methods = MethodRegistry::new();
     let reference = eval_query_graph(&m.db, &methods, &q).unwrap();
-    assert!(!reference.is_empty(), "the test query must select something");
+    assert!(
+        !reference.is_empty(),
+        "the test query must select something"
+    );
 
     for config in [
         OptimizerConfig::cost_controlled(),
@@ -247,7 +253,10 @@ fn pushjoin_query_pushes_selective_join() {
             });
         }
     });
-    assert!(join_inside_fix, "expected the selective join pushed into the fixpoint");
+    assert!(
+        join_inside_fix,
+        "expected the selective join pushed into the fixpoint"
+    );
 }
 
 #[test]
@@ -266,7 +275,10 @@ fn pushjoin_execution_matches_reference_both_ways() {
     let methods = MethodRegistry::new();
     let reference = eval_query_graph(&m.db, &methods, &q).unwrap();
     assert!(!reference.is_empty(), "Bach's chain has disciples");
-    for config in [OptimizerConfig::cost_controlled(), OptimizerConfig::never_push()] {
+    for config in [
+        OptimizerConfig::cost_controlled(),
+        OptimizerConfig::never_push(),
+    ] {
         let plan = {
             let mut opt = optimizer(&m, &stats, config);
             opt.optimize(&q).unwrap()
@@ -294,7 +306,11 @@ fn exhaustive_is_never_beaten_by_dp_or_greedy() {
         let mut opt = optimizer(
             &m,
             &stats,
-            OptimizerConfig { spj_strategy: strategy, rand: None, ..Default::default() },
+            OptimizerConfig {
+                spj_strategy: strategy,
+                rand: None,
+                ..Default::default()
+            },
         );
         opt.optimize(&q).unwrap().cost.total(&params)
     };
@@ -302,7 +318,10 @@ fn exhaustive_is_never_beaten_by_dp_or_greedy() {
     let dp = cost_of(SpjStrategy::Dp);
     let greedy = cost_of(SpjStrategy::Greedy);
     assert!(ex <= dp + 1e-6, "exhaustive {ex} must not lose to dp {dp}");
-    assert!(ex <= greedy + 1e-6, "exhaustive {ex} must not lose to greedy {greedy}");
+    assert!(
+        ex <= greedy + 1e-6,
+        "exhaustive {ex} must not lose to greedy {greedy}"
+    );
 }
 
 #[test]
@@ -315,7 +334,10 @@ fn randomized_phase_never_worsens_the_plan() {
             let mut opt = optimizer(
                 &m,
                 &stats,
-                OptimizerConfig { rand: None, ..OptimizerConfig::cost_controlled() },
+                OptimizerConfig {
+                    rand: None,
+                    ..OptimizerConfig::cost_controlled()
+                },
             );
             opt.optimize(&q).unwrap().cost.total(&params)
         };
@@ -324,7 +346,10 @@ fn randomized_phase_never_worsens_the_plan() {
                 &m,
                 &stats,
                 OptimizerConfig {
-                    rand: Some(RandConfig { kind, ..Default::default() }),
+                    rand: Some(RandConfig {
+                        kind,
+                        ..Default::default()
+                    }),
                     ..OptimizerConfig::cost_controlled()
                 },
             );
@@ -337,9 +362,13 @@ fn randomized_phase_never_worsens_the_plan() {
 #[test]
 fn filter_action_pushes_only_propagated_conjuncts() {
     let (m, _idx, stats) = setup(MusicConfig::default());
-    let model =
-        CostModel::new(m.db.catalog(), m.db.physical(), &stats, CostParams::default())
-            .with_temp("Influencer", m.influencer_fields());
+    let model = CostModel::new(
+        m.db.catalog(),
+        m.db.physical(),
+        &stats,
+        CostParams::default(),
+    )
+    .with_temp("Influencer", m.influencer_fields());
     // Hand-build the Influencer fixpoint.
     let e = m.db.physical().entities_of_class(m.composer)[0];
     let base = Pt::proj(
@@ -364,7 +393,11 @@ fn filter_action_pushes_only_propagated_conjuncts() {
     );
     let fix = Pt::fix("Influencer", Pt::union(base, rec));
     let propagated = propagated_columns(&fix);
-    assert_eq!(propagated, vec!["master".to_string()], "only master is copied");
+    assert_eq!(
+        propagated,
+        vec!["master".to_string()],
+        "only master is copied"
+    );
     let info = FixInfo {
         temp: "Influencer".into(),
         out_cols: vec!["master".into(), "disciple".into(), "gen".into()],
@@ -373,13 +406,17 @@ fn filter_action_pushes_only_propagated_conjuncts() {
     };
     // gen >= 6 is NOT pushable; master-rooted selection is.
     assert!(!can_push(&Expr::var("gen").ge(Expr::int(6)), &info));
-    let master_sel = Expr::path("master", &["works", "instruments", "name"])
-        .eq(Expr::text("harpsichord"));
+    let master_sel =
+        Expr::path("master", &["works", "instruments", "name"]).eq(Expr::text("harpsichord"));
     assert!(can_push(&master_sel, &info));
     let pushed = filter_action(&model, &fix, &info, &master_sel).unwrap();
     // Both union sides now carry the selection.
-    let Pt::Fix { body, .. } = &pushed else { panic!("expected Fix") };
-    let Pt::Union { left, right } = body.as_ref() else { panic!("expected Union") };
+    let Pt::Fix { body, .. } = &pushed else {
+        panic!("expected Fix")
+    };
+    let Pt::Union { left, right } = body.as_ref() else {
+        panic!("expected Union")
+    };
     let mut sel_count = 0;
     for side in [left, right] {
         side.visit(&mut |n| {
@@ -390,7 +427,10 @@ fn filter_action_pushes_only_propagated_conjuncts() {
             }
         });
     }
-    assert!(sel_count >= 2, "selection must appear in base and recursive sides");
+    assert!(
+        sel_count >= 2,
+        "selection must appear in base and recursive sides"
+    );
 }
 
 #[test]
@@ -481,7 +521,11 @@ fn optimizer_trace_summarizes_figure6() {
 #[test]
 fn play_relation_join_optimizes_and_matches_reference() {
     // Figure 1's stored `Play` relation: instruments played by Bach.
-    let (mut m, idx, stats) = setup(MusicConfig { chains: 3, chain_len: 4, ..Default::default() });
+    let (mut m, idx, stats) = setup(MusicConfig {
+        chains: 3,
+        chain_len: 4,
+        ..Default::default()
+    });
     let cat = m.db.catalog_rc();
     let play = cat.relation_by_name("Play").unwrap();
     let mut q = QueryGraph::new(NameRef::Derived("Answer".into()));
@@ -490,7 +534,10 @@ fn play_relation_join_optimizes_and_matches_reference() {
         SpjNode {
             inputs: vec![QArc::new(NameRef::Relation(play), "r")],
             pred: Expr::path("r", &["who", "name"]).eq(Expr::text("Bach")),
-            out_proj: vec![("instrument".into(), Expr::path("r", &["instrument", "name"]))],
+            out_proj: vec![(
+                "instrument".into(),
+                Expr::path("r", &["instrument", "name"]),
+            )],
         },
     );
     let methods = MethodRegistry::new();
@@ -534,7 +581,11 @@ fn translate_enumerates_orderings_and_collapse() {
         16,
     )
     .unwrap();
-    assert!(alts.len() >= 2, "expected ordering/collapse alternatives, got {}", alts.len());
+    assert!(
+        alts.len() >= 2,
+        "expected ordering/collapse alternatives, got {}",
+        alts.len()
+    );
     // At least one alternative collapses works.instruments into a PIJ.
     let has_pij = alts
         .iter()
@@ -555,12 +606,15 @@ fn translate_enumerates_orderings_and_collapse() {
 #[test]
 fn best_selection_expands_long_paths_when_cheaper() {
     let (m, _idx, stats) = setup(MusicConfig::default());
-    let model =
-        CostModel::new(m.db.catalog(), m.db.physical(), &stats, CostParams::default());
+    let model = CostModel::new(
+        m.db.catalog(),
+        m.db.physical(),
+        &stats,
+        CostParams::default(),
+    );
     let e = m.db.physical().entities_of_class(m.composer)[0];
     let pred = Expr::path("x", &["works", "instruments", "name"]).eq(Expr::text("flute"));
-    let chosen =
-        best_selection(&model, pred, Pt::entity(e, "x"), &["x".to_string()]).unwrap();
+    let chosen = best_selection(&model, pred, Pt::entity(e, "x"), &["x".to_string()]).unwrap();
     // With the path index registered, the expansion through
     // PIJ_works.instruments must win over per-row dereferencing.
     let mut has_pij = false;
@@ -578,26 +632,38 @@ fn best_selection_expands_long_paths_when_cheaper() {
 fn neighbours_enumerate_join_and_access_moves() {
     // `setup` builds a selection index on Composer.name.
     let (m, _idx, stats) = setup(MusicConfig::default());
-    let sid = m
-        .db
-        .physical()
-        .selection_index(m.composer, m.name_attr)
-        .expect("setup built the name index")
-        .id;
-    let model =
-        CostModel::new(m.db.catalog(), m.db.physical(), &stats, CostParams::default());
+    let sid =
+        m.db.physical()
+            .selection_index(m.composer, m.name_attr)
+            .expect("setup built the name index")
+            .id;
+    let model = CostModel::new(
+        m.db.catalog(),
+        m.db.physical(),
+        &stats,
+        CostParams::default(),
+    );
     let e = m.db.physical().entities_of_class(m.composer)[0];
     let plan = Pt::ej(
         Expr::path("l", &["master"]).eq(Expr::path("r", &["master"])),
-        Pt::sel(Expr::path("l", &["name"]).eq(Expr::text("Bach")), Pt::entity(e, "l")),
+        Pt::sel(
+            Expr::path("l", &["name"]).eq(Expr::text("Bach")),
+            Pt::entity(e, "l"),
+        ),
         Pt::entity(e, "r"),
     );
     let ns = neighbours(&model, &plan);
     // Swap, join-algo toggle (master is not indexed -> no index join),
     // and Sel scan->index toggle.
-    assert!(ns.len() >= 2, "expected several neighbour moves, got {}", ns.len());
-    let has_swap = ns.iter().any(|n| matches!(n, Pt::EJ { left, .. }
-        if matches!(left.as_ref(), Pt::Entity { .. })));
+    assert!(
+        ns.len() >= 2,
+        "expected several neighbour moves, got {}",
+        ns.len()
+    );
+    let has_swap = ns.iter().any(|n| {
+        matches!(n, Pt::EJ { left, .. }
+        if matches!(left.as_ref(), Pt::Entity { .. }))
+    });
     assert!(has_swap, "operand swap must be a move");
     let has_index_sel = ns.iter().any(|n| {
         let mut found = false;
@@ -637,14 +703,21 @@ fn parsed_program_optimizes_like_hand_built() {
         let mut o = optimizer(&m, &stats, OptimizerConfig::never_push());
         o.optimize(&q_built).unwrap().cost.total(&params)
     };
-    assert!((a - b).abs() < 1e-6, "parsed and hand-built plans must cost the same: {a} vs {b}");
+    assert!(
+        (a - b).abs() < 1e-6,
+        "parsed and hand-built plans must cost the same: {a} vs {b}"
+    );
 }
 
 #[test]
 fn distribute_join_over_union_preserves_semantics() {
     // §5: "distributing union over join and vice-versa ... we are able
     // to efficiently explore this transformation".
-    let (mut m, idx, stats) = setup(MusicConfig { chains: 2, chain_len: 3, ..Default::default() });
+    let (mut m, idx, stats) = setup(MusicConfig {
+        chains: 2,
+        chain_len: 3,
+        ..Default::default()
+    });
     let e = m.db.physical().entities_of_class(m.composer)[0];
     let pred = Expr::path("l", &["master"]).eq(Expr::var("r"));
     let plan = Pt::proj(
@@ -652,8 +725,14 @@ fn distribute_join_over_union_preserves_semantics() {
         Pt::ej(
             pred,
             Pt::union(
-                Pt::sel(Expr::path("l", &["name"]).eq(Expr::text("Bach")), Pt::entity(e, "l")),
-                Pt::sel(Expr::path("l", &["name"]).eq(Expr::text("composer0")), Pt::entity(e, "l")),
+                Pt::sel(
+                    Expr::path("l", &["name"]).eq(Expr::text("Bach")),
+                    Pt::entity(e, "l"),
+                ),
+                Pt::sel(
+                    Expr::path("l", &["name"]).eq(Expr::text("composer0")),
+                    Pt::entity(e, "l"),
+                ),
             ),
             Pt::entity(e, "r"),
         ),
@@ -664,8 +743,7 @@ fn distribute_join_over_union_preserves_semantics() {
     let mut shape_ok = false;
     distributed.visit(&mut |n| {
         if let Pt::Union { left, right } = n {
-            if matches!(left.as_ref(), Pt::EJ { .. }) && matches!(right.as_ref(), Pt::EJ { .. })
-            {
+            if matches!(left.as_ref(), Pt::EJ { .. }) && matches!(right.as_ref(), Pt::EJ { .. }) {
                 shape_ok = true;
             }
         }
@@ -683,7 +761,157 @@ fn distribute_join_over_union_preserves_semantics() {
     assert_eq!(ra, rb);
     // And both cost estimates are computable (the framework can compare
     // them, which is the paper's §5 point).
-    let model = CostModel::new(m.db.catalog(), m.db.physical(), &stats, CostParams::default());
+    let model = CostModel::new(
+        m.db.catalog(),
+        m.db.physical(),
+        &stats,
+        CostParams::default(),
+    );
     assert!(model.cost(&plan).is_ok());
     assert!(model.cost(&distributed).is_ok());
+}
+
+/// Property: every transformation move the walk can take from a
+/// lint-clean plan yields a lint-clean plan with the same output
+/// columns (explored to depth 2 from the optimized paper plans).
+#[test]
+fn transformation_moves_preserve_lint_cleanliness_and_columns() {
+    let (m, _idx, stats) = setup(MusicConfig::default());
+    let cat = m.db.catalog();
+    let mut queries = vec![fig3_graph(&m)];
+    {
+        let mut q = sec45_pushjoin_query(cat);
+        influencer_view(cat).expand(&mut q, cat).unwrap();
+        queries.push(q);
+    }
+    for q in queries {
+        let plan = {
+            let mut opt = optimizer(&m, &stats, OptimizerConfig::never_push());
+            opt.optimize(&q).unwrap()
+        };
+        let model = CostModel::new(
+            m.db.catalog(),
+            m.db.physical(),
+            &stats,
+            CostParams::default(),
+        )
+        .with_temp("Influencer", m.influencer_fields());
+        let env = oorq_pt::PtEnv {
+            catalog: m.db.catalog(),
+            physical: m.db.physical(),
+            temp_fields: model.temp_fields.clone(),
+        };
+        assert!(oorq_lint::verify_pt(&env, &plan.pt).is_clean());
+        let base_cols = plan.pt.output_columns(&env).unwrap();
+        let mut frontier = vec![plan.pt.clone()];
+        let mut checked = 0usize;
+        for _depth in 0..2 {
+            let mut next = Vec::new();
+            for pt in &frontier {
+                for n in neighbours(&model, pt) {
+                    let report = oorq_lint::verify_pt(&env, &n);
+                    assert!(
+                        report.is_clean(),
+                        "a transformation move broke the plan:\n{}",
+                        report.render()
+                    );
+                    let cols = n.output_columns(&env).unwrap();
+                    assert_eq!(cols, base_cols, "a move changed the output columns");
+                    checked += 1;
+                    next.push(n);
+                }
+            }
+            frontier = next;
+        }
+        assert!(checked > 0, "the paper plans must admit at least one move");
+    }
+}
+
+/// Injecting a broken transformation action into the randomized walk:
+/// the verifier rejects every ill-formed candidate (counting them and
+/// recording the diagnostics in the trace) and the surviving plan stays
+/// clean and semantically intact.
+#[test]
+fn broken_transformation_action_is_caught_by_the_verifier() {
+    let (m, _idx, stats) = setup(MusicConfig::default());
+    let q = fig3_graph(&m);
+    let plan = {
+        let mut opt = optimizer(&m, &stats, OptimizerConfig::never_push());
+        opt.optimize(&q).unwrap()
+    };
+    let model = CostModel::new(
+        m.db.catalog(),
+        m.db.physical(),
+        &stats,
+        CostParams::default(),
+    )
+    .with_temp("Influencer", m.influencer_fields());
+    // A "transformation action" that always produces an ill-typed plan:
+    // it filters on a column no input produces.
+    let broken = |_: &CostModel<'_>, pt: &Pt| -> Vec<Pt> {
+        vec![Pt::sel(
+            Expr::var("no_such_column").eq(Expr::int(1)),
+            pt.clone(),
+        )]
+    };
+    let config = RandConfig {
+        moves_per_walk: 5,
+        restarts: 1,
+        ..Default::default()
+    };
+    let mut trace = OptTrace::default();
+    let outcome = rand_optimize_with(
+        &model,
+        plan.pt.clone(),
+        &config,
+        &broken,
+        true,
+        Some(&mut trace),
+    );
+    assert!(
+        outcome.violations > 0,
+        "the verifier must reject the broken moves"
+    );
+    assert_eq!(outcome.pt, plan.pt, "no broken move may enter the walk");
+    let rejected: Vec<&StepTrace> = trace
+        .steps
+        .iter()
+        .filter(|s| s.granularity.contains("rejected by the verifier"))
+        .collect();
+    assert_eq!(rejected.len(), outcome.violations);
+    assert!(
+        rejected[0].notes.iter().any(|n| n.contains("PT008")),
+        "the trace must carry the lint diagnostic: {:?}",
+        rejected[0].notes
+    );
+    // Without verification the same broken action corrupts the walk
+    // only if it looks cheaper; with verification the plan is clean
+    // regardless.
+    let env = oorq_pt::PtEnv {
+        catalog: m.db.catalog(),
+        physical: m.db.physical(),
+        temp_fields: model.temp_fields.clone(),
+    };
+    assert!(oorq_lint::verify_pt(&env, &outcome.pt).is_clean());
+}
+
+/// The debug-mode verifier is on by default and the optimizer's
+/// intermediate stages pass it on the paper queries; turning it off is
+/// explicit.
+#[test]
+fn optimizer_verification_levels() {
+    let (m, _idx, stats) = setup(MusicConfig::default());
+    let q = fig3_graph(&m);
+    assert_eq!(OptimizerConfig::default().verify, VerifyLevel::Debug);
+    assert!(VerifyLevel::Strict.active());
+    assert!(!VerifyLevel::Off.active());
+    for verify in [VerifyLevel::Off, VerifyLevel::Strict] {
+        let config = OptimizerConfig {
+            verify,
+            ..OptimizerConfig::cost_controlled()
+        };
+        let mut opt = optimizer(&m, &stats, config);
+        opt.optimize(&q)
+            .expect("the paper query must verify at every stage");
+    }
 }

@@ -106,8 +106,7 @@ impl OptTrace {
             let nodes = if s.nodes_generated.is_empty() {
                 "none".to_string()
             } else {
-                let mut uniq: Vec<&str> =
-                    s.nodes_generated.iter().map(String::as_str).collect();
+                let mut uniq: Vec<&str> = s.nodes_generated.iter().map(String::as_str).collect();
                 uniq.sort();
                 uniq.dedup();
                 uniq.join(", ")

@@ -12,12 +12,11 @@
 //! of the PT was shifted).
 
 use oorq_cost::CostModel;
+use oorq_prng::Prng;
+use oorq_pt::{AccessMethod, IjStep, JoinAlgo, Pt};
 use oorq_query::{CmpOp, Expr};
 use oorq_schema::{ClassId, ResolvedType};
 use oorq_storage::EntitySource;
-use oorq_pt::{AccessMethod, IjStep, JoinAlgo, Pt};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::error::OptError;
 use crate::translate::{collapse_alternatives, ChainOp};
@@ -48,29 +47,9 @@ pub struct FixInfo {
     pub propagated: Vec<String>,
 }
 
-/// Compute the propagated columns of a fixpoint body: output columns of
-/// the recursive side's top projection that are verbatim copies of the
-/// temporary's fields.
-pub fn propagated_columns(fix: &Pt) -> Vec<String> {
-    let Pt::Fix { temp, body } = fix else { return Vec::new() };
-    let Pt::Union { left, right } = body.as_ref() else { return Vec::new() };
-    let rec = if left.references_temp(temp) { left } else { right };
-    // Temp leaf variable inside the recursive side.
-    let mut temp_var = None;
-    rec.visit(&mut |n| {
-        if let Pt::Temp { name, var } = n {
-            if name == temp && temp_var.is_none() {
-                temp_var = Some(var.clone());
-            }
-        }
-    });
-    let Some(tv) = temp_var else { return Vec::new() };
-    let Pt::Proj { cols, .. } = rec.as_ref() else { return Vec::new() };
-    cols.iter()
-        .filter(|(name, e)| matches!(e, Expr::Var(v) if *v == format!("{tv}.{name}")))
-        .map(|(name, _)| name.clone())
-        .collect()
-}
+// Moved into `oorq-pt` so the lint engine can share it; re-exported
+// here for existing call sites.
+pub use oorq_pt::propagated_columns;
 
 /// The `canPush` constraint for one conjunct expressed over the
 /// fixpoint's output columns: every column it references must be
@@ -140,8 +119,11 @@ pub fn filter_action(
         }),
         _ => None,
     });
-    let temp_cols: Vec<String> =
-        info.fields.iter().map(|(n, _)| format!("{tv}.{n}")).collect();
+    let temp_cols: Vec<String> = info
+        .fields
+        .iter()
+        .map(|(n, _)| format!("{tv}.{n}"))
+        .collect();
     let rec_pushed = replace_temp_with(&rec, temp, &|leaf| {
         // Defer the expansion choice to `best_selection` on a clone.
         Pt::sel(qualified.clone(), leaf)
@@ -178,7 +160,10 @@ pub fn push_join_action(
     // Semi-join: EJ then project back to the temporary's fields (the
     // projection deduplicates).
     let semi = Pt::proj(
-        info.out_cols.iter().map(|c| (c.clone(), Expr::Var(c.clone()))).collect(),
+        info.out_cols
+            .iter()
+            .map(|c| (c.clone(), Expr::Var(c.clone())))
+            .collect(),
         Pt::ej(join_pred_over_fix_cols.clone(), base, inner.clone()),
     );
     Ok(Pt::fix(temp.clone(), Pt::union(semi, rec)))
@@ -211,7 +196,8 @@ fn pick_cheapest(model: &CostModel<'_>, candidates: Vec<Pt>) -> Result<Pt, OptEr
             _ => best = Some((total, pt)),
         }
     }
-    best.map(|(_, pt)| pt).ok_or_else(|| OptError::Unplannable("selection".into()))
+    best.map(|(_, pt)| pt)
+        .ok_or_else(|| OptError::Unplannable("selection".into()))
 }
 
 /// Expand each long-path conjunct of `pred` into an IJ chain plus a
@@ -250,7 +236,9 @@ fn expand_path_selection(
         pt = Pt::sel(rewritten.clone(), pt);
         // Project back to the original columns.
         pt = Pt::proj(
-            cols.iter().map(|c| (c.clone(), Expr::Var(c.clone()))).collect(),
+            cols.iter()
+                .map(|c| (c.clone(), Expr::Var(c.clone())))
+                .collect(),
             pt,
         );
         out.push(pt);
@@ -270,7 +258,9 @@ fn try_rewrite(
 ) -> Result<Expr, OptError> {
     let mut failure = None;
     let result = pred.map_leaves(&mut |leaf| {
-        let Expr::Path { base, steps } = leaf else { return None };
+        let Expr::Path { base, steps } = leaf else {
+            return None;
+        };
         if steps.len() < 2 {
             return None;
         }
@@ -314,7 +304,9 @@ fn try_rewrite(
         }
         while consumed < steps.len() {
             let step = &steps[consumed];
-            let Some((aid, attr)) = model.catalog.attr(class, step) else { break };
+            let Some((aid, attr)) = model.catalog.attr(class, step) else {
+                break;
+            };
             match attr.ty.referenced_class() {
                 Some(next) if consumed + 1 < steps.len() => {
                     *fresh += 1;
@@ -327,7 +319,10 @@ fn try_rewrite(
                         }
                     };
                     ops.push(ChainOp::Ij {
-                        on: Expr::Path { base: col.clone(), steps: vec![step.clone()] },
+                        on: Expr::Path {
+                            base: col.clone(),
+                            steps: vec![step.clone()],
+                        },
                         step: IjStep::class_attr(model.catalog, class, aid),
                         out: out.clone(),
                         target,
@@ -348,7 +343,10 @@ fn try_rewrite(
         Some(if rest.is_empty() {
             Expr::Var(col)
         } else {
-            Expr::Path { base: col, steps: rest }
+            Expr::Path {
+                base: col,
+                steps: rest,
+            }
         })
     });
     match failure {
@@ -400,8 +398,7 @@ fn expand_sels_over_temp(
     temp_cols: &[String],
 ) -> Result<Pt, OptError> {
     match &pt {
-        Pt::Sel { pred, input, .. } if matches!(input.as_ref(), Pt::Temp { name, .. } if name == temp) =>
-        {
+        Pt::Sel { pred, input, .. } if matches!(input.as_ref(), Pt::Temp { name, .. } if name == temp) => {
             best_selection(model, pred.clone(), input.as_ref().clone(), temp_cols)
         }
         _ => {
@@ -503,7 +500,12 @@ pub fn neighbours(model: &CostModel<'_>, pt: &Pt) -> Vec<Pt> {
     let mut out = Vec::new();
     for (path, sub) in oorq_pt::subtrees(pt) {
         match sub {
-            Pt::EJ { pred, algo, left, right } => {
+            Pt::EJ {
+                pred,
+                algo,
+                left,
+                right,
+            } => {
                 // Swap operands.
                 let swapped = Pt::EJ {
                     pred: pred.clone(),
@@ -536,7 +538,11 @@ pub fn neighbours(model: &CostModel<'_>, pt: &Pt) -> Vec<Pt> {
                     }
                 }
             }
-            Pt::Sel { pred, method, input } => match method {
+            Pt::Sel {
+                pred,
+                method,
+                input,
+            } => match method {
                 AccessMethod::Index(_) => {
                     let scan = Pt::sel(pred.clone(), input.as_ref().clone());
                     push_variant(pt, &path, scan, &mut out);
@@ -572,12 +578,19 @@ fn applicable_sel_index(
     pred: &Expr,
     input: &Pt,
 ) -> Option<oorq_storage::IndexId> {
-    let Pt::Entity { id, var } = input else { return None };
+    let Pt::Entity { id, var } = input else {
+        return None;
+    };
     let EntitySource::Class(class) = model.physical.entity(*id).source else {
         return None;
     };
     for c in pred.conjuncts() {
-        if let Expr::Cmp { op: CmpOp::Eq, lhs, rhs } = c {
+        if let Expr::Cmp {
+            op: CmpOp::Eq,
+            lhs,
+            rhs,
+        } = c
+        {
             let path = match (lhs.as_ref(), rhs.as_ref()) {
                 (Expr::Path { base, steps }, Expr::Lit(_)) if steps.len() == 1 => {
                     Some((base, &steps[0]))
@@ -606,12 +619,19 @@ fn applicable_join_index(
     pred: &Expr,
     right: &Pt,
 ) -> Option<oorq_storage::IndexId> {
-    let Pt::Entity { id, var } = right else { return None };
+    let Pt::Entity { id, var } = right else {
+        return None;
+    };
     let EntitySource::Class(class) = model.physical.entity(*id).source else {
         return None;
     };
     for c in pred.conjuncts() {
-        if let Expr::Cmp { op: CmpOp::Eq, lhs, rhs } = c {
+        if let Expr::Cmp {
+            op: CmpOp::Eq,
+            lhs,
+            rhs,
+        } = c
+        {
             for side in [lhs.as_ref(), rhs.as_ref()] {
                 if let Expr::Path { base, steps } = side {
                     if base == var && steps.len() == 1 {
@@ -628,30 +648,89 @@ fn applicable_join_index(
     None
 }
 
+/// A neighbour generator for the randomized walk: every plan one move
+/// away from the current one.
+pub type MoveFn<'f> = dyn Fn(&CostModel<'_>, &Pt) -> Vec<Pt> + 'f;
+
+/// What a verified randomized walk produced.
+#[derive(Debug, Clone)]
+pub struct RandOutcome {
+    /// The best plan found (never worse than the start).
+    pub pt: Pt,
+    /// Candidate moves the verifier rejected as ill-formed.
+    pub violations: usize,
+}
+
 /// Run a randomized strategy from a starting plan; returns the best plan
 /// found (never worse than the start).
 pub fn rand_optimize(model: &CostModel<'_>, start: Pt, config: &RandConfig) -> Pt {
-    let Ok(start_cost) = model.cost(&start) else { return start };
+    rand_optimize_with(model, start, config, &neighbours, false, None).pt
+}
+
+/// [`rand_optimize`] with a pluggable move generator and an optional
+/// verification layer: when `verify` is on, every candidate move is
+/// checked with the lint engine before acceptance — an ill-formed
+/// candidate is rejected (and counted) instead of entering the walk,
+/// and the rejection is recorded in the trace. The move generator is a
+/// parameter so tests can inject a broken transformation action and
+/// observe the verifier catching it.
+pub fn rand_optimize_with(
+    model: &CostModel<'_>,
+    start: Pt,
+    config: &RandConfig,
+    moves: &MoveFn<'_>,
+    verify: bool,
+    mut trace: Option<&mut crate::trace::OptTrace>,
+) -> RandOutcome {
+    let lint_env = || oorq_pt::PtEnv {
+        catalog: model.catalog,
+        physical: model.physical,
+        temp_fields: model.temp_fields.clone(),
+    };
+    let mut violations = 0usize;
+    let Ok(start_cost) = model.cost(&start) else {
+        return RandOutcome {
+            pt: start,
+            violations,
+        };
+    };
     let mut best = start.clone();
     let mut best_cost = start_cost.total(&model.params);
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Prng::new(config.seed);
     for _ in 0..config.restarts.max(1) {
         let mut current = best.clone();
         let mut current_cost = best_cost;
         let mut temperature = config.initial_temperature;
         for _ in 0..config.moves_per_walk {
-            let ns = neighbours(model, &current);
+            let ns = moves(model, &current);
             if ns.is_empty() {
                 break;
             }
-            let pick = ns[rng.gen_range(0..ns.len())].clone();
+            let pick = ns[rng.index(ns.len())].clone();
+            if verify {
+                let report = oorq_lint::verify_pt(&lint_env(), &pick);
+                if !report.is_clean() {
+                    violations += 1;
+                    if let Some(t) = trace.as_deref_mut() {
+                        let s = t.record(
+                            crate::trace::Step::TransformPt,
+                            "one move (rejected by the verifier)",
+                            crate::trace::StrategyKind::CostBasedTransformational,
+                        );
+                        for d in report.errors() {
+                            s.note(format!("{d}"));
+                        }
+                    }
+                    continue;
+                }
+            }
             let Ok(pc) = model.cost(&pick) else { continue };
             let c = pc.total(&model.params);
             let accept = match config.kind {
                 RandKind::IterativeImprovement => c < current_cost,
                 RandKind::SimulatedAnnealing => {
                     c < current_cost
-                        || rng.gen_bool(
+                        || rng.chance(
                             (-(c - current_cost) / temperature.max(1e-9))
                                 .exp()
                                 .clamp(0.0, 1.0),
@@ -669,5 +748,8 @@ pub fn rand_optimize(model: &CostModel<'_>, start: Pt, config: &RandConfig) -> P
             temperature *= 0.9;
         }
     }
-    best
+    RandOutcome {
+        pt: best,
+        violations,
+    }
 }

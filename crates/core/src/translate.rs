@@ -12,10 +12,10 @@
 
 use std::collections::HashMap;
 
+use oorq_pt::{IjStep, Pt};
 use oorq_query::{Expr, QArc, TreeChild};
 use oorq_schema::{AttrId, Catalog, ClassId, ResolvedType};
 use oorq_storage::{EntityId, IndexId, PhysicalSchema};
-use oorq_pt::{IjStep, Pt};
 
 use crate::error::OptError;
 
@@ -58,14 +58,24 @@ impl ChainOp {
     /// Wrap a plan with this op.
     pub fn apply(&self, input: Pt) -> Pt {
         match self {
-            ChainOp::Ij { on, step, out, target } => Pt::IJ {
+            ChainOp::Ij {
+                on,
+                step,
+                out,
+                target,
+            } => Pt::IJ {
                 on: on.clone(),
                 step: step.clone(),
                 out: out.clone(),
                 input: Box::new(input),
                 target: Box::new(Pt::entity(*target, format!("_t_{out}"))),
             },
-            ChainOp::Pij { index, on, outs, targets } => Pt::PIJ {
+            ChainOp::Pij {
+                index,
+                on,
+                outs,
+                targets,
+            } => Pt::PIJ {
                 index: *index,
                 on: on.clone(),
                 outs: outs.clone(),
@@ -152,8 +162,10 @@ pub fn translate_arc(
             (pt, vec![root_var.clone()], leaf, RootKind::Object(c))
         }
         BasePlan::Relation(e, fields) => {
-            let cols: Vec<String> =
-                fields.iter().map(|(f, _)| format!("{root_var}.{f}")).collect();
+            let cols: Vec<String> = fields
+                .iter()
+                .map(|(f, _)| format!("{root_var}.{f}"))
+                .collect();
             (
                 Pt::entity(e, root_var.clone()),
                 cols,
@@ -162,8 +174,10 @@ pub fn translate_arc(
             )
         }
         BasePlan::Temp(name, fields) => {
-            let cols: Vec<String> =
-                fields.iter().map(|(f, _)| format!("{root_var}.{f}")).collect();
+            let cols: Vec<String> = fields
+                .iter()
+                .map(|(f, _)| format!("{root_var}.{f}"))
+                .collect();
             (
                 Pt::temp(name, root_var.clone()),
                 cols,
@@ -173,8 +187,10 @@ pub fn translate_arc(
         }
         BasePlan::Plugged(pt, out_cols) => {
             // Rename the producer's columns to `rootvar.col`.
-            let cols: Vec<String> =
-                out_cols.iter().map(|(c, _)| format!("{root_var}.{c}")).collect();
+            let cols: Vec<String> = out_cols
+                .iter()
+                .map(|(c, _)| format!("{root_var}.{c}"))
+                .collect();
             let proj = Pt::proj(
                 out_cols
                     .iter()
@@ -212,14 +228,7 @@ pub fn translate_arc(
             for child in &arc.label.children {
                 let mut ops = Vec::new();
                 build_row_child(
-                    catalog,
-                    physical,
-                    fields,
-                    &root_var,
-                    child,
-                    &mut ops,
-                    &mut subst,
-                    fresh,
+                    catalog, physical, fields, &root_var, child, &mut ops, &mut subst, fresh,
                 )?;
                 if !ops.is_empty() {
                     branches.push(ops);
@@ -236,8 +245,10 @@ pub fn translate_arc(
     };
     let mut out = Vec::new();
     for order in orderings {
-        let ops: Vec<ChainOp> =
-            order.iter().flat_map(|&i| branches[i].iter().cloned()).collect();
+        let ops: Vec<ChainOp> = order
+            .iter()
+            .flat_map(|&i| branches[i].iter().cloned())
+            .collect();
         // Collapse alternatives: every way of collapsing collapsible runs.
         for collapsed in collapse_alternatives(catalog, physical, &ops) {
             out.push(ArcChain {
@@ -418,7 +429,9 @@ fn build_row_child(
         }));
     };
     let Some((_, field_ty)) = fields.iter().find(|(f, _)| f == field) else {
-        return Err(OptError::Query(oorq_query::QueryError::UnknownField(field.clone())));
+        return Err(OptError::Query(oorq_query::QueryError::UnknownField(
+            field.clone(),
+        )));
     };
     let field_expr = Expr::Var(format!("{root_var}.{field}"));
     // We need an IJ only when the child has sub-structure (atomic fields
@@ -430,9 +443,9 @@ fn build_row_child(
         return Ok(());
     }
     // Sub-structure: the field must reference a class.
-    let target_class = field_ty.referenced_class().ok_or_else(|| {
-        OptError::Query(oorq_query::QueryError::UnknownField(field.clone()))
-    })?;
+    let target_class = field_ty
+        .referenced_class()
+        .ok_or_else(|| OptError::Query(oorq_query::QueryError::UnknownField(field.clone())))?;
     let out = child.var.clone().unwrap_or_else(&mut *fresh);
     ops.push(ChainOp::Ij {
         on: field_expr,
@@ -458,11 +471,17 @@ fn build_row_child(
 
 fn path_extend(parent: &Expr, step: &str) -> Expr {
     match parent {
-        Expr::Var(v) => Expr::Path { base: v.clone(), steps: vec![step.to_string()] },
+        Expr::Var(v) => Expr::Path {
+            base: v.clone(),
+            steps: vec![step.to_string()],
+        },
         Expr::Path { base, steps } => {
             let mut s = steps.clone();
             s.push(step.to_string());
-            Expr::Path { base: base.clone(), steps: s }
+            Expr::Path {
+                base: base.clone(),
+                steps: s,
+            }
         }
         other => other.clone(),
     }
@@ -494,13 +513,19 @@ pub fn collapse_alternatives(
                 })
                 .collect();
             let Some(path) = path else { continue };
-            let Some(desc) = physical.path_index(&path) else { continue };
+            let Some(desc) = physical.path_index(&path) else {
+                continue;
+            };
             // The PIJ is keyed by the *head* oid: the column the first
             // IJ dereferences. `Path(head, [attr])` gives head = the
             // index's head-class column; anything else cannot use the
             // index.
-            let ChainOp::Ij { on: first_on, .. } = &ops[i] else { continue };
-            let Expr::Path { base: head, steps } = first_on else { continue };
+            let ChainOp::Ij { on: first_on, .. } = &ops[i] else {
+                continue;
+            };
+            let Expr::Path { base: head, steps } = first_on else {
+                continue;
+            };
             if steps.len() != 1 {
                 continue;
             }
@@ -508,12 +533,19 @@ pub fn collapse_alternatives(
             let mut outs = Vec::new();
             let mut targets = Vec::new();
             for op in &ops[i..j] {
-                let ChainOp::Ij { out, target, .. } = op else { continue };
+                let ChainOp::Ij { out, target, .. } = op else {
+                    continue;
+                };
                 outs.push(out.clone());
                 targets.push(*target);
             }
             let mut collapsed = ops[..i].to_vec();
-            collapsed.push(ChainOp::Pij { index: desc.id, on, outs, targets });
+            collapsed.push(ChainOp::Pij {
+                index: desc.id,
+                on,
+                outs,
+                targets,
+            });
             collapsed.extend(ops[j..].iter().cloned());
             out.push(collapsed);
         }
@@ -523,9 +555,13 @@ pub fn collapse_alternatives(
 
 fn is_linked_run(ops: &[ChainOp], i: usize, j: usize) -> bool {
     for k in i..j {
-        let ChainOp::Ij { on, .. } = &ops[k] else { return false };
+        let ChainOp::Ij { on, .. } = &ops[k] else {
+            return false;
+        };
         if k > i {
-            let ChainOp::Ij { out: prev_out, .. } = &ops[k - 1] else { return false };
+            let ChainOp::Ij { out: prev_out, .. } = &ops[k - 1] else {
+                return false;
+            };
             // The next step must dereference exactly the previous output
             // through one attribute: `Path(prev_out, [attr])`.
             match on {

@@ -10,12 +10,10 @@
 
 use std::collections::HashMap;
 
+use oorq_pt::{AccessMethod, JoinAlgo, Pt};
 use oorq_query::{CmpOp, Expr};
 use oorq_schema::{AttrId, AttributeKind, Catalog, ClassId, ResolvedType};
-use oorq_storage::{
-    DbStats, EntitySource, IndexKindDesc, PhysicalSchema, WidthModel,
-};
-use oorq_pt::{AccessMethod, JoinAlgo, Pt};
+use oorq_storage::{DbStats, EntitySource, IndexKindDesc, PhysicalSchema, WidthModel};
 
 use crate::error::CostError;
 use crate::params::{Cost, CostParams};
@@ -139,9 +137,17 @@ impl<'a> CostModel<'a> {
 
     /// Estimate the cost of a whole plan.
     pub fn cost(&self, pt: &Pt) -> Result<PlanCost, CostError> {
-        let mut ctx = EstCtx { model: self, temp_rows: HashMap::new(), breakdown: Vec::new() };
+        let mut ctx = EstCtx {
+            model: self,
+            temp_rows: HashMap::new(),
+            breakdown: Vec::new(),
+        };
         let est = ctx.est(pt, true)?;
-        Ok(PlanCost { cost: est.cost, rows: est.rows, breakdown: ctx.breakdown })
+        Ok(PlanCost {
+            cost: est.cost,
+            rows: est.rows,
+            breakdown: ctx.breakdown,
+        })
     }
 
     /// Estimated iteration count for fixpoints: the deepest chain in the
@@ -165,7 +171,11 @@ impl<'a> CostModel<'a> {
         let Some(&entity) = self.physical.entities_of_class(class).first() else {
             return 1.0;
         };
-        match self.stats.entity(entity).and_then(|s| s.attrs.get(attr.0 as usize)) {
+        match self
+            .stats
+            .entity(entity)
+            .and_then(|s| s.attrs.get(attr.0 as usize))
+        {
             Some(a) => (a.avg_fanout * (1.0 - a.null_fraction)).max(0.0),
             None => 1.0,
         }
@@ -176,7 +186,11 @@ impl<'a> CostModel<'a> {
         let Some(&entity) = self.physical.entities_of_class(class).first() else {
             return 10.0;
         };
-        match self.stats.entity(entity).and_then(|s| s.attrs.get(attr.0 as usize)) {
+        match self
+            .stats
+            .entity(entity)
+            .and_then(|s| s.attrs.get(attr.0 as usize))
+        {
             Some(a) if a.distinct > 0 => a.distinct as f64,
             _ => 10.0,
         }
@@ -214,14 +228,20 @@ impl EstCtx<'_, '_> {
                     EntitySource::Class(c) => {
                         cols.insert(
                             var.clone(),
-                            ColInfo { ty: ResolvedType::Object(*c), resident: true },
+                            ColInfo {
+                                ty: ResolvedType::Object(*c),
+                                resident: true,
+                            },
                         );
                     }
                     EntitySource::Relation(r) => {
                         for (n, t) in &m.catalog.relation(*r).fields {
                             cols.insert(
                                 format!("{var}.{n}"),
-                                ColInfo { ty: t.clone(), resident: false },
+                                ColInfo {
+                                    ty: t.clone(),
+                                    resident: false,
+                                },
                             );
                         }
                     }
@@ -230,8 +250,19 @@ impl EstCtx<'_, '_> {
                     }
                 }
                 let io = if charge_scan { pages } else { 0.0 };
-                self.note(format!("scan {}", desc.name), Cost::new(io, 0.0), rows, pages);
-                NodeEst { rows, pages, cols, cost: Cost::new(io, 0.0), fanout_base: None }
+                self.note(
+                    format!("scan {}", desc.name),
+                    Cost::new(io, 0.0),
+                    rows,
+                    pages,
+                );
+                NodeEst {
+                    rows,
+                    pages,
+                    cols,
+                    cost: Cost::new(io, 0.0),
+                    fanout_base: None,
+                }
             }
             Pt::Temp { name, var } => {
                 let fields = m
@@ -248,13 +279,29 @@ impl EstCtx<'_, '_> {
                 let pages = m.width.pages_for(rows.ceil() as u64, &types) as f64;
                 let mut cols = HashMap::new();
                 for (n, t) in fields {
-                    cols.insert(format!("{var}.{n}"), ColInfo { ty: t.clone(), resident: false });
+                    cols.insert(
+                        format!("{var}.{n}"),
+                        ColInfo {
+                            ty: t.clone(),
+                            resident: false,
+                        },
+                    );
                 }
                 let io = if charge_scan { pages } else { 0.0 };
                 self.note(format!("scan temp {name}"), Cost::new(io, 0.0), rows, pages);
-                NodeEst { rows, pages, cols, cost: Cost::new(io, 0.0), fanout_base: None }
+                NodeEst {
+                    rows,
+                    pages,
+                    cols,
+                    cost: Cost::new(io, 0.0),
+                    fanout_base: None,
+                }
             }
-            Pt::Sel { pred, method, input } => {
+            Pt::Sel {
+                pred,
+                method,
+                input,
+            } => {
                 match method {
                     AccessMethod::Scan => {
                         let mut child = self.est(input, true)?;
@@ -276,9 +323,8 @@ impl EstCtx<'_, '_> {
                         let desc = m.physical.index(*idx);
                         let sel = self.selectivity(pred, &child.cols);
                         let matches = child.rows * sel;
-                        let probe_io = desc.stats.nblevels as f64
-                            + (matches / 8.0).max(0.0)
-                            + matches; // fetch matched objects' pages
+                        let probe_io =
+                            desc.stats.nblevels as f64 + (matches / 8.0).max(0.0) + matches; // fetch matched objects' pages
                         let own = Cost::new(probe_io, matches);
                         child.cost += own;
                         child.rows = matches;
@@ -317,15 +363,32 @@ impl EstCtx<'_, '_> {
                 let mut out_cols = HashMap::new();
                 for (n, e) in cols {
                     let ty = self.expr_out_type(e, &child.cols);
-                    out_cols.insert(n.clone(), ColInfo { ty, resident: false });
+                    out_cols.insert(
+                        n.clone(),
+                        ColInfo {
+                            ty,
+                            resident: false,
+                        },
+                    );
                 }
-                let types: Vec<ResolvedType> =
-                    out_cols.values().map(|c| c.ty.clone()).collect();
+                let types: Vec<ResolvedType> = out_cols.values().map(|c| c.ty.clone()).collect();
                 let pages = m.width.pages_for(out_rows.ceil() as u64, &types) as f64;
                 self.note("Proj".to_string(), own, out_rows, pages);
-                NodeEst { rows: out_rows, pages, cols: out_cols, cost: child.cost + own, fanout_base: None }
+                NodeEst {
+                    rows: out_rows,
+                    pages,
+                    cols: out_cols,
+                    cost: child.cost + own,
+                    fanout_base: None,
+                }
             }
-            Pt::IJ { on, step, out, input, target } => {
+            Pt::IJ {
+                on,
+                step,
+                out,
+                input,
+                target,
+            } => {
                 let child = self.est(input, true)?;
                 let (on_io, on_cpu) = self.expr_access_cost(on, &child.cols);
                 let (fanout, clustered) = match step.class_attr {
@@ -336,10 +399,7 @@ impl EstCtx<'_, '_> {
                 };
                 let rows = child.rows * fanout.max(f64::MIN_POSITIVE);
                 let per_deref = if clustered { p.clustered_access } else { 1.0 };
-                let own = Cost::new(
-                    child.rows * on_io + rows * per_deref,
-                    child.rows * on_cpu,
-                );
+                let own = Cost::new(child.rows * on_io + rows * per_deref, child.rows * on_cpu);
                 let target_class = match target.as_ref() {
                     Pt::Entity { id, .. } => match m.physical.entity(*id).source {
                         EntitySource::Class(c) => Some(c),
@@ -351,18 +411,22 @@ impl EstCtx<'_, '_> {
                     step.class_attr
                         .and_then(|(c, a)| m.catalog.attribute(c, a).ty.referenced_class())
                 })
-                .ok_or_else(|| {
-                    CostError::Pt(oorq_pt::PtError::NotAReference(step.name.clone()))
-                })?;
+                .ok_or_else(|| CostError::Pt(oorq_pt::PtError::NotAReference(step.name.clone())))?;
                 let mut cols = child.cols.clone();
                 cols.insert(
                     out.clone(),
-                    ColInfo { ty: ResolvedType::Object(target_class), resident: true },
+                    ColInfo {
+                        ty: ResolvedType::Object(target_class),
+                        resident: true,
+                    },
                 );
                 let types: Vec<ResolvedType> = cols.values().map(|c| c.ty.clone()).collect();
                 let pages = m.width.pages_for(rows.ceil() as u64, &types) as f64;
                 let fanout_base = Some(match child.fanout_base {
-                    Some(fb) => FanoutBase { mult: fb.mult * fanout.max(1.0), ..fb },
+                    Some(fb) => FanoutBase {
+                        mult: fb.mult * fanout.max(1.0),
+                        ..fb
+                    },
                     None => FanoutBase {
                         cols: child.cols.keys().cloned().collect(),
                         rows: child.rows,
@@ -371,9 +435,21 @@ impl EstCtx<'_, '_> {
                     },
                 });
                 self.note(format!("IJ_{}", step.name), own, rows, pages);
-                NodeEst { rows, pages, cols, cost: child.cost + own, fanout_base }
+                NodeEst {
+                    rows,
+                    pages,
+                    cols,
+                    cost: child.cost + own,
+                    fanout_base,
+                }
             }
-            Pt::PIJ { index, on, outs, input, .. } => {
+            Pt::PIJ {
+                index,
+                on,
+                outs,
+                input,
+                ..
+            } => {
                 let child = self.est(input, true)?;
                 let desc = m.physical.index(*index);
                 let IndexKindDesc::Path { path } = desc.kind.clone() else {
@@ -394,15 +470,13 @@ impl EstCtx<'_, '_> {
                     .max(1.0);
                 let (on_io, on_cpu) = self.expr_access_cost(on, &child.cols);
                 // Figure 5: ‖C‖ * (nblevels + nbleaves / ‖C₁‖).
-                let probe = desc.stats.nblevels as f64
-                    + desc.stats.nbleaves as f64 / head_card;
+                let probe = desc.stats.nblevels as f64 + desc.stats.nbleaves as f64 / head_card;
                 let mut fan = 1.0;
                 for (c, a) in &path {
                     fan *= m.attr_fanout(*c, *a).max(f64::MIN_POSITIVE);
                 }
                 let rows = child.rows * fan;
-                let own =
-                    Cost::new(child.rows * (on_io + probe), child.rows * on_cpu);
+                let own = Cost::new(child.rows * (on_io + probe), child.rows * on_cpu);
                 let mut cols = child.cols.clone();
                 for (i, outn) in outs.iter().enumerate() {
                     let (c, a) = path[i];
@@ -411,14 +485,20 @@ impl EstCtx<'_, '_> {
                         cols.insert(
                             outn.clone(),
                             // Index-only: the objects' pages are NOT read.
-                            ColInfo { ty: ResolvedType::Object(tc), resident: false },
+                            ColInfo {
+                                ty: ResolvedType::Object(tc),
+                                resident: false,
+                            },
                         );
                     }
                 }
                 let types: Vec<ResolvedType> = cols.values().map(|c| c.ty.clone()).collect();
                 let pages = m.width.pages_for(rows.ceil() as u64, &types) as f64;
                 let fanout_base = Some(match child.fanout_base {
-                    Some(fb) => FanoutBase { mult: fb.mult * fan.max(1.0), ..fb },
+                    Some(fb) => FanoutBase {
+                        mult: fb.mult * fan.max(1.0),
+                        ..fb
+                    },
                     None => FanoutBase {
                         cols: child.cols.keys().cloned().collect(),
                         rows: child.rows,
@@ -432,9 +512,20 @@ impl EstCtx<'_, '_> {
                     rows,
                     pages,
                 );
-                NodeEst { rows, pages, cols, cost: child.cost + own, fanout_base }
+                NodeEst {
+                    rows,
+                    pages,
+                    cols,
+                    cost: child.cost + own,
+                    fanout_base,
+                }
             }
-            Pt::EJ { pred, algo, left, right } => {
+            Pt::EJ {
+                pred,
+                algo,
+                left,
+                right,
+            } => {
                 let l = self.est(left, true)?;
                 match algo {
                     JoinAlgo::NestedLoop => {
@@ -461,7 +552,13 @@ impl EstCtx<'_, '_> {
                             cols.values().map(|c| c.ty.clone()).collect();
                         let pages = m.width.pages_for(rows.ceil() as u64, &types) as f64;
                         self.note(format!("EJ[{pred}]"), own, rows, pages);
-                        NodeEst { rows, pages, cols, cost: l.cost + r.cost + own, fanout_base: None }
+                        NodeEst {
+                            rows,
+                            pages,
+                            cols,
+                            cost: l.cost + r.cost + own,
+                            fanout_base: None,
+                        }
                     }
                     JoinAlgo::IndexJoin(idx) => {
                         let r = self.est(right, false)?;
@@ -472,8 +569,7 @@ impl EstCtx<'_, '_> {
                         }
                         let sel = self.selectivity(pred, &cols);
                         let rows = l.rows * r.rows * sel;
-                        let matches_per_probe = (r.rows * sel * l.rows).max(0.0)
-                            / l.rows.max(1.0);
+                        let matches_per_probe = (r.rows * sel * l.rows).max(0.0) / l.rows.max(1.0);
                         let own = Cost::new(
                             l.rows * (desc.stats.nblevels as f64 + matches_per_probe),
                             rows.max(l.rows),
@@ -482,7 +578,13 @@ impl EstCtx<'_, '_> {
                             cols.values().map(|c| c.ty.clone()).collect();
                         let pages = m.width.pages_for(rows.ceil() as u64, &types) as f64;
                         self.note(format!("EJ^idx[{pred}]"), own, rows, pages);
-                        NodeEst { rows, pages, cols, cost: l.cost + r.cost + own, fanout_base: None }
+                        NodeEst {
+                            rows,
+                            pages,
+                            cols,
+                            cost: l.cost + r.cost + own,
+                            fanout_base: None,
+                        }
                     }
                 }
             }
@@ -543,7 +645,13 @@ impl EstCtx<'_, '_> {
                 let own = iter_cost + Cost::new(total_pages, total_rows); // dedup cpu
                 let mut cols = HashMap::new();
                 for (nf, t) in fields {
-                    cols.insert(nf.clone(), ColInfo { ty: t.clone(), resident: false });
+                    cols.insert(
+                        nf.clone(),
+                        ColInfo {
+                            ty: t.clone(),
+                            resident: false,
+                        },
+                    );
                 }
                 self.note(format!("Fix({temp}) x{n:.0}"), own, total_rows, total_pages);
                 NodeEst {
@@ -559,7 +667,12 @@ impl EstCtx<'_, '_> {
     }
 
     fn note(&mut self, label: String, cost: Cost, rows: f64, pages: f64) {
-        self.breakdown.push(NodeCost { label, cost, rows, pages });
+        self.breakdown.push(NodeCost {
+            label,
+            cost,
+            rows,
+            pages,
+        });
     }
 
     /// Per-row (io, cpu) cost of evaluating an expression: page fetches
@@ -574,9 +687,7 @@ impl EstCtx<'_, '_> {
             Expr::True | Expr::Lit(_) | Expr::Var(_) => {}
             Expr::Path { base, steps } => {
                 // Resolve the base column, allowing qualified `var.field`.
-                let (info, rest): (Option<&ColInfo>, &[String]) = if let Some(ci) =
-                    cols.get(base)
-                {
+                let (info, rest): (Option<&ColInfo>, &[String]) = if let Some(ci) = cols.get(base) {
                     (Some(ci), steps.as_slice())
                 } else if !steps.is_empty() {
                     let q = format!("{base}.{}", steps[0]);
@@ -590,11 +701,15 @@ impl EstCtx<'_, '_> {
                 let mut ty = info.ty.clone();
                 for step in rest {
                     ty = strip(ty);
-                    let ResolvedType::Object(class) = ty else { break };
+                    let ResolvedType::Object(class) = ty else {
+                        break;
+                    };
                     if !in_hand {
                         io += mult; // fetch the object's page
                     }
-                    let Some((aid, attr)) = m.catalog.attr(class, step) else { break };
+                    let Some((aid, attr)) = m.catalog.attr(class, step) else {
+                        break;
+                    };
                     if let AttributeKind::Computed { eval_cost } = attr.kind {
                         cpu += mult * eval_cost;
                     }
@@ -629,8 +744,10 @@ impl EstCtx<'_, '_> {
 
     /// Output type of a projection expression (best effort).
     fn expr_out_type(&self, expr: &Expr, cols: &HashMap<String, ColInfo>) -> ResolvedType {
-        let env: HashMap<String, ResolvedType> =
-            cols.iter().map(|(k, v)| (k.clone(), v.ty.clone())).collect();
+        let env: HashMap<String, ResolvedType> = cols
+            .iter()
+            .map(|(k, v)| (k.clone(), v.ty.clone()))
+            .collect();
         oorq_pt::type_of_column_expr(self.model.catalog, expr, &env)
             .unwrap_or(ResolvedType::Atomic(oorq_schema::AtomicType::Int))
     }
@@ -684,7 +801,9 @@ impl EstCtx<'_, '_> {
     /// non-paths.
     fn expr_fanout(&self, expr: &Expr, cols: &HashMap<String, ColInfo>) -> f64 {
         let m = self.model;
-        let Expr::Path { base, steps } = expr else { return 1.0 };
+        let Expr::Path { base, steps } = expr else {
+            return 1.0;
+        };
         let (info, rest): (Option<&ColInfo>, &[String]) = if let Some(ci) = cols.get(base) {
             (Some(ci), steps.as_slice())
         } else if !steps.is_empty() {
@@ -697,8 +816,12 @@ impl EstCtx<'_, '_> {
         let mut ty = strip(info.ty.clone());
         let mut fan = 1.0f64;
         for step in rest {
-            let ResolvedType::Object(class) = ty else { break };
-            let Some((aid, attr)) = m.catalog.attr(class, step) else { break };
+            let ResolvedType::Object(class) = ty else {
+                break;
+            };
+            let Some((aid, attr)) = m.catalog.attr(class, step) else {
+                break;
+            };
             if attr.ty.is_collection() {
                 fan *= self.model.attr_fanout(class, aid).max(1.0);
             }
@@ -723,9 +846,7 @@ impl EstCtx<'_, '_> {
                 }
             }
             Expr::Path { base, steps } => {
-                let (info, rest): (Option<&ColInfo>, &[String]) = if let Some(ci) =
-                    cols.get(base)
-                {
+                let (info, rest): (Option<&ColInfo>, &[String]) = if let Some(ci) = cols.get(base) {
                     (Some(ci), steps.as_slice())
                 } else if !steps.is_empty() {
                     let q = format!("{base}.{}", steps[0]);
@@ -747,7 +868,9 @@ impl EstCtx<'_, '_> {
                 let mut last: Option<f64> = None;
                 for step in rest {
                     ty = strip(ty);
-                    let ResolvedType::Object(class) = ty else { return last };
+                    let ResolvedType::Object(class) = ty else {
+                        return last;
+                    };
                     let (aid, attr) = m.catalog.attr(class, step)?;
                     last = Some(m.attr_distinct(class, aid));
                     ty = attr.ty.clone();

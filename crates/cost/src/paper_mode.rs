@@ -148,7 +148,10 @@ pub struct CostRow {
 impl CostRow {
     /// New row.
     pub fn new(node: impl Into<String>, formula: Sym) -> Self {
-        CostRow { node: node.into(), formula }
+        CostRow {
+            node: node.into(),
+            formula,
+        }
     }
 }
 

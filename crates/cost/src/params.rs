@@ -32,7 +32,10 @@ impl Cost {
 impl std::ops::Add for Cost {
     type Output = Cost;
     fn add(self, rhs: Cost) -> Cost {
-        Cost { io: self.io + rhs.io, cpu: self.cpu + rhs.cpu }
+        Cost {
+            io: self.io + rhs.io,
+            cpu: self.cpu + rhs.cpu,
+        }
     }
 }
 

@@ -3,9 +3,9 @@
 use std::rc::Rc;
 
 use oorq_datagen::{MusicConfig, MusicDb};
+use oorq_pt::Pt;
 use oorq_query::paper::music_catalog;
 use oorq_query::Expr;
-use oorq_pt::Pt;
 use oorq_storage::DbStats;
 
 use crate::*;
@@ -18,8 +18,13 @@ fn setup(cfg: MusicConfig) -> (MusicDb, DbStats) {
 }
 
 fn model<'a>(m: &'a MusicDb, stats: &'a DbStats) -> CostModel<'a> {
-    CostModel::new(m.db.catalog(), m.db.physical(), stats, CostParams::default())
-        .with_temp("Influencer", m.influencer_fields())
+    CostModel::new(
+        m.db.catalog(),
+        m.db.physical(),
+        stats,
+        CostParams::default(),
+    )
+    .with_temp("Influencer", m.influencer_fields())
 }
 
 #[test]
@@ -36,7 +41,11 @@ fn entity_scan_costs_its_pages() {
 
 #[test]
 fn selection_reduces_cardinality_by_selectivity() {
-    let (m, stats) = setup(MusicConfig { chains: 10, chain_len: 10, ..Default::default() });
+    let (m, stats) = setup(MusicConfig {
+        chains: 10,
+        chain_len: 10,
+        ..Default::default()
+    });
     let cm = model(&m, &stats);
     let e = m.db.physical().entities_of_class(m.composer)[0];
     // name is a key: equality selectivity 1/100.
@@ -45,7 +54,11 @@ fn selection_reduces_cardinality_by_selectivity() {
         Pt::entity(e, "x"),
     );
     let pc = cm.cost(&sel).unwrap();
-    assert!((pc.rows - 1.0).abs() < 0.2, "expected ~1 row, got {}", pc.rows);
+    assert!(
+        (pc.rows - 1.0).abs() < 0.2,
+        "expected ~1 row, got {}",
+        pc.rows
+    );
     // CPU: one evaluation per scanned row.
     assert!(pc.cost.cpu >= 100.0);
 }
@@ -84,11 +97,18 @@ fn computed_attribute_charges_method_cost() {
         Pt::entity(e, "x"),
     );
     // `age` is computed with eval_cost 2.0 per invocation.
-    let on_method =
-        Pt::sel(Expr::path("x", &["age"]).ge(Expr::int(40)), Pt::entity(e, "x"));
+    let on_method = Pt::sel(
+        Expr::path("x", &["age"]).ge(Expr::int(40)),
+        Pt::entity(e, "x"),
+    );
     let c1 = cm.cost(&on_stored).unwrap();
     let c2 = cm.cost(&on_method).unwrap();
-    assert!(c2.cost.cpu > c1.cost.cpu, "{} vs {}", c2.cost.cpu, c1.cost.cpu);
+    assert!(
+        c2.cost.cpu > c1.cost.cpu,
+        "{} vs {}",
+        c2.cost.cpu,
+        c1.cost.cpu
+    );
 }
 
 #[test]
@@ -96,10 +116,18 @@ fn ij_cost_reflects_clustering() {
     let cat = Rc::new(music_catalog());
     let unclustered = MusicDb::generate(
         Rc::clone(&cat),
-        MusicConfig { clustered: false, ..Default::default() },
+        MusicConfig {
+            clustered: false,
+            ..Default::default()
+        },
     );
-    let clustered =
-        MusicDb::generate(cat, MusicConfig { clustered: true, ..Default::default() });
+    let clustered = MusicDb::generate(
+        cat,
+        MusicConfig {
+            clustered: true,
+            ..Default::default()
+        },
+    );
     let su = DbStats::collect(&unclustered.db);
     let sc = DbStats::collect(&clustered.db);
     let build = |m: &MusicDb| {
@@ -138,7 +166,10 @@ fn pij_probe_follows_figure5_formula() {
         oorq_storage::IndexKindDesc::Path {
             path: vec![(composer, m.works_attr), (composition, m.instruments_attr)],
         },
-        oorq_storage::IndexStats { nblevels: 3, nbleaves: 40 },
+        oorq_storage::IndexStats {
+            nblevels: 3,
+            nbleaves: 40,
+        },
     );
     let stats = DbStats::collect(&m.db);
     let cm = model(&m, &stats);
@@ -168,15 +199,25 @@ fn pij_probe_follows_figure5_formula() {
 
 #[test]
 fn nested_loop_rescans_depend_on_buffer() {
-    let (m, stats) = setup(MusicConfig { chains: 10, chain_len: 10, ..Default::default() });
+    let (m, stats) = setup(MusicConfig {
+        chains: 10,
+        chain_len: 10,
+        ..Default::default()
+    });
     let e = m.db.physical().entities_of_class(m.composer)[0];
     let join = Pt::ej(
         Expr::path("l", &["master"]).eq(Expr::var("r")),
         Pt::entity(e, "l"),
         Pt::entity(e, "r"),
     );
-    let small = CostParams { buffer_frames: 0, ..CostParams::default() };
-    let large = CostParams { buffer_frames: 10_000, ..CostParams::default() };
+    let small = CostParams {
+        buffer_frames: 0,
+        ..CostParams::default()
+    };
+    let large = CostParams {
+        buffer_frames: 10_000,
+        ..CostParams::default()
+    };
     let cm_small = CostModel::new(m.db.catalog(), m.db.physical(), &stats, small);
     let cm_large = CostModel::new(m.db.catalog(), m.db.physical(), &stats, large);
     let c_small = cm_small.cost(&join).unwrap();
@@ -191,8 +232,16 @@ fn nested_loop_rescans_depend_on_buffer() {
 
 #[test]
 fn fix_cost_scales_with_chain_depth() {
-    let shallow = setup(MusicConfig { chains: 16, chain_len: 2, ..Default::default() });
-    let deep = setup(MusicConfig { chains: 2, chain_len: 16, ..Default::default() });
+    let shallow = setup(MusicConfig {
+        chains: 16,
+        chain_len: 2,
+        ..Default::default()
+    });
+    let deep = setup(MusicConfig {
+        chains: 2,
+        chain_len: 16,
+        ..Default::default()
+    });
     let fix_plan = |m: &MusicDb| {
         let e = m.db.physical().entities_of_class(m.composer)[0];
         let base = Pt::proj(
@@ -254,9 +303,17 @@ fn fix_requires_recursive_union() {
 #[test]
 fn unknown_temp_is_reported() {
     let (m, stats) = setup(MusicConfig::default());
-    let cm = CostModel::new(m.db.catalog(), m.db.physical(), &stats, CostParams::default());
+    let cm = CostModel::new(
+        m.db.catalog(),
+        m.db.physical(),
+        &stats,
+        CostParams::default(),
+    );
     let pt = Pt::temp("Nope", "n");
-    assert_eq!(cm.cost(&pt).unwrap_err(), CostError::UnknownTemp("Nope".into()));
+    assert_eq!(
+        cm.cost(&pt).unwrap_err(),
+        CostError::UnknownTemp("Nope".into())
+    );
 }
 
 #[test]
@@ -279,10 +336,20 @@ fn breakdown_covers_every_node() {
 
 #[test]
 fn index_selection_beats_scan_for_selective_predicates() {
-    let (mut m, _) = setup(MusicConfig { chains: 30, chain_len: 10, ..Default::default() });
+    let (mut m, _) = setup(MusicConfig {
+        chains: 30,
+        chain_len: 10,
+        ..Default::default()
+    });
     let idx = m.db.physical_mut().add_index(
-        oorq_storage::IndexKindDesc::Selection { class: m.composer, attr: m.name_attr },
-        oorq_storage::IndexStats { nblevels: 2, nbleaves: 20 },
+        oorq_storage::IndexKindDesc::Selection {
+            class: m.composer,
+            attr: m.name_attr,
+        },
+        oorq_storage::IndexStats {
+            nblevels: 2,
+            nbleaves: 20,
+        },
     );
     let stats = DbStats::collect(&m.db);
     let cm = model(&m, &stats);

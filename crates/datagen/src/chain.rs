@@ -7,11 +7,10 @@
 
 use std::rc::Rc;
 
+use oorq_prng::Prng;
 use oorq_query::{Expr, NameRef, QArc, QueryGraph, SpjNode};
 use oorq_schema::{Catalog, Field, RelationDef, SchemaBuilder, TypeExpr};
 use oorq_storage::{Database, StorageConfig, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration of the chain generator.
 #[derive(Debug, Clone)]
@@ -28,7 +27,12 @@ pub struct ChainConfig {
 
 impl Default for ChainConfig {
     fn default() -> Self {
-        ChainConfig { relations: 4, rows: 200, domain: 50, seed: 11 }
+        ChainConfig {
+            relations: 4,
+            rows: 200,
+            domain: 50,
+            seed: 11,
+        }
     }
 }
 
@@ -48,16 +52,17 @@ pub struct ChainDb {
 pub fn generate_skewed(config: ChainConfig) -> ChainDb {
     let catalog = Rc::new(chain_catalog(config.relations));
     let mut db = Database::new(Rc::clone(&catalog), StorageConfig::default());
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Prng::new(config.seed);
     let mut names = Vec::new();
     for i in 0..config.relations {
         let name = format!("R{i}");
         let rel = catalog.relation_by_name(&name).expect("just built");
         let rows = config.rows << i.min(6);
         for _ in 0..rows {
-            let a = rng.gen_range(0..config.domain);
-            let b = rng.gen_range(0..config.domain);
-            db.insert_row(rel, vec![Value::Int(a), Value::Int(b)]).expect("insert");
+            let a = rng.range_i64(0, config.domain);
+            let b = rng.range_i64(0, config.domain);
+            db.insert_row(rel, vec![Value::Int(a), Value::Int(b)])
+                .expect("insert");
         }
         names.push(name);
     }
@@ -84,15 +89,16 @@ impl ChainDb {
     pub fn generate(config: ChainConfig) -> Self {
         let catalog = Rc::new(chain_catalog(config.relations));
         let mut db = Database::new(Rc::clone(&catalog), StorageConfig::default());
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = Prng::new(config.seed);
         let mut names = Vec::new();
         for i in 0..config.relations {
             let name = format!("R{i}");
             let rel = catalog.relation_by_name(&name).expect("just built");
             for _ in 0..config.rows {
-                let a = rng.gen_range(0..config.domain);
-                let b = rng.gen_range(0..config.domain);
-                db.insert_row(rel, vec![Value::Int(a), Value::Int(b)]).expect("insert");
+                let a = rng.range_i64(0, config.domain);
+                let b = rng.range_i64(0, config.domain);
+                db.insert_row(rel, vec![Value::Int(a), Value::Int(b)])
+                    .expect("insert");
             }
             names.push(name);
         }
@@ -106,14 +112,15 @@ impl ChainDb {
         let k = self.config.relations;
         let mut inputs = Vec::new();
         for i in 0..k {
-            let rel = catalog.relation_by_name(&format!("R{i}")).expect("chain schema");
+            let rel = catalog
+                .relation_by_name(&format!("R{i}"))
+                .expect("chain schema");
             inputs.push(QArc::new(NameRef::Relation(rel), format!("r{i}")));
         }
         let mut pred = Expr::path("r0", &["a"]).lt(Expr::int(limit));
         for i in 0..k - 1 {
             pred = pred.and(
-                Expr::path(format!("r{i}"), &["b"])
-                    .eq(Expr::path(format!("r{}", i + 1), &["a"])),
+                Expr::path(format!("r{i}"), &["b"]).eq(Expr::path(format!("r{}", i + 1), &["a"])),
             );
         }
         let mut q = QueryGraph::new(NameRef::Derived("Answer".into()));
@@ -143,14 +150,15 @@ impl ChainDb {
         let k = self.config.relations;
         let mut inputs = Vec::new();
         for i in 0..k {
-            let rel = catalog.relation_by_name(&format!("R{i}")).expect("chain schema");
+            let rel = catalog
+                .relation_by_name(&format!("R{i}"))
+                .expect("chain schema");
             inputs.push(QArc::new(NameRef::Relation(rel), format!("r{i}")));
         }
         let mut pred = Expr::path(format!("r{}", k - 1), &["b"]).lt(Expr::int(limit));
         for i in 0..k - 1 {
             pred = pred.and(
-                Expr::path(format!("r{i}"), &["b"])
-                    .eq(Expr::path(format!("r{}", i + 1), &["a"])),
+                Expr::path(format!("r{i}"), &["b"]).eq(Expr::path(format!("r{}", i + 1), &["a"])),
             );
         }
         let mut q = QueryGraph::new(NameRef::Derived("Answer".into()));
@@ -177,7 +185,9 @@ impl ChainDb {
         order.insert(0, 0);
         let mut inputs = Vec::new();
         for i in order {
-            let rel = catalog.relation_by_name(&format!("R{i}")).expect("chain schema");
+            let rel = catalog
+                .relation_by_name(&format!("R{i}"))
+                .expect("chain schema");
             inputs.push(QArc::new(NameRef::Relation(rel), format!("r{i}")));
         }
         // The selective bound sits on the *last-listed* (smallest)
@@ -185,9 +195,7 @@ impl ChainDb {
         // leaves it for the end.
         let mut pred = Expr::path("r1", &["b"]).lt(Expr::int(limit));
         for i in 1..k {
-            pred = pred.and(
-                Expr::path("r0", &["a"]).eq(Expr::path(format!("r{i}"), &["a"])),
-            );
+            pred = pred.and(Expr::path("r0", &["a"]).eq(Expr::path(format!("r{i}"), &["a"])));
         }
         let mut q = QueryGraph::new(NameRef::Derived("Answer".into()));
         q.add_spj(
@@ -208,7 +216,11 @@ mod tests {
 
     #[test]
     fn skewed_star_generates_and_validates() {
-        let c = generate_skewed(ChainConfig { relations: 3, rows: 10, ..Default::default() });
+        let c = generate_skewed(ChainConfig {
+            relations: 3,
+            rows: 10,
+            ..Default::default()
+        });
         let q = c.star_query(5);
         q.validate(c.db.catalog()).unwrap();
         let r2 = c.db.catalog().relation_by_name("R2").unwrap();
@@ -218,7 +230,11 @@ mod tests {
 
     #[test]
     fn chain_db_generates_and_query_validates() {
-        let c = ChainDb::generate(ChainConfig { relations: 3, rows: 20, ..Default::default() });
+        let c = ChainDb::generate(ChainConfig {
+            relations: 3,
+            rows: 20,
+            ..Default::default()
+        });
         assert_eq!(c.names.len(), 3);
         let q = c.chain_query(10);
         q.validate(c.db.catalog()).unwrap();

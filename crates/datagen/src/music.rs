@@ -8,10 +8,9 @@
 
 use std::rc::Rc;
 
+use oorq_prng::Prng;
 use oorq_schema::{AttrId, Catalog, ClassId, ViewKind};
 use oorq_storage::{Database, Oid, StorageConfig, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration of the music database generator.
 #[derive(Debug, Clone)]
@@ -86,10 +85,13 @@ impl MusicDb {
     /// Generate a database per the configuration, over the given catalog
     /// (use [`oorq_query::paper::music_catalog`]).
     pub fn generate(catalog: Rc<Catalog>, config: MusicConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = Prng::new(config.seed);
         let mut db = Database::new(
             Rc::clone(&catalog),
-            StorageConfig { buffer_frames: config.buffer_frames, ..Default::default() },
+            StorageConfig {
+                buffer_frames: config.buffer_frames,
+                ..Default::default()
+            },
         );
         let composer = catalog.class_by_name("Composer").expect("music schema");
         let composition = catalog.class_by_name("Composition").expect("music schema");
@@ -108,8 +110,10 @@ impl MusicDb {
                 1 => "flute".to_string(),
                 n => format!("instrument{n}"),
             };
-            instruments
-                .push(db.insert_object(instrument, vec![Value::Text(name)]).expect("insert"));
+            instruments.push(
+                db.insert_object(instrument, vec![Value::Text(name)])
+                    .expect("insert"),
+            );
         }
 
         // Composers in chains, each with works created right after them
@@ -126,7 +130,7 @@ impl MusicDb {
                 } else {
                     format!("composer{idx}")
                 };
-                let uses_harpsichord = rng.gen_bool(config.harpsichord_fraction);
+                let uses_harpsichord = rng.chance(config.harpsichord_fraction);
                 let mut works = Vec::new();
                 for w in 0..config.works_per_composer {
                     let mut insts = Vec::new();
@@ -136,7 +140,7 @@ impl MusicDb {
                     while insts.len() < config.instruments_per_work as usize {
                         // Non-harpsichord fill (never index 0, so the
                         // harpsichord fraction is exactly controlled).
-                        let k = rng.gen_range(1..pool) as usize;
+                        let k = rng.range_u32(1, pool) as usize;
                         let v = Value::Oid(instruments[k]);
                         if !insts.contains(&v) {
                             insts.push(v);
@@ -155,7 +159,7 @@ impl MusicDb {
                         .expect("insert composition");
                     works.push(comp);
                 }
-                let birth = 1600 + rng.gen_range(0..200);
+                let birth = 1600 + rng.range_i64(0, 200);
                 let c = db
                     .insert_object(
                         composer,
@@ -170,7 +174,8 @@ impl MusicDb {
                 // Wire the inverse `author` attribute.
                 let (author_attr, _) = catalog.attr(composition, "author").expect("author");
                 for w in &works {
-                    db.set_attr(*w, author_attr, Value::Oid(c)).expect("set author");
+                    db.set_attr(*w, author_attr, Value::Oid(c))
+                        .expect("set author");
                 }
                 if is_bach {
                     bach = Some(c);
@@ -187,7 +192,9 @@ impl MusicDb {
             let (works_a, _) = catalog.attr(composer, "works").expect("works");
             let wv = db.read_attr_raw(*c, works_a).expect("read works");
             if let Some(Value::Oid(w)) = wv.members().first() {
-                let iv = db.read_attr_raw(*w, instruments_attr).expect("read instruments");
+                let iv = db
+                    .read_attr_raw(*w, instruments_attr)
+                    .expect("read instruments");
                 if let Some(Value::Oid(i)) = iv.members().first() {
                     db.insert_row(play, vec![Value::Oid(*c), Value::Oid(*i)])
                         .expect("insert play");
@@ -201,7 +208,8 @@ impl MusicDb {
             let (works_attr_c, _) = catalog.attr(composer, "works").expect("works");
             db.physical_mut().set_clustered(composer_e, works_attr_c);
             let composition_e = db.physical().entities_of_class(composition)[0];
-            db.physical_mut().set_clustered(composition_e, instruments_attr);
+            db.physical_mut()
+                .set_clustered(composition_e, instruments_attr);
         } else {
             let composition_e = db.physical().entities_of_class(composition)[0];
             let instrument_e = db.physical().entities_of_class(instrument)[0];
@@ -227,7 +235,10 @@ impl MusicDb {
 
     /// The relation id of the `Influencer` view declaration.
     pub fn influencer(&self) -> oorq_schema::RelationId {
-        self.db.catalog().relation_by_name("Influencer").expect("music schema")
+        self.db
+            .catalog()
+            .relation_by_name("Influencer")
+            .expect("music schema")
     }
 
     /// Total number of composers.

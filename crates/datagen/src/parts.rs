@@ -5,13 +5,11 @@
 
 use std::rc::Rc;
 
+use oorq_prng::Prng;
 use oorq_schema::{
-    AttrId, AttributeDef, Catalog, ClassDef, ClassId, Field, RelationDef, SchemaBuilder,
-    TypeExpr,
+    AttrId, AttributeDef, Catalog, ClassDef, ClassId, Field, RelationDef, SchemaBuilder, TypeExpr,
 };
 use oorq_storage::{Database, Oid, StorageConfig, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Build the engineering schema: a `Part` class with a recursive
 /// `subparts` set, a `madeBy` scalar self-reference on assemblies'
@@ -28,7 +26,11 @@ pub fn parts_catalog() -> Catalog {
                     TypeExpr::set(TypeExpr::class("Part")),
                 ))
                 .attr(AttributeDef::stored("assembly", TypeExpr::class("Part")))
-                .attr(AttributeDef::computed("unit_test_cost", TypeExpr::int(), 5.0)),
+                .attr(AttributeDef::computed(
+                    "unit_test_cost",
+                    TypeExpr::int(),
+                    5.0,
+                )),
         )
         .view(RelationDef::new(
             "Contains",
@@ -61,7 +63,14 @@ pub struct PartsConfig {
 
 impl Default for PartsConfig {
     fn default() -> Self {
-        PartsConfig { roots: 4, fanout: 3, depth: 4, clustered: false, buffer_frames: 32, seed: 7 }
+        PartsConfig {
+            roots: 4,
+            fanout: 3,
+            depth: 4,
+            clustered: false,
+            buffer_frames: 32,
+            seed: 7,
+        }
     }
 }
 
@@ -86,10 +95,13 @@ pub struct PartsDb {
 impl PartsDb {
     /// Generate a parts database.
     pub fn generate(catalog: Rc<Catalog>, config: PartsConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = Prng::new(config.seed);
         let mut db = Database::new(
             Rc::clone(&catalog),
-            StorageConfig { buffer_frames: config.buffer_frames, ..Default::default() },
+            StorageConfig {
+                buffer_frames: config.buffer_frames,
+                ..Default::default()
+            },
         );
         let part = catalog.class_by_name("Part").expect("parts schema");
         let (name_attr, _) = catalog.attr(part, "name").expect("name");
@@ -116,7 +128,15 @@ impl PartsDb {
             let e = db.physical().entities_of_class(part)[0];
             db.physical_mut().set_clustered(e, subparts_attr);
         }
-        PartsDb { db, part, subparts_attr, assembly_attr, name_attr, roots, config }
+        PartsDb {
+            db,
+            part,
+            subparts_attr,
+            assembly_attr,
+            name_attr,
+            roots,
+            config,
+        }
     }
 
     /// Recursively create a part with its sub-tree (children first, so a
@@ -125,7 +145,7 @@ impl PartsDb {
         db: &mut Database,
         part: ClassId,
         assembly_attr: AttrId,
-        rng: &mut StdRng,
+        rng: &mut Prng,
         name: &str,
         fanout: u32,
         depth: u32,
@@ -145,7 +165,7 @@ impl PartsDb {
                 children.push(child);
             }
         }
-        let weight = rng.gen_range(1..100);
+        let weight = rng.range_i64(1, 100);
         let me = db
             .insert_object(
                 part,
@@ -158,7 +178,8 @@ impl PartsDb {
             )
             .expect("insert part");
         for c in &children {
-            db.set_attr(*c, assembly_attr, Value::Oid(me)).expect("wire assembly");
+            db.set_attr(*c, assembly_attr, Value::Oid(me))
+                .expect("wire assembly");
         }
         me
     }
@@ -170,6 +191,9 @@ impl PartsDb {
 
     /// The `Contains` view declaration.
     pub fn contains_view(&self) -> oorq_schema::RelationId {
-        self.db.catalog().relation_by_name("Contains").expect("parts schema")
+        self.db
+            .catalog()
+            .relation_by_name("Contains")
+            .expect("parts schema")
     }
 }

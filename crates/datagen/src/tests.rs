@@ -34,7 +34,9 @@ fn music_db_respects_configuration() {
         .unwrap();
     let works = m.db.read_attr_raw(m.bach, m.works_attr).unwrap();
     for w in works.members() {
-        let a = m.db.read_attr_raw(w.as_oid().unwrap(), author_attr).unwrap();
+        let a =
+            m.db.read_attr_raw(w.as_oid().unwrap(), author_attr)
+                .unwrap();
         assert_eq!(a, Value::Oid(m.bach));
     }
 }
@@ -56,7 +58,12 @@ fn harpsichord_fraction_controlled() {
     let cat = Rc::new(music_catalog());
     let m = MusicDb::generate(
         Rc::clone(&cat),
-        MusicConfig { chains: 10, chain_len: 10, harpsichord_fraction: 0.0, ..Default::default() },
+        MusicConfig {
+            chains: 10,
+            chain_len: 10,
+            harpsichord_fraction: 0.0,
+            ..Default::default()
+        },
     );
     // Nobody uses a harpsichord.
     let comp_e = m.db.physical().entities_of_class(m.composition)[0];
@@ -69,7 +76,12 @@ fn harpsichord_fraction_controlled() {
 #[test]
 fn parts_db_has_expected_shape() {
     let cat = Rc::new(parts_catalog());
-    let cfg = PartsConfig { roots: 2, fanout: 2, depth: 3, ..Default::default() };
+    let cfg = PartsConfig {
+        roots: 2,
+        fanout: 2,
+        depth: 3,
+        ..Default::default()
+    };
     let p = PartsDb::generate(Rc::clone(&cat), cfg);
     // Each root tree has 1 + 2 + 4 + 8 = 15 parts.
     assert_eq!(p.part_count(), 30);

@@ -24,6 +24,8 @@ pub enum ExecError {
     BadFixpoint(String),
     /// The fixpoint did not converge within the iteration bound.
     FixpointDiverged(String),
+    /// The debug-mode plan verifier rejected the plan before execution.
+    PlanLint(String),
     /// Storage-level failure.
     Storage(StorageError),
     /// Query-graph failure (reference evaluator).
@@ -43,6 +45,7 @@ impl fmt::Display for ExecError {
             ExecError::FixpointDiverged(t) => {
                 write!(f, "fixpoint over `{t}` exceeded the iteration bound")
             }
+            ExecError::PlanLint(d) => write!(f, "plan failed verification:\n{d}"),
             ExecError::Storage(e) => write!(f, "storage: {e}"),
             ExecError::Query(e) => write!(f, "query: {e}"),
         }

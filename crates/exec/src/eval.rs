@@ -22,7 +22,10 @@ pub struct Batch {
 impl Batch {
     /// Empty batch with the given columns.
     pub fn new(cols: Vec<String>) -> Self {
-        Batch { cols, rows: Vec::new() }
+        Batch {
+            cols,
+            rows: Vec::new(),
+        }
     }
 
     /// Index of a column.
@@ -51,9 +54,10 @@ impl Batch {
         if self.cols == other.cols {
             return Ok(other);
         }
-        let perm: Option<Vec<usize>> =
-            self.cols.iter().map(|c| other.col_index(c)).collect();
-        let Some(perm) = perm else { return Err(ExecError::UnionMismatch) };
+        let perm: Option<Vec<usize>> = self.cols.iter().map(|c| other.col_index(c)).collect();
+        let Some(perm) = perm else {
+            return Err(ExecError::UnionMismatch);
+        };
         if perm.len() != other.cols.len() {
             return Err(ExecError::UnionMismatch);
         }
@@ -62,7 +66,10 @@ impl Batch {
             .into_iter()
             .map(|r| perm.iter().map(|&i| r[i].clone()).collect())
             .collect();
-        Ok(Batch { cols: self.cols.clone(), rows })
+        Ok(Batch {
+            cols: self.cols.clone(),
+            rows,
+        })
     }
 }
 

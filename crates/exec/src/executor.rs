@@ -4,10 +4,10 @@
 use std::collections::{HashMap, HashSet};
 
 use oorq_index::IndexSet;
+use oorq_pt::{AccessMethod, JoinAlgo, Pt, PtEnv};
 use oorq_query::{CmpOp, Expr};
 use oorq_schema::ResolvedType;
 use oorq_storage::{Database, EntityId, EntitySource, IoStats, Oid, Value};
-use oorq_pt::{AccessMethod, JoinAlgo, Pt, PtEnv};
 
 use crate::error::ExecError;
 use crate::eval::{Batch, Counters, EvalCtx};
@@ -22,7 +22,9 @@ pub struct ExecConfig {
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { max_fix_iterations: 10_000 }
+        ExecConfig {
+            max_fix_iterations: 10_000,
+        }
     }
 }
 
@@ -101,14 +103,41 @@ impl<'a> Executor<'a> {
     }
 
     /// Execute a plan and return its (deduplicated) answer.
+    ///
+    /// In debug builds the plan is first checked against the static
+    /// verifier: an ill-formed plan is rejected with
+    /// [`ExecError::PlanLint`] before it can touch the store.
     pub fn run(&mut self, pt: &Pt) -> Result<Batch, ExecError> {
+        #[cfg(debug_assertions)]
+        self.verify(pt)?;
         let mut out = self.exec(pt)?;
         out.dedup();
         Ok(out)
     }
 
+    /// Run the plan verifier at the executor boundary.
+    #[cfg(debug_assertions)]
+    fn verify(&self, pt: &Pt) -> Result<(), ExecError> {
+        let env = PtEnv {
+            catalog: self.db.catalog(),
+            physical: self.db.physical(),
+            temp_fields: self.temp_fields.clone(),
+        };
+        let report = oorq_lint::verify_pt(&env, pt);
+        if report.is_clean() {
+            return Ok(());
+        }
+        let rendered: String = report.errors().map(|d| format!("{d}\n")).collect();
+        Err(ExecError::PlanLint(rendered))
+    }
+
     fn ctx(&self) -> EvalCtx<'_> {
-        EvalCtx { db: self.db, methods: self.methods, counters: &self.counters, account_io: true }
+        EvalCtx {
+            db: self.db,
+            methods: self.methods,
+            counters: &self.counters,
+            account_io: true,
+        }
     }
 
     fn exec(&mut self, pt: &Pt) -> Result<Batch, ExecError> {
@@ -119,13 +148,21 @@ impl<'a> Executor<'a> {
                     .temps
                     .get(name)
                     .ok_or_else(|| ExecError::BadFixpoint(format!("temp `{name}` not built")))?;
-                let entity = if self.delta_active.contains(name) { delta } else { acc };
+                let entity = if self.delta_active.contains(name) {
+                    delta
+                } else {
+                    acc
+                };
                 let fields = self.temp_cols.get(name).cloned().unwrap_or_default();
                 let cols: Vec<String> = fields.iter().map(|f| format!("{var}.{f}")).collect();
                 let rows = self.db.scan(entity).into_iter().map(|r| r.values).collect();
                 Ok(Batch { cols, rows })
             }
-            Pt::Sel { pred, method, input } => match method {
+            Pt::Sel {
+                pred,
+                method,
+                input,
+            } => match method {
                 AccessMethod::Scan => {
                     let batch = self.exec(input)?;
                     self.filter(batch, pred)
@@ -166,7 +203,13 @@ impl<'a> Executor<'a> {
                 }
                 Ok(result)
             }
-            Pt::PIJ { index, on, outs, input, .. } => {
+            Pt::PIJ {
+                index,
+                on,
+                outs,
+                input,
+                ..
+            } => {
                 let pix = self.indexes.path(*index).ok_or(ExecError::MissingIndex)?;
                 let batch = self.exec(input)?;
                 let ctx = self.ctx();
@@ -190,7 +233,12 @@ impl<'a> Executor<'a> {
                 }
                 Ok(result)
             }
-            Pt::EJ { pred, algo, left, right } => match algo {
+            Pt::EJ {
+                pred,
+                algo,
+                left,
+                right,
+            } => match algo {
                 JoinAlgo::NestedLoop => self.nested_loop(pred, left, right),
                 JoinAlgo::IndexJoin(idx) => self.index_join(*idx, pred, left, right),
             },
@@ -225,9 +273,10 @@ impl<'a> Executor<'a> {
                 }
                 Ok(out)
             }
-            EntitySource::Temporary => {
-                Err(ExecError::BadFixpoint(format!("temporary `{}` used as entity", desc.name)))
-            }
+            EntitySource::Temporary => Err(ExecError::BadFixpoint(format!(
+                "temporary `{}` used as entity",
+                desc.name
+            ))),
         }
     }
 
@@ -266,11 +315,21 @@ impl<'a> Executor<'a> {
             let batch = self.exec(input)?;
             return self.filter(batch, pred);
         };
-        let attr_name = self.db.catalog().attribute(six.class, six.attr).name.clone();
+        let attr_name = self
+            .db
+            .catalog()
+            .attribute(six.class, six.attr)
+            .name
+            .clone();
         // Find `var.attr = literal` among the conjuncts.
         let mut key: Option<Value> = None;
         for c in pred.conjuncts() {
-            if let Expr::Cmp { op: CmpOp::Eq, lhs, rhs } = c {
+            if let Expr::Cmp {
+                op: CmpOp::Eq,
+                lhs,
+                rhs,
+            } = c
+            {
                 let (path, lit) = match (lhs.as_ref(), rhs.as_ref()) {
                     (Expr::Path { base, steps }, Expr::Lit(l)) => ((base, steps), l),
                     (Expr::Lit(l), Expr::Path { base, steps }) => ((base, steps), l),
@@ -304,9 +363,12 @@ impl<'a> Executor<'a> {
     fn rescannable(pt: &Pt) -> bool {
         match pt {
             Pt::Entity { .. } | Pt::Temp { .. } => true,
-            Pt::Sel { input, method: AccessMethod::Scan, .. } | Pt::Proj { input, .. } => {
-                Self::rescannable(input)
+            Pt::Sel {
+                input,
+                method: AccessMethod::Scan,
+                ..
             }
+            | Pt::Proj { input, .. } => Self::rescannable(input),
             _ => false,
         }
     }
@@ -372,11 +434,21 @@ impl<'a> Executor<'a> {
             return self.nested_loop(pred, left, right);
         };
         let l = self.exec(left)?;
-        let attr_name = self.db.catalog().attribute(six.class, six.attr).name.clone();
+        let attr_name = self
+            .db
+            .catalog()
+            .attribute(six.class, six.attr)
+            .name
+            .clone();
         // Find the equality conjunct `outer-expr = var.attr`.
         let mut outer_expr: Option<Expr> = None;
         for c in pred.conjuncts() {
-            if let Expr::Cmp { op: CmpOp::Eq, lhs, rhs } = c {
+            if let Expr::Cmp {
+                op: CmpOp::Eq,
+                lhs,
+                rhs,
+            } = c
+            {
                 let matches_inner = |e: &Expr| {
                     matches!(e, Expr::Path { base, steps }
                              if base == var && steps.len() == 1 && steps[0] == attr_name)
@@ -455,12 +527,18 @@ impl<'a> Executor<'a> {
         };
         self.temp_fields.insert(
             temp.to_string(),
-            field_names.iter().cloned().zip(field_types.iter().cloned()).collect(),
+            field_names
+                .iter()
+                .cloned()
+                .zip(field_types.iter().cloned())
+                .collect(),
         );
         self.temp_cols.insert(temp.to_string(), field_names.clone());
         if !self.temps.contains_key(temp) {
             let acc = self.db.create_temp(temp.to_string(), field_types.clone());
-            let delta = self.db.create_temp(format!("{temp}#delta"), field_types.clone());
+            let delta = self
+                .db
+                .create_temp(format!("{temp}#delta"), field_types.clone());
             self.temps.insert(temp.to_string(), (acc, delta));
         }
         let (acc_e, delta_e) = self.temps[temp];
@@ -499,6 +577,9 @@ impl<'a> Executor<'a> {
                 }
             }
         }
-        Ok(Batch { cols: field_names, rows: acc_rows })
+        Ok(Batch {
+            cols: field_names,
+            rows: acc_rows,
+        })
     }
 }

@@ -31,15 +31,18 @@ pub fn eval_query_graph(
     graph: &QueryGraph,
 ) -> Result<Batch, ExecError> {
     let counters = Counters::default();
-    let ctx = EvalCtx { db, methods, counters: &counters, account_io: false };
+    let ctx = EvalCtx {
+        db,
+        methods,
+        counters: &counters,
+        account_io: false,
+    };
     // State: rows produced so far for every derived/view name.
     let mut state: Vec<NameState> = Vec::new();
     let name_cols = |graph: &QueryGraph, name: &NameRef| -> Result<Vec<String>, ExecError> {
         let ty = graph.type_of(db.catalog(), name)?;
         match ty {
-            ResolvedType::Tuple(fields) => {
-                Ok(fields.into_iter().map(|(n, _)| n).collect())
-            }
+            ResolvedType::Tuple(fields) => Ok(fields.into_iter().map(|(n, _)| n).collect()),
             _ => Ok(vec!["value".to_string()]),
         }
     };
@@ -127,9 +130,9 @@ fn instances(
             }
             Ok(rows)
         }
-        NameRef::Derived(d) => {
-            Err(ExecError::Query(oorq_query::QueryError::UndefinedDerived(d.clone())))
-        }
+        NameRef::Derived(d) => Err(ExecError::Query(oorq_query::QueryError::UndefinedDerived(
+            d.clone(),
+        ))),
     }
 }
 

@@ -4,9 +4,9 @@ use std::rc::Rc;
 
 use oorq_datagen::{MusicConfig, MusicDb};
 use oorq_index::{IndexSet, PathIndex, SelectionIndex};
+use oorq_pt::Pt;
 use oorq_query::paper::{fig3_query, influencer_view, music_catalog};
 use oorq_query::Expr;
-use oorq_pt::Pt;
 use oorq_storage::Value;
 
 use crate::*;
@@ -49,7 +49,11 @@ fn scan_and_select_by_name() {
 fn indexed_select_matches_scan_with_less_io() {
     let mut m = MusicDb::generate(
         Rc::new(music_catalog()),
-        MusicConfig { chains: 20, chain_len: 10, ..Default::default() },
+        MusicConfig {
+            chains: 20,
+            chain_len: 10,
+            ..Default::default()
+        },
     );
     let e = m.db.physical().entities_of_class(m.composer)[0];
     let mut idx = IndexSet::new();
@@ -103,7 +107,10 @@ fn pij_equals_ij_chain() {
     let mut idx = IndexSet::new();
     let pix = idx.add_path(PathIndex::build(
         &mut m.db,
-        vec![(m.composer, m.works_attr), (m.composition, m.instruments_attr)],
+        vec![
+            (m.composer, m.works_attr),
+            (m.composition, m.instruments_attr),
+        ],
     ));
     let e = m.db.physical().entities_of_class(m.composer)[0];
     let ce = m.db.physical().entities_of_class(m.composition)[0];
@@ -354,11 +361,17 @@ fn union_aligns_columns() {
     let methods = MethodRegistry::new();
     let mut ex = Executor::new(&mut m.db, &idx, &methods);
     let l = Pt::proj(
-        vec![("a".into(), Expr::var("x")), ("n".into(), Expr::path("x", &["name"]))],
+        vec![
+            ("a".into(), Expr::var("x")),
+            ("n".into(), Expr::path("x", &["name"])),
+        ],
         Pt::entity(e, "x"),
     );
     let r = Pt::proj(
-        vec![("n".into(), Expr::path("x", &["name"])), ("a".into(), Expr::var("x"))],
+        vec![
+            ("n".into(), Expr::path("x", &["name"])),
+            ("a".into(), Expr::var("x")),
+        ],
         Pt::entity(e, "x"),
     );
     let out = ex.run(&Pt::union(l, r)).unwrap();
@@ -398,7 +411,10 @@ fn clustered_execution_costs_less_io_than_scattered() {
     let run = |clustered: bool| {
         let mut m = MusicDb::generate(
             Rc::clone(&cat),
-            MusicConfig { clustered, ..cfg.clone() },
+            MusicConfig {
+                clustered,
+                ..cfg.clone()
+            },
         );
         let e = m.db.physical().entities_of_class(m.composer)[0];
         let t = m.db.physical().entities_of_class(m.composition)[0];
@@ -431,9 +447,8 @@ fn clustered_execution_costs_less_io_than_scattered() {
 fn horizontally_decomposed_class_scans_union_of_fragments() {
     let mut m = small_music();
     // Split composers by name parity.
-    let frags = m
-        .db
-        .decompose_horizontal(
+    let frags =
+        m.db.decompose_horizontal(
             m.composer,
             2,
             &["even oid".into(), "odd oid".into()],
@@ -441,10 +456,7 @@ fn horizontally_decomposed_class_scans_union_of_fragments() {
         )
         .unwrap();
     // A union plan over the fragments enumerates every composer once.
-    let plan = Pt::union(
-        Pt::entity(frags[0], "x"),
-        Pt::entity(frags[1], "x"),
-    );
+    let plan = Pt::union(Pt::entity(frags[0], "x"), Pt::entity(frags[1], "x"));
     let idx = IndexSet::new();
     let methods = MethodRegistry::new();
     let mut ex = Executor::new(&mut m.db, &idx, &methods);
@@ -472,12 +484,17 @@ fn expression_evaluation_edge_cases() {
     let plan = Pt::proj(
         vec![
             ("n".into(), Expr::path("x", &["name"])),
-            ("v".into(), Expr::path("x", &["birth_year"]).add(Expr::int(100))),
+            (
+                "v".into(),
+                Expr::path("x", &["birth_year"]).add(Expr::int(100)),
+            ),
         ],
         Pt::sel(
             Expr::path("x", &["name"])
                 .eq(Expr::text("Bach"))
-                .or(Expr::Not(Box::new(Expr::path("x", &["name"]).eq(Expr::text("Bach"))))),
+                .or(Expr::Not(Box::new(
+                    Expr::path("x", &["name"]).eq(Expr::text("Bach")),
+                ))),
             Pt::entity(e, "x"),
         ),
     );
@@ -487,10 +504,16 @@ fn expression_evaluation_edge_cases() {
     for row in &out.rows {
         assert!(row[1].as_int().unwrap() >= 1700);
     }
-    // Unknown column errors cleanly.
+    // Unknown column errors cleanly: the boundary verifier rejects the
+    // plan in debug builds, the runtime reports it otherwise.
     let bad = Pt::sel(Expr::var("nope").eq(Expr::int(1)), Pt::entity(e, "x"));
     let mut ex2 = Executor::new(&mut m.db, &idx, &methods);
-    assert!(matches!(ex2.run(&bad), Err(ExecError::UnknownColumn(_))));
+    let err = ex2.run(&bad).unwrap_err();
+    if cfg!(debug_assertions) {
+        assert!(matches!(err, ExecError::PlanLint(_)), "got {err:?}");
+    } else {
+        assert!(matches!(err, ExecError::UnknownColumn(_)), "got {err:?}");
+    }
     // Adding incompatible values errors cleanly.
     let bad_add = Pt::proj(
         vec![("v".into(), Expr::path("x", &["name"]).add(Expr::int(1)))],
@@ -509,7 +532,12 @@ fn union_mismatch_is_reported() {
     let l = Pt::proj(vec![("a".into(), Expr::var("x"))], Pt::entity(e, "x"));
     let r = Pt::proj(vec![("b".into(), Expr::var("x"))], Pt::entity(e, "x"));
     let mut ex = Executor::new(&mut m.db, &idx, &methods);
-    assert!(matches!(ex.run(&Pt::union(l, r)), Err(ExecError::UnionMismatch)));
+    let err = ex.run(&Pt::union(l, r)).unwrap_err();
+    if cfg!(debug_assertions) {
+        assert!(matches!(err, ExecError::PlanLint(_)), "got {err:?}");
+    } else {
+        assert!(matches!(err, ExecError::UnionMismatch), "got {err:?}");
+    }
 }
 
 #[test]
@@ -524,7 +552,10 @@ fn fixpoint_over_empty_base_terminates_empty() {
             ("disciple".into(), Expr::var("x")),
             ("gen".into(), Expr::int(1)),
         ],
-        Pt::sel(Expr::path("x", &["name"]).eq(Expr::text("Nobody")), Pt::entity(e, "x")),
+        Pt::sel(
+            Expr::path("x", &["name"]).eq(Expr::text("Nobody")),
+            Pt::entity(e, "x"),
+        ),
     );
     let rec = Pt::proj(
         vec![

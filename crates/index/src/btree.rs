@@ -22,8 +22,13 @@ pub struct BPlusTree<K, V> {
 
 #[derive(Debug, Clone)]
 enum Node<K, V> {
-    Leaf { entries: Vec<(K, Vec<V>)> },
-    Internal { keys: Vec<K>, children: Vec<Node<K, V>> },
+    Leaf {
+        entries: Vec<(K, Vec<V>)>,
+    },
+    Internal {
+        keys: Vec<K>,
+        children: Vec<Node<K, V>>,
+    },
 }
 
 /// Result of a node insert: either it fit, or the node split and promotes
@@ -38,7 +43,9 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
     /// internal node (and of entries of a leaf); minimum 4.
     pub fn new(order: usize) -> Self {
         BPlusTree {
-            root: Node::Leaf { entries: Vec::new() },
+            root: Node::Leaf {
+                entries: Vec::new(),
+            },
             order: order.max(4),
             len: 0,
             distinct: 0,
@@ -73,7 +80,10 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
             InsertResult::Fit => {}
             InsertResult::Split(sep, right) => {
                 let left = std::mem::replace(&mut self.root, Node::Leaf { entries: vec![] });
-                self.root = Node::Internal { keys: vec![sep], children: vec![left, right] };
+                self.root = Node::Internal {
+                    keys: vec![sep],
+                    children: vec![left, right],
+                };
             }
         }
         self.len += 1;
@@ -102,7 +112,12 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
                     let mid = entries.len() / 2;
                     let right_entries = entries.split_off(mid);
                     let sep = right_entries[0].0.clone();
-                    InsertResult::Split(sep, Node::Leaf { entries: right_entries })
+                    InsertResult::Split(
+                        sep,
+                        Node::Leaf {
+                            entries: right_entries,
+                        },
+                    )
                 } else {
                     InsertResult::Fit
                 }
@@ -125,7 +140,10 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
                             let right_children = children.split_off(mid + 1);
                             InsertResult::Split(
                                 promoted,
-                                Node::Internal { keys: right_keys, children: right_children },
+                                Node::Internal {
+                                    keys: right_keys,
+                                    children: right_children,
+                                },
                             )
                         } else {
                             InsertResult::Fit
@@ -275,9 +293,7 @@ impl<K: Ord + Clone + Debug, V: Clone> BPlusTree<K, V> {
                     }
                     match leaf_depth {
                         None => *leaf_depth = Some(depth),
-                        Some(d) if *d != depth => {
-                            return Err("leaves at different depths".into())
-                        }
+                        Some(d) if *d != depth => return Err("leaves at different depths".into()),
                         _ => {}
                     }
                     Ok(())

@@ -42,9 +42,13 @@ impl PathIndex {
                 tree.insert(head, tail);
             }
         }
-        let stats = IndexStats { nblevels: tree.nblevels(), nbleaves: tree.nbleaves() };
-        let id =
-            db.physical_mut().add_index(IndexKindDesc::Path { path: path.clone() }, stats);
+        let stats = IndexStats {
+            nblevels: tree.nblevels(),
+            nbleaves: tree.nbleaves(),
+        };
+        let id = db
+            .physical_mut()
+            .add_index(IndexKindDesc::Path { path: path.clone() }, stats);
         PathIndex { id, path, tree }
     }
 
@@ -66,7 +70,9 @@ impl PathIndex {
             return;
         }
         let (_, attr) = path[step];
-        let Ok(v) = db.read_attr_raw(at, attr) else { return };
+        let Ok(v) = db.read_attr_raw(at, attr) else {
+            return;
+        };
         for m in v.members() {
             if let Value::Oid(next) = m {
                 prefix.push(*next);
@@ -104,6 +110,9 @@ impl PathIndex {
 
     /// Index statistics.
     pub fn stats(&self) -> IndexStats {
-        IndexStats { nblevels: self.tree.nblevels(), nbleaves: self.tree.nbleaves() }
+        IndexStats {
+            nblevels: self.tree.nblevels(),
+            nbleaves: self.tree.nbleaves(),
+        }
     }
 }

@@ -37,9 +37,19 @@ impl SelectionIndex {
                 }
             }
         }
-        let stats = IndexStats { nblevels: tree.nblevels(), nbleaves: tree.nbleaves() };
-        let id = db.physical_mut().add_index(IndexKindDesc::Selection { class, attr }, stats);
-        SelectionIndex { id, class, attr, tree }
+        let stats = IndexStats {
+            nblevels: tree.nblevels(),
+            nbleaves: tree.nbleaves(),
+        };
+        let id = db
+            .physical_mut()
+            .add_index(IndexKindDesc::Selection { class, attr }, stats);
+        SelectionIndex {
+            id,
+            class,
+            attr,
+            tree,
+        }
     }
 
     /// Oids whose attribute equals `key`. Charges `nblevels` index page
@@ -55,7 +65,9 @@ impl SelectionIndex {
         let hits = self.tree.range(lo, hi);
         let leaves_touched = (hits.len() as u64).div_ceil(8).max(1);
         db.note_index_reads(self.tree.nblevels() as u64 + leaves_touched - 1);
-        hits.into_iter().flat_map(|(_, vs)| vs.iter().copied()).collect()
+        hits.into_iter()
+            .flat_map(|(_, vs)| vs.iter().copied())
+            .collect()
     }
 
     /// Number of distinct keys.
@@ -65,6 +77,9 @@ impl SelectionIndex {
 
     /// Index statistics.
     pub fn stats(&self) -> IndexStats {
-        IndexStats { nblevels: self.tree.nblevels(), nbleaves: self.tree.nbleaves() }
+        IndexStats {
+            nblevels: self.tree.nblevels(),
+            nbleaves: self.tree.nbleaves(),
+        }
     }
 }

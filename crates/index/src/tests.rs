@@ -3,9 +3,9 @@
 
 use std::rc::Rc;
 
+use oorq_prng::Prng;
 use oorq_schema::{AttributeDef, Catalog, ClassDef, SchemaBuilder, TypeExpr};
 use oorq_storage::{Database, Oid, StorageConfig, Value};
-use proptest::prelude::*;
 
 use crate::btree::BPlusTree;
 use crate::{IndexSet, PathIndex, SelectionIndex};
@@ -29,10 +29,7 @@ fn catalog() -> Rc<Catalog> {
                         TypeExpr::set(TypeExpr::class("Instrument")),
                     )),
             )
-            .class(
-                ClassDef::new("Instrument")
-                    .attr(AttributeDef::stored("name", TypeExpr::text())),
-            )
+            .class(ClassDef::new("Instrument").attr(AttributeDef::stored("name", TypeExpr::text())))
             .build()
             .unwrap(),
     )
@@ -65,8 +62,11 @@ fn music_db(n: u32) -> Database {
                 .unwrap();
             works.push(Value::Oid(comp));
         }
-        db.insert_object(composer, vec![Value::text(format!("c{c}")), Value::Set(works)])
-            .unwrap();
+        db.insert_object(
+            composer,
+            vec![Value::text(format!("c{c}")), Value::Set(works)],
+        )
+        .unwrap();
     }
     db
 }
@@ -193,48 +193,65 @@ fn index_set_stores_and_finds() {
     assert!(set.selection(pid).is_none());
 }
 
-proptest! {
-    /// B+-tree agrees with a BTreeMap oracle on random multimap inserts.
-    #[test]
-    fn btree_matches_oracle(ops in prop::collection::vec((0i64..200, 0u32..1000), 0..400),
-                            order in 4usize..16) {
+/// B+-tree agrees with a BTreeMap oracle on random multimap inserts.
+#[test]
+fn btree_matches_oracle() {
+    let mut rng = Prng::new(0x5eed_b7ee);
+    for case in 0..64 {
+        let order = 4 + rng.index(12);
+        let n_ops = rng.index(400);
         let mut tree = BPlusTree::new(order);
         let mut oracle: std::collections::BTreeMap<i64, Vec<u32>> = Default::default();
-        for (k, v) in ops {
+        for _ in 0..n_ops {
+            let k = rng.range_i64(0, 200);
+            let v = rng.range_u32(0, 1000);
             tree.insert(k, v);
             oracle.entry(k).or_default().push(v);
         }
         tree.check_invariants().unwrap();
-        prop_assert_eq!(tree.len(), oracle.values().map(Vec::len).sum::<usize>());
-        prop_assert_eq!(tree.distinct_keys(), oracle.len());
+        assert_eq!(
+            tree.len(),
+            oracle.values().map(Vec::len).sum::<usize>(),
+            "case {case} (order {order})"
+        );
+        assert_eq!(tree.distinct_keys(), oracle.len());
         for (k, vs) in &oracle {
-            prop_assert_eq!(tree.get(k), Some(vs.as_slice()));
+            assert_eq!(tree.get(k), Some(vs.as_slice()));
         }
         // Full iteration is sorted and complete.
         let keys: Vec<i64> = tree.iter().iter().map(|(k, _)| **k).collect();
         let oracle_keys: Vec<i64> = oracle.keys().copied().collect();
-        prop_assert_eq!(keys, oracle_keys);
+        assert_eq!(keys, oracle_keys);
     }
+}
 
-    /// Range queries agree with oracle filtering.
-    #[test]
-    fn btree_range_matches_oracle(keys in prop::collection::vec(0i64..100, 0..200),
-                                  lo in 0i64..100, span in 0i64..40) {
-        let hi = lo + span;
+/// Range queries agree with oracle filtering.
+#[test]
+fn btree_range_matches_oracle() {
+    let mut rng = Prng::new(0x0ac1e5);
+    for case in 0..64 {
+        let lo = rng.range_i64(0, 100);
+        let hi = lo + rng.range_i64(0, 40);
+        let n_keys = rng.index(200);
         let mut tree = BPlusTree::new(5);
         let mut oracle: std::collections::BTreeMap<i64, Vec<i64>> = Default::default();
-        for k in keys {
+        for _ in 0..n_keys {
+            let k = rng.range_i64(0, 100);
             tree.insert(k, k);
             oracle.entry(k).or_default().push(k);
         }
         let got: Vec<i64> = tree.range(&lo, &hi).iter().map(|(k, _)| **k).collect();
         let want: Vec<i64> = oracle.range(lo..=hi).map(|(k, _)| *k).collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case} [{lo}, {hi}]");
     }
+}
 
-    /// nblevels/nbleaves stay consistent with size.
-    #[test]
-    fn btree_shape_statistics(n in 0usize..600) {
+/// nblevels/nbleaves stay consistent with size.
+#[test]
+fn btree_shape_statistics() {
+    let mut rng = Prng::new(0x5a9e5);
+    for _ in 0..32 {
+        let n = rng.index(600);
         let mut tree = BPlusTree::new(8);
         for k in 0..n {
             tree.insert(k, ());
@@ -242,9 +259,9 @@ proptest! {
         tree.check_invariants().unwrap();
         let leaves = tree.nbleaves() as usize;
         // Each leaf holds at most `order` entries.
-        prop_assert!(leaves * 8 >= n.max(1));
+        assert!(leaves * 8 >= n.max(1));
         if n > 8 {
-            prop_assert!(tree.nblevels() >= 2);
+            assert!(tree.nblevels() >= 2);
         }
     }
 }

@@ -1,0 +1,75 @@
+//! The cost-model sanity pass: estimates must be finite, non-negative,
+//! and selections must not grow their inputs.
+
+use oorq_cost::CostModel;
+use oorq_pt::Pt;
+
+use crate::diag::{LintCode, LintReport};
+
+/// Lint the cost estimate of a plan. Subtrees the model cannot price
+/// (e.g. temporaries with no registered shape) are skipped, not
+/// reported — pricing failures are the plan pass's business.
+pub fn lint_plan_cost(model: &CostModel<'_>, pt: &Pt) -> LintReport {
+    let mut report = LintReport::new();
+    let Ok(pc) = model.cost(pt) else {
+        return report;
+    };
+
+    if !(pc.rows.is_finite() && pc.rows >= 0.0) {
+        report.push(
+            LintCode::NegativeCardinality,
+            "plan",
+            format!("answer cardinality estimate is {}", pc.rows),
+        );
+    }
+    for part in [("io", pc.cost.io), ("cpu", pc.cost.cpu)] {
+        if !(part.1.is_finite() && part.1 >= 0.0) {
+            report.push(
+                LintCode::NonFiniteCost,
+                "plan",
+                format!("total {} cost is {}", part.0, part.1),
+            );
+        }
+    }
+    for row in &pc.breakdown {
+        if !row.rows.is_finite() || row.rows < 0.0 || !row.pages.is_finite() || row.pages < 0.0 {
+            report.push(
+                LintCode::NegativeCardinality,
+                &row.label,
+                format!("rows={} pages={}", row.rows, row.pages),
+            );
+        }
+        if !row.cost.io.is_finite()
+            || row.cost.io < 0.0
+            || !row.cost.cpu.is_finite()
+            || row.cost.cpu < 0.0
+        {
+            report.push(
+                LintCode::NonFiniteCost,
+                &row.label,
+                format!("io={} cpu={}", row.cost.io, row.cost.cpu),
+            );
+        }
+    }
+
+    // Selectivity: a selection's output cardinality must not exceed its
+    // input's. Compared on whole-subtree estimates so fixpoint context
+    // is irrelevant; unpriceable subtrees are skipped.
+    pt.visit(&mut |node| {
+        if let Pt::Sel { input, .. } = node {
+            if let (Ok(outer), Ok(inner)) = (model.cost(node), model.cost(input)) {
+                if outer.rows > inner.rows * (1.0 + 1e-9) + 1e-9 {
+                    report.push(
+                        LintCode::SelectivityOutOfRange,
+                        "Sel",
+                        format!(
+                            "selection grows its input: {} rows from {}",
+                            outer.rows, inner.rows
+                        ),
+                    );
+                }
+            }
+        }
+    });
+    report
+}

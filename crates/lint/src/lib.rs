@@ -1,0 +1,49 @@
+//! Static verification of query graphs and processing trees.
+//!
+//! Optimizers that transform complete plans (the paper's §4
+//! `transformPT` and the randomized walks of §5) are only trustworthy
+//! if every intermediate plan stays well-formed. This crate provides
+//! the invariant checks:
+//!
+//! - [`lint_graph`] — the *graph pass*: tree-label binding discipline,
+//!   name resolution against the catalog, recursion classification
+//!   (linear / non-linear / unsafe), reachability and dead view cycles.
+//! - [`verify_pt`] — the *plan pass*: fixpoint shape, implicit-join
+//!   steps against the physical schema, projections vs. columns
+//!   consumed upstream, expression typing, temporary scoping.
+//! - [`lint_plan_cost`] — the *cost pass*: finite non-negative
+//!   estimates, selectivities within [0, 1].
+//!
+//! Every check has a stable code ([`LintCode`], `QG*`/`PT*`/`CM*`) and
+//! a fixed severity; a [`LintReport`] is clean when no error-severity
+//! diagnostic fired. The optimizer runs the plan pass after every
+//! transformation in debug builds; the executor re-checks its input
+//! plan at the boundary.
+
+mod cost;
+mod diag;
+mod graph;
+mod plan;
+
+pub use cost::lint_plan_cost;
+pub use diag::{Diagnostic, LintCode, LintReport, Severity};
+pub use graph::lint_graph;
+pub use plan::verify_pt;
+
+use oorq_query::{parse_program, ParseError, ParsedProgram};
+use oorq_schema::Catalog;
+
+/// Parse a program and lint the resulting (unexpanded) query graph in
+/// one step. Parse errors abort; lint findings are returned alongside
+/// the program for the caller to act on.
+pub fn parse_linted(
+    catalog: &Catalog,
+    src: &str,
+) -> Result<(ParsedProgram, LintReport), ParseError> {
+    let program = parse_program(catalog, src)?;
+    let report = lint_graph(catalog, &program.graph);
+    Ok((program, report))
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,425 @@
+//! One intentionally broken fixture per lint code, plus clean paper
+//! fixtures that must stay clean.
+
+use std::rc::Rc;
+
+use oorq_pt::{IjStep, Pt, PtEnv};
+use oorq_query::paper::{fig2_query, fig3_query, influencer_view, music_catalog};
+use oorq_query::{Expr, NameRef, QArc, QueryGraph, SpjNode, TreeLabel};
+use oorq_schema::Catalog;
+use oorq_storage::{Database, StorageConfig};
+
+use crate::{lint_graph, verify_pt, LintCode, Severity};
+
+fn setup() -> (Rc<Catalog>, Database) {
+    let cat = Rc::new(music_catalog());
+    let db = Database::new(Rc::clone(&cat), StorageConfig::default());
+    (cat, db)
+}
+
+fn answer() -> NameRef {
+    NameRef::Derived("Answer".into())
+}
+
+/// An SPJ selecting composers by name — the building block the broken
+/// fixtures perturb.
+fn simple_spj(cat: &Catalog) -> SpjNode {
+    let composer = cat.class_by_name("Composer").unwrap();
+    SpjNode {
+        inputs: vec![QArc {
+            name: NameRef::Class(composer),
+            var: Some("x".into()),
+            label: TreeLabel::leaf().attr_var("name", "n"),
+        }],
+        pred: Expr::var("n").eq(Expr::text("Bach")),
+        out_proj: vec![("who".into(), Expr::var("x"))],
+    }
+}
+
+// ---- graph pass -----------------------------------------------------
+
+#[test]
+fn clean_paper_queries_lint_clean() {
+    let (cat, _) = setup();
+    for g in [fig2_query(&cat), fig3_query(&cat)] {
+        let report = lint_graph(&cat, &g);
+        assert!(report.is_clean(), "unexpected errors:\n{report}");
+    }
+    // The recursive view, expanded: clean, and noted as linear.
+    let mut g = fig3_query(&cat);
+    influencer_view(&cat).expand(&mut g, &cat).unwrap();
+    let report = lint_graph(&cat, &g);
+    assert!(report.is_clean(), "unexpected errors:\n{report}");
+    assert!(report.has(LintCode::LinearRecursion));
+}
+
+#[test]
+fn unbound_variable_is_reported() {
+    let (cat, _) = setup();
+    let mut spj = simple_spj(&cat);
+    spj.pred = Expr::var("ghost").eq(Expr::text("Bach"));
+    let mut g = QueryGraph::new(answer());
+    g.add_spj(answer(), spj);
+    let report = lint_graph(&cat, &g);
+    assert!(report.has(LintCode::UnboundVariable), "{report}");
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn unknown_name_is_reported() {
+    let (cat, _) = setup();
+    let mut g = QueryGraph::new(answer());
+    g.add_spj(
+        answer(),
+        SpjNode {
+            inputs: vec![QArc::new(NameRef::Derived("Nowhere".into()), "x")],
+            pred: Expr::True,
+            out_proj: vec![("who".into(), Expr::var("x"))],
+        },
+    );
+    let report = lint_graph(&cat, &g);
+    assert!(report.has(LintCode::UnknownName), "{report}");
+}
+
+#[test]
+fn duplicate_variable_is_reported() {
+    let (cat, _) = setup();
+    let composer = cat.class_by_name("Composer").unwrap();
+    let mut g = QueryGraph::new(answer());
+    g.add_spj(
+        answer(),
+        SpjNode {
+            inputs: vec![
+                QArc::new(NameRef::Class(composer), "x"),
+                QArc::new(NameRef::Class(composer), "x"),
+            ],
+            pred: Expr::path("x", &["name"]).eq(Expr::text("Bach")),
+            out_proj: vec![("who".into(), Expr::var("x"))],
+        },
+    );
+    let report = lint_graph(&cat, &g);
+    assert!(report.has(LintCode::DuplicateVariable), "{report}");
+}
+
+#[test]
+fn bad_label_is_reported() {
+    let (cat, _) = setup();
+    let composer = cat.class_by_name("Composer").unwrap();
+    let mut g = QueryGraph::new(answer());
+    g.add_spj(
+        answer(),
+        SpjNode {
+            inputs: vec![QArc {
+                name: NameRef::Class(composer),
+                var: Some("x".into()),
+                label: TreeLabel::leaf().attr_var("no_such_attribute", "n"),
+            }],
+            pred: Expr::var("n").eq(Expr::text("Bach")),
+            out_proj: vec![("who".into(), Expr::var("x"))],
+        },
+    );
+    let report = lint_graph(&cat, &g);
+    assert!(report.has(LintCode::BadLabel), "{report}");
+}
+
+#[test]
+fn unsafe_recursion_without_base_case() {
+    let (cat, _) = setup();
+    let loop_name = NameRef::Derived("Loop".into());
+    let mut g = QueryGraph::new(answer());
+    // Loop consumes only itself: an empty fixpoint.
+    g.add_spj(
+        loop_name.clone(),
+        SpjNode {
+            inputs: vec![QArc::new(loop_name.clone(), "l")],
+            pred: Expr::True,
+            out_proj: vec![("v".into(), Expr::var("l"))],
+        },
+    );
+    g.add_spj(
+        answer(),
+        SpjNode {
+            inputs: vec![QArc::new(loop_name, "l")],
+            pred: Expr::True,
+            out_proj: vec![("v".into(), Expr::var("l"))],
+        },
+    );
+    let report = lint_graph(&cat, &g);
+    assert!(report.has(LintCode::UnsafeRecursion), "{report}");
+}
+
+#[test]
+fn non_linear_recursion_is_flagged() {
+    let (cat, _) = setup();
+    let composer = cat.class_by_name("Composer").unwrap();
+    let anc = NameRef::Derived("Anc".into());
+    let mut g = QueryGraph::new(answer());
+    // Base case.
+    g.add_spj(
+        anc.clone(),
+        SpjNode {
+            inputs: vec![QArc::new(NameRef::Class(composer), "x")],
+            pred: Expr::True,
+            out_proj: vec![("v".into(), Expr::var("x"))],
+        },
+    );
+    // Doubly recursive case: Anc ⋈ Anc.
+    g.add_spj(
+        anc.clone(),
+        SpjNode {
+            inputs: vec![QArc::new(anc.clone(), "a"), QArc::new(anc.clone(), "b")],
+            pred: Expr::path("a", &["v"]).eq(Expr::path("b", &["v"])),
+            out_proj: vec![("v".into(), Expr::path("a", &["v"]))],
+        },
+    );
+    g.add_spj(
+        answer(),
+        SpjNode {
+            inputs: vec![QArc::new(anc, "a")],
+            pred: Expr::True,
+            out_proj: vec![("v".into(), Expr::path("a", &["v"]))],
+        },
+    );
+    let report = lint_graph(&cat, &g);
+    assert!(report.has(LintCode::NonLinearRecursion), "{report}");
+    // Warn, not error: still evaluable, just outside the [KL86] shape.
+    assert_eq!(LintCode::NonLinearRecursion.severity(), Severity::Warn);
+}
+
+#[test]
+fn unreachable_node_is_flagged() {
+    let (cat, _) = setup();
+    let mut g = QueryGraph::new(answer());
+    g.add_spj(answer(), simple_spj(&cat));
+    g.add_spj(NameRef::Derived("Orphan".into()), simple_spj(&cat));
+    let report = lint_graph(&cat, &g);
+    assert!(report.has(LintCode::UnreachableNode), "{report}");
+    assert!(
+        report.is_clean(),
+        "unreachability is a warning, not an error"
+    );
+}
+
+#[test]
+fn mutual_recursion_is_reported() {
+    let (cat, _) = setup();
+    let a = NameRef::Derived("A".into());
+    let b = NameRef::Derived("B".into());
+    let mut g = QueryGraph::new(answer());
+    g.add_spj(
+        a.clone(),
+        SpjNode {
+            inputs: vec![QArc::new(b.clone(), "x")],
+            pred: Expr::True,
+            out_proj: vec![("v".into(), Expr::var("x"))],
+        },
+    );
+    g.add_spj(
+        b.clone(),
+        SpjNode {
+            inputs: vec![QArc::new(a.clone(), "x")],
+            pred: Expr::True,
+            out_proj: vec![("v".into(), Expr::var("x"))],
+        },
+    );
+    g.add_spj(
+        answer(),
+        SpjNode {
+            inputs: vec![QArc::new(a, "x")],
+            pred: Expr::True,
+            out_proj: vec![("v".into(), Expr::var("x"))],
+        },
+    );
+    let report = lint_graph(&cat, &g);
+    assert!(report.has(LintCode::MutualRecursion), "{report}");
+}
+
+#[test]
+fn cartesian_product_is_noted() {
+    let (cat, _) = setup();
+    let composer = cat.class_by_name("Composer").unwrap();
+    let instrument = cat.class_by_name("Instrument").unwrap();
+    let mut g = QueryGraph::new(answer());
+    g.add_spj(
+        answer(),
+        SpjNode {
+            inputs: vec![
+                QArc::new(NameRef::Class(composer), "x"),
+                QArc::new(NameRef::Class(instrument), "y"),
+            ],
+            pred: Expr::path("x", &["name"]).eq(Expr::text("Bach")),
+            out_proj: vec![
+                ("who".into(), Expr::var("x")),
+                ("what".into(), Expr::var("y")),
+            ],
+        },
+    );
+    let report = lint_graph(&cat, &g);
+    assert!(report.has(LintCode::CartesianProduct), "{report}");
+    assert!(report.is_clean(), "a product is legal, only noted");
+}
+
+// ---- plan pass ------------------------------------------------------
+
+/// `select x from Composer` as a one-entity plan.
+fn scan(cat: &Catalog, db: &Database) -> Pt {
+    let composer = cat.class_by_name("Composer").unwrap();
+    Pt::entity(db.physical().entities_of_class(composer)[0], "x")
+}
+
+#[test]
+fn clean_plan_verifies() {
+    let (cat, db) = setup();
+    let plan = Pt::proj(
+        vec![("who".into(), Expr::var("x"))],
+        Pt::sel(
+            Expr::path("x", &["name"]).eq(Expr::text("Bach")),
+            scan(&cat, &db),
+        ),
+    );
+    let env = PtEnv::new(&cat, db.physical());
+    let report = verify_pt(&env, &plan);
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn fix_body_must_be_union() {
+    let (cat, db) = setup();
+    let plan = Pt::fix("T", scan(&cat, &db));
+    let report = verify_pt(&PtEnv::new(&cat, db.physical()), &plan);
+    assert!(report.has(LintCode::FixBodyNotUnion), "{report}");
+}
+
+#[test]
+fn fix_without_recursive_leg() {
+    let (cat, db) = setup();
+    let leg = || Pt::proj(vec![("who".into(), Expr::var("x"))], scan(&cat, &db));
+    let plan = Pt::fix("T", Pt::union(leg(), leg()));
+    let report = verify_pt(&PtEnv::new(&cat, db.physical()), &plan);
+    assert!(report.has(LintCode::FixNoRecursiveLeg), "{report}");
+}
+
+#[test]
+fn fix_without_base_leg() {
+    let (cat, db) = setup();
+    let leg = || Pt::proj(vec![("who".into(), Expr::var("t.who"))], Pt::temp("T", "t"));
+    let plan = Pt::fix("T", Pt::union(leg(), leg()));
+    let report = verify_pt(&PtEnv::new(&cat, db.physical()), &plan);
+    assert!(report.has(LintCode::FixNoBaseLeg), "{report}");
+}
+
+#[test]
+fn projection_dropping_consumed_column() {
+    let (cat, db) = setup();
+    // The selection consumes `who`, the projection below only keeps
+    // `other`.
+    let plan = Pt::sel(
+        Expr::var("who").eq(Expr::text("Bach")),
+        Pt::proj(
+            vec![("other".into(), Expr::path("x", &["name"]))],
+            scan(&cat, &db),
+        ),
+    );
+    let report = verify_pt(&PtEnv::new(&cat, db.physical()), &plan);
+    assert!(report.has(LintCode::ProjDropsNeeded), "{report}");
+}
+
+#[test]
+fn union_shape_mismatch() {
+    let (cat, db) = setup();
+    let plan = Pt::union(
+        Pt::proj(vec![("a".into(), Expr::var("x"))], scan(&cat, &db)),
+        Pt::proj(vec![("b".into(), Expr::var("x"))], scan(&cat, &db)),
+    );
+    let report = verify_pt(&PtEnv::new(&cat, db.physical()), &plan);
+    assert!(report.has(LintCode::UnionShapeMismatch), "{report}");
+}
+
+#[test]
+fn ill_typed_predicate() {
+    let (cat, db) = setup();
+    let plan = Pt::sel(
+        Expr::var("no_such_column").eq(Expr::int(1)),
+        scan(&cat, &db),
+    );
+    let report = verify_pt(&PtEnv::new(&cat, db.physical()), &plan);
+    assert!(report.has(LintCode::IllTypedPredicate), "{report}");
+}
+
+#[test]
+fn undefined_temporary() {
+    let (cat, db) = setup();
+    let plan = Pt::proj(
+        vec![("who".into(), Expr::var("t.who"))],
+        Pt::temp("NeverDefined", "t"),
+    );
+    let report = verify_pt(&PtEnv::new(&cat, db.physical()), &plan);
+    assert!(report.has(LintCode::UndefinedTemp), "{report}");
+    // The same temporary in scope is fine.
+    let env = PtEnv::new(&cat, db.physical()).with_temp(
+        "NeverDefined",
+        vec![(
+            "who".into(),
+            oorq_schema::ResolvedType::Object(cat.class_by_name("Composer").unwrap()),
+        )],
+    );
+    assert!(verify_pt(&env, &plan).is_clean());
+}
+
+#[test]
+fn bad_index_kind_for_probe() {
+    let (cat, mut db) = setup();
+    let composer = cat.class_by_name("Composer").unwrap();
+    let (works, _) = cat.attr(composer, "works").unwrap();
+    let composition = cat.class_by_name("Composition").unwrap();
+    let (instruments, _) = cat.attr(composition, "instruments").unwrap();
+    let pix = db.physical_mut().add_index(
+        oorq_storage::IndexKindDesc::Path {
+            path: vec![(composer, works), (composition, instruments)],
+        },
+        oorq_storage::IndexStats {
+            nblevels: 2,
+            nbleaves: 30,
+        },
+    );
+    // A path index used as a selection probe.
+    let plan = Pt::Sel {
+        pred: Expr::path("x", &["name"]).eq(Expr::text("Bach")),
+        method: oorq_pt::AccessMethod::Index(pix),
+        input: Box::new(scan(&cat, &db)),
+    };
+    let report = verify_pt(&PtEnv::new(&cat, db.physical()), &plan);
+    assert!(report.has(LintCode::BadIndex), "{report}");
+}
+
+#[test]
+fn bad_ij_on_expression() {
+    let (cat, db) = setup();
+    let composer = cat.class_by_name("Composer").unwrap();
+    let (master, _) = cat.attr(composer, "master").unwrap();
+    let plan = Pt::IJ {
+        on: Expr::path("nobody", &["master"]),
+        step: IjStep::class_attr(&cat, composer, master),
+        out: "m".into(),
+        input: Box::new(scan(&cat, &db)),
+        target: Box::new(scan(&cat, &db)),
+    };
+    let report = verify_pt(&PtEnv::new(&cat, db.physical()), &plan);
+    assert!(report.has(LintCode::BadIjStep), "{report}");
+}
+
+#[test]
+fn report_renders_codes_and_severities() {
+    let (cat, db) = setup();
+    let plan = Pt::sel(Expr::var("ghost").eq(Expr::int(1)), scan(&cat, &db));
+    let report = verify_pt(&PtEnv::new(&cat, db.physical()), &plan);
+    let text = report.render();
+    assert!(text.contains("PT008"), "{text}");
+    assert!(text.contains("error"), "{text}");
+    // The code table is complete and stable.
+    assert!(LintCode::all().len() >= 10);
+    for code in LintCode::all() {
+        assert!(!code.code().is_empty());
+        assert!(!code.describe().is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! Structural analyses over processing trees shared by the optimizer
+//! (push-action legality) and the lint engine (plan verification).
+
+use oorq_query::Expr;
+
+use crate::node::Pt;
+
+/// Compute the propagated columns of a fixpoint body: output columns of
+/// the recursive side's top projection that are verbatim copies of the
+/// temporary's fields — the \[KL86\] `canPush` condition: a selection
+/// on these columns commutes with the fixpoint.
+pub fn propagated_columns(fix: &Pt) -> Vec<String> {
+    let Pt::Fix { temp, body } = fix else {
+        return Vec::new();
+    };
+    let Pt::Union { left, right } = body.as_ref() else {
+        return Vec::new();
+    };
+    let rec = if left.references_temp(temp) {
+        left
+    } else {
+        right
+    };
+    // Temp leaf variable inside the recursive side.
+    let mut temp_var = None;
+    rec.visit(&mut |n| {
+        if let Pt::Temp { name, var } = n {
+            if name == temp && temp_var.is_none() {
+                temp_var = Some(var.clone());
+            }
+        }
+    });
+    let Some(tv) = temp_var else {
+        return Vec::new();
+    };
+    let Pt::Proj { cols, .. } = rec.as_ref() else {
+        return Vec::new();
+    };
+    cols.iter()
+        .filter(|(name, e)| matches!(e, Expr::Var(v) if *v == format!("{tv}.{name}")))
+        .map(|(name, _)| name.clone())
+        .collect()
+}

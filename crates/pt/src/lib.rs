@@ -7,10 +7,12 @@
 //! `IJ`, `PIJ`, `EJ`, `Union`, `Fix`); leaves are atomic entities of the
 //! physical schema or temporary files.
 
+mod analysis;
 mod error;
 mod node;
 mod pattern;
 
+pub use analysis::propagated_columns;
 pub use error::PtError;
 pub use node::{type_of_column_expr, AccessMethod, IjStep, JoinAlgo, Pt, PtDisplay, PtEnv};
 pub use pattern::{match_pattern, subtrees, Binding, Bindings, Pattern, TransformAction};

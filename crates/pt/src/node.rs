@@ -65,7 +65,10 @@ impl IjStep {
 
     /// Step through an oid-valued relation/temporary field.
     pub fn field(name: impl Into<String>) -> Self {
-        IjStep { name: name.into(), class_attr: None }
+        IjStep {
+            name: name.into(),
+            class_attr: None,
+        }
     }
 }
 
@@ -169,37 +172,61 @@ pub enum Pt {
 impl Pt {
     /// Entity leaf.
     pub fn entity(id: EntityId, var: impl Into<String>) -> Pt {
-        Pt::Entity { id, var: var.into() }
+        Pt::Entity {
+            id,
+            var: var.into(),
+        }
     }
 
     /// Temporary leaf.
     pub fn temp(name: impl Into<String>, var: impl Into<String>) -> Pt {
-        Pt::Temp { name: name.into(), var: var.into() }
+        Pt::Temp {
+            name: name.into(),
+            var: var.into(),
+        }
     }
 
     /// Selection with sequential access.
     pub fn sel(pred: Expr, input: Pt) -> Pt {
-        Pt::Sel { pred, method: AccessMethod::Scan, input: Box::new(input) }
+        Pt::Sel {
+            pred,
+            method: AccessMethod::Scan,
+            input: Box::new(input),
+        }
     }
 
     /// Projection.
     pub fn proj(cols: Vec<(String, Expr)>, input: Pt) -> Pt {
-        Pt::Proj { cols, input: Box::new(input) }
+        Pt::Proj {
+            cols,
+            input: Box::new(input),
+        }
     }
 
     /// Nested-loop explicit join.
     pub fn ej(pred: Expr, left: Pt, right: Pt) -> Pt {
-        Pt::EJ { pred, algo: JoinAlgo::NestedLoop, left: Box::new(left), right: Box::new(right) }
+        Pt::EJ {
+            pred,
+            algo: JoinAlgo::NestedLoop,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     /// Union.
     pub fn union(left: Pt, right: Pt) -> Pt {
-        Pt::Union { left: Box::new(left), right: Box::new(right) }
+        Pt::Union {
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     /// Fixpoint.
     pub fn fix(temp: impl Into<String>, body: Pt) -> Pt {
-        Pt::Fix { temp: temp.into(), body: Box::new(body) }
+        Pt::Fix {
+            temp: temp.into(),
+            body: Box::new(body),
+        }
     }
 
     /// Children in operand order.
@@ -286,7 +313,10 @@ impl Pt {
             .children_mut()
             .into_iter()
             .nth(last)
-            .ok_or(PtError::BadPath { index: last, arity: n })?;
+            .ok_or(PtError::BadPath {
+                index: last,
+                arity: n,
+            })?;
         Ok(std::mem::replace(slot, new))
     }
 
@@ -313,19 +343,26 @@ impl Pt {
                     .temp_fields
                     .get(name)
                     .ok_or_else(|| PtError::UnknownTemp(name.clone()))?;
-                Ok(fields.iter().map(|(n, t)| (format!("{var}.{n}"), t.clone())).collect())
+                Ok(fields
+                    .iter()
+                    .map(|(n, t)| (format!("{var}.{n}"), t.clone()))
+                    .collect())
             }
             Pt::Sel { input, .. } => input.output_columns(env),
             Pt::Proj { cols, input } => {
                 let in_cols = input.output_columns(env)?;
                 let cenv: HashMap<String, ResolvedType> = in_cols.into_iter().collect();
                 cols.iter()
-                    .map(|(n, e)| {
-                        Ok((n.clone(), type_of_column_expr(env.catalog, e, &cenv)?))
-                    })
+                    .map(|(n, e)| Ok((n.clone(), type_of_column_expr(env.catalog, e, &cenv)?)))
                     .collect()
             }
-            Pt::IJ { out, input, step, target, .. } => {
+            Pt::IJ {
+                out,
+                input,
+                step,
+                target,
+                ..
+            } => {
                 let mut cols = input.output_columns(env)?;
                 // Target class: from the target entity leaf, falling back
                 // to the attribute's referenced class.
@@ -344,7 +381,9 @@ impl Pt {
                 cols.push((out.clone(), ResolvedType::Object(c)));
                 Ok(cols)
             }
-            Pt::PIJ { index, outs, input, .. } => {
+            Pt::PIJ {
+                index, outs, input, ..
+            } => {
                 let mut cols = input.output_columns(env)?;
                 let desc = env.physical.index(*index);
                 let IndexKindDesc::Path { path } = &desc.kind else {
@@ -355,10 +394,9 @@ impl Pt {
                         .get(i)
                         .ok_or(PtError::PathIndexArity { wanted: outs.len() })?;
                     let a = env.catalog.attribute(*cls, *attr);
-                    let c = a
-                        .ty
-                        .referenced_class()
-                        .ok_or_else(|| PtError::NotAReference(a.name.clone()))?;
+                    let c =
+                        a.ty.referenced_class()
+                            .ok_or_else(|| PtError::NotAReference(a.name.clone()))?;
                     cols.push((out.clone(), ResolvedType::Object(c)));
                 }
                 Ok(cols)
@@ -375,8 +413,11 @@ impl Pt {
                 let Pt::Union { left, right } = body.as_ref() else {
                     return Err(PtError::FixBodyNotUnion);
                 };
-                let base =
-                    if left.references_temp(temp) { right.as_ref() } else { left.as_ref() };
+                let base = if left.references_temp(temp) {
+                    right.as_ref()
+                } else {
+                    left.as_ref()
+                };
                 base.output_columns(env)
             }
         }
@@ -460,7 +501,11 @@ pub struct PtEnv<'a> {
 impl<'a> PtEnv<'a> {
     /// New environment with no temporaries.
     pub fn new(catalog: &'a Catalog, physical: &'a PhysicalSchema) -> Self {
-        PtEnv { catalog, physical, temp_fields: HashMap::new() }
+        PtEnv {
+            catalog,
+            physical,
+            temp_fields: HashMap::new(),
+        }
     }
 
     /// Register a temporary's shape.
@@ -490,7 +535,10 @@ pub fn type_of_column_expr(
                 if steps.len() == 1 {
                     Expr::Var(qualified)
                 } else {
-                    Expr::Path { base: qualified, steps: steps[1..].to_vec() }
+                    Expr::Path {
+                        base: qualified,
+                        steps: steps[1..].to_vec(),
+                    }
                 }
             })
         }
@@ -515,7 +563,11 @@ fn write_pt(pt: &Pt, env: &PtEnv<'_>, f: &mut fmt::Formatter<'_>) -> fmt::Result
     match pt {
         Pt::Entity { id, .. } => write!(f, "{}", env.physical.entity(*id).name),
         Pt::Temp { name, .. } => write!(f, "{name}"),
-        Pt::Sel { pred, input, method } => {
+        Pt::Sel {
+            pred,
+            input,
+            method,
+        } => {
             match method {
                 AccessMethod::Scan => write!(f, "Sel_{{{pred}}}(")?,
                 AccessMethod::Index(_) => write!(f, "Sel^idx_{{{pred}}}(")?,
@@ -539,14 +591,24 @@ fn write_pt(pt: &Pt, env: &PtEnv<'_>, f: &mut fmt::Formatter<'_>) -> fmt::Result
             write_pt(input, env, f)?;
             write!(f, ")")
         }
-        Pt::IJ { step, input, target, .. } => {
+        Pt::IJ {
+            step,
+            input,
+            target,
+            ..
+        } => {
             write!(f, "IJ_{}(", step.name)?;
             write_pt(input, env, f)?;
             write!(f, ", ")?;
             write_pt(target, env, f)?;
             write!(f, ")")
         }
-        Pt::PIJ { index, input, targets, .. } => {
+        Pt::PIJ {
+            index,
+            input,
+            targets,
+            ..
+        } => {
             let desc = env.physical.index(*index);
             write!(f, "PIJ_{}(", desc.display_name(env.catalog))?;
             write_pt(input, env, f)?;
@@ -556,7 +618,12 @@ fn write_pt(pt: &Pt, env: &PtEnv<'_>, f: &mut fmt::Formatter<'_>) -> fmt::Result
             }
             write!(f, ")")
         }
-        Pt::EJ { pred, algo, left, right } => {
+        Pt::EJ {
+            pred,
+            algo,
+            left,
+            right,
+        } => {
             match algo {
                 JoinAlgo::NestedLoop => write!(f, "EJ_{{{pred}}}(")?,
                 JoinAlgo::IndexJoin(_) => write!(f, "EJ^idx_{{{pred}}}(")?,

@@ -55,51 +55,87 @@ enum PatKind {
 impl Pattern {
     /// Match anything.
     pub fn any() -> Pattern {
-        Pattern { kind: PatKind::Any, bind: None }
+        Pattern {
+            kind: PatKind::Any,
+            bind: None,
+        }
     }
     /// Match anything and bind it.
     pub fn bind(name: impl Into<String>) -> Pattern {
-        Pattern { kind: PatKind::Any, bind: Some(name.into()) }
+        Pattern {
+            kind: PatKind::Any,
+            bind: Some(name.into()),
+        }
     }
     /// Match an entity leaf.
     pub fn entity() -> Pattern {
-        Pattern { kind: PatKind::Entity, bind: None }
+        Pattern {
+            kind: PatKind::Entity,
+            bind: None,
+        }
     }
     /// Match a temporary leaf.
     pub fn temp() -> Pattern {
-        Pattern { kind: PatKind::Temp, bind: None }
+        Pattern {
+            kind: PatKind::Temp,
+            bind: None,
+        }
     }
     /// Match a selection.
     pub fn sel(input: Pattern) -> Pattern {
-        Pattern { kind: PatKind::Sel(Box::new(input)), bind: None }
+        Pattern {
+            kind: PatKind::Sel(Box::new(input)),
+            bind: None,
+        }
     }
     /// Match a projection.
     pub fn proj(input: Pattern) -> Pattern {
-        Pattern { kind: PatKind::Proj(Box::new(input)), bind: None }
+        Pattern {
+            kind: PatKind::Proj(Box::new(input)),
+            bind: None,
+        }
     }
     /// Match an implicit join.
     pub fn ij(input: Pattern, target: Pattern) -> Pattern {
-        Pattern { kind: PatKind::IJ(Box::new(input), Box::new(target)), bind: None }
+        Pattern {
+            kind: PatKind::IJ(Box::new(input), Box::new(target)),
+            bind: None,
+        }
     }
     /// Match a path implicit join.
     pub fn pij(input: Pattern) -> Pattern {
-        Pattern { kind: PatKind::Pij(Box::new(input)), bind: None }
+        Pattern {
+            kind: PatKind::Pij(Box::new(input)),
+            bind: None,
+        }
     }
     /// Match an explicit join.
     pub fn ej(left: Pattern, right: Pattern) -> Pattern {
-        Pattern { kind: PatKind::Ej(Box::new(left), Box::new(right)), bind: None }
+        Pattern {
+            kind: PatKind::Ej(Box::new(left), Box::new(right)),
+            bind: None,
+        }
     }
     /// Match a union.
     pub fn union(left: Pattern, right: Pattern) -> Pattern {
-        Pattern { kind: PatKind::Union(Box::new(left), Box::new(right)), bind: None }
+        Pattern {
+            kind: PatKind::Union(Box::new(left), Box::new(right)),
+            bind: None,
+        }
     }
     /// Match a fixpoint.
     pub fn fix(body: Pattern) -> Pattern {
-        Pattern { kind: PatKind::Fix(Box::new(body)), bind: None }
+        Pattern {
+            kind: PatKind::Fix(Box::new(body)),
+            bind: None,
+        }
     }
     /// The paper's `pt(X)` context pattern.
     pub fn context(name: impl Into<String>, inner: Pattern) -> Pattern {
-        Pattern { kind: PatKind::Context(name.into(), Box::new(inner)), bind: None }
+        Pattern {
+            kind: PatKind::Context(name.into(), Box::new(inner)),
+            bind: None,
+        }
     }
     /// Also bind the whole subtree matched by this pattern.
     pub fn named(mut self, name: impl Into<String>) -> Pattern {
@@ -200,10 +236,9 @@ pub fn match_pattern(pt: &Pt, pattern: &Pattern) -> Vec<Bindings> {
             _ => vec![],
         },
         PatKind::IJ(pi, pt_) => match pt {
-            Pt::IJ { input, target, .. } => combine(
-                match_pattern(input, pi),
-                match_pattern(target, pt_),
-            ),
+            Pt::IJ { input, target, .. } => {
+                combine(match_pattern(input, pi), match_pattern(target, pt_))
+            }
             _ => vec![],
         },
         PatKind::Pij(pi) => match pt {
@@ -217,9 +252,7 @@ pub fn match_pattern(pt: &Pt, pattern: &Pattern) -> Vec<Bindings> {
             _ => vec![],
         },
         PatKind::Union(pl, pr) => match pt {
-            Pt::Union { left, right } => {
-                combine(match_pattern(left, pl), match_pattern(right, pr))
-            }
+            Pt::Union { left, right } => combine(match_pattern(left, pl), match_pattern(right, pr)),
             _ => vec![],
         },
         PatKind::Fix(pb) => match pt {
@@ -233,7 +266,10 @@ pub fn match_pattern(pt: &Pt, pattern: &Pattern) -> Vec<Bindings> {
                     let mut b = m;
                     b.insert(
                         name.clone(),
-                        Binding::Ctx { tree: pt.clone(), hole: path.clone() },
+                        Binding::Ctx {
+                            tree: pt.clone(),
+                            hole: path.clone(),
+                        },
                     );
                     results.push(b);
                 }

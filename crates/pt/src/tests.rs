@@ -37,7 +37,10 @@ fn display_matches_paper_notation() {
             oorq_storage::IndexKindDesc::Path {
                 path: vec![(composer, works), (composition, instruments)],
             },
-            oorq_storage::IndexStats { nblevels: 2, nbleaves: 30 },
+            oorq_storage::IndexStats {
+                nblevels: 2,
+                nbleaves: 30,
+            },
         );
         (
             db.physical().entities_of_class(composer)[0],
@@ -60,9 +63,15 @@ fn display_matches_paper_notation() {
         on: Expr::var("m"),
         outs: vec!["w".into(), "ins".into()],
         input: Box::new(ij),
-        targets: vec![Pt::entity(composition_e, "wc"), Pt::entity(instrument_e, "ic")],
+        targets: vec![
+            Pt::entity(composition_e, "wc"),
+            Pt::entity(instrument_e, "ic"),
+        ],
     };
-    let sel = Pt::sel(Expr::path("ins", &["name"]).eq(Expr::text("harpsichord")), pij);
+    let sel = Pt::sel(
+        Expr::path("ins", &["name"]).eq(Expr::text("harpsichord")),
+        pij,
+    );
     let env = PtEnv::new(&cat, db.physical()).with_temp("Influencer", influencer_fields);
     assert_eq!(
         sel.display(&env).to_string(),
@@ -129,7 +138,10 @@ fn fix_output_columns_come_from_base_side() {
         vec![
             ("master".into(), ResolvedType::Object(composer)),
             ("disciple".into(), ResolvedType::Object(composer)),
-            ("gen".into(), ResolvedType::Atomic(oorq_schema::AtomicType::Int)),
+            (
+                "gen".into(),
+                ResolvedType::Atomic(oorq_schema::AtomicType::Int),
+            ),
         ],
     );
     let cols = fix.output_columns(&env).unwrap();
@@ -172,7 +184,10 @@ fn pattern_matches_fix_through_context() {
         .named("fix"),
     ));
     let ms = match_pattern(&sel, &pattern);
-    assert!(!ms.is_empty(), "filter pattern must match through the IJ context");
+    assert!(
+        !ms.is_empty(),
+        "filter pattern must match through the IJ context"
+    );
     let m = &ms[0];
     assert!(matches!(m.tree("base").unwrap(), Pt::Entity { .. }));
     assert!(matches!(m.tree("rec").unwrap(), Pt::Temp { .. }));
@@ -197,9 +212,7 @@ fn transform_action_applies_and_saturates() {
         Pattern::union(Pattern::bind("l"), Pattern::bind("r")),
         |b| Some(b.tree("l").ok()?.clone()),
     )
-    .with_constraint(|b| {
-        matches!((b.tree("l"), b.tree("r")), (Ok(l), Ok(r)) if l == r)
-    });
+    .with_constraint(|b| matches!((b.tree("l"), b.tree("r")), (Ok(l), Ok(r)) if l == r));
     let pt = Pt::union(
         Pt::union(Pt::entity(e, "a"), Pt::entity(e, "a")),
         Pt::entity(e, "a"),
@@ -233,7 +246,10 @@ fn column_expr_typing_handles_qualified_names() {
     let composer = cat.class_by_name("Composer").unwrap();
     let cols: std::collections::HashMap<String, ResolvedType> = [
         ("i.disciple".to_string(), ResolvedType::Object(composer)),
-        ("i.gen".to_string(), ResolvedType::Atomic(oorq_schema::AtomicType::Int)),
+        (
+            "i.gen".to_string(),
+            ResolvedType::Atomic(oorq_schema::AtomicType::Int),
+        ),
     ]
     .into_iter()
     .collect();

@@ -29,6 +29,10 @@ pub enum QueryError {
     DuplicateVariable(String),
     /// A derived name is consumed but never produced.
     UndefinedDerived(String),
+    /// A derived name's type depends on itself (recursion through
+    /// derived names; recursive definitions must go through a declared
+    /// view relation, which fixes the type).
+    CyclicTyping(String),
     /// The query graph has no predicate node producing the answer.
     NoAnswer(String),
     /// A view was referenced but not registered.
@@ -50,6 +54,9 @@ impl fmt::Display for QueryError {
             QueryError::DuplicateVariable(v) => write!(f, "variable `{v}` bound twice"),
             QueryError::UndefinedDerived(n) => {
                 write!(f, "derived name `{n}` is consumed but never produced")
+            }
+            QueryError::CyclicTyping(n) => {
+                write!(f, "the type of derived name `{n}` depends on itself")
             }
             QueryError::NoAnswer(n) => write!(f, "no predicate node produces the answer `{n}`"),
             QueryError::UnknownView(v) => write!(f, "view `{v}` has no registered definition"),

@@ -119,23 +119,42 @@ impl Expr {
     }
     /// Path expression `base.step1.step2...`.
     pub fn path(base: impl Into<String>, steps: &[&str]) -> Expr {
-        Expr::Path { base: base.into(), steps: steps.iter().map(|s| s.to_string()).collect() }
+        Expr::Path {
+            base: base.into(),
+            steps: steps.iter().map(|s| s.to_string()).collect(),
+        }
     }
     /// `self = rhs`.
     pub fn eq(self, rhs: Expr) -> Expr {
-        Expr::Cmp { op: CmpOp::Eq, lhs: Box::new(self), rhs: Box::new(rhs) }
+        Expr::Cmp {
+            op: CmpOp::Eq,
+            lhs: Box::new(self),
+            rhs: Box::new(rhs),
+        }
     }
     /// `self <> rhs`.
     pub fn ne(self, rhs: Expr) -> Expr {
-        Expr::Cmp { op: CmpOp::Ne, lhs: Box::new(self), rhs: Box::new(rhs) }
+        Expr::Cmp {
+            op: CmpOp::Ne,
+            lhs: Box::new(self),
+            rhs: Box::new(rhs),
+        }
     }
     /// `self >= rhs`.
     pub fn ge(self, rhs: Expr) -> Expr {
-        Expr::Cmp { op: CmpOp::Ge, lhs: Box::new(self), rhs: Box::new(rhs) }
+        Expr::Cmp {
+            op: CmpOp::Ge,
+            lhs: Box::new(self),
+            rhs: Box::new(rhs),
+        }
     }
     /// `self < rhs`.
     pub fn lt(self, rhs: Expr) -> Expr {
-        Expr::Cmp { op: CmpOp::Lt, lhs: Box::new(self), rhs: Box::new(rhs) }
+        Expr::Cmp {
+            op: CmpOp::Lt,
+            lhs: Box::new(self),
+            rhs: Box::new(rhs),
+        }
     }
     /// `self and rhs` (absorbs `True`).
     pub fn and(self, rhs: Expr) -> Expr {
@@ -193,7 +212,9 @@ impl Expr {
             Expr::Path { base, .. } => {
                 out.insert(base.clone());
             }
-            Expr::Cmp { lhs, rhs, .. } | Expr::And(lhs, rhs) | Expr::Or(lhs, rhs)
+            Expr::Cmp { lhs, rhs, .. }
+            | Expr::And(lhs, rhs)
+            | Expr::Or(lhs, rhs)
             | Expr::Add(lhs, rhs) => {
                 lhs.collect_vars(out);
                 rhs.collect_vars(out);
@@ -208,7 +229,9 @@ impl Expr {
         fn walk<'a>(e: &'a Expr, out: &mut Vec<(&'a str, &'a [String])>) {
             match e {
                 Expr::Path { base, steps } => out.push((base.as_str(), steps.as_slice())),
-                Expr::Cmp { lhs, rhs, .. } | Expr::And(lhs, rhs) | Expr::Or(lhs, rhs)
+                Expr::Cmp { lhs, rhs, .. }
+                | Expr::And(lhs, rhs)
+                | Expr::Or(lhs, rhs)
                 | Expr::Add(lhs, rhs) => {
                     walk(lhs, out);
                     walk(rhs, out);

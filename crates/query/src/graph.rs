@@ -28,7 +28,10 @@ pub enum NameRef {
 impl NameRef {
     /// Render with catalog names.
     pub fn display<'a>(&'a self, catalog: &'a Catalog) -> NameDisplay<'a> {
-        NameDisplay { name: self, catalog }
+        NameDisplay {
+            name: self,
+            catalog,
+        }
     }
 
     /// The row/object type this name denotes. Derived names are resolved
@@ -36,9 +39,7 @@ impl NameRef {
     pub fn base_type(&self, catalog: &Catalog) -> Option<ResolvedType> {
         match self {
             NameRef::Class(c) => Some(ResolvedType::Object(*c)),
-            NameRef::Relation(r) => {
-                Some(ResolvedType::Tuple(catalog.relation(*r).fields.clone()))
-            }
+            NameRef::Relation(r) => Some(ResolvedType::Tuple(catalog.relation(*r).fields.clone())),
             NameRef::Derived(_) => None,
         }
     }
@@ -75,7 +76,11 @@ pub struct QArc {
 impl QArc {
     /// Arc with a root variable and an (initially) leaf label.
     pub fn new(name: NameRef, var: impl Into<String>) -> Self {
-        QArc { name, var: Some(var.into()), label: TreeLabel::leaf() }
+        QArc {
+            name,
+            var: Some(var.into()),
+            label: TreeLabel::leaf(),
+        }
     }
 
     /// Attach a tree label.
@@ -161,12 +166,34 @@ impl GraphTerm {
 
     /// Names consumed by the term's SPJ inputs.
     pub fn consumed_names(&self) -> Vec<&NameRef> {
-        self.spjs().iter().flat_map(|s| s.inputs.iter().map(|a| &a.name)).collect()
+        self.spjs()
+            .iter()
+            .flat_map(|s| s.inputs.iter().map(|a| &a.name))
+            .collect()
+    }
+
+    /// The union alternatives of the term, looking through a fixpoint
+    /// wrapper: `Union(a, b)` flattens to the alternatives of both
+    /// sides, `Fix(_, p)` to the alternatives of `p`. Used to classify
+    /// recursion (each alternative is one "rule" producing the name).
+    pub fn alternatives(&self) -> Vec<&GraphTerm> {
+        match self {
+            GraphTerm::Union(l, r) => {
+                let mut out = l.alternatives();
+                out.extend(r.alternatives());
+                out
+            }
+            GraphTerm::Fix(_, p) => p.alternatives(),
+            t => vec![t],
+        }
     }
 
     /// Render with catalog names.
     pub fn display<'a>(&'a self, catalog: &'a Catalog) -> TermDisplay<'a> {
-        TermDisplay { term: self, catalog }
+        TermDisplay {
+            term: self,
+            catalog,
+        }
     }
 }
 
@@ -224,7 +251,10 @@ pub struct QueryGraph {
 impl QueryGraph {
     /// New query graph with the given answer name.
     pub fn new(answer: NameRef) -> Self {
-        QueryGraph { nodes: Vec::new(), answer }
+        QueryGraph {
+            nodes: Vec::new(),
+            answer,
+        }
     }
 
     /// Add `(name ← Spj(node))`.
@@ -235,16 +265,38 @@ impl QueryGraph {
 
     /// The terms producing a name.
     pub fn producers(&self, name: &NameRef) -> Vec<&GraphTerm> {
-        self.nodes.iter().filter(|(n, _)| n == name).map(|(_, t)| t).collect()
+        self.nodes
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, t)| t)
+            .collect()
     }
 
     /// The row type of a name node: base types for classes/relations, the
     /// inferred projection type for derived names.
     pub fn type_of(&self, catalog: &Catalog, name: &NameRef) -> Result<ResolvedType, QueryError> {
+        self.type_of_in(catalog, name, &mut Vec::new())
+    }
+
+    /// [`QueryGraph::type_of`] with a stack of the derived names whose
+    /// types are currently being inferred: recursion through derived
+    /// names is a typing cycle (only declared view relations may be
+    /// recursive — their declaration fixes the type).
+    fn type_of_in(
+        &self,
+        catalog: &Catalog,
+        name: &NameRef,
+        visiting: &mut Vec<NameRef>,
+    ) -> Result<ResolvedType, QueryError> {
         if let Some(t) = name.base_type(catalog) {
             return Ok(t);
         }
-        let NameRef::Derived(dname) = name else { unreachable!("base covered") };
+        let NameRef::Derived(dname) = name else {
+            unreachable!("base covered")
+        };
+        if visiting.contains(name) {
+            return Err(QueryError::CyclicTyping(dname.clone()));
+        }
         let term = self
             .producers(name)
             .into_iter()
@@ -255,7 +307,10 @@ impl QueryGraph {
             .into_iter()
             .next()
             .ok_or_else(|| QueryError::UndefinedDerived(dname.clone()))?;
-        self.spj_out_type(catalog, spj)
+        visiting.push(name.clone());
+        let out = self.spj_out_type_in(catalog, spj, visiting);
+        visiting.pop();
+        out
     }
 
     /// The output tuple type of an SPJ node.
@@ -264,7 +319,16 @@ impl QueryGraph {
         catalog: &Catalog,
         spj: &SpjNode,
     ) -> Result<ResolvedType, QueryError> {
-        let env = self.binding_env(catalog, spj)?;
+        self.spj_out_type_in(catalog, spj, &mut Vec::new())
+    }
+
+    fn spj_out_type_in(
+        &self,
+        catalog: &Catalog,
+        spj: &SpjNode,
+        visiting: &mut Vec<NameRef>,
+    ) -> Result<ResolvedType, QueryError> {
+        let env = self.binding_env_in(catalog, spj, visiting)?;
         let fields = spj
             .out_proj
             .iter()
@@ -280,9 +344,18 @@ impl QueryGraph {
         catalog: &Catalog,
         spj: &SpjNode,
     ) -> Result<HashMap<String, ResolvedType>, QueryError> {
+        self.binding_env_in(catalog, spj, &mut Vec::new())
+    }
+
+    fn binding_env_in(
+        &self,
+        catalog: &Catalog,
+        spj: &SpjNode,
+        visiting: &mut Vec<NameRef>,
+    ) -> Result<HashMap<String, ResolvedType>, QueryError> {
         let mut env = HashMap::new();
         for arc in &spj.inputs {
-            let ty = self.type_of(catalog, &arc.name)?;
+            let ty = self.type_of_in(catalog, &arc.name, visiting)?;
             if let Some(v) = &arc.var {
                 if env.insert(v.clone(), ty.clone()).is_some() {
                     return Err(QueryError::DuplicateVariable(v.clone()));
@@ -349,7 +422,10 @@ impl QueryGraph {
 
     /// Paper-style denotation of the whole graph.
     pub fn display<'a>(&'a self, catalog: &'a Catalog) -> GraphDisplay<'a> {
-        GraphDisplay { graph: self, catalog }
+        GraphDisplay {
+            graph: self,
+            catalog,
+        }
     }
 }
 
@@ -430,7 +506,9 @@ pub fn expr_type(
             Literal::Null => AtomicType::Bool, // typeless; placeholder
         })),
         Expr::Var(v) => {
-            let t = env.get(v).ok_or_else(|| QueryError::UnboundVariable(v.clone()))?;
+            let t = env
+                .get(v)
+                .ok_or_else(|| QueryError::UnboundVariable(v.clone()))?;
             Ok(strip_collections(t.clone()))
         }
         Expr::Path { base, steps } => {
@@ -604,7 +682,9 @@ impl ViewRegistry {
                     .get(&r)
                     .ok_or_else(|| QueryError::UnknownView(catalog.relation(r).name.clone()))?;
                 for n in nodes {
-                    graph.nodes.push((NameRef::Relation(r), GraphTerm::Spj(n.clone())));
+                    graph
+                        .nodes
+                        .push((NameRef::Relation(r), GraphTerm::Spj(n.clone())));
                 }
                 done.insert(r);
             }

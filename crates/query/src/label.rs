@@ -60,13 +60,21 @@ impl TreeLabel {
 
     /// Add an attribute child with a subtree (no variable).
     pub fn attr_tree(mut self, attr: impl Into<String>, tree: TreeLabel) -> Self {
-        self.children.push(TreeChild { attr: Some(attr.into()), var: None, tree });
+        self.children.push(TreeChild {
+            attr: Some(attr.into()),
+            var: None,
+            tree,
+        });
         self
     }
 
     /// Add an element step (`NIL` attribute) with a subtree.
     pub fn elem(mut self, tree: TreeLabel) -> Self {
-        self.children.push(TreeChild { attr: None, var: None, tree });
+        self.children.push(TreeChild {
+            attr: None,
+            var: None,
+            tree,
+        });
         self
     }
 
@@ -103,12 +111,13 @@ impl TreeLabel {
         for c in &self.children {
             match (&c.attr, ty) {
                 (Some(attr), ResolvedType::Object(class)) => {
-                    let (_, a) = catalog.attr(*class, attr).ok_or_else(|| {
-                        QueryError::UnknownAttribute {
-                            class: catalog.class(*class).name.clone(),
-                            attr: attr.clone(),
-                        }
-                    })?;
+                    let (_, a) =
+                        catalog
+                            .attr(*class, attr)
+                            .ok_or_else(|| QueryError::UnknownAttribute {
+                                class: catalog.class(*class).name.clone(),
+                                attr: attr.clone(),
+                            })?;
                     c.tree.validate(catalog, &a.ty)?;
                 }
                 (Some(attr), ResolvedType::Tuple(fields)) => {
@@ -154,7 +163,11 @@ impl TreeLabel {
         // Descend through collection constructors with a fresh element
         // branch before consuming an attribute step.
         if let ResolvedType::Set(elem) | ResolvedType::List(elem) = ty {
-            self.children.push(TreeChild { attr: None, var: None, tree: TreeLabel::leaf() });
+            self.children.push(TreeChild {
+                attr: None,
+                var: None,
+                tree: TreeLabel::leaf(),
+            });
             let child = self.children.last_mut().expect("just pushed");
             let v = child.tree.graft_path(catalog, elem, steps, fresh)?;
             if steps.is_empty() {
@@ -171,12 +184,13 @@ impl TreeLabel {
         };
         let child_ty = match ty {
             ResolvedType::Object(class) => {
-                let (_, a) = catalog.attr(*class, step).ok_or_else(|| {
-                    QueryError::UnknownAttribute {
-                        class: catalog.class(*class).name.clone(),
-                        attr: step.clone(),
-                    }
-                })?;
+                let (_, a) =
+                    catalog
+                        .attr(*class, step)
+                        .ok_or_else(|| QueryError::UnknownAttribute {
+                            class: catalog.class(*class).name.clone(),
+                            attr: step.clone(),
+                        })?;
                 a.ty.clone()
             }
             ResolvedType::Tuple(fields) => fields

@@ -17,9 +17,7 @@ pub mod parse;
 
 pub use error::QueryError;
 pub use expr::{CmpOp, Expr, Literal};
-pub use graph::{
-    expr_type, GraphTerm, NameRef, QArc, QueryGraph, SpjNode, ViewRegistry,
-};
+pub use graph::{expr_type, GraphTerm, NameRef, QArc, QueryGraph, SpjNode, ViewRegistry};
 pub use label::{TreeChild, TreeLabel};
 pub use parse::{parse_program, parse_query, ParseError, ParsedProgram};
 

@@ -4,9 +4,7 @@
 //! These constructions are shared by tests, examples and the benchmark
 //! harness that regenerates the paper's figures.
 
-use oorq_schema::{
-    AttributeDef, Catalog, ClassDef, Field, RelationDef, SchemaBuilder, TypeExpr,
-};
+use oorq_schema::{AttributeDef, Catalog, ClassDef, Field, RelationDef, SchemaBuilder, TypeExpr};
 
 use crate::expr::Expr;
 use crate::graph::{NameRef, QArc, QueryGraph, SpjNode, ViewRegistry};
@@ -44,10 +42,7 @@ pub fn music_catalog() -> Catalog {
                     TypeExpr::set(TypeExpr::class("Instrument")),
                 )),
         )
-        .class(
-            ClassDef::new("Instrument")
-                .attr(AttributeDef::stored("name", TypeExpr::text())),
-        )
+        .class(ClassDef::new("Instrument").attr(AttributeDef::stored("name", TypeExpr::text())))
         .relation(RelationDef::new(
             "Play",
             TypeExpr::Tuple(vec![
@@ -92,7 +87,11 @@ pub fn fig2_query(catalog: &Catalog) -> QueryGraph {
     q.add_spj(
         NameRef::Derived("Answer".into()),
         SpjNode {
-            inputs: vec![QArc { name: NameRef::Class(composer), var: None, label: tr1 }],
+            inputs: vec![QArc {
+                name: NameRef::Class(composer),
+                var: None,
+                label: tr1,
+            }],
             pred: Expr::var("n")
                 .eq(Expr::text("Bach"))
                 .and(Expr::var("i1").eq(Expr::text("harpsichord")))
@@ -115,7 +114,9 @@ pub fn fig2_query(catalog: &Catalog) -> QueryGraph {
 /// ```
 pub fn influencer_view(catalog: &Catalog) -> ViewRegistry {
     let composer = catalog.class_by_name("Composer").expect("music schema");
-    let influencer = catalog.relation_by_name("Influencer").expect("music schema");
+    let influencer = catalog
+        .relation_by_name("Influencer")
+        .expect("music schema");
     // P1: base case.
     let p1 = SpjNode {
         inputs: vec![QArc::new(NameRef::Class(composer), "x")],
@@ -150,7 +151,9 @@ pub fn influencer_view(catalog: &Catalog) -> ViewRegistry {
 /// (the path `master.works.instruments.name`), the selection `gen >= 6`,
 /// and the projection on the disciple's name.
 pub fn fig3_query(catalog: &Catalog) -> QueryGraph {
-    let influencer = catalog.relation_by_name("Influencer").expect("music schema");
+    let influencer = catalog
+        .relation_by_name("Influencer")
+        .expect("music schema");
     let mut q = QueryGraph::new(NameRef::Derived("Answer".into()));
     q.add_spj(
         NameRef::Derived("Answer".into()),
@@ -169,7 +172,9 @@ pub fn fig3_query(catalog: &Catalog) -> QueryGraph {
 /// masters of Bach"* — a very selective explicit join
 /// `Influencer.master = Composer.master and Composer.name = "Bach"`.
 pub fn sec45_pushjoin_query(catalog: &Catalog) -> QueryGraph {
-    let influencer = catalog.relation_by_name("Influencer").expect("music schema");
+    let influencer = catalog
+        .relation_by_name("Influencer")
+        .expect("music schema");
     let composer = catalog.class_by_name("Composer").expect("music schema");
     let mut q = QueryGraph::new(NameRef::Derived("Answer".into()));
     q.add_spj(

@@ -43,7 +43,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -73,7 +77,11 @@ pub fn parse_query(catalog: &Catalog, src: &str) -> Result<QueryGraph, ParseErro
 /// Parse a program without expanding views.
 pub fn parse_program(catalog: &Catalog, src: &str) -> Result<ParsedProgram, ParseError> {
     let tokens = lex(src)?;
-    let mut p = Parser { catalog, tokens, pos: 0 };
+    let mut p = Parser {
+        catalog,
+        tokens,
+        pos: 0,
+    };
     let mut views = ViewRegistry::new();
     loop {
         if p.peek_kw("view") {
@@ -118,12 +126,16 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
     let mut line = 1usize;
     let mut col = 1usize;
     let mut chars = src.chars().peekable();
-    let err = |line: usize, col: usize, m: String| ParseError { line, col, message: m };
+    let err = |line: usize, col: usize, m: String| ParseError {
+        line,
+        col,
+        message: m,
+    };
     while let Some(&c) = chars.peek() {
         let (tl, tc) = (line, col);
         let bump = |chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
-                        line: &mut usize,
-                        col: &mut usize| {
+                    line: &mut usize,
+                    col: &mut usize| {
             let c = chars.next();
             if c == Some('\n') {
                 *line += 1;
@@ -150,14 +162,22 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                     col = 1;
                 } else if chars.peek().map(|c| c.is_ascii_digit()).unwrap_or(false) {
                     let n = lex_number(&mut chars, &mut col, true, tl, tc)?;
-                    out.push(Spanned { tok: n, line: tl, col: tc });
+                    out.push(Spanned {
+                        tok: n,
+                        line: tl,
+                        col: tc,
+                    });
                 } else {
                     return Err(err(tl, tc, "unexpected `-`".into()));
                 }
             }
             c if c.is_ascii_digit() => {
                 let n = lex_number(&mut chars, &mut col, false, tl, tc)?;
-                out.push(Spanned { tok: n, line: tl, col: tc });
+                out.push(Spanned {
+                    tok: n,
+                    line: tl,
+                    col: tc,
+                });
             }
             c if c.is_alphabetic() || c == '_' => {
                 let mut s = String::new();
@@ -169,7 +189,11 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                         break;
                     }
                 }
-                out.push(Spanned { tok: Tok::Ident(s), line: tl, col: tc });
+                out.push(Spanned {
+                    tok: Tok::Ident(s),
+                    line: tl,
+                    col: tc,
+                });
             }
             '"' => {
                 bump(&mut chars, &mut line, &mut col);
@@ -185,7 +209,11 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                 if !closed {
                     return Err(err(tl, tc, "unterminated string".into()));
                 }
-                out.push(Spanned { tok: Tok::Str(s), line: tl, col: tc });
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    line: tl,
+                    col: tc,
+                });
             }
             '<' => {
                 bump(&mut chars, &mut line, &mut col);
@@ -200,7 +228,11 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                     }
                     _ => "<",
                 };
-                out.push(Spanned { tok: Tok::Sym(sym), line: tl, col: tc });
+                out.push(Spanned {
+                    tok: Tok::Sym(sym),
+                    line: tl,
+                    col: tc,
+                });
             }
             '>' => {
                 bump(&mut chars, &mut line, &mut col);
@@ -210,7 +242,11 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                 } else {
                     ">"
                 };
-                out.push(Spanned { tok: Tok::Sym(sym), line: tl, col: tc });
+                out.push(Spanned {
+                    tok: Tok::Sym(sym),
+                    line: tl,
+                    col: tc,
+                });
             }
             '=' | '[' | ']' | '(' | ')' | ',' | ':' | '.' | '+' | ';' => {
                 bump(&mut chars, &mut line, &mut col);
@@ -227,12 +263,20 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                     ';' => ";",
                     _ => unreachable!(),
                 };
-                out.push(Spanned { tok: Tok::Sym(sym), line: tl, col: tc });
+                out.push(Spanned {
+                    tok: Tok::Sym(sym),
+                    line: tl,
+                    col: tc,
+                });
             }
             other => return Err(err(tl, tc, format!("unexpected character `{other}`"))),
         }
     }
-    out.push(Spanned { tok: Tok::Eof, line, col });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
     Ok(out)
 }
 
@@ -271,13 +315,17 @@ fn lex_number(
         }
     }
     if is_float {
-        s.parse::<f64>()
-            .map(Tok::Float)
-            .map_err(|_| ParseError { line, col: start_col, message: "bad float".into() })
+        s.parse::<f64>().map(Tok::Float).map_err(|_| ParseError {
+            line,
+            col: start_col,
+            message: "bad float".into(),
+        })
     } else {
-        s.parse::<i64>()
-            .map(Tok::Int)
-            .map_err(|_| ParseError { line, col: start_col, message: "bad integer".into() })
+        s.parse::<i64>().map(Tok::Int).map_err(|_| ParseError {
+            line,
+            col: start_col,
+            message: "bad integer".into(),
+        })
     }
 }
 
@@ -298,7 +346,11 @@ impl Parser<'_> {
 
     fn error(&self, m: impl Into<String>) -> ParseError {
         let c = self.cur();
-        ParseError { line: c.line, col: c.col, message: m.into() }
+        ParseError {
+            line: c.line,
+            col: c.col,
+            message: m.into(),
+        }
     }
 
     fn peek_kw(&self, kw: &str) -> bool {
@@ -372,9 +424,7 @@ impl Parser<'_> {
             .catalog
             .relation_by_name(&name)
             .filter(|r| self.catalog.relation(*r).kind == ViewKind::View)
-            .ok_or_else(|| {
-                self.error(format!("`{name}` is not a declared view of the schema"))
-            })?;
+            .ok_or_else(|| self.error(format!("`{name}` is not a declared view of the schema")))?;
         self.expect_kw("as")?;
         let defs = self.selects()?;
         self.expect_sym(";")?;
@@ -423,8 +473,16 @@ impl Parser<'_> {
                 break;
             }
         }
-        let pred = if self.eat_kw("where") { self.expr()? } else { Expr::True };
-        Ok(SpjNode { inputs, pred, out_proj })
+        let pred = if self.eat_kw("where") {
+            self.expr()?
+        } else {
+            Expr::True
+        };
+        Ok(SpjNode {
+            inputs,
+            pred,
+            out_proj,
+        })
     }
 
     /// Disjunction.
@@ -473,7 +531,11 @@ impl Parser<'_> {
             None => Ok(lhs),
             Some(op) => {
                 let rhs = self.sum()?;
-                Ok(Expr::Cmp { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+                Ok(Expr::Cmp {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                })
             }
         }
     }
@@ -566,8 +628,13 @@ mod tests {
         assert_eq!(q.nodes.len(), 3, "P3 + expanded P1, P2");
         // Identical to the hand-built Figure 3 graph.
         let mut reference = crate::paper::fig3_query(&cat);
-        crate::paper::influencer_view(&cat).expand(&mut reference, &cat).unwrap();
-        assert_eq!(q.display(&cat).to_string(), reference.display(&cat).to_string());
+        crate::paper::influencer_view(&cat)
+            .expand(&mut reference, &cat)
+            .unwrap();
+        assert_eq!(
+            q.display(&cat).to_string(),
+            reference.display(&cat).to_string()
+        );
     }
 
     #[test]
@@ -654,8 +721,7 @@ mod tests {
     #[test]
     fn missing_view_definition_is_reported_at_expansion() {
         let cat = music_catalog();
-        let err =
-            parse_query(&cat, "select [g: i.gen] from i in Influencer").unwrap_err();
+        let err = parse_query(&cat, "select [g: i.gen] from i in Influencer").unwrap_err();
         assert!(err.message.contains("Influencer"), "{err}");
     }
 
@@ -672,7 +738,12 @@ mod tests {
         );
         let q = parse_query(&cat, &src).unwrap();
         let mut reference = crate::paper::sec45_pushjoin_query(&cat);
-        crate::paper::influencer_view(&cat).expand(&mut reference, &cat).unwrap();
-        assert_eq!(q.display(&cat).to_string(), reference.display(&cat).to_string());
+        crate::paper::influencer_view(&cat)
+            .expand(&mut reference, &cat)
+            .unwrap();
+        assert_eq!(
+            q.display(&cat).to_string(),
+            reference.display(&cat).to_string()
+        );
     }
 }

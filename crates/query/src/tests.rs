@@ -64,7 +64,11 @@ fn normalization_grafts_paths_and_rewrites_predicates() {
     // After normalization no path expressions remain in predicates.
     for (_, term) in &q.nodes {
         for spj in term.spjs() {
-            assert!(spj.pred.paths().is_empty(), "pred still has paths: {}", spj.pred);
+            assert!(
+                spj.pred.paths().is_empty(),
+                "pred still has paths: {}",
+                spj.pred
+            );
             for (_, e) in &spj.out_proj {
                 assert!(e.paths().is_empty() || matches!(e, Expr::Var(_)));
             }
@@ -148,7 +152,10 @@ fn unbound_variable_rejected() {
             out_proj: vec![("a".into(), Expr::var("x"))],
         },
     );
-    assert_eq!(q.validate(&cat).unwrap_err(), QueryError::UnboundVariable("zz".into()));
+    assert_eq!(
+        q.validate(&cat).unwrap_err(),
+        QueryError::UnboundVariable("zz".into())
+    );
 }
 
 #[test]
@@ -167,7 +174,10 @@ fn duplicate_variable_rejected() {
             out_proj: vec![("a".into(), Expr::var("x"))],
         },
     );
-    assert_eq!(q.validate(&cat).unwrap_err(), QueryError::DuplicateVariable("x".into()));
+    assert_eq!(
+        q.validate(&cat).unwrap_err(),
+        QueryError::DuplicateVariable("x".into())
+    );
 }
 
 #[test]
@@ -182,14 +192,16 @@ fn bad_label_step_rejected() {
                 name: NameRef::Class(composer),
                 var: Some("x".into()),
                 // `name` is text: an element step cannot apply.
-                label: TreeLabel::leaf()
-                    .attr_tree("name", TreeLabel::leaf().elem_var("bad")),
+                label: TreeLabel::leaf().attr_tree("name", TreeLabel::leaf().elem_var("bad")),
             }],
             pred: Expr::True,
             out_proj: vec![("a".into(), Expr::var("x"))],
         },
     );
-    assert!(matches!(q.validate(&cat).unwrap_err(), QueryError::BadLabelStep { .. }));
+    assert!(matches!(
+        q.validate(&cat).unwrap_err(),
+        QueryError::BadLabelStep { .. }
+    ));
 }
 
 #[test]
@@ -215,7 +227,10 @@ fn unknown_attribute_in_path_rejected() {
 fn answer_must_be_produced() {
     let cat = music_catalog();
     let q = QueryGraph::new(NameRef::Derived("Answer".into()));
-    assert!(matches!(q.validate(&cat).unwrap_err(), QueryError::NoAnswer(_)));
+    assert!(matches!(
+        q.validate(&cat).unwrap_err(),
+        QueryError::NoAnswer(_)
+    ));
 }
 
 #[test]

@@ -210,14 +210,19 @@ impl SchemaBuilder {
         // 1. Register names, checking global uniqueness.
         let mut class_names = HashMap::new();
         for (i, c) in self.classes.iter().enumerate() {
-            if class_names.insert(c.name.clone(), ClassId(i as u32)).is_some() {
+            if class_names
+                .insert(c.name.clone(), ClassId(i as u32))
+                .is_some()
+            {
                 return Err(SchemaError::DuplicateName(c.name.clone()));
             }
         }
         let mut relation_names = HashMap::new();
         for (i, (r, _)) in self.relations.iter().enumerate() {
             if class_names.contains_key(&r.name)
-                || relation_names.insert(r.name.clone(), RelationId(i as u32)).is_some()
+                || relation_names
+                    .insert(r.name.clone(), RelationId(i as u32))
+                    .is_some()
             {
                 return Err(SchemaError::DuplicateName(r.name.clone()));
             }
@@ -291,7 +296,11 @@ impl SchemaBuilder {
                     });
                 }
             }
-            classes.push(ClassCat { name: c.name.clone(), isa: isa[i], attrs });
+            classes.push(ClassCat {
+                name: c.name.clone(),
+                isa: isa[i],
+                attrs,
+            });
         }
 
         // 4. Relations.
@@ -309,10 +318,19 @@ impl SchemaBuilder {
                     .collect::<Result<Vec<_>, SchemaError>>()?,
                 _ => return Err(SchemaError::RelationNotTuple(r.name.clone())),
             };
-            relations.push(RelationCat { name: r.name.clone(), fields, kind: *kind });
+            relations.push(RelationCat {
+                name: r.name.clone(),
+                fields,
+                kind: *kind,
+            });
         }
 
-        let mut catalog = Catalog { classes, relations, class_names, relation_names };
+        let mut catalog = Catalog {
+            classes,
+            relations,
+            class_names,
+            relation_names,
+        };
 
         // 5. Wire up inverse pairs (declared on either side).
         let mut links: Vec<((ClassId, AttrId), (ClassId, AttrId))> = Vec::new();
@@ -321,19 +339,22 @@ impl SchemaBuilder {
             for a in &cdef.attributes {
                 if let Some((tc, ta)) = &a.inverse_of {
                     let (aid, _) = catalog.attr(cid, &a.name).expect("attr just built");
-                    let tcid = catalog.class_by_name(tc).ok_or_else(|| {
-                        SchemaError::BadInverse {
-                            class: cdef.name.clone(),
-                            attr: a.name.clone(),
-                            detail: format!("unknown class `{tc}`"),
-                        }
-                    })?;
+                    let tcid =
+                        catalog
+                            .class_by_name(tc)
+                            .ok_or_else(|| SchemaError::BadInverse {
+                                class: cdef.name.clone(),
+                                attr: a.name.clone(),
+                                detail: format!("unknown class `{tc}`"),
+                            })?;
                     let (taid, tattr) =
-                        catalog.attr(tcid, ta).ok_or_else(|| SchemaError::BadInverse {
-                            class: cdef.name.clone(),
-                            attr: a.name.clone(),
-                            detail: format!("unknown attribute `{tc}.{ta}`"),
-                        })?;
+                        catalog
+                            .attr(tcid, ta)
+                            .ok_or_else(|| SchemaError::BadInverse {
+                                class: cdef.name.clone(),
+                                attr: a.name.clone(),
+                                detail: format!("unknown attribute `{tc}.{ta}`"),
+                            })?;
                     // Type compatibility: each side must reference the other's
                     // class (modulo subclassing).
                     let this_attr = catalog.attribute(cid, aid);
@@ -374,9 +395,12 @@ fn resolve_type(
 ) -> Result<ResolvedType, SchemaError> {
     Ok(match ty {
         TypeExpr::Atomic(a) => ResolvedType::Atomic(*a),
-        TypeExpr::Class(name) => ResolvedType::Object(*class_names.get(name).ok_or_else(
-            || SchemaError::UnknownClass { context: ctx.to_string(), class: name.clone() },
-        )?),
+        TypeExpr::Class(name) => ResolvedType::Object(*class_names.get(name).ok_or_else(|| {
+            SchemaError::UnknownClass {
+                context: ctx.to_string(),
+                class: name.clone(),
+            }
+        })?),
         TypeExpr::Tuple(fs) => ResolvedType::Tuple(
             fs.iter()
                 .map(|f| Ok((f.name.clone(), resolve_type(ctx, &f.ty, class_names)?)))

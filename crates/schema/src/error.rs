@@ -16,7 +16,11 @@ pub enum SchemaError {
     /// Two attributes of the same (flattened) class share a name.
     DuplicateAttribute { class: String, attr: String },
     /// An inverse declaration points at a missing class or attribute.
-    BadInverse { class: String, attr: String, detail: String },
+    BadInverse {
+        class: String,
+        attr: String,
+        detail: String,
+    },
     /// The two sides of an inverse pair have incompatible types.
     InverseTypeMismatch { class: String, attr: String },
     /// A relation's type is not a tuple.
@@ -41,11 +45,18 @@ impl fmt::Display for SchemaError {
             SchemaError::DuplicateAttribute { class, attr } => {
                 write!(f, "class `{class}`: duplicate attribute `{attr}`")
             }
-            SchemaError::BadInverse { class, attr, detail } => {
+            SchemaError::BadInverse {
+                class,
+                attr,
+                detail,
+            } => {
                 write!(f, "inverse on `{class}.{attr}`: {detail}")
             }
             SchemaError::InverseTypeMismatch { class, attr } => {
-                write!(f, "inverse on `{class}.{attr}`: type mismatch with its partner")
+                write!(
+                    f,
+                    "inverse on `{class}.{attr}`: type mismatch with its partner"
+                )
             }
             SchemaError::RelationNotTuple(r) => {
                 write!(f, "relation `{r}` must have a tuple type")

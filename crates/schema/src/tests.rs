@@ -34,10 +34,7 @@ pub(crate) fn music_catalog() -> Catalog {
                     TypeExpr::set(TypeExpr::class("Instrument")),
                 )),
         )
-        .class(
-            ClassDef::new("Instrument")
-                .attr(AttributeDef::stored("name", TypeExpr::text())),
-        )
+        .class(ClassDef::new("Instrument").attr(AttributeDef::stored("name", TypeExpr::text())))
         .relation(RelationDef::new(
             "Play",
             TypeExpr::Tuple(vec![
@@ -68,8 +65,12 @@ fn figure1_schema_builds() {
 fn inheritance_flattens_attributes() {
     let cat = music_catalog();
     let composer = cat.class_by_name("Composer").unwrap();
-    let names: Vec<_> =
-        cat.class(composer).attrs.iter().map(|a| a.name.as_str()).collect();
+    let names: Vec<_> = cat
+        .class(composer)
+        .attrs
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
     // Inherited (Person) attributes first, then own.
     assert_eq!(names, ["name", "birth_year", "age", "master", "works"]);
     let person = cat.class_by_name("Person").unwrap();
@@ -153,7 +154,10 @@ fn inheritance_cycle_rejected() {
 
 #[test]
 fn unknown_superclass_rejected() {
-    let err = SchemaBuilder::new().class(ClassDef::new("A").isa("Nope")).build().unwrap_err();
+    let err = SchemaBuilder::new()
+        .class(ClassDef::new("A").isa("Nope"))
+        .build()
+        .unwrap_err();
     assert!(matches!(err, SchemaError::UnknownSuperclass { .. }));
 }
 
@@ -171,7 +175,9 @@ fn shadowing_inherited_attribute_rejected() {
     let err = SchemaBuilder::new()
         .class(ClassDef::new("A").attr(AttributeDef::stored("x", TypeExpr::int())))
         .class(
-            ClassDef::new("B").isa("A").attr(AttributeDef::stored("x", TypeExpr::int())),
+            ClassDef::new("B")
+                .isa("A")
+                .attr(AttributeDef::stored("x", TypeExpr::int())),
         )
         .build()
         .unwrap_err();
@@ -190,9 +196,10 @@ fn relation_must_be_tuple() {
 #[test]
 fn bad_inverse_rejected() {
     let err = SchemaBuilder::new()
-        .class(ClassDef::new("A").attr(
-            AttributeDef::stored("x", TypeExpr::class("A")).inverse_of("A", "missing"),
-        ))
+        .class(
+            ClassDef::new("A")
+                .attr(AttributeDef::stored("x", TypeExpr::class("A")).inverse_of("A", "missing")),
+        )
         .build()
         .unwrap_err();
     assert!(matches!(err, SchemaError::BadInverse { .. }));
@@ -237,7 +244,10 @@ fn subclasses_of_includes_self_and_descendants() {
 
 #[test]
 fn error_display_is_informative() {
-    let e = SchemaError::UnknownSuperclass { class: "B".into(), superclass: "A".into() };
+    let e = SchemaError::UnknownSuperclass {
+        class: "B".into(),
+        superclass: "A".into(),
+    };
     assert!(e.to_string().contains("unknown superclass"));
     let e = SchemaError::NotFound("X".into());
     assert!(e.to_string().contains("X"));

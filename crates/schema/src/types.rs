@@ -40,7 +40,10 @@ pub struct Field {
 impl Field {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, ty: TypeExpr) -> Self {
-        Field { name: name.into(), ty }
+        Field {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -187,7 +190,12 @@ pub struct AttributeDef {
 impl AttributeDef {
     /// A stored attribute.
     pub fn stored(name: impl Into<String>, ty: TypeExpr) -> Self {
-        AttributeDef { name: name.into(), ty, kind: AttributeDefKind::Stored, inverse_of: None }
+        AttributeDef {
+            name: name.into(),
+            ty,
+            kind: AttributeDefKind::Stored,
+            inverse_of: None,
+        }
     }
 
     /// A computed attribute (method) with an evaluation-cost hint.
@@ -221,7 +229,11 @@ pub struct ClassDef {
 impl ClassDef {
     /// A new class with no superclass and no attributes.
     pub fn new(name: impl Into<String>) -> Self {
-        ClassDef { name: name.into(), isa: None, attributes: Vec::new() }
+        ClassDef {
+            name: name.into(),
+            isa: None,
+            attributes: Vec::new(),
+        }
     }
 
     /// Set the superclass.
@@ -249,6 +261,9 @@ pub struct RelationDef {
 impl RelationDef {
     /// A new relation with the given tuple type.
     pub fn new(name: impl Into<String>, ty: TypeExpr) -> Self {
-        RelationDef { name: name.into(), ty }
+        RelationDef {
+            name: name.into(),
+            ty,
+        }
     }
 }

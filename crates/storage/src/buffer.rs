@@ -130,7 +130,10 @@ mod tests {
     use crate::physical::EntityId;
 
     fn pid(e: u32, p: u32) -> PageId {
-        PageId { entity: EntityId(e), page: p }
+        PageId {
+            entity: EntityId(e),
+            page: p,
+        }
     }
 
     #[test]

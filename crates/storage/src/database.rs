@@ -25,7 +25,10 @@ pub struct StorageConfig {
 
 impl Default for StorageConfig {
     fn default() -> Self {
-        StorageConfig { buffer_frames: 64, width: WidthModel::default() }
+        StorageConfig {
+            buffer_frames: 64,
+            width: WidthModel::default(),
+        }
     }
 }
 
@@ -113,8 +116,7 @@ impl Database {
             Some(subset) => subset.iter().map(|a| a.0 as usize).collect(),
             None => (0..all.len()).collect(),
         };
-        let types: Vec<ResolvedType> =
-            selected.iter().map(|&i| all[i].ty.clone()).collect();
+        let types: Vec<ResolvedType> = selected.iter().map(|&i| all[i].ty.clone()).collect();
         let stored_types: Vec<ResolvedType> = selected
             .iter()
             .filter(|&&i| all[i].kind == AttributeKind::Stored)
@@ -204,7 +206,9 @@ impl Database {
         let entity = self.entity_holding(oid, attr)?;
         let mut segs = self.segments.borrow_mut();
         let seg = &mut segs[entity.0 as usize];
-        let pos = seg.position_of(oid.index).ok_or(StorageError::DanglingOid(oid))?;
+        let pos = seg
+            .position_of(oid.index)
+            .ok_or(StorageError::DanglingOid(oid))?;
         // Row mutation in place.
         let slot = self.attr_slot(entity, oid.class, attr);
         let row_values = {
@@ -279,7 +283,9 @@ impl Database {
             let id = self.physical.add_entity(
                 format!("{cname}_v{i}"),
                 EntitySource::Class(class),
-                Some(FragmentSpec::Vertical { attrs: group.clone() }),
+                Some(FragmentSpec::Vertical {
+                    attrs: group.clone(),
+                }),
             );
             let seg = Self::class_segment(&self.catalog, class, Some(group), &self.width);
             self.segments.borrow_mut().push(seg);
@@ -291,9 +297,14 @@ impl Database {
             let rows: Vec<Row> = segs[home.0 as usize].iter().cloned().collect();
             for row in rows {
                 for (fi, group) in groups.iter().enumerate() {
-                    let vals: Vec<Value> =
-                        group.iter().map(|a| row.values[a.0 as usize].clone()).collect();
-                    segs[fragments[fi].0 as usize].append(Row { key: row.key, values: vals });
+                    let vals: Vec<Value> = group
+                        .iter()
+                        .map(|a| row.values[a.0 as usize].clone())
+                        .collect();
+                    segs[fragments[fi].0 as usize].append(Row {
+                        key: row.key,
+                        values: vals,
+                    });
                 }
             }
             segs[home.0 as usize].clear();
@@ -303,7 +314,11 @@ impl Database {
         self.class_layout.insert(
             class,
             ClassLayout::Vertical(
-                fragments.iter().copied().zip(groups.iter().cloned()).collect(),
+                fragments
+                    .iter()
+                    .copied()
+                    .zip(groups.iter().cloned())
+                    .collect(),
             ),
         );
         Ok(fragments)
@@ -358,7 +373,8 @@ impl Database {
         }
         self.buffer.borrow_mut().invalidate_entity(home);
         self.physical.deactivate_entity(home);
-        self.class_layout.insert(class, ClassLayout::Horizontal(fragments.clone()));
+        self.class_layout
+            .insert(class, ClassLayout::Horizontal(fragments.clone()));
         Ok(fragments)
     }
 
@@ -367,10 +383,18 @@ impl Database {
     // ------------------------------------------------------------------
 
     /// Create a temporary entity (intermediate result file).
-    pub fn create_temp(&mut self, name: impl Into<String>, field_types: Vec<ResolvedType>) -> EntityId {
-        let id = self.physical.add_entity(name, EntitySource::Temporary, None);
+    pub fn create_temp(
+        &mut self,
+        name: impl Into<String>,
+        field_types: Vec<ResolvedType>,
+    ) -> EntityId {
+        let id = self
+            .physical
+            .add_entity(name, EntitySource::Temporary, None);
         let rpp = self.width.records_per_page(&field_types);
-        self.segments.borrow_mut().push(Segment::with_rpp(field_types, rpp));
+        self.segments
+            .borrow_mut()
+            .push(Segment::with_rpp(field_types, rpp));
         id
     }
 
@@ -417,7 +441,9 @@ impl Database {
 
     /// Field types of an entity's records.
     pub fn entity_field_types(&self, entity: EntityId) -> Vec<ResolvedType> {
-        self.segments.borrow()[entity.0 as usize].field_types().to_vec()
+        self.segments.borrow()[entity.0 as usize]
+            .field_types()
+            .to_vec()
     }
 
     /// Fetch one page of an entity and return its records (cloned).
@@ -445,12 +471,19 @@ impl Database {
 
     /// Scan without I/O accounting (bulk index builds, statistics).
     pub fn scan_raw(&self, entity: EntityId) -> Vec<Row> {
-        self.segments.borrow()[entity.0 as usize].iter().cloned().collect()
+        self.segments.borrow()[entity.0 as usize]
+            .iter()
+            .cloned()
+            .collect()
     }
 
     /// Which entity holds the given attribute of the given object.
     fn entity_holding(&self, oid: Oid, attr: AttrId) -> Result<EntityId, StorageError> {
-        match self.class_layout.get(&oid.class).ok_or(StorageError::NoHome(oid.class))? {
+        match self
+            .class_layout
+            .get(&oid.class)
+            .ok_or(StorageError::NoHome(oid.class))?
+        {
             ClassLayout::Single(e) => Ok(*e),
             ClassLayout::Vertical(frags) => frags
                 .iter()
@@ -485,7 +518,9 @@ impl Database {
         let entity = self.entity_holding(oid, attr)?;
         let segs = self.segments.borrow();
         let seg = &segs[entity.0 as usize];
-        let pos = seg.position_of(oid.index).ok_or(StorageError::DanglingOid(oid))?;
+        let pos = seg
+            .position_of(oid.index)
+            .ok_or(StorageError::DanglingOid(oid))?;
         let slot = self.attr_slot(entity, oid.class, attr);
         seg.row_at(pos)
             .and_then(|r| r.values.get(slot))
@@ -499,7 +534,9 @@ impl Database {
         let entity = self.entity_holding(oid, attr)?;
         let segs = self.segments.borrow();
         let seg = &segs[entity.0 as usize];
-        let pos = seg.position_of(oid.index).ok_or(StorageError::DanglingOid(oid))?;
+        let pos = seg
+            .position_of(oid.index)
+            .ok_or(StorageError::DanglingOid(oid))?;
         let page = seg.page_of_position(pos);
         self.buffer.borrow_mut().fetch(PageId { entity, page });
         let slot = self.attr_slot(entity, oid.class, attr);
@@ -512,8 +549,11 @@ impl Database {
     /// Read a whole object (assembling vertical fragments), accounting a
     /// page fetch per fragment touched.
     pub fn read_object(&self, oid: Oid) -> Result<Vec<Value>, StorageError> {
-        let layout =
-            self.class_layout.get(&oid.class).ok_or(StorageError::NoHome(oid.class))?.clone();
+        let layout = self
+            .class_layout
+            .get(&oid.class)
+            .ok_or(StorageError::NoHome(oid.class))?
+            .clone();
         match layout {
             ClassLayout::Single(e) => self.read_object_from(oid, e),
             ClassLayout::Horizontal(frags) => {
@@ -533,8 +573,9 @@ impl Database {
                 for (entity, attrs) in frags {
                     let segs = self.segments.borrow();
                     let seg = &segs[entity.0 as usize];
-                    let pos =
-                        seg.position_of(oid.index).ok_or(StorageError::DanglingOid(oid))?;
+                    let pos = seg
+                        .position_of(oid.index)
+                        .ok_or(StorageError::DanglingOid(oid))?;
                     let page = seg.page_of_position(pos);
                     self.buffer.borrow_mut().fetch(PageId { entity, page });
                     let row = seg.row_at(pos).ok_or(StorageError::DanglingOid(oid))?;
@@ -550,10 +591,16 @@ impl Database {
     fn read_object_from(&self, oid: Oid, entity: EntityId) -> Result<Vec<Value>, StorageError> {
         let segs = self.segments.borrow();
         let seg = &segs[entity.0 as usize];
-        let pos = seg.position_of(oid.index).ok_or(StorageError::DanglingOid(oid))?;
+        let pos = seg
+            .position_of(oid.index)
+            .ok_or(StorageError::DanglingOid(oid))?;
         let page = seg.page_of_position(pos);
         self.buffer.borrow_mut().fetch(PageId { entity, page });
-        Ok(seg.row_at(pos).ok_or(StorageError::DanglingOid(oid))?.values.clone())
+        Ok(seg
+            .row_at(pos)
+            .ok_or(StorageError::DanglingOid(oid))?
+            .values
+            .clone())
     }
 
     // ------------------------------------------------------------------

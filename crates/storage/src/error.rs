@@ -35,7 +35,11 @@ pub enum StorageError {
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StorageError::ArityMismatch { context, expected, got } => {
+            StorageError::ArityMismatch {
+                context,
+                expected,
+                got,
+            } => {
                 write!(f, "{context}: expected {expected} values, got {got}")
             }
             StorageError::DanglingOid(o) => write!(f, "dangling oid {o}"),

@@ -29,7 +29,11 @@ pub struct WidthModel {
 
 impl Default for WidthModel {
     fn default() -> Self {
-        WidthModel { page_size: 4096, text_width: 24, avg_members: 8 }
+        WidthModel {
+            page_size: 4096,
+            text_width: 24,
+            avg_members: 8,
+        }
     }
 }
 
@@ -93,7 +97,10 @@ mod tests {
 
     #[test]
     fn at_least_one_record_per_page() {
-        let m = WidthModel { page_size: 4, ..WidthModel::default() };
+        let m = WidthModel {
+            page_size: 4,
+            ..WidthModel::default()
+        };
         let text = ResolvedType::Atomic(AtomicType::Text);
         assert_eq!(m.records_per_page(&[text]), 1);
     }

@@ -166,9 +166,7 @@ impl PhysicalSchema {
         let id = EntityId(self.entities.len() as u32);
         match &source {
             EntitySource::Class(c) => self.class_entities.entry(*c).or_default().push(id),
-            EntitySource::Relation(r) => {
-                self.relation_entities.entry(*r).or_default().push(id)
-            }
+            EntitySource::Relation(r) => self.relation_entities.entry(*r).or_default().push(id),
             EntitySource::Temporary => {}
         }
         self.entities.push(EntityDesc {
@@ -237,12 +235,18 @@ impl PhysicalSchema {
 
     /// The entities implementing a class extension.
     pub fn entities_of_class(&self, class: ClassId) -> &[EntityId] {
-        self.class_entities.get(&class).map(Vec::as_slice).unwrap_or(&[])
+        self.class_entities
+            .get(&class)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The entities implementing a relation extension.
     pub fn entities_of_relation(&self, rel: RelationId) -> &[EntityId] {
-        self.relation_entities.get(&rel).map(Vec::as_slice).unwrap_or(&[])
+        self.relation_entities
+            .get(&rel)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Find a selection index on `class.attr`.
@@ -274,7 +278,10 @@ mod tests {
         let e1 = ps.add_entity(
             "Composer_h1",
             EntitySource::Class(c),
-            Some(FragmentSpec::Horizontal { predicate: "name < 'M'".into(), fraction: 0.5 }),
+            Some(FragmentSpec::Horizontal {
+                predicate: "name < 'M'".into(),
+                fraction: 0.5,
+            }),
         );
         assert_eq!(ps.entities_of_class(c), &[e0, e1]);
         assert_eq!(ps.entity(e0).name, "Composer");
@@ -295,9 +302,17 @@ mod tests {
     #[test]
     fn index_lookup_by_shape() {
         let mut ps = PhysicalSchema::new();
-        let stats = IndexStats { nblevels: 2, nbleaves: 10 };
-        let sel =
-            ps.add_index(IndexKindDesc::Selection { class: ClassId(0), attr: AttrId(0) }, stats);
+        let stats = IndexStats {
+            nblevels: 2,
+            nbleaves: 10,
+        };
+        let sel = ps.add_index(
+            IndexKindDesc::Selection {
+                class: ClassId(0),
+                attr: AttrId(0),
+            },
+            stats,
+        );
         let path = vec![(ClassId(0), AttrId(4)), (ClassId(1), AttrId(2))];
         let pix = ps.add_index(IndexKindDesc::Path { path: path.clone() }, stats);
         assert_eq!(ps.selection_index(ClassId(0), AttrId(0)).unwrap().id, sel);

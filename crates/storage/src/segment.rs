@@ -137,9 +137,13 @@ impl Segment {
     /// driven by a small internal LCG, modelling an *unclustered* /
     /// scattered placement (insertion order models a clustered one).
     pub fn shuffle(&mut self, seed: u64) {
-        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut state = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         let n = self.rows.len();
@@ -163,7 +167,10 @@ mod tests {
 
     fn int_segment(rpp_target: usize) -> Segment {
         // record width = 8 (key) + 8 (int) = 16; choose page size for target.
-        let width = WidthModel { page_size: 16 * rpp_target, ..WidthModel::default() };
+        let width = WidthModel {
+            page_size: 16 * rpp_target,
+            ..WidthModel::default()
+        };
         Segment::new(vec![ResolvedType::Atomic(AtomicType::Int)], &width)
     }
 
@@ -172,7 +179,10 @@ mod tests {
         let mut s = int_segment(4);
         assert_eq!(s.rows_per_page(), 4);
         for k in 0..10u32 {
-            s.append(Row { key: k, values: vec![Value::Int(k as i64)] });
+            s.append(Row {
+                key: k,
+                values: vec![Value::Int(k as i64)],
+            });
         }
         assert_eq!(s.len(), 10);
         assert_eq!(s.num_pages(), 3);
@@ -187,7 +197,10 @@ mod tests {
     fn shuffle_preserves_contents_and_remaps_keys() {
         let mut s = int_segment(4);
         for k in 0..32u32 {
-            s.append(Row { key: k, values: vec![Value::Int(k as i64)] });
+            s.append(Row {
+                key: k,
+                values: vec![Value::Int(k as i64)],
+            });
         }
         s.shuffle(42);
         // Every key still resolves to its record.
@@ -200,7 +213,10 @@ mod tests {
         // Shuffle is deterministic in the seed.
         let mut s2 = int_segment(4);
         for k in 0..32u32 {
-            s2.append(Row { key: k, values: vec![Value::Int(k as i64)] });
+            s2.append(Row {
+                key: k,
+                values: vec![Value::Int(k as i64)],
+            });
         }
         s2.shuffle(42);
         assert_eq!(order, s2.iter().map(|r| r.key).collect::<Vec<_>>());
@@ -209,7 +225,10 @@ mod tests {
     #[test]
     fn clear_empties_segment() {
         let mut s = int_segment(4);
-        s.append(Row { key: 0, values: vec![Value::Int(1)] });
+        s.append(Row {
+            key: 0,
+            values: vec![Value::Int(1)],
+        });
         s.clear();
         assert!(s.is_empty());
         assert_eq!(s.position_of(0), None);

@@ -25,7 +25,11 @@ pub struct AttrStats {
 
 impl Default for AttrStats {
     fn default() -> Self {
-        AttrStats { distinct: 0, avg_fanout: 0.0, null_fraction: 1.0 }
+        AttrStats {
+            distinct: 0,
+            avg_fanout: 0.0,
+            null_fraction: 1.0,
+        }
     }
 }
 
@@ -81,7 +85,10 @@ impl DbStats {
                 }
             }
         }
-        DbStats { per_entity, chain_depth }
+        DbStats {
+            per_entity,
+            chain_depth,
+        }
     }
 
     fn entity_stats(db: &Database, entity: EntityId) -> EntityStats {
@@ -109,7 +116,11 @@ impl DbStats {
             }
             attrs.push(AttrStats {
                 distinct: distinct.len() as u64,
-                avg_fanout: if non_null == 0 { 0.0 } else { members as f64 / non_null as f64 },
+                avg_fanout: if non_null == 0 {
+                    0.0
+                } else {
+                    members as f64 / non_null as f64
+                },
                 null_fraction: if cardinality == 0 {
                     1.0
                 } else {
@@ -117,7 +128,11 @@ impl DbStats {
                 },
             });
         }
-        EntityStats { cardinality, pages, attrs }
+        EntityStats {
+            cardinality,
+            pages,
+            attrs,
+        }
     }
 
     /// Follow `attr` chains from every object of `class` until `Null`
@@ -159,7 +174,10 @@ impl DbStats {
             max = max.max(depth);
             total += depth as u64;
         }
-        Some(ChainDepth { max, avg: total as f64 / succ.len().max(1) as f64 })
+        Some(ChainDepth {
+            max,
+            avg: total as f64 / succ.len().max(1) as f64,
+        })
     }
 
     /// Statistics of one entity.
@@ -186,12 +204,15 @@ impl DbStats {
 
     /// The largest average chain depth of any self-referencing attribute.
     pub fn avg_chain_depth(&self) -> Option<f64> {
-        self.chain_depth.values().map(|c| c.avg).fold(None, |acc, v| {
-            Some(match acc {
-                None => v,
-                Some(a) if v > a => v,
-                Some(a) => a,
+        self.chain_depth
+            .values()
+            .map(|c| c.avg)
+            .fold(None, |acc, v| {
+                Some(match acc {
+                    None => v,
+                    Some(a) if v > a => v,
+                    Some(a) => a,
+                })
             })
-        })
     }
 }

@@ -44,7 +44,10 @@ fn small_db() -> Database {
     let cat = tiny_catalog();
     let cfg = StorageConfig {
         buffer_frames: 4,
-        width: WidthModel { page_size: 256, ..WidthModel::default() },
+        width: WidthModel {
+            page_size: 256,
+            ..WidthModel::default()
+        },
     };
     Database::new(cat, cfg)
 }
@@ -60,7 +63,11 @@ fn insert_and_read_objects() {
     let owner = db
         .insert_object(
             owner_cls,
-            vec![Value::text("ada"), Value::Null, Value::Set(vec![item.into()])],
+            vec![
+                Value::text("ada"),
+                Value::Null,
+                Value::Set(vec![item.into()]),
+            ],
         )
         .unwrap();
     assert_eq!(owner.index, 0);
@@ -79,7 +86,14 @@ fn arity_mismatch_rejected() {
     let mut db = small_db();
     let item_cls = db.catalog().class_by_name("Item").unwrap();
     let err = db.insert_object(item_cls, vec![Value::Int(1)]).unwrap_err();
-    assert!(matches!(err, StorageError::ArityMismatch { expected: 2, got: 1, .. }));
+    assert!(matches!(
+        err,
+        StorageError::ArityMismatch {
+            expected: 2,
+            got: 1,
+            ..
+        }
+    ));
 }
 
 #[test]
@@ -95,10 +109,16 @@ fn set_attr_wires_references() {
     let mut db = small_db();
     let owner_cls = db.catalog().class_by_name("Owner").unwrap();
     let a = db
-        .insert_object(owner_cls, vec![Value::text("a"), Value::Null, Value::Set(vec![])])
+        .insert_object(
+            owner_cls,
+            vec![Value::text("a"), Value::Null, Value::Set(vec![])],
+        )
         .unwrap();
     let b = db
-        .insert_object(owner_cls, vec![Value::text("b"), Value::Null, Value::Set(vec![])])
+        .insert_object(
+            owner_cls,
+            vec![Value::text("b"), Value::Null, Value::Set(vec![])],
+        )
         .unwrap();
     db.set_attr(b, AttrId(1), Value::Oid(a)).unwrap();
     assert_eq!(db.read_attr(b, AttrId(1)).unwrap(), Value::Oid(a));
@@ -144,7 +164,11 @@ fn clustered_vs_shuffled_dereference_io() {
         let owner = db
             .insert_object(
                 owner_cls,
-                vec![Value::text(format!("ow{i}")), Value::Null, Value::Set(vec![item.into()])],
+                vec![
+                    Value::text(format!("ow{i}")),
+                    Value::Null,
+                    Value::Set(vec![item.into()]),
+                ],
             )
             .unwrap();
         owners.push((owner, item));
@@ -245,7 +269,8 @@ fn temporaries_append_scan_truncate() {
     );
     db.reset_io();
     for i in 0..50 {
-        db.append_temp(t, vec![Value::Int(i), Value::Int(i * 2)]).unwrap();
+        db.append_temp(t, vec![Value::Int(i), Value::Int(i * 2)])
+            .unwrap();
     }
     assert!(db.io_stats().page_writes > 0, "page writes counted");
     assert_eq!(db.entity_len(t), 50);
@@ -269,10 +294,16 @@ fn relation_rows_roundtrip() {
     let owner_cls = db.catalog().class_by_name("Owner").unwrap();
     let item_cls = db.catalog().class_by_name("Item").unwrap();
     let r0 = db
-        .insert_row(likes, vec![Oid::new(owner_cls, 0).into(), Oid::new(item_cls, 0).into()])
+        .insert_row(
+            likes,
+            vec![Oid::new(owner_cls, 0).into(), Oid::new(item_cls, 0).into()],
+        )
         .unwrap();
     let r1 = db
-        .insert_row(likes, vec![Oid::new(owner_cls, 1).into(), Oid::new(item_cls, 1).into()])
+        .insert_row(
+            likes,
+            vec![Oid::new(owner_cls, 1).into(), Oid::new(item_cls, 1).into()],
+        )
         .unwrap();
     assert_eq!((r0, r1), (0, 1));
     let entity = db.physical().entities_of_relation(likes)[0];
@@ -312,8 +343,14 @@ fn stats_collect_cardinality_pages_fanout_and_chains() {
     let es = stats.entity(owner_entity).unwrap();
     assert_eq!(es.cardinality, 4);
     assert!(es.pages >= 1);
-    assert!((es.attrs[2].avg_fanout - 2.0).abs() < 1e-9, "items fanout is 2");
-    assert!((es.attrs[1].null_fraction - 0.25).abs() < 1e-9, "one root owner");
+    assert!(
+        (es.attrs[2].avg_fanout - 2.0).abs() < 1e-9,
+        "items fanout is 2"
+    );
+    assert!(
+        (es.attrs[1].null_fraction - 0.25).abs() < 1e-9,
+        "one root owner"
+    );
     let chain = stats.chain(owner_cls, AttrId(1)).unwrap();
     assert_eq!(chain.max, 3);
     assert!((chain.avg - (0.0 + 1.0 + 2.0 + 3.0) / 4.0).abs() < 1e-9);
@@ -324,12 +361,21 @@ fn chain_stats_survive_cycles() {
     let mut db = small_db();
     let owner_cls = db.catalog().class_by_name("Owner").unwrap();
     let a = db
-        .insert_object(owner_cls, vec![Value::text("a"), Value::Null, Value::Set(vec![])])
+        .insert_object(
+            owner_cls,
+            vec![Value::text("a"), Value::Null, Value::Set(vec![])],
+        )
         .unwrap();
     let b = db
-        .insert_object(owner_cls, vec![Value::text("b"), Value::Oid(a), Value::Set(vec![])])
+        .insert_object(
+            owner_cls,
+            vec![Value::text("b"), Value::Oid(a), Value::Set(vec![])],
+        )
         .unwrap();
     db.set_attr(a, AttrId(1), Value::Oid(b)).unwrap(); // cycle a <-> b
     let stats = DbStats::collect(&db);
-    assert!(stats.chain(owner_cls, AttrId(1)).is_some(), "cycle guard terminates");
+    assert!(
+        stats.chain(owner_cls, AttrId(1)).is_some(),
+        "cycle guard terminates"
+    );
 }

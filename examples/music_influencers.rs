@@ -17,7 +17,9 @@ use oorq::storage::DbStats;
 
 /// Figure 3 with a configurable generation bound and filter instrument.
 fn influenced_query(catalog: &oorq::schema::Catalog, gen: i64) -> QueryGraph {
-    let influencer = catalog.relation_by_name("Influencer").expect("music schema");
+    let influencer = catalog
+        .relation_by_name("Influencer")
+        .expect("music schema");
     let mut q = QueryGraph::new(NameRef::Derived("Answer".into()));
     q.add_spj(
         NameRef::Derived("Answer".into()),
@@ -29,15 +31,29 @@ fn influenced_query(catalog: &oorq::schema::Catalog, gen: i64) -> QueryGraph {
             out_proj: vec![("name".into(), Expr::path("i", &["disciple", "name"]))],
         },
     );
-    influencer_view(catalog).expand(&mut q, catalog).expect("view registered");
+    influencer_view(catalog)
+        .expand(&mut q, catalog)
+        .expect("view registered");
     q
 }
 
-fn run_one(label: &str, music: &mut MusicDb, indexes: &IndexSet, q: &QueryGraph, config: OptimizerConfig) {
+fn run_one(
+    label: &str,
+    music: &mut MusicDb,
+    indexes: &IndexSet,
+    q: &QueryGraph,
+    config: OptimizerConfig,
+) {
     let stats = DbStats::collect(&music.db);
-    let model =
-        CostModel::new(music.db.catalog(), music.db.physical(), &stats, CostParams::default());
-    let plan = Optimizer::new(model, config).optimize(q).expect("optimizes");
+    let model = CostModel::new(
+        music.db.catalog(),
+        music.db.physical(),
+        &stats,
+        CostParams::default(),
+    );
+    let plan = Optimizer::new(model, config)
+        .optimize(q)
+        .expect("optimizes");
     let methods = MethodRegistry::new();
     music.db.cold_cache();
     let mut ex = Executor::new(&mut music.db, indexes, &methods);
@@ -67,25 +83,70 @@ fn main() {
     let mut indexes = IndexSet::new();
     indexes.add_path(PathIndex::build(
         &mut music.db,
-        vec![(music.composer, music.works_attr), (music.composition, music.instruments_attr)],
+        vec![
+            (music.composer, music.works_attr),
+            (music.composition, music.instruments_attr),
+        ],
     ));
-    indexes.add_selection(SelectionIndex::build(&mut music.db, music.composer, music.name_attr));
+    indexes.add_selection(SelectionIndex::build(
+        &mut music.db,
+        music.composer,
+        music.name_attr,
+    ));
 
     println!("Figure 3 (selection on the master's instruments, gen >= 3):");
     let q = influenced_query(&catalog, 3);
-    run_one("never push", &mut music, &indexes, &q, OptimizerConfig::never_push());
-    run_one("always push", &mut music, &indexes, &q, OptimizerConfig::deductive_heuristic());
-    run_one("cost-controlled", &mut music, &indexes, &q, OptimizerConfig::cost_controlled());
+    run_one(
+        "never push",
+        &mut music,
+        &indexes,
+        &q,
+        OptimizerConfig::never_push(),
+    );
+    run_one(
+        "always push",
+        &mut music,
+        &indexes,
+        &q,
+        OptimizerConfig::deductive_heuristic(),
+    );
+    run_one(
+        "cost-controlled",
+        &mut music,
+        &indexes,
+        &q,
+        OptimizerConfig::cost_controlled(),
+    );
 
     println!("\n§4.5 (composers influenced by the masters of Bach — very selective join):");
     let qj = {
         let mut qj = sec45_pushjoin_query(&catalog);
-        influencer_view(&catalog).expand(&mut qj, &catalog).expect("view registered");
+        influencer_view(&catalog)
+            .expand(&mut qj, &catalog)
+            .expect("view registered");
         qj
     };
-    run_one("never push", &mut music, &indexes, &qj, OptimizerConfig::never_push());
-    run_one("always push", &mut music, &indexes, &qj, OptimizerConfig::deductive_heuristic());
-    run_one("cost-controlled", &mut music, &indexes, &qj, OptimizerConfig::cost_controlled());
+    run_one(
+        "never push",
+        &mut music,
+        &indexes,
+        &qj,
+        OptimizerConfig::never_push(),
+    );
+    run_one(
+        "always push",
+        &mut music,
+        &indexes,
+        &qj,
+        OptimizerConfig::deductive_heuristic(),
+    );
+    run_one(
+        "cost-controlled",
+        &mut music,
+        &indexes,
+        &qj,
+        OptimizerConfig::cost_controlled(),
+    );
 
     println!(
         "\nThe point of the paper: neither heuristic is right in general — \

@@ -16,8 +16,8 @@ use oorq::datagen::{MusicConfig, MusicDb};
 use oorq::exec::{Executor, MethodRegistry};
 use oorq::index::{IndexSet, PathIndex, SelectionIndex};
 use oorq::optimizer::{Optimizer, OptimizerConfig};
-use oorq::query::parse::parse_query;
 use oorq::query::paper::music_catalog;
+use oorq::query::parse::parse_query;
 use oorq::storage::DbStats;
 
 const DEFAULT_PROGRAM: &str = r#"
@@ -37,7 +37,9 @@ where i.master.works.instruments.name = "harpsichord" and i.gen >= 3
 "#;
 
 fn main() {
-    let program = std::env::args().nth(1).unwrap_or_else(|| DEFAULT_PROGRAM.to_string());
+    let program = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| DEFAULT_PROGRAM.to_string());
     let catalog = Rc::new(music_catalog());
 
     let query = match parse_query(&catalog, &program) {
@@ -55,18 +57,34 @@ fn main() {
 
     let mut music = MusicDb::generate(
         Rc::clone(&catalog),
-        MusicConfig { chains: 8, chain_len: 8, harpsichord_fraction: 0.3, ..Default::default() },
+        MusicConfig {
+            chains: 8,
+            chain_len: 8,
+            harpsichord_fraction: 0.3,
+            ..Default::default()
+        },
     );
     let mut indexes = IndexSet::new();
     indexes.add_path(PathIndex::build(
         &mut music.db,
-        vec![(music.composer, music.works_attr), (music.composition, music.instruments_attr)],
+        vec![
+            (music.composer, music.works_attr),
+            (music.composition, music.instruments_attr),
+        ],
     ));
-    indexes.add_selection(SelectionIndex::build(&mut music.db, music.composer, music.name_attr));
+    indexes.add_selection(SelectionIndex::build(
+        &mut music.db,
+        music.composer,
+        music.name_attr,
+    ));
     let stats = DbStats::collect(&music.db);
 
-    let model =
-        CostModel::new(music.db.catalog(), music.db.physical(), &stats, CostParams::default());
+    let model = CostModel::new(
+        music.db.catalog(),
+        music.db.physical(),
+        &stats,
+        CostParams::default(),
+    );
     let plan = match Optimizer::new(model, OptimizerConfig::cost_controlled()).optimize(&query) {
         Ok(p) => p,
         Err(e) => {
@@ -81,7 +99,10 @@ fn main() {
             .into_iter()
             .collect(),
     };
-    println!("chosen plan (estimated {:.0}):", plan.cost.total(&CostParams::default()));
+    println!(
+        "chosen plan (estimated {:.0}):",
+        plan.cost.total(&CostParams::default())
+    );
     println!("{}\n", plan.pt.explain(&env));
 
     let methods = MethodRegistry::with_music_methods(music.db.catalog());

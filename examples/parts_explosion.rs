@@ -51,7 +51,10 @@ fn contains_view(catalog: &oorq::schema::Catalog) -> ViewRegistry {
         out_proj: vec![
             ("assembly".into(), Expr::path("c", &["assembly"])),
             ("component".into(), Expr::var("s")),
-            ("depth".into(), Expr::path("c", &["depth"]).add(Expr::int(1))),
+            (
+                "depth".into(),
+                Expr::path("c", &["depth"]).add(Expr::int(1)),
+            ),
         ],
     };
     let mut reg = ViewRegistry::new();
@@ -63,9 +66,17 @@ fn main() {
     let catalog = Rc::new(parts_catalog());
     let mut parts = PartsDb::generate(
         Rc::clone(&catalog),
-        PartsConfig { roots: 3, fanout: 3, depth: 3, ..Default::default() },
+        PartsConfig {
+            roots: 3,
+            fanout: 3,
+            depth: 3,
+            ..Default::default()
+        },
     );
-    println!("bill of materials: {} parts in 3 assemblies", parts.part_count());
+    println!(
+        "bill of materials: {} parts in 3 assemblies",
+        parts.part_count()
+    );
 
     // "The name and unit test cost of every component of asm0 heavier
     //  than 40 units" — unit_test_cost is a *method* (computed
@@ -81,21 +92,33 @@ fn main() {
                 .and(Expr::path("k", &["component", "weight"]).ge(Expr::int(40))),
             out_proj: vec![
                 ("component".into(), Expr::path("k", &["component", "name"])),
-                ("test_cost".into(), Expr::path("k", &["component", "unit_test_cost"])),
+                (
+                    "test_cost".into(),
+                    Expr::path("k", &["component", "unit_test_cost"]),
+                ),
                 ("depth".into(), Expr::path("k", &["depth"])),
             ],
         },
     );
-    contains_view(&catalog).expand(&mut query, &catalog).expect("view registered");
+    contains_view(&catalog)
+        .expand(&mut query, &catalog)
+        .expect("view registered");
     println!("\nquery graph:\n{}", query.display(&catalog));
 
     let stats = DbStats::collect(&parts.db);
-    let model =
-        CostModel::new(parts.db.catalog(), parts.db.physical(), &stats, CostParams::default());
+    let model = CostModel::new(
+        parts.db.catalog(),
+        parts.db.physical(),
+        &stats,
+        CostParams::default(),
+    );
     let mut optimizer = Optimizer::new(model, OptimizerConfig::cost_controlled());
     let plan = optimizer.optimize(&query).expect("query optimizes");
     drop(optimizer);
-    println!("\nestimated cost: {:.0} io + {:.0} cpu", plan.cost.cost.io, plan.cost.cost.cpu);
+    println!(
+        "\nestimated cost: {:.0} io + {:.0} cpu",
+        plan.cost.cost.io, plan.cost.cost.cpu
+    );
 
     let methods = MethodRegistry::with_parts_methods(&catalog);
     // Cross-check against the naive reference evaluator.
@@ -105,7 +128,11 @@ fn main() {
     let mut executor = Executor::new(&mut parts.db, &indexes, &methods);
     let answer = executor.run(&plan.pt).expect("plan executes");
     let report = executor.report();
-    assert_eq!(answer.len(), reference.len(), "optimized plan matches the reference");
+    assert_eq!(
+        answer.len(),
+        reference.len(),
+        "optimized plan matches the reference"
+    );
     println!(
         "\n{} heavy components under asm0 ({} method calls, {} page reads):",
         answer.len(),

@@ -19,13 +19,22 @@ fn main() {
     //    isa Person, Composition, Instrument, and the recursive
     //    Influencer view.
     let catalog = Rc::new(music_catalog());
-    println!("schema: {} classes, {} relations/views", catalog.classes().len(), catalog.relations().len());
+    println!(
+        "schema: {} classes, {} relations/views",
+        catalog.classes().len(),
+        catalog.relations().len()
+    );
 
     // 2. A synthetic object base: 8 master-chains of 8 composers, with
     //    nested works and instruments, physically scattered (unclustered).
     let mut music = MusicDb::generate(
         Rc::clone(&catalog),
-        MusicConfig { chains: 8, chain_len: 8, harpsichord_fraction: 0.3, ..Default::default() },
+        MusicConfig {
+            chains: 8,
+            chain_len: 8,
+            harpsichord_fraction: 0.3,
+            ..Default::default()
+        },
     );
     println!("loaded {} composers", music.composer_count());
 
@@ -34,13 +43,22 @@ fn main() {
     let mut indexes = IndexSet::new();
     indexes.add_path(PathIndex::build(
         &mut music.db,
-        vec![(music.composer, music.works_attr), (music.composition, music.instruments_attr)],
+        vec![
+            (music.composer, music.works_attr),
+            (music.composition, music.instruments_attr),
+        ],
     ));
-    indexes.add_selection(SelectionIndex::build(&mut music.db, music.composer, music.name_attr));
+    indexes.add_selection(SelectionIndex::build(
+        &mut music.db,
+        music.composer,
+        music.name_attr,
+    ));
 
     // 4. A recursive query: "names of composers influenced — over at
     //    least 3 generations — by composers for harpsichord".
-    let influencer = catalog.relation_by_name("Influencer").expect("declared in the schema");
+    let influencer = catalog
+        .relation_by_name("Influencer")
+        .expect("declared in the schema");
     let mut query = QueryGraph::new(NameRef::Derived("Answer".into()));
     query.add_spj(
         NameRef::Derived("Answer".into()),
@@ -52,14 +70,21 @@ fn main() {
             out_proj: vec![("name".into(), Expr::path("i", &["disciple", "name"]))],
         },
     );
-    influencer_view(&catalog).expand(&mut query, &catalog).expect("view registered");
+    influencer_view(&catalog)
+        .expand(&mut query, &catalog)
+        .expect("view registered");
     println!("\nquery graph:\n{}", query.display(&catalog));
 
     // 5. Optimize with the paper's cost-controlled strategy: the decision
     //    of pushing the harpsichord selection through the recursion is
     //    taken by comparing complete-plan costs, not by heuristic.
     let stats = DbStats::collect(&music.db);
-    let model = CostModel::new(music.db.catalog(), music.db.physical(), &stats, CostParams::default());
+    let model = CostModel::new(
+        music.db.catalog(),
+        music.db.physical(),
+        &stats,
+        CostParams::default(),
+    );
     let mut optimizer = Optimizer::new(model, OptimizerConfig::cost_controlled());
     let plan = optimizer.optimize(&query).expect("query optimizes");
     drop(optimizer);
@@ -70,10 +95,15 @@ fn main() {
     let env = oorq::pt::PtEnv {
         catalog: music.db.catalog(),
         physical: music.db.physical(),
-        temp_fields: [("Influencer".to_string(), music.influencer_fields())].into_iter().collect(),
+        temp_fields: [("Influencer".to_string(), music.influencer_fields())]
+            .into_iter()
+            .collect(),
     };
     println!("  {}", plan.pt.display(&env));
-    println!("\noptimization trace (the paper's Figure 6):\n{}", plan.trace.summary());
+    println!(
+        "\noptimization trace (the paper's Figure 6):\n{}",
+        plan.trace.summary()
+    );
 
     // 6. Execute with honest page-I/O accounting.
     let methods = MethodRegistry::with_music_methods(music.db.catalog());

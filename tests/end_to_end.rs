@@ -5,7 +5,9 @@
 use std::rc::Rc;
 
 use oorq::cost::{CostModel, CostParams};
-use oorq::datagen::{parts_catalog, ChainConfig, ChainDb, MusicConfig, MusicDb, PartsConfig, PartsDb};
+use oorq::datagen::{
+    parts_catalog, ChainConfig, ChainDb, MusicConfig, MusicDb, PartsConfig, PartsDb,
+};
 use oorq::exec::{eval_query_graph, Executor, MethodRegistry};
 use oorq::index::{IndexSet, PathIndex, SelectionIndex};
 use oorq::optimizer::{Optimized, Optimizer, OptimizerConfig};
@@ -28,7 +30,9 @@ fn all_configs() -> Vec<OptimizerConfig> {
 
 fn optimize(db: &Database, stats: &DbStats, q: &QueryGraph, config: OptimizerConfig) -> Optimized {
     let model = CostModel::new(db.catalog(), db.physical(), stats, CostParams::default());
-    Optimizer::new(model, config).optimize(q).expect("optimizes")
+    Optimizer::new(model, config)
+        .optimize(q)
+        .expect("optimizes")
 }
 
 fn check_equivalence(
@@ -58,7 +62,10 @@ fn music_setup(cfg: MusicConfig) -> (MusicDb, IndexSet) {
     let mut idx = IndexSet::new();
     idx.add_path(PathIndex::build(
         &mut m.db,
-        vec![(m.composer, m.works_attr), (m.composition, m.instruments_attr)],
+        vec![
+            (m.composer, m.works_attr),
+            (m.composition, m.instruments_attr),
+        ],
     ));
     idx.add_selection(SelectionIndex::build(&mut m.db, m.composer, m.name_attr));
     (m, idx)
@@ -114,13 +121,23 @@ fn clustered_physical_design_matches_reference() {
     });
     let methods = MethodRegistry::new();
     let cat = m.db.catalog_rc();
-    check_equivalence(&mut m.db, &idx, &methods, &fig3_gen(&cat, 2), "fig3-clustered");
+    check_equivalence(
+        &mut m.db,
+        &idx,
+        &methods,
+        &fig3_gen(&cat, 2),
+        "fig3-clustered",
+    );
 }
 
 #[test]
 fn queries_with_methods_match_reference() {
     // A query whose predicate invokes the computed attribute `age`.
-    let (mut m, idx) = music_setup(MusicConfig { chains: 3, chain_len: 4, ..Default::default() });
+    let (mut m, idx) = music_setup(MusicConfig {
+        chains: 3,
+        chain_len: 4,
+        ..Default::default()
+    });
     let cat = m.db.catalog_rc();
     let composer = cat.class_by_name("Composer").unwrap();
     let mut q = QueryGraph::new(NameRef::Derived("A".into()));
@@ -141,7 +158,12 @@ fn parts_bom_query_matches_reference() {
     let cat = Rc::new(parts_catalog());
     let mut p = PartsDb::generate(
         Rc::clone(&cat),
-        PartsConfig { roots: 2, fanout: 2, depth: 3, ..Default::default() },
+        PartsConfig {
+            roots: 2,
+            fanout: 2,
+            depth: 3,
+            ..Default::default()
+        },
     );
     let part = cat.class_by_name("Part").unwrap();
     let contains = cat.relation_by_name("Contains").unwrap();
@@ -170,7 +192,10 @@ fn parts_bom_query_matches_reference() {
                 out_proj: vec![
                     ("assembly".into(), Expr::path("c", &["assembly"])),
                     ("component".into(), Expr::var("s")),
-                    ("depth".into(), Expr::path("c", &["depth"]).add(Expr::int(1))),
+                    (
+                        "depth".into(),
+                        Expr::path("c", &["depth"]).add(Expr::int(1)),
+                    ),
                 ],
             },
         ],
@@ -185,7 +210,10 @@ fn parts_bom_query_matches_reference() {
                 .and(Expr::path("k", &["component", "weight"]).ge(Expr::int(40))),
             out_proj: vec![
                 ("component".into(), Expr::path("k", &["component", "name"])),
-                ("cost".into(), Expr::path("k", &["component", "unit_test_cost"])),
+                (
+                    "cost".into(),
+                    Expr::path("k", &["component", "unit_test_cost"]),
+                ),
             ],
         },
     );
@@ -200,8 +228,12 @@ fn parts_bom_query_matches_reference() {
 
 #[test]
 fn chain_joins_match_reference_across_strategies() {
-    let mut chain =
-        ChainDb::generate(ChainConfig { relations: 4, rows: 40, domain: 12, seed: 3 });
+    let mut chain = ChainDb::generate(ChainConfig {
+        relations: 4,
+        rows: 40,
+        domain: 12,
+        seed: 3,
+    });
     let q = chain.chain_query(6);
     let methods = MethodRegistry::new();
     let idx = IndexSet::new();
@@ -212,7 +244,11 @@ fn chain_joins_match_reference_across_strategies() {
 fn decomposed_extensions_still_answer_queries() {
     // Vertically decompose Composition; the executor reads through
     // fragments transparently.
-    let (mut m, idx) = music_setup(MusicConfig { chains: 2, chain_len: 4, ..Default::default() });
+    let (mut m, idx) = music_setup(MusicConfig {
+        chains: 2,
+        chain_len: 4,
+        ..Default::default()
+    });
     let cat = m.db.catalog_rc();
     let composition = cat.class_by_name("Composition").unwrap();
     let (title, _) = cat.attr(composition, "title").unwrap();

@@ -2,6 +2,9 @@
 //! parameters, every optimizer configuration produces plans that match
 //! the reference evaluator, and the optimality ordering of the search
 //! strategies holds.
+//!
+//! Cases are driven by the in-repo deterministic [`Prng`], so every run
+//! explores the same parameter points and failures reproduce exactly.
 
 use std::rc::Rc;
 
@@ -13,7 +16,7 @@ use oorq::optimizer::{Optimizer, OptimizerConfig, SpjStrategy};
 use oorq::query::paper::{influencer_view, music_catalog};
 use oorq::query::{Expr, NameRef, QArc, QueryGraph, SpjNode};
 use oorq::storage::DbStats;
-use proptest::prelude::*;
+use oorq_prng::Prng;
 
 fn music(chains: u32, len: u32, works: u32, fraction: f64, seed: u64) -> (MusicDb, IndexSet) {
     let cat = Rc::new(music_catalog());
@@ -32,7 +35,10 @@ fn music(chains: u32, len: u32, works: u32, fraction: f64, seed: u64) -> (MusicD
     let mut idx = IndexSet::new();
     idx.add_path(PathIndex::build(
         &mut m.db,
-        vec![(m.composer, m.works_attr), (m.composition, m.instruments_attr)],
+        vec![
+            (m.composer, m.works_attr),
+            (m.composition, m.instruments_attr),
+        ],
     ));
     idx.add_selection(SelectionIndex::build(&mut m.db, m.composer, m.name_attr));
     (m, idx)
@@ -58,22 +64,19 @@ fn influenced(cat: &oorq::schema::Catalog, gen: i64, instrument: &str) -> QueryG
     q
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
-
-    /// Optimized plans preserve query semantics on random databases and
-    /// filter parameters, pushed or not.
-    #[test]
-    fn optimizer_preserves_semantics(
-        chains in 1u32..4,
-        len in 2u32..6,
-        works in 1u32..3,
-        fraction in 0.0f64..1.0,
-        seed in 0u64..1000,
-        gen in 1i64..4,
-        instrument_idx in 0usize..3,
-    ) {
-        let instrument = ["harpsichord", "flute", "instrument2"][instrument_idx];
+/// Optimized plans preserve query semantics on random databases and
+/// filter parameters, pushed or not.
+#[test]
+fn optimizer_preserves_semantics() {
+    let mut rng = Prng::new(0x0011_aa01);
+    for case in 0..8 {
+        let chains = rng.range_u32(1, 4);
+        let len = rng.range_u32(2, 6);
+        let works = rng.range_u32(1, 3);
+        let fraction = rng.f64();
+        let seed = rng.below(1000);
+        let gen = rng.range_i64(1, 4);
+        let instrument = ["harpsichord", "flute", "instrument2"][rng.index(3)];
         let (mut m, idx) = music(chains, len, works, fraction, seed);
         let cat = m.db.catalog_rc();
         let q = influenced(&cat, gen, instrument);
@@ -87,7 +90,11 @@ proptest! {
         ] {
             let plan = {
                 let model = CostModel::new(
-                    m.db.catalog(), m.db.physical(), &stats, CostParams::default());
+                    m.db.catalog(),
+                    m.db.physical(),
+                    &stats,
+                    CostParams::default(),
+                );
                 Optimizer::new(model, config.clone()).optimize(&q).unwrap()
             };
             let mut ex = Executor::new(&mut m.db, &idx, &methods);
@@ -96,34 +103,48 @@ proptest! {
             let mut b = got.rows.clone();
             a.sort();
             b.sort();
-            prop_assert_eq!(a, b, "{:?} diverged", config);
+            assert_eq!(a, b, "case {case}: {config:?} diverged");
         }
     }
+}
 
-    /// Exhaustive enumeration never loses to DP or greedy (estimated
-    /// cost), and all three agree with the reference on answers.
-    #[test]
-    fn strategy_optimality_ordering(
-        relations in 2usize..4,
-        rows in 10u32..25,
-        domain in 5i64..20,
-        seed in 0u64..1000,
-        limit in 1i64..10,
-    ) {
-        let mut chain = ChainDb::generate(ChainConfig { relations, rows, domain, seed });
+/// Exhaustive enumeration never loses to DP or greedy (estimated
+/// cost), and all three agree with the reference on answers.
+#[test]
+fn strategy_optimality_ordering() {
+    let mut rng = Prng::new(0x0011_aa02);
+    for case in 0..8 {
+        let relations = 2 + rng.index(2);
+        let rows = rng.range_u32(10, 25);
+        let domain = rng.range_i64(5, 20);
+        let seed = rng.below(1000);
+        let limit = rng.range_i64(1, 10);
+        let mut chain = ChainDb::generate(ChainConfig {
+            relations,
+            rows,
+            domain,
+            seed,
+        });
         let q = chain.chain_query(limit);
         let stats = DbStats::collect(&chain.db);
         let params = CostParams::default();
         let mut costs = Vec::new();
         let methods = MethodRegistry::new();
         let reference = eval_query_graph(&chain.db, &methods, &q).unwrap();
-        for strategy in [SpjStrategy::Exhaustive, SpjStrategy::Dp, SpjStrategy::Greedy] {
+        for strategy in [
+            SpjStrategy::Exhaustive,
+            SpjStrategy::Dp,
+            SpjStrategy::Greedy,
+        ] {
             let plan = {
-                let model = CostModel::new(
-                    chain.db.catalog(), chain.db.physical(), &stats, params);
+                let model = CostModel::new(chain.db.catalog(), chain.db.physical(), &stats, params);
                 Optimizer::new(
                     model,
-                    OptimizerConfig { spj_strategy: strategy, rand: None, ..Default::default() },
+                    OptimizerConfig {
+                        spj_strategy: strategy,
+                        rand: None,
+                        ..Default::default()
+                    },
                 )
                 .optimize(&q)
                 .unwrap()
@@ -136,16 +157,30 @@ proptest! {
             let mut b = got.rows.clone();
             a.sort();
             b.sort();
-            prop_assert_eq!(a, b, "{:?} diverged", strategy);
+            assert_eq!(a, b, "case {case}: {strategy:?} diverged");
         }
-        prop_assert!(costs[0] <= costs[1] + 1e-6, "exhaustive {} > dp {}", costs[0], costs[1]);
-        prop_assert!(costs[0] <= costs[2] + 1e-6, "exhaustive {} > greedy {}", costs[0], costs[2]);
+        assert!(
+            costs[0] <= costs[1] + 1e-6,
+            "case {case}: exhaustive {} > dp {}",
+            costs[0],
+            costs[1]
+        );
+        assert!(
+            costs[0] <= costs[2] + 1e-6,
+            "case {case}: exhaustive {} > greedy {}",
+            costs[0],
+            costs[2]
+        );
     }
+}
 
-    /// Cost estimates are finite, non-negative, and monotone in database
-    /// cardinality for the fixpoint query.
-    #[test]
-    fn cost_is_sane_and_monotone(seed in 0u64..500) {
+/// Cost estimates are finite, non-negative, and monotone in database
+/// cardinality for the fixpoint query.
+#[test]
+fn cost_is_sane_and_monotone() {
+    let mut rng = Prng::new(0x0011_aa03);
+    for case in 0..8 {
+        let seed = rng.below(500);
         let (small, _) = music(2, 3, 2, 0.5, seed);
         let (large, _) = music(6, 6, 2, 0.5, seed);
         let cat = small.db.catalog_rc();
@@ -154,15 +189,23 @@ proptest! {
         for m in [&small, &large] {
             let stats = DbStats::collect(&m.db);
             let model = CostModel::new(
-                m.db.catalog(), m.db.physical(), &stats, CostParams::default());
+                m.db.catalog(),
+                m.db.physical(),
+                &stats,
+                CostParams::default(),
+            );
             let plan = Optimizer::new(model, OptimizerConfig::never_push())
                 .optimize(&q)
                 .unwrap();
             let t = plan.cost.total(&CostParams::default());
-            prop_assert!(t.is_finite() && t >= 0.0);
+            assert!(t.is_finite() && t >= 0.0, "case {case}");
             totals.push(t);
         }
-        prop_assert!(totals[1] > totals[0],
-            "larger database must cost more: {} vs {}", totals[1], totals[0]);
+        assert!(
+            totals[1] > totals[0],
+            "case {case}: larger database must cost more: {} vs {}",
+            totals[1],
+            totals[0]
+        );
     }
 }
