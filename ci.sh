@@ -11,4 +11,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== reproduce smoke (fig7 predicted-vs-observed) =="
+cargo run --release -q -p oorq-bench --bin reproduce fig7 | grep "predicted vs observed" >/dev/null
+
 echo "CI OK"

@@ -346,6 +346,63 @@ pub fn fig7_report(setup: &mut PaperSetup) -> String {
             "worthwhile"
         }
     );
+
+    // Per-operator accounting: the optimizer's recorded prediction for
+    // the final plan against the pipeline's observed counters.
+    for (label, plan, rep) in [
+        ("PT (i) — unpushed", &unpushed, &ri),
+        ("PT (ii) — pushed", &pushed, &rii),
+    ] {
+        let _ = writeln!(
+            out,
+            "\n{label}: per-operator predicted vs observed (cold cache):"
+        );
+        out.push_str(&predicted_vs_observed(
+            &plan.trace.final_breakdown,
+            &rep.ops,
+        ));
+    }
+    out
+}
+
+/// Render the per-operator predicted-vs-observed table: the cost
+/// model's per-node breakdown joined against the streaming executor's
+/// observed counters on the shared pre-order PT node numbering
+/// (`NodeCost::node` ↔ `OpReport::pt_node`). Both sides are exclusive
+/// (each line excludes its children).
+pub fn predicted_vs_observed(
+    breakdown: &[oorq_cost::NodeCost],
+    ops: &[oorq_exec::OpReport],
+) -> String {
+    let mut out = String::from(
+        "| op | operator | est. io | obs. pages | est. cpu | obs. evals | \
+         est. rows | obs. rows | wall µs |\n|---|---|---|---|---|---|---|---|---|\n",
+    );
+    for op in ops {
+        let est = breakdown.iter().find(|n| n.node == Some(op.pt_node));
+        let (eio, ecpu, erows) = match est {
+            Some(n) => (
+                format!("{:.0}", n.cost.io),
+                format!("{:.0}", n.cost.cpu),
+                format!("{:.0}", n.rows),
+            ),
+            None => ("-".into(), "-".into(), "-".into()),
+        };
+        let obs_pages = op.page_reads + op.index_reads + op.page_writes;
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {:.0} |",
+            op.id,
+            op.label,
+            eio,
+            obs_pages,
+            ecpu,
+            op.evals + op.method_calls,
+            erows,
+            op.rows_out,
+            op.wall_ns as f64 / 1000.0,
+        );
+    }
     out
 }
 

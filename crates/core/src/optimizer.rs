@@ -231,6 +231,7 @@ impl<'a> Optimizer<'a> {
         self.verify_stage(&final_pt, "transformPT (final plan)", &mut trace)?;
 
         let cost = self.model.cost(&final_pt)?;
+        trace.record_breakdown(&cost.breakdown);
         let out_cols = answer.out_cols.iter().map(|(n, _)| n.clone()).collect();
         Ok(Optimized {
             pt: final_pt,

@@ -6,6 +6,8 @@
 
 use std::fmt;
 
+use oorq_cost::NodeCost;
+
 /// The four optimization steps of §4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Step {
@@ -76,6 +78,11 @@ pub struct StepTrace {
 pub struct OptTrace {
     /// Recorded steps, in order.
     pub steps: Vec<StepTrace>,
+    /// Per-node predicted cost breakdown of the *final* plan. Each line
+    /// carries the pre-order PT node index (`oorq_pt::node_ids`), the
+    /// join key against the executor's per-operator observed counters
+    /// (`OpReport::pt_node`).
+    pub final_breakdown: Vec<NodeCost>,
 }
 
 impl OptTrace {
@@ -94,6 +101,33 @@ impl OptTrace {
             notes: Vec::new(),
         });
         self.steps.last_mut().expect("just pushed")
+    }
+
+    /// Record the final plan's per-node predicted cost breakdown.
+    pub fn record_breakdown(&mut self, breakdown: &[NodeCost]) {
+        self.final_breakdown = breakdown.to_vec();
+    }
+
+    /// Render the recorded final-plan breakdown as a table (empty when
+    /// no breakdown was recorded).
+    pub fn breakdown_table(&self) -> String {
+        if self.final_breakdown.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from(
+            "| node | operator | est. io | est. cpu | est. rows |\n|---|---|---|---|---|\n",
+        );
+        for n in &self.final_breakdown {
+            let id = n
+                .node
+                .map(|i| i.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(
+                "| {} | {} | {:.0} | {:.0} | {:.0} |\n",
+                id, n.label, n.cost.io, n.cost.cpu, n.rows
+            ));
+        }
+        out
     }
 
     /// Render the Figure 6 style summary table.

@@ -23,6 +23,11 @@ use crate::params::{Cost, CostParams};
 pub struct NodeCost {
     /// Short label of the node (operator + key detail).
     pub label: String,
+    /// Pre-order index of the PT node this line estimates (the
+    /// numbering of `oorq_pt::node_ids`, shared with the physical
+    /// plan's `OpMeta::pt_node`) — the join key for predicted-vs-
+    /// observed per-operator reporting.
+    pub node: Option<usize>,
     /// The node's own cost (excluding children).
     pub cost: Cost,
     /// Estimated output rows.
@@ -141,6 +146,7 @@ impl<'a> CostModel<'a> {
             model: self,
             temp_rows: HashMap::new(),
             breakdown: Vec::new(),
+            node_ids: oorq_pt::node_ids(pt),
         };
         let est = ctx.est(pt, true)?;
         Ok(PlanCost {
@@ -211,6 +217,9 @@ struct EstCtx<'m, 'a> {
     /// recursive side of a fixpoint: the delta size).
     temp_rows: HashMap<String, f64>,
     breakdown: Vec<NodeCost>,
+    /// Pre-order indices of the estimated plan's nodes (join key shared
+    /// with physical-plan lowering).
+    node_ids: HashMap<*const Pt, usize>,
 }
 
 impl EstCtx<'_, '_> {
@@ -251,6 +260,7 @@ impl EstCtx<'_, '_> {
                 }
                 let io = if charge_scan { pages } else { 0.0 };
                 self.note(
+                    pt,
                     format!("scan {}", desc.name),
                     Cost::new(io, 0.0),
                     rows,
@@ -288,7 +298,13 @@ impl EstCtx<'_, '_> {
                     );
                 }
                 let io = if charge_scan { pages } else { 0.0 };
-                self.note(format!("scan temp {name}"), Cost::new(io, 0.0), rows, pages);
+                self.note(
+                    pt,
+                    format!("scan temp {name}"),
+                    Cost::new(io, 0.0),
+                    rows,
+                    pages,
+                );
                 NodeEst {
                     rows,
                     pages,
@@ -314,7 +330,7 @@ impl EstCtx<'_, '_> {
                         if let Some(fb) = &mut child.fanout_base {
                             fb.sel *= sel;
                         }
-                        self.note(format!("Sel[{pred}]"), own, child.rows, child.pages);
+                        self.note(pt, format!("Sel[{pred}]"), own, child.rows, child.pages);
                         child
                     }
                     AccessMethod::Index(idx) => {
@@ -329,7 +345,7 @@ impl EstCtx<'_, '_> {
                         child.cost += own;
                         child.rows = matches;
                         child.pages = (child.pages * sel).max(child.rows.min(1.0));
-                        self.note(format!("Sel^idx[{pred}]"), own, child.rows, child.pages);
+                        self.note(pt, format!("Sel^idx[{pred}]"), own, child.rows, child.pages);
                         child
                     }
                 }
@@ -373,7 +389,7 @@ impl EstCtx<'_, '_> {
                 }
                 let types: Vec<ResolvedType> = out_cols.values().map(|c| c.ty.clone()).collect();
                 let pages = m.width.pages_for(out_rows.ceil() as u64, &types) as f64;
-                self.note("Proj".to_string(), own, out_rows, pages);
+                self.note(pt, "Proj".to_string(), own, out_rows, pages);
                 NodeEst {
                     rows: out_rows,
                     pages,
@@ -434,7 +450,7 @@ impl EstCtx<'_, '_> {
                         sel: 1.0,
                     },
                 });
-                self.note(format!("IJ_{}", step.name), own, rows, pages);
+                self.note(pt, format!("IJ_{}", step.name), own, rows, pages);
                 NodeEst {
                     rows,
                     pages,
@@ -507,6 +523,7 @@ impl EstCtx<'_, '_> {
                     },
                 });
                 self.note(
+                    pt,
                     format!("PIJ_{}", desc.display_name(m.catalog)),
                     own,
                     rows,
@@ -551,7 +568,7 @@ impl EstCtx<'_, '_> {
                         let types: Vec<ResolvedType> =
                             cols.values().map(|c| c.ty.clone()).collect();
                         let pages = m.width.pages_for(rows.ceil() as u64, &types) as f64;
-                        self.note(format!("EJ[{pred}]"), own, rows, pages);
+                        self.note(pt, format!("EJ[{pred}]"), own, rows, pages);
                         NodeEst {
                             rows,
                             pages,
@@ -577,7 +594,7 @@ impl EstCtx<'_, '_> {
                         let types: Vec<ResolvedType> =
                             cols.values().map(|c| c.ty.clone()).collect();
                         let pages = m.width.pages_for(rows.ceil() as u64, &types) as f64;
-                        self.note(format!("EJ^idx[{pred}]"), own, rows, pages);
+                        self.note(pt, format!("EJ^idx[{pred}]"), own, rows, pages);
                         NodeEst {
                             rows,
                             pages,
@@ -592,7 +609,13 @@ impl EstCtx<'_, '_> {
                 let l = self.est(left, true)?;
                 let r = self.est(right, true)?;
                 let rows = l.rows + r.rows;
-                self.note("Union".to_string(), Cost::zero(), rows, l.pages + r.pages);
+                self.note(
+                    pt,
+                    "Union".to_string(),
+                    Cost::zero(),
+                    rows,
+                    l.pages + r.pages,
+                );
                 NodeEst {
                     rows,
                     pages: l.pages + r.pages,
@@ -653,7 +676,13 @@ impl EstCtx<'_, '_> {
                         },
                     );
                 }
-                self.note(format!("Fix({temp}) x{n:.0}"), own, total_rows, total_pages);
+                self.note(
+                    pt,
+                    format!("Fix({temp}) x{n:.0}"),
+                    own,
+                    total_rows,
+                    total_pages,
+                );
                 NodeEst {
                     rows: total_rows,
                     pages: total_pages,
@@ -666,9 +695,11 @@ impl EstCtx<'_, '_> {
         Ok(est)
     }
 
-    fn note(&mut self, label: String, cost: Cost, rows: f64, pages: f64) {
+    fn note(&mut self, pt: &Pt, label: String, cost: Cost, rows: f64, pages: f64) {
+        let node = self.node_ids.get(&(pt as *const Pt)).copied();
         self.breakdown.push(NodeCost {
             label,
+            node,
             cost,
             rows,
             pages,

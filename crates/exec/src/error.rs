@@ -26,6 +26,9 @@ pub enum ExecError {
     FixpointDiverged(String),
     /// The debug-mode plan verifier rejected the plan before execution.
     PlanLint(String),
+    /// Lowering to a physical plan failed (the plan is ill-formed in a
+    /// way the runtime vocabulary has no specific error for).
+    BadPlan(String),
     /// Storage-level failure.
     Storage(StorageError),
     /// Query-graph failure (reference evaluator).
@@ -46,6 +49,7 @@ impl fmt::Display for ExecError {
                 write!(f, "fixpoint over `{t}` exceeded the iteration bound")
             }
             ExecError::PlanLint(d) => write!(f, "plan failed verification:\n{d}"),
+            ExecError::BadPlan(m) => write!(f, "cannot lower plan: {m}"),
             ExecError::Storage(e) => write!(f, "storage: {e}"),
             ExecError::Query(e) => write!(f, "query: {e}"),
         }

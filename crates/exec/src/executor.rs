@@ -1,17 +1,18 @@
-//! The PT interpreter: a bottom-up, operand-order executor with honest
-//! page-I/O accounting through the store's buffer manager.
+//! The PT executor: lowers a verified plan to a physical-operator
+//! pipeline ([`oorq_pt::phys`]) and streams it with honest page-I/O
+//! accounting through the store's buffer manager.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use oorq_index::IndexSet;
-use oorq_pt::{AccessMethod, JoinAlgo, Pt, PtEnv};
-use oorq_query::{CmpOp, Expr};
+use oorq_pt::{PhysOp, PhysPlan, Pt, PtEnv, PtError};
 use oorq_schema::ResolvedType;
-use oorq_storage::{Database, EntityId, EntitySource, IoStats, Oid, Value};
+use oorq_storage::{Database, EntityId, IoStats};
 
 use crate::error::ExecError;
-use crate::eval::{Batch, Counters, EvalCtx};
+use crate::eval::{Batch, Counters};
 use crate::methods::MethodRegistry;
+use crate::pipeline::{self, OpReport};
 
 /// Executor configuration.
 #[derive(Debug, Clone)]
@@ -29,7 +30,7 @@ impl Default for ExecConfig {
 }
 
 /// A report of the resources one execution consumed.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecReport {
     /// Page I/O accumulated by the store.
     pub io: IoStats,
@@ -37,13 +38,17 @@ pub struct ExecReport {
     pub evals: u64,
     /// Method invocations performed.
     pub method_calls: u64,
+    /// Per-operator observed counters of the last completed run.
+    pub ops: Vec<OpReport>,
 }
 
 impl ExecReport {
-    /// Weighted total comparable with the cost model's units.
+    /// Weighted total comparable with the cost model's units: pages at
+    /// `pr`, and both comparisons and method invocations at `ev` (the
+    /// cost model prices method calls as CPU work too).
     pub fn total(&self, pr: f64, ev: f64) -> f64 {
         (self.io.page_reads + self.io.index_reads + self.io.page_writes) as f64 * pr
-            + self.evals as f64 * ev
+            + (self.evals + self.method_calls) as f64 * ev
     }
 }
 
@@ -56,13 +61,10 @@ pub struct Executor<'a> {
     config: ExecConfig,
     /// Per-temporary: (accumulator entity, delta entity).
     temps: HashMap<String, (EntityId, EntityId)>,
-    /// Column names (unqualified) of each temporary.
-    temp_cols: HashMap<String, Vec<String>>,
-    /// Field shapes of temporaries (for `PtEnv` typing).
+    /// Field shapes of temporaries (for lowering and `PtEnv` typing).
     temp_fields: HashMap<String, Vec<(String, ResolvedType)>>,
-    /// Temporaries currently bound to their delta (inside a fixpoint
-    /// iteration).
-    delta_active: HashSet<String>,
+    /// Per-operator reports of the last completed run.
+    last_ops: Vec<OpReport>,
 }
 
 impl<'a> Executor<'a> {
@@ -75,9 +77,8 @@ impl<'a> Executor<'a> {
             counters: Counters::default(),
             config: ExecConfig::default(),
             temps: HashMap::new(),
-            temp_cols: HashMap::new(),
             temp_fields: HashMap::new(),
-            delta_active: HashSet::new(),
+            last_ops: Vec::new(),
         }
     }
 
@@ -91,28 +92,72 @@ impl<'a> Executor<'a> {
     pub fn reset_counters(&mut self) {
         self.db.reset_io();
         self.counters = Counters::default();
+        self.last_ops.clear();
     }
 
-    /// The resources consumed so far.
+    /// The resources consumed so far (per-operator counters cover the
+    /// last completed run).
     pub fn report(&self) -> ExecReport {
         ExecReport {
             io: self.db.io_stats(),
             evals: self.counters.evals.get(),
             method_calls: self.counters.method_calls.get(),
+            ops: self.last_ops.clone(),
         }
     }
 
     /// Execute a plan and return its (deduplicated) answer.
     ///
-    /// In debug builds the plan is first checked against the static
-    /// verifier: an ill-formed plan is rejected with
+    /// The plan is lowered to a physical-operator pipeline and streamed.
+    /// In debug builds both the plan and its lowering are first checked
+    /// against the static verifier: an ill-formed plan is rejected with
     /// [`ExecError::PlanLint`] before it can touch the store.
     pub fn run(&mut self, pt: &Pt) -> Result<Batch, ExecError> {
         #[cfg(debug_assertions)]
         self.verify(pt)?;
-        let mut out = self.exec(pt)?;
-        out.dedup();
-        Ok(out)
+        let plan = self.lower(pt)?;
+        self.prepare_temps(&plan);
+        let (mut rows, ops) = pipeline::execute(
+            &plan,
+            self.db,
+            self.indexes,
+            self.methods,
+            &self.counters,
+            &self.temps,
+            self.config.max_fix_iterations,
+        )
+        .map(|(rows, ops)| {
+            (
+                Batch {
+                    cols: plan.root.cols().to_vec(),
+                    rows,
+                },
+                ops,
+            )
+        })?;
+        self.last_ops = ops;
+        rows.dedup();
+        Ok(rows)
+    }
+
+    /// Lower the PT to a physical plan; in debug builds, verify the
+    /// lowering with the physical-plan lint pass.
+    fn lower(&self, pt: &Pt) -> Result<PhysPlan, ExecError> {
+        let env = PtEnv {
+            catalog: self.db.catalog(),
+            physical: self.db.physical(),
+            temp_fields: self.temp_fields.clone(),
+        };
+        let plan = oorq_pt::lower(&env, pt).map_err(lower_err)?;
+        #[cfg(debug_assertions)]
+        {
+            let report = oorq_lint::verify_phys(&env, &plan);
+            if !report.is_clean() {
+                let rendered: String = report.errors().map(|d| format!("{d}\n")).collect();
+                return Err(ExecError::PlanLint(rendered));
+            }
+        }
+        Ok(plan)
     }
 
     /// Run the plan verifier at the executor boundary.
@@ -131,455 +176,44 @@ impl<'a> Executor<'a> {
         Err(ExecError::PlanLint(rendered))
     }
 
-    fn ctx(&self) -> EvalCtx<'_> {
-        EvalCtx {
-            db: self.db,
-            methods: self.methods,
-            counters: &self.counters,
-            account_io: true,
+    /// Create (or reuse) the accumulator/delta temporaries of every
+    /// fixpoint in the plan, and register their shapes for subsequent
+    /// lowerings. Creation needs `&mut Database`; the streaming pipeline
+    /// itself runs over `&Database`.
+    fn prepare_temps(&mut self, plan: &PhysPlan) {
+        let mut fixes: Vec<(String, Vec<(String, ResolvedType)>)> = Vec::new();
+        plan.root.visit(&mut |op| {
+            if let PhysOp::FixPoint { temp, fields, .. } = op {
+                fixes.push((temp.clone(), fields.clone()));
+            }
+        });
+        for (temp, fields) in fixes {
+            let types: Vec<ResolvedType> = fields.iter().map(|(_, t)| t.clone()).collect();
+            self.temp_fields.insert(temp.clone(), fields);
+            if !self.temps.contains_key(&temp) {
+                let acc = self.db.create_temp(temp.clone(), types.clone());
+                let delta = self.db.create_temp(format!("{temp}#delta"), types);
+                self.temps.insert(temp, (acc, delta));
+            }
         }
     }
+}
 
-    fn exec(&mut self, pt: &Pt) -> Result<Batch, ExecError> {
-        match pt {
-            Pt::Entity { id, var } => self.scan_entity(*id, var),
-            Pt::Temp { name, var } => {
-                let (acc, delta) = *self
-                    .temps
-                    .get(name)
-                    .ok_or_else(|| ExecError::BadFixpoint(format!("temp `{name}` not built")))?;
-                let entity = if self.delta_active.contains(name) {
-                    delta
-                } else {
-                    acc
-                };
-                let fields = self.temp_cols.get(name).cloned().unwrap_or_default();
-                let cols: Vec<String> = fields.iter().map(|f| format!("{var}.{f}")).collect();
-                let rows = self.db.scan(entity).into_iter().map(|r| r.values).collect();
-                Ok(Batch { cols, rows })
-            }
-            Pt::Sel {
-                pred,
-                method,
-                input,
-            } => match method {
-                AccessMethod::Scan => {
-                    let batch = self.exec(input)?;
-                    self.filter(batch, pred)
-                }
-                AccessMethod::Index(idx) => self.indexed_select(*idx, pred, input),
-            },
-            Pt::Proj { cols, input } => {
-                let batch = self.exec(input)?;
-                let ctx = self.ctx();
-                let mut out = Batch::new(cols.iter().map(|(n, _)| n.clone()).collect());
-                for row in &batch.rows {
-                    let mut new_row = Vec::with_capacity(cols.len());
-                    for (_, e) in cols {
-                        new_row.push(ctx.eval(e, &batch.cols, row)?);
-                    }
-                    out.rows.push(new_row);
-                }
-                out.dedup();
-                Ok(out)
-            }
-            Pt::IJ { on, out, input, .. } => {
-                let batch = self.exec(input)?;
-                let ctx = self.ctx();
-                let mut cols = batch.cols.clone();
-                cols.push(out.clone());
-                let mut result = Batch::new(cols);
-                for row in &batch.rows {
-                    for m in ctx.eval_members(on, &batch.cols, row)? {
-                        if let Value::Oid(o) = m {
-                            // Touch the sub-object's page: the implicit
-                            // join is what pays the dereference.
-                            let _ = ctx.db.read_object(o)?;
-                            let mut r = row.clone();
-                            r.push(Value::Oid(o));
-                            result.rows.push(r);
-                        }
-                    }
-                }
-                Ok(result)
-            }
-            Pt::PIJ {
-                index,
-                on,
-                outs,
-                input,
-                ..
-            } => {
-                let pix = self.indexes.path(*index).ok_or(ExecError::MissingIndex)?;
-                let batch = self.exec(input)?;
-                let ctx = self.ctx();
-                let mut cols = batch.cols.clone();
-                cols.extend(outs.iter().cloned());
-                let mut result = Batch::new(cols);
-                for row in &batch.rows {
-                    for m in ctx.eval_members(on, &batch.cols, row)? {
-                        let Value::Oid(head) = m else { continue };
-                        for tail in pix.probe(ctx.db, head) {
-                            if tail.len() < outs.len() {
-                                continue;
-                            }
-                            let mut r = row.clone();
-                            for o in tail.iter().take(outs.len()) {
-                                r.push(Value::Oid(*o));
-                            }
-                            result.rows.push(r);
-                        }
-                    }
-                }
-                Ok(result)
-            }
-            Pt::EJ {
-                pred,
-                algo,
-                left,
-                right,
-            } => match algo {
-                JoinAlgo::NestedLoop => self.nested_loop(pred, left, right),
-                JoinAlgo::IndexJoin(idx) => self.index_join(*idx, pred, left, right),
-            },
-            Pt::Union { left, right } => {
-                let l = self.exec(left)?;
-                let r = self.exec(right)?;
-                let r = l.aligned(r)?;
-                let mut out = l;
-                out.rows.extend(r.rows);
-                Ok(out)
-            }
-            Pt::Fix { temp, body } => self.fixpoint(temp, body),
+/// Map lowering failures onto the executor's error vocabulary (the
+/// errors the tree-walking interpreter raised at runtime for the same
+/// plans).
+fn lower_err(e: PtError) -> ExecError {
+    match e {
+        PtError::FixBodyNotUnion => ExecError::BadFixpoint("Fix body must be a Union".into()),
+        PtError::FixNotRecursive(t) => {
+            ExecError::BadFixpoint(format!("neither union side references `{t}`"))
         }
-    }
-
-    fn scan_entity(&mut self, id: EntityId, var: &str) -> Result<Batch, ExecError> {
-        let desc = self.db.physical().entity(id).clone();
-        match desc.source {
-            EntitySource::Class(c) => {
-                let mut out = Batch::new(vec![var.to_string()]);
-                for row in self.db.scan(id) {
-                    out.rows.push(vec![Value::Oid(Oid::new(c, row.key))]);
-                }
-                Ok(out)
-            }
-            EntitySource::Relation(r) => {
-                let fields = self.db.catalog().relation(r).fields.clone();
-                let cols = fields.iter().map(|(n, _)| format!("{var}.{n}")).collect();
-                let mut out = Batch::new(cols);
-                for row in self.db.scan(id) {
-                    out.rows.push(row.values);
-                }
-                Ok(out)
-            }
-            EntitySource::Temporary => Err(ExecError::BadFixpoint(format!(
-                "temporary `{}` used as entity",
-                desc.name
-            ))),
+        PtError::UnknownTemp(n) => ExecError::BadFixpoint(format!("temp `{n}` not built")),
+        PtError::TempAsEntity(n) => {
+            ExecError::BadFixpoint(format!("temporary `{n}` used as entity"))
         }
-    }
-
-    fn filter(&self, mut batch: Batch, pred: &Expr) -> Result<Batch, ExecError> {
-        let ctx = self.ctx();
-        let cols = batch.cols.clone();
-        let mut kept = Vec::new();
-        for row in batch.rows.drain(..) {
-            if ctx.truthy(pred, &cols, &row)? {
-                kept.push(row);
-            }
-        }
-        batch.rows = kept;
-        Ok(batch)
-    }
-
-    /// Selection through a selection index: extract an `attr = literal`
-    /// conjunct matching the index, probe, then apply the full predicate
-    /// as a residual filter. Falls back to a scan when the predicate has
-    /// no usable conjunct.
-    fn indexed_select(
-        &mut self,
-        idx: oorq_storage::IndexId,
-        pred: &Expr,
-        input: &Pt,
-    ) -> Result<Batch, ExecError> {
-        let Some(six) = self.indexes.selection(idx) else {
-            return Err(ExecError::MissingIndex);
-        };
-        let Pt::Entity { id, var } = input else {
-            let batch = self.exec(input)?;
-            return self.filter(batch, pred);
-        };
-        let desc = self.db.physical().entity(*id).clone();
-        let EntitySource::Class(class) = desc.source else {
-            let batch = self.exec(input)?;
-            return self.filter(batch, pred);
-        };
-        let attr_name = self
-            .db
-            .catalog()
-            .attribute(six.class, six.attr)
-            .name
-            .clone();
-        // Find `var.attr = literal` among the conjuncts.
-        let mut key: Option<Value> = None;
-        for c in pred.conjuncts() {
-            if let Expr::Cmp {
-                op: CmpOp::Eq,
-                lhs,
-                rhs,
-            } = c
-            {
-                let (path, lit) = match (lhs.as_ref(), rhs.as_ref()) {
-                    (Expr::Path { base, steps }, Expr::Lit(l)) => ((base, steps), l),
-                    (Expr::Lit(l), Expr::Path { base, steps }) => ((base, steps), l),
-                    _ => continue,
-                };
-                if path.0 == var && path.1.len() == 1 && path.1[0] == attr_name {
-                    key = Some(crate::eval::lit_value(lit));
-                    break;
-                }
-            }
-        }
-        let Some(key) = key else {
-            let batch = self.exec(input)?;
-            return self.filter(batch, pred);
-        };
-        let oids = six.probe(self.db, &key);
-        let mut batch = Batch::new(vec![var.to_string()]);
-        for o in oids {
-            if o.class == class {
-                // Fetch the object's page (the probe yields only oids).
-                let _ = self.db.read_object(o)?;
-                batch.rows.push(vec![Value::Oid(o)]);
-            }
-        }
-        self.filter(batch, pred)
-    }
-
-    /// True when re-executing the subtree per outer row is the honest
-    /// nested-loop behaviour (leaf-ish inners). Complex inners are
-    /// materialized once.
-    fn rescannable(pt: &Pt) -> bool {
-        match pt {
-            Pt::Entity { .. } | Pt::Temp { .. } => true,
-            Pt::Sel {
-                input,
-                method: AccessMethod::Scan,
-                ..
-            }
-            | Pt::Proj { input, .. } => Self::rescannable(input),
-            _ => false,
-        }
-    }
-
-    fn nested_loop(&mut self, pred: &Expr, left: &Pt, right: &Pt) -> Result<Batch, ExecError> {
-        let l = self.exec(left)?;
-        let mut out: Option<Batch> = None;
-        if Self::rescannable(right) {
-            // Honest nested loop: rescan the leaf-ish inner through the
-            // buffer manager for every outer row.
-            for lrow in &l.rows {
-                let r = self.exec(right)?;
-                let ctx = self.ctx();
-                let out_batch = out.get_or_insert_with(|| {
-                    let mut cols = l.cols.clone();
-                    cols.extend(r.cols.iter().cloned());
-                    Batch::new(cols)
-                });
-                for rrow in &r.rows {
-                    let mut combined = lrow.clone();
-                    combined.extend(rrow.iter().cloned());
-                    if ctx.truthy(pred, &out_batch.cols, &combined)? {
-                        out_batch.rows.push(combined);
-                    }
-                }
-            }
-        } else {
-            // Complex inner: materialize once.
-            let r = self.exec(right)?;
-            let mut cols = l.cols.clone();
-            cols.extend(r.cols.iter().cloned());
-            let mut out_batch = Batch::new(cols);
-            let ctx = self.ctx();
-            for lrow in &l.rows {
-                for rrow in &r.rows {
-                    let mut combined = lrow.clone();
-                    combined.extend(rrow.iter().cloned());
-                    if ctx.truthy(pred, &out_batch.cols, &combined)? {
-                        out_batch.rows.push(combined);
-                    }
-                }
-            }
-            out = Some(out_batch);
-        }
-        Ok(out.unwrap_or_else(|| Batch::new(l.cols.clone())))
-    }
-
-    fn index_join(
-        &mut self,
-        idx: oorq_storage::IndexId,
-        pred: &Expr,
-        left: &Pt,
-        right: &Pt,
-    ) -> Result<Batch, ExecError> {
-        let Some(six) = self.indexes.selection(idx) else {
-            return Err(ExecError::MissingIndex);
-        };
-        let Pt::Entity { id, var } = right else {
-            return self.nested_loop(pred, left, right);
-        };
-        let desc = self.db.physical().entity(*id).clone();
-        let EntitySource::Class(class) = desc.source else {
-            return self.nested_loop(pred, left, right);
-        };
-        let l = self.exec(left)?;
-        let attr_name = self
-            .db
-            .catalog()
-            .attribute(six.class, six.attr)
-            .name
-            .clone();
-        // Find the equality conjunct `outer-expr = var.attr`.
-        let mut outer_expr: Option<Expr> = None;
-        for c in pred.conjuncts() {
-            if let Expr::Cmp {
-                op: CmpOp::Eq,
-                lhs,
-                rhs,
-            } = c
-            {
-                let matches_inner = |e: &Expr| {
-                    matches!(e, Expr::Path { base, steps }
-                             if base == var && steps.len() == 1 && steps[0] == attr_name)
-                };
-                if matches_inner(rhs) && !lhs.vars().contains(var) {
-                    outer_expr = Some((**lhs).clone());
-                    break;
-                }
-                if matches_inner(lhs) && !rhs.vars().contains(var) {
-                    outer_expr = Some((**rhs).clone());
-                    break;
-                }
-            }
-        }
-        let Some(outer_expr) = outer_expr else {
-            return self.nested_loop(pred, left, right);
-        };
-        let mut cols = l.cols.clone();
-        cols.push(var.clone());
-        let mut out = Batch::new(cols);
-        for lrow in &l.rows {
-            let keys = {
-                let ctx = self.ctx();
-                ctx.eval_members(&outer_expr, &l.cols, lrow)?
-            };
-            for key in keys {
-                let oids = six.probe(self.db, &key);
-                for o in oids {
-                    if o.class != class {
-                        continue;
-                    }
-                    let _ = self.db.read_object(o)?;
-                    let mut combined = lrow.clone();
-                    combined.push(Value::Oid(o));
-                    let ctx = self.ctx();
-                    if ctx.truthy(pred, &out.cols, &combined)? {
-                        out.rows.push(combined);
-                    }
-                }
-            }
-        }
-        Ok(out)
-    }
-
-    /// Semi-naive fixpoint: materialize the base into the accumulator and
-    /// the delta, then iterate the recursive side over the delta until no
-    /// new rows appear.
-    fn fixpoint(&mut self, temp: &str, body: &Pt) -> Result<Batch, ExecError> {
-        let Pt::Union { left, right } = body else {
-            return Err(ExecError::BadFixpoint("Fix body must be a Union".into()));
-        };
-        let (base, rec) = if left.references_temp(temp) {
-            (right.as_ref(), left.as_ref())
-        } else {
-            (left.as_ref(), right.as_ref())
-        };
-        if !rec.references_temp(temp) {
-            return Err(ExecError::BadFixpoint(format!(
-                "neither union side references `{temp}`"
-            )));
-        }
-
-        // Shape of the temporary, from the base side.
-        let (field_names, field_types) = {
-            let env = PtEnv {
-                catalog: self.db.catalog(),
-                physical: self.db.physical(),
-                temp_fields: self.temp_fields.clone(),
-            };
-            let cols = base
-                .output_columns(&env)
-                .map_err(|e| ExecError::BadFixpoint(e.to_string()))?;
-            let names: Vec<String> = cols.iter().map(|(n, _)| n.clone()).collect();
-            let types: Vec<ResolvedType> = cols.iter().map(|(_, t)| t.clone()).collect();
-            (names, types)
-        };
-        self.temp_fields.insert(
-            temp.to_string(),
-            field_names
-                .iter()
-                .cloned()
-                .zip(field_types.iter().cloned())
-                .collect(),
-        );
-        self.temp_cols.insert(temp.to_string(), field_names.clone());
-        if !self.temps.contains_key(temp) {
-            let acc = self.db.create_temp(temp.to_string(), field_types.clone());
-            let delta = self
-                .db
-                .create_temp(format!("{temp}#delta"), field_types.clone());
-            self.temps.insert(temp.to_string(), (acc, delta));
-        }
-        let (acc_e, delta_e) = self.temps[temp];
-        self.db.truncate_temp(acc_e)?;
-        self.db.truncate_temp(delta_e)?;
-
-        // Base case.
-        let mut base_batch = self.exec(base)?;
-        base_batch.dedup();
-        let mut acc_rows: Vec<Vec<Value>> = Vec::new();
-        let mut seen: HashSet<Vec<Value>> = HashSet::new();
-        for row in &base_batch.rows {
-            seen.insert(row.clone());
-            acc_rows.push(row.clone());
-            self.db.append_temp(acc_e, row.clone())?;
-            self.db.append_temp(delta_e, row.clone())?;
-        }
-
-        // Iterate.
-        let mut iterations = 0u32;
-        while self.db.entity_len(delta_e) > 0 {
-            iterations += 1;
-            if iterations > self.config.max_fix_iterations {
-                return Err(ExecError::FixpointDiverged(temp.to_string()));
-            }
-            self.delta_active.insert(temp.to_string());
-            let rec_batch = self.exec(rec);
-            self.delta_active.remove(temp);
-            let rec_batch = base_batch.aligned(rec_batch?)?;
-            self.db.truncate_temp(delta_e)?;
-            for row in rec_batch.rows {
-                if seen.insert(row.clone()) {
-                    acc_rows.push(row.clone());
-                    self.db.append_temp(acc_e, row.clone())?;
-                    self.db.append_temp(delta_e, row)?;
-                }
-            }
-        }
-        Ok(Batch {
-            cols: field_names,
-            rows: acc_rows,
-        })
+        PtError::UnionShapeMismatch => ExecError::UnionMismatch,
+        PtError::NotAPathIndex => ExecError::MissingIndex,
+        other => ExecError::BadPlan(other.to_string()),
     }
 }

@@ -1,23 +1,30 @@
-//! The execution engine: a PT interpreter with honest page-I/O and CPU
-//! accounting (validating the cost model of `oorq-cost`), plus a naive
-//! reference evaluator for query graphs used as a correctness oracle.
+//! The execution engine: a streaming physical-operator pipeline with
+//! honest page-I/O and CPU accounting (validating the cost model of
+//! `oorq-cost`), plus a naive reference evaluator for query graphs used
+//! as a correctness oracle.
 //!
-//! Operators implemented: entity/temporary scans, selections (sequential
-//! or through a selection index), projections, implicit joins
-//! (dereferences), path-index joins, explicit joins (nested-loop with
-//! honest inner rescans, or index join), unions, and **semi-naive
-//! fixpoints** with materialized accumulator/delta temporaries.
+//! Plans are lowered (`oorq_pt::lower`) to pull-based operators —
+//! entity/temporary scans streaming page-at-a-time, index selections,
+//! filters, projections, implicit joins (dereferences), path-index
+//! lookups, nested-loop joins with honest inner rescans, index joins,
+//! unions, and **semi-naive fixpoints** with materialized
+//! accumulator/delta temporaries (the pipeline breakers). Every
+//! operator tallies its own rows, page/index I/O, evaluations, method
+//! calls and wall time ([`OpReport`]), joinable against the cost
+//! model's per-node predictions.
 
 mod error;
 mod eval;
 mod executor;
 mod methods;
+mod pipeline;
 mod reference;
 
 pub use error::ExecError;
 pub use eval::{lit_value, Batch, Counters, EvalCtx};
 pub use executor::{ExecConfig, ExecReport, Executor};
 pub use methods::{MethodFn, MethodRegistry};
+pub use pipeline::OpReport;
 pub use reference::eval_query_graph;
 
 #[cfg(test)]

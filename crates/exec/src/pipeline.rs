@@ -1,0 +1,638 @@
+//! The streaming pipeline: pull-based execution of lowered physical
+//! plans with per-operator counters.
+//!
+//! Each [`PhysOp`] becomes an operator instance with `open`/`next`:
+//! scans stream page-at-a-time from the store ([`Database::scan_iter`])
+//! instead of materializing whole entities, and rows flow straight
+//! through filters, projections, dereferences and joins. Only genuine
+//! pipeline breakers materialize: the semi-naive fixpoint (accumulator
+//! and delta temporaries) and the inner of a nested loop over a
+//! non-rescannable subtree.
+//!
+//! Every `open`/`next` call is bracketed by snapshots of the store's
+//! I/O statistics, the CPU counters and a wall clock, accumulating
+//! *inclusive* per-operator figures; [`rollup`] subtracts each
+//! operator's children to yield the exclusive [`OpReport`]s that bench
+//! reports join against the cost model's per-node predictions.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::Instant;
+
+use oorq_index::IndexSet;
+use oorq_pt::{PhysOp, PhysPlan};
+use oorq_storage::{Database, EntityId, IoStats, Oid, ScanIter, Value};
+
+use crate::error::ExecError;
+use crate::eval::{lit_value, Counters, EvalCtx};
+use crate::methods::MethodRegistry;
+
+/// Observed per-operator counters of one execution (exclusive: each
+/// operator's own work, children subtracted).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpReport {
+    /// Operator id (dense, lowering order).
+    pub id: usize,
+    /// Pre-order index of the source PT node — the join key against the
+    /// cost model's per-node predicted breakdown.
+    pub pt_node: usize,
+    /// Operator label (aligned with the cost breakdown's labels).
+    pub label: String,
+    /// Times the operator was opened (1, plus nested-loop rescans of an
+    /// inner, plus one per fixpoint iteration for the recursive side).
+    pub opens: u64,
+    /// Rows pulled from children.
+    pub rows_in: u64,
+    /// Rows produced.
+    pub rows_out: u64,
+    /// Data pages fetched from disk.
+    pub page_reads: u64,
+    /// Data pages found in the buffer.
+    pub page_hits: u64,
+    /// Index page reads.
+    pub index_reads: u64,
+    /// Pages written (temporary spills).
+    pub page_writes: u64,
+    /// Predicate comparisons evaluated.
+    pub evals: u64,
+    /// Method (computed-attribute) invocations.
+    pub method_calls: u64,
+    /// Wall time spent in the operator.
+    pub wall_ns: u64,
+}
+
+/// Inclusive per-operator tallies (children's work still included).
+#[derive(Debug, Clone, Copy, Default)]
+struct OpStats {
+    opens: u64,
+    rows_out: u64,
+    page_reads: u64,
+    page_hits: u64,
+    index_reads: u64,
+    page_writes: u64,
+    evals: u64,
+    method_calls: u64,
+    wall_ns: u64,
+}
+
+/// Shared runtime of one pipeline execution.
+struct Rt<'a> {
+    db: &'a Database,
+    indexes: &'a IndexSet,
+    methods: &'a MethodRegistry,
+    counters: &'a Counters,
+    /// Per-temporary: (accumulator entity, delta entity); pre-created by
+    /// the executor (creation needs `&mut Database`).
+    temps: &'a HashMap<String, (EntityId, EntityId)>,
+    /// Temporaries currently bound to their delta (a fixpoint iteration
+    /// is in flight).
+    delta_active: RefCell<HashSet<String>>,
+    stats: RefCell<Vec<OpStats>>,
+    max_fix_iterations: u32,
+}
+
+impl<'a> Rt<'a> {
+    fn ctx(&self) -> EvalCtx<'a> {
+        EvalCtx {
+            db: self.db,
+            methods: self.methods,
+            counters: self.counters,
+            account_io: true,
+        }
+    }
+}
+
+/// Execute a lowered plan, returning the produced rows (bag semantics —
+/// the caller deduplicates the answer) and the per-operator reports.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute(
+    plan: &PhysPlan,
+    db: &Database,
+    indexes: &IndexSet,
+    methods: &MethodRegistry,
+    counters: &Counters,
+    temps: &HashMap<String, (EntityId, EntityId)>,
+    max_fix_iterations: u32,
+) -> Result<(Vec<Vec<Value>>, Vec<OpReport>), ExecError> {
+    let rt = Rt {
+        db,
+        indexes,
+        methods,
+        counters,
+        temps,
+        delta_active: RefCell::new(HashSet::new()),
+        stats: RefCell::new(vec![OpStats::default(); plan.ops]),
+        max_fix_iterations,
+    };
+    let mut root = build(&plan.root);
+    root.open(&rt)?;
+    let mut rows = Vec::new();
+    while let Some(r) = root.next(&rt)? {
+        rows.push(r);
+    }
+    drop(root);
+    let stats = rt.stats.into_inner();
+    Ok((rows, rollup(plan, &stats)))
+}
+
+/// Per-operator mutable state.
+enum St<'a> {
+    /// Filter: no state beyond the child.
+    Stateless,
+    /// Entity/temp scan: the streaming page iterator.
+    Scan(Option<ScanIter<'a>>),
+    /// Index selection: probe results, consumed by position.
+    Probe { oids: Vec<Oid>, pos: usize },
+    /// Project: rows already emitted (streaming set semantics).
+    Dedup(HashSet<Vec<Value>>),
+    /// Fan-out operators (IJ, PIJ, index join): produced rows awaiting
+    /// emission.
+    Queue(VecDeque<Vec<Value>>),
+    /// Nested loop: current outer row, plus the materialized inner when
+    /// the inner is not rescannable (pipeline breaker).
+    Nl {
+        cur: Option<Vec<Value>>,
+        mat: Option<Vec<Vec<Value>>>,
+        rpos: usize,
+    },
+    /// Union: which operand is being drained.
+    Union { on_right: bool },
+    /// Fixpoint: the accumulated result, computed at `open` (the
+    /// canonical pipeline breaker), streamed out by position.
+    Fix { out: Vec<Vec<Value>>, pos: usize },
+}
+
+struct OpExec<'p, 'a> {
+    op: &'p PhysOp,
+    kids: Vec<OpExec<'p, 'a>>,
+    st: St<'a>,
+}
+
+fn build<'p, 'a>(op: &'p PhysOp) -> OpExec<'p, 'a> {
+    let kids = op.children().into_iter().map(build).collect();
+    let st = match op {
+        PhysOp::EntityScan { .. } | PhysOp::TempScan { .. } => St::Scan(None),
+        PhysOp::IndexSelect { .. } => St::Probe {
+            oids: Vec::new(),
+            pos: 0,
+        },
+        PhysOp::Filter { .. } => St::Stateless,
+        PhysOp::Project { .. } => St::Dedup(HashSet::new()),
+        PhysOp::IjDeref { .. } | PhysOp::PijLookup { .. } | PhysOp::IndexJoin { .. } => {
+            St::Queue(VecDeque::new())
+        }
+        PhysOp::NlJoin { .. } => St::Nl {
+            cur: None,
+            mat: None,
+            rpos: 0,
+        },
+        PhysOp::UnionAll { .. } => St::Union { on_right: false },
+        PhysOp::FixPoint { .. } => St::Fix {
+            out: Vec::new(),
+            pos: 0,
+        },
+    };
+    OpExec { op, kids, st }
+}
+
+/// Snapshot of the shared counters, for inclusive-delta charging.
+struct Snap {
+    t0: Instant,
+    io: IoStats,
+    evals: u64,
+    method_calls: u64,
+}
+
+impl<'a> Rt<'a> {
+    fn snap(&self) -> Snap {
+        Snap {
+            t0: Instant::now(),
+            io: self.db.io_stats(),
+            evals: self.counters.evals.get(),
+            method_calls: self.counters.method_calls.get(),
+        }
+    }
+
+    fn charge(&self, id: usize, snap: Snap) {
+        let io = self.db.io_stats();
+        let mut stats = self.stats.borrow_mut();
+        let s = &mut stats[id];
+        s.page_reads += io.page_reads - snap.io.page_reads;
+        s.page_hits += io.page_hits - snap.io.page_hits;
+        s.index_reads += io.index_reads - snap.io.index_reads;
+        s.page_writes += io.page_writes - snap.io.page_writes;
+        s.evals += self.counters.evals.get() - snap.evals;
+        s.method_calls += self.counters.method_calls.get() - snap.method_calls;
+        s.wall_ns += snap.t0.elapsed().as_nanos() as u64;
+    }
+}
+
+impl<'a> OpExec<'_, 'a> {
+    fn open(&mut self, rt: &Rt<'a>) -> Result<(), ExecError> {
+        let id = self.op.meta().id;
+        let snap = rt.snap();
+        let res = self.open_inner(rt);
+        rt.charge(id, snap);
+        rt.stats.borrow_mut()[id].opens += 1;
+        res
+    }
+
+    fn next(&mut self, rt: &Rt<'a>) -> Result<Option<Vec<Value>>, ExecError> {
+        let id = self.op.meta().id;
+        let snap = rt.snap();
+        let res = self.next_inner(rt);
+        rt.charge(id, snap);
+        if matches!(res, Ok(Some(_))) {
+            rt.stats.borrow_mut()[id].rows_out += 1;
+        }
+        res
+    }
+
+    fn open_inner(&mut self, rt: &Rt<'a>) -> Result<(), ExecError> {
+        let OpExec { op, kids, st } = self;
+        match (&**op, st) {
+            (PhysOp::EntityScan { entity, .. }, St::Scan(iter)) => {
+                *iter = Some(rt.db.scan_iter(*entity));
+                Ok(())
+            }
+            (PhysOp::TempScan { name, .. }, St::Scan(iter)) => {
+                let (acc, delta) = *rt
+                    .temps
+                    .get(name)
+                    .ok_or_else(|| ExecError::BadFixpoint(format!("temp `{name}` not built")))?;
+                let entity = if rt.delta_active.borrow().contains(name) {
+                    delta
+                } else {
+                    acc
+                };
+                *iter = Some(rt.db.scan_iter(entity));
+                Ok(())
+            }
+            (PhysOp::IndexSelect { index, key, .. }, St::Probe { oids, pos }) => {
+                let six = rt
+                    .indexes
+                    .selection(*index)
+                    .ok_or(ExecError::MissingIndex)?;
+                *oids = six.probe(rt.db, &lit_value(key));
+                *pos = 0;
+                Ok(())
+            }
+            (PhysOp::Filter { require_index, .. }, St::Stateless) => {
+                // The named index must exist even though the plan degraded
+                // to a filter (access-method resolution parity).
+                if let Some(idx) = require_index {
+                    rt.indexes.selection(*idx).ok_or(ExecError::MissingIndex)?;
+                }
+                kids[0].open(rt)
+            }
+            (PhysOp::Project { .. }, St::Dedup(seen)) => {
+                seen.clear();
+                kids[0].open(rt)
+            }
+            (PhysOp::IjDeref { .. }, St::Queue(q)) => {
+                q.clear();
+                kids[0].open(rt)
+            }
+            (PhysOp::PijLookup { index, .. }, St::Queue(q)) => {
+                rt.indexes.path(*index).ok_or(ExecError::MissingIndex)?;
+                q.clear();
+                kids[0].open(rt)
+            }
+            (
+                PhysOp::NlJoin {
+                    rescan_inner,
+                    require_index,
+                    ..
+                },
+                St::Nl { cur, mat, rpos },
+            ) => {
+                if let Some(idx) = require_index {
+                    rt.indexes.selection(*idx).ok_or(ExecError::MissingIndex)?;
+                }
+                *cur = None;
+                *rpos = 0;
+                *mat = None;
+                kids[0].open(rt)?;
+                if !rescan_inner {
+                    // Pipeline breaker: materialize the complex inner once.
+                    kids[1].open(rt)?;
+                    let mut rows = Vec::new();
+                    while let Some(r) = kids[1].next(rt)? {
+                        rows.push(r);
+                    }
+                    *mat = Some(rows);
+                }
+                Ok(())
+            }
+            (PhysOp::IndexJoin { index, .. }, St::Queue(q)) => {
+                rt.indexes
+                    .selection(*index)
+                    .ok_or(ExecError::MissingIndex)?;
+                q.clear();
+                kids[0].open(rt)
+            }
+            (PhysOp::UnionAll { .. }, St::Union { on_right }) => {
+                *on_right = false;
+                kids[0].open(rt)
+            }
+            (PhysOp::FixPoint { temp, perm, .. }, St::Fix { out, pos }) => {
+                *pos = 0;
+                out.clear();
+                let (acc_e, delta_e) = *rt
+                    .temps
+                    .get(temp.as_str())
+                    .ok_or_else(|| ExecError::BadFixpoint(format!("temp `{temp}` not built")))?;
+                rt.db.truncate_temp(acc_e)?;
+                rt.db.truncate_temp(delta_e)?;
+
+                // Base case: seed the accumulator and the delta.
+                let mut seen: HashSet<Vec<Value>> = HashSet::new();
+                kids[0].open(rt)?;
+                while let Some(row) = kids[0].next(rt)? {
+                    if seen.insert(row.clone()) {
+                        out.push(row.clone());
+                        rt.db.append_temp(acc_e, row.clone())?;
+                        rt.db.append_temp(delta_e, row)?;
+                    }
+                }
+
+                // Iterate the recursive side over the delta until no new
+                // rows appear.
+                let mut iterations = 0u32;
+                while rt.db.entity_len(delta_e) > 0 {
+                    iterations += 1;
+                    if iterations > rt.max_fix_iterations {
+                        return Err(ExecError::FixpointDiverged(temp.clone()));
+                    }
+                    rt.delta_active.borrow_mut().insert(temp.clone());
+                    let rec = kids[1].open(rt).and_then(|()| {
+                        let mut rows = Vec::new();
+                        while let Some(r) = kids[1].next(rt)? {
+                            rows.push(r);
+                        }
+                        Ok(rows)
+                    });
+                    rt.delta_active.borrow_mut().remove(temp.as_str());
+                    let rec = rec?;
+                    rt.db.truncate_temp(delta_e)?;
+                    for r in rec {
+                        let row: Vec<Value> = match perm {
+                            None => r,
+                            Some(p) => p.iter().map(|&i| r[i].clone()).collect(),
+                        };
+                        if seen.insert(row.clone()) {
+                            out.push(row.clone());
+                            rt.db.append_temp(acc_e, row.clone())?;
+                            rt.db.append_temp(delta_e, row)?;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            _ => unreachable!("operator/state shape mismatch"),
+        }
+    }
+
+    fn next_inner(&mut self, rt: &Rt<'a>) -> Result<Option<Vec<Value>>, ExecError> {
+        let OpExec { op, kids, st } = self;
+        match (&**op, st) {
+            (PhysOp::EntityScan { class, .. }, St::Scan(iter)) => {
+                let Some(it) = iter.as_mut() else {
+                    return Ok(None);
+                };
+                Ok(it.next().map(|row| match class {
+                    Some(c) => vec![Value::Oid(Oid::new(*c, row.key))],
+                    None => row.values,
+                }))
+            }
+            (PhysOp::TempScan { .. }, St::Scan(iter)) => {
+                Ok(iter.as_mut().and_then(|it| it.next()).map(|r| r.values))
+            }
+            (PhysOp::IndexSelect { class, pred, .. }, St::Probe { oids, pos }) => {
+                while *pos < oids.len() {
+                    let o = oids[*pos];
+                    *pos += 1;
+                    if o.class != *class {
+                        continue;
+                    }
+                    // Fetch the object's page (the probe yields only oids),
+                    // then apply the full predicate as a residual filter.
+                    let _ = rt.db.read_object(o)?;
+                    let row = vec![Value::Oid(o)];
+                    if rt.ctx().truthy(pred, op.cols(), &row)? {
+                        return Ok(Some(row));
+                    }
+                }
+                Ok(None)
+            }
+            (PhysOp::Filter { pred, .. }, St::Stateless) => loop {
+                let Some(row) = kids[0].next(rt)? else {
+                    return Ok(None);
+                };
+                if rt.ctx().truthy(pred, op.cols(), &row)? {
+                    return Ok(Some(row));
+                }
+            },
+            (PhysOp::Project { exprs, .. }, St::Dedup(seen)) => loop {
+                let Some(row) = kids[0].next(rt)? else {
+                    return Ok(None);
+                };
+                let in_cols = kids[0].op.cols();
+                let ctx = rt.ctx();
+                let mut new_row = Vec::with_capacity(exprs.len());
+                for (_, e) in exprs {
+                    new_row.push(ctx.eval(e, in_cols, &row)?);
+                }
+                if seen.insert(new_row.clone()) {
+                    return Ok(Some(new_row));
+                }
+            },
+            (PhysOp::IjDeref { on, .. }, St::Queue(q)) => loop {
+                if let Some(r) = q.pop_front() {
+                    return Ok(Some(r));
+                }
+                let Some(row) = kids[0].next(rt)? else {
+                    return Ok(None);
+                };
+                let in_cols = kids[0].op.cols();
+                for m in rt.ctx().eval_members(on, in_cols, &row)? {
+                    if let Value::Oid(o) = m {
+                        // Touch the sub-object's page: the implicit join
+                        // is what pays the dereference.
+                        let _ = rt.db.read_object(o)?;
+                        let mut r = row.clone();
+                        r.push(Value::Oid(o));
+                        q.push_back(r);
+                    }
+                }
+            },
+            (
+                PhysOp::PijLookup {
+                    index, on, outs, ..
+                },
+                St::Queue(q),
+            ) => loop {
+                if let Some(r) = q.pop_front() {
+                    return Ok(Some(r));
+                }
+                let Some(row) = kids[0].next(rt)? else {
+                    return Ok(None);
+                };
+                let pix = rt.indexes.path(*index).ok_or(ExecError::MissingIndex)?;
+                let in_cols = kids[0].op.cols();
+                for m in rt.ctx().eval_members(on, in_cols, &row)? {
+                    let Value::Oid(head) = m else { continue };
+                    for tail in pix.probe(rt.db, head) {
+                        if tail.len() < outs.len() {
+                            continue;
+                        }
+                        let mut r = row.clone();
+                        for o in tail.iter().take(outs.len()) {
+                            r.push(Value::Oid(*o));
+                        }
+                        q.push_back(r);
+                    }
+                }
+            },
+            (
+                PhysOp::NlJoin {
+                    pred, rescan_inner, ..
+                },
+                St::Nl { cur, mat, rpos },
+            ) => loop {
+                if cur.is_none() {
+                    let Some(l) = kids[0].next(rt)? else {
+                        return Ok(None);
+                    };
+                    *cur = Some(l);
+                    if *rescan_inner {
+                        // Honest nested loop: rescan the leaf-ish inner
+                        // through the buffer manager for every outer row.
+                        kids[1].open(rt)?;
+                    } else {
+                        *rpos = 0;
+                    }
+                }
+                let rrow = if *rescan_inner {
+                    kids[1].next(rt)?
+                } else {
+                    let rows = mat.as_ref().expect("inner materialized at open");
+                    let r = rows.get(*rpos).cloned();
+                    *rpos += 1;
+                    r
+                };
+                let Some(rrow) = rrow else {
+                    *cur = None;
+                    continue;
+                };
+                let mut combined = cur.as_ref().expect("outer row in hand").clone();
+                combined.extend(rrow);
+                if rt.ctx().truthy(pred, op.cols(), &combined)? {
+                    return Ok(Some(combined));
+                }
+            },
+            (
+                PhysOp::IndexJoin {
+                    index,
+                    class,
+                    outer,
+                    pred,
+                    ..
+                },
+                St::Queue(q),
+            ) => loop {
+                if let Some(r) = q.pop_front() {
+                    return Ok(Some(r));
+                }
+                let Some(lrow) = kids[0].next(rt)? else {
+                    return Ok(None);
+                };
+                let six = rt
+                    .indexes
+                    .selection(*index)
+                    .ok_or(ExecError::MissingIndex)?;
+                let in_cols = kids[0].op.cols();
+                let keys = rt.ctx().eval_members(outer, in_cols, &lrow)?;
+                for key in keys {
+                    for o in six.probe(rt.db, &key) {
+                        if o.class != *class {
+                            continue;
+                        }
+                        let _ = rt.db.read_object(o)?;
+                        let mut combined = lrow.clone();
+                        combined.push(Value::Oid(o));
+                        if rt.ctx().truthy(pred, op.cols(), &combined)? {
+                            q.push_back(combined);
+                        }
+                    }
+                }
+            },
+            (PhysOp::UnionAll { perm, .. }, St::Union { on_right }) => loop {
+                if !*on_right {
+                    match kids[0].next(rt)? {
+                        Some(r) => return Ok(Some(r)),
+                        None => {
+                            *on_right = true;
+                            kids[1].open(rt)?;
+                        }
+                    }
+                } else {
+                    let Some(r) = kids[1].next(rt)? else {
+                        return Ok(None);
+                    };
+                    return Ok(Some(match perm {
+                        None => r,
+                        Some(p) => p.iter().map(|&i| r[i].clone()).collect(),
+                    }));
+                }
+            },
+            (PhysOp::FixPoint { .. }, St::Fix { out, pos }) => {
+                let r = out.get(*pos).cloned();
+                if r.is_some() {
+                    *pos += 1;
+                }
+                Ok(r)
+            }
+            _ => unreachable!("operator/state shape mismatch"),
+        }
+    }
+}
+
+/// Exclusive per-operator reports: subtract each operator's direct
+/// children from its inclusive tallies; `rows_in` is the children's
+/// combined output.
+fn rollup(plan: &PhysPlan, stats: &[OpStats]) -> Vec<OpReport> {
+    let mut out: Vec<OpReport> = (0..plan.ops).map(|_| OpReport::default()).collect();
+    plan.root.visit(&mut |op| {
+        let id = op.meta().id;
+        let s = stats[id];
+        let mut r = OpReport {
+            id,
+            pt_node: op.meta().pt_node,
+            label: op.meta().label.clone(),
+            opens: s.opens,
+            rows_in: 0,
+            rows_out: s.rows_out,
+            page_reads: s.page_reads,
+            page_hits: s.page_hits,
+            index_reads: s.index_reads,
+            page_writes: s.page_writes,
+            evals: s.evals,
+            method_calls: s.method_calls,
+            wall_ns: s.wall_ns,
+        };
+        for c in op.children() {
+            let cs = stats[c.meta().id];
+            r.rows_in += cs.rows_out;
+            r.page_reads = r.page_reads.saturating_sub(cs.page_reads);
+            r.page_hits = r.page_hits.saturating_sub(cs.page_hits);
+            r.index_reads = r.index_reads.saturating_sub(cs.index_reads);
+            r.page_writes = r.page_writes.saturating_sub(cs.page_writes);
+            r.evals = r.evals.saturating_sub(cs.evals);
+            r.method_calls = r.method_calls.saturating_sub(cs.method_calls);
+            r.wall_ns = r.wall_ns.saturating_sub(cs.wall_ns);
+        }
+        out[id] = r;
+    });
+    out
+}

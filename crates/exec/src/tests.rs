@@ -573,4 +573,45 @@ fn fixpoint_over_empty_base_terminates_empty() {
     let mut ex = Executor::new(&mut m.db, &idx, &methods);
     let out = ex.run(&plan).unwrap();
     assert!(out.is_empty());
+    // Counter-based: with an empty base the delta starts empty, so the
+    // recursive side must never be opened — zero redundant delta scans.
+    let ops = ex.report().ops;
+    let delta_scan = ops
+        .iter()
+        .find(|o| o.label == "scan temp Empty")
+        .expect("rec-side delta scan operator");
+    assert_eq!(delta_scan.opens, 0, "empty base must not scan the delta");
+    assert_eq!(delta_scan.rows_out, 0);
+}
+
+#[test]
+fn single_iteration_fixpoint_scans_delta_once() {
+    // Chains of length 2: the base emits one (master, disciple) pair per
+    // chain, and no composer has a chain tail as master, so the first
+    // semi-naive iteration derives nothing new and the loop must stop.
+    let mut m = MusicDb::generate(
+        Rc::new(music_catalog()),
+        MusicConfig {
+            chains: 3,
+            chain_len: 2,
+            ..Default::default()
+        },
+    );
+    let idx = IndexSet::new();
+    let methods = MethodRegistry::new();
+    let plan = influencer_fix(&m);
+    let mut ex = Executor::new(&mut m.db, &idx, &methods);
+    let out = ex.run(&plan).unwrap();
+    assert_eq!(out.len(), 3, "one pair per chain");
+    // Counter-based: exactly one delta scan (the iteration that proves
+    // the fixpoint), not a redundant second pass over an empty delta.
+    let ops = ex.report().ops;
+    let delta_scan = ops
+        .iter()
+        .find(|o| o.label == "scan temp Influencer")
+        .expect("rec-side delta scan operator");
+    assert_eq!(
+        delta_scan.opens, 1,
+        "single-iteration fixpoint must scan the delta exactly once"
+    );
 }

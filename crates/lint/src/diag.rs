@@ -103,6 +103,22 @@ pub enum LintCode {
     NonFiniteCost,
     /// A selection is estimated to *grow* its input (selectivity > 1).
     SelectivityOutOfRange,
+
+    // ---- physical-plan pass -----------------------------------------
+    /// Physical operator ids are not dense and unique.
+    PhysOpIds,
+    /// A physical operator's output columns disagree with its operands.
+    PhysColsMismatch,
+    /// A union/fixpoint permutation does not map its operand's columns.
+    PhysBadPerm,
+    /// A physical operator names a missing or wrong-kind index.
+    PhysBadIndex,
+    /// A temp scan outside any defining fixpoint scope.
+    PhysUndefinedTemp,
+    /// A nested loop marked rescannable over a non-rescannable inner.
+    PhysBadRescan,
+    /// An entity scan references an entity out of range.
+    PhysBadEntity,
 }
 
 impl LintCode {
@@ -136,6 +152,13 @@ impl LintCode {
             LintCode::NegativeCardinality => "CM001",
             LintCode::NonFiniteCost => "CM002",
             LintCode::SelectivityOutOfRange => "CM003",
+            LintCode::PhysOpIds => "PX001",
+            LintCode::PhysColsMismatch => "PX002",
+            LintCode::PhysBadPerm => "PX003",
+            LintCode::PhysBadIndex => "PX004",
+            LintCode::PhysUndefinedTemp => "PX005",
+            LintCode::PhysBadRescan => "PX006",
+            LintCode::PhysBadEntity => "PX007",
         }
     }
 
@@ -160,7 +183,14 @@ impl LintCode {
             | UndefinedTemp
             | NegativeCardinality
             | NonFiniteCost
-            | SelectivityOutOfRange => Severity::Error,
+            | SelectivityOutOfRange
+            | PhysOpIds
+            | PhysColsMismatch
+            | PhysBadPerm
+            | PhysBadIndex
+            | PhysUndefinedTemp
+            | PhysBadRescan
+            | PhysBadEntity => Severity::Error,
             NonLinearRecursion | UnreachableNode | DeadViewCycle | DuplicateColumn
             | EmptyProjection => Severity::Warn,
             UnusedVariable | CartesianProduct | LinearRecursion | NoPropagatedColumns => {
@@ -200,6 +230,13 @@ impl LintCode {
             NegativeCardinality,
             NonFiniteCost,
             SelectivityOutOfRange,
+            PhysOpIds,
+            PhysColsMismatch,
+            PhysBadPerm,
+            PhysBadIndex,
+            PhysUndefinedTemp,
+            PhysBadRescan,
+            PhysBadEntity,
         ]
     }
 
@@ -234,6 +271,13 @@ impl LintCode {
             NegativeCardinality => "negative or NaN cardinality estimate",
             NonFiniteCost => "negative, NaN or infinite cost estimate",
             SelectivityOutOfRange => "selection estimated to grow its input",
+            PhysOpIds => "physical operator ids not dense and unique",
+            PhysColsMismatch => "physical operator columns disagree with operands",
+            PhysBadPerm => "union/fixpoint permutation does not map operand columns",
+            PhysBadIndex => "physical operator names a missing or wrong-kind index",
+            PhysUndefinedTemp => "temp scanned outside a defining fixpoint",
+            PhysBadRescan => "nested-loop rescan over a non-rescannable inner",
+            PhysBadEntity => "entity scan references an entity out of range",
         }
     }
 }

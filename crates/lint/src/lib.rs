@@ -23,11 +23,13 @@
 mod cost;
 mod diag;
 mod graph;
+mod phys;
 mod plan;
 
 pub use cost::lint_plan_cost;
 pub use diag::{Diagnostic, LintCode, LintReport, Severity};
 pub use graph::lint_graph;
+pub use phys::verify_phys;
 pub use plan::verify_pt;
 
 use oorq_query::{parse_program, ParseError, ParsedProgram};

@@ -135,6 +135,8 @@ fn map_pt_error(e: &oorq_pt::PtError) -> LintCode {
     use oorq_pt::PtError::*;
     match e {
         FixBodyNotUnion => LintCode::FixBodyNotUnion,
+        FixNotRecursive(_) => LintCode::FixNoRecursiveLeg,
+        UnionShapeMismatch => LintCode::UnionShapeMismatch,
         TempAsEntity(_) | UnknownTemp(_) => LintCode::UndefinedTemp,
         NotAReference(_) => LintCode::BadIjStep,
         NotAPathIndex => LintCode::BadIndex,

@@ -9,7 +9,7 @@ use oorq_query::{Expr, NameRef, QArc, QueryGraph, SpjNode, TreeLabel};
 use oorq_schema::Catalog;
 use oorq_storage::{Database, StorageConfig};
 
-use crate::{lint_graph, verify_pt, LintCode, Severity};
+use crate::{lint_graph, verify_phys, verify_pt, LintCode, Severity};
 
 fn setup() -> (Rc<Catalog>, Database) {
     let cat = Rc::new(music_catalog());
@@ -422,4 +422,182 @@ fn report_renders_codes_and_severities() {
         assert!(!code.code().is_empty());
         assert!(!code.describe().is_empty());
     }
+}
+
+// ---- physical-plan pass ---------------------------------------------
+
+/// A lowered fixpoint plan (the Influencer shape) for the phys pass.
+fn lowered_fix(cat: &Catalog, db: &Database) -> oorq_pt::PhysPlan {
+    let composer = cat.class_by_name("Composer").unwrap();
+    let e = db.physical().entities_of_class(composer)[0];
+    let base = Pt::proj(
+        vec![
+            ("master".into(), Expr::path("x", &["master"])),
+            ("disciple".into(), Expr::var("x")),
+        ],
+        Pt::entity(e, "x"),
+    );
+    let rec = Pt::proj(
+        vec![
+            ("master".into(), Expr::var("i.master")),
+            ("disciple".into(), Expr::var("x")),
+        ],
+        Pt::ej(
+            Expr::var("i.disciple").eq(Expr::path("x", &["master"])),
+            Pt::temp("R", "i"),
+            Pt::entity(e, "x"),
+        ),
+    );
+    let fix = Pt::fix("R", Pt::union(base, rec));
+    oorq_pt::lower(&PtEnv::new(cat, db.physical()), &fix).expect("lowers")
+}
+
+#[test]
+fn lowered_plans_verify_clean() {
+    let (cat, db) = setup();
+    let env = PtEnv::new(&cat, db.physical());
+    let plan = lowered_fix(&cat, &db);
+    let report = verify_phys(&env, &plan);
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn phys_op_count_mismatch_is_reported() {
+    let (cat, db) = setup();
+    let env = PtEnv::new(&cat, db.physical());
+    let mut plan = lowered_fix(&cat, &db);
+    plan.ops += 1;
+    let report = verify_phys(&env, &plan);
+    assert!(report.has(LintCode::PhysOpIds), "{report}");
+}
+
+fn phys_meta(id: usize) -> oorq_pt::OpMeta {
+    oorq_pt::OpMeta {
+        id,
+        pt_node: id,
+        label: format!("op{id}"),
+    }
+}
+
+fn phys_scan(cat: &Catalog, db: &Database, id: usize, var: &str) -> oorq_pt::PhysOp {
+    let composer = cat.class_by_name("Composer").unwrap();
+    oorq_pt::PhysOp::EntityScan {
+        meta: phys_meta(id),
+        entity: db.physical().entities_of_class(composer)[0],
+        var: var.into(),
+        class: Some(composer),
+        cols: vec![var.into()],
+    }
+}
+
+#[test]
+fn phys_cols_mismatch_is_reported() {
+    let (cat, db) = setup();
+    let env = PtEnv::new(&cat, db.physical());
+    // A filter claiming columns its input does not produce.
+    let root = oorq_pt::PhysOp::Filter {
+        meta: phys_meta(0),
+        pred: Expr::True,
+        require_index: None,
+        input: Box::new(phys_scan(&cat, &db, 1, "x")),
+        cols: vec!["y".into()],
+    };
+    let report = verify_phys(&env, &oorq_pt::PhysPlan { root, ops: 2 });
+    assert!(report.has(LintCode::PhysColsMismatch), "{report}");
+}
+
+#[test]
+fn phys_bad_union_permutation_is_reported() {
+    let (cat, db) = setup();
+    let env = PtEnv::new(&cat, db.physical());
+    // Identity columns but a perm that maps both outputs to column 0.
+    let root = oorq_pt::PhysOp::UnionAll {
+        meta: phys_meta(0),
+        perm: Some(vec![0, 0]),
+        left: Box::new(oorq_pt::PhysOp::Project {
+            meta: phys_meta(1),
+            exprs: vec![("a".into(), Expr::var("x")), ("b".into(), Expr::var("x"))],
+            input: Box::new(phys_scan(&cat, &db, 2, "x")),
+            cols: vec!["a".into(), "b".into()],
+        }),
+        right: Box::new(oorq_pt::PhysOp::Project {
+            meta: phys_meta(3),
+            exprs: vec![("a".into(), Expr::var("x")), ("b".into(), Expr::var("x"))],
+            input: Box::new(phys_scan(&cat, &db, 4, "x")),
+            cols: vec!["a".into(), "b".into()],
+        }),
+        cols: vec!["a".into(), "b".into()],
+    };
+    let report = verify_phys(&env, &oorq_pt::PhysPlan { root, ops: 5 });
+    assert!(report.has(LintCode::PhysBadPerm), "{report}");
+}
+
+#[test]
+fn phys_undefined_temp_is_reported() {
+    let (cat, db) = setup();
+    let env = PtEnv::new(&cat, db.physical());
+    let root = oorq_pt::PhysOp::TempScan {
+        meta: phys_meta(0),
+        name: "Ghost".into(),
+        cols: vec!["g".into()],
+    };
+    let report = verify_phys(&env, &oorq_pt::PhysPlan { root, ops: 1 });
+    assert!(report.has(LintCode::PhysUndefinedTemp), "{report}");
+    // In scope via the environment: clean.
+    let env2 = PtEnv::new(&cat, db.physical()).with_temp(
+        "Ghost",
+        vec![(
+            "g".into(),
+            oorq_schema::ResolvedType::Object(cat.class_by_name("Composer").unwrap()),
+        )],
+    );
+    let root = oorq_pt::PhysOp::TempScan {
+        meta: phys_meta(0),
+        name: "Ghost".into(),
+        cols: vec!["g".into()],
+    };
+    assert!(verify_phys(&env2, &oorq_pt::PhysPlan { root, ops: 1 }).is_clean());
+}
+
+#[test]
+fn phys_bad_rescan_is_reported() {
+    let (cat, db) = setup();
+    let env = PtEnv::new(&cat, db.physical());
+    // rescan_inner over a join inner: the inner is a pipeline, not a
+    // rescannable leaf.
+    let inner = oorq_pt::PhysOp::NlJoin {
+        meta: phys_meta(1),
+        pred: Expr::True,
+        rescan_inner: true,
+        require_index: None,
+        left: Box::new(phys_scan(&cat, &db, 2, "b")),
+        right: Box::new(phys_scan(&cat, &db, 3, "c")),
+        cols: vec!["b".into(), "c".into()],
+    };
+    let root = oorq_pt::PhysOp::NlJoin {
+        meta: phys_meta(0),
+        pred: Expr::True,
+        rescan_inner: true,
+        require_index: None,
+        left: Box::new(phys_scan(&cat, &db, 4, "a")),
+        right: Box::new(inner),
+        cols: vec!["a".into(), "b".into(), "c".into()],
+    };
+    let report = verify_phys(&env, &oorq_pt::PhysPlan { root, ops: 5 });
+    assert!(report.has(LintCode::PhysBadRescan), "{report}");
+}
+
+#[test]
+fn phys_bad_entity_is_reported() {
+    let (cat, db) = setup();
+    let env = PtEnv::new(&cat, db.physical());
+    let root = oorq_pt::PhysOp::EntityScan {
+        meta: phys_meta(0),
+        entity: oorq_storage::EntityId(999),
+        var: "x".into(),
+        class: None,
+        cols: vec!["x".into()],
+    };
+    let report = verify_phys(&env, &oorq_pt::PhysPlan { root, ops: 1 });
+    assert!(report.has(LintCode::PhysBadEntity), "{report}");
 }

@@ -29,6 +29,10 @@ pub enum PtError {
     },
     /// A `Fix` body is not a `Union`.
     FixBodyNotUnion,
+    /// Neither side of a `Fix` body union references the temporary.
+    FixNotRecursive(String),
+    /// Union (or fixpoint base/recursive) sides disagree on columns.
+    UnionShapeMismatch,
     /// Column-expression typing failed.
     Typing(QueryError),
     /// A pattern variable was not bound by the match.
@@ -51,6 +55,12 @@ impl fmt::Display for PtError {
                 write!(f, "PIJ binds {wanted} outputs but the path is shorter")
             }
             PtError::FixBodyNotUnion => write!(f, "Fix body must be a Union"),
+            PtError::FixNotRecursive(t) => {
+                write!(f, "neither union side references `{t}`")
+            }
+            PtError::UnionShapeMismatch => {
+                write!(f, "union sides bind different columns")
+            }
             PtError::Typing(e) => write!(f, "typing: {e}"),
             PtError::UnboundPatternVar(v) => write!(f, "pattern variable `{v}` unbound"),
         }

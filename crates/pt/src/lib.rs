@@ -11,11 +11,13 @@ mod analysis;
 mod error;
 mod node;
 mod pattern;
+pub mod phys;
 
 pub use analysis::propagated_columns;
 pub use error::PtError;
 pub use node::{type_of_column_expr, AccessMethod, IjStep, JoinAlgo, Pt, PtDisplay, PtEnv};
 pub use pattern::{match_pattern, subtrees, Binding, Bindings, Pattern, TransformAction};
+pub use phys::{lower, node_ids, OpMeta, PhysOp, PhysPlan};
 
 #[cfg(test)]
 mod tests;

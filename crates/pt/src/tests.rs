@@ -240,6 +240,183 @@ fn apply_all_enumerates_every_position() {
     assert_ne!(all[0], all[1]);
 }
 
+// ---- lowering to physical plans -------------------------------------
+
+/// Register a selection index on `Composer.name` in the physical schema.
+fn name_index(cat: &Catalog, db: &mut Database) -> oorq_storage::IndexId {
+    let composer = cat.class_by_name("Composer").unwrap();
+    let (name, _) = cat.attr(composer, "name").unwrap();
+    db.physical_mut().add_index(
+        oorq_storage::IndexKindDesc::Selection {
+            class: composer,
+            attr: name,
+        },
+        oorq_storage::IndexStats {
+            nblevels: 2,
+            nbleaves: 10,
+        },
+    )
+}
+
+#[test]
+fn lowering_resolves_index_selection_and_fallback() {
+    let (cat, mut db) = setup();
+    let composer = cat.class_by_name("Composer").unwrap();
+    let sid = name_index(&cat, &mut db);
+    let e = db.physical().entities_of_class(composer)[0];
+    let env = PtEnv::new(&cat, db.physical());
+
+    // A `var.attr = literal` conjunct: the probe key is resolved.
+    let indexed = Pt::Sel {
+        pred: Expr::path("x", &["name"]).eq(Expr::text("Bach")),
+        method: AccessMethod::Index(sid),
+        input: Box::new(Pt::entity(e, "x")),
+    };
+    let plan = lower(&env, &indexed).unwrap();
+    match &plan.root {
+        PhysOp::IndexSelect { index, key, .. } => {
+            assert_eq!(*index, sid);
+            assert_eq!(*key, oorq_query::Literal::Text("Bach".into()));
+        }
+        other => panic!("expected IndexSelect, got {other:?}"),
+    }
+    assert!(plan.root.meta().label.starts_with("Sel^idx["));
+
+    // No usable conjunct: degrade to a filter that still demands the
+    // index structure (the interpreter's resolution order).
+    let unusable = Pt::Sel {
+        pred: Expr::path("x", &["name"]).ne(Expr::text("Bach")),
+        method: AccessMethod::Index(sid),
+        input: Box::new(Pt::entity(e, "x")),
+    };
+    let plan = lower(&env, &unusable).unwrap();
+    match &plan.root {
+        PhysOp::Filter { require_index, .. } => assert_eq!(*require_index, Some(sid)),
+        other => panic!("expected Filter fallback, got {other:?}"),
+    }
+}
+
+#[test]
+fn lowering_resolves_index_join_outer_expression() {
+    let (cat, mut db) = setup();
+    let composer = cat.class_by_name("Composer").unwrap();
+    let sid = name_index(&cat, &mut db);
+    let e = db.physical().entities_of_class(composer)[0];
+    let env = PtEnv::new(&cat, db.physical());
+
+    // `l.name = r.name` with the index on the inner's `name`: the outer
+    // key expression is resolved to `l.name`.
+    let ej = Pt::EJ {
+        pred: Expr::path("l", &["name"]).eq(Expr::path("r", &["name"])),
+        algo: JoinAlgo::IndexJoin(sid),
+        left: Box::new(Pt::entity(e, "l")),
+        right: Box::new(Pt::entity(e, "r")),
+    };
+    let plan = lower(&env, &ej).unwrap();
+    match &plan.root {
+        PhysOp::IndexJoin { outer, var, .. } => {
+            assert_eq!(*outer, Expr::path("l", &["name"]));
+            assert_eq!(var, "r");
+        }
+        other => panic!("expected IndexJoin, got {other:?}"),
+    }
+
+    // No equality on the indexed attribute: degrade to a nested loop
+    // that still demands the structure.
+    let no_eq = Pt::EJ {
+        pred: Expr::path("l", &["birth_year"]).ge(Expr::path("r", &["birth_year"])),
+        algo: JoinAlgo::IndexJoin(sid),
+        left: Box::new(Pt::entity(e, "l")),
+        right: Box::new(Pt::entity(e, "r")),
+    };
+    let plan = lower(&env, &no_eq).unwrap();
+    match &plan.root {
+        PhysOp::NlJoin {
+            require_index,
+            rescan_inner,
+            ..
+        } => {
+            assert_eq!(*require_index, Some(sid));
+            assert!(*rescan_inner, "entity inner is honestly rescannable");
+        }
+        other => panic!("expected NlJoin fallback, got {other:?}"),
+    }
+}
+
+#[test]
+fn lowering_shares_preorder_node_numbering() {
+    let (cat, db) = setup();
+    let composer = cat.class_by_name("Composer").unwrap();
+    let e = db.physical().entities_of_class(composer)[0];
+    let env = PtEnv::new(&cat, db.physical());
+    let pt = Pt::sel(
+        Expr::path("x", &["name"]).eq(Expr::text("Bach")),
+        Pt::union(Pt::entity(e, "x"), Pt::entity(e, "x")),
+    );
+    let ids = node_ids(&pt);
+    assert_eq!(ids.len(), 4, "one id per PT node");
+    let plan = lower(&env, &pt).unwrap();
+    assert_eq!(plan.ops, 4, "one operator per node here");
+    // Pre-order: Sel=0, Union=1, left Entity=2, right Entity=3 — and the
+    // lowered operators carry exactly those indices.
+    let mut seen = Vec::new();
+    plan.root.visit(&mut |op| seen.push(op.meta().pt_node));
+    assert_eq!(seen, vec![0, 1, 2, 3]);
+    // Operator ids are dense and unique.
+    let mut op_ids = Vec::new();
+    plan.root.visit(&mut |op| op_ids.push(op.meta().id));
+    op_ids.sort_unstable();
+    assert_eq!(op_ids, vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn lowering_fix_aligns_recursive_columns() {
+    let (cat, db) = setup();
+    let composer = cat.class_by_name("Composer").unwrap();
+    let e = db.physical().entities_of_class(composer)[0];
+    let env = PtEnv::new(&cat, db.physical());
+    let base = Pt::proj(
+        vec![
+            ("master".into(), Expr::path("x", &["master"])),
+            ("disciple".into(), Expr::var("x")),
+        ],
+        Pt::entity(e, "x"),
+    );
+    // The recursive side emits the same columns in swapped order.
+    let rec = Pt::proj(
+        vec![
+            ("disciple".into(), Expr::var("x")),
+            ("master".into(), Expr::var("i.master")),
+        ],
+        Pt::ej(
+            Expr::var("i.disciple").eq(Expr::path("x", &["master"])),
+            Pt::temp("R", "i"),
+            Pt::entity(e, "x"),
+        ),
+    );
+    let fix = Pt::fix("R", Pt::union(base, rec));
+    let plan = lower(&env, &fix).unwrap();
+    match &plan.root {
+        PhysOp::FixPoint { perm, cols, .. } => {
+            assert_eq!(cols, &["master".to_string(), "disciple".to_string()]);
+            assert_eq!(
+                perm,
+                &Some(vec![1, 0]),
+                "rec columns permuted into base order"
+            );
+        }
+        other => panic!("expected FixPoint, got {other:?}"),
+    }
+
+    // A union whose sides bind different columns fails the lowering.
+    let l = Pt::proj(vec![("a".into(), Expr::var("x"))], Pt::entity(e, "x"));
+    let r = Pt::proj(vec![("b".into(), Expr::var("x"))], Pt::entity(e, "x"));
+    assert!(matches!(
+        lower(&env, &Pt::union(l, r)),
+        Err(PtError::UnionShapeMismatch)
+    ));
+}
+
 #[test]
 fn column_expr_typing_handles_qualified_names() {
     let (cat, _db) = setup();

@@ -458,15 +458,23 @@ impl Database {
         Some(seg.page_rows(page).to_vec())
     }
 
+    /// Stream an entity page-at-a-time through the buffer manager: each
+    /// page is fetched (and accounted) only when the iterator first needs
+    /// a record from it, so consumers never hold more than one page of
+    /// records at a time.
+    pub fn scan_iter(&self, entity: EntityId) -> ScanIter<'_> {
+        ScanIter {
+            db: self,
+            entity,
+            page: 0,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
     /// Scan a whole entity, fetching every page (convenience).
     pub fn scan(&self, entity: EntityId) -> Vec<Row> {
-        let mut out = Vec::new();
-        let mut page = 0;
-        while let Some(mut rows) = self.scan_page(entity, page) {
-            out.append(&mut rows);
-            page += 1;
-        }
-        out
+        self.scan_iter(entity).collect()
     }
 
     /// Scan without I/O accounting (bulk index builds, statistics).
@@ -625,5 +633,36 @@ impl Database {
     /// Drop buffer residency and counters (cold-cache measurement).
     pub fn cold_cache(&self) {
         self.buffer.borrow_mut().clear();
+    }
+}
+
+/// A streaming, page-at-a-time scan of one entity (see
+/// [`Database::scan_iter`]). The iterator keeps only the records of the
+/// page it is currently draining; page fetches are accounted through the
+/// buffer manager exactly when they happen, so interleaved consumers
+/// (e.g. a pipelined executor) observe honest LRU behaviour.
+#[derive(Debug)]
+pub struct ScanIter<'a> {
+    db: &'a Database,
+    entity: EntityId,
+    page: u32,
+    buf: Vec<Row>,
+    pos: usize,
+}
+
+impl Iterator for ScanIter<'_> {
+    type Item = Row;
+
+    fn next(&mut self) -> Option<Row> {
+        loop {
+            if self.pos < self.buf.len() {
+                let row = self.buf[self.pos].clone();
+                self.pos += 1;
+                return Some(row);
+            }
+            self.buf = self.db.scan_page(self.entity, self.page)?;
+            self.page += 1;
+            self.pos = 0;
+        }
     }
 }

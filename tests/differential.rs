@@ -1,0 +1,282 @@
+//! Differential tests: the streaming pipeline executor against the
+//! naive reference evaluator, on every datagen scenario (music chains,
+//! parts BOM, relational chain joins) across seeded PRNG sizes. Each
+//! case asserts the result sets are identical and — for recursive
+//! queries — that the semi-naive fixpoint converged (a bounded number
+//! of delta scans, observed through the per-operator counters).
+
+use std::rc::Rc;
+
+use oorq::cost::{CostModel, CostParams};
+use oorq::datagen::{
+    parts_catalog, ChainConfig, ChainDb, MusicConfig, MusicDb, PartsConfig, PartsDb,
+};
+use oorq::exec::{eval_query_graph, Executor, MethodRegistry};
+use oorq::index::{IndexSet, PathIndex, SelectionIndex};
+use oorq::optimizer::{Optimizer, OptimizerConfig};
+use oorq::query::paper::{influencer_view, music_catalog};
+use oorq::query::{Expr, NameRef, QArc, QueryGraph, SpjNode, ViewRegistry};
+use oorq::storage::{Database, DbStats};
+
+/// Optimize under the given config, stream the plan, and compare
+/// against the (pre-computed, sorted) reference answer. Returns the
+/// per-operator reports of the streaming run so callers can assert on
+/// counters.
+fn diff_one(
+    db: &mut Database,
+    idx: &IndexSet,
+    methods: &MethodRegistry,
+    q: &QueryGraph,
+    reference: &[Vec<oorq::storage::Value>],
+    config: OptimizerConfig,
+    label: &str,
+) -> Vec<oorq::exec::OpReport> {
+    let stats = DbStats::collect(db);
+    let model = CostModel::new(db.catalog(), db.physical(), &stats, CostParams::default());
+    let plan = Optimizer::new(model, config)
+        .optimize(q)
+        .unwrap_or_else(|e| panic!("{label}: optimization failed: {e}"));
+    let mut ex = Executor::new(db, idx, methods);
+    let got = ex
+        .run(&plan.pt)
+        .unwrap_or_else(|e| panic!("{label}: streaming execution failed: {e}"));
+    let mut b = got.rows.clone();
+    b.sort();
+    assert_eq!(
+        reference,
+        &b[..],
+        "{label}: streaming executor diverged from reference"
+    );
+    ex.report().ops
+}
+
+/// Run `diff_one` under both the cost-controlled and the always-push
+/// strategies (the two plans that exercise different pipeline shapes),
+/// and assert every fixpoint in the plans converged: the rec-side delta
+/// scan must open at least once less than the row count bound (semi-
+/// naive iterations are bounded by the longest derivation chain).
+fn diff_configs(
+    db: &mut Database,
+    idx: &IndexSet,
+    methods: &MethodRegistry,
+    q: &QueryGraph,
+    label: &str,
+    expect_fix: bool,
+) {
+    // The naive reference is the slow side (cross products); evaluate it
+    // once per scenario and compare every strategy's plan against it.
+    let mut reference = eval_query_graph(db, methods, q)
+        .unwrap_or_else(|e| panic!("{label}: reference failed: {e}"))
+        .rows;
+    reference.sort();
+    for (cname, config) in [
+        ("cost-controlled", OptimizerConfig::cost_controlled()),
+        ("always-push", OptimizerConfig::deductive_heuristic()),
+    ] {
+        let ops = diff_one(
+            db,
+            idx,
+            methods,
+            q,
+            &reference,
+            config,
+            &format!("{label}/{cname}"),
+        );
+        let fix_ops: Vec<_> = ops.iter().filter(|o| o.label.starts_with("Fix(")).collect();
+        if expect_fix {
+            assert!(
+                !fix_ops.is_empty(),
+                "{label}/{cname}: expected a fixpoint operator in the plan"
+            );
+        }
+        for fix in &fix_ops {
+            // The pipeline breaker runs its whole loop inside one open;
+            // convergence within the iteration bound is what lets it
+            // return Ok at all, and a converged loop opens the delta
+            // scan once per productive iteration only.
+            assert_eq!(fix.opens, 1, "{label}/{cname}: fixpoint opened once");
+        }
+        let delta_scans: Vec<_> = ops
+            .iter()
+            .filter(|o| o.label.starts_with("scan temp "))
+            .collect();
+        for d in &delta_scans {
+            assert!(
+                d.opens <= d.rows_in.max(d.rows_out).max(1) + 1,
+                "{label}/{cname}: {} delta scans for {} rows — redundant iterations",
+                d.opens,
+                d.rows_out,
+            );
+        }
+    }
+}
+
+fn music_setup(cfg: MusicConfig) -> (MusicDb, IndexSet) {
+    let cat = Rc::new(music_catalog());
+    let mut m = MusicDb::generate(cat, cfg);
+    let mut idx = IndexSet::new();
+    idx.add_path(PathIndex::build(
+        &mut m.db,
+        vec![
+            (m.composer, m.works_attr),
+            (m.composition, m.instruments_attr),
+        ],
+    ));
+    idx.add_selection(SelectionIndex::build(&mut m.db, m.composer, m.name_attr));
+    (m, idx)
+}
+
+fn fig3_gen(cat: &oorq::schema::Catalog, gen: i64) -> QueryGraph {
+    let influencer = cat.relation_by_name("Influencer").unwrap();
+    let mut q = QueryGraph::new(NameRef::Derived("Answer".into()));
+    q.add_spj(
+        NameRef::Derived("Answer".into()),
+        SpjNode {
+            inputs: vec![QArc::new(NameRef::Relation(influencer), "i")],
+            pred: Expr::path("i", &["master", "works", "instruments", "name"])
+                .eq(Expr::text("harpsichord"))
+                .and(Expr::path("i", &["gen"]).ge(Expr::int(gen))),
+            out_proj: vec![("name".into(), Expr::path("i", &["disciple", "name"]))],
+        },
+    );
+    influencer_view(cat).expand(&mut q, cat).unwrap();
+    q
+}
+
+#[test]
+fn music_scenario_differential_across_seeds() {
+    for (seed, chains, chain_len) in [(1u64, 2u32, 4u32), (7, 3, 5), (42, 4, 6)] {
+        let (mut m, idx) = music_setup(MusicConfig {
+            chains,
+            chain_len,
+            works_per_composer: 2,
+            instruments_per_work: 2,
+            harpsichord_fraction: 0.5,
+            seed,
+            ..Default::default()
+        });
+        let methods = MethodRegistry::new();
+        let cat = m.db.catalog_rc();
+        let q = fig3_gen(&cat, 2);
+        diff_configs(
+            &mut m.db,
+            &idx,
+            &methods,
+            &q,
+            &format!("music(seed={seed},chains={chains}x{chain_len})"),
+            true,
+        );
+    }
+}
+
+/// The parts BOM query: the recursive `Contains` view over the part
+/// hierarchy, filtered to the heavy descendants of one root assembly.
+fn parts_query(cat: &oorq::schema::Catalog) -> QueryGraph {
+    let part = cat.class_by_name("Part").unwrap();
+    let contains = cat.relation_by_name("Contains").unwrap();
+    let mut reg = ViewRegistry::new();
+    reg.define(
+        contains,
+        vec![
+            SpjNode {
+                inputs: vec![
+                    QArc::new(NameRef::Class(part), "p"),
+                    QArc::new(NameRef::Class(part), "s"),
+                ],
+                pred: Expr::path("p", &["subparts"]).eq(Expr::var("s")),
+                out_proj: vec![
+                    ("assembly".into(), Expr::var("p")),
+                    ("component".into(), Expr::var("s")),
+                    ("depth".into(), Expr::int(1)),
+                ],
+            },
+            SpjNode {
+                inputs: vec![
+                    QArc::new(NameRef::Relation(contains), "c"),
+                    QArc::new(NameRef::Class(part), "s"),
+                ],
+                pred: Expr::path("c", &["component", "subparts"]).eq(Expr::var("s")),
+                out_proj: vec![
+                    ("assembly".into(), Expr::path("c", &["assembly"])),
+                    ("component".into(), Expr::var("s")),
+                    (
+                        "depth".into(),
+                        Expr::path("c", &["depth"]).add(Expr::int(1)),
+                    ),
+                ],
+            },
+        ],
+    );
+    let mut q = QueryGraph::new(NameRef::Derived("Answer".into()));
+    q.add_spj(
+        NameRef::Derived("Answer".into()),
+        SpjNode {
+            inputs: vec![QArc::new(NameRef::Relation(contains), "k")],
+            pred: Expr::path("k", &["assembly", "name"])
+                .eq(Expr::text("asm0"))
+                .and(Expr::path("k", &["component", "weight"]).ge(Expr::int(40))),
+            out_proj: vec![
+                ("component".into(), Expr::path("k", &["component", "name"])),
+                (
+                    "cost".into(),
+                    Expr::path("k", &["component", "unit_test_cost"]),
+                ),
+            ],
+        },
+    );
+    reg.expand(&mut q, cat).unwrap();
+    q
+}
+
+#[test]
+fn parts_scenario_differential_across_seeds() {
+    for (seed, roots, fanout, depth) in [(1u64, 2u32, 2u32, 3u32), (9, 3, 2, 4), (23, 2, 3, 3)] {
+        let cat = Rc::new(parts_catalog());
+        let mut p = PartsDb::generate(
+            Rc::clone(&cat),
+            PartsConfig {
+                roots,
+                fanout,
+                depth,
+                seed,
+                ..Default::default()
+            },
+        );
+        let q = parts_query(&cat);
+        let methods = MethodRegistry::with_parts_methods(&cat);
+        let idx = IndexSet::new();
+        diff_configs(
+            &mut p.db,
+            &idx,
+            &methods,
+            &q,
+            &format!("parts(seed={seed},{roots}x{fanout}^{depth})"),
+            true,
+        );
+    }
+}
+
+#[test]
+fn chain_scenario_differential_across_seeds() {
+    for (seed, relations, rows, domain) in
+        [(3u64, 3usize, 30u32, 10i64), (13, 4, 18, 8), (31, 5, 10, 6)]
+    {
+        let mut chain = ChainDb::generate(ChainConfig {
+            relations,
+            rows,
+            domain,
+            seed,
+        });
+        let q = chain.chain_query(6);
+        let methods = MethodRegistry::new();
+        let idx = IndexSet::new();
+        diff_configs(
+            &mut chain.db,
+            &idx,
+            &methods,
+            &q,
+            &format!("chain(seed={seed},k={relations})"),
+            false,
+        );
+    }
+}
