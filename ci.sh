@@ -17,4 +17,10 @@ cargo build --release --workspace
 echo "== reproduce smoke (fig7 predicted-vs-observed) =="
 cargo run --release -q -p oorq-bench --bin reproduce fig7 | grep "predicted vs observed" >/dev/null
 
+echo "== reproduce smoke (calibration error tables) =="
+cargo run --release -q -p oorq-bench --bin reproduce calibrate | grep "median relative error" >/dev/null
+
+echo "== calibration regression gate =="
+cargo run --release -q -p oorq-bench --bin reproduce calibrate-gate
+
 echo "CI OK"

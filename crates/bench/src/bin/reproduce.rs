@@ -2,7 +2,9 @@
 //!
 //! Usage: `reproduce [section]` where section is one of
 //! `fig1 fig2 fig3 fig4 fig5 fig6 fig7 pushjoin crossover strategies
-//! ablation lint validate all` (default: `all`).
+//! ablation lint validate calibrate calibrate-fit calibrate-gate all`
+//! (default: `all`). `calibrate-gate` exits nonzero when the residuals
+//! regress beyond the checked-in baseline.
 
 use oorq_bench::reports::*;
 use oorq_bench::PaperSetup;
@@ -58,5 +60,22 @@ fn main() {
     }
     if want("validate") {
         println!("{}", validation_report());
+    }
+    if want("calibrate") {
+        println!("{}", oorq_bench::calibrate::calibrate_report());
+    }
+    // Not part of `all`: refitting prints a snapshot to check in, and the
+    // gate is a CI step with its own exit status.
+    if section == "calibrate-fit" {
+        println!("{}", oorq_bench::calibrate::calibrate_fit_report());
+    }
+    if section == "calibrate-gate" {
+        match oorq_bench::calibrate::calibrate_gate() {
+            Ok(report) => println!("{report}"),
+            Err(report) => {
+                eprintln!("{report}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -5,6 +5,7 @@
 //! binary (one section per figure / worked example); the [`harness`]
 //! module is the minimal wall-clock timer the `[[bench]]` targets use.
 
+pub mod calibrate;
 pub mod harness;
 pub mod reports;
 pub mod scenarios;

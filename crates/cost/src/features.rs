@@ -1,0 +1,160 @@
+//! Cost features: the parameter-independent measurements each per-node
+//! estimate is built from, and the operator-kind taxonomy residual
+//! reporting groups by.
+//!
+//! Splitting every Figure 5 formula into a feature vector times the
+//! [`CostWeights`](crate::CostWeights) makes the model *calibratable*:
+//! the features are pure functions of the plan and the statistics, so a
+//! least-squares fit of the weights against observed per-operator
+//! counters never has to re-run the estimator.
+
+use crate::params::CostWeights;
+
+/// The kind of a PT operator, for grouping residuals and drift reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpKind {
+    /// Entity (class/relation extension) sequential scan.
+    Scan,
+    /// Temporary (fixpoint accumulator/delta) scan.
+    TempScan,
+    /// Predicate selection by scan.
+    Sel,
+    /// Predicate selection through a selection index.
+    SelIdx,
+    /// Projection (with streaming dedup).
+    Proj,
+    /// Implicit join (attribute dereference).
+    Ij,
+    /// Path-index join.
+    Pij,
+    /// Explicit nested-loop join.
+    Ej,
+    /// Explicit join through an index.
+    EjIdx,
+    /// Union of two legs.
+    Union,
+    /// Semi-naive fixpoint.
+    Fix,
+}
+
+impl OpKind {
+    /// Every kind, in a stable order (report row order).
+    pub fn all() -> &'static [OpKind] {
+        use OpKind::*;
+        &[
+            Scan, TempScan, Sel, SelIdx, Proj, Ij, Pij, Ej, EjIdx, Union, Fix,
+        ]
+    }
+
+    /// Stable short name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Scan => "Scan",
+            OpKind::TempScan => "TempScan",
+            OpKind::Sel => "Sel",
+            OpKind::SelIdx => "Sel^idx",
+            OpKind::Proj => "Proj",
+            OpKind::Ij => "IJ",
+            OpKind::Pij => "PIJ",
+            OpKind::Ej => "EJ",
+            OpKind::EjIdx => "EJ^idx",
+            OpKind::Union => "Union",
+            OpKind::Fix => "Fix",
+        }
+    }
+}
+
+impl std::fmt::Display for OpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The feature vector of one operator's *own* (exclusive) work. All
+/// entries are counts in the estimator's physical units; predicted cost
+/// components are the dot products with the fitted [`CostWeights`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostFeatures {
+    /// Pages read by sequential scans.
+    pub seq_pages: f64,
+    /// Pages fetched by random dereference (implicit joins, predicate
+    /// path traversal, fetching objects matched by an index).
+    pub deref_pages: f64,
+    /// Index non-leaf (level descent) accesses.
+    pub index_level_ios: f64,
+    /// Index leaf accesses.
+    pub index_leaf_ios: f64,
+    /// Pages written materializing temporaries.
+    pub write_pages: f64,
+    /// Predicate comparisons evaluated.
+    pub evals: f64,
+    /// Method cost units (declared `eval_cost` times invocations).
+    pub method_units: f64,
+}
+
+impl CostFeatures {
+    /// Predicted page accesses under the given weights.
+    pub fn io(&self, w: &CostWeights) -> f64 {
+        self.seq_pages * w.seq_page
+            + self.deref_pages * w.deref_page
+            + self.index_level_ios * w.index_level
+            + self.index_leaf_ios * w.index_leaf
+            + self.write_pages * w.write_page
+    }
+
+    /// Predicted evaluations under the given weights.
+    pub fn cpu(&self, w: &CostWeights) -> f64 {
+        self.evals * w.eval + self.method_units * w.method
+    }
+
+    /// Scale every feature (fixpoint iteration multiplication).
+    pub fn scale(&self, k: f64) -> CostFeatures {
+        CostFeatures {
+            seq_pages: self.seq_pages * k,
+            deref_pages: self.deref_pages * k,
+            index_level_ios: self.index_level_ios * k,
+            index_leaf_ios: self.index_leaf_ios * k,
+            write_pages: self.write_pages * k,
+            evals: self.evals * k,
+            method_units: self.method_units * k,
+        }
+    }
+
+    /// The io-side feature columns, in fit order (shared between the
+    /// calibration fitter and [`CostFeatures::io`]).
+    pub fn io_columns(&self) -> [f64; 5] {
+        [
+            self.seq_pages,
+            self.deref_pages,
+            self.index_level_ios,
+            self.index_leaf_ios,
+            self.write_pages,
+        ]
+    }
+
+    /// The cpu-side feature columns, in fit order.
+    pub fn cpu_columns(&self) -> [f64; 2] {
+        [self.evals, self.method_units]
+    }
+}
+
+impl std::ops::Add for CostFeatures {
+    type Output = CostFeatures;
+    fn add(self, rhs: CostFeatures) -> CostFeatures {
+        CostFeatures {
+            seq_pages: self.seq_pages + rhs.seq_pages,
+            deref_pages: self.deref_pages + rhs.deref_pages,
+            index_level_ios: self.index_level_ios + rhs.index_level_ios,
+            index_leaf_ios: self.index_leaf_ios + rhs.index_leaf_ios,
+            write_pages: self.write_pages + rhs.write_pages,
+            evals: self.evals + rhs.evals,
+            method_units: self.method_units + rhs.method_units,
+        }
+    }
+}
+
+impl std::ops::AddAssign for CostFeatures {
+    fn add_assign(&mut self, rhs: CostFeatures) {
+        *self = *self + rhs;
+    }
+}

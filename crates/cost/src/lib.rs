@@ -8,13 +8,17 @@
 //!   formula table and the §4.6 simplified model behind Figure 7.
 
 mod error;
+mod features;
 mod model;
 pub mod paper_mode;
 mod params;
 
 pub use error::CostError;
+pub use features::{CostFeatures, OpKind};
 pub use model::{CostModel, NodeCost, PlanCost};
-pub use params::{Cost, CostParams};
+pub use params::{Cost, CostParams, CostWeights};
 
+#[cfg(test)]
+mod fig5_tests;
 #[cfg(test)]
 mod tests;

@@ -46,6 +46,54 @@ impl std::ops::AddAssign for Cost {
     }
 }
 
+/// Calibratable weights of the estimator's cost *components*.
+///
+/// Every per-node estimate is assembled from a small feature vector
+/// ([`crate::CostFeatures`]: sequential pages, dereference pages, index
+/// level/leaf accesses, temporary writes, predicate evaluations, method
+/// cost units); these weights are the linear coefficients mapping the
+/// features onto predicted page accesses and evaluations. `1.0`
+/// everywhere reproduces the uncalibrated Figure 5 formulas; the
+/// calibration harness (`oorq-bench`) fits them by least squares over
+/// the observed per-operator counters of the scenario corpus.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostWeights {
+    /// Weight of sequentially scanned pages (scan cost per page).
+    pub seq_page: f64,
+    /// Weight of random object dereferences (implicit joins, predicate
+    /// path traversal, fetching index matches). A fitted value below 1
+    /// captures buffer hits the §4.6 model ignores.
+    pub deref_page: f64,
+    /// Weight of index non-leaf (level descent) page accesses — the
+    /// calibrated stand-in for mis-stated index heights.
+    pub index_level: f64,
+    /// Weight of index leaf accesses.
+    pub index_leaf: f64,
+    /// Weight of temporary materialization writes (fixpoint accumulator).
+    pub write_page: f64,
+    /// Weight of one predicate comparison.
+    pub eval: f64,
+    /// Weight of one method (computed-attribute) cost unit. The
+    /// estimator charges a method's declared `eval_cost` units per
+    /// invocation while the executor counts invocations, so the fitted
+    /// value absorbs the declared-vs-counted scale.
+    pub method: f64,
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        CostWeights {
+            seq_page: 1.0,
+            deref_page: 1.0,
+            index_level: 1.0,
+            index_leaf: 1.0,
+            write_page: 1.0,
+            eval: 1.0,
+            method: 1.0,
+        }
+    }
+}
+
 /// Parameters of the cost model. `pr` and `ev` are the paper's §4.6
 /// constants: the cost of one page access and of one predicate
 /// evaluation, respectively.
@@ -64,11 +112,23 @@ pub struct CostParams {
     /// clustering is worthless; the default models same-or-neighbour
     /// page placement.
     pub clustered_access: f64,
+    /// Buffer-residency modeling for dereference streams: when on, a
+    /// stream of random dereferences whose target working set fits in
+    /// `buffer_frames` pays only its cold reads (at most the working
+    /// set), and pages re-touched by fixpoint iterations 2..n are
+    /// charged hot. Off by default — the uncalibrated model charges
+    /// every dereference like §4.6 does — and switched on by the
+    /// calibrated snapshot, where the observed counters show the
+    /// residency effect dominating the residuals.
+    pub residency: bool,
     /// Default number of fixpoint iterations when the statistics carry no
     /// chain-depth information.
     pub default_fix_iterations: f64,
     /// Default selectivity for predicates that cannot be estimated.
     pub default_selectivity: f64,
+    /// Component weights (see [`CostWeights`]); identity by default,
+    /// fitted by the calibration harness.
+    pub weights: CostWeights,
 }
 
 impl Default for CostParams {
@@ -78,11 +138,17 @@ impl Default for CostParams {
             ev: 0.05,
             buffer_frames: 64,
             clustered_access: 0.1,
+            residency: false,
             default_fix_iterations: 10.0,
             default_selectivity: 0.1,
+            weights: CostWeights::default(),
         }
     }
 }
+
+/// The checked-in calibration snapshot (regenerate with
+/// `reproduce calibrate-fit`).
+const CALIBRATED_SNAPSHOT: &str = include_str!("../calibrated.toml");
 
 impl CostParams {
     /// The §4.6 simplified model: no access structures besides path
@@ -94,8 +160,108 @@ impl CostParams {
             ev: 1.0,
             buffer_frames: 0,
             clustered_access: 1.0,
+            residency: false,
             default_fix_iterations: 10.0,
             default_selectivity: 0.1,
+            weights: CostWeights::default(),
         }
+    }
+
+    /// Parameters fitted against the observed per-operator counters of
+    /// the music/parts/chain scenario corpus — the checked-in snapshot
+    /// produced by the `oorq-bench` calibration harness. Differs from
+    /// [`CostParams::paper_mode`] (symbolic Figure 5 fidelity) and from
+    /// [`CostParams::default`] (identity weights, no residency
+    /// modeling): the snapshot switches on buffer-residency modeling of
+    /// dereference streams (`residency`) and carries component weights
+    /// correcting the remaining systematic drift (declared-vs-counted
+    /// method cost, index probe accounting, write amplification).
+    pub fn calibrated() -> Self {
+        Self::parse_snapshot(CALIBRATED_SNAPSHOT).expect("checked-in calibrated.toml must parse")
+    }
+
+    /// Parse a `calibrated.toml`-style snapshot: `key = value` lines,
+    /// `#` comments, and a `[weights]` section for the component
+    /// weights. A deliberately tiny subset of TOML so the workspace
+    /// stays dependency-free.
+    pub fn parse_snapshot(src: &str) -> Result<Self, String> {
+        let mut p = CostParams::default();
+        let mut section = String::new();
+        for (lineno, raw) in src.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let key = key.trim();
+            let value: f64 = value
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: bad number: {e}", lineno + 1))?;
+            if !value.is_finite() {
+                return Err(format!("line {}: non-finite value", lineno + 1));
+            }
+            match (section.as_str(), key) {
+                ("", "pr") => p.pr = value,
+                ("", "ev") => p.ev = value,
+                ("", "buffer_frames") => p.buffer_frames = value as u64,
+                ("", "clustered_access") => p.clustered_access = value,
+                ("", "residency") => p.residency = value != 0.0,
+                ("", "default_fix_iterations") => p.default_fix_iterations = value,
+                ("", "default_selectivity") => p.default_selectivity = value,
+                ("weights", "seq_page") => p.weights.seq_page = value,
+                ("weights", "deref_page") => p.weights.deref_page = value,
+                ("weights", "index_level") => p.weights.index_level = value,
+                ("weights", "index_leaf") => p.weights.index_leaf = value,
+                ("weights", "write_page") => p.weights.write_page = value,
+                ("weights", "eval") => p.weights.eval = value,
+                ("weights", "method") => p.weights.method = value,
+                (s, k) => {
+                    return Err(format!(
+                        "line {}: unknown key `{}{}{}`",
+                        lineno + 1,
+                        s,
+                        if s.is_empty() { "" } else { "." },
+                        k
+                    ))
+                }
+            }
+        }
+        Ok(p)
+    }
+
+    /// Render parameters in the snapshot format (what the calibration
+    /// harness emits for check-in).
+    pub fn render_snapshot(&self, header: &str) -> String {
+        let w = &self.weights;
+        format!(
+            "# {header}\n\
+             pr = {}\nev = {}\nbuffer_frames = {}\nclustered_access = {}\n\
+             residency = {}\n\
+             default_fix_iterations = {}\ndefault_selectivity = {}\n\n\
+             [weights]\n\
+             seq_page = {}\nderef_page = {}\nindex_level = {}\nindex_leaf = {}\n\
+             write_page = {}\neval = {}\nmethod = {}\n",
+            self.pr,
+            self.ev,
+            self.buffer_frames,
+            self.clustered_access,
+            if self.residency { 1 } else { 0 },
+            self.default_fix_iterations,
+            self.default_selectivity,
+            w.seq_page,
+            w.deref_page,
+            w.index_level,
+            w.index_leaf,
+            w.write_page,
+            w.eval,
+            w.method,
+        )
     }
 }

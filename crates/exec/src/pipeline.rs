@@ -601,38 +601,63 @@ impl<'a> OpExec<'_, 'a> {
 /// Exclusive per-operator reports: subtract each operator's direct
 /// children from its inclusive tallies; `rows_in` is the children's
 /// combined output.
+///
+/// The subtraction is *checked*: children's counters are summed first
+/// and asserted (in debug builds, with the offending operator named) to
+/// never exceed the parent's inclusive tally. An unchecked per-child
+/// `saturating_sub` chain would clamp one child's overshoot to zero and
+/// then subtract the remaining children from the wrong base, silently
+/// mis-attributing their work to the parent — exactly the kind of
+/// systematic drift the calibration gate exists to catch. Release
+/// builds still clamp at zero rather than underflow.
 fn rollup(plan: &PhysPlan, stats: &[OpStats]) -> Vec<OpReport> {
+    /// Checked exclusive counter: `inclusive - children`, clamped in
+    /// release, asserted in debug.
+    fn exclusive(inclusive: u64, children: u64, what: &str, id: usize, label: &str) -> u64 {
+        debug_assert!(
+            children <= inclusive,
+            "op #{id} ({label}): children's {what} ({children}) exceeds the \
+             operator's inclusive tally ({inclusive})"
+        );
+        inclusive.saturating_sub(children)
+    }
+
     let mut out: Vec<OpReport> = (0..plan.ops).map(|_| OpReport::default()).collect();
     plan.root.visit(&mut |op| {
         let id = op.meta().id;
+        let label = &op.meta().label;
         let s = stats[id];
-        let mut r = OpReport {
-            id,
-            pt_node: op.meta().pt_node,
-            label: op.meta().label.clone(),
-            opens: s.opens,
-            rows_in: 0,
-            rows_out: s.rows_out,
-            page_reads: s.page_reads,
-            page_hits: s.page_hits,
-            index_reads: s.index_reads,
-            page_writes: s.page_writes,
-            evals: s.evals,
-            method_calls: s.method_calls,
-            wall_ns: s.wall_ns,
-        };
+        let mut kids = OpStats::default();
+        let mut rows_in = 0;
         for c in op.children() {
             let cs = stats[c.meta().id];
-            r.rows_in += cs.rows_out;
-            r.page_reads = r.page_reads.saturating_sub(cs.page_reads);
-            r.page_hits = r.page_hits.saturating_sub(cs.page_hits);
-            r.index_reads = r.index_reads.saturating_sub(cs.index_reads);
-            r.page_writes = r.page_writes.saturating_sub(cs.page_writes);
-            r.evals = r.evals.saturating_sub(cs.evals);
-            r.method_calls = r.method_calls.saturating_sub(cs.method_calls);
-            r.wall_ns = r.wall_ns.saturating_sub(cs.wall_ns);
+            rows_in += cs.rows_out;
+            kids.page_reads += cs.page_reads;
+            kids.page_hits += cs.page_hits;
+            kids.index_reads += cs.index_reads;
+            kids.page_writes += cs.page_writes;
+            kids.evals += cs.evals;
+            kids.method_calls += cs.method_calls;
+            kids.wall_ns += cs.wall_ns;
         }
-        out[id] = r;
+        out[id] = OpReport {
+            id,
+            pt_node: op.meta().pt_node,
+            label: label.clone(),
+            opens: s.opens,
+            rows_in,
+            rows_out: s.rows_out,
+            page_reads: exclusive(s.page_reads, kids.page_reads, "page_reads", id, label),
+            page_hits: exclusive(s.page_hits, kids.page_hits, "page_hits", id, label),
+            index_reads: exclusive(s.index_reads, kids.index_reads, "index_reads", id, label),
+            page_writes: exclusive(s.page_writes, kids.page_writes, "page_writes", id, label),
+            evals: exclusive(s.evals, kids.evals, "evals", id, label),
+            method_calls: exclusive(s.method_calls, kids.method_calls, "method_calls", id, label),
+            // Wall time is measured by nested `Instant` brackets whose
+            // jitter can legitimately exceed the parent's own share, so
+            // it is clamped but never asserted on.
+            wall_ns: s.wall_ns.saturating_sub(kids.wall_ns),
+        };
     });
     out
 }

@@ -104,6 +104,20 @@ pub enum LintCode {
     /// A selection is estimated to *grow* its input (selectivity > 1).
     SelectivityOutOfRange,
 
+    // ---- calibration drift pass -------------------------------------
+    /// An operator's predicted page accesses drift beyond tolerance from
+    /// the observed ones.
+    IoDrift,
+    /// An operator's predicted evaluations drift beyond tolerance from
+    /// the observed ones.
+    CpuDrift,
+    /// An operator's predicted output cardinality drifts beyond
+    /// tolerance from the observed row count.
+    RowsDrift,
+    /// A plan node in the cost breakdown has no observed counterpart (or
+    /// vice versa) — predicted-vs-observed attribution is incomplete.
+    UnmatchedOperator,
+
     // ---- physical-plan pass -----------------------------------------
     /// Physical operator ids are not dense and unique.
     PhysOpIds,
@@ -152,6 +166,10 @@ impl LintCode {
             LintCode::NegativeCardinality => "CM001",
             LintCode::NonFiniteCost => "CM002",
             LintCode::SelectivityOutOfRange => "CM003",
+            LintCode::IoDrift => "CX001",
+            LintCode::CpuDrift => "CX002",
+            LintCode::RowsDrift => "CX003",
+            LintCode::UnmatchedOperator => "CX004",
             LintCode::PhysOpIds => "PX001",
             LintCode::PhysColsMismatch => "PX002",
             LintCode::PhysBadPerm => "PX003",
@@ -192,10 +210,9 @@ impl LintCode {
             | PhysBadRescan
             | PhysBadEntity => Severity::Error,
             NonLinearRecursion | UnreachableNode | DeadViewCycle | DuplicateColumn
-            | EmptyProjection => Severity::Warn,
-            UnusedVariable | CartesianProduct | LinearRecursion | NoPropagatedColumns => {
-                Severity::Note
-            }
+            | EmptyProjection | IoDrift | CpuDrift | RowsDrift => Severity::Warn,
+            UnusedVariable | CartesianProduct | LinearRecursion | NoPropagatedColumns
+            | UnmatchedOperator => Severity::Note,
         }
     }
 
@@ -230,6 +247,10 @@ impl LintCode {
             NegativeCardinality,
             NonFiniteCost,
             SelectivityOutOfRange,
+            IoDrift,
+            CpuDrift,
+            RowsDrift,
+            UnmatchedOperator,
             PhysOpIds,
             PhysColsMismatch,
             PhysBadPerm,
@@ -271,6 +292,10 @@ impl LintCode {
             NegativeCardinality => "negative or NaN cardinality estimate",
             NonFiniteCost => "negative, NaN or infinite cost estimate",
             SelectivityOutOfRange => "selection estimated to grow its input",
+            IoDrift => "predicted page accesses drift beyond tolerance from observed",
+            CpuDrift => "predicted evaluations drift beyond tolerance from observed",
+            RowsDrift => "predicted cardinality drifts beyond tolerance from observed rows",
+            UnmatchedOperator => "cost-breakdown node without an observed counterpart",
             PhysOpIds => "physical operator ids not dense and unique",
             PhysColsMismatch => "physical operator columns disagree with operands",
             PhysBadPerm => "union/fixpoint permutation does not map operand columns",

@@ -13,8 +13,12 @@
 //!   consumed upstream, expression typing, temporary scoping.
 //! - [`lint_plan_cost`] — the *cost pass*: finite non-negative
 //!   estimates, selectivities within [0, 1].
+//! - [`lint_drift`] — the *calibration pass*: per-operator predicted
+//!   vs observed accounting, flagging estimates that drift beyond
+//!   tolerance (`CX*`).
 //!
-//! Every check has a stable code ([`LintCode`], `QG*`/`PT*`/`CM*`) and
+//! Every check has a stable code ([`LintCode`],
+//! `QG*`/`PT*`/`CM*`/`CX*`/`PX*`) and
 //! a fixed severity; a [`LintReport`] is clean when no error-severity
 //! diagnostic fired. The optimizer runs the plan pass after every
 //! transformation in debug builds; the executor re-checks its input
@@ -22,12 +26,14 @@
 
 mod cost;
 mod diag;
+mod drift;
 mod graph;
 mod phys;
 mod plan;
 
 pub use cost::lint_plan_cost;
 pub use diag::{Diagnostic, LintCode, LintReport, Severity};
+pub use drift::{lint_drift, DriftTolerance, ObservedOp};
 pub use graph::lint_graph;
 pub use phys::verify_phys;
 pub use plan::verify_pt;

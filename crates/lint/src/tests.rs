@@ -9,7 +9,9 @@ use oorq_query::{Expr, NameRef, QArc, QueryGraph, SpjNode, TreeLabel};
 use oorq_schema::Catalog;
 use oorq_storage::{Database, StorageConfig};
 
-use crate::{lint_graph, verify_phys, verify_pt, LintCode, Severity};
+use crate::{
+    lint_drift, lint_graph, verify_phys, verify_pt, DriftTolerance, LintCode, ObservedOp, Severity,
+};
 
 fn setup() -> (Rc<Catalog>, Database) {
     let cat = Rc::new(music_catalog());
@@ -600,4 +602,90 @@ fn phys_bad_entity_is_reported() {
     };
     let report = verify_phys(&env, &oorq_pt::PhysPlan { root, ops: 1 });
     assert!(report.has(LintCode::PhysBadEntity), "{report}");
+}
+
+// ---- calibration drift pass ---------------------------------------
+
+fn node_cost(node: usize, label: &str, io: f64, cpu: f64, rows: f64) -> oorq_cost::NodeCost {
+    oorq_cost::NodeCost {
+        label: label.to_string(),
+        kind: oorq_cost::OpKind::Sel,
+        node: Some(node),
+        cost: oorq_cost::Cost::new(io, cpu),
+        feat: oorq_cost::CostFeatures::default(),
+        rows,
+        pages: 1.0,
+    }
+}
+
+fn observed(node: usize, label: &str, io: f64, cpu: f64, rows: f64) -> ObservedOp {
+    ObservedOp {
+        pt_node: node,
+        label: label.to_string(),
+        io,
+        cpu,
+        rows,
+    }
+}
+
+#[test]
+fn drift_clean_when_prediction_matches() {
+    let breakdown = vec![node_cost(0, "scan a", 100.0, 50.0, 200.0)];
+    let obs = vec![observed(0, "scan a", 110.0, 45.0, 200.0)];
+    let report = lint_drift(&breakdown, &obs, DriftTolerance::default());
+    assert!(report.diagnostics.is_empty(), "{report}");
+}
+
+#[test]
+fn drift_io_and_cpu_fire_beyond_ratio() {
+    let breakdown = vec![node_cost(0, "scan a", 1000.0, 500.0, 200.0)];
+    let obs = vec![observed(0, "scan a", 40.0, 20.0, 200.0)];
+    let report = lint_drift(&breakdown, &obs, DriftTolerance::default());
+    assert!(report.has(LintCode::IoDrift), "{report}");
+    assert!(report.has(LintCode::CpuDrift), "{report}");
+    assert!(!report.has(LintCode::RowsDrift), "{report}");
+}
+
+#[test]
+fn drift_rows_fires_on_cardinality_misestimate() {
+    let breakdown = vec![node_cost(0, "Sel", 10.0, 10.0, 5000.0)];
+    let obs = vec![observed(0, "Sel", 10.0, 10.0, 60.0)];
+    let report = lint_drift(&breakdown, &obs, DriftTolerance::default());
+    assert!(report.has(LintCode::RowsDrift), "{report}");
+}
+
+#[test]
+fn drift_small_counts_never_fire() {
+    // Both sides below the floor: 12 vs 1 page is noise, not drift.
+    let breakdown = vec![node_cost(0, "Sel", 12.0, 3.0, 8.0)];
+    let obs = vec![observed(0, "Sel", 1.0, 15.0, 1.0)];
+    let report = lint_drift(&breakdown, &obs, DriftTolerance::default());
+    assert!(report.diagnostics.is_empty(), "{report}");
+}
+
+#[test]
+fn drift_unmatched_sides_reported() {
+    let breakdown = vec![node_cost(0, "scan a", 100.0, 0.0, 10.0)];
+    let obs = vec![observed(7, "IJ_parts", 50.0, 0.0, 10.0)];
+    let report = lint_drift(&breakdown, &obs, DriftTolerance::default());
+    let unmatched = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == LintCode::UnmatchedOperator)
+        .count();
+    assert_eq!(unmatched, 2, "{report}");
+    // Notes, not errors: attribution gaps don't make the plan wrong.
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn drift_sums_repeated_observations_of_one_node() {
+    // A fixpoint re-instantiates the rec-side scan; observations sum.
+    let breakdown = vec![node_cost(3, "scan temp d", 90.0, 0.0, 30.0)];
+    let obs = vec![
+        observed(3, "scan temp d", 45.0, 0.0, 15.0),
+        observed(3, "scan temp d", 45.0, 0.0, 15.0),
+    ];
+    let report = lint_drift(&breakdown, &obs, DriftTolerance::default());
+    assert!(report.diagnostics.is_empty(), "{report}");
 }
