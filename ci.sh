@@ -23,4 +23,10 @@ cargo run --release -q -p oorq-bench --bin reproduce calibrate | grep "median re
 echo "== calibration regression gate =="
 cargo run --release -q -p oorq-bench --bin reproduce calibrate-gate
 
+echo "== trace smoke (emit + validate trace.json with the in-repo checker) =="
+rm -rf target/trace-smoke
+cargo run --release -q -p oorq-bench --bin reproduce trace music-fig7 target/trace-smoke \
+    | grep "Rejected candidates" >/dev/null
+cargo run --release -q -p oorq-bench --bin reproduce trace-check target/trace-smoke/trace-music-fig7.json
+
 echo "CI OK"

@@ -5,12 +5,27 @@
 //! ablation lint validate calibrate calibrate-fit calibrate-gate all`
 //! (default: `all`). `calibrate-gate` exits nonzero when the residuals
 //! regress beyond the checked-in baseline.
+//!
+//! `reproduce trace <scenario> [out-dir]` runs one scenario under the
+//! structured-tracing recorder and writes `trace-<scenario>.jsonl`
+//! (schema-versioned event stream), `trace-<scenario>.json` (Chrome
+//! trace-event JSON, loadable in Perfetto / `chrome://tracing`) and
+//! `trace-<scenario>.folded` (flamegraph folded stacks) into `out-dir`
+//! (default `.`), then prints the search-space summary.
+//! `reproduce trace-check <file>` validates a Chrome trace file with
+//! the in-repo checker and exits nonzero on schema drift.
 
 use oorq_bench::reports::*;
 use oorq_bench::PaperSetup;
 
 fn main() {
     let section = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    if section == "trace" {
+        return trace_main();
+    }
+    if section == "trace-check" {
+        return trace_check_main();
+    }
     let all = section == "all";
     let want = |s: &str| all || section == s;
     if want("fig1") {
@@ -76,6 +91,74 @@ fn main() {
                 eprintln!("{report}");
                 std::process::exit(1);
             }
+        }
+    }
+}
+
+/// `reproduce trace <scenario> [out-dir]`: run the scenario under an
+/// enabled recorder and write all three exports.
+fn trace_main() {
+    let scenario = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "music-fig7".to_string());
+    let dir = std::env::args().nth(3).unwrap_or_else(|| ".".to_string());
+    let art = match oorq_bench::tracing::trace_scenario(&scenario) {
+        Ok(art) => art,
+        Err(e) => {
+            eprintln!("reproduce trace: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("reproduce trace: cannot create `{dir}`: {e}");
+        std::process::exit(2);
+    }
+    let base = format!("{dir}/trace-{scenario}");
+    for (path, contents) in [
+        (format!("{base}.jsonl"), &art.jsonl),
+        (format!("{base}.json"), &art.chrome),
+        (format!("{base}.folded"), &art.folded),
+    ] {
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("reproduce trace: cannot write `{path}`: {e}");
+            std::process::exit(2);
+        }
+    }
+    println!("{}", art.summary);
+    println!(
+        "wrote {base}.jsonl ({} lines), {base}.json (Perfetto-loadable), {base}.folded ({} frames)",
+        art.jsonl.lines().count(),
+        art.folded.lines().count(),
+    );
+}
+
+/// `reproduce trace-check <file>`: validate a Chrome trace file with
+/// the in-repo checker; exit nonzero on any violation or schema drift.
+fn trace_check_main() {
+    let Some(path) = std::env::args().nth(2) else {
+        eprintln!("usage: reproduce trace-check <trace.json>");
+        std::process::exit(2);
+    };
+    let contents = match std::fs::read_to_string(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("trace-check: cannot read `{path}`: {e}");
+            std::process::exit(2);
+        }
+    };
+    match oorq_obs::check_chrome_trace(&contents) {
+        Ok(s) => println!(
+            "{path}: OK — {} events ({} duration pairs, {} complete, {} counter samples, \
+             {} instants)",
+            s.total_events,
+            s.duration_pairs,
+            s.complete_events,
+            s.counter_samples,
+            s.instant_events
+        ),
+        Err(e) => {
+            eprintln!("{path}: INVALID — {e}");
+            std::process::exit(1);
         }
     }
 }

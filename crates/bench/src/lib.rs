@@ -9,6 +9,7 @@ pub mod calibrate;
 pub mod harness;
 pub mod reports;
 pub mod scenarios;
+pub mod tracing;
 
 pub use scenarios::PaperSetup;
 

@@ -123,7 +123,15 @@ pub fn fig6_report(setup: &PaperSetup) -> String {
     out.push_str(
         "| Procedure | Granularity | Strategy | PT nodes generated |\n|---|---|---|---|\n",
     );
-    for line in plan.trace.summary().lines().skip(2) {
+    // `summary()` renders the step table followed by per-step notes;
+    // only the table rows belong in the four-row figure.
+    for line in plan
+        .trace
+        .summary()
+        .lines()
+        .skip(2)
+        .filter(|l| l.starts_with('|'))
+    {
         let key: String = line.split('|').take(4).collect::<Vec<_>>().join("|");
         if !seen.contains(&key) {
             seen.push(key);
@@ -333,6 +341,11 @@ pub fn fig7_report(setup: &mut PaperSetup) -> String {
         rii.io.index_reads,
         rii.evals,
         nii,
+    );
+    let _ = writeln!(
+        out,
+        "Fixpoint delta sizes (semi-naive, seed first): PT(i): {:?}; PT(ii): {:?}",
+        ri.fix_deltas, rii.fix_deltas,
     );
     let ti = ri.total(dparams.pr, dparams.ev);
     let tii = rii.total(dparams.pr, dparams.ev);

@@ -99,6 +99,17 @@ impl PaperSetup {
 
     /// Optimize a query under the given configuration.
     pub fn optimize(&self, q: &QueryGraph, config: OptimizerConfig) -> Optimized {
+        self.optimize_traced(q, config, oorq_obs::Recorder::disabled())
+    }
+
+    /// Optimize with a structured-tracing recorder attached (one span
+    /// per §4 step, one `candidate` event per enumerated plan).
+    pub fn optimize_traced(
+        &self,
+        q: &QueryGraph,
+        config: OptimizerConfig,
+        obs: oorq_obs::Recorder,
+    ) -> Optimized {
         let model = CostModel::new(
             self.m.db.catalog(),
             self.m.db.physical(),
@@ -106,15 +117,22 @@ impl PaperSetup {
             CostParams::default(),
         );
         Optimizer::new(model, config)
+            .with_recorder(obs)
             .optimize(q)
             .expect("optimization must succeed")
     }
 
     /// Execute a plan cold-cache and report resources + answer size.
     pub fn execute(&mut self, pt: &Pt) -> (ExecReport, usize) {
+        self.execute_traced(pt, oorq_obs::Recorder::disabled())
+    }
+
+    /// Execute with a structured-tracing recorder attached (per-operator
+    /// spans, fixpoint-iteration events, buffer-manager page events).
+    pub fn execute_traced(&mut self, pt: &Pt, obs: oorq_obs::Recorder) -> (ExecReport, usize) {
         let methods = MethodRegistry::new();
         self.m.db.cold_cache();
-        let mut ex = Executor::new(&mut self.m.db, &self.idx, &methods);
+        let mut ex = Executor::new(&mut self.m.db, &self.idx, &methods).with_recorder(obs);
         let out = ex.run(pt).expect("execution must succeed");
         (ex.report(), out.len())
     }

@@ -1,0 +1,217 @@
+//! `reproduce trace <scenario>`: run one scenario end-to-end with the
+//! structured-tracing recorder enabled, and render every sink.
+//!
+//! One recorder is threaded through all four layers — the optimizer
+//! (spans per §4 step, `candidate` events), the lint engine (violation
+//! events), the executor pipeline (per-operator spans, fixpoint
+//! iteration events) and the buffer manager (page hit/miss/eviction
+//! events) — so the resulting [`oorq_obs::Trace`] joins optimizer
+//! estimates to runtime counters in a single timeline. The binary
+//! writes the three exports to disk; this module only builds strings.
+
+use std::fmt::Write;
+
+use oorq_core::OptimizerConfig;
+use oorq_obs::Recorder;
+
+use crate::reports::fig7_config;
+use crate::scenarios::PaperSetup;
+
+/// Everything one traced scenario run produced.
+pub struct TraceArtifacts {
+    /// The accumulated trace.
+    pub trace: oorq_obs::Trace,
+    /// JSONL export (schema-versioned, round-trippable).
+    pub jsonl: String,
+    /// Chrome trace-event JSON (Perfetto-loadable).
+    pub chrome: String,
+    /// Folded stacks for flamegraph tooling.
+    pub folded: String,
+    /// Human-readable summary: search-space table, fixpoint deltas,
+    /// counters registry.
+    pub summary: String,
+}
+
+/// The scenarios `reproduce trace` understands.
+pub const TRACE_SCENARIOS: &[&str] = &["music-fig7", "music-paper"];
+
+/// Run a named scenario under an enabled recorder and render all sinks.
+pub fn trace_scenario(scenario: &str) -> Result<TraceArtifacts, String> {
+    let (cfg, title) = match scenario {
+        // The §4.6 regime: the harpsichord filter keeps almost every
+        // composer, so pushing it through the recursion loses and the
+        // cost-controlled optimizer must *reject* the pushed candidate.
+        "music-fig7" => (fig7_config(), "Figure 7 / §4.6 (pushing loses)"),
+        "music-paper" => (
+            PaperSetup::paper_scale(),
+            "paper-scale music database (§4.6 scale, selective filter)",
+        ),
+        other => {
+            return Err(format!(
+                "unknown trace scenario `{other}` (known: {})",
+                TRACE_SCENARIOS.join(", ")
+            ))
+        }
+    };
+
+    let obs = Recorder::new();
+    let mut setup = PaperSetup::new(cfg);
+    let q = setup.fig3();
+    let optimized = setup.optimize_traced(&q, OptimizerConfig::cost_controlled(), obs.clone());
+    let (report, answer) = setup.execute_traced(&optimized.pt, obs.clone());
+    let trace = obs.finish();
+
+    let mut summary = String::new();
+    let _ = writeln!(summary, "=== trace: {scenario} — {title} ===");
+    let _ = writeln!(
+        summary,
+        "optimized cost {:.1}; answer {answer} rows; {} spans, {} events recorded",
+        optimized.cost.total(&oorq_cost::CostParams::default()),
+        trace.spans.len(),
+        trace.events.len(),
+    );
+    let _ = writeln!(
+        summary,
+        "fixpoint delta sizes (seed first): {:?}",
+        report.fix_deltas
+    );
+
+    let table = oorq_obs::search_space_table(&trace);
+    if !table.is_empty() {
+        summary.push('\n');
+        summary.push_str(&table);
+    }
+
+    if !trace.counters.is_empty() {
+        summary.push_str("\n### Counters\n\n| counter | total |\n|---|---|\n");
+        for (name, total) in &trace.counters {
+            let _ = writeln!(summary, "| {name} | {total:.0} |");
+        }
+    }
+
+    let jsonl = trace.to_jsonl();
+    let chrome = trace.to_chrome();
+    let folded = trace.to_folded();
+    Ok(TraceArtifacts {
+        trace,
+        jsonl,
+        chrome,
+        folded,
+        summary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oorq_datagen::MusicConfig;
+
+    fn small_cfg() -> MusicConfig {
+        MusicConfig {
+            chains: 3,
+            chain_len: 4,
+            ..fig7_config()
+        }
+    }
+
+    /// Span-aggregated operator counters must equal the `ExecReport`
+    /// totals: the synthesized per-operator spans carry exclusive
+    /// figures, so summing them reproduces what the executor reported.
+    #[test]
+    fn differential_span_counters_equal_exec_report() {
+        let obs = Recorder::new();
+        let mut setup = PaperSetup::new(small_cfg());
+        let q = setup.fig3();
+        let optimized = setup.optimize_traced(&q, OptimizerConfig::cost_controlled(), obs.clone());
+        let (report, _) = setup.execute_traced(&optimized.pt, obs.clone());
+        let trace = obs.finish();
+
+        let op_spans: Vec<_> = trace
+            .spans
+            .iter()
+            .filter(|s| s.cat == "exec" && s.field("track").is_some())
+            .collect();
+        assert_eq!(
+            op_spans.len(),
+            report.ops.len(),
+            "one synthesized span per operator"
+        );
+        let span_sum = |key: &str| -> f64 {
+            op_spans
+                .iter()
+                .map(|s| s.field(key).and_then(|v| v.as_num()).unwrap_or(0.0))
+                .sum()
+        };
+        for (key, total) in [
+            (
+                "rows_out",
+                report.ops.iter().map(|o| o.rows_out).sum::<u64>(),
+            ),
+            ("page_reads", report.ops.iter().map(|o| o.page_reads).sum()),
+            ("page_hits", report.ops.iter().map(|o| o.page_hits).sum()),
+            (
+                "index_reads",
+                report.ops.iter().map(|o| o.index_reads).sum(),
+            ),
+            (
+                "page_writes",
+                report.ops.iter().map(|o| o.page_writes).sum(),
+            ),
+            ("evals", report.ops.iter().map(|o| o.evals).sum()),
+            (
+                "method_calls",
+                report.ops.iter().map(|o| o.method_calls).sum(),
+            ),
+        ] {
+            assert_eq!(span_sum(key) as u64, total, "span-aggregated {key}");
+        }
+        // And the executor-level totals match the same aggregation (the
+        // pipeline charges every page fetch to exactly one operator).
+        assert_eq!(span_sum("evals") as u64, report.evals);
+        assert_eq!(
+            span_sum("page_reads") as u64 + span_sum("page_hits") as u64,
+            report.io.fetches()
+        );
+    }
+
+    /// The fig7 trace scenario must expose the paper's negative result:
+    /// at least two rejected candidates with costs and reasons, one of
+    /// them the pushed plan.
+    #[test]
+    fn fig7_search_space_has_rejections() {
+        let art = trace_scenario("music-fig7").expect("known scenario");
+        let rejects: Vec<_> = art
+            .trace
+            .events_named("candidate")
+            .filter(|e| e.field("outcome").and_then(|v| v.as_str()) == Some("reject"))
+            .collect();
+        assert!(
+            rejects.len() >= 2,
+            "expected >= 2 rejected candidates, got {}",
+            rejects.len()
+        );
+        assert!(
+            rejects.iter().any(|e| {
+                e.field("step").and_then(|v| v.as_str()) == Some("push-decision")
+                    && e.field("reason")
+                        .and_then(|v| v.as_str())
+                        .is_some_and(|r| r.contains("fixpoint"))
+            }),
+            "the pushed plan must be rejected by the cost comparison"
+        );
+        for e in &rejects {
+            assert!(e.field("cost").is_some(), "rejects carry estimated costs");
+            assert!(e.field("reason").is_some(), "rejects carry reasons");
+        }
+        assert!(art.summary.contains("Rejected candidates"));
+        // All three exports are well-formed.
+        oorq_obs::Trace::from_jsonl(&art.jsonl).expect("JSONL round-trips");
+        oorq_obs::check_chrome_trace(&art.chrome).expect("chrome trace valid");
+        assert!(art.folded.lines().count() > 0);
+    }
+
+    #[test]
+    fn unknown_scenario_is_rejected() {
+        assert!(trace_scenario("no-such-scenario").is_err());
+    }
+}

@@ -82,6 +82,7 @@ pub fn generate_pt(
     spj: &SpjNode,
     arc_chains: &[Vec<ArcChain>],
     strategy: SpjStrategy,
+    obs: &oorq_obs::Recorder,
 ) -> Result<(Pt, Vec<String>, f64), OptError> {
     // Combined substitution (alternatives of one arc share theirs).
     let mut subst: HashMap<String, Expr> = HashMap::new();
@@ -145,6 +146,42 @@ pub fn generate_pt(
             return Err(OptError::Unplannable(format!("arc {i}")));
         }
         cands.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+        if obs.enabled() {
+            obs.counter_add("optimizer.candidates.enumerated", cands.len() as f64);
+            let best_fp = format!("{:016x}", cands[0].pt.fingerprint());
+            let best_cost = cands[0].cost;
+            for (rank, c) in cands.iter().enumerate() {
+                let kept = rank < KEEP_PER_ARC;
+                obs.event(
+                    "optimizer",
+                    "candidate",
+                    vec![
+                        ("step".into(), "generatePT".into()),
+                        ("arc".into(), i.into()),
+                        (
+                            "fingerprint".into(),
+                            format!("{:016x}", c.pt.fingerprint()).into(),
+                        ),
+                        ("cost".into(), c.cost.into()),
+                        ("incumbent".into(), best_fp.clone().into()),
+                        ("incumbent_cost".into(), best_cost.into()),
+                        (
+                            "outcome".into(),
+                            if kept { "accept" } else { "prune" }.into(),
+                        ),
+                        (
+                            "reason".into(),
+                            if kept {
+                                format!("kept in arc beam (rank {rank})")
+                            } else {
+                                format!("beyond keep-per-arc beam of {KEEP_PER_ARC}")
+                            }
+                            .into(),
+                        ),
+                    ],
+                );
+            }
+        }
         cands.truncate(KEEP_PER_ARC);
         candidates.push(cands);
     }
@@ -178,6 +215,25 @@ pub fn generate_pt(
         .cost(&pt)
         .map_err(OptError::Cost)?
         .total(&model.params);
+    if obs.enabled() {
+        obs.event(
+            "optimizer",
+            "candidate",
+            vec![
+                ("step".into(), "generatePT".into()),
+                (
+                    "fingerprint".into(),
+                    format!("{:016x}", pt.fingerprint()).into(),
+                ),
+                ("cost".into(), cost.into()),
+                ("outcome".into(), "accept".into()),
+                (
+                    "reason".into(),
+                    format!("{strategy:?} join-enumeration winner for the predicate node").into(),
+                ),
+            ],
+        );
+    }
     Ok((pt, out_names, cost))
 }
 

@@ -154,6 +154,9 @@ pub struct Optimizer<'a> {
     pub model: CostModel<'a>,
     /// Configuration.
     pub config: OptimizerConfig,
+    /// Structured-tracing recorder (disabled by default: every probe is
+    /// one branch).
+    pub obs: oorq_obs::Recorder,
     fresh: usize,
 }
 
@@ -163,12 +166,41 @@ impl<'a> Optimizer<'a> {
         Optimizer {
             model,
             config,
+            obs: oorq_obs::Recorder::disabled(),
             fresh: 0,
         }
     }
 
+    /// Attach a structured-tracing recorder: spans per §4 step, one
+    /// `candidate` event per enumerated plan, lint violations as events.
+    pub fn with_recorder(mut self, obs: oorq_obs::Recorder) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Optimize a query graph into an execution plan.
     pub fn optimize(&mut self, graph: &QueryGraph) -> Result<Optimized, OptError> {
+        let catalog = self.model.catalog;
+        let sp_opt = self.obs.begin("optimizer", "optimize");
+        let result = self.optimize_inner(graph);
+        if let Ok(plan) = &result {
+            self.obs.span_fields(
+                sp_opt,
+                vec![
+                    (
+                        "fingerprint".into(),
+                        format!("{:016x}", plan.pt.fingerprint()).into(),
+                    ),
+                    ("cost".into(), plan.cost.total(&self.model.params).into()),
+                ],
+            );
+        }
+        self.obs.end(sp_opt);
+        let _ = catalog;
+        result
+    }
+
+    fn optimize_inner(&mut self, graph: &QueryGraph) -> Result<Optimized, OptError> {
         let catalog = self.model.catalog;
         let mut g = graph.clone();
         g.normalize(catalog)?;
@@ -177,7 +209,9 @@ impl<'a> Optimizer<'a> {
         self.verify_graph(&g, "normalize (query graph)")?;
 
         // Step 1: rewrite (irrevocable).
+        let sp = self.obs.begin("optimizer", "rewrite");
         rewrite(&mut g, &mut trace);
+        self.obs.end(sp);
         self.verify_graph(&g, "rewrite (query graph)")?;
 
         // Steps 2+3: translate + generatePT, bottom-up over the graph.
@@ -216,6 +250,11 @@ impl<'a> Optimizer<'a> {
                     StrategyKind::CostBasedTransformational,
                 );
                 t.note(format!("randomized strategy: {:?}", rc.kind));
+                let sp = self.obs.begin("optimizer", "transformPT");
+                self.obs.span_fields(
+                    sp,
+                    vec![("phase".into(), format!("randomized {:?}", rc.kind).into())],
+                );
                 let outcome = rand_optimize_with(
                     &self.model,
                     answer.pt.clone(),
@@ -223,7 +262,9 @@ impl<'a> Optimizer<'a> {
                     &neighbours,
                     self.config.verify.active(),
                     Some(&mut trace),
+                    &self.obs,
                 );
+                self.obs.end(sp);
                 outcome.pt
             }
             None => answer.pt.clone(),
@@ -258,6 +299,7 @@ impl<'a> Optimizer<'a> {
             return Ok(());
         }
         let report = oorq_lint::verify_pt(&self.lint_env(), pt);
+        oorq_lint::record_report(&self.obs, stage, &report);
         if report.is_clean() {
             return Ok(());
         }
@@ -282,6 +324,7 @@ impl<'a> Optimizer<'a> {
             return Ok(());
         }
         let report = oorq_lint::lint_graph(self.model.catalog, g);
+        oorq_lint::record_report(&self.obs, stage, &report);
         if report.is_clean() {
             return Ok(());
         }
@@ -447,6 +490,7 @@ impl<'a> Optimizer<'a> {
         // Translate every arc.
         let mut chains: Vec<Vec<ArcChain>> = Vec::new();
         {
+            let sp = self.obs.begin("optimizer", "translate");
             let t = trace.record(Step::Translate, "one arc", StrategyKind::CostBased);
             for (i, arc) in effective_spj.inputs.iter().enumerate() {
                 let base = self.base_plan(g, arc, self_fix, planned, pred_override, i)?;
@@ -474,10 +518,14 @@ impl<'a> Optimizer<'a> {
                 }
                 chains.push(alts);
             }
+            self.obs
+                .span_fields(sp, vec![("arcs".into(), effective_spj.inputs.len().into())]);
+            self.obs.end(sp);
         }
 
         // generatePT for the predicate node.
         let (pt, out_cols, cost) = {
+            let sp = self.obs.begin("optimizer", "generatePT");
             let t = trace.record(
                 Step::GeneratePt,
                 "one predicate node",
@@ -488,7 +536,10 @@ impl<'a> Optimizer<'a> {
                 &effective_spj,
                 &chains,
                 self.config.spj_strategy,
-            )?;
+                &self.obs,
+            );
+            self.obs.end(sp);
+            let r = r?;
             t.generated("Sel");
             if spj.inputs.len() > 1 {
                 t.generated("EJ");
@@ -532,9 +583,68 @@ impl<'a> Optimizer<'a> {
             t.note("never-push strategy: selective operations stay outside the fixpoint");
         }
         if pred_override.is_none() && self.config.push != PushStrategy::NeverPush {
-            if let Some((pushed_pt, pushed_cols, pushed_cost)) =
-                self.try_push(g, spj, self_fix, planned, trace)?
-            {
+            let sp = self.obs.begin("optimizer", "transformPT");
+            self.obs
+                .span_fields(sp, vec![("phase".into(), "push-decision".into())]);
+            let pushed = self.try_push(g, spj, self_fix, planned, trace);
+            if let Ok(Some((pushed_pt, _, pushed_cost))) = &pushed {
+                let keep_pushed = match self.config.push {
+                    PushStrategy::AlwaysPush => true,
+                    PushStrategy::CostControlled => *pushed_cost < cost,
+                    PushStrategy::NeverPush => false,
+                };
+                let fp_pushed = format!("{:016x}", pushed_pt.fingerprint());
+                let fp_unpushed = format!("{:016x}", pt.fingerprint());
+                let (outcome, reason) = match (self.config.push, keep_pushed) {
+                    (PushStrategy::AlwaysPush, _) => {
+                        ("accept", "always-push heuristic (no cost comparison)")
+                    }
+                    (_, true) => ("accept", "pushed plan cheaper than unpushed incumbent"),
+                    (_, false) => (
+                        "reject",
+                        "pushing selective operations into the fixpoint costs more \
+                         than evaluating them outside",
+                    ),
+                };
+                self.obs.event(
+                    "optimizer",
+                    "candidate",
+                    vec![
+                        ("step".into(), "push-decision".into()),
+                        ("action".into(), "filter/push-join".into()),
+                        ("fingerprint".into(), fp_pushed.clone().into()),
+                        ("cost".into(), (*pushed_cost).into()),
+                        ("incumbent".into(), fp_unpushed.clone().into()),
+                        ("incumbent_cost".into(), cost.into()),
+                        ("outcome".into(), outcome.into()),
+                        ("reason".into(), reason.into()),
+                    ],
+                );
+                if keep_pushed {
+                    // The displaced incumbent is itself a rejected
+                    // candidate of this decision.
+                    self.obs.event(
+                        "optimizer",
+                        "candidate",
+                        vec![
+                            ("step".into(), "push-decision".into()),
+                            ("action".into(), "keep-unpushed".into()),
+                            ("fingerprint".into(), fp_unpushed.into()),
+                            ("cost".into(), cost.into()),
+                            ("incumbent".into(), fp_pushed.into()),
+                            ("incumbent_cost".into(), (*pushed_cost).into()),
+                            ("outcome".into(), "reject".into()),
+                            (
+                                "reason".into(),
+                                "displaced by the pushed plan at lower cost".into(),
+                            ),
+                        ],
+                    );
+                }
+                self.obs.counter_add("optimizer.push_decisions", 1.0);
+            }
+            self.obs.end(sp);
+            if let Some((pushed_pt, pushed_cols, pushed_cost)) = pushed? {
                 let keep_pushed = match self.config.push {
                     PushStrategy::AlwaysPush => true,
                     PushStrategy::CostControlled => pushed_cost < cost,

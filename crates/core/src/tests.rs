@@ -860,6 +860,7 @@ fn broken_transformation_action_is_caught_by_the_verifier() {
         ..Default::default()
     };
     let mut trace = OptTrace::default();
+    let obs = oorq_obs::Recorder::new();
     let outcome = rand_optimize_with(
         &model,
         plan.pt.clone(),
@@ -867,6 +868,7 @@ fn broken_transformation_action_is_caught_by_the_verifier() {
         &broken,
         true,
         Some(&mut trace),
+        &obs,
     );
     assert!(
         outcome.violations > 0,

@@ -130,25 +130,34 @@ impl OptTrace {
         out
     }
 
-    /// Render the Figure 6 style summary table.
+    /// Render the Figure 6 style summary table, followed by each step's
+    /// recorded notes (actions applied, costs compared).
     pub fn summary(&self) -> String {
         let mut out = String::from(
             "| Procedure | Granularity | Strategy | PT nodes generated |\n\
              |---|---|---|---|\n",
         );
         for s in &self.steps {
-            let nodes = if s.nodes_generated.is_empty() {
-                "none".to_string()
-            } else {
-                let mut uniq: Vec<&str> = s.nodes_generated.iter().map(String::as_str).collect();
-                uniq.sort();
-                uniq.dedup();
-                uniq.join(", ")
-            };
             out.push_str(&format!(
                 "| {} | {} | {} | {} |\n",
-                s.step, s.granularity, s.strategy, nodes
+                s.step,
+                s.granularity,
+                s.strategy,
+                s.nodes_summary()
             ));
+        }
+        let mut noted = false;
+        for s in &self.steps {
+            if s.notes.is_empty() {
+                continue;
+            }
+            if !noted {
+                out.push('\n');
+                noted = true;
+            }
+            for n in &s.notes {
+                out.push_str(&format!("{}: {}\n", s.step, n));
+            }
         }
         out
     }
@@ -158,6 +167,30 @@ impl StepTrace {
     /// Note a generated node kind.
     pub fn generated(&mut self, kind: &str) {
         self.nodes_generated.push(kind.to_string());
+    }
+
+    /// Node kinds with multiplicity: `Fix, Sel ×3` — deduplicated but
+    /// counted (the previous rendering dropped multiplicity), sorted by
+    /// kind for a stable table.
+    pub fn nodes_summary(&self) -> String {
+        if self.nodes_generated.is_empty() {
+            return "none".to_string();
+        }
+        let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+        for kind in &self.nodes_generated {
+            *counts.entry(kind).or_insert(0) += 1;
+        }
+        counts
+            .iter()
+            .map(|(k, c)| {
+                if *c > 1 {
+                    format!("{k} ×{c}")
+                } else {
+                    (*k).to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
     }
 
     /// Add a note.

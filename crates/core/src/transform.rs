@@ -664,7 +664,16 @@ pub struct RandOutcome {
 /// Run a randomized strategy from a starting plan; returns the best plan
 /// found (never worse than the start).
 pub fn rand_optimize(model: &CostModel<'_>, start: Pt, config: &RandConfig) -> Pt {
-    rand_optimize_with(model, start, config, &neighbours, false, None).pt
+    rand_optimize_with(
+        model,
+        start,
+        config,
+        &neighbours,
+        false,
+        None,
+        &oorq_obs::Recorder::disabled(),
+    )
+    .pt
 }
 
 /// [`rand_optimize`] with a pluggable move generator and an optional
@@ -681,7 +690,29 @@ pub fn rand_optimize_with(
     moves: &MoveFn<'_>,
     verify: bool,
     mut trace: Option<&mut crate::trace::OptTrace>,
+    obs: &oorq_obs::Recorder,
 ) -> RandOutcome {
+    // One structured `candidate` event per attempted move.
+    let candidate_event =
+        |pick: &Pt, c: Option<f64>, incumbent: f64, outcome: &str, reason: &str| {
+            if !obs.enabled() {
+                return;
+            }
+            let mut fields: oorq_obs::Fields = vec![
+                ("step".into(), "transformPT".into()),
+                (
+                    "fingerprint".into(),
+                    format!("{:016x}", pick.fingerprint()).into(),
+                ),
+            ];
+            if let Some(c) = c {
+                fields.push(("cost".into(), c.into()));
+            }
+            fields.push(("incumbent_cost".into(), incumbent.into()));
+            fields.push(("outcome".into(), outcome.into()));
+            fields.push(("reason".into(), reason.into()));
+            obs.event("optimizer", "candidate", fields);
+        };
     let lint_env = || oorq_pt::PtEnv {
         catalog: model.catalog,
         physical: model.physical,
@@ -709,8 +740,19 @@ pub fn rand_optimize_with(
             let pick = ns[rng.index(ns.len())].clone();
             if verify {
                 let report = oorq_lint::verify_pt(&lint_env(), &pick);
+                oorq_lint::record_report(obs, "transformPT (randomized move)", &report);
                 if !report.is_clean() {
                     violations += 1;
+                    candidate_event(
+                        &pick,
+                        None,
+                        current_cost,
+                        "reject",
+                        &format!(
+                            "verifier rejected the move: {}",
+                            report.codes().into_iter().collect::<Vec<_>>().join(", ")
+                        ),
+                    );
                     if let Some(t) = trace.as_deref_mut() {
                         let s = t.record(
                             crate::trace::Step::TransformPt,
@@ -737,6 +779,23 @@ pub fn rand_optimize_with(
                         )
                 }
             };
+            let reason = match (accept, c < current_cost, config.kind) {
+                (_, true, _) => "downhill move",
+                (true, false, _) => "uphill move accepted (simulated annealing)",
+                (false, false, RandKind::IterativeImprovement) => {
+                    "uphill move (iterative improvement accepts only downhill)"
+                }
+                (false, false, RandKind::SimulatedAnnealing) => {
+                    "uphill move rejected (annealing chance failed)"
+                }
+            };
+            candidate_event(
+                &pick,
+                Some(c),
+                current_cost,
+                if accept { "accept" } else { "reject" },
+                reason,
+            );
             if accept {
                 current = pick;
                 current_cost = c;

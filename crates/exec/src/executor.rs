@@ -40,6 +40,11 @@ pub struct ExecReport {
     pub method_calls: u64,
     /// Per-operator observed counters of the last completed run.
     pub ops: Vec<OpReport>,
+    /// Per-iteration fixpoint delta sizes of the last completed run, in
+    /// iteration order (the seed delta first, then one entry per
+    /// semi-naive iteration; the final entry is 0 when the fixpoint
+    /// converged). Concatenated across fixpoints in execution order.
+    pub fix_deltas: Vec<u64>,
 }
 
 impl ExecReport {
@@ -65,6 +70,10 @@ pub struct Executor<'a> {
     temp_fields: HashMap<String, Vec<(String, ResolvedType)>>,
     /// Per-operator reports of the last completed run.
     last_ops: Vec<OpReport>,
+    /// Per-iteration fixpoint delta sizes of the last completed run.
+    last_fix_deltas: Vec<u64>,
+    /// Trace recorder (disabled by default).
+    obs: oorq_obs::Recorder,
 }
 
 impl<'a> Executor<'a> {
@@ -79,6 +88,8 @@ impl<'a> Executor<'a> {
             temps: HashMap::new(),
             temp_fields: HashMap::new(),
             last_ops: Vec::new(),
+            last_fix_deltas: Vec::new(),
+            obs: oorq_obs::Recorder::disabled(),
         }
     }
 
@@ -88,11 +99,22 @@ impl<'a> Executor<'a> {
         self
     }
 
+    /// Attach a trace recorder: the executor records one span per run
+    /// and one synthesized span per physical operator, the pipeline
+    /// fires per-fixpoint-iteration events, and the store's buffer
+    /// manager reports page hits/misses/evictions to the same trace.
+    pub fn with_recorder(mut self, obs: oorq_obs::Recorder) -> Self {
+        self.db.set_recorder(obs.clone());
+        self.obs = obs;
+        self
+    }
+
     /// Reset I/O and CPU counters (e.g. after a warm-up run).
     pub fn reset_counters(&mut self) {
         self.db.reset_io();
         self.counters = Counters::default();
         self.last_ops.clear();
+        self.last_fix_deltas.clear();
     }
 
     /// The resources consumed so far (per-operator counters cover the
@@ -103,6 +125,7 @@ impl<'a> Executor<'a> {
             evals: self.counters.evals.get(),
             method_calls: self.counters.method_calls.get(),
             ops: self.last_ops.clone(),
+            fix_deltas: self.last_fix_deltas.clone(),
         }
     }
 
@@ -113,11 +136,22 @@ impl<'a> Executor<'a> {
     /// against the static verifier: an ill-formed plan is rejected with
     /// [`ExecError::PlanLint`] before it can touch the store.
     pub fn run(&mut self, pt: &Pt) -> Result<Batch, ExecError> {
+        let span = self.obs.begin("exec", "run");
+        let res = self.run_inner(pt);
+        if let Ok(batch) = &res {
+            self.obs
+                .span_fields(span, vec![("rows".into(), batch.rows.len().into())]);
+        }
+        self.obs.end(span);
+        res
+    }
+
+    fn run_inner(&mut self, pt: &Pt) -> Result<Batch, ExecError> {
         #[cfg(debug_assertions)]
         self.verify(pt)?;
         let plan = self.lower(pt)?;
         self.prepare_temps(&plan);
-        let (mut rows, ops) = pipeline::execute(
+        let (mut rows, ops, fix_deltas) = pipeline::execute(
             &plan,
             self.db,
             self.indexes,
@@ -125,17 +159,20 @@ impl<'a> Executor<'a> {
             &self.counters,
             &self.temps,
             self.config.max_fix_iterations,
+            &self.obs,
         )
-        .map(|(rows, ops)| {
+        .map(|(rows, ops, fix_deltas)| {
             (
                 Batch {
                     cols: plan.root.cols().to_vec(),
                     rows,
                 },
                 ops,
+                fix_deltas,
             )
         })?;
         self.last_ops = ops;
+        self.last_fix_deltas = fix_deltas;
         rows.dedup();
         Ok(rows)
     }

@@ -57,8 +57,11 @@ pub struct OpReport {
     pub evals: u64,
     /// Method (computed-attribute) invocations.
     pub method_calls: u64,
-    /// Wall time spent in the operator.
+    /// Wall time spent in the operator itself (children subtracted).
     pub wall_ns: u64,
+    /// Raw inclusive wall time (children's brackets still included) —
+    /// kept alongside the exclusive figure so attribution can be audited.
+    pub wall_inclusive_ns: u64,
 }
 
 /// Inclusive per-operator tallies (children's work still included).
@@ -73,6 +76,11 @@ struct OpStats {
     evals: u64,
     method_calls: u64,
     wall_ns: u64,
+    /// Earliest bracket start on the recorder's clock (`u64::MAX` until
+    /// the operator first runs under an enabled recorder).
+    first_ns: u64,
+    /// Latest bracket end on the recorder's clock.
+    last_ns: u64,
 }
 
 /// Shared runtime of one pipeline execution.
@@ -89,6 +97,11 @@ struct Rt<'a> {
     delta_active: RefCell<HashSet<String>>,
     stats: RefCell<Vec<OpStats>>,
     max_fix_iterations: u32,
+    /// Trace recorder (disabled by default; one branch per call then).
+    obs: &'a oorq_obs::Recorder,
+    /// Per-iteration fixpoint delta sizes, in iteration order (the seed
+    /// delta first); concatenated across fixpoints in execution order.
+    fix_deltas: RefCell<Vec<u64>>,
 }
 
 impl<'a> Rt<'a> {
@@ -102,8 +115,12 @@ impl<'a> Rt<'a> {
     }
 }
 
-/// Execute a lowered plan, returning the produced rows (bag semantics —
-/// the caller deduplicates the answer) and the per-operator reports.
+/// What one pipeline execution produced: rows (bag semantics — the
+/// caller deduplicates the answer), per-operator reports, and the
+/// per-iteration fixpoint delta sizes.
+pub(crate) type ExecOutput = (Vec<Vec<Value>>, Vec<OpReport>, Vec<u64>);
+
+/// Execute a lowered plan.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn execute(
     plan: &PhysPlan,
@@ -113,7 +130,8 @@ pub(crate) fn execute(
     counters: &Counters,
     temps: &HashMap<String, (EntityId, EntityId)>,
     max_fix_iterations: u32,
-) -> Result<(Vec<Vec<Value>>, Vec<OpReport>), ExecError> {
+    obs: &oorq_obs::Recorder,
+) -> Result<ExecOutput, ExecError> {
     let rt = Rt {
         db,
         indexes,
@@ -121,8 +139,16 @@ pub(crate) fn execute(
         counters,
         temps,
         delta_active: RefCell::new(HashSet::new()),
-        stats: RefCell::new(vec![OpStats::default(); plan.ops]),
+        stats: RefCell::new(vec![
+            OpStats {
+                first_ns: u64::MAX,
+                ..OpStats::default()
+            };
+            plan.ops
+        ]),
         max_fix_iterations,
+        obs,
+        fix_deltas: RefCell::new(Vec::new()),
     };
     let mut root = build(&plan.root);
     root.open(&rt)?;
@@ -132,7 +158,42 @@ pub(crate) fn execute(
     }
     drop(root);
     let stats = rt.stats.into_inner();
-    Ok((rows, rollup(plan, &stats)))
+    let reports = rollup(plan, &stats);
+    record_op_spans(obs, &reports, &stats);
+    Ok((rows, reports, rt.fix_deltas.into_inner()))
+}
+
+/// Synthesize one span per operator that actually ran: the interval is
+/// the envelope of its `open`/`next` brackets, the fields carry its
+/// exclusive counters, and the `track` field gives each operator its own
+/// named track in the Chrome export (operator envelopes overlap, so they
+/// cannot share the stack-discipline track).
+fn record_op_spans(obs: &oorq_obs::Recorder, reports: &[OpReport], stats: &[OpStats]) {
+    if !obs.enabled() {
+        return;
+    }
+    for (r, s) in reports.iter().zip(stats) {
+        if s.first_ns == u64::MAX {
+            continue; // never ran under this recorder
+        }
+        let fields: oorq_obs::Fields = vec![
+            ("track".into(), format!("op#{} {}", r.id, r.label).into()),
+            ("id".into(), r.id.into()),
+            ("pt_node".into(), r.pt_node.into()),
+            ("opens".into(), r.opens.into()),
+            ("rows_in".into(), r.rows_in.into()),
+            ("rows_out".into(), r.rows_out.into()),
+            ("page_reads".into(), r.page_reads.into()),
+            ("page_hits".into(), r.page_hits.into()),
+            ("index_reads".into(), r.index_reads.into()),
+            ("page_writes".into(), r.page_writes.into()),
+            ("evals".into(), r.evals.into()),
+            ("method_calls".into(), r.method_calls.into()),
+            ("wall_ns".into(), r.wall_ns.into()),
+            ("wall_inclusive_ns".into(), r.wall_inclusive_ns.into()),
+        ];
+        obs.add_span("exec", &r.label, None, s.first_ns, s.last_ns, fields);
+    }
 }
 
 /// Per-operator mutable state.
@@ -223,7 +284,15 @@ impl<'a> Rt<'a> {
         s.page_writes += io.page_writes - snap.io.page_writes;
         s.evals += self.counters.evals.get() - snap.evals;
         s.method_calls += self.counters.method_calls.get() - snap.method_calls;
-        s.wall_ns += snap.t0.elapsed().as_nanos() as u64;
+        let elapsed = snap.t0.elapsed().as_nanos() as u64;
+        s.wall_ns += elapsed;
+        if self.obs.enabled() {
+            // Bracket envelope on the recorder's clock, for the
+            // synthesized per-operator spans.
+            let end = self.obs.now_ns();
+            s.first_ns = s.first_ns.min(end.saturating_sub(elapsed));
+            s.last_ns = s.last_ns.max(end);
+        }
     }
 }
 
@@ -355,6 +424,17 @@ impl<'a> OpExec<'_, 'a> {
                         rt.db.append_temp(delta_e, row)?;
                     }
                 }
+                let seed_rows = rt.db.entity_len(delta_e) as u64;
+                rt.fix_deltas.borrow_mut().push(seed_rows);
+                rt.obs.event(
+                    "exec",
+                    "fix-iteration",
+                    vec![
+                        ("temp".into(), temp.as_str().into()),
+                        ("iteration".into(), 0u64.into()),
+                        ("delta_rows".into(), seed_rows.into()),
+                    ],
+                );
 
                 // Iterate the recursive side over the delta until no new
                 // rows appear.
@@ -386,6 +466,18 @@ impl<'a> OpExec<'_, 'a> {
                             rt.db.append_temp(delta_e, row)?;
                         }
                     }
+                    let delta_rows = rt.db.entity_len(delta_e) as u64;
+                    rt.fix_deltas.borrow_mut().push(delta_rows);
+                    rt.obs.counter_add("exec.fix_iterations", 1.0);
+                    rt.obs.event(
+                        "exec",
+                        "fix-iteration",
+                        vec![
+                            ("temp".into(), temp.as_str().into()),
+                            ("iteration".into(), iterations.into()),
+                            ("delta_rows".into(), delta_rows.into()),
+                        ],
+                    );
                 }
                 Ok(())
             }
@@ -653,10 +745,13 @@ fn rollup(plan: &PhysPlan, stats: &[OpStats]) -> Vec<OpReport> {
             page_writes: exclusive(s.page_writes, kids.page_writes, "page_writes", id, label),
             evals: exclusive(s.evals, kids.evals, "evals", id, label),
             method_calls: exclusive(s.method_calls, kids.method_calls, "method_calls", id, label),
-            // Wall time is measured by nested `Instant` brackets whose
-            // jitter can legitimately exceed the parent's own share, so
-            // it is clamped but never asserted on.
-            wall_ns: s.wall_ns.saturating_sub(kids.wall_ns),
+            // Wall time obeys the same invariant as the counters: every
+            // child `open`/`next` bracket is a disjoint subinterval of
+            // some parent bracket on the same monotonic clock, so the
+            // children's sum can never exceed the parent's inclusive
+            // tally — assert it rather than silently flooring residue.
+            wall_ns: exclusive(s.wall_ns, kids.wall_ns, "wall_ns", id, label),
+            wall_inclusive_ns: s.wall_ns,
         };
     });
     out

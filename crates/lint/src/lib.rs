@@ -41,6 +41,30 @@ pub use plan::verify_pt;
 use oorq_query::{parse_program, ParseError, ParsedProgram};
 use oorq_schema::Catalog;
 
+/// Record every diagnostic of a report as a structured trace event
+/// (cat `lint`, name `violation`) carrying the stable code, severity,
+/// location and message, plus a `lint.violations` counter bump. A
+/// no-op on a disabled recorder or a clean report.
+pub fn record_report(obs: &oorq_obs::Recorder, stage: &str, report: &LintReport) {
+    if !obs.enabled() {
+        return;
+    }
+    for d in &report.diagnostics {
+        obs.event(
+            "lint",
+            "violation",
+            vec![
+                ("stage".into(), stage.into()),
+                ("code".into(), d.code.code().into()),
+                ("severity".into(), d.severity().to_string().into()),
+                ("location".into(), d.location.clone().into()),
+                ("message".into(), d.message.clone().into()),
+            ],
+        );
+        obs.counter_add("lint.violations", 1.0);
+    }
+}
+
 /// Parse a program and lint the resulting (unexpanded) query graph in
 /// one step. Parse errors abort; lint findings are returned alongside
 /// the program for the caller to act on.

@@ -1,0 +1,65 @@
+//! Folded-stacks sink: `root;child;grandchild <weight>` lines, one per
+//! distinct span path, weighted by *exclusive* wall time in nanoseconds
+//! — the input format of Brendan Gregg's `flamegraph.pl` and compatible
+//! tools (e.g. `inferno`).
+
+use crate::recorder::{Span, Trace};
+use std::collections::BTreeMap;
+
+impl Trace {
+    /// Render the span tree as folded stacks. Paths with zero exclusive
+    /// time are omitted; duplicate paths (e.g. the same operator opened
+    /// in several fixpoint iterations) are summed.
+    pub fn to_folded(&self) -> String {
+        let mut acc: BTreeMap<String, u64> = BTreeMap::new();
+        let mut order: Vec<String> = Vec::new();
+        for root in self.children_of(None) {
+            self.fold_into(root, String::new(), &mut acc, &mut order);
+        }
+        let mut out = String::new();
+        for path in order {
+            let w = acc[&path];
+            if w > 0 {
+                out.push_str(&path);
+                out.push(' ');
+                out.push_str(&w.to_string());
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    fn fold_into(
+        &self,
+        span: &Span,
+        prefix: String,
+        acc: &mut BTreeMap<String, u64>,
+        order: &mut Vec<String>,
+    ) {
+        let path = if prefix.is_empty() {
+            frame_name(span)
+        } else {
+            format!("{prefix};{}", frame_name(span))
+        };
+        let children = self.children_of(Some(span.id));
+        let child_sum: u64 = children.iter().map(|c| c.dur_ns()).sum();
+        // Child brackets are subintervals of the parent's, so this only
+        // saturates on clock pathologies.
+        let exclusive = span.dur_ns().saturating_sub(child_sum);
+        if !acc.contains_key(&path) {
+            order.push(path.clone());
+        }
+        *acc.entry(path.clone()).or_insert(0) += exclusive;
+        for child in children {
+            self.fold_into(child, path.clone(), acc, order);
+        }
+    }
+}
+
+/// Frame label: `cat:name`, with `;` (the path separator) and spaces
+/// (the weight separator) made safe.
+fn frame_name(span: &Span) -> String {
+    format!("{}:{}", span.cat, span.name)
+        .replace(';', ",")
+        .replace(' ', "_")
+}

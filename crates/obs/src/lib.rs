@@ -1,0 +1,47 @@
+//! Structured tracing for the whole stack: hierarchical spans, runtime
+//! events, and a counters registry, with offline exporters.
+//!
+//! The paper's contribution is a *cost-controlled* decision; this crate
+//! is the window into how that decision was reached. The optimizer
+//! records one span per §4 step and one structured `candidate` event
+//! per enumerated plan (fingerprint, estimated cost, the incumbent it
+//! was compared against, accept/reject reason); the executor records
+//! one span per physical operator carrying its observed counters plus
+//! per-fixpoint-iteration events with delta sizes; the buffer manager
+//! records page hit/miss/eviction events; the lint engine records
+//! violations with their stable codes. Everything lands in one
+//! [`Trace`], exportable as:
+//!
+//! - **JSONL** ([`Trace::to_jsonl`] / [`Trace::from_jsonl`]) — one
+//!   schema-versioned JSON object per line, the durable machine-readable
+//!   stream downstream tooling (calibration, cardinality feedback)
+//!   consumes. Round-trips exactly.
+//! - **Chrome trace-event JSON** ([`Trace::to_chrome`]) — loadable in
+//!   Perfetto / `chrome://tracing`; stack spans become balanced `B`/`E`
+//!   pairs, synthesized operator spans get one named track each, the
+//!   counters registry becomes `C` samples. [`check_chrome_trace`] is
+//!   the in-repo validity checker CI runs (balanced `B`/`E`, monotone
+//!   `ts`, schema fields present) — no network, no external tools.
+//! - **Folded stacks** ([`Trace::to_folded`]) — `a;b;c <ns>` lines for
+//!   flamegraph tooling, weighted by exclusive wall time.
+//!
+//! The recorder is a cheap cloneable handle; [`Recorder::disabled`]
+//! (the default everywhere) reduces every call to one branch, so
+//! instrumented hot paths cost nothing when tracing is off. No external
+//! dependencies; the JSON reader/writer is in [`json`].
+
+mod chrome;
+mod folded;
+pub mod json;
+mod jsonl;
+mod recorder;
+mod search;
+
+pub use chrome::{check_chrome_trace, ChromeSummary};
+pub use recorder::{
+    Event, FieldValue, Fields, Recorder, Span, SpanId, Trace, SCHEMA_NAME, SCHEMA_VERSION,
+};
+pub use search::search_space_table;
+
+#[cfg(test)]
+mod tests;

@@ -229,6 +229,28 @@ impl Pt {
         }
     }
 
+    /// Structural fingerprint: FNV-1a over the tree's full structure
+    /// (operators, predicates, access methods, entities). Two PTs have
+    /// equal fingerprints iff they are structurally equal (modulo hash
+    /// collisions), so candidate plans can be identified across a trace
+    /// without serializing whole trees. Render as hex for transport —
+    /// a JSON `f64` cannot carry all 64 bits.
+    pub fn fingerprint(&self) -> u64 {
+        struct Fnv(u64);
+        impl fmt::Write for Fnv {
+            fn write_str(&mut self, s: &str) -> fmt::Result {
+                for b in s.bytes() {
+                    self.0 ^= b as u64;
+                    self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+                }
+                Ok(())
+            }
+        }
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        let _ = fmt::write(&mut h, format_args!("{self:?}"));
+        h.0
+    }
+
     /// Children in operand order.
     pub fn children(&self) -> Vec<&Pt> {
         match self {

@@ -43,6 +43,9 @@ pub struct BufferManager {
     resident: HashMap<PageId, u64>,
     clock: u64,
     stats: IoStats,
+    /// Trace recorder (disabled by default; page hit/miss/eviction
+    /// events then cost a single branch).
+    obs: oorq_obs::Recorder,
 }
 
 impl BufferManager {
@@ -53,12 +56,28 @@ impl BufferManager {
             resident: HashMap::new(),
             clock: 0,
             stats: IoStats::default(),
+            obs: oorq_obs::Recorder::disabled(),
         }
+    }
+
+    /// Attach a trace recorder; every subsequent page hit, miss and
+    /// eviction fires a structured event on it.
+    pub fn set_recorder(&mut self, obs: oorq_obs::Recorder) {
+        self.obs = obs;
     }
 
     /// Number of frames.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Evict the least recently used page to make room.
+    fn evict_lru(&mut self) {
+        if let Some((&victim, _)) = self.resident.iter().min_by_key(|(_, &s)| s) {
+            self.resident.remove(&victim);
+            self.obs.counter_add("storage.page_evictions", 1.0);
+            self.obs.event("storage", "page-evict", page_fields(victim));
+        }
     }
 
     /// Fetch a page, returning `true` on a physical read (miss).
@@ -68,16 +87,17 @@ impl BufferManager {
         if let Some(stamp) = self.resident.get_mut(&page) {
             *stamp = clock;
             self.stats.page_hits += 1;
+            self.obs.counter_add("storage.page_hits", 1.0);
+            self.obs.event("storage", "page-hit", page_fields(page));
             false
         } else {
             if self.resident.len() >= self.capacity {
-                // Evict the least recently used page.
-                if let Some((&victim, _)) = self.resident.iter().min_by_key(|(_, &s)| s) {
-                    self.resident.remove(&victim);
-                }
+                self.evict_lru();
             }
             self.resident.insert(page, clock);
             self.stats.page_reads += 1;
+            self.obs.counter_add("storage.page_misses", 1.0);
+            self.obs.event("storage", "page-miss", page_fields(page));
             true
         }
     }
@@ -87,10 +107,9 @@ impl BufferManager {
     pub fn write(&mut self, page: PageId) {
         self.clock += 1;
         self.stats.page_writes += 1;
+        self.obs.counter_add("storage.page_writes", 1.0);
         if !self.resident.contains_key(&page) && self.resident.len() >= self.capacity {
-            if let Some((&victim, _)) = self.resident.iter().min_by_key(|(_, &s)| s) {
-                self.resident.remove(&victim);
-            }
+            self.evict_lru();
         }
         self.resident.insert(page, self.clock);
     }
@@ -122,6 +141,14 @@ impl BufferManager {
         self.stats = IoStats::default();
         self.clock = 0;
     }
+}
+
+/// Structured event payload identifying a page.
+fn page_fields(page: PageId) -> oorq_obs::Fields {
+    vec![
+        ("entity".into(), page.entity.0.into()),
+        ("page".into(), page.page.into()),
+    ]
 }
 
 #[cfg(test)]

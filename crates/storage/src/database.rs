@@ -634,6 +634,12 @@ impl Database {
     pub fn cold_cache(&self) {
         self.buffer.borrow_mut().clear();
     }
+
+    /// Attach a trace recorder to the buffer manager: every subsequent
+    /// page hit, miss and eviction fires a structured event on it.
+    pub fn set_recorder(&self, obs: oorq_obs::Recorder) {
+        self.buffer.borrow_mut().set_recorder(obs);
+    }
 }
 
 /// A streaming, page-at-a-time scan of one entity (see
