@@ -23,6 +23,12 @@ cargo run --release -q -p oorq-bench --bin reproduce calibrate | grep "median re
 echo "== calibration regression gate =="
 cargo run --release -q -p oorq-bench --bin reproduce calibrate-gate
 
+echo "== reproduce smoke (fixpoint cardinality feedback) =="
+cargo run --release -q -p oorq-bench --bin reproduce feedback | grep "fixpoints joined" >/dev/null
+
+echo "== cardinality-feedback regression gate =="
+cargo run --release -q -p oorq-bench --bin reproduce feedback-gate
+
 echo "== trace smoke (emit + validate trace.json with the in-repo checker) =="
 rm -rf target/trace-smoke
 cargo run --release -q -p oorq-bench --bin reproduce trace music-fig7 target/trace-smoke \

@@ -2,9 +2,11 @@
 //!
 //! Usage: `reproduce [section]` where section is one of
 //! `fig1 fig2 fig3 fig4 fig5 fig6 fig7 pushjoin crossover strategies
-//! ablation lint validate calibrate calibrate-fit calibrate-gate all`
-//! (default: `all`). `calibrate-gate` exits nonzero when the residuals
-//! regress beyond the checked-in baseline.
+//! ablation lint validate calibrate calibrate-fit calibrate-gate
+//! feedback feedback-fit feedback-gate all` (default: `all`).
+//! `calibrate-gate` exits nonzero when the residuals regress beyond the
+//! checked-in baseline; `feedback-gate` does the same for the fixpoint
+//! cardinality profiles.
 //!
 //! `reproduce trace <scenario> [out-dir]` runs one scenario under the
 //! structured-tracing recorder and writes `trace-<scenario>.jsonl`
@@ -79,13 +81,28 @@ fn main() {
     if want("calibrate") {
         println!("{}", oorq_bench::calibrate::calibrate_report());
     }
+    if want("feedback") {
+        println!("{}", oorq_bench::feedback::feedback_report());
+    }
     // Not part of `all`: refitting prints a snapshot to check in, and the
-    // gate is a CI step with its own exit status.
+    // gates are CI steps with their own exit status.
     if section == "calibrate-fit" {
         println!("{}", oorq_bench::calibrate::calibrate_fit_report());
     }
     if section == "calibrate-gate" {
         match oorq_bench::calibrate::calibrate_gate() {
+            Ok(report) => println!("{report}"),
+            Err(report) => {
+                eprintln!("{report}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if section == "feedback-fit" {
+        println!("{}", oorq_bench::feedback::feedback_fit_report());
+    }
+    if section == "feedback-gate" {
+        match oorq_bench::feedback::feedback_gate() {
             Ok(report) => println!("{report}"),
             Err(report) => {
                 eprintln!("{report}");

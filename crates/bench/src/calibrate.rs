@@ -22,12 +22,15 @@ use std::fmt::Write as _;
 use std::rc::Rc;
 
 use oorq_core::{Optimizer, OptimizerConfig};
-use oorq_cost::{Cost, CostFeatures, CostModel, CostParams, CostWeights, NodeCost, OpKind};
+use oorq_cost::{
+    Cost, CostFeatures, CostModel, CostParams, CostWeights, FixCurve, NodeCost, OpKind,
+};
 use oorq_datagen::{parts_catalog, ChainConfig, ChainDb, MusicConfig, PartsConfig, PartsDb};
 use oorq_exec::{Executor, MethodRegistry};
 use oorq_index::IndexSet;
 use oorq_lint::{lint_drift, DriftTolerance, ObservedOp, Severity};
 use oorq_prng::Prng;
+use oorq_pt::Pt;
 use oorq_query::{Expr, NameRef, QArc, QueryGraph, SpjNode, ViewRegistry};
 use oorq_storage::{Database, DbStats};
 
@@ -56,8 +59,16 @@ pub struct SampleLine {
     /// The feature vector under the *calibrated feature model* (the
     /// residency-enabled parameters the fitted weights apply to).
     pub feat_res: CostFeatures,
-    /// Predicted output rows.
+    /// Predicted output rows under the *uncalibrated* parameters.
     pub pred_rows: f64,
+    /// Predicted output rows under the calibrated feature model
+    /// (residency + fitted fixpoint profiles) — the estimate whose
+    /// cardinality quality gates fit eligibility (see [`card_ok`]).
+    pub pred_rows_res: f64,
+    /// True when this line sits on the recursive side of a fixpoint
+    /// (or is the fixpoint node itself) — the lines whose row estimates
+    /// the cardinality-feedback loop is meant to repair.
+    pub in_fix_rec: bool,
     /// Observed page accesses (reads + index node reads + writes).
     pub obs_io: f64,
     /// Observed evaluations (predicate evals + method calls).
@@ -101,6 +112,27 @@ impl SampleLine {
     }
 }
 
+/// One fixpoint of one executed plan: the modeled delta curves (under
+/// both parameter sets) joined to the observed curve — the raw material
+/// of the cardinality-feedback fit (`crate::feedback`).
+#[derive(Debug, Clone)]
+pub struct FixSample {
+    /// The fixpoint's temporary.
+    pub temp: String,
+    /// Pre-order PT node index of the `Fix` node.
+    pub pt_node: usize,
+    /// The curve the *uncalibrated* estimator modeled (flat deltas).
+    pub pred_default: FixCurve,
+    /// The curve the calibrated feature model (profiles attached, when
+    /// fitted) modeled.
+    pub pred_res: FixCurve,
+    /// The observed delta curve (seed first, final 0 on convergence).
+    pub observed: Vec<u64>,
+    /// The chain-depth statistic the estimator consulted (for
+    /// fitting `iters_per_depth`).
+    pub depth: f64,
+}
+
 /// Every matched operator of one optimized-and-executed plan.
 #[derive(Debug, Clone)]
 pub struct PlanSample {
@@ -108,6 +140,8 @@ pub struct PlanSample {
     pub scenario: String,
     /// Matched per-operator lines.
     pub lines: Vec<SampleLine>,
+    /// Per-fixpoint modeled-vs-observed delta curves.
+    pub fixes: Vec<FixSample>,
 }
 
 impl PlanSample {
@@ -133,6 +167,7 @@ impl PlanSample {
                     feat,
                     rows: l.pred_rows,
                     pages: 0.0,
+                    fix: None,
                 }
             })
             .collect();
@@ -162,7 +197,7 @@ fn sample_plan(
     methods: &MethodRegistry,
     q: &QueryGraph,
     config: OptimizerConfig,
-    res_params: CostParams,
+    res_params: &CostParams,
     scenario: String,
 ) -> PlanSample {
     let stats = DbStats::collect(db);
@@ -174,15 +209,23 @@ fn sample_plan(
     // Re-estimate the chosen plan under the calibrated feature model;
     // the optimizer's model already registered every temporary's shape.
     let mut res_model = opt.model;
-    res_model.params = res_params;
+    res_model.params = CostParams {
+        // The harness knows which scenario this plan came from, so the
+        // re-estimate may use the exact (scenario, temp) profile rather
+        // than the cross-scenario aggregate.
+        profile_scope: scenario.clone(),
+        ..res_params.clone()
+    };
+    let depth = res_model.fix_iterations();
     let res_cost = res_model
         .cost(&plan.pt)
         .unwrap_or_else(|e| panic!("{scenario}: re-estimation failed: {e}"));
-    let res_feat: BTreeMap<usize, CostFeatures> = res_cost
+    let res_feat: BTreeMap<usize, (CostFeatures, f64)> = res_cost
         .breakdown
         .iter()
-        .filter_map(|n| Some((n.node?, n.feat)))
+        .filter_map(|n| Some((n.node?, (n.feat, n.rows))))
         .collect();
+    let rec_nodes = fix_rec_nodes(&plan.pt);
     db.cold_cache();
     let mut ex = Executor::new(db, idx, methods);
     ex.run(&plan.pt)
@@ -210,13 +253,15 @@ fn sample_plan(
         let Some(&(obs_io, obs_cpu, obs_rows)) = obs.get(&node) else {
             continue;
         };
-        let feat_res = res_feat.get(&node).copied().unwrap_or(n.feat);
+        let (feat_res, rows_res) = res_feat.get(&node).copied().unwrap_or((n.feat, n.rows));
         match by_key.entry((n.kind, n.label.clone())) {
             std::collections::btree_map::Entry::Occupied(e) => {
                 let l = &mut lines[*e.get()];
                 l.feat += n.feat;
                 l.feat_res += feat_res;
                 l.pred_rows += n.rows;
+                l.pred_rows_res += rows_res;
+                l.in_fix_rec |= rec_nodes.contains(&node);
                 l.obs_io += obs_io;
                 l.obs_cpu += obs_cpu;
                 l.obs_rows += obs_rows;
@@ -230,6 +275,8 @@ fn sample_plan(
                     feat: n.feat,
                     feat_res,
                     pred_rows: n.rows,
+                    pred_rows_res: rows_res,
+                    in_fix_rec: rec_nodes.contains(&node),
                     obs_io,
                     obs_cpu,
                     obs_rows,
@@ -237,7 +284,73 @@ fn sample_plan(
             }
         }
     }
-    PlanSample { scenario, lines }
+
+    // Join each fixpoint's modeled delta curves (default and
+    // calibrated) to its observed one, on the shared PT node index.
+    let res_fix: BTreeMap<usize, FixCurve> = res_cost
+        .breakdown
+        .iter()
+        .filter_map(|n| Some((n.node?, n.fix.clone()?)))
+        .collect();
+    let mut fixes = Vec::new();
+    for n in &plan.trace.final_breakdown {
+        let (Some(node), Some(pred_default)) = (n.node, n.fix.clone()) else {
+            continue;
+        };
+        let Some(observed) = report
+            .fix_deltas
+            .iter()
+            .find(|c| c.pt_node == node)
+            .map(|c| c.deltas.clone())
+        else {
+            continue;
+        };
+        let pred_res = res_fix
+            .get(&node)
+            .cloned()
+            .unwrap_or_else(|| pred_default.clone());
+        fixes.push(FixSample {
+            temp: pred_default.temp.clone(),
+            pt_node: node,
+            pred_default,
+            pred_res,
+            observed,
+            depth,
+        });
+    }
+    PlanSample {
+        scenario,
+        lines,
+        fixes,
+    }
+}
+
+/// Pre-order indices of every node on the recursive side of a fixpoint
+/// (the `Fix` node itself included) — the operators whose row estimates
+/// hinge on modeled delta cardinalities.
+fn fix_rec_nodes(pt: &Pt) -> std::collections::HashSet<usize> {
+    let ids = oorq_pt::node_ids(pt);
+    let mut out = std::collections::HashSet::new();
+    pt.visit(&mut |n| {
+        if let Pt::Fix { temp, body } = n {
+            if let Some(&id) = ids.get(&(n as *const Pt)) {
+                out.insert(id);
+            }
+            if let Pt::Union { left, right } = body.as_ref() {
+                let rec = if left.references_temp(temp) {
+                    left.as_ref()
+                } else {
+                    right.as_ref()
+                };
+                rec.visit(&mut |r| {
+                    if let Some(&id) = ids.get(&(r as *const Pt)) {
+                        out.insert(id);
+                    }
+                });
+            }
+        }
+    });
+    out
 }
 
 /// Run the whole calibration corpus: the music scenario (recursive
@@ -247,7 +360,7 @@ fn sample_plan(
 /// [`Prng`]-seeded sizes, recursive queries under both the never-push
 /// and always-push strategies. `res_params` is the calibrated feature
 /// model every plan is re-estimated under (see [`SampleLine::feat_res`]).
-pub fn collect_corpus(res_params: CostParams) -> Vec<PlanSample> {
+pub fn collect_corpus(res_params: &CostParams) -> Vec<PlanSample> {
     let mut samples = Vec::new();
     let mut rng = Prng::new(0x0ca1_1b8a_7e00_0003);
 
@@ -435,12 +548,21 @@ const FIT_FLOOR: f64 = 4.0;
 /// by the error tables and the regression gate.
 const CARD_DRIFT: f64 = 2.0;
 
-/// Whether a line's own cardinality estimate is close enough to the
-/// observation for its cost residual to reflect unit costs.
-fn card_ok(l: &SampleLine) -> bool {
-    let p = l.pred_rows.max(1.0);
-    let o = l.obs_rows.max(1.0);
+/// Whether a row prediction is within [`CARD_DRIFT`] of the
+/// observation.
+pub fn card_within(pred: f64, obs: f64) -> bool {
+    let p = pred.max(1.0);
+    let o = obs.max(1.0);
     p <= o * CARD_DRIFT && o <= p * CARD_DRIFT
+}
+
+/// Whether a line's own cardinality estimate is close enough to the
+/// observation for its cost residual to reflect unit costs. Judged
+/// under the calibrated feature model's rows ([`SampleLine::
+/// pred_rows_res`]) — the estimate the fitted weights actually ride on,
+/// and the one the fixpoint profiles repair for rec-side lines.
+fn card_ok(l: &SampleLine) -> bool {
+    card_within(l.pred_rows_res, l.obs_rows)
 }
 
 /// Fit the component weights to the corpus by weighted ridge least
@@ -626,7 +748,7 @@ pub fn drift_warnings(samples: &[PlanSample], w: &CostWeights, res: bool) -> usi
 /// snapshot), plus drift-lint counts.
 pub fn calibrate_report() -> String {
     let calibrated = CostParams::calibrated();
-    let samples = collect_corpus(calibrated);
+    let samples = collect_corpus(&calibrated);
     let default = CostParams::default();
     render_comparison(&samples, &default.weights, &calibrated.weights)
 }
@@ -701,11 +823,14 @@ fn render_comparison(samples: &[PlanSample], wa: &CostWeights, wb: &CostWeights)
 /// corpus and print the snapshot to check in as
 /// `crates/cost/calibrated.toml`.
 pub fn calibrate_fit_report() -> String {
+    // The feature model the weights are fitted for: residency on, and
+    // the checked-in fixpoint profiles attached (the profile fit —
+    // `reproduce feedback-fit` — precedes the weight fit).
     let res_params = CostParams {
         residency: true,
-        ..CostParams::default()
+        ..CostParams::calibrated()
     };
-    let samples = collect_corpus(res_params);
+    let samples = collect_corpus(&res_params);
     let w = fit_weights(&samples);
     let p = CostParams {
         weights: w,
@@ -739,7 +864,7 @@ pub const GATE_TOLERANCE: f64 = 0.05;
 pub fn calibrate_gate() -> Result<String, String> {
     let default = CostParams::default();
     let calibrated = CostParams::calibrated();
-    let samples = collect_corpus(calibrated);
+    let samples = collect_corpus(&calibrated);
     let (rows, overall_default, overall_cal) =
         kind_medians(&samples, &default.weights, &calibrated.weights);
 
@@ -837,6 +962,8 @@ mod tests {
             feat,
             feat_res: feat,
             pred_rows: rows,
+            pred_rows_res: rows,
+            in_fix_rec: false,
             obs_io: feat.io(w),
             obs_cpu: feat.cpu(w),
             obs_rows: rows,
@@ -872,6 +999,7 @@ mod tests {
         let samples = vec![PlanSample {
             scenario: "synthetic".into(),
             lines,
+            fixes: Vec::new(),
         }];
         let w = fit_weights(&samples);
         for (name, got, want) in [
@@ -919,6 +1047,7 @@ mod tests {
         let samples = vec![PlanSample {
             scenario: "synthetic".into(),
             lines,
+            fixes: Vec::new(),
         }];
         let w = fit_weights(&samples);
         assert!(
@@ -952,7 +1081,7 @@ mod tests {
             &methods,
             &q,
             OptimizerConfig::never_push(),
-            CostParams::calibrated(),
+            &CostParams::calibrated(),
             "test/music".into(),
         );
         let tol = DriftTolerance::default();

@@ -6,6 +6,7 @@
 //! module is the minimal wall-clock timer the `[[bench]]` targets use.
 
 pub mod calibrate;
+pub mod feedback;
 pub mod harness;
 pub mod reports;
 pub mod scenarios;

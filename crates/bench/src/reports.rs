@@ -14,6 +14,15 @@ use oorq_storage::DbStats;
 
 use crate::scenarios::PaperSetup;
 
+/// Render per-fixpoint delta curves as `temp@nodeN: [..]` joined by `; `.
+fn render_fix_curves(curves: &[oorq_exec::FixDeltaCurve]) -> String {
+    curves
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
 /// Figure 1: the conceptual schema, validated and printed.
 pub fn fig1_report() -> String {
     let cat = music_catalog();
@@ -344,8 +353,9 @@ pub fn fig7_report(setup: &mut PaperSetup) -> String {
     );
     let _ = writeln!(
         out,
-        "Fixpoint delta sizes (semi-naive, seed first): PT(i): {:?}; PT(ii): {:?}",
-        ri.fix_deltas, rii.fix_deltas,
+        "Fixpoint delta sizes (semi-naive, seed first): PT(i): [{}]; PT(ii): [{}]",
+        render_fix_curves(&ri.fix_deltas),
+        render_fix_curves(&rii.fix_deltas),
     );
     let ti = ri.total(dparams.pr, dparams.ev);
     let tii = rii.total(dparams.pr, dparams.ev);

@@ -72,8 +72,13 @@ pub fn trace_scenario(scenario: &str) -> Result<TraceArtifacts, String> {
     );
     let _ = writeln!(
         summary,
-        "fixpoint delta sizes (seed first): {:?}",
-        report.fix_deltas
+        "fixpoint delta sizes (seed first): [{}]",
+        report
+            .fix_deltas
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
     );
 
     let table = oorq_obs::search_space_table(&trace);

@@ -426,15 +426,31 @@ impl<'a> Optimizer<'a> {
         };
         self.model.temp_fields.insert(temp.clone(), fields.clone());
 
-        // Plan the base, estimate the fixpoint's size, then plan the
-        // recursive side with a realistic delta-cardinality hint.
+        // Plan the base, model the fixpoint's per-iteration delta curve
+        // (profile-informed when a fitted FixProfile exists, flat-delta
+        // fallback otherwise), then plan the recursive side with the
+        // curve's mean delta as the temp's cardinality hint.
         let (base_pt, base_cols, _) = self.plan_spj(g, base_spj, None, planned, trace, None)?;
         let base_col_names: Vec<String> = base_cols.iter().map(|(n, _)| n.clone()).collect();
         let base_rows = self.model.cost(&base_pt)?.rows;
-        let growth = self.model.stats.avg_chain_depth().unwrap_or(2.0).max(1.0);
-        let iters = self.model.fix_iterations().max(1.0);
-        self.model
-            .hint_temp_rows(temp.clone(), (base_rows * growth / iters).max(1.0));
+        let curve = self.model.fix_delta_curve(&temp, base_rows);
+        let hint = (curve.mass() / curve.iterations.max(1.0)).max(1.0);
+        self.obs.event(
+            "optimizer",
+            "fix-curve",
+            vec![
+                ("temp".into(), temp.as_str().into()),
+                ("profiled".into(), u64::from(curve.profiled).into()),
+                ("iterations".into(), curve.iterations.into()),
+                (
+                    "seed_delta".into(),
+                    curve.deltas.first().copied().unwrap_or(0.0).into(),
+                ),
+                ("total_rows".into(), curve.total_rows.into()),
+                ("delta_hint".into(), hint.into()),
+            ],
+        );
+        self.model.hint_temp_rows(temp.clone(), hint);
         let (rec_pt, _, _) =
             self.plan_spj(g, rec_spj, Some((fname, &temp)), planned, trace, None)?;
 

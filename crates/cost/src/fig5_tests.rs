@@ -272,6 +272,7 @@ fn snapshot_round_trips_including_residency() {
             eval: 1.125,
             method: 2.25,
         },
+        ..CostParams::default()
     };
     let rendered = p.render_snapshot("round-trip test");
     let q = CostParams::parse_snapshot(&rendered).unwrap();

@@ -12,11 +12,13 @@ mod features;
 mod model;
 pub mod paper_mode;
 mod params;
+mod profiles;
 
 pub use error::CostError;
 pub use features::{CostFeatures, OpKind};
-pub use model::{CostModel, NodeCost, PlanCost};
+pub use model::{CostModel, FixCurve, NodeCost, PlanCost};
 pub use params::{Cost, CostParams, CostWeights};
+pub use profiles::{FixProfile, FixProfiles};
 
 #[cfg(test)]
 mod fig5_tests;

@@ -35,6 +35,36 @@ use crate::error::CostError;
 use crate::features::{CostFeatures, OpKind};
 use crate::params::{Cost, CostParams};
 
+/// The modeled per-iteration delta curve of one fixpoint: what the
+/// estimator assumed about the semi-naive iteration structure when it
+/// costed the recursive side as `Σᵢ cost(Exp(Tᵢ))` (Figure 5). Either
+/// derived from a fitted [`crate::FixProfile`] (`profiled`) or the
+/// flat-delta fallback.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixCurve {
+    /// The fixpoint's temporary.
+    pub temp: String,
+    /// The base case's estimated cardinality the curve was seeded from.
+    pub base_rows: f64,
+    /// Modeled recursive-side pass count (the executor's observed
+    /// equivalent is the delta-curve length minus the seed entry).
+    pub iterations: f64,
+    /// Modeled per-pass input delta cardinalities, seed first.
+    pub deltas: Vec<f64>,
+    /// Modeled accumulator cardinality (the fixpoint's output rows).
+    pub total_rows: f64,
+    /// True when a fitted profile produced the curve; false for the
+    /// flat-delta default.
+    pub profiled: bool,
+}
+
+impl FixCurve {
+    /// Total modeled delta mass (sum over the curve).
+    pub fn mass(&self) -> f64 {
+        self.deltas.iter().sum()
+    }
+}
+
 /// Per-node cost line of a plan-cost breakdown.
 #[derive(Debug, Clone)]
 pub struct NodeCost {
@@ -59,6 +89,10 @@ pub struct NodeCost {
     pub rows: f64,
     /// Estimated output pages if materialized.
     pub pages: f64,
+    /// For `Fix` lines: the modeled delta curve behind the estimate
+    /// (feedback harness and drift lints join it against the observed
+    /// curve). `None` for every other operator.
+    pub fix: Option<FixCurve>,
 }
 
 /// The cost estimate of a whole plan.
@@ -254,6 +288,54 @@ impl<'a> CostModel<'a> {
             .max_chain_depth()
             .map(|d| (d as f64).max(1.0))
             .unwrap_or(self.params.default_fix_iterations)
+    }
+
+    /// Model the per-iteration delta curve of a fixpoint over `temp`
+    /// whose base case is estimated at `base_rows`. With a fitted
+    /// profile ([`crate::FixProfiles::lookup`]) the curve is
+    /// geometric — seed scaled off the base estimate, per-pass decay,
+    /// pass count extrapolated from the chain-depth statistic;
+    /// without one it falls back to the flat-delta default (total =
+    /// base × avg chain depth, split evenly over the iterations).
+    pub fn fix_delta_curve(&self, temp: &str, base_rows: f64) -> FixCurve {
+        if let Some(prof) = self
+            .params
+            .fix_profiles
+            .lookup(&self.params.profile_scope, temp)
+        {
+            let depth = self.fix_iterations();
+            let passes = ((prof.iters_per_depth * depth).round().max(1.0)) as usize;
+            let d0 = (base_rows * prof.seed_scale).max(1.0);
+            let mut deltas = Vec::with_capacity(passes);
+            let mut d = d0;
+            for _ in 0..passes {
+                deltas.push(d.max(1.0));
+                d *= prof.decay;
+            }
+            let total_rows = sane_rows(deltas.iter().sum()).max(1.0);
+            FixCurve {
+                temp: temp.to_string(),
+                base_rows,
+                iterations: passes as f64,
+                deltas,
+                total_rows,
+                profiled: true,
+            }
+        } else {
+            let n = self.fix_iterations().max(1.0);
+            let growth = self.stats.avg_chain_depth().unwrap_or(2.0).max(1.0);
+            let total_rows = sane_rows(base_rows * growth);
+            let delta = (total_rows / n).max(1.0);
+            let passes = ((n - 1.0).max(1.0).round()) as usize;
+            FixCurve {
+                temp: temp.to_string(),
+                base_rows,
+                iterations: passes as f64,
+                deltas: vec![delta; passes],
+                total_rows,
+                profiled: false,
+            }
+        }
     }
 
     fn entity_rows_pages(&self, id: oorq_storage::EntityId) -> (f64, f64) {
@@ -967,18 +1049,62 @@ impl EstCtx<'_, '_> {
                     return Err(CostError::NotRecursive(temp.clone()));
                 }
                 let base_est = self.est(base, true)?;
-                let n = m.fix_iterations().max(1.0);
-                let growth = m.stats.avg_chain_depth().unwrap_or(2.0).max(1.0);
-                let total_rows = sane_rows(base_est.rows * growth);
-                let delta = (total_rows / n).max(1.0);
-                // One estimate of the recursive side with the delta as the
-                // temp's cardinality, multiplied by the iteration count
-                // (Figure 5's Σ cost(Exp(Tᵢ)) with Tᵢ ≈ Δ).
-                let saved = self.temp_rows.insert(temp.clone(), delta);
+                // Model the per-iteration delta curve — a fitted profile
+                // when one exists, the flat-delta fallback otherwise —
+                // and estimate the recursive side once per modeled pass
+                // with that pass's delta as the temp's cardinality
+                // (Figure 5's Σᵢ cost(Exp(Tᵢ)), per-iteration volumes
+                // and all).
+                let curve = m.fix_delta_curve(temp, base_est.rows);
+                let total_rows = curve.total_rows;
+                let saved = self
+                    .temp_rows
+                    .insert(temp.clone(), curve.deltas.first().copied().unwrap_or(1.0));
                 let rec_mark = self.breakdown.len();
-                // The recursive side's total is re-derived below from its
-                // breakdown lines after iteration scaling.
                 self.est(rec, true)?;
+                let first_len = self.breakdown.len() - rec_mark;
+                // The executor's per-operator counters accumulate across
+                // iterations, so later passes fold into the first pass's
+                // breakdown lines (positional: the same subtree produces
+                // the same line sequence each pass). Under residency
+                // modeling the page features are buffer aware: a per-pass
+                // page footprint that fits in the buffer is re-touched
+                // hot on passes 2..n, so only the first pass pays cold
+                // reads; CPU work and index probes repeat in full.
+                let b = if p.residency {
+                    p.buffer_frames as f64
+                } else {
+                    0.0
+                };
+                let first_pages: Vec<(f64, f64)> = self.breakdown[rec_mark..]
+                    .iter()
+                    .map(|l| (l.feat.seq_pages, l.feat.deref_pages))
+                    .collect();
+                for d in &curve.deltas[1..] {
+                    self.temp_rows.insert(temp.clone(), *d);
+                    let pass_mark = self.breakdown.len();
+                    self.est(rec, true)?;
+                    debug_assert_eq!(
+                        self.breakdown.len() - pass_mark,
+                        first_len,
+                        "recursive side must produce the same line sequence each pass"
+                    );
+                    for (i, &(first_seq, first_deref)) in first_pages.iter().enumerate() {
+                        let src = self.breakdown[pass_mark + i].clone();
+                        let mut add = src.feat;
+                        if b > 0.0 && first_seq <= b {
+                            add.seq_pages = 0.0;
+                        }
+                        if b > 0.0 && first_deref <= b {
+                            add.deref_pages = 0.0;
+                        }
+                        let dst = &mut self.breakdown[rec_mark + i];
+                        dst.feat += add;
+                        dst.rows += src.rows;
+                        dst.pages += src.pages;
+                    }
+                    self.breakdown.truncate(pass_mark);
+                }
                 match saved {
                     Some(s) => {
                         self.temp_rows.insert(temp.clone(), s);
@@ -987,34 +1113,8 @@ impl EstCtx<'_, '_> {
                         self.temp_rows.remove(temp);
                     }
                 }
-                let iters = (n - 1.0).max(1.0);
-                // Attribute the iteration multiplier to the recursive-side
-                // nodes themselves: the executor's per-operator counters
-                // accumulate across iterations, so the per-node predictions
-                // must carry the same factor or every rec-side residual is
-                // off by ~n (the drift the calibration harness gates on).
-                // Under residency modeling the page features are buffer
-                // aware: a per-iteration page footprint that fits in the
-                // buffer is re-touched hot on iterations 2..n, so only the
-                // first pass pays cold reads; CPU work and index probes
-                // repeat in full every iteration.
-                let b = if p.residency {
-                    p.buffer_frames as f64
-                } else {
-                    0.0
-                };
                 for line in &mut self.breakdown[rec_mark..] {
-                    let (seq, deref) = (line.feat.seq_pages, line.feat.deref_pages);
-                    line.feat = line.feat.scale(iters);
-                    if b > 0.0 && seq <= b {
-                        line.feat.seq_pages = seq;
-                    }
-                    if b > 0.0 && deref <= b {
-                        line.feat.deref_pages = deref;
-                    }
                     line.cost = Cost::new(line.feat.io(w), line.feat.cpu(w));
-                    line.rows *= iters;
-                    line.pages *= iters;
                 }
                 let iter_cost = self.breakdown[rec_mark..]
                     .iter()
@@ -1049,12 +1149,15 @@ impl EstCtx<'_, '_> {
                 self.note(
                     pt,
                     OpKind::Fix,
-                    format!("Fix({temp}) x{n:.0}"),
+                    format!("Fix({temp}) x{:.0}", curve.iterations),
                     own_feat,
                     own,
                     total_rows,
                     total_pages,
                 );
+                if let Some(line) = self.breakdown.last_mut() {
+                    line.fix = Some(curve);
+                }
                 NodeEst {
                     rows: total_rows,
                     pages: total_pages,
@@ -1087,6 +1190,7 @@ impl EstCtx<'_, '_> {
             feat,
             rows,
             pages,
+            fix: None,
         });
     }
 

@@ -1,5 +1,7 @@
 //! Cost-model parameters.
 
+use crate::profiles::FixProfiles;
+
 /// A cost estimate, split into I/O (page accesses) and CPU (predicate /
 /// method evaluations) as §3.2 prescribes: "The computed cost includes
 /// I/O time and CPU time, thereby giving a fair estimation of the use of
@@ -97,7 +99,7 @@ impl Default for CostWeights {
 /// Parameters of the cost model. `pr` and `ev` are the paper's §4.6
 /// constants: the cost of one page access and of one predicate
 /// evaluation, respectively.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CostParams {
     /// Cost of one page access (`pr`).
     pub pr: f64,
@@ -129,6 +131,17 @@ pub struct CostParams {
     /// Component weights (see [`CostWeights`]); identity by default,
     /// fitted by the calibration harness.
     pub weights: CostWeights,
+    /// Fixpoint cardinality profiles fed back from execution traces
+    /// (see [`FixProfiles`]); empty by default — the estimator then
+    /// falls back to flat per-iteration deltas — and loaded from the
+    /// checked-in `fix_profiles.toml` by [`CostParams::calibrated`].
+    pub fix_profiles: FixProfiles,
+    /// Scenario scope for profile lookup: when non-empty, the estimator
+    /// first tries the exact `scope/temp` profile before falling back to
+    /// the per-temp aggregate ([`FixProfiles::lookup`]). Set by harnesses
+    /// that know which scenario a plan belongs to; empty (aggregate-only)
+    /// in normal operation.
+    pub profile_scope: String,
 }
 
 impl Default for CostParams {
@@ -142,6 +155,8 @@ impl Default for CostParams {
             default_fix_iterations: 10.0,
             default_selectivity: 0.1,
             weights: CostWeights::default(),
+            fix_profiles: FixProfiles::empty(),
+            profile_scope: String::new(),
         }
     }
 }
@@ -149,6 +164,10 @@ impl Default for CostParams {
 /// The checked-in calibration snapshot (regenerate with
 /// `reproduce calibrate-fit`).
 const CALIBRATED_SNAPSHOT: &str = include_str!("../calibrated.toml");
+
+/// The checked-in fixpoint profile snapshot (regenerate with
+/// `reproduce feedback-fit`).
+const FIX_PROFILES_SNAPSHOT: &str = include_str!("../fix_profiles.toml");
 
 impl CostParams {
     /// The §4.6 simplified model: no access structures besides path
@@ -164,6 +183,8 @@ impl CostParams {
             default_fix_iterations: 10.0,
             default_selectivity: 0.1,
             weights: CostWeights::default(),
+            fix_profiles: FixProfiles::empty(),
+            profile_scope: String::new(),
         }
     }
 
@@ -176,8 +197,14 @@ impl CostParams {
     /// dereference streams (`residency`) and carries component weights
     /// correcting the remaining systematic drift (declared-vs-counted
     /// method cost, index probe accounting, write amplification).
+    /// Also attaches the fixpoint cardinality profiles fitted by the
+    /// feedback harness (`fix_profiles.toml`).
     pub fn calibrated() -> Self {
-        Self::parse_snapshot(CALIBRATED_SNAPSHOT).expect("checked-in calibrated.toml must parse")
+        let mut p = Self::parse_snapshot(CALIBRATED_SNAPSHOT)
+            .expect("checked-in calibrated.toml must parse");
+        p.fix_profiles = FixProfiles::parse(FIX_PROFILES_SNAPSHOT)
+            .expect("checked-in fix_profiles.toml must parse");
+        p
     }
 
     /// Parse a `calibrated.toml`-style snapshot: `key = value` lines,

@@ -250,7 +250,11 @@ impl EvalCtx<'_> {
                 let lv = self.eval(l, cols, row)?;
                 let rv = self.eval(r, cols, row)?;
                 match (&lv, &rv) {
-                    (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a + b)),
+                    (Value::Int(a), Value::Int(b)) => {
+                        a.checked_add(*b).map(Value::Int).ok_or_else(|| {
+                            ExecError::BadValue(format!("integer overflow in {a} + {b}"))
+                        })
+                    }
                     (Value::Float(a), Value::Float(b)) => Ok(Value::Float(a + b)),
                     (Value::Int(a), Value::Float(b)) => Ok(Value::Float(*a as f64 + b)),
                     (Value::Float(a), Value::Int(b)) => Ok(Value::Float(a + *b as f64)),
@@ -260,9 +264,17 @@ impl EvalCtx<'_> {
         }
     }
 
-    /// Evaluate a predicate to a boolean.
+    /// Evaluate a predicate to a boolean. `Null` is three-valued-logic
+    /// false (an unknown comparand filters the row out); any other
+    /// non-`Bool` result is a type error, not a silent rejection.
     pub fn truthy(&self, expr: &Expr, cols: &[String], row: &[Value]) -> Result<bool, ExecError> {
-        Ok(self.eval(expr, cols, row)?.as_bool().unwrap_or(false))
+        match self.eval(expr, cols, row)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            other => Err(ExecError::BadValue(format!(
+                "predicate evaluated to non-boolean {other}"
+            ))),
+        }
     }
 }
 

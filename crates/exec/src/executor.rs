@@ -12,7 +12,7 @@ use oorq_storage::{Database, EntityId, IoStats};
 use crate::error::ExecError;
 use crate::eval::{Batch, Counters};
 use crate::methods::MethodRegistry;
-use crate::pipeline::{self, OpReport};
+use crate::pipeline::{self, FixDeltaCurve, OpReport};
 
 /// Executor configuration.
 #[derive(Debug, Clone)]
@@ -40,11 +40,12 @@ pub struct ExecReport {
     pub method_calls: u64,
     /// Per-operator observed counters of the last completed run.
     pub ops: Vec<OpReport>,
-    /// Per-iteration fixpoint delta sizes of the last completed run, in
-    /// iteration order (the seed delta first, then one entry per
-    /// semi-naive iteration; the final entry is 0 when the fixpoint
-    /// converged). Concatenated across fixpoints in execution order.
-    pub fix_deltas: Vec<u64>,
+    /// Per-fixpoint delta curves of the last completed run: one entry
+    /// per fixpoint *opening* (keyed by pipeline operator id and PT
+    /// node), each holding its delta sizes in iteration order (the seed
+    /// delta first, then one entry per semi-naive iteration; the final
+    /// entry is 0 when the fixpoint converged).
+    pub fix_deltas: Vec<FixDeltaCurve>,
 }
 
 impl ExecReport {
@@ -70,8 +71,8 @@ pub struct Executor<'a> {
     temp_fields: HashMap<String, Vec<(String, ResolvedType)>>,
     /// Per-operator reports of the last completed run.
     last_ops: Vec<OpReport>,
-    /// Per-iteration fixpoint delta sizes of the last completed run.
-    last_fix_deltas: Vec<u64>,
+    /// Per-fixpoint delta curves of the last completed run.
+    last_fix_deltas: Vec<FixDeltaCurve>,
     /// Trace recorder (disabled by default).
     obs: oorq_obs::Recorder,
 }

@@ -24,7 +24,7 @@ pub use error::ExecError;
 pub use eval::{lit_value, Batch, Counters, EvalCtx};
 pub use executor::{ExecConfig, ExecReport, Executor};
 pub use methods::{MethodFn, MethodRegistry};
-pub use pipeline::OpReport;
+pub use pipeline::{FixDeltaCurve, OpReport};
 pub use reference::eval_query_graph;
 
 #[cfg(test)]

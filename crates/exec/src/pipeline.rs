@@ -64,6 +64,33 @@ pub struct OpReport {
     pub wall_inclusive_ns: u64,
 }
 
+/// The per-iteration delta-size curve of one fixpoint *opening*.
+///
+/// A plan can contain several `Fix` operators, and a fixpoint inside a
+/// rescanned subtree can open more than once; each opening records its
+/// own curve, keyed by the operator so curves never interleave or
+/// concatenate indistinguishably. Openings appear in execution order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FixDeltaCurve {
+    /// Physical operator id of the `FixPoint` (dense, lowering order).
+    pub op_id: usize,
+    /// Pre-order index of the source PT node — the join key against the
+    /// cost model's per-node predicted breakdown (`NodeCost::node`).
+    pub pt_node: usize,
+    /// The temporary the fixpoint accumulates.
+    pub temp: String,
+    /// Delta sizes in iteration order: the seed delta first, then one
+    /// entry per semi-naive iteration; the final entry is 0 when the
+    /// fixpoint converged.
+    pub deltas: Vec<u64>,
+}
+
+impl std::fmt::Display for FixDeltaCurve {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@node{}: {:?}", self.temp, self.pt_node, self.deltas)
+    }
+}
+
 /// Inclusive per-operator tallies (children's work still included).
 #[derive(Debug, Clone, Copy, Default)]
 struct OpStats {
@@ -99,9 +126,9 @@ struct Rt<'a> {
     max_fix_iterations: u32,
     /// Trace recorder (disabled by default; one branch per call then).
     obs: &'a oorq_obs::Recorder,
-    /// Per-iteration fixpoint delta sizes, in iteration order (the seed
-    /// delta first); concatenated across fixpoints in execution order.
-    fix_deltas: RefCell<Vec<u64>>,
+    /// Per-fixpoint-opening delta curves, in execution order (each
+    /// `FixPoint` open appends one curve keyed by its operator).
+    fix_deltas: RefCell<Vec<FixDeltaCurve>>,
 }
 
 impl<'a> Rt<'a> {
@@ -117,8 +144,8 @@ impl<'a> Rt<'a> {
 
 /// What one pipeline execution produced: rows (bag semantics — the
 /// caller deduplicates the answer), per-operator reports, and the
-/// per-iteration fixpoint delta sizes.
-pub(crate) type ExecOutput = (Vec<Vec<Value>>, Vec<OpReport>, Vec<u64>);
+/// per-fixpoint delta curves.
+pub(crate) type ExecOutput = (Vec<Vec<Value>>, Vec<OpReport>, Vec<FixDeltaCurve>);
 
 /// Execute a lowered plan.
 #[allow(clippy::too_many_arguments)]
@@ -414,6 +441,22 @@ impl<'a> OpExec<'_, 'a> {
                 rt.db.truncate_temp(acc_e)?;
                 rt.db.truncate_temp(delta_e)?;
 
+                // Each opening records its own delta curve, keyed by the
+                // operator (two `Fix` nodes — or one re-opened fixpoint —
+                // must never interleave or concatenate their curves).
+                let meta = op.meta();
+                let (op_id, pt_node) = (meta.id, meta.pt_node);
+                let curve = {
+                    let mut curves = rt.fix_deltas.borrow_mut();
+                    curves.push(FixDeltaCurve {
+                        op_id,
+                        pt_node,
+                        temp: temp.clone(),
+                        deltas: Vec::new(),
+                    });
+                    curves.len() - 1
+                };
+
                 // Base case: seed the accumulator and the delta.
                 let mut seen: HashSet<Vec<Value>> = HashSet::new();
                 kids[0].open(rt)?;
@@ -425,12 +468,14 @@ impl<'a> OpExec<'_, 'a> {
                     }
                 }
                 let seed_rows = rt.db.entity_len(delta_e) as u64;
-                rt.fix_deltas.borrow_mut().push(seed_rows);
+                rt.fix_deltas.borrow_mut()[curve].deltas.push(seed_rows);
                 rt.obs.event(
                     "exec",
                     "fix-iteration",
                     vec![
                         ("temp".into(), temp.as_str().into()),
+                        ("op_id".into(), op_id.into()),
+                        ("pt_node".into(), pt_node.into()),
                         ("iteration".into(), 0u64.into()),
                         ("delta_rows".into(), seed_rows.into()),
                     ],
@@ -467,13 +512,15 @@ impl<'a> OpExec<'_, 'a> {
                         }
                     }
                     let delta_rows = rt.db.entity_len(delta_e) as u64;
-                    rt.fix_deltas.borrow_mut().push(delta_rows);
+                    rt.fix_deltas.borrow_mut()[curve].deltas.push(delta_rows);
                     rt.obs.counter_add("exec.fix_iterations", 1.0);
                     rt.obs.event(
                         "exec",
                         "fix-iteration",
                         vec![
                             ("temp".into(), temp.as_str().into()),
+                            ("op_id".into(), op_id.into()),
+                            ("pt_node".into(), pt_node.into()),
                             ("iteration".into(), iterations.into()),
                             ("delta_rows".into(), delta_rows.into()),
                         ],

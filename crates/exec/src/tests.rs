@@ -524,6 +524,70 @@ fn expression_evaluation_edge_cases() {
 }
 
 #[test]
+fn integer_add_overflow_is_reported_not_wrapped() {
+    let mut m = small_music();
+    let e = m.db.physical().entities_of_class(m.composer)[0];
+    let idx = IndexSet::new();
+    let methods = MethodRegistry::new();
+    let overflow = Pt::proj(
+        vec![(
+            "v".into(),
+            Expr::path("x", &["birth_year"]).add(Expr::int(i64::MAX)),
+        )],
+        Pt::entity(e, "x"),
+    );
+    let mut ex = Executor::new(&mut m.db, &idx, &methods);
+    let err = ex.run(&overflow).unwrap_err();
+    match err {
+        ExecError::BadValue(msg) => {
+            assert!(msg.contains("overflow"), "got {msg:?}")
+        }
+        other => panic!("expected BadValue(overflow), got {other:?}"),
+    }
+    // The same addition stays exact below the boundary.
+    let ok = Pt::proj(
+        vec![(
+            "v".into(),
+            Expr::path("x", &["birth_year"]).add(Expr::int(1)),
+        )],
+        Pt::entity(e, "x"),
+    );
+    let mut ex2 = Executor::new(&mut m.db, &idx, &methods);
+    assert!(ex2.run(&ok).is_ok());
+}
+
+#[test]
+fn non_boolean_predicate_is_a_bad_value_not_false() {
+    let mut m = small_music();
+    let e = m.db.physical().entities_of_class(m.composer)[0];
+    let idx = IndexSet::new();
+    let methods = MethodRegistry::new();
+    // A selection predicate evaluating to an Int must error, not be
+    // silently treated as false (which would drop every row).
+    let bad = Pt::sel(Expr::path("x", &["birth_year"]), Pt::entity(e, "x"));
+    let mut ex = Executor::new(&mut m.db, &idx, &methods);
+    let err = ex.run(&bad).unwrap_err();
+    match err {
+        ExecError::BadValue(msg) => {
+            assert!(msg.contains("non-boolean"), "got {msg:?}")
+        }
+        // The static verifier may reject the plan first in debug builds.
+        ExecError::PlanLint(_) => {}
+        other => panic!("expected BadValue(non-boolean), got {other:?}"),
+    }
+    // Null predicates keep their three-valued reading: no match, no
+    // error.
+    let null_pred = Pt::sel(Expr::Lit(oorq_query::Literal::Null), Pt::entity(e, "x"));
+    let mut ex2 = Executor::new(&mut m.db, &idx, &methods);
+    let out = ex2.run(&null_pred);
+    match out {
+        Ok(rows) => assert_eq!(rows.len(), 0, "NULL predicate selects nothing"),
+        Err(ExecError::PlanLint(_)) => {}
+        Err(other) => panic!("expected empty result, got {other:?}"),
+    }
+}
+
+#[test]
 fn union_mismatch_is_reported() {
     let mut m = small_music();
     let e = m.db.physical().entities_of_class(m.composer)[0];

@@ -117,6 +117,12 @@ pub enum LintCode {
     /// A plan node in the cost breakdown has no observed counterpart (or
     /// vice versa) — predicted-vs-observed attribution is incomplete.
     UnmatchedOperator,
+    /// A fixpoint profile's predicted iteration count drifts beyond
+    /// tolerance from the observed semi-naive pass count.
+    FixIterationsDrift,
+    /// A fixpoint profile's predicted delta mass drifts beyond tolerance
+    /// from the observed delta curve's total.
+    FixDeltaMassDrift,
 
     // ---- physical-plan pass -----------------------------------------
     /// Physical operator ids are not dense and unique.
@@ -170,6 +176,8 @@ impl LintCode {
             LintCode::CpuDrift => "CX002",
             LintCode::RowsDrift => "CX003",
             LintCode::UnmatchedOperator => "CX004",
+            LintCode::FixIterationsDrift => "CX005",
+            LintCode::FixDeltaMassDrift => "CX006",
             LintCode::PhysOpIds => "PX001",
             LintCode::PhysColsMismatch => "PX002",
             LintCode::PhysBadPerm => "PX003",
@@ -210,7 +218,8 @@ impl LintCode {
             | PhysBadRescan
             | PhysBadEntity => Severity::Error,
             NonLinearRecursion | UnreachableNode | DeadViewCycle | DuplicateColumn
-            | EmptyProjection | IoDrift | CpuDrift | RowsDrift => Severity::Warn,
+            | EmptyProjection | IoDrift | CpuDrift | RowsDrift | FixIterationsDrift
+            | FixDeltaMassDrift => Severity::Warn,
             UnusedVariable | CartesianProduct | LinearRecursion | NoPropagatedColumns
             | UnmatchedOperator => Severity::Note,
         }
@@ -251,6 +260,8 @@ impl LintCode {
             CpuDrift,
             RowsDrift,
             UnmatchedOperator,
+            FixIterationsDrift,
+            FixDeltaMassDrift,
             PhysOpIds,
             PhysColsMismatch,
             PhysBadPerm,
@@ -296,6 +307,10 @@ impl LintCode {
             CpuDrift => "predicted evaluations drift beyond tolerance from observed",
             RowsDrift => "predicted cardinality drifts beyond tolerance from observed rows",
             UnmatchedOperator => "cost-breakdown node without an observed counterpart",
+            FixIterationsDrift => {
+                "modeled fixpoint iteration count drifts from the observed passes"
+            }
+            FixDeltaMassDrift => "modeled fixpoint delta mass drifts from the observed curve",
             PhysOpIds => "physical operator ids not dense and unique",
             PhysColsMismatch => "physical operator columns disagree with operands",
             PhysBadPerm => "union/fixpoint permutation does not map operand columns",

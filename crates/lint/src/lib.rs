@@ -33,7 +33,7 @@ mod plan;
 
 pub use cost::lint_plan_cost;
 pub use diag::{Diagnostic, LintCode, LintReport, Severity};
-pub use drift::{lint_drift, DriftTolerance, ObservedOp};
+pub use drift::{lint_drift, lint_fix_drift, DriftTolerance, ObservedFix, ObservedOp};
 pub use graph::lint_graph;
 pub use phys::verify_phys;
 pub use plan::verify_pt;

@@ -615,6 +615,7 @@ fn node_cost(node: usize, label: &str, io: f64, cpu: f64, rows: f64) -> oorq_cos
         feat: oorq_cost::CostFeatures::default(),
         rows,
         pages: 1.0,
+        fix: None,
     }
 }
 
@@ -688,4 +689,88 @@ fn drift_sums_repeated_observations_of_one_node() {
     ];
     let report = lint_drift(&breakdown, &obs, DriftTolerance::default());
     assert!(report.diagnostics.is_empty(), "{report}");
+}
+
+// ---- fixpoint-profile drift pass -----------------------------------
+
+fn fix_node(node: usize, temp: &str, iterations: f64, deltas: &[f64]) -> oorq_cost::NodeCost {
+    let curve = oorq_cost::FixCurve {
+        temp: temp.to_string(),
+        base_rows: deltas.first().copied().unwrap_or(0.0),
+        iterations,
+        deltas: deltas.to_vec(),
+        total_rows: deltas.iter().sum(),
+        profiled: true,
+    };
+    oorq_cost::NodeCost {
+        label: format!("Fix({temp})"),
+        kind: oorq_cost::OpKind::Fix,
+        node: Some(node),
+        cost: oorq_cost::Cost::zero(),
+        feat: oorq_cost::CostFeatures::default(),
+        rows: curve.total_rows,
+        pages: 1.0,
+        fix: Some(curve),
+    }
+}
+
+fn observed_fix(node: usize, temp: &str, iterations: f64, mass: f64) -> crate::ObservedFix {
+    crate::ObservedFix {
+        pt_node: node,
+        temp: temp.to_string(),
+        iterations,
+        mass,
+    }
+}
+
+#[test]
+fn fix_drift_clean_when_profile_matches() {
+    let breakdown = vec![fix_node(2, "Influencer", 4.0, &[20.0, 12.0, 6.0, 2.0, 0.0])];
+    let obs = vec![observed_fix(2, "Influencer", 4.0, 41.0)];
+    let report = crate::lint_fix_drift(&breakdown, &obs, DriftTolerance::default());
+    assert!(report.diagnostics.is_empty(), "{report}");
+}
+
+#[test]
+fn fix_drift_iterations_fire_beyond_ratio() {
+    // Modeled 2 passes, ran 12: CX005, even though both counts sit far
+    // below the generic magnitude floor.
+    let breakdown = vec![fix_node(2, "Influencer", 2.0, &[200.0, 100.0, 0.0])];
+    let obs = vec![observed_fix(2, "Influencer", 12.0, 300.0)];
+    let report = crate::lint_fix_drift(&breakdown, &obs, DriftTolerance::default());
+    assert!(report.has(LintCode::FixIterationsDrift), "{report}");
+    assert!(!report.has(LintCode::FixDeltaMassDrift), "{report}");
+    // Warnings, not errors.
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn fix_drift_mass_fires_on_volume_misestimate() {
+    let breakdown = vec![fix_node(2, "Contains", 3.0, &[500.0, 400.0, 300.0, 0.0])];
+    let obs = vec![observed_fix(2, "Contains", 3.0, 60.0)];
+    let report = crate::lint_fix_drift(&breakdown, &obs, DriftTolerance::default());
+    assert!(report.has(LintCode::FixDeltaMassDrift), "{report}");
+    assert!(!report.has(LintCode::FixIterationsDrift), "{report}");
+}
+
+#[test]
+fn fix_drift_joins_per_node_and_skips_unobserved() {
+    // Two fixpoints in one plan: only the drifted node fires, keyed to
+    // its own PT node; the unmatched Fix line is skipped quietly.
+    let breakdown = vec![
+        fix_node(2, "A", 3.0, &[50.0, 30.0, 0.0]),
+        fix_node(8, "B", 2.0, &[40.0, 20.0, 0.0]),
+        fix_node(11, "C", 2.0, &[10.0, 0.0]),
+    ];
+    let obs = vec![
+        observed_fix(2, "A", 3.0, 80.0),
+        observed_fix(8, "B", 2.0, 700.0),
+    ];
+    let report = crate::lint_fix_drift(&breakdown, &obs, DriftTolerance::default());
+    assert_eq!(report.diagnostics.len(), 1, "{report}");
+    assert!(report.has(LintCode::FixDeltaMassDrift), "{report}");
+    assert!(
+        report.diagnostics[0].location.contains("node 8"),
+        "{report}"
+    );
 }

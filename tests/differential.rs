@@ -256,6 +256,149 @@ fn parts_scenario_differential_across_seeds() {
     }
 }
 
+/// Add base + recursive rules for a derived transitive-closure
+/// predicate over the Composer master chains. `depth_cap` bounds the
+/// recursion (`gen < cap`) so two instances produce distinct delta
+/// curves.
+fn closure_rules(
+    q: &mut QueryGraph,
+    name: &str,
+    composer: oorq::schema::ClassId,
+    depth_cap: Option<i64>,
+) {
+    let nref = NameRef::Derived(name.into());
+    q.add_spj(
+        nref.clone(),
+        SpjNode {
+            inputs: vec![QArc::new(NameRef::Class(composer), "x")],
+            pred: Expr::path("x", &["master"]).ne(Expr::Lit(oorq::query::Literal::Null)),
+            out_proj: vec![
+                ("master".into(), Expr::path("x", &["master"])),
+                ("disciple".into(), Expr::var("x")),
+                ("gen".into(), Expr::int(1)),
+            ],
+        },
+    );
+    let mut pred = Expr::path("i", &["disciple"]).eq(Expr::path("x", &["master"]));
+    if let Some(cap) = depth_cap {
+        pred = pred.and(Expr::path("i", &["gen"]).lt(Expr::int(cap)));
+    }
+    q.add_spj(
+        nref,
+        SpjNode {
+            inputs: vec![
+                QArc::new(NameRef::Derived(name.into()), "i"),
+                QArc::new(NameRef::Class(composer), "x"),
+            ],
+            pred,
+            out_proj: vec![
+                ("master".into(), Expr::path("i", &["master"])),
+                ("disciple".into(), Expr::var("x")),
+                ("gen".into(), Expr::path("i", &["gen"]).add(Expr::int(1))),
+            ],
+        },
+    );
+}
+
+/// A plan with two *independent* fixpoints: the full influence closure
+/// joined against a depth-capped closure of the same chains. Checks the
+/// streaming result against the reference evaluator and — the per-node
+/// delta attribution — that the executor reports one delta curve per
+/// fixpoint node, each with its own convergence profile.
+#[test]
+fn two_independent_fixpoints_report_separate_delta_curves() {
+    let (mut m, idx) = music_setup(MusicConfig {
+        chains: 3,
+        chain_len: 5,
+        works_per_composer: 2,
+        instruments_per_work: 2,
+        harpsichord_fraction: 0.5,
+        seed: 11,
+        ..Default::default()
+    });
+    let methods = MethodRegistry::new();
+    let mut q = QueryGraph::new(NameRef::Derived("Answer".into()));
+    q.add_spj(
+        NameRef::Derived("Answer".into()),
+        SpjNode {
+            inputs: vec![
+                QArc::new(NameRef::Derived("InfFull".into()), "a"),
+                QArc::new(NameRef::Derived("InfCapped".into()), "b"),
+            ],
+            pred: Expr::path("a", &["disciple"]).eq(Expr::path("b", &["disciple"])),
+            out_proj: vec![
+                ("name".into(), Expr::path("a", &["disciple", "name"])),
+                ("ga".into(), Expr::path("a", &["gen"])),
+                ("gb".into(), Expr::path("b", &["gen"])),
+            ],
+        },
+    );
+    let composer = m.composer;
+    closure_rules(&mut q, "InfFull", composer, None);
+    closure_rules(&mut q, "InfCapped", composer, Some(2));
+    let mut reference = eval_query_graph(&m.db, &methods, &q).unwrap().rows;
+    reference.sort();
+    assert!(!reference.is_empty(), "two-fix query must produce rows");
+
+    for (cname, config) in [
+        ("cost-controlled", OptimizerConfig::cost_controlled()),
+        ("always-push", OptimizerConfig::deductive_heuristic()),
+    ] {
+        let stats = DbStats::collect(&m.db);
+        let model = CostModel::new(
+            m.db.catalog(),
+            m.db.physical(),
+            &stats,
+            CostParams::default(),
+        );
+        let plan = Optimizer::new(model, config).optimize(&q).unwrap();
+        let mut ex = Executor::new(&mut m.db, &idx, &methods);
+        let mut got = ex.run(&plan.pt).unwrap().rows;
+        got.sort();
+        assert_eq!(reference, got, "two-fix/{cname}: diverged from reference");
+
+        let report = ex.report();
+        let mut by_temp: std::collections::BTreeMap<&str, &oorq::exec::FixDeltaCurve> =
+            Default::default();
+        for c in &report.fix_deltas {
+            by_temp.insert(c.temp.as_str(), c);
+        }
+        assert_eq!(
+            by_temp.len(),
+            2,
+            "two-fix/{cname}: expected one delta curve per fixpoint, got {:?}",
+            report.fix_deltas
+        );
+        let full = by_temp["InfFull"];
+        let capped = by_temp["InfCapped"];
+        assert_ne!(
+            full.pt_node, capped.pt_node,
+            "two-fix/{cname}: curves must be keyed to distinct plan nodes"
+        );
+        for c in [full, capped] {
+            assert_eq!(
+                c.deltas.last(),
+                Some(&0),
+                "two-fix/{cname}: {c}: converged curve ends with an empty delta"
+            );
+            assert!(
+                c.deltas[0] > 0,
+                "two-fix/{cname}: {c}: seed delta must be non-empty"
+            );
+        }
+        // Full closure: chains of length 5 derive pairs up to gen 4, so
+        // the seed plus 3 productive passes plus the empty convergence
+        // pass. The capped closure stops deriving at gen 2.
+        assert_eq!(full.deltas.len(), 5, "two-fix/{cname}: {full}");
+        assert_eq!(capped.deltas.len(), 3, "two-fix/{cname}: {capped}");
+        let mass = |c: &oorq::exec::FixDeltaCurve| c.deltas.iter().sum::<u64>();
+        assert!(
+            mass(full) > mass(capped),
+            "two-fix/{cname}: capped closure must derive strictly less ({full} vs {capped})"
+        );
+    }
+}
+
 #[test]
 fn chain_scenario_differential_across_seeds() {
     for (seed, relations, rows, domain) in

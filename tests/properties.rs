@@ -137,7 +137,12 @@ fn strategy_optimality_ordering() {
             SpjStrategy::Greedy,
         ] {
             let plan = {
-                let model = CostModel::new(chain.db.catalog(), chain.db.physical(), &stats, params);
+                let model = CostModel::new(
+                    chain.db.catalog(),
+                    chain.db.physical(),
+                    &stats,
+                    params.clone(),
+                );
                 Optimizer::new(
                     model,
                     OptimizerConfig {
