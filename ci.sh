@@ -29,6 +29,20 @@ cargo run --release -q -p oorq-bench --bin reproduce feedback | grep "fixpoints 
 echo "== cardinality-feedback regression gate =="
 cargo run --release -q -p oorq-bench --bin reproduce feedback-gate
 
+echo "== reproduce smoke (static bounds vs observed counters) =="
+cargo run --release -q -p oorq-bench --bin reproduce analyze music-fig3 | grep "bounds" >/dev/null
+
+echo "== analysis soundness gate (whole corpus, both strategies) =="
+cargo run --release -q -p oorq-bench --bin reproduce analyze-gate
+
+echo "== plan-mutation soundness fuzzer (CI smoke parameters) =="
+cargo run --release -q -p oorq-bench --bin reproduce fuzz
+
+echo "== provable-pruning smoke (pruned-proven candidates in the search-space table) =="
+rm -rf target/prune-smoke
+cargo run --release -q -p oorq-bench --bin reproduce trace music-pushjoin target/prune-smoke \
+    | grep "pruned-proven" >/dev/null
+
 echo "== trace smoke (emit + validate trace.json with the in-repo checker) =="
 rm -rf target/trace-smoke
 cargo run --release -q -p oorq-bench --bin reproduce trace music-fig7 target/trace-smoke \

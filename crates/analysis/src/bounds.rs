@@ -1,0 +1,1537 @@
+//! Abstract interpretation of processing trees: sound per-node interval
+//! bounds on cardinality, page accesses, fixpoint passes, and weighted
+//! cost.
+//!
+//! The analyzer walks a PT mirroring the lowering's access-method
+//! resolution exactly ([`oorq_pt::lower`]), and for every node that
+//! lowers to a physical operator derives intervals guaranteed to contain
+//! the executor's *exclusive* per-operator counters:
+//!
+//! - `rows_total` ⊇ observed `rows_out`;
+//! - `data()` (sequential + dereference pages) ⊇ observed
+//!   `page_reads + page_hits`;
+//! - `index()` ⊇ observed `index_reads`;
+//! - `writes()` ⊇ observed `page_writes`;
+//! - `passes` (fixpoints only) ⊇ the observed semi-naive iteration
+//!   count of every delta curve.
+//!
+//! Violations of this contract are surfaced by [`crate::check_observed`]
+//! as `AB001`–`AB003` lints and (in debug builds) break the executor's
+//! soundness assertion.
+//!
+//! Termination of fixpoints is bounded by the *finite key space*
+//! argument: the accumulator holds distinct rows, so when every field of
+//! the temporary ranges over a finite domain (object fields range over
+//! the class extent plus `Null`, booleans over `{true, false, Null}`),
+//! the number of distinct rows — and hence the number of non-empty
+//! deltas, and hence the semi-naive pass count — is bounded by the
+//! product of the field domains. An unbounded field degrades the pass
+//! bound to the executor's iteration cap (`AB005`).
+//!
+//! Cost intervals apply the Figure-5 feature×weight model with directed
+//! rounding (see [`Interval`]), so two plans' intervals can be compared:
+//! if one plan's lower cost bound exceeds another's upper bound, the
+//! first is *provably* worse (see [`crate::dominance`]).
+
+use std::collections::HashMap;
+
+use oorq_cost::CostParams;
+use oorq_lint::{LintCode, LintReport};
+use oorq_pt::{
+    eq_literal_conjunct, node_ids, type_of_column_expr, AccessMethod, JoinAlgo, Pt, PtEnv, PtError,
+};
+use oorq_query::{CmpOp, Expr, Literal};
+use oorq_schema::{AtomicType, AttrId, AttributeKind, Catalog, ClassId, ResolvedType};
+use oorq_storage::{DbStats, EntityId, EntitySource, FragmentSpec, IndexKindDesc, PhysicalSchema};
+
+use crate::interval::{next_up, Interval};
+
+/// Analyzer knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyzerConfig {
+    /// The executor's fixpoint iteration cap: a run exceeding it aborts
+    /// with `FixpointDiverged`, so the cap is a sound pass bound for
+    /// every *completed* run. Must match the executing
+    /// `ExecConfig::max_fix_iterations` for the soundness contract to
+    /// hold.
+    pub max_fix_iterations: u64,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig {
+            max_fix_iterations: 10_000,
+        }
+    }
+}
+
+/// Interval bounds on one operator's exclusive feature counters
+/// (totals over the whole query, all opens included).
+#[derive(Debug, Clone, Copy)]
+pub struct FeatBounds {
+    /// Sequentially scanned data pages.
+    pub seq: Interval,
+    /// Randomly fetched data pages (object dereference, predicate path
+    /// traversal, fetching index matches).
+    pub deref: Interval,
+    /// Index page accesses (levels and leaves combined — the executor
+    /// counts them as one `index_reads` counter).
+    pub index: Interval,
+    /// Temporary pages written.
+    pub writes: Interval,
+    /// Predicate comparisons.
+    pub evals: Interval,
+    /// Method cost units (declared `eval_cost` × invocations).
+    pub method_units: Interval,
+}
+
+impl FeatBounds {
+    /// All-zero features (an operator with no own work).
+    pub fn zero() -> FeatBounds {
+        FeatBounds {
+            seq: Interval::zero(),
+            deref: Interval::zero(),
+            index: Interval::zero(),
+            writes: Interval::zero(),
+            evals: Interval::zero(),
+            method_units: Interval::zero(),
+        }
+    }
+}
+
+/// The static bounds of one PT node.
+#[derive(Debug, Clone)]
+pub struct NodeBounds {
+    /// Pre-order index of the node (the join key against
+    /// `OpMeta::pt_node`).
+    pub pt_node: usize,
+    /// Display label, aligned with the lowering's operator labels.
+    pub label: String,
+    /// False for nodes the lowering does not emit as operators (the
+    /// entity replaced by an index probe, an implicit join's target, a
+    /// fixpoint body's union) — their bounds are all zero.
+    pub lowered: bool,
+    /// Subtree size in nodes (pre-order ids `pt_node..pt_node+size`).
+    pub size: usize,
+    /// How many times the operator is opened over the whole query.
+    pub opens: Interval,
+    /// Rows emitted per open.
+    pub rows_once: Interval,
+    /// Rows emitted over the whole query (all opens).
+    pub rows_total: Interval,
+    /// Exclusive feature totals.
+    pub feats: FeatBounds,
+    /// Fixpoints only: bound on the semi-naive pass count *per open*.
+    pub passes: Option<Interval>,
+    /// Exclusive weighted cost (features × weights, `io·pr + cpu·ev`).
+    pub cost: Interval,
+}
+
+impl NodeBounds {
+    /// Bound on observed data-page accesses (`page_reads + page_hits`).
+    pub fn data(&self) -> Interval {
+        self.feats.seq.add(self.feats.deref)
+    }
+
+    /// Bound on observed `index_reads`.
+    pub fn index(&self) -> Interval {
+        self.feats.index
+    }
+
+    /// Bound on observed `page_writes`.
+    pub fn writes(&self) -> Interval {
+        self.feats.writes
+    }
+
+    fn zero(pt_node: usize, label: String, size: usize) -> NodeBounds {
+        NodeBounds {
+            pt_node,
+            label,
+            lowered: false,
+            size,
+            opens: Interval::zero(),
+            rows_once: Interval::zero(),
+            rows_total: Interval::zero(),
+            feats: FeatBounds::zero(),
+            passes: None,
+            cost: Interval::zero(),
+        }
+    }
+}
+
+/// The result of analyzing one PT.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Per-node bounds, indexed by pre-order id.
+    pub nodes: Vec<NodeBounds>,
+    /// Diagnostics raised during analysis (`AB004`–`AB007`).
+    pub report: LintReport,
+    /// Whole-plan cost interval (sum of every node's exclusive cost).
+    pub total_cost: Interval,
+}
+
+impl Analysis {
+    /// The bounds of the node with the given pre-order id.
+    pub fn node(&self, pt_node: usize) -> Option<&NodeBounds> {
+        self.nodes.get(pt_node)
+    }
+
+    /// Cost interval of the subtree rooted at a pre-order id (pre-order
+    /// ids of a subtree are contiguous).
+    pub fn subtree_cost(&self, pt_node: usize) -> Option<Interval> {
+        let root = self.nodes.get(pt_node)?;
+        let end = pt_node.checked_add(root.size)?;
+        if end > self.nodes.len() {
+            return None;
+        }
+        Some(
+            self.nodes[pt_node..end]
+                .iter()
+                .fold(Interval::zero(), |acc, n| acc.add(n.cost)),
+        )
+    }
+}
+
+/// The static plan analyzer. Borrowed context: catalog, physical schema,
+/// measured statistics, cost parameters.
+pub struct Analyzer<'a> {
+    /// Conceptual catalog.
+    pub catalog: &'a Catalog,
+    /// Physical schema.
+    pub physical: &'a PhysicalSchema,
+    /// Measured database statistics (the `max_fanout`/`max_dup` columns
+    /// are what makes the upper bounds finite).
+    pub stats: &'a DbStats,
+    /// Cost parameters whose weights price the feature intervals.
+    pub params: CostParams,
+    /// Knobs.
+    pub config: AnalyzerConfig,
+}
+
+impl<'a> Analyzer<'a> {
+    /// New analyzer with default knobs.
+    pub fn new(
+        catalog: &'a Catalog,
+        physical: &'a PhysicalSchema,
+        stats: &'a DbStats,
+        params: CostParams,
+    ) -> Self {
+        Analyzer {
+            catalog,
+            physical,
+            stats,
+            params,
+            config: AnalyzerConfig::default(),
+        }
+    }
+
+    /// Analyze a plan with no pre-registered temporaries.
+    pub fn analyze(&self, pt: &Pt) -> Result<Analysis, PtError> {
+        self.analyze_with_temps(pt, HashMap::new())
+    }
+
+    /// Analyze a plan; `temp_fields` pre-registers the shapes of
+    /// temporaries defined outside the plan (their cardinalities are
+    /// unknown, so their bounds are top).
+    pub fn analyze_with_temps(
+        &self,
+        pt: &Pt,
+        temp_fields: HashMap<String, Vec<(String, ResolvedType)>>,
+    ) -> Result<Analysis, PtError> {
+        let size = pt.size();
+        let mut walk = Walk {
+            az: self,
+            ids: node_ids(pt),
+            temp_fields,
+            temp_info: HashMap::new(),
+            nodes: vec![None; size],
+            report: LintReport::new(),
+        };
+        walk.go(pt, Interval::exact(1.0))?;
+        let mut report = walk.report;
+        let nodes: Vec<NodeBounds> = walk
+            .nodes
+            .into_iter()
+            .enumerate()
+            .map(|(i, n)| n.unwrap_or_else(|| NodeBounds::zero(i, "?".to_string(), 1)))
+            .collect();
+        for n in &nodes {
+            let degenerate = n.rows_once.is_degenerate()
+                || n.rows_total.is_degenerate()
+                || n.opens.is_degenerate()
+                || n.data().is_degenerate()
+                || n.index().is_degenerate()
+                || n.writes().is_degenerate()
+                || n.cost.is_degenerate()
+                || n.passes.is_some_and(|p| p.is_degenerate());
+            if degenerate {
+                report.push(
+                    LintCode::DegenerateInterval,
+                    format!("node {} ({})", n.pt_node, n.label),
+                    "analysis derived lo > hi or NaN; the bound is unusable".to_string(),
+                );
+            }
+        }
+        let total_cost = nodes
+            .iter()
+            .fold(Interval::zero(), |acc, n| acc.add(n.cost));
+        Ok(Analysis {
+            nodes,
+            report,
+            total_cost,
+        })
+    }
+}
+
+/// Upper bounds on the cost of evaluating one expression on one row —
+/// every field is a sound `hi` (the matching lower bounds are all zero:
+/// `And`/`Or` short-circuit and comparisons stop at the first true
+/// member pair, so nothing below the top-level count is guaranteed).
+#[derive(Debug, Clone, Copy)]
+struct ExprCost {
+    /// Data pages fetched by path traversal (`read_attr`).
+    fetches: f64,
+    /// Comparison bumps.
+    evals: f64,
+    /// Method cost units.
+    units: f64,
+    /// Members of the result value (fan-out under existential
+    /// semantics).
+    members: f64,
+}
+
+impl ExprCost {
+    fn leaf(members: f64) -> ExprCost {
+        ExprCost {
+            fetches: 0.0,
+            evals: 0.0,
+            units: 0.0,
+            members,
+        }
+    }
+
+    fn top() -> ExprCost {
+        ExprCost {
+            fetches: f64::INFINITY,
+            evals: f64::INFINITY,
+            units: f64::INFINITY,
+            members: f64::INFINITY,
+        }
+    }
+
+    fn merge(self, o: ExprCost, members: f64) -> ExprCost {
+        ExprCost {
+            fetches: add_up(self.fetches, o.fetches),
+            evals: add_up(self.evals, o.evals),
+            units: add_up(self.units, o.units),
+            members,
+        }
+    }
+}
+
+/// `a + b` rounded toward `+∞`.
+fn add_up(a: f64, b: f64) -> f64 {
+    next_up(a + b)
+}
+
+/// `a · b` rounded toward `+∞`, with `0 · ∞ = 0` (an unbounded factor
+/// of a quantity that never occurs contributes nothing).
+fn mul_up(a: f64, b: f64) -> f64 {
+    if a == 0.0 || b == 0.0 {
+        0.0
+    } else {
+        next_up(a * b)
+    }
+}
+
+/// A column visible to expressions at some point of the tree.
+#[derive(Debug, Clone)]
+struct ColInfo {
+    name: String,
+    ty: ResolvedType,
+    /// Upper bound on the members of one row's value.
+    members: f64,
+}
+
+/// What a subtree feeds its parent.
+struct Out {
+    cols: Vec<ColInfo>,
+    rows_once: Interval,
+    rows_total: Interval,
+}
+
+/// What the analyzer knows about a fixpoint temporary in scope.
+struct TempInfo {
+    /// Bound on the distinct rows ever accumulated per fixpoint open
+    /// (the finite-key-space bound; `∞` when unbounded).
+    k_hi: f64,
+    /// While analyzing the recursive leg: bound on the *total* rows all
+    /// delta scans of this temporary stream over the whole query —
+    /// every distinct row enters the delta exactly once, so the sum of
+    /// delta sizes over all passes is at most `k_hi` per fixpoint open.
+    total_cap: Option<f64>,
+}
+
+struct Walk<'a, 'b> {
+    az: &'b Analyzer<'a>,
+    ids: HashMap<*const Pt, usize>,
+    temp_fields: HashMap<String, Vec<(String, ResolvedType)>>,
+    temp_info: HashMap<String, TempInfo>,
+    nodes: Vec<Option<NodeBounds>>,
+    report: LintReport,
+}
+
+impl Walk<'_, '_> {
+    fn id_of(&self, pt: &Pt) -> usize {
+        self.ids.get(&(pt as *const Pt)).copied().unwrap_or(0)
+    }
+
+    fn scoped_env(&self) -> PtEnv<'_> {
+        PtEnv {
+            catalog: self.az.catalog,
+            physical: self.az.physical,
+            temp_fields: self.temp_fields.clone(),
+        }
+    }
+
+    /// Record a lowered node's bounds (cost derived from the features).
+    #[allow(clippy::too_many_arguments)]
+    fn set(
+        &mut self,
+        pt: &Pt,
+        label: String,
+        opens: Interval,
+        rows_once: Interval,
+        rows_total: Interval,
+        feats: FeatBounds,
+        passes: Option<Interval>,
+    ) {
+        let id = self.id_of(pt);
+        let cost = self.cost_of(&feats);
+        self.nodes[id] = Some(NodeBounds {
+            pt_node: id,
+            label,
+            lowered: true,
+            size: pt.size(),
+            opens,
+            rows_once,
+            rows_total,
+            feats,
+            passes,
+            cost,
+        });
+    }
+
+    /// Record a whole subtree as not lowered (zero bounds).
+    fn mark_unlowered(&mut self, pt: &Pt) {
+        let id = self.id_of(pt);
+        let label = match pt {
+            Pt::Entity { id: e, .. } => format!("({})", self.az.physical.entity(*e).name),
+            Pt::Temp { name, .. } => format!("({name})"),
+            Pt::Union { .. } => "(Union)".to_string(),
+            _ => "(unlowered)".to_string(),
+        };
+        self.nodes[id] = Some(NodeBounds::zero(id, label, pt.size()));
+        for c in pt.children() {
+            self.mark_unlowered(c);
+        }
+    }
+
+    /// Price a feature interval vector under the analyzer's weights. Any
+    /// negative or non-finite weight makes signs ambiguous — the cost
+    /// interval collapses to top (which disables provable pruning but
+    /// keeps every counter check intact).
+    fn cost_of(&self, f: &FeatBounds) -> Interval {
+        let p = &self.az.params;
+        let w = &p.weights;
+        let ws = [
+            w.seq_page,
+            w.deref_page,
+            w.index_level,
+            w.index_leaf,
+            w.write_page,
+            w.eval,
+            w.method,
+            p.pr,
+            p.ev,
+        ];
+        if ws.iter().any(|x| !x.is_finite() || *x < 0.0) {
+            return Interval::top();
+        }
+        // The executor does not split index accesses into levels and
+        // leaves, so the probe count is priced with the hull of the two
+        // weights.
+        let wi = Interval::make(
+            w.index_level.min(w.index_leaf),
+            w.index_level.max(w.index_leaf),
+        );
+        let io = f
+            .seq
+            .scale(w.seq_page)
+            .add(f.deref.scale(w.deref_page))
+            .add(f.index.mul(wi))
+            .add(f.writes.scale(w.write_page));
+        let cpu = f.evals.scale(w.eval).add(f.method_units.scale(w.method));
+        io.scale(p.pr).add(cpu.scale(p.ev))
+    }
+
+    // ------------------------------------------------------------------
+    // Statistics helpers (all upper bounds unless noted)
+    // ------------------------------------------------------------------
+
+    /// Field slot of a class attribute inside one entity's row layout
+    /// (`None` when a vertical fragment does not carry the attribute).
+    fn slot_of(&self, entity: EntityId, attr: AttrId) -> Option<usize> {
+        match &self.az.physical.entity(entity).fragment {
+            Some(FragmentSpec::Vertical { attrs }) => attrs.iter().position(|a| *a == attr),
+            _ => Some(attr.0 as usize),
+        }
+    }
+
+    /// Upper bound on the rows whose oid has *exactly* class `c` (sums
+    /// fragment cardinalities; vertical fragments over-count, which is
+    /// sound for an upper bound).
+    fn class_rows_hi(&self, c: ClassId) -> f64 {
+        let mut total = 0.0;
+        for &e in self.az.physical.entities_of_class(c) {
+            match self.az.stats.entity(e) {
+                Some(s) => total = add_up(total, s.cardinality as f64),
+                None => return f64::INFINITY,
+            }
+        }
+        total
+    }
+
+    /// Size of the key space of an `Object(c)` field: any oid of `c` or
+    /// a subclass, plus `Null`.
+    fn key_space_rows(&self, c: ClassId) -> f64 {
+        let mut total = 1.0; // Null
+        for sub in self.az.catalog.subclasses_of(c) {
+            total = add_up(total, self.class_rows_hi(sub));
+        }
+        total
+    }
+
+    /// Upper bound on the records of class `c` (exactly) sharing one
+    /// value of `attr` — bounds the hits of an equality index probe
+    /// after the executor's exact-class filter.
+    fn attr_max_dup(&self, c: ClassId, attr: AttrId) -> f64 {
+        let mut total = 0.0;
+        for &e in self.az.physical.entities_of_class(c) {
+            let Some(slot) = self.slot_of(e, attr) else {
+                continue;
+            };
+            match self.az.stats.entity(e).and_then(|s| s.attrs.get(slot)) {
+                Some(a) => total = add_up(total, a.max_dup as f64),
+                None => return f64::INFINITY,
+            }
+        }
+        total
+    }
+
+    /// Upper bound on the members of one row's `attr` value, over `c`
+    /// and its subclasses (a column statically typed `Object(c)` holds
+    /// subclass oids too). Computed attributes are bounded by their
+    /// type; stored attributes by the measured `max_fanout`.
+    fn attr_fanout_hi(&self, c: ClassId, name: &str) -> f64 {
+        let mut best = 0.0f64;
+        let mut found = false;
+        for sub in self.az.catalog.subclasses_of(c) {
+            let Some((aid, attr)) = self.az.catalog.attr(sub, name) else {
+                continue;
+            };
+            found = true;
+            let fallback = if attr.ty.is_collection() {
+                f64::INFINITY
+            } else {
+                1.0
+            };
+            if matches!(attr.kind, AttributeKind::Computed { .. }) {
+                best = best.max(fallback);
+                continue;
+            }
+            let mut sub_best = 0.0f64;
+            let mut any = false;
+            for &e in self.az.physical.entities_of_class(sub) {
+                let Some(slot) = self.slot_of(e, aid) else {
+                    continue;
+                };
+                match self.az.stats.entity(e).and_then(|s| s.attrs.get(slot)) {
+                    Some(a) => {
+                        any = true;
+                        sub_best = sub_best.max(a.max_fanout as f64);
+                    }
+                    None => {
+                        any = true;
+                        sub_best = fallback;
+                    }
+                }
+            }
+            best = best.max(if any { sub_best } else { fallback });
+        }
+        if found {
+            best
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Upper bound on the data-page fetches of `read_object` for an oid
+    /// statically typed `c` (vertical decomposition reads one page per
+    /// fragment; the runtime class may be any subclass).
+    fn deref_cost_hi(&self, c: ClassId) -> f64 {
+        let mut best = 1.0f64;
+        for sub in self.az.catalog.subclasses_of(c) {
+            let vert = self
+                .az
+                .physical
+                .entities_of_class(sub)
+                .iter()
+                .filter(|&&e| {
+                    matches!(
+                        self.az.physical.entity(e).fragment,
+                        Some(FragmentSpec::Vertical { .. })
+                    )
+                })
+                .count();
+            best = best.max(if vert == 0 { 1.0 } else { vert as f64 });
+        }
+        best
+    }
+
+    // ------------------------------------------------------------------
+    // Expression bounds
+    // ------------------------------------------------------------------
+
+    fn col<'c>(&self, cols: &'c [ColInfo], name: &str) -> Option<&'c ColInfo> {
+        cols.iter().find(|c| c.name == name)
+    }
+
+    /// Per-evaluation upper bounds of an expression over the given
+    /// columns (mirrors `EvalCtx::eval` exactly, including the
+    /// qualified-column precedence of path resolution and the
+    /// single-bump `= null` special case).
+    fn expr_bounds(&self, e: &Expr, cols: &[ColInfo]) -> ExprCost {
+        match e {
+            Expr::True => ExprCost::leaf(1.0),
+            Expr::Lit(Literal::Null) => ExprCost::leaf(0.0),
+            Expr::Lit(_) => ExprCost::leaf(1.0),
+            Expr::Var(v) => match self.col(cols, v) {
+                Some(c) => ExprCost::leaf(c.members),
+                None => ExprCost::top(),
+            },
+            Expr::Path { base, steps } => self.path_bounds(base, steps, cols),
+            Expr::Cmp { lhs, rhs, .. } => {
+                let l = self.expr_bounds(lhs, cols);
+                let r = self.expr_bounds(rhs, cols);
+                let bumps = if matches!(rhs.as_ref(), Expr::Lit(Literal::Null)) {
+                    1.0
+                } else {
+                    mul_up(l.members, r.members)
+                };
+                let mut out = l.merge(r, 1.0);
+                out.evals = add_up(out.evals, bumps);
+                out
+            }
+            Expr::And(l, r) | Expr::Or(l, r) | Expr::Add(l, r) => {
+                let a = self.expr_bounds(l, cols);
+                let b = self.expr_bounds(r, cols);
+                a.merge(b, 1.0)
+            }
+            Expr::Not(inner) => {
+                let mut c = self.expr_bounds(inner, cols);
+                c.members = 1.0;
+                c
+            }
+        }
+    }
+
+    fn path_bounds(&self, base: &str, steps: &[String], cols: &[ColInfo]) -> ExprCost {
+        // Qualified-column precedence, as in the evaluator.
+        let (start, rest): (&ColInfo, &[String]) = {
+            let qualified = (!steps.is_empty())
+                .then(|| format!("{base}.{}", steps[0]))
+                .and_then(|q| self.col(cols, &q));
+            match qualified {
+                Some(c) => (c, &steps[1..]),
+                None => match self.col(cols, base) {
+                    Some(c) => (c, steps),
+                    None => return ExprCost::top(),
+                },
+            }
+        };
+        let mut cost = ExprCost::leaf(start.members);
+        let mut ty = start.ty.clone();
+        for step in rest {
+            let Some(class) = ty.referenced_class() else {
+                // Non-oid members are skipped by the evaluator: the
+                // traversal dead-ends with no further work.
+                cost.members = 0.0;
+                return cost;
+            };
+            // The runtime class of a member may be any subclass; take
+            // the worst case over all of them.
+            let mut any_stored = false;
+            let mut unit = 0.0f64;
+            let mut next_ty = None;
+            let mut found = false;
+            for sub in self.az.catalog.subclasses_of(class) {
+                let Some((_aid, attr)) = self.az.catalog.attr(sub, step) else {
+                    continue;
+                };
+                found = true;
+                match attr.kind {
+                    AttributeKind::Stored => any_stored = true,
+                    AttributeKind::Computed { eval_cost } => unit = unit.max(eval_cost.max(0.0)),
+                }
+                next_ty = Some(attr.ty.clone());
+            }
+            if !found {
+                return ExprCost::top();
+            }
+            if any_stored {
+                cost.fetches = add_up(cost.fetches, cost.members);
+            }
+            cost.units = add_up(cost.units, mul_up(cost.members, unit));
+            cost.members = mul_up(cost.members, self.attr_fanout_hi(class, step));
+            ty = next_ty.expect("found implies type");
+        }
+        cost
+    }
+
+    fn members_of_field(ty: &ResolvedType) -> f64 {
+        if ty.is_collection() {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Access-method resolution mirrors
+    // ------------------------------------------------------------------
+
+    /// Mirror of `PhysOp::rescannable` at the PT level (a `Sel` that
+    /// resolves to an index probe lowers to `IndexSelect`, which is not
+    /// rescannable; one that does not lowers to a pass-through filter).
+    fn pt_rescannable(&self, pt: &Pt) -> bool {
+        match pt {
+            Pt::Entity { .. } | Pt::Temp { .. } => true,
+            Pt::Sel {
+                pred,
+                method,
+                input,
+            } => {
+                if let AccessMethod::Index(idx) = method {
+                    if resolve_index_select(self.az.catalog, self.az.physical, *idx, pred, input)
+                        .is_some()
+                    {
+                        return false;
+                    }
+                }
+                self.pt_rescannable(input)
+            }
+            Pt::Proj { input, .. } => self.pt_rescannable(input),
+            _ => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The transfer functions
+    // ------------------------------------------------------------------
+
+    fn go(&mut self, pt: &Pt, opens: Interval) -> Result<Out, PtError> {
+        match pt {
+            Pt::Entity { id, var } => self.go_entity(pt, *id, var, opens),
+            Pt::Temp { name, var } => self.go_temp(pt, name, var, opens),
+            Pt::Sel {
+                pred,
+                method,
+                input,
+            } => {
+                if let AccessMethod::Index(idx) = method {
+                    if let Some((nbl, ec, attr_name)) =
+                        resolve_index_select(self.az.catalog, self.az.physical, *idx, pred, input)
+                    {
+                        return self.go_index_select(pt, input, pred, nbl, ec, &attr_name, opens);
+                    }
+                }
+                self.go_filter(pt, input, pred, opens)
+            }
+            Pt::Proj { cols, input } => self.go_proj(pt, cols, input, opens),
+            Pt::IJ {
+                on,
+                step,
+                out,
+                input,
+                target,
+            } => self.go_ij(
+                pt,
+                on,
+                &step.name,
+                step.class_attr,
+                out,
+                input,
+                target,
+                opens,
+            ),
+            Pt::PIJ {
+                index,
+                on,
+                outs,
+                input,
+                targets,
+            } => self.go_pij(pt, *index, on, outs, input, targets, opens),
+            Pt::EJ {
+                pred,
+                algo,
+                left,
+                right,
+            } => {
+                if let JoinAlgo::IndexJoin(idx) = algo {
+                    if let Some((nbl, ec, attr_name, outer)) =
+                        resolve_index_join(self.az.catalog, self.az.physical, *idx, pred, right)
+                    {
+                        return self.go_index_join(
+                            pt, pred, left, right, nbl, ec, &attr_name, &outer, opens,
+                        );
+                    }
+                }
+                self.go_nl(pt, pred, left, right, opens)
+            }
+            Pt::Union { left, right } => self.go_union(pt, left, right, opens),
+            Pt::Fix { temp, body } => self.go_fix(pt, temp, body, opens),
+        }
+    }
+
+    fn go_entity(
+        &mut self,
+        pt: &Pt,
+        id: EntityId,
+        var: &str,
+        opens: Interval,
+    ) -> Result<Out, PtError> {
+        let desc = self.az.physical.entity(id);
+        let (card, pages) = match self.az.stats.entity(id) {
+            Some(s) => (
+                Interval::exact_u64(s.cardinality),
+                Interval::exact_u64(s.pages),
+            ),
+            None => (Interval::top(), Interval::top()),
+        };
+        let cols = match &desc.source {
+            EntitySource::Class(c) => vec![ColInfo {
+                name: var.to_string(),
+                ty: ResolvedType::Object(*c),
+                members: 1.0,
+            }],
+            EntitySource::Relation(r) => {
+                let stats = self.az.stats.entity(id);
+                self.az
+                    .catalog
+                    .relation(*r)
+                    .fields
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (n, t))| ColInfo {
+                        name: format!("{var}.{n}"),
+                        ty: t.clone(),
+                        members: match stats.and_then(|s| s.attrs.get(i)) {
+                            Some(a) => a.max_fanout as f64,
+                            None => Self::members_of_field(t),
+                        },
+                    })
+                    .collect()
+            }
+            EntitySource::Temporary => return Err(PtError::TempAsEntity(desc.name.clone())),
+        };
+        // Full-drain property: every open sequentially reads the whole
+        // extent, so pages and rows per open are exact.
+        let rows_once = card;
+        let rows_total = rows_once.mul(opens);
+        let feats = FeatBounds {
+            seq: pages.mul(opens),
+            ..FeatBounds::zero()
+        };
+        self.set(
+            pt,
+            format!("scan {}", desc.name),
+            opens,
+            rows_once,
+            rows_total,
+            feats,
+            None,
+        );
+        Ok(Out {
+            cols,
+            rows_once,
+            rows_total,
+        })
+    }
+
+    fn go_temp(&mut self, pt: &Pt, name: &str, var: &str, opens: Interval) -> Result<Out, PtError> {
+        let fields = self
+            .temp_fields
+            .get(name)
+            .ok_or_else(|| PtError::UnknownTemp(name.to_string()))?
+            .clone();
+        let info = self.temp_info.get(name);
+        let k_hi = info.map(|i| i.k_hi).unwrap_or(f64::INFINITY);
+        let total_cap = info.and_then(|i| i.total_cap);
+        let rows_once = Interval::up_to(k_hi);
+        let mut rows_total = rows_once.mul(opens);
+        if let Some(cap) = total_cap {
+            // Semi-naive tightening: summed over all passes, the delta
+            // scans stream each distinct row once per fixpoint open.
+            rows_total = rows_total.cap_hi(cap);
+        }
+        // Every temp page holds at least one row, so page reads are
+        // bounded by rows.
+        let feats = FeatBounds {
+            seq: Interval::up_to(rows_total.hi),
+            ..FeatBounds::zero()
+        };
+        let cols = fields
+            .iter()
+            .map(|(n, t)| ColInfo {
+                name: format!("{var}.{n}"),
+                ty: t.clone(),
+                members: Self::members_of_field(t),
+            })
+            .collect();
+        self.set(
+            pt,
+            format!("scan temp {name}"),
+            opens,
+            rows_once,
+            rows_total,
+            feats,
+            None,
+        );
+        Ok(Out {
+            cols,
+            rows_once,
+            rows_total,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn go_index_select(
+        &mut self,
+        pt: &Pt,
+        input: &Pt,
+        pred: &Expr,
+        nblevels: f64,
+        entity_class: ClassId,
+        attr_name: &str,
+        opens: Interval,
+    ) -> Result<Out, PtError> {
+        self.mark_unlowered(input);
+        let Pt::Entity { var, .. } = input else {
+            unreachable!("resolve_index_select checked the input shape");
+        };
+        let cols = vec![ColInfo {
+            name: var.clone(),
+            ty: ResolvedType::Object(entity_class),
+            members: 1.0,
+        }];
+        let pc = self.expr_bounds(pred, &cols);
+        // The probe's hits are filtered to the exact class before any
+        // page is touched, so object fetches are bounded by the worst
+        // per-key duplication of the attribute within that class.
+        let dup = match self.az.catalog.attr(entity_class, attr_name) {
+            Some((aid, _)) => self.attr_max_dup(entity_class, aid),
+            None => f64::INFINITY,
+        };
+        let hits = dup.min(self.class_rows_hi(entity_class));
+        let rows_once = Interval::up_to(hits);
+        let rows_total = rows_once.mul(opens);
+        let feats = FeatBounds {
+            // The B+-tree descent runs unconditionally at every open.
+            index: Interval::exact(nblevels).mul(opens),
+            deref: Interval::up_to(mul_up(
+                hits,
+                add_up(self.deref_cost_hi(entity_class), pc.fetches),
+            ))
+            .mul(opens),
+            evals: Interval::up_to(mul_up(hits, pc.evals)).mul(opens),
+            method_units: Interval::up_to(mul_up(hits, pc.units)).mul(opens),
+            ..FeatBounds::zero()
+        };
+        self.set(
+            pt,
+            format!("Sel^idx[{pred}]"),
+            opens,
+            rows_once,
+            rows_total,
+            feats,
+            None,
+        );
+        Ok(Out {
+            cols,
+            rows_once,
+            rows_total,
+        })
+    }
+
+    fn go_filter(
+        &mut self,
+        pt: &Pt,
+        input: &Pt,
+        pred: &Expr,
+        opens: Interval,
+    ) -> Result<Out, PtError> {
+        let child = self.go(input, opens)?;
+        let pc = self.expr_bounds(pred, &child.cols);
+        let rows_once = Interval::up_to(child.rows_once.hi);
+        let rows_total = Interval::up_to(child.rows_total.hi);
+        let feats = FeatBounds {
+            deref: Interval::up_to(mul_up(child.rows_total.hi, pc.fetches)),
+            evals: Interval::up_to(mul_up(child.rows_total.hi, pc.evals)),
+            method_units: Interval::up_to(mul_up(child.rows_total.hi, pc.units)),
+            ..FeatBounds::zero()
+        };
+        self.set(
+            pt,
+            format!("Sel[{pred}]"),
+            opens,
+            rows_once,
+            rows_total,
+            feats,
+            None,
+        );
+        Ok(Out {
+            cols: child.cols,
+            rows_once,
+            rows_total,
+        })
+    }
+
+    fn go_proj(
+        &mut self,
+        pt: &Pt,
+        cols: &[(String, Expr)],
+        input: &Pt,
+        opens: Interval,
+    ) -> Result<Out, PtError> {
+        let child = self.go(input, opens)?;
+        let cenv: HashMap<String, ResolvedType> = child
+            .cols
+            .iter()
+            .map(|c| (c.name.clone(), c.ty.clone()))
+            .collect();
+        let mut out_cols = Vec::with_capacity(cols.len());
+        let mut fetches = 0.0;
+        let mut evals = 0.0;
+        let mut units = 0.0;
+        for (n, e) in cols {
+            let ec = self.expr_bounds(e, &child.cols);
+            fetches = add_up(fetches, ec.fetches);
+            evals = add_up(evals, ec.evals);
+            units = add_up(units, ec.units);
+            out_cols.push(ColInfo {
+                name: n.clone(),
+                ty: type_of_column_expr(self.az.catalog, e, &cenv)?,
+                members: ec.members,
+            });
+        }
+        // Streaming dedup: at least one distinct row per non-empty open,
+        // at most the input cardinality.
+        let lo = if child.rows_once.lo >= 1.0 { 1.0 } else { 0.0 };
+        let rows_once = Interval::make(lo, child.rows_once.hi);
+        let rows_total = rows_once.mul(opens).cap_hi(child.rows_total.hi);
+        let feats = FeatBounds {
+            deref: Interval::up_to(mul_up(child.rows_total.hi, fetches)),
+            evals: Interval::up_to(mul_up(child.rows_total.hi, evals)),
+            method_units: Interval::up_to(mul_up(child.rows_total.hi, units)),
+            ..FeatBounds::zero()
+        };
+        self.set(
+            pt,
+            "Proj".to_string(),
+            opens,
+            rows_once,
+            rows_total,
+            feats,
+            None,
+        );
+        Ok(Out {
+            cols: out_cols,
+            rows_once,
+            rows_total,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn go_ij(
+        &mut self,
+        pt: &Pt,
+        on: &Expr,
+        step_name: &str,
+        class_attr: Option<(ClassId, AttrId)>,
+        out: &str,
+        input: &Pt,
+        target: &Pt,
+        opens: Interval,
+    ) -> Result<Out, PtError> {
+        let child = self.go(input, opens)?;
+        self.mark_unlowered(target);
+        let target_class = match target {
+            Pt::Entity { id, .. } => match self.az.physical.entity(*id).source {
+                EntitySource::Class(c) => Some(c),
+                _ => None,
+            },
+            _ => None,
+        }
+        .or_else(|| {
+            class_attr.and_then(|(c, a)| self.az.catalog.attribute(c, a).ty.referenced_class())
+        })
+        .ok_or_else(|| PtError::NotAReference(step_name.to_string()))?;
+        let oc = self.expr_bounds(on, &child.cols);
+        let m = oc.members;
+        let rows_once = Interval::up_to(mul_up(child.rows_once.hi, m));
+        let rows_total = Interval::up_to(mul_up(child.rows_total.hi, m));
+        let feats = FeatBounds {
+            deref: Interval::up_to(mul_up(
+                child.rows_total.hi,
+                add_up(oc.fetches, mul_up(m, self.deref_cost_hi(target_class))),
+            )),
+            evals: Interval::up_to(mul_up(child.rows_total.hi, oc.evals)),
+            method_units: Interval::up_to(mul_up(child.rows_total.hi, oc.units)),
+            ..FeatBounds::zero()
+        };
+        let mut cols = child.cols;
+        cols.push(ColInfo {
+            name: out.to_string(),
+            ty: ResolvedType::Object(target_class),
+            members: 1.0,
+        });
+        self.set(
+            pt,
+            format!("IJ_{step_name}"),
+            opens,
+            rows_once,
+            rows_total,
+            feats,
+            None,
+        );
+        Ok(Out {
+            cols,
+            rows_once,
+            rows_total,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn go_pij(
+        &mut self,
+        pt: &Pt,
+        index: oorq_storage::IndexId,
+        on: &Expr,
+        outs: &[String],
+        input: &Pt,
+        targets: &[Pt],
+        opens: Interval,
+    ) -> Result<Out, PtError> {
+        let child = self.go(input, opens)?;
+        for t in targets {
+            self.mark_unlowered(t);
+        }
+        let desc = self
+            .az
+            .physical
+            .indexes()
+            .get(index.0 as usize)
+            .ok_or(PtError::NotAPathIndex)?;
+        let IndexKindDesc::Path { path } = desc.kind.clone() else {
+            return Err(PtError::NotAPathIndex);
+        };
+        let label = format!("PIJ_{}", desc.display_name(self.az.catalog));
+        let nbl = desc.stats.nblevels as f64;
+        // Path tuples reachable from one head oid: product of the step
+        // fan-outs.
+        let mut tails = 1.0f64;
+        for (cls, attr) in &path {
+            let name = self.az.catalog.attribute(*cls, *attr).name.clone();
+            tails = mul_up(tails, self.attr_fanout_hi(*cls, &name));
+        }
+        let mut cols = child.cols.clone();
+        for (i, o) in outs.iter().enumerate() {
+            let (cls, attr) = path
+                .get(i)
+                .ok_or(PtError::PathIndexArity { wanted: outs.len() })?;
+            let a = self.az.catalog.attribute(*cls, *attr);
+            let c =
+                a.ty.referenced_class()
+                    .ok_or_else(|| PtError::NotAReference(a.name.clone()))?;
+            cols.push(ColInfo {
+                name: o.clone(),
+                ty: ResolvedType::Object(c),
+                members: 1.0,
+            });
+        }
+        let oc = self.expr_bounds(on, &child.cols);
+        let m = oc.members;
+        let rows_once = Interval::up_to(mul_up(child.rows_once.hi, mul_up(m, tails)));
+        let rows_total = Interval::up_to(mul_up(child.rows_total.hi, mul_up(m, tails)));
+        // One probe per head oid: nblevels descent plus extra leaf pages
+        // for long result lists (`ceil(hits/8) - 1 <= hits/8`).
+        let probe = add_up(nbl, mul_up(tails, 0.125));
+        let feats = FeatBounds {
+            index: Interval::up_to(mul_up(child.rows_total.hi, mul_up(m, probe))),
+            deref: Interval::up_to(mul_up(child.rows_total.hi, oc.fetches)),
+            evals: Interval::up_to(mul_up(child.rows_total.hi, oc.evals)),
+            method_units: Interval::up_to(mul_up(child.rows_total.hi, oc.units)),
+            ..FeatBounds::zero()
+        };
+        self.set(pt, label, opens, rows_once, rows_total, feats, None);
+        Ok(Out {
+            cols,
+            rows_once,
+            rows_total,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn go_index_join(
+        &mut self,
+        pt: &Pt,
+        pred: &Expr,
+        left: &Pt,
+        right: &Pt,
+        nblevels: f64,
+        entity_class: ClassId,
+        attr_name: &str,
+        outer: &Expr,
+        opens: Interval,
+    ) -> Result<Out, PtError> {
+        let l = self.go(left, opens)?;
+        self.mark_unlowered(right);
+        let Pt::Entity { var, .. } = right else {
+            unreachable!("resolve_index_join checked the right shape");
+        };
+        let oc = self.expr_bounds(outer, &l.cols);
+        let m = oc.members;
+        let dup = match self.az.catalog.attr(entity_class, attr_name) {
+            Some((aid, _)) => self.attr_max_dup(entity_class, aid),
+            None => f64::INFINITY,
+        };
+        let hits = dup.min(self.class_rows_hi(entity_class));
+        let mut cols = l.cols.clone();
+        cols.push(ColInfo {
+            name: var.clone(),
+            ty: ResolvedType::Object(entity_class),
+            members: 1.0,
+        });
+        let pc = self.expr_bounds(pred, &cols);
+        let rows_once = Interval::up_to(mul_up(l.rows_once.hi, mul_up(m, hits)));
+        let rows_total = Interval::up_to(mul_up(l.rows_total.hi, mul_up(m, hits)));
+        let feats = FeatBounds {
+            index: Interval::up_to(mul_up(l.rows_total.hi, mul_up(m, nblevels))),
+            deref: Interval::up_to(mul_up(
+                l.rows_total.hi,
+                add_up(
+                    oc.fetches,
+                    mul_up(
+                        m,
+                        mul_up(hits, add_up(self.deref_cost_hi(entity_class), pc.fetches)),
+                    ),
+                ),
+            )),
+            evals: Interval::up_to(mul_up(
+                l.rows_total.hi,
+                add_up(oc.evals, mul_up(m, mul_up(hits, pc.evals))),
+            )),
+            method_units: Interval::up_to(mul_up(
+                l.rows_total.hi,
+                add_up(oc.units, mul_up(m, mul_up(hits, pc.units))),
+            )),
+            ..FeatBounds::zero()
+        };
+        self.set(
+            pt,
+            format!("EJ^idx[{pred}]"),
+            opens,
+            rows_once,
+            rows_total,
+            feats,
+            None,
+        );
+        Ok(Out {
+            cols,
+            rows_once,
+            rows_total,
+        })
+    }
+
+    fn go_nl(
+        &mut self,
+        pt: &Pt,
+        pred: &Expr,
+        left: &Pt,
+        right: &Pt,
+        opens: Interval,
+    ) -> Result<Out, PtError> {
+        let l = self.go(left, opens)?;
+        // Honest rescan re-opens the inner per outer row; a
+        // non-rescannable inner is materialized once per own open.
+        let rescan = self.pt_rescannable(right);
+        let r_opens = if rescan { l.rows_total } else { opens };
+        let r = self.go(right, r_opens)?;
+        let pairs = l.rows_total.mul(r.rows_once);
+        let mut cols = l.cols;
+        cols.extend(r.cols);
+        let pc = self.expr_bounds(pred, &cols);
+        let rows_once = Interval::up_to(mul_up(l.rows_once.hi, r.rows_once.hi));
+        let rows_total = Interval::up_to(pairs.hi);
+        let feats = FeatBounds {
+            deref: Interval::up_to(mul_up(pairs.hi, pc.fetches)),
+            evals: Interval::up_to(mul_up(pairs.hi, pc.evals)),
+            method_units: Interval::up_to(mul_up(pairs.hi, pc.units)),
+            ..FeatBounds::zero()
+        };
+        self.set(
+            pt,
+            format!("EJ[{pred}]"),
+            opens,
+            rows_once,
+            rows_total,
+            feats,
+            None,
+        );
+        Ok(Out {
+            cols,
+            rows_once,
+            rows_total,
+        })
+    }
+
+    fn go_union(
+        &mut self,
+        pt: &Pt,
+        left: &Pt,
+        right: &Pt,
+        opens: Interval,
+    ) -> Result<Out, PtError> {
+        // Both legs are fully drained per open (the right leg is opened
+        // when the left exhausts); the union itself does no own work.
+        let l = self.go(left, opens)?;
+        let r = self.go(right, opens)?;
+        let rows_once = l.rows_once.add(r.rows_once);
+        let rows_total = l.rows_total.add(r.rows_total);
+        self.set(
+            pt,
+            "Union".to_string(),
+            opens,
+            rows_once,
+            rows_total,
+            FeatBounds::zero(),
+            None,
+        );
+        Ok(Out {
+            cols: l.cols,
+            rows_once,
+            rows_total,
+        })
+    }
+
+    /// Size of the key space of one temporary field (`∞` = unbounded).
+    fn field_key_space(&self, ty: &ResolvedType) -> f64 {
+        match ty {
+            ResolvedType::Object(c) => self.key_space_rows(*c),
+            ResolvedType::Atomic(AtomicType::Bool) => 3.0, // true, false, Null
+            _ => f64::INFINITY,
+        }
+    }
+
+    fn go_fix(&mut self, pt: &Pt, temp: &str, body: &Pt, opens: Interval) -> Result<Out, PtError> {
+        let Pt::Union { left, right } = body else {
+            return Err(PtError::FixBodyNotUnion);
+        };
+        let (base, rec) = if left.references_temp(temp) {
+            (right.as_ref(), left.as_ref())
+        } else {
+            (left.as_ref(), right.as_ref())
+        };
+        if !rec.references_temp(temp) {
+            return Err(PtError::FixNotRecursive(temp.to_string()));
+        }
+        // The body union is destructured by the lowering, not emitted as
+        // an operator.
+        let body_id = self.id_of(body);
+        self.nodes[body_id] = Some(NodeBounds::zero(
+            body_id,
+            "(Union)".to_string(),
+            body.size(),
+        ));
+
+        let fields = base.output_columns(&self.scoped_env())?;
+        self.temp_fields.insert(temp.to_string(), fields.clone());
+
+        // Finite key space: the accumulator holds *distinct* rows, so
+        // its size — and the pass count — is bounded by the product of
+        // the field domains.
+        let mut kspace = 1.0f64;
+        let mut unbounded: Option<&str> = None;
+        for (n, ty) in &fields {
+            let s = self.field_key_space(ty);
+            if s.is_infinite() && unbounded.is_none() {
+                unbounded = Some(n);
+            }
+            kspace = mul_up(kspace, s);
+        }
+        let loc = format!("Fix({temp})");
+        if let Some(f) = unbounded {
+            self.report.push(
+                LintCode::FixKeySpaceUnbounded,
+                loc.clone(),
+                format!(
+                    "field `{f}` ranges over an unbounded domain; the pass bound \
+                     falls back to the iteration cap ({})",
+                    self.az.config.max_fix_iterations
+                ),
+            );
+        }
+
+        let base_out = self.go(base, opens)?;
+        if base_out.rows_total.hi == 0.0 {
+            self.report.push(
+                LintCode::FixProvablyEmpty,
+                loc,
+                "the base leg provably produces no rows; the fixpoint is empty".to_string(),
+            );
+        }
+        let k_lo = if base_out.rows_once.lo >= 1.0 {
+            1.0
+        } else {
+            0.0
+        };
+        let k_hi = kspace;
+        // Every pass consumes a non-empty delta, and each distinct row
+        // enters the delta exactly once — so passes <= k_hi. The
+        // executor aborts past its cap, bounding completed runs.
+        let cap = self.az.config.max_fix_iterations as f64;
+        let passes = Interval::make(k_lo, cap.min(k_hi));
+        self.temp_info.insert(
+            temp.to_string(),
+            TempInfo {
+                k_hi,
+                total_cap: Some(mul_up(k_hi, opens.hi)),
+            },
+        );
+        let rec_opens = opens.mul(passes);
+        let _rec_out = self.go(rec, rec_opens)?;
+        if let Some(info) = self.temp_info.get_mut(temp) {
+            // Outside the recursive leg the temporary scans the full
+            // accumulator; the per-pass delta cap no longer applies.
+            info.total_cap = None;
+        }
+
+        let rows_once = Interval::make(k_lo, k_hi);
+        let rows_total = rows_once.mul(opens);
+        // Each distinct row is appended to the accumulator and the delta
+        // (two appends, each writing at most one page); a non-empty seed
+        // writes the first page of both.
+        let writes_once = Interval::make(2.0 * k_lo, mul_up(2.0, k_hi));
+        let feats = FeatBounds {
+            writes: writes_once.mul(opens),
+            ..FeatBounds::zero()
+        };
+        let cols = fields
+            .iter()
+            .map(|(n, t)| ColInfo {
+                name: n.clone(),
+                ty: t.clone(),
+                members: Self::members_of_field(t),
+            })
+            .collect();
+        self.set(
+            pt,
+            format!("Fix({temp})"),
+            opens,
+            rows_once,
+            rows_total,
+            feats,
+            Some(passes),
+        );
+        Ok(Out {
+            cols,
+            rows_once,
+            rows_total,
+        })
+    }
+}
+
+/// Mirror of the lowering's `Sel` → `IndexSelect` resolution: the index
+/// must be a selection index, the input a class-extension entity, and
+/// the predicate must carry an `var.attr = literal` conjunct. Returns
+/// `(nblevels, entity class, attribute name)`.
+pub(crate) fn resolve_index_select(
+    catalog: &Catalog,
+    physical: &PhysicalSchema,
+    idx: oorq_storage::IndexId,
+    pred: &Expr,
+    input: &Pt,
+) -> Option<(f64, ClassId, String)> {
+    let desc = physical.indexes().get(idx.0 as usize)?;
+    let IndexKindDesc::Selection { class, attr } = desc.kind else {
+        return None;
+    };
+    let Pt::Entity { id, var } = input else {
+        return None;
+    };
+    let EntitySource::Class(entity_class) = physical.entity(*id).source else {
+        return None;
+    };
+    let attr_name = catalog.attribute(class, attr).name.clone();
+    eq_literal_conjunct(pred, var, &attr_name)?;
+    Some((desc.stats.nblevels as f64, entity_class, attr_name))
+}
+
+/// Mirror of the lowering's `EJ` → `IndexJoin` resolution: the index
+/// must be a selection index, the right input a class-extension entity,
+/// and the predicate must carry an `outer = var.attr` equality conjunct
+/// whose outer side does not mention `var`. Returns `(nblevels, entity
+/// class, attribute name, outer expression)`.
+pub(crate) fn resolve_index_join(
+    catalog: &Catalog,
+    physical: &PhysicalSchema,
+    idx: oorq_storage::IndexId,
+    pred: &Expr,
+    right: &Pt,
+) -> Option<(f64, ClassId, String, Expr)> {
+    let desc = physical.indexes().get(idx.0 as usize)?;
+    let IndexKindDesc::Selection { class, attr } = desc.kind else {
+        return None;
+    };
+    let Pt::Entity { id, var } = right else {
+        return None;
+    };
+    let EntitySource::Class(entity_class) = physical.entity(*id).source else {
+        return None;
+    };
+    let attr_name = catalog.attribute(class, attr).name.clone();
+    let mut outer: Option<Expr> = None;
+    for c in pred.conjuncts() {
+        if let Expr::Cmp {
+            op: CmpOp::Eq,
+            lhs,
+            rhs,
+        } = c
+        {
+            let matches_inner = |e: &Expr| {
+                matches!(e, Expr::Path { base, steps }
+                         if base == var && steps.len() == 1 && steps[0] == attr_name)
+            };
+            if matches_inner(rhs) && !lhs.vars().contains(var) {
+                outer = Some((**lhs).clone());
+                break;
+            }
+            if matches_inner(lhs) && !rhs.vars().contains(var) {
+                outer = Some((**rhs).clone());
+                break;
+            }
+        }
+    }
+    outer.map(|o| (desc.stats.nblevels as f64, entity_class, attr_name, o))
+}

@@ -1,0 +1,155 @@
+//! The soundness contract: every observed per-operator counter must lie
+//! inside its static interval. Violations are *analyzer* bugs (or a
+//! stats/plan mismatch), never acceptable noise — the executor's debug
+//! builds assert on them.
+
+use oorq_lint::{LintCode, LintReport};
+
+use crate::bounds::Analysis;
+
+/// One executed operator's exclusive counters, keyed to the PT by
+/// pre-order node id (`OpMeta::pt_node`).
+#[derive(Debug, Clone)]
+pub struct ObservedOp {
+    /// Pre-order id of the PT node the operator lowered from.
+    pub pt_node: usize,
+    /// Operator label (for diagnostics only).
+    pub label: String,
+    /// Rows emitted.
+    pub rows_out: u64,
+    /// Data pages read from disk.
+    pub page_reads: u64,
+    /// Data pages found in the buffer.
+    pub page_hits: u64,
+    /// Index pages accessed.
+    pub index_reads: u64,
+    /// Temporary pages written.
+    pub page_writes: u64,
+}
+
+/// One executed fixpoint's iteration count, keyed by pre-order node id.
+#[derive(Debug, Clone)]
+pub struct ObservedFix {
+    /// Pre-order id of the `Fix` PT node.
+    pub pt_node: usize,
+    /// Observed semi-naive pass count of one open (delta-curve length
+    /// minus the seed entry).
+    pub iterations: u64,
+}
+
+/// Check a run's observed counters against the static bounds. An empty
+/// (clean) report certifies the run; `AB001`–`AB003` errors flag escaped
+/// counters, `AB007` flags nodes the analysis could not bound.
+pub fn check_observed(
+    analysis: &Analysis,
+    ops: &[ObservedOp],
+    fixes: &[ObservedFix],
+) -> LintReport {
+    let mut report = LintReport::new();
+    for n in &analysis.nodes {
+        let degenerate = n.rows_total.is_degenerate()
+            || n.data().is_degenerate()
+            || n.index().is_degenerate()
+            || n.writes().is_degenerate()
+            || n.passes.is_some_and(|p| p.is_degenerate());
+        if degenerate {
+            report.push(
+                LintCode::DegenerateInterval,
+                format!("node {} ({})", n.pt_node, n.label),
+                "static bound is degenerate; observed counters cannot be certified".to_string(),
+            );
+        }
+    }
+    for op in ops {
+        let loc = format!("node {} ({})", op.pt_node, op.label);
+        let Some(n) = analysis.node(op.pt_node) else {
+            report.push(
+                LintCode::DegenerateInterval,
+                loc,
+                "operator has no analyzed PT node; analysis and lowering diverged".to_string(),
+            );
+            continue;
+        };
+        if !n.lowered {
+            report.push(
+                LintCode::DegenerateInterval,
+                loc,
+                format!(
+                    "operator executed but the analyzer marked node {} unlowered; \
+                     analysis and lowering diverged",
+                    n.pt_node
+                ),
+            );
+            continue;
+        }
+        if !n.rows_total.contains_count(op.rows_out) {
+            report.push(
+                LintCode::BoundRowsViolated,
+                loc.clone(),
+                format!(
+                    "observed rows_out = {} escapes static bound {}",
+                    op.rows_out, n.rows_total
+                ),
+            );
+        }
+        let data = op.page_reads + op.page_hits;
+        if !n.data().contains_count(data) {
+            report.push(
+                LintCode::BoundPagesViolated,
+                loc.clone(),
+                format!(
+                    "observed page_reads+page_hits = {} escapes static bound {}",
+                    data,
+                    n.data()
+                ),
+            );
+        }
+        if !n.index().contains_count(op.index_reads) {
+            report.push(
+                LintCode::BoundPagesViolated,
+                loc.clone(),
+                format!(
+                    "observed index_reads = {} escapes static bound {}",
+                    op.index_reads,
+                    n.index()
+                ),
+            );
+        }
+        if !n.writes().contains_count(op.page_writes) {
+            report.push(
+                LintCode::BoundPagesViolated,
+                loc,
+                format!(
+                    "observed page_writes = {} escapes static bound {}",
+                    op.page_writes,
+                    n.writes()
+                ),
+            );
+        }
+    }
+    for fx in fixes {
+        let loc = format!("node {} (fixpoint)", fx.pt_node);
+        let Some(passes) = analysis.node(fx.pt_node).and_then(|n| n.passes) else {
+            report.push(
+                LintCode::DegenerateInterval,
+                loc,
+                "fixpoint executed at a node the analyzer did not bound as a fixpoint".to_string(),
+            );
+            continue;
+        };
+        // The lower pass bound applies per open only when the fixpoint
+        // runs at all; the observed curve always exists, so only the
+        // upper bound is checked against each curve.
+        if (fx.iterations as f64) > passes.hi {
+            report.push(
+                LintCode::BoundPassesViolated,
+                loc,
+                format!(
+                    "observed {} semi-naive passes escape static bound {}",
+                    fx.iterations, passes
+                ),
+            );
+        }
+    }
+    report
+}

@@ -1,0 +1,137 @@
+//! Column def-use dataflow over the PT: a top-down demand (liveness)
+//! pass flagging projection columns that are *computed* (not a bare
+//! column pass-through) yet never read by any ancestor — dead work the
+//! plan author can drop (`AB004`).
+//!
+//! The pass is deliberately conservative toward liveness: variable
+//! shadowing and qualified-column aliasing only ever *add* demanded
+//! names, so a column is flagged only when provably unread. Fixpoint
+//! bodies are fully live — every column of a recursive temporary feeds
+//! the accumulator's distinctness check.
+
+use std::collections::BTreeSet;
+
+use oorq_lint::{LintCode, LintReport};
+use oorq_pt::{node_ids, Pt};
+use oorq_query::Expr;
+
+/// The demand set flowing down the tree.
+#[derive(Debug, Clone)]
+struct Live {
+    /// Everything is demanded (root, fixpoint bodies).
+    all: bool,
+    names: BTreeSet<String>,
+}
+
+impl Live {
+    fn all() -> Live {
+        Live {
+            all: true,
+            names: BTreeSet::new(),
+        }
+    }
+
+    fn is_live(&self, name: &str) -> bool {
+        if self.all || self.names.contains(name) {
+            return true;
+        }
+        // A demand for `v` (e.g. a path rooted at `v`) reaches the
+        // qualified column `v.field`, and a demand for `v.field`
+        // reaches the column `v` it projects from.
+        if let Some(base) = name.split('.').next() {
+            if base != name && self.names.contains(base) {
+                return true;
+            }
+        }
+        self.names.iter().any(|n| n.split('.').next() == Some(name))
+    }
+
+    fn extend_from(&mut self, e: &Expr) {
+        if !self.all {
+            self.names.extend(e.vars());
+        }
+    }
+}
+
+/// Flag provably-dead computed projection columns (`AB004`).
+pub fn dead_columns(pt: &Pt) -> LintReport {
+    let ids = node_ids(pt);
+    let mut report = LintReport::new();
+    walk(pt, Live::all(), &ids, &mut report);
+    report
+}
+
+fn walk(
+    pt: &Pt,
+    live: Live,
+    ids: &std::collections::HashMap<*const Pt, usize>,
+    report: &mut LintReport,
+) {
+    match pt {
+        Pt::Entity { .. } | Pt::Temp { .. } => {}
+        Pt::Sel { pred, input, .. } => {
+            let mut l = live;
+            l.extend_from(pred);
+            walk(input, l, ids, report);
+        }
+        Pt::Proj { cols, input } => {
+            let id = ids.get(&(pt as *const Pt)).copied().unwrap_or(0);
+            let mut demand = Live {
+                all: false,
+                names: BTreeSet::new(),
+            };
+            for (name, expr) in cols {
+                let used = live.is_live(name);
+                if used || live.all {
+                    demand.names.extend(expr.vars());
+                }
+                if !used && !matches!(expr, Expr::Var(_)) {
+                    report.push(
+                        LintCode::DeadComputedColumn,
+                        format!("node {id} (Proj)"),
+                        format!(
+                            "computed column `{name}` is never read by any ancestor; \
+                             its per-row evaluation is dead work"
+                        ),
+                    );
+                }
+            }
+            walk(input, demand, ids, report);
+        }
+        Pt::IJ {
+            on, input, target, ..
+        } => {
+            let mut l = live;
+            l.extend_from(on);
+            walk(input, l, ids, report);
+            walk(target, Live::all(), ids, report);
+        }
+        Pt::PIJ {
+            on, input, targets, ..
+        } => {
+            let mut l = live;
+            l.extend_from(on);
+            walk(input, l, ids, report);
+            for t in targets {
+                walk(t, Live::all(), ids, report);
+            }
+        }
+        Pt::EJ {
+            pred, left, right, ..
+        } => {
+            let mut l = live;
+            l.extend_from(pred);
+            walk(left, l.clone(), ids, report);
+            walk(right, l, ids, report);
+        }
+        Pt::Union { left, right } => {
+            walk(left, live.clone(), ids, report);
+            walk(right, live, ids, report);
+        }
+        Pt::Fix { body, .. } => {
+            // Every column of the body participates in the accumulator's
+            // row-distinctness check: all live.
+            walk(body, Live::all(), ids, report);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Provable candidate pruning: when two plans differ by exactly one
+//! *result-preserving* local change (an access-method or join-algorithm
+//! toggle), their executions agree everywhere outside the toggled
+//! subtree — so if the candidate subtree's cost *lower* bound strictly
+//! exceeds the incumbent subtree's *upper* bound, the candidate is
+//! provably worse and can be discarded without estimation error.
+
+use std::collections::HashMap;
+
+use oorq_pt::{type_of_column_expr, AccessMethod, JoinAlgo, Pt, PtEnv};
+use oorq_query::Expr;
+use oorq_schema::ResolvedType;
+use oorq_storage::IndexId;
+
+use crate::bounds::{resolve_index_join, resolve_index_select, Analysis};
+
+/// If `a` and `b` differ by exactly one safe, result-preserving toggle,
+/// return the pre-order id of the diverging node; otherwise `None`.
+///
+/// Recognized toggles:
+/// - `Sel` access method (sequential vs. index), provided a resolving
+///   index probe targets a *non-collection* attribute — a collection
+///   index lists an oid once per member, which would change the emitted
+///   multiset versus the scan's single existential emission;
+/// - `EJ` join algorithm (nested loop vs. index join), provided a
+///   resolving index join probes a non-collection attribute *and* the
+///   outer expression is non-collection-typed — either collection would
+///   duplicate pairs.
+///
+/// The toggle may sit inside a fixpoint body: each semi-naive pass fully
+/// drains the recursive leg before the next delta forms, so per-pass
+/// delta *sets* — and hence pass counts — are order-independent.
+pub fn equivalent_local_change(env: &PtEnv, a: &Pt, b: &Pt) -> Option<usize> {
+    let mut state = Diff {
+        env,
+        next_id: 0,
+        diverged: None,
+    };
+    if state.walk(a, b) {
+        state.diverged
+    } else {
+        None
+    }
+}
+
+struct Diff<'a, 'b> {
+    env: &'b PtEnv<'a>,
+    next_id: usize,
+    diverged: Option<usize>,
+}
+
+impl Diff<'_, '_> {
+    fn walk(&mut self, a: &Pt, b: &Pt) -> bool {
+        let my_id = self.next_id;
+        self.next_id += 1;
+        match (a, b) {
+            (
+                Pt::Sel {
+                    pred: p1,
+                    method: m1,
+                    input: i1,
+                },
+                Pt::Sel {
+                    pred: p2,
+                    method: m2,
+                    input: i2,
+                },
+            ) if p1 == p2 => {
+                if m1 == m2 {
+                    return self.walk(i1, i2);
+                }
+                if self.diverged.is_some() || i1 != i2 {
+                    return false;
+                }
+                if !self.sel_toggle_safe(p1, m1, i1) || !self.sel_toggle_safe(p2, m2, i2) {
+                    return false;
+                }
+                self.diverged = Some(my_id);
+                self.next_id += i1.size();
+                true
+            }
+            (
+                Pt::EJ {
+                    pred: p1,
+                    algo: a1,
+                    left: l1,
+                    right: r1,
+                },
+                Pt::EJ {
+                    pred: p2,
+                    algo: a2,
+                    left: l2,
+                    right: r2,
+                },
+            ) if p1 == p2 => {
+                if a1 == a2 {
+                    return self.walk(l1, l2) && self.walk(r1, r2);
+                }
+                if self.diverged.is_some() || l1 != l2 || r1 != r2 {
+                    return false;
+                }
+                if !self.ej_toggle_safe(p1, a1, l1, r1) || !self.ej_toggle_safe(p2, a2, l2, r2) {
+                    return false;
+                }
+                self.diverged = Some(my_id);
+                self.next_id += l1.size() + r1.size();
+                true
+            }
+            _ => {
+                if !same_shape_here(a, b) {
+                    return false;
+                }
+                let (ca, cb) = (a.children(), b.children());
+                if ca.len() != cb.len() {
+                    return false;
+                }
+                ca.iter().zip(cb.iter()).all(|(x, y)| self.walk(x, y))
+            }
+        }
+    }
+
+    /// A toggled `Sel` side is safe when it lowers to a plain filter
+    /// (trivially equivalent to the scan) or to an index probe on a
+    /// non-collection attribute.
+    fn sel_toggle_safe(&self, pred: &Expr, method: &AccessMethod, input: &Pt) -> bool {
+        let AccessMethod::Index(idx) = method else {
+            return true;
+        };
+        match resolve_index_select(self.env.catalog, self.env.physical, *idx, pred, input) {
+            None => true,
+            Some((_, ec, attr_name)) => self.attr_non_collection(*idx, ec, &attr_name),
+        }
+    }
+
+    /// A toggled `EJ` side is safe when it lowers to a nested loop or to
+    /// an index join whose indexed attribute and outer expression are
+    /// both non-collection.
+    fn ej_toggle_safe(&self, pred: &Expr, algo: &JoinAlgo, left: &Pt, right: &Pt) -> bool {
+        let JoinAlgo::IndexJoin(idx) = algo else {
+            return true;
+        };
+        match resolve_index_join(self.env.catalog, self.env.physical, *idx, pred, right) {
+            None => true,
+            Some((_, ec, attr_name, outer)) => {
+                if !self.attr_non_collection(*idx, ec, &attr_name) {
+                    return false;
+                }
+                let Ok(cols) = left.output_columns(self.env) else {
+                    return false;
+                };
+                let cenv: HashMap<String, ResolvedType> = cols.into_iter().collect();
+                match type_of_column_expr(self.env.catalog, &outer, &cenv) {
+                    Ok(ty) => !ty.is_collection(),
+                    Err(_) => false,
+                }
+            }
+        }
+    }
+
+    fn attr_non_collection(&self, _idx: IndexId, class: oorq_schema::ClassId, name: &str) -> bool {
+        match self.env.catalog.attr(class, name) {
+            Some((_, attr)) => !attr.ty.is_collection(),
+            None => false,
+        }
+    }
+}
+
+/// Structural equality of two nodes' own (non-child) content.
+fn same_shape_here(a: &Pt, b: &Pt) -> bool {
+    match (a, b) {
+        (Pt::Entity { id: i1, var: v1 }, Pt::Entity { id: i2, var: v2 }) => i1 == i2 && v1 == v2,
+        (Pt::Temp { name: n1, var: v1 }, Pt::Temp { name: n2, var: v2 }) => n1 == n2 && v1 == v2,
+        (
+            Pt::Sel {
+                pred: p1,
+                method: m1,
+                ..
+            },
+            Pt::Sel {
+                pred: p2,
+                method: m2,
+                ..
+            },
+        ) => p1 == p2 && m1 == m2,
+        (Pt::Proj { cols: c1, .. }, Pt::Proj { cols: c2, .. }) => c1 == c2,
+        (
+            Pt::IJ {
+                on: o1,
+                step: s1,
+                out: u1,
+                ..
+            },
+            Pt::IJ {
+                on: o2,
+                step: s2,
+                out: u2,
+                ..
+            },
+        ) => o1 == o2 && s1 == s2 && u1 == u2,
+        (
+            Pt::PIJ {
+                index: i1,
+                on: o1,
+                outs: u1,
+                ..
+            },
+            Pt::PIJ {
+                index: i2,
+                on: o2,
+                outs: u2,
+                ..
+            },
+        ) => i1 == i2 && o1 == o2 && u1 == u2,
+        (
+            Pt::EJ {
+                pred: p1, algo: a1, ..
+            },
+            Pt::EJ {
+                pred: p2, algo: a2, ..
+            },
+        ) => p1 == p2 && a1 == a2,
+        (Pt::Union { .. }, Pt::Union { .. }) => true,
+        (Pt::Fix { temp: t1, .. }, Pt::Fix { temp: t2, .. }) => t1 == t2,
+        _ => false,
+    }
+}
+
+/// Is the candidate *provably* worse than the incumbent at the diverged
+/// subtree? Returns `(candidate subtree cost lower bound, incumbent
+/// subtree cost upper bound)` when the intervals do not overlap —
+/// outside the subtree the two plans run identically, so the subtree
+/// comparison decides the whole plan.
+pub fn proven_worse(
+    candidate: &Analysis,
+    incumbent: &Analysis,
+    diverged: usize,
+) -> Option<(f64, f64)> {
+    let c = candidate.subtree_cost(diverged)?;
+    let i = incumbent.subtree_cost(diverged)?;
+    if c.is_degenerate() || i.is_degenerate() {
+        return None;
+    }
+    if c.strictly_above(&i) {
+        Some((c.lo, i.hi))
+    } else {
+        None
+    }
+}

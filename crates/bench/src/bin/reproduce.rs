@@ -2,11 +2,28 @@
 //!
 //! Usage: `reproduce [section]` where section is one of
 //! `fig1 fig2 fig3 fig4 fig5 fig6 fig7 pushjoin crossover strategies
-//! ablation lint validate calibrate calibrate-fit calibrate-gate
-//! feedback feedback-fit feedback-gate all` (default: `all`).
-//! `calibrate-gate` exits nonzero when the residuals regress beyond the
-//! checked-in baseline; `feedback-gate` does the same for the fixpoint
-//! cardinality profiles.
+//! ablation lint validate analyze calibrate calibrate-fit
+//! calibrate-gate feedback feedback-fit feedback-gate analyze-gate
+//! fuzz all` (default: `all`).
+//!
+//! Gate subcommands (`lint`, `calibrate-gate`, `feedback-gate`,
+//! `analyze-gate`, `fuzz`) all follow one convention: they print their
+//! report, end with a final `PASS: <name>` or `FAIL: <name>` line, and
+//! exit 0 on pass / 1 on fail (2 on usage errors). `calibrate-gate`
+//! fails when residuals regress beyond the checked-in baseline;
+//! `feedback-gate` does the same for fixpoint cardinality profiles;
+//! `analyze-gate` fails when any observed counter escapes its static
+//! interval on the full corpus; `lint` fails when a real pass (not the
+//! deliberately broken demo plan) reports errors.
+//!
+//! `reproduce lint --explain <CODE>` prints the registry entry for one
+//! stable lint code (e.g. `AB003`).
+//!
+//! `reproduce analyze [scenario]` prints the static bounds-vs-observed
+//! table for `music-fig3`, `music-pushjoin`, `parts`, `chain` or `all`.
+//!
+//! `reproduce fuzz [iters] [seed]` runs the seeded plan-mutation
+//! soundness fuzzer (defaults: the CI smoke parameters).
 //!
 //! `reproduce trace <scenario> [out-dir]` runs one scenario under the
 //! structured-tracing recorder and writes `trace-<scenario>.jsonl`
@@ -20,6 +37,22 @@
 use oorq_bench::reports::*;
 use oorq_bench::PaperSetup;
 
+/// Uniform gate epilogue: print the report, end with `PASS`/`FAIL`, and
+/// exit nonzero on failure.
+fn gate(name: &str, outcome: Result<String, String>) {
+    match outcome {
+        Ok(report) => {
+            println!("{report}");
+            println!("PASS: {name}");
+        }
+        Err(report) => {
+            eprintln!("{report}");
+            println!("FAIL: {name}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let section = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     if section == "trace" {
@@ -27,6 +60,37 @@ fn main() {
     }
     if section == "trace-check" {
         return trace_check_main();
+    }
+    if section == "analyze" {
+        let scenario = std::env::args().nth(2).unwrap_or_else(|| "all".to_string());
+        match oorq_bench::analyze::analyze_report(&scenario) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("reproduce analyze: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    if section == "analyze-gate" {
+        return gate("analyze-gate", oorq_bench::analyze::analyze_gate());
+    }
+    if section == "fuzz" {
+        let parse = |n: usize, default: u64| -> u64 {
+            match std::env::args().nth(n) {
+                None => default,
+                Some(s) => match s.parse() {
+                    Ok(v) => v,
+                    Err(_) => {
+                        eprintln!("usage: reproduce fuzz [iterations] [seed]");
+                        std::process::exit(2);
+                    }
+                },
+            }
+        };
+        let iters = parse(2, oorq_bench::fuzz::SMOKE_ITERS);
+        let seed = parse(3, oorq_bench::fuzz::SMOKE_SEED);
+        return gate("fuzz", oorq_bench::fuzz::fuzz_report(iters, seed));
     }
     let all = section == "all";
     let want = |s: &str| all || section == s;
@@ -71,9 +135,48 @@ fn main() {
     if want("ablation") {
         println!("{}", ablation_report());
     }
-    if want("lint") {
+    if section == "lint" {
+        if let Some(flag) = std::env::args().nth(2) {
+            if flag != "--explain" {
+                eprintln!("usage: reproduce lint [--explain <CODE>]");
+                std::process::exit(2);
+            }
+            let Some(code) = std::env::args().nth(3) else {
+                eprintln!("usage: reproduce lint --explain <CODE>");
+                std::process::exit(2);
+            };
+            match explain_lint_code(&code) {
+                Some(entry) => println!("{entry}"),
+                None => {
+                    eprintln!("reproduce lint: unknown lint code `{code}`");
+                    std::process::exit(2);
+                }
+            }
+            return;
+        }
         let setup = PaperSetup::new(PaperSetup::paper_scale());
-        println!("{}", lint_report(&setup));
+        let (report, clean) = lint_report(&setup);
+        return gate("lint", if clean { Ok(report) } else { Err(report) });
+    }
+    if all {
+        let setup = PaperSetup::new(PaperSetup::paper_scale());
+        let (report, clean) = lint_report(&setup);
+        println!("{report}");
+        println!("{}: lint", if clean { "PASS" } else { "FAIL" });
+        // `reproduce analyze <scenario>` (early exit above) selects one
+        // scenario; the full run prints the whole-corpus table.
+        match oorq_bench::analyze::analyze_report("all") {
+            Ok(report) => println!("{report}"),
+            Err(e) => eprintln!("reproduce analyze: {e}"),
+        }
+        // Pin the provable-pruning integration: the checked-in full-run
+        // output shows the `pruned-proven` candidates with their
+        // non-overlapping cost intervals (no trace files written here;
+        // use `reproduce trace music-pushjoin` for the exports).
+        match oorq_bench::tracing::trace_scenario("music-pushjoin") {
+            Ok(art) => println!("{}", art.summary),
+            Err(e) => eprintln!("reproduce trace music-pushjoin: {e}"),
+        }
     }
     if want("validate") {
         println!("{}", validation_report());
@@ -90,25 +193,13 @@ fn main() {
         println!("{}", oorq_bench::calibrate::calibrate_fit_report());
     }
     if section == "calibrate-gate" {
-        match oorq_bench::calibrate::calibrate_gate() {
-            Ok(report) => println!("{report}"),
-            Err(report) => {
-                eprintln!("{report}");
-                std::process::exit(1);
-            }
-        }
+        gate("calibrate-gate", oorq_bench::calibrate::calibrate_gate());
     }
     if section == "feedback-fit" {
         println!("{}", oorq_bench::feedback::feedback_fit_report());
     }
     if section == "feedback-gate" {
-        match oorq_bench::feedback::feedback_gate() {
-            Ok(report) => println!("{report}"),
-            Err(report) => {
-                eprintln!("{report}");
-                std::process::exit(1);
-            }
-        }
+        gate("feedback-gate", oorq_bench::feedback::feedback_gate());
     }
 }
 

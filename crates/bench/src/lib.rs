@@ -5,8 +5,10 @@
 //! binary (one section per figure / worked example); the [`harness`]
 //! module is the minimal wall-clock timer the `[[bench]]` targets use.
 
+pub mod analyze;
 pub mod calibrate;
 pub mod feedback;
+pub mod fuzz;
 pub mod harness;
 pub mod reports;
 pub mod scenarios;

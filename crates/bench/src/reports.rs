@@ -773,7 +773,11 @@ pub fn verify_reports_semantics() -> Result<(), String> {
 /// Static verification: the lint-code table plus a worked pass over the
 /// paper's recursive query — graph lint, plan verification of the
 /// optimized plan, a deliberately broken plan, and the cost sanity pass.
-pub fn lint_report(setup: &PaperSetup) -> String {
+///
+/// The returned flag is `true` when every *real* pass (graph, plan,
+/// cost) is clean; the deliberately broken demo plan never counts
+/// against it. `reproduce lint` exits nonzero on `false`.
+pub fn lint_report(setup: &PaperSetup) -> (String, bool) {
     use oorq_lint::{lint_graph, lint_plan_cost, verify_pt, LintCode};
     use oorq_pt::Pt;
     use oorq_query::Expr;
@@ -850,7 +854,22 @@ pub fn lint_report(setup: &PaperSetup) -> String {
     let _ = writeln!(out, "\n-- cost pass: optimized figure 3 plan --");
     let _ = writeln!(out, "{}", if cost.is_clean() { "clean" } else { "ERRORS" });
     let _ = write!(out, "{}", cost.render());
-    out
+    let clean = graph.is_clean() && verified.is_clean() && cost.is_clean();
+    (out, clean)
+}
+
+/// `reproduce lint --explain <CODE>`: the registry entry for one stable
+/// lint code, or `None` when the code is unknown.
+pub fn explain_lint_code(code: &str) -> Option<String> {
+    let c = oorq_lint::LintCode::all()
+        .iter()
+        .find(|c| c.code().eq_ignore_ascii_case(code))?;
+    Some(format!(
+        "{}: severity {}\n  {}\n",
+        c.code(),
+        c.severity(),
+        c.describe()
+    ))
 }
 
 /// Convenience: a map environment for evaluating Figure 7 symbols from

@@ -33,7 +33,7 @@ pub struct TraceArtifacts {
 }
 
 /// The scenarios `reproduce trace` understands.
-pub const TRACE_SCENARIOS: &[&str] = &["music-fig7", "music-paper"];
+pub const TRACE_SCENARIOS: &[&str] = &["music-fig7", "music-paper", "music-pushjoin"];
 
 /// Run a named scenario under an enabled recorder and render all sinks.
 pub fn trace_scenario(scenario: &str) -> Result<TraceArtifacts, String> {
@@ -46,6 +46,19 @@ pub fn trace_scenario(scenario: &str) -> Result<TraceArtifacts, String> {
             PaperSetup::paper_scale(),
             "paper-scale music database (§4.6 scale, selective filter)",
         ),
+        // The §4.5 join query: its `c.name = "Bach"` selection has an
+        // applicable selection index, so the randomized walk proposes
+        // index↔scan toggles the abstract interpreter can *prove* worse
+        // (non-overlapping cost intervals → `pruned-proven`). At 300
+        // composers the sequential scan's certain page floor clears the
+        // index probe's worst case, so the proof applies.
+        "music-pushjoin" => (
+            oorq_datagen::MusicConfig {
+                chains: 30,
+                ..PaperSetup::paper_scale()
+            },
+            "§4.5 push-join (provable access-method pruning)",
+        ),
         other => {
             return Err(format!(
                 "unknown trace scenario `{other}` (known: {})",
@@ -56,7 +69,11 @@ pub fn trace_scenario(scenario: &str) -> Result<TraceArtifacts, String> {
 
     let obs = Recorder::new();
     let mut setup = PaperSetup::new(cfg);
-    let q = setup.fig3();
+    let q = if scenario == "music-pushjoin" {
+        setup.pushjoin()
+    } else {
+        setup.fig3()
+    };
     let optimized = setup.optimize_traced(&q, OptimizerConfig::cost_controlled(), obs.clone());
     let (report, answer) = setup.execute_traced(&optimized.pt, obs.clone());
     let trace = obs.finish();
@@ -218,5 +235,52 @@ mod tests {
     #[test]
     fn unknown_scenario_is_rejected() {
         assert!(trace_scenario("no-such-scenario").is_err());
+    }
+
+    /// The push-join trace scenario must demonstrate *provable* pruning:
+    /// at least one randomized-walk candidate discarded because its
+    /// diverged-subtree cost interval lies strictly above the
+    /// incumbent's (non-overlapping intervals), distinct from the
+    /// heuristic cost-estimate rejections.
+    #[test]
+    fn pushjoin_search_space_has_proven_prunes() {
+        let art = trace_scenario("music-pushjoin").expect("known scenario");
+        let proven: Vec<_> = art
+            .trace
+            .events_named("candidate")
+            .filter(|e| {
+                e.field("outcome").and_then(|v| v.as_str()) == Some("prune")
+                    && e.field("reason")
+                        .and_then(|v| v.as_str())
+                        .is_some_and(|r| r.starts_with("pruned-proven"))
+            })
+            .collect();
+        assert!(
+            !proven.is_empty(),
+            "expected >= 1 pruned-proven candidate:\n{}",
+            art.summary
+        );
+        for e in &proven {
+            let reason = e.field("reason").and_then(|v| v.as_str()).unwrap();
+            assert!(
+                reason.contains("strictly above incumbent"),
+                "proof justification missing: {reason}"
+            );
+        }
+        assert!(art.summary.contains("| pruned-proven |"));
+        assert!(art.summary.contains("Provably pruned candidates"));
+        // Proven prunes are never double-counted as plain rejections.
+        let rejected = art
+            .trace
+            .events_named("candidate")
+            .filter(|e| e.field("outcome").and_then(|v| v.as_str()) == Some("reject"))
+            .count();
+        let accepted = art
+            .trace
+            .events_named("candidate")
+            .filter(|e| e.field("outcome").and_then(|v| v.as_str()) == Some("accept"))
+            .count();
+        let enumerated = art.trace.events_named("candidate").count();
+        assert_eq!(enumerated, proven.len() + rejected + accepted);
     }
 }

@@ -725,12 +725,30 @@ pub fn rand_optimize_with(
             violations,
         };
     };
+    // Static analyzer for provable pruning: when a candidate differs
+    // from the incumbent by one result-preserving toggle and its
+    // subtree cost interval lies strictly above the incumbent's, the
+    // move is discarded by proof instead of estimate.
+    let analyzer = oorq_analysis::Analyzer::new(
+        model.catalog,
+        model.physical,
+        model.stats,
+        model.params.clone(),
+    );
+    let analyze = |pt: &Pt| {
+        analyzer
+            .analyze_with_temps(pt, model.temp_fields.clone())
+            .ok()
+    };
     let mut best = start.clone();
     let mut best_cost = start_cost.total(&model.params);
     let mut rng = Prng::new(config.seed);
     for _ in 0..config.restarts.max(1) {
         let mut current = best.clone();
         let mut current_cost = best_cost;
+        // Analysis of `current`, computed lazily and invalidated on
+        // every accepted move.
+        let mut current_analysis: Option<Option<oorq_analysis::Analysis>> = None;
         let mut temperature = config.initial_temperature;
         for _ in 0..config.moves_per_walk {
             let ns = moves(model, &current);
@@ -766,6 +784,27 @@ pub fn rand_optimize_with(
                     continue;
                 }
             }
+            if let Some(div) = oorq_analysis::equivalent_local_change(&lint_env(), &pick, &current)
+            {
+                let cur = current_analysis
+                    .get_or_insert_with(|| analyze(&current))
+                    .as_ref();
+                if let (Some(inc), Some(cand)) = (cur, analyze(&pick)) {
+                    if let Some((lo, hi)) = oorq_analysis::proven_worse(&cand, inc, div) {
+                        candidate_event(
+                            &pick,
+                            None,
+                            current_cost,
+                            "prune",
+                            &format!(
+                                "pruned-proven: diverged subtree cost bound [{lo:.3}, …] \
+                                 strictly above incumbent [… , {hi:.3}]"
+                            ),
+                        );
+                        continue;
+                    }
+                }
+            }
             let Ok(pc) = model.cost(&pick) else { continue };
             let c = pc.total(&model.params);
             let accept = match config.kind {
@@ -799,6 +838,7 @@ pub fn rand_optimize_with(
             if accept {
                 current = pick;
                 current_cost = c;
+                current_analysis = None;
                 if c < best_cost {
                     best = current.clone();
                     best_cost = c;

@@ -9,6 +9,7 @@
 
 mod error;
 mod features;
+pub mod guard;
 mod model;
 pub mod paper_mode;
 mod params;
@@ -16,6 +17,7 @@ mod profiles;
 
 pub use error::CostError;
 pub use features::{CostFeatures, OpKind};
+pub use guard::{guard_hi, guard_lo, sane_rows};
 pub use model::{CostModel, FixCurve, NodeCost, PlanCost};
 pub use params::{Cost, CostParams, CostWeights};
 pub use profiles::{FixProfile, FixProfiles};

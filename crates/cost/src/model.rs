@@ -33,6 +33,7 @@ use oorq_storage::{DbStats, EntitySource, IndexKindDesc, PhysicalSchema, WidthMo
 
 use crate::error::CostError;
 use crate::features::{CostFeatures, OpKind};
+use crate::guard::sane_rows;
 use crate::params::{Cost, CostParams};
 
 /// The modeled per-iteration delta curve of one fixpoint: what the
@@ -392,18 +393,6 @@ impl<'a> CostModel<'a> {
             .first()
             .map(|&e| self.physical.entity(e).is_clustered(attr))
             .unwrap_or(false)
-    }
-}
-
-/// Sanitize a cardinality estimate: degenerate arithmetic (NaN from
-/// 0·∞, negative from mis-set statistics) collapses to zero instead of
-/// poisoning every downstream estimate — CM001 is provable, not merely
-/// checked.
-fn sane_rows(r: f64) -> f64 {
-    if r.is_finite() && r > 0.0 {
-        r
-    } else {
-        0.0
     }
 }
 

@@ -174,8 +174,60 @@ impl<'a> Executor<'a> {
         })?;
         self.last_ops = ops;
         self.last_fix_deltas = fix_deltas;
+        #[cfg(debug_assertions)]
+        self.assert_bounds(pt);
         rows.dedup();
         Ok(rows)
+    }
+
+    /// Debug-build soundness assertion: after every run, each observed
+    /// per-operator counter must lie inside the static analyzer's
+    /// interval (`AB001`–`AB003`). A violation is an analyzer bug or an
+    /// analysis/lowering divergence, never acceptable noise.
+    #[cfg(debug_assertions)]
+    fn assert_bounds(&self, pt: &Pt) {
+        let stats = oorq_storage::DbStats::collect(self.db);
+        let analyzer = oorq_analysis::Analyzer {
+            catalog: self.db.catalog(),
+            physical: self.db.physical(),
+            stats: &stats,
+            params: oorq_cost::CostParams::default(),
+            config: oorq_analysis::AnalyzerConfig {
+                max_fix_iterations: self.config.max_fix_iterations as u64,
+            },
+        };
+        // A plan the analyzer cannot type was already vetted by the
+        // verifier; bounds are simply unavailable for it.
+        let Ok(analysis) = analyzer.analyze_with_temps(pt, self.temp_fields.clone()) else {
+            return;
+        };
+        let ops: Vec<oorq_analysis::ObservedOp> = self
+            .last_ops
+            .iter()
+            .map(|o| oorq_analysis::ObservedOp {
+                pt_node: o.pt_node,
+                label: o.label.clone(),
+                rows_out: o.rows_out,
+                page_reads: o.page_reads,
+                page_hits: o.page_hits,
+                index_reads: o.index_reads,
+                page_writes: o.page_writes,
+            })
+            .collect();
+        let fixes: Vec<oorq_analysis::ObservedFix> = self
+            .last_fix_deltas
+            .iter()
+            .map(|c| oorq_analysis::ObservedFix {
+                pt_node: c.pt_node,
+                iterations: (c.deltas.len() as u64).saturating_sub(1),
+            })
+            .collect();
+        let report = oorq_analysis::check_observed(&analysis, &ops, &fixes);
+        debug_assert!(
+            report.is_clean(),
+            "static bounds violated:\n{}",
+            report.render()
+        );
     }
 
     /// Lower the PT to a physical plan; in debug builds, verify the

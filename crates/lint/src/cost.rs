@@ -1,7 +1,7 @@
 //! The cost-model sanity pass: estimates must be finite, non-negative,
 //! and selections must not grow their inputs.
 
-use oorq_cost::CostModel;
+use oorq_cost::{CostModel, PlanCost};
 use oorq_pt::Pt;
 
 use crate::diag::{LintCode, LintReport};
@@ -10,11 +10,33 @@ use crate::diag::{LintCode, LintReport};
 /// (e.g. temporaries with no registered shape) are skipped, not
 /// reported — pricing failures are the plan pass's business.
 pub fn lint_plan_cost(model: &CostModel<'_>, pt: &Pt) -> LintReport {
-    let mut report = LintReport::new();
     let Ok(pc) = model.cost(pt) else {
-        return report;
+        return LintReport::new();
     };
+    let mut report = lint_cost_figures(&pc);
 
+    // Selectivity: a selection's output cardinality must not exceed its
+    // input's. Compared on whole-subtree estimates so fixpoint context
+    // is irrelevant; unpriceable subtrees are skipped.
+    pt.visit(&mut |node| {
+        if let Pt::Sel { input, .. } = node {
+            if let (Ok(outer), Ok(inner)) = (model.cost(node), model.cost(input)) {
+                lint_selection_rows(outer.rows, inner.rows, &mut report);
+            }
+        }
+    });
+    report
+}
+
+/// Check the computed figures of one estimate: the answer cardinality
+/// and every cost component must be finite and non-negative (`CM001`,
+/// `CM002`). Exposed separately from [`lint_plan_cost`] so the checks
+/// are testable against hand-built figures — the estimator itself
+/// clamps its arithmetic, so a live model reaches these arms only
+/// through corrupt calibration inputs (e.g. a poisoned fitted-weight
+/// file).
+pub fn lint_cost_figures(pc: &PlanCost) -> LintReport {
+    let mut report = LintReport::new();
     if !(pc.rows.is_finite() && pc.rows >= 0.0) {
         report.push(
             LintCode::NegativeCardinality,
@@ -51,25 +73,21 @@ pub fn lint_plan_cost(model: &CostModel<'_>, pt: &Pt) -> LintReport {
             );
         }
     }
-
-    // Selectivity: a selection's output cardinality must not exceed its
-    // input's. Compared on whole-subtree estimates so fixpoint context
-    // is irrelevant; unpriceable subtrees are skipped.
-    pt.visit(&mut |node| {
-        if let Pt::Sel { input, .. } = node {
-            if let (Ok(outer), Ok(inner)) = (model.cost(node), model.cost(input)) {
-                if outer.rows > inner.rows * (1.0 + 1e-9) + 1e-9 {
-                    report.push(
-                        LintCode::SelectivityOutOfRange,
-                        "Sel",
-                        format!(
-                            "selection grows its input: {} rows from {}",
-                            outer.rows, inner.rows
-                        ),
-                    );
-                }
-            }
-        }
-    });
     report
+}
+
+/// Check one selection's whole-subtree row estimate against its
+/// input's (`CM003`). The estimator clamps selectivities to `[0, 1]`,
+/// so this arm firing on a live model means the clamp regressed.
+pub fn lint_selection_rows(outer_rows: f64, inner_rows: f64, report: &mut LintReport) {
+    if outer_rows > inner_rows * (1.0 + 1e-9) + 1e-9 {
+        report.push(
+            LintCode::SelectivityOutOfRange,
+            "Sel",
+            format!(
+                "selection grows its input: {} rows from {}",
+                outer_rows, inner_rows
+            ),
+        );
+    }
 }

@@ -139,6 +139,28 @@ pub enum LintCode {
     PhysBadRescan,
     /// An entity scan references an entity out of range.
     PhysBadEntity,
+
+    // ---- abstract-interpretation (static bounds) pass ---------------
+    /// An observed operator row counter escapes its static interval.
+    BoundRowsViolated,
+    /// An observed operator page-access counter escapes its static
+    /// interval.
+    BoundPagesViolated,
+    /// An observed fixpoint ran more semi-naive passes than the static
+    /// bound allows.
+    BoundPassesViolated,
+    /// A computed projection column is never consumed upstream (dead
+    /// definition beyond PT006's shape check).
+    DeadComputedColumn,
+    /// A fixpoint's key space is unbounded: termination rests on the
+    /// iteration cap, not on a finiteness proof.
+    FixKeySpaceUnbounded,
+    /// A fixpoint whose base leg is provably empty: the whole fixpoint
+    /// produces nothing.
+    FixProvablyEmpty,
+    /// The analysis derived a degenerate interval (`lo > hi` or NaN
+    /// endpoint) — an internal soundness failure.
+    DegenerateInterval,
 }
 
 impl LintCode {
@@ -185,6 +207,13 @@ impl LintCode {
             LintCode::PhysUndefinedTemp => "PX005",
             LintCode::PhysBadRescan => "PX006",
             LintCode::PhysBadEntity => "PX007",
+            LintCode::BoundRowsViolated => "AB001",
+            LintCode::BoundPagesViolated => "AB002",
+            LintCode::BoundPassesViolated => "AB003",
+            LintCode::DeadComputedColumn => "AB004",
+            LintCode::FixKeySpaceUnbounded => "AB005",
+            LintCode::FixProvablyEmpty => "AB006",
+            LintCode::DegenerateInterval => "AB007",
         }
     }
 
@@ -216,12 +245,16 @@ impl LintCode {
             | PhysBadIndex
             | PhysUndefinedTemp
             | PhysBadRescan
-            | PhysBadEntity => Severity::Error,
+            | PhysBadEntity
+            | BoundRowsViolated
+            | BoundPagesViolated
+            | BoundPassesViolated
+            | DegenerateInterval => Severity::Error,
             NonLinearRecursion | UnreachableNode | DeadViewCycle | DuplicateColumn
             | EmptyProjection | IoDrift | CpuDrift | RowsDrift | FixIterationsDrift
-            | FixDeltaMassDrift => Severity::Warn,
+            | FixDeltaMassDrift | FixProvablyEmpty => Severity::Warn,
             UnusedVariable | CartesianProduct | LinearRecursion | NoPropagatedColumns
-            | UnmatchedOperator => Severity::Note,
+            | UnmatchedOperator | DeadComputedColumn | FixKeySpaceUnbounded => Severity::Note,
         }
     }
 
@@ -269,6 +302,13 @@ impl LintCode {
             PhysUndefinedTemp,
             PhysBadRescan,
             PhysBadEntity,
+            BoundRowsViolated,
+            BoundPagesViolated,
+            BoundPassesViolated,
+            DeadComputedColumn,
+            FixKeySpaceUnbounded,
+            FixProvablyEmpty,
+            DegenerateInterval,
         ]
     }
 
@@ -318,6 +358,13 @@ impl LintCode {
             PhysUndefinedTemp => "temp scanned outside a defining fixpoint",
             PhysBadRescan => "nested-loop rescan over a non-rescannable inner",
             PhysBadEntity => "entity scan references an entity out of range",
+            BoundRowsViolated => "observed row counter escapes its static interval",
+            BoundPagesViolated => "observed page-access counter escapes its static interval",
+            BoundPassesViolated => "fixpoint exceeded its static semi-naive pass bound",
+            DeadComputedColumn => "computed projection column never consumed upstream",
+            FixKeySpaceUnbounded => "fixpoint key space unbounded; termination rests on the cap",
+            FixProvablyEmpty => "fixpoint base leg provably empty",
+            DegenerateInterval => "analysis derived a degenerate interval (lo > hi or NaN)",
         }
     }
 }

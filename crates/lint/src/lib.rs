@@ -31,7 +31,7 @@ mod graph;
 mod phys;
 mod plan;
 
-pub use cost::lint_plan_cost;
+pub use cost::{lint_cost_figures, lint_plan_cost, lint_selection_rows};
 pub use diag::{Diagnostic, LintCode, LintReport, Severity};
 pub use drift::{lint_drift, lint_fix_drift, DriftTolerance, ObservedFix, ObservedOp};
 pub use graph::lint_graph;

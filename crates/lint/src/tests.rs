@@ -10,7 +10,8 @@ use oorq_schema::Catalog;
 use oorq_storage::{Database, StorageConfig};
 
 use crate::{
-    lint_drift, lint_graph, verify_phys, verify_pt, DriftTolerance, LintCode, ObservedOp, Severity,
+    lint_drift, lint_graph, verify_phys, verify_pt, DriftTolerance, LintCode, LintReport,
+    ObservedOp, Severity,
 };
 
 fn setup() -> (Rc<Catalog>, Database) {
@@ -773,4 +774,164 @@ fn fix_drift_joins_per_node_and_skips_unobserved() {
         report.diagnostics[0].location.contains("node 8"),
         "{report}"
     );
+}
+
+#[test]
+fn unused_variable_is_noted() {
+    let (cat, _) = setup();
+    let mut spj = simple_spj(&cat);
+    // `x` stays bound by the arc but nothing reads it any more.
+    spj.out_proj = vec![("who".into(), Expr::var("n"))];
+    let mut g = QueryGraph::new(answer());
+    g.add_spj(answer(), spj);
+    let report = lint_graph(&cat, &g);
+    assert!(report.has(LintCode::UnusedVariable), "{report}");
+    assert!(
+        report.is_clean(),
+        "an unused binding is advice, not an error"
+    );
+}
+
+#[test]
+fn dead_view_cycle_is_reported() {
+    let (cat, _) = setup();
+    // A and B feed only each other; the answer never consumes either.
+    let a = NameRef::Derived("A".into());
+    let b = NameRef::Derived("B".into());
+    let mut g = QueryGraph::new(answer());
+    g.add_spj(
+        a.clone(),
+        SpjNode {
+            inputs: vec![QArc::new(b.clone(), "x")],
+            pred: Expr::True,
+            out_proj: vec![("v".into(), Expr::var("x"))],
+        },
+    );
+    g.add_spj(
+        b,
+        SpjNode {
+            inputs: vec![QArc::new(a, "x")],
+            pred: Expr::True,
+            out_proj: vec![("v".into(), Expr::var("x"))],
+        },
+    );
+    g.add_spj(answer(), simple_spj(&cat));
+    let report = lint_graph(&cat, &g);
+    assert!(report.has(LintCode::DeadViewCycle), "{report}");
+    assert!(
+        !report.has(LintCode::MutualRecursion),
+        "a dead cycle is not live mutual recursion: {report}"
+    );
+}
+
+#[test]
+fn duplicate_join_columns_are_reported() {
+    let (cat, db) = setup();
+    let leg = || {
+        Pt::proj(
+            vec![("who".into(), Expr::path("x", &["name"]))],
+            scan(&cat, &db),
+        )
+    };
+    let plan = Pt::ej(Expr::True, leg(), leg());
+    let report = verify_pt(&PtEnv::new(&cat, db.physical()), &plan);
+    assert!(report.has(LintCode::DuplicateColumn), "{report}");
+}
+
+#[test]
+fn empty_projection_is_reported() {
+    let (cat, db) = setup();
+    let plan = Pt::proj(vec![], scan(&cat, &db));
+    let report = verify_pt(&PtEnv::new(&cat, db.physical()), &plan);
+    assert!(report.has(LintCode::EmptyProjection), "{report}");
+}
+
+#[test]
+fn fixpoint_without_propagated_columns_is_noted() {
+    let (cat, db) = setup();
+    // Both legs recompute `who` from the joined entity; no temporary
+    // column survives verbatim, so no selection can commute inside.
+    let base = Pt::proj(
+        vec![("who".into(), Expr::path("x", &["name"]))],
+        scan(&cat, &db),
+    );
+    let rec = Pt::proj(
+        vec![("who".into(), Expr::path("x", &["name"]))],
+        Pt::ej(
+            Expr::var("t.who").eq(Expr::path("x", &["name"])),
+            Pt::temp("T", "t"),
+            scan(&cat, &db),
+        ),
+    );
+    let plan = Pt::fix("T", Pt::union(base, rec));
+    let report = verify_pt(&PtEnv::new(&cat, db.physical()), &plan);
+    assert!(report.has(LintCode::NoPropagatedColumns), "{report}");
+    // The same fixpoint propagating `who` verbatim is clean.
+    let base = Pt::proj(
+        vec![("who".into(), Expr::path("x", &["name"]))],
+        scan(&cat, &db),
+    );
+    let rec = Pt::proj(
+        vec![("who".into(), Expr::var("t.who"))],
+        Pt::ej(
+            Expr::var("t.who").eq(Expr::path("x", &["name"])),
+            Pt::temp("T", "t"),
+            scan(&cat, &db),
+        ),
+    );
+    let plan = Pt::fix("T", Pt::union(base, rec));
+    let report = verify_pt(&PtEnv::new(&cat, db.physical()), &plan);
+    assert!(!report.has(LintCode::NoPropagatedColumns), "{report}");
+}
+
+// ---- cost pass ------------------------------------------------------
+
+#[test]
+fn cost_figures_flag_degenerate_estimates() {
+    // The estimator clamps its own arithmetic, so these arms guard
+    // against corrupt *inputs* (calibration files); check them against
+    // hand-built figures.
+    let pc = oorq_cost::PlanCost {
+        cost: oorq_cost::Cost::new(-1.0, f64::NAN),
+        rows: -3.0,
+        breakdown: vec![node_cost(0, "Sel", 10.0, 5.0, f64::NAN)],
+    };
+    let report = crate::lint_cost_figures(&pc);
+    assert!(report.has(LintCode::NegativeCardinality), "{report}");
+    assert!(report.has(LintCode::NonFiniteCost), "{report}");
+    assert!(!report.is_clean());
+    // Sane figures are clean.
+    let pc = oorq_cost::PlanCost {
+        cost: oorq_cost::Cost::new(10.0, 5.0),
+        rows: 3.0,
+        breakdown: vec![node_cost(0, "Sel", 10.0, 5.0, 3.0)],
+    };
+    assert!(crate::lint_cost_figures(&pc).is_clean());
+}
+
+#[test]
+fn selection_growing_its_input_is_reported() {
+    let mut report = LintReport::new();
+    crate::lint_selection_rows(100.0, 100.0, &mut report);
+    assert!(report.diagnostics.is_empty(), "equal rows are fine");
+    crate::lint_selection_rows(120.0, 100.0, &mut report);
+    assert!(report.has(LintCode::SelectivityOutOfRange), "{report}");
+}
+
+// ---- physical-plan pass: index descriptors --------------------------
+
+#[test]
+fn phys_bad_index_is_reported() {
+    let (cat, db) = setup();
+    let env = PtEnv::new(&cat, db.physical());
+    // A filter demanding an index that does not exist.
+    let root = oorq_pt::PhysOp::Filter {
+        meta: phys_meta(0),
+        pred: Expr::True,
+        require_index: Some(oorq_storage::IndexId(999)),
+        input: Box::new(phys_scan(&cat, &db, 1, "x")),
+        cols: vec!["x".into()],
+    };
+    let report = verify_phys(&env, &oorq_pt::PhysPlan { root, ops: 2 });
+    assert!(report.has(LintCode::PhysBadIndex), "{report}");
 }

@@ -705,7 +705,8 @@ impl Lowering<'_, '_> {
 }
 
 /// Find an `var.attr = literal` (or mirrored) conjunct of the predicate.
-fn eq_literal_conjunct(pred: &Expr, var: &str, attr_name: &str) -> Option<Literal> {
+/// Public so static analysis can mirror access-method resolution exactly.
+pub fn eq_literal_conjunct(pred: &Expr, var: &str, attr_name: &str) -> Option<Literal> {
     for c in pred.conjuncts() {
         if let Expr::Cmp {
             op: CmpOp::Eq,

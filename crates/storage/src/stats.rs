@@ -21,6 +21,12 @@ pub struct AttrStats {
     pub avg_fanout: f64,
     /// Fraction of records whose value is `Null`.
     pub null_fraction: f64,
+    /// Largest member count of any single (non-null) value — a sound
+    /// upper bound on the fanout of one record.
+    pub max_fanout: u64,
+    /// Largest number of records sharing one member value — a sound
+    /// upper bound on the output of an equality selection.
+    pub max_dup: u64,
 }
 
 impl Default for AttrStats {
@@ -29,6 +35,8 @@ impl Default for AttrStats {
             distinct: 0,
             avg_fanout: 0.0,
             null_fraction: 1.0,
+            max_fanout: 0,
+            max_dup: 0,
         }
     }
 }
@@ -99,18 +107,24 @@ impl DbStats {
         let mut attrs = Vec::with_capacity(n_fields);
         for f in 0..n_fields {
             let mut distinct: HashSet<&Value> = HashSet::new();
+            let mut dup: HashMap<&Value, u64> = HashMap::new();
             let mut members = 0u64;
             let mut nulls = 0u64;
             let mut non_null = 0u64;
+            let mut max_fanout = 0u64;
             for row in &rows {
                 match &row.values[f] {
                     Value::Null => nulls += 1,
                     v => {
                         non_null += 1;
+                        let mut row_members = 0u64;
                         for m in v.members() {
                             distinct.insert(m);
+                            *dup.entry(m).or_insert(0) += 1;
                             members += 1;
+                            row_members += 1;
                         }
+                        max_fanout = max_fanout.max(row_members);
                     }
                 }
             }
@@ -126,6 +140,8 @@ impl DbStats {
                 } else {
                     nulls as f64 / cardinality as f64
                 },
+                max_fanout,
+                max_dup: dup.values().copied().max().unwrap_or(0),
             });
         }
         EntityStats {

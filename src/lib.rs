@@ -2,12 +2,16 @@
 //!
 //! See the individual crates for details:
 //! [`oorq_schema`], [`oorq_storage`], [`oorq_index`], [`oorq_query`],
-//! [`oorq_pt`], [`oorq_cost`], [`oorq_exec`], [`oorq_core`], [`oorq_datagen`].
+//! [`oorq_pt`], [`oorq_cost`], [`oorq_exec`], [`oorq_core`],
+//! [`oorq_datagen`], [`oorq_analysis`], [`oorq_lint`], [`oorq_obs`].
+pub use oorq_analysis as analysis;
 pub use oorq_core as optimizer;
 pub use oorq_cost as cost;
 pub use oorq_datagen as datagen;
 pub use oorq_exec as exec;
 pub use oorq_index as index;
+pub use oorq_lint as lint;
+pub use oorq_obs as obs;
 pub use oorq_pt as pt;
 pub use oorq_query as query;
 pub use oorq_schema as schema;
