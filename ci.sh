@@ -38,6 +38,9 @@ cargo run --release -q -p oorq-bench --bin reproduce analyze-gate
 echo "== plan-mutation soundness fuzzer (CI smoke parameters) =="
 cargo run --release -q -p oorq-bench --bin reproduce fuzz
 
+echo "== parallel-execution determinism gate (2 workers vs serial) =="
+cargo run --release -q -p oorq-bench --bin reproduce parallel --threads 2
+
 echo "== provable-pruning smoke (pruned-proven candidates in the search-space table) =="
 rm -rf target/prune-smoke
 cargo run --release -q -p oorq-bench --bin reproduce trace music-pushjoin target/prune-smoke \

@@ -12,7 +12,7 @@
 //! enforced in CI on top of the executor's per-run debug assertion.
 
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use oorq_analysis::{check_observed, Analyzer, AnalyzerConfig, ObservedFix, ObservedOp};
 use oorq_core::{Optimizer, OptimizerConfig};
@@ -206,9 +206,9 @@ pub fn corpus_runs(which: &str) -> Result<Vec<RunCheck>, String> {
 
     if all || which == "parts" {
         for (i, (roots, fanout, depth)) in [(2u32, 2u32, 3u32), (3, 3, 3)].into_iter().enumerate() {
-            let cat = Rc::new(parts_catalog());
+            let cat = Arc::new(parts_catalog());
             let mut p = PartsDb::generate(
-                Rc::clone(&cat),
+                Arc::clone(&cat),
                 PartsConfig {
                     roots,
                     fanout,

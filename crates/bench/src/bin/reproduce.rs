@@ -4,7 +4,14 @@
 //! `fig1 fig2 fig3 fig4 fig5 fig6 fig7 pushjoin crossover strategies
 //! ablation lint validate analyze calibrate calibrate-fit
 //! calibrate-gate feedback feedback-fit feedback-gate analyze-gate
-//! fuzz all` (default: `all`).
+//! fuzz parallel all` (default: `all`).
+//!
+//! `reproduce parallel [--threads N]` compares serial against parallel
+//! execution across the scenario corpus (default 4 workers) and fails
+//! when any parallel answer deviates from its serial one. A `--threads
+//! N` flag (or the `OORQ_THREADS` environment variable) sets the worker
+//! pool; `0` — the default everywhere else — keeps execution fully
+//! serial, so every other gate measures the serial engine.
 //!
 //! Gate subcommands (`lint`, `calibrate-gate`, `feedback-gate`,
 //! `analyze-gate`, `fuzz`) all follow one convention: they print their
@@ -53,10 +60,41 @@ fn gate(name: &str, outcome: Result<String, String>) {
     }
 }
 
+/// Resolve the executor worker-pool size: a `--threads N` flag anywhere
+/// on the command line beats the `OORQ_THREADS` environment variable;
+/// absent both, `0` — the fully serial default every gate runs under.
+fn threads_arg() -> u32 {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => return v,
+                None => {
+                    eprintln!("usage: reproduce <section> [--threads <N>]");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    std::env::var("OORQ_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 fn main() {
     let section = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     if section == "trace" {
         return trace_main();
+    }
+    if section == "parallel" {
+        // A serial "parallel" comparison is vacuous: without an explicit
+        // worker count this section defaults to 4 workers.
+        let threads = match threads_arg() {
+            0 => 4,
+            t => t,
+        };
+        return gate("parallel", oorq_bench::parallel::parallel_report(threads));
     }
     if section == "trace-check" {
         return trace_check_main();

@@ -19,7 +19,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use oorq_core::{Optimizer, OptimizerConfig};
 use oorq_cost::{
@@ -408,9 +408,9 @@ pub fn collect_corpus(res_params: &CostParams) -> Vec<PlanSample> {
 
     // -- parts ------------------------------------------------------
     for (i, (roots, fanout, depth)) in [(2u32, 2u32, 3u32), (3, 3, 3)].into_iter().enumerate() {
-        let cat = Rc::new(parts_catalog());
+        let cat = Arc::new(parts_catalog());
         let mut p = PartsDb::generate(
-            Rc::clone(&cat),
+            Arc::clone(&cat),
             PartsConfig {
                 roots,
                 fanout,

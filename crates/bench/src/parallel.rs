@@ -1,0 +1,334 @@
+//! The parallel-execution reproduction section (`reproduce parallel`):
+//! serial versus parallel wall time across the scenario corpus, with
+//! the optimizer's predicted per-subtree speedup joined against the
+//! observed one.
+//!
+//! For every scenario the harness optimizes with a worker budget
+//! ([`oorq_core::OptimizerConfig::threads`]), so the optimizer chooses
+//! a degree of parallelism per subtree; executes the plan twice over a
+//! cold cache — once fully serial (no parallel spec) and once under the
+//! chosen spec with the worker pool enabled — and verifies the two
+//! answers are identical row-for-row and in order (the exchange
+//! operators' determinism contract). The report ends `PASS` only when
+//! every scenario's parallel answer is byte-identical to its serial
+//! one; wall-clock speedups are reported but not gated (they are
+//! machine facts).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use oorq_core::{Optimizer, OptimizerConfig};
+use oorq_cost::{CostModel, CostParams};
+use oorq_datagen::{parts_catalog, ChainConfig, ChainDb, PartsConfig, PartsDb};
+use oorq_exec::{ExecConfig, Executor, MethodRegistry};
+use oorq_index::IndexSet;
+use oorq_query::QueryGraph;
+use oorq_storage::{Database, DbStats};
+
+use crate::calibrate::parts_query;
+use crate::scenarios::PaperSetup;
+
+/// Predicted-vs-observed speedup of one parallelized subtree.
+#[derive(Debug, Clone)]
+pub struct SubtreeSpeedup {
+    /// PT node id of the subtree root (the spec key).
+    pub pt_node: usize,
+    /// Physical label of the chosen subtree root.
+    pub label: String,
+    /// Chosen degree of parallelism.
+    pub workers: usize,
+    /// The optimizer's predicted speedup (serial over parallel cost).
+    pub predicted: f64,
+    /// Observed speedup: the subtree's inclusive wall in the serial run
+    /// over the parallel operator's inclusive wall in the parallel run.
+    /// `None` when either run carries no wall sample for the node.
+    pub observed: Option<f64>,
+}
+
+/// One scenario's serial-vs-parallel comparison.
+#[derive(Debug, Clone)]
+pub struct ParallelRun {
+    /// Scenario/strategy label.
+    pub name: String,
+    /// Answer rows (identical in both runs when `identical`).
+    pub rows: usize,
+    /// True when the parallel answer matched the serial one
+    /// row-for-row, in order.
+    pub identical: bool,
+    /// Serial wall time, milliseconds.
+    pub serial_ms: f64,
+    /// Parallel wall time, milliseconds.
+    pub parallel_ms: f64,
+    /// Worker lanes the parallel run forked (0 = the optimizer kept the
+    /// whole plan serial).
+    pub lanes: usize,
+    /// Per-subtree placement decisions with observed outcomes.
+    pub subtrees: Vec<SubtreeSpeedup>,
+}
+
+impl ParallelRun {
+    /// End-to-end observed speedup of this scenario.
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_ms > 0.0 {
+            self.serial_ms / self.parallel_ms
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Optimize with a worker budget, execute serial and parallel, compare.
+fn run_one(
+    db: &mut Database,
+    idx: &IndexSet,
+    methods: &MethodRegistry,
+    q: &QueryGraph,
+    config: OptimizerConfig,
+    threads: u32,
+    name: String,
+) -> Result<ParallelRun, String> {
+    let stats = DbStats::collect(db);
+    let model = CostModel::new(db.catalog(), db.physical(), &stats, CostParams::default());
+    let mut opt = Optimizer::new(model, OptimizerConfig { threads, ..config });
+    let plan = opt
+        .optimize(q)
+        .map_err(|e| format!("{name}: optimization failed: {e}"))?;
+
+    // Serial baseline: the plain plan, no parallel operators at all.
+    db.cold_cache();
+    let (serial_rows, serial_ms, serial_ops) = {
+        let mut ex = Executor::new(db, idx, methods);
+        let t0 = Instant::now();
+        let out = ex
+            .run(&plan.pt)
+            .map_err(|e| format!("{name}: serial execution failed: {e}"))?;
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        (out.rows, ms, ex.report().ops)
+    };
+
+    // Parallel: the same plan lowered under the optimizer's spec, with
+    // the worker pool enabled.
+    db.cold_cache();
+    let (par_rows, parallel_ms, par_report) = {
+        let mut ex = Executor::new(db, idx, methods)
+            .with_config(ExecConfig {
+                threads,
+                ..ExecConfig::default()
+            })
+            .with_parallel(plan.parallel.clone());
+        let t0 = Instant::now();
+        let out = ex
+            .run(&plan.pt)
+            .map_err(|e| format!("{name}: parallel execution failed: {e}"))?;
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        (out.rows, ms, ex.report())
+    };
+
+    // Join predicted speedups against observed inclusive walls: in the
+    // serial run the subtree root's op carries the node's wall; in the
+    // parallel run the Exchange/Merge wrapper (same PT node) brackets
+    // the fork-to-join interval.
+    let serial_wall = |node: usize| -> Option<u64> {
+        serial_ops
+            .iter()
+            .filter(|o| o.pt_node == node)
+            .map(|o| o.wall_inclusive_ns)
+            .max()
+    };
+    let parallel_wall = |node: usize| -> Option<u64> {
+        par_report
+            .ops
+            .iter()
+            .filter(|o| {
+                o.pt_node == node
+                    && (o.label.starts_with("Exchange") || o.label.starts_with("Merge"))
+            })
+            .map(|o| o.wall_inclusive_ns)
+            .max()
+    };
+    let subtrees = plan
+        .parallel_choices
+        .iter()
+        .map(|c| SubtreeSpeedup {
+            pt_node: c.pt_node,
+            label: c.label.clone(),
+            workers: c.workers,
+            predicted: c.predicted_speedup(),
+            observed: match (serial_wall(c.pt_node), parallel_wall(c.pt_node)) {
+                (Some(s), Some(p)) if p > 0 => Some(s as f64 / p as f64),
+                _ => None,
+            },
+        })
+        .collect();
+
+    Ok(ParallelRun {
+        name,
+        rows: serial_rows.len(),
+        identical: serial_rows == par_rows,
+        serial_ms,
+        parallel_ms,
+        lanes: par_report.workers.len(),
+        subtrees,
+    })
+}
+
+/// The scenario corpus: the recursive music Figure-3 query under both
+/// push strategies, the recursive parts bill-of-materials, and a
+/// deliberately join-heavy chain scenario (a rescanned nested loop over
+/// an unindexed pair — the O(n²) regime where partitioning the outer
+/// scan pays most).
+pub fn corpus(threads: u32) -> Result<Vec<ParallelRun>, String> {
+    let mut runs = Vec::new();
+
+    {
+        let mut setup = PaperSetup::new(PaperSetup::paper_scale());
+        let methods = MethodRegistry::new();
+        let q = setup.fig3();
+        for (cname, config) in [
+            ("nopush", OptimizerConfig::never_push()),
+            ("push", OptimizerConfig::deductive_heuristic()),
+        ] {
+            runs.push(run_one(
+                &mut setup.m.db,
+                &setup.idx,
+                &methods,
+                &q,
+                config,
+                threads,
+                format!("music/fig3/{cname}"),
+            )?);
+        }
+    }
+
+    {
+        let cat = Arc::new(parts_catalog());
+        let mut p = PartsDb::generate(
+            Arc::clone(&cat),
+            PartsConfig {
+                roots: 3,
+                fanout: 3,
+                depth: 4,
+                clustered: false,
+                buffer_frames: 32,
+                seed: 0x0ab5_7a71,
+            },
+        );
+        let q = parts_query(&cat);
+        let methods = MethodRegistry::with_parts_methods(&cat);
+        let idx = IndexSet::new();
+        for (cname, config) in [
+            ("nopush", OptimizerConfig::never_push()),
+            ("push", OptimizerConfig::deductive_heuristic()),
+        ] {
+            runs.push(run_one(
+                &mut p.db,
+                &idx,
+                &methods,
+                &q,
+                config,
+                threads,
+                format!("parts/{cname}"),
+            )?);
+        }
+    }
+
+    {
+        let mut chain = ChainDb::generate(ChainConfig {
+            relations: 2,
+            rows: 1400,
+            domain: 64,
+            seed: 0x5eed,
+        });
+        let methods = MethodRegistry::new();
+        let idx = IndexSet::new();
+        let q = chain.chain_query(64);
+        runs.push(run_one(
+            &mut chain.db,
+            &idx,
+            &methods,
+            &q,
+            OptimizerConfig::cost_controlled(),
+            threads,
+            "chain/bigjoin".into(),
+        )?);
+    }
+
+    Ok(runs)
+}
+
+/// `reproduce parallel [--threads N]`: the serial-vs-parallel report.
+/// Errs (gate failure) when any scenario's parallel answer deviates
+/// from its serial one.
+pub fn parallel_report(threads: u32) -> Result<String, String> {
+    let runs = corpus(threads)?;
+    let mut out = format!("=== Parallel execution: serial vs {threads} workers, cold cache ===\n");
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let _ = writeln!(
+        out,
+        "hardware threads: {hw}{}",
+        if hw < threads as usize {
+            " — the worker pool exceeds the physical cores, so wall-clock \
+             speedup is hardware-bounded (determinism is still checked)"
+        } else {
+            ""
+        }
+    );
+    let _ = writeln!(
+        out,
+        "| scenario | rows | identical | serial ms | parallel ms | speedup | lanes |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+    let mut best: Option<(&str, f64)> = None;
+    let mut bad = 0usize;
+    for r in &runs {
+        if !r.identical {
+            bad += 1;
+        }
+        if r.lanes > 0 && best.map(|(_, s)| r.speedup() > s).unwrap_or(true) {
+            best = Some((&r.name, r.speedup()));
+        }
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {:.2} | {:.2} | {:.2}x | {} |",
+            r.name,
+            r.rows,
+            if r.identical { "✓" } else { "✗" },
+            r.serial_ms,
+            r.parallel_ms,
+            r.speedup(),
+            r.lanes,
+        );
+    }
+    let _ = writeln!(out, "\nPer-subtree placement (predicted vs observed):");
+    for r in &runs {
+        if r.subtrees.is_empty() {
+            let _ = writeln!(out, "  {}: plan kept fully serial (nothing pays)", r.name);
+            continue;
+        }
+        for s in &r.subtrees {
+            let _ = writeln!(
+                out,
+                "  {}: node {} {} dop {} — predicted {:.2}x, observed {}",
+                r.name,
+                s.pt_node,
+                s.label,
+                s.workers,
+                s.predicted,
+                s.observed
+                    .map(|o| format!("{o:.2}x"))
+                    .unwrap_or_else(|| "n/a".into()),
+            );
+        }
+    }
+    if let Some((name, s)) = best {
+        let _ = writeln!(out, "\nbest end-to-end speedup: {s:.2}x on {name}");
+    }
+    if bad > 0 {
+        let _ = writeln!(out, "{bad} scenario(s) deviated from the serial answer");
+        return Err(out);
+    }
+    Ok(out)
+}

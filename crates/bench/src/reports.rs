@@ -692,8 +692,8 @@ pub fn ablation_report() -> String {
     );
     for with_index in [true, false] {
         // Build the setup manually so the index can be omitted.
-        let cat = std::rc::Rc::new(music_catalog());
-        let mut m = oorq_datagen::MusicDb::generate(std::rc::Rc::clone(&cat), base_cfg.clone());
+        let cat = std::sync::Arc::new(music_catalog());
+        let mut m = oorq_datagen::MusicDb::generate(std::sync::Arc::clone(&cat), base_cfg.clone());
         let mut idx = oorq_index::IndexSet::new();
         if with_index {
             idx.add_path(oorq_index::PathIndex::build(

@@ -1,7 +1,7 @@
 //! Standard experimental setups shared by the `reproduce` binary and the
 //! Criterion benches.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use oorq_core::{Optimized, Optimizer, OptimizerConfig};
 use oorq_cost::{CostModel, CostParams};
@@ -28,7 +28,7 @@ pub struct PaperSetup {
 impl PaperSetup {
     /// Build a setup at the given configuration.
     pub fn new(cfg: MusicConfig) -> Self {
-        let cat = Rc::new(music_catalog());
+        let cat = Arc::new(music_catalog());
         let mut m = MusicDb::generate(cat, cfg);
         let mut idx = IndexSet::new();
         idx.add_path(PathIndex::build(

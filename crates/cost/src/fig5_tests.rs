@@ -5,7 +5,7 @@
 //! seeded property test that costs are monotone in input cardinality,
 //! and round-trip coverage of the calibration snapshot format.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use oorq_datagen::{MusicConfig, MusicDb};
 use oorq_prng::Prng;
@@ -17,7 +17,7 @@ use oorq_storage::DbStats;
 use crate::*;
 
 fn setup(cfg: MusicConfig) -> (MusicDb, DbStats) {
-    let cat = Rc::new(music_catalog());
+    let cat = Arc::new(music_catalog());
     let m = MusicDb::generate(cat, cfg);
     let stats = DbStats::collect(&m.db);
     (m, stats)

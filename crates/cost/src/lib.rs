@@ -12,6 +12,7 @@ mod features;
 pub mod guard;
 mod model;
 pub mod paper_mode;
+mod parallel;
 mod params;
 mod profiles;
 
@@ -19,6 +20,7 @@ pub use error::CostError;
 pub use features::{CostFeatures, OpKind};
 pub use guard::{guard_hi, guard_lo, sane_rows};
 pub use model::{CostModel, FixCurve, NodeCost, PlanCost};
+pub use parallel::{choose_dop, effective_workers, merge_cost, parallel_cost, ParallelParams};
 pub use params::{Cost, CostParams, CostWeights};
 pub use profiles::{FixProfile, FixProfiles};
 

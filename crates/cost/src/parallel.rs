@@ -1,0 +1,136 @@
+//! Parallelism-aware cost term: predicting the payoff of `Exchange`/
+//! `Merge` operators so the optimizer can choose a degree of
+//! parallelism (DOP) per subtree instead of a global switch.
+//!
+//! The model is deliberately simple — the same philosophy as §4.6's
+//! simplified cost formulas: a parallel subtree pays a fixed per-worker
+//! startup (thread spawn, per-worker buffer view, operator-tree
+//! rebuild), divides its serial work over an *effective* worker count
+//! (sub-linear: workers contend on the shared store), and pays a
+//! per-row toll for the deterministic merge. All terms are in the cost
+//! model's abstract time units (one page access ≈ `pr` ≈ 1.0).
+//!
+//! These parameters are *not* part of [`crate::CostParams`] and do not
+//! appear in the calibrated snapshot: the calibration harness fits the
+//! serial estimator against serial counters, and the snapshot parser
+//! rejects unknown keys. Parallel overheads are machine facts (thread
+//! spawn latency), not data facts, so they stay a plain `Default`.
+
+/// Overhead constants of the parallel cost term.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelParams {
+    /// Fixed cost of forking one worker, abstract time units (page
+    /// accesses): thread spawn, buffer-view fork, operator rebuild.
+    pub startup: f64,
+    /// Per-row cost of the deterministic in-order merge of worker
+    /// outputs.
+    pub merge_per_row: f64,
+    /// Marginal efficiency of each additional worker: the effective
+    /// worker count is `1 + (d - 1) * efficiency`, modeling contention
+    /// on the shared snapshot and skewed page ranges.
+    pub efficiency: f64,
+}
+
+impl Default for ParallelParams {
+    fn default() -> Self {
+        ParallelParams {
+            startup: 40.0,
+            merge_per_row: 0.002,
+            efficiency: 0.85,
+        }
+    }
+}
+
+/// Effective worker count at DOP `workers`: sub-linear in the marginal
+/// efficiency, `1.0` at one worker.
+pub fn effective_workers(workers: usize, p: &ParallelParams) -> f64 {
+    1.0 + workers.saturating_sub(1) as f64 * p.efficiency
+}
+
+/// Predicted cost of running a subtree of serial cost `serial` (and
+/// `rows` output rows) under an `Exchange` of `workers` workers.
+/// `workers < 2` is the serial plan: no overhead, no speedup.
+pub fn parallel_cost(serial: f64, rows: f64, workers: usize, p: &ParallelParams) -> f64 {
+    if workers < 2 {
+        return serial;
+    }
+    p.startup * workers as f64
+        + serial / effective_workers(workers, p)
+        + p.merge_per_row * rows.max(0.0)
+}
+
+/// Predicted cost of running union legs of serial costs `legs` as a
+/// leg-parallel `Merge` emitting `rows` rows: every leg forks a worker,
+/// the slowest leg bounds the wall, the merge toll is per output row.
+pub fn merge_cost(legs: &[f64], rows: f64, p: &ParallelParams) -> f64 {
+    p.startup * legs.len() as f64
+        + legs.iter().fold(0.0f64, |a, &b| a.max(b))
+        + p.merge_per_row * rows.max(0.0)
+}
+
+/// Choose the cost-minimal DOP for a subtree: the argmin of
+/// [`parallel_cost`] over `1..=max_workers`. Returns `(dop, cost)`;
+/// `dop == 1` means parallelism does not pay for this subtree.
+pub fn choose_dop(serial: f64, rows: f64, max_workers: usize, p: &ParallelParams) -> (usize, f64) {
+    let mut best = (1usize, serial);
+    for d in 2..=max_workers {
+        let c = parallel_cost(serial, rows, d, p);
+        if c < best.1 {
+            best = (d, c);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_dop_is_identity() {
+        let p = ParallelParams::default();
+        assert_eq!(parallel_cost(1000.0, 50.0, 1, &p), 1000.0);
+        assert_eq!(parallel_cost(1000.0, 50.0, 0, &p), 1000.0);
+    }
+
+    #[test]
+    fn tiny_subtrees_stay_serial() {
+        let p = ParallelParams::default();
+        let (d, c) = choose_dop(10.0, 5.0, 8, &p);
+        assert_eq!(d, 1);
+        assert_eq!(c, 10.0);
+    }
+
+    #[test]
+    fn large_subtrees_choose_more_workers() {
+        let p = ParallelParams::default();
+        let (d_small, _) = choose_dop(500.0, 10.0, 8, &p);
+        let (d_large, c_large) = choose_dop(50_000.0, 10.0, 8, &p);
+        assert!(d_large >= d_small, "{d_large} >= {d_small}");
+        assert!(d_large >= 2);
+        assert!(c_large < 50_000.0);
+    }
+
+    #[test]
+    fn dop_is_capped_by_max_workers() {
+        let p = ParallelParams::default();
+        let (d, _) = choose_dop(1e9, 10.0, 3, &p);
+        assert_eq!(d, 3);
+    }
+
+    #[test]
+    fn effective_workers_sublinear() {
+        let p = ParallelParams::default();
+        assert_eq!(effective_workers(1, &p), 1.0);
+        let e4 = effective_workers(4, &p);
+        assert!(e4 > 1.0 && e4 < 4.0, "{e4}");
+    }
+
+    #[test]
+    fn merge_cost_bounded_by_slowest_leg_plus_overhead() {
+        let p = ParallelParams::default();
+        let c = merge_cost(&[800.0, 300.0], 100.0, &p);
+        assert!(c >= 800.0);
+        assert!(c < 1100.0, "{c} should beat the 1100 serial sum");
+    }
+}

@@ -1,6 +1,6 @@
 //! Cost-model tests: each Figure 5 formula exercised on generated data.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use oorq_datagen::{MusicConfig, MusicDb};
 use oorq_pt::Pt;
@@ -11,7 +11,7 @@ use oorq_storage::DbStats;
 use crate::*;
 
 fn setup(cfg: MusicConfig) -> (MusicDb, DbStats) {
-    let cat = Rc::new(music_catalog());
+    let cat = Arc::new(music_catalog());
     let m = MusicDb::generate(cat, cfg);
     let stats = DbStats::collect(&m.db);
     (m, stats)
@@ -113,9 +113,9 @@ fn computed_attribute_charges_method_cost() {
 
 #[test]
 fn ij_cost_reflects_clustering() {
-    let cat = Rc::new(music_catalog());
+    let cat = Arc::new(music_catalog());
     let unclustered = MusicDb::generate(
-        Rc::clone(&cat),
+        Arc::clone(&cat),
         MusicConfig {
             clustered: false,
             ..Default::default()

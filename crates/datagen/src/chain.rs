@@ -5,7 +5,7 @@
 //! comparing join-enumeration strategies (exhaustive vs DP vs greedy vs
 //! randomized), as in \[IC90\] and \[KZ88\].
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use oorq_prng::Prng;
 use oorq_query::{Expr, NameRef, QArc, QueryGraph, SpjNode};
@@ -50,8 +50,8 @@ pub struct ChainDb {
 /// (`rows * 2^i` rows in relation `Ri`), so join order genuinely
 /// matters and greedy/exhaustive strategies can diverge.
 pub fn generate_skewed(config: ChainConfig) -> ChainDb {
-    let catalog = Rc::new(chain_catalog(config.relations));
-    let mut db = Database::new(Rc::clone(&catalog), StorageConfig::default());
+    let catalog = Arc::new(chain_catalog(config.relations));
+    let mut db = Database::new(Arc::clone(&catalog), StorageConfig::default());
     let mut rng = Prng::new(config.seed);
     let mut names = Vec::new();
     for i in 0..config.relations {
@@ -87,8 +87,8 @@ pub fn chain_catalog(k: usize) -> Catalog {
 impl ChainDb {
     /// Generate a chain database.
     pub fn generate(config: ChainConfig) -> Self {
-        let catalog = Rc::new(chain_catalog(config.relations));
-        let mut db = Database::new(Rc::clone(&catalog), StorageConfig::default());
+        let catalog = Arc::new(chain_catalog(config.relations));
+        let mut db = Database::new(Arc::clone(&catalog), StorageConfig::default());
         let mut rng = Prng::new(config.seed);
         let mut names = Vec::new();
         for i in 0..config.relations {

@@ -6,7 +6,7 @@
 //! cost), the harpsichord selectivity (filter selectivity), and the
 //! physical placement (clustered or scattered).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use oorq_prng::Prng;
 use oorq_schema::{AttrId, Catalog, ClassId, ViewKind};
@@ -84,10 +84,10 @@ pub struct MusicDb {
 impl MusicDb {
     /// Generate a database per the configuration, over the given catalog
     /// (use [`oorq_query::paper::music_catalog`]).
-    pub fn generate(catalog: Rc<Catalog>, config: MusicConfig) -> Self {
+    pub fn generate(catalog: Arc<Catalog>, config: MusicConfig) -> Self {
         let mut rng = Prng::new(config.seed);
         let mut db = Database::new(
-            Rc::clone(&catalog),
+            Arc::clone(&catalog),
             StorageConfig {
                 buffer_frames: config.buffer_frames,
                 ..Default::default()

@@ -3,7 +3,7 @@
 //! to a given part object" (cf. the engineering-database benchmark of
 //! \[CS90\]).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use oorq_prng::Prng;
 use oorq_schema::{
@@ -94,10 +94,10 @@ pub struct PartsDb {
 
 impl PartsDb {
     /// Generate a parts database.
-    pub fn generate(catalog: Rc<Catalog>, config: PartsConfig) -> Self {
+    pub fn generate(catalog: Arc<Catalog>, config: PartsConfig) -> Self {
         let mut rng = Prng::new(config.seed);
         let mut db = Database::new(
-            Rc::clone(&catalog),
+            Arc::clone(&catalog),
             StorageConfig {
                 buffer_frames: config.buffer_frames,
                 ..Default::default()

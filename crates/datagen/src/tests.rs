@@ -1,6 +1,6 @@
 //! Generator sanity tests.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use oorq_query::paper::music_catalog;
 use oorq_storage::{DbStats, Value};
@@ -9,7 +9,7 @@ use crate::*;
 
 #[test]
 fn music_db_respects_configuration() {
-    let cat = Rc::new(music_catalog());
+    let cat = Arc::new(music_catalog());
     let cfg = MusicConfig {
         chains: 3,
         chain_len: 5,
@@ -18,7 +18,7 @@ fn music_db_respects_configuration() {
         harpsichord_fraction: 0.5,
         ..Default::default()
     };
-    let m = MusicDb::generate(Rc::clone(&cat), cfg);
+    let m = MusicDb::generate(Arc::clone(&cat), cfg);
     assert_eq!(m.composer_count(), 15);
     assert_eq!(m.db.object_count(m.composition), 30);
     // Bach exists and is the tail of chain 0.
@@ -43,9 +43,9 @@ fn music_db_respects_configuration() {
 
 #[test]
 fn music_generation_is_deterministic() {
-    let cat = Rc::new(music_catalog());
-    let a = MusicDb::generate(Rc::clone(&cat), MusicConfig::default());
-    let b = MusicDb::generate(Rc::clone(&cat), MusicConfig::default());
+    let cat = Arc::new(music_catalog());
+    let a = MusicDb::generate(Arc::clone(&cat), MusicConfig::default());
+    let b = MusicDb::generate(Arc::clone(&cat), MusicConfig::default());
     let ea = a.db.physical().entities_of_class(a.composition)[0];
     let eb = b.db.physical().entities_of_class(b.composition)[0];
     let ra: Vec<_> = a.db.scan_raw(ea).into_iter().map(|r| r.values).collect();
@@ -55,9 +55,9 @@ fn music_generation_is_deterministic() {
 
 #[test]
 fn harpsichord_fraction_controlled() {
-    let cat = Rc::new(music_catalog());
+    let cat = Arc::new(music_catalog());
     let m = MusicDb::generate(
-        Rc::clone(&cat),
+        Arc::clone(&cat),
         MusicConfig {
             chains: 10,
             chain_len: 10,
@@ -75,14 +75,14 @@ fn harpsichord_fraction_controlled() {
 
 #[test]
 fn parts_db_has_expected_shape() {
-    let cat = Rc::new(parts_catalog());
+    let cat = Arc::new(parts_catalog());
     let cfg = PartsConfig {
         roots: 2,
         fanout: 2,
         depth: 3,
         ..Default::default()
     };
-    let p = PartsDb::generate(Rc::clone(&cat), cfg);
+    let p = PartsDb::generate(Arc::clone(&cat), cfg);
     // Each root tree has 1 + 2 + 4 + 8 = 15 parts.
     assert_eq!(p.part_count(), 30);
     assert_eq!(p.roots.len(), 2);

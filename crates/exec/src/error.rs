@@ -29,6 +29,9 @@ pub enum ExecError {
     /// Lowering to a physical plan failed (the plan is ill-formed in a
     /// way the runtime vocabulary has no specific error for).
     BadPlan(String),
+    /// An exchange worker thread panicked (the panic payload is lost
+    /// across the join; the plan and partition identify the work).
+    WorkerPanicked(String),
     /// Storage-level failure.
     Storage(StorageError),
     /// Query-graph failure (reference evaluator).
@@ -50,6 +53,7 @@ impl fmt::Display for ExecError {
             }
             ExecError::PlanLint(d) => write!(f, "plan failed verification:\n{d}"),
             ExecError::BadPlan(m) => write!(f, "cannot lower plan: {m}"),
+            ExecError::WorkerPanicked(w) => write!(f, "parallel worker panicked: {w}"),
             ExecError::Storage(e) => write!(f, "storage: {e}"),
             ExecError::Query(e) => write!(f, "query: {e}"),
         }

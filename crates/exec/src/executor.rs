@@ -12,19 +12,25 @@ use oorq_storage::{Database, EntityId, IoStats};
 use crate::error::ExecError;
 use crate::eval::{Batch, Counters};
 use crate::methods::MethodRegistry;
-use crate::pipeline::{self, FixDeltaCurve, OpReport};
+use crate::pipeline::{self, FixDeltaCurve, OpReport, WorkerLane};
 
 /// Executor configuration.
 #[derive(Debug, Clone)]
 pub struct ExecConfig {
     /// Safety bound on semi-naive iterations.
     pub max_fix_iterations: u32,
+    /// Worker-pool size for `Exchange`/`Merge` operators. `0` (the
+    /// default) and `1` drain parallel operators inline on the calling
+    /// thread, preserving fully serial execution; the plan shape is
+    /// identical either way.
+    pub threads: u32,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
         ExecConfig {
             max_fix_iterations: 10_000,
+            threads: 0,
         }
     }
 }
@@ -46,6 +52,9 @@ pub struct ExecReport {
     /// delta first, then one entry per semi-naive iteration; the final
     /// entry is 0 when the fixpoint converged).
     pub fix_deltas: Vec<FixDeltaCurve>,
+    /// Per-worker lanes of the last completed run's `Exchange`/`Merge`
+    /// openings, in fork order (empty under serial execution).
+    pub workers: Vec<WorkerLane>,
 }
 
 impl ExecReport {
@@ -73,6 +82,11 @@ pub struct Executor<'a> {
     last_ops: Vec<OpReport>,
     /// Per-fixpoint delta curves of the last completed run.
     last_fix_deltas: Vec<FixDeltaCurve>,
+    /// Worker lanes of the last completed run.
+    last_workers: Vec<WorkerLane>,
+    /// Degree of parallelism chosen per PT node by the optimizer,
+    /// applied at lowering (empty = fully serial plans).
+    parallel: oorq_pt::ParallelSpec,
     /// Trace recorder (disabled by default).
     obs: oorq_obs::Recorder,
 }
@@ -90,6 +104,8 @@ impl<'a> Executor<'a> {
             temp_fields: HashMap::new(),
             last_ops: Vec::new(),
             last_fix_deltas: Vec::new(),
+            last_workers: Vec::new(),
+            parallel: oorq_pt::ParallelSpec::new(),
             obs: oorq_obs::Recorder::disabled(),
         }
     }
@@ -97,6 +113,15 @@ impl<'a> Executor<'a> {
     /// Override the configuration.
     pub fn with_config(mut self, config: ExecConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Apply an optimizer-chosen parallel placement: subsequent runs
+    /// lower their plans with these per-PT-node degrees of parallelism.
+    /// With `ExecConfig::threads <= 1` the parallel operators still
+    /// appear in the plan but drain inline, so results are unchanged.
+    pub fn with_parallel(mut self, spec: oorq_pt::ParallelSpec) -> Self {
+        self.parallel = spec;
         self
     }
 
@@ -116,6 +141,7 @@ impl<'a> Executor<'a> {
         self.counters = Counters::default();
         self.last_ops.clear();
         self.last_fix_deltas.clear();
+        self.last_workers.clear();
     }
 
     /// The resources consumed so far (per-operator counters cover the
@@ -127,6 +153,7 @@ impl<'a> Executor<'a> {
             method_calls: self.counters.method_calls.get(),
             ops: self.last_ops.clone(),
             fix_deltas: self.last_fix_deltas.clone(),
+            workers: self.last_workers.clone(),
         }
     }
 
@@ -152,7 +179,7 @@ impl<'a> Executor<'a> {
         self.verify(pt)?;
         let plan = self.lower(pt)?;
         self.prepare_temps(&plan);
-        let (mut rows, ops, fix_deltas) = pipeline::execute(
+        let (mut rows, ops, fix_deltas, workers) = pipeline::execute(
             &plan,
             self.db,
             self.indexes,
@@ -161,8 +188,9 @@ impl<'a> Executor<'a> {
             &self.temps,
             self.config.max_fix_iterations,
             &self.obs,
+            self.config.threads,
         )
-        .map(|(rows, ops, fix_deltas)| {
+        .map(|(rows, ops, fix_deltas, workers)| {
             (
                 Batch {
                     cols: plan.root.cols().to_vec(),
@@ -170,10 +198,12 @@ impl<'a> Executor<'a> {
                 },
                 ops,
                 fix_deltas,
+                workers,
             )
         })?;
         self.last_ops = ops;
         self.last_fix_deltas = fix_deltas;
+        self.last_workers = workers;
         #[cfg(debug_assertions)]
         self.assert_bounds(pt);
         rows.dedup();
@@ -201,9 +231,15 @@ impl<'a> Executor<'a> {
         let Ok(analysis) = analyzer.analyze_with_temps(pt, self.temp_fields.clone()) else {
             return;
         };
+        // Exchange/Merge wrappers share their input's (or union's) PT
+        // node but do no per-row work of their own: their exclusive
+        // counters are ~0, which would trip nodes whose *lower* data
+        // bound is positive. The wrapped operators' merged counters are
+        // checked in full, so skipping the wrappers loses nothing.
         let ops: Vec<oorq_analysis::ObservedOp> = self
             .last_ops
             .iter()
+            .filter(|o| !o.label.starts_with("Exchange") && !o.label.starts_with("Merge"))
             .map(|o| oorq_analysis::ObservedOp {
                 pt_node: o.pt_node,
                 label: o.label.clone(),
@@ -238,7 +274,7 @@ impl<'a> Executor<'a> {
             physical: self.db.physical(),
             temp_fields: self.temp_fields.clone(),
         };
-        let plan = oorq_pt::lower(&env, pt).map_err(lower_err)?;
+        let plan = oorq_pt::lower_with(&env, pt, &self.parallel).map_err(lower_err)?;
         #[cfg(debug_assertions)]
         {
             let report = oorq_lint::verify_phys(&env, &plan);

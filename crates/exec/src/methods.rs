@@ -5,13 +5,13 @@
 //! invocations to the implementations registered here.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use oorq_schema::{AttrId, Catalog, ClassId};
 use oorq_storage::{Database, Oid, Value};
 
 /// A method body: computes the attribute value of one object.
-pub type MethodFn = Rc<dyn Fn(&Database, Oid) -> Value>;
+pub type MethodFn = Arc<dyn Fn(&Database, Oid) -> Value + Send + Sync>;
 
 /// Registry of method implementations, keyed by `(class, attribute)`.
 /// Lookups walk up the `isa` hierarchy, so a method registered on a
@@ -38,9 +38,9 @@ impl MethodRegistry {
         &mut self,
         class: ClassId,
         attr: AttrId,
-        f: impl Fn(&Database, Oid) -> Value + 'static,
+        f: impl Fn(&Database, Oid) -> Value + Send + Sync + 'static,
     ) {
-        self.map.insert((class, attr), Rc::new(f));
+        self.map.insert((class, attr), Arc::new(f));
     }
 
     /// Invoke the method for `oid.attr`, if registered (directly or on a

@@ -91,6 +91,26 @@ impl std::fmt::Display for FixDeltaCurve {
     }
 }
 
+/// One parallel worker's contribution to one `Exchange`/`Merge`
+/// opening: its partition's rows, wall time and I/O view counters.
+/// Surfaced through `ExecReport` so speedup reports can compare the
+/// per-worker lanes against the serial baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerLane {
+    /// Operator id of the `Exchange`/`Merge` that forked this worker.
+    pub op_id: usize,
+    /// The operator's label (e.g. `Exchange(x2)`).
+    pub label: String,
+    /// Worker index within the fork (0-based; lanes appear in order).
+    pub worker: usize,
+    /// Rows the worker's partition produced.
+    pub rows: u64,
+    /// The worker's wall time from fork to join.
+    pub wall_ns: u64,
+    /// The worker's private buffer-view counters.
+    pub io: IoStats,
+}
+
 /// Inclusive per-operator tallies (children's work still included).
 #[derive(Debug, Clone, Copy, Default)]
 struct OpStats {
@@ -129,6 +149,25 @@ struct Rt<'a> {
     /// Per-fixpoint-opening delta curves, in execution order (each
     /// `FixPoint` open appends one curve keyed by its operator).
     fix_deltas: RefCell<Vec<FixDeltaCurve>>,
+    /// Worker-pool size for `Exchange`/`Merge` operators (0 or 1 =
+    /// drain them inline on this thread; the plan shape is unchanged).
+    threads: u32,
+    /// Set inside a parallel worker: restricts the driver leaf scan to
+    /// the worker's page range. `None` on the coordinating thread.
+    partition: Option<Partition>,
+    /// Per-worker lanes of every `Exchange`/`Merge` opening, in fork
+    /// order (coordinator-only; workers never nest parallel operators).
+    worker_lanes: RefCell<Vec<WorkerLane>>,
+}
+
+/// A parallel worker's share of an exchange: worker `worker` of
+/// `workers` runs the subtree with the driver leaf (`driver_op`)
+/// restricted to pages `[worker·P/workers, (worker+1)·P/workers)`.
+#[derive(Debug, Clone, Copy)]
+struct Partition {
+    driver_op: usize,
+    worker: usize,
+    workers: usize,
 }
 
 impl<'a> Rt<'a> {
@@ -145,7 +184,12 @@ impl<'a> Rt<'a> {
 /// What one pipeline execution produced: rows (bag semantics — the
 /// caller deduplicates the answer), per-operator reports, and the
 /// per-fixpoint delta curves.
-pub(crate) type ExecOutput = (Vec<Vec<Value>>, Vec<OpReport>, Vec<FixDeltaCurve>);
+pub(crate) type ExecOutput = (
+    Vec<Vec<Value>>,
+    Vec<OpReport>,
+    Vec<FixDeltaCurve>,
+    Vec<WorkerLane>,
+);
 
 /// Execute a lowered plan.
 #[allow(clippy::too_many_arguments)]
@@ -158,6 +202,7 @@ pub(crate) fn execute(
     temps: &HashMap<String, (EntityId, EntityId)>,
     max_fix_iterations: u32,
     obs: &oorq_obs::Recorder,
+    threads: u32,
 ) -> Result<ExecOutput, ExecError> {
     let rt = Rt {
         db,
@@ -176,6 +221,9 @@ pub(crate) fn execute(
         max_fix_iterations,
         obs,
         fix_deltas: RefCell::new(Vec::new()),
+        threads,
+        partition: None,
+        worker_lanes: RefCell::new(Vec::new()),
     };
     let mut root = build(&plan.root);
     root.open(&rt)?;
@@ -187,7 +235,12 @@ pub(crate) fn execute(
     let stats = rt.stats.into_inner();
     let reports = rollup(plan, &stats);
     record_op_spans(obs, &reports, &stats);
-    Ok((rows, reports, rt.fix_deltas.into_inner()))
+    Ok((
+        rows,
+        reports,
+        rt.fix_deltas.into_inner(),
+        rt.worker_lanes.into_inner(),
+    ))
 }
 
 /// Synthesize one span per operator that actually ran: the interval is
@@ -248,6 +301,9 @@ enum St<'a> {
     /// Fixpoint: the accumulated result, computed at `open` (the
     /// canonical pipeline breaker), streamed out by position.
     Fix { out: Vec<Vec<Value>>, pos: usize },
+    /// Exchange/merge: partition (or leg) outputs concatenated in
+    /// deterministic order at `open`, streamed out by position.
+    Mat { out: Vec<Vec<Value>>, pos: usize },
 }
 
 struct OpExec<'p, 'a> {
@@ -279,8 +335,118 @@ fn build<'p, 'a>(op: &'p PhysOp) -> OpExec<'p, 'a> {
             out: Vec::new(),
             pos: 0,
         },
+        PhysOp::Exchange { .. } | PhysOp::Merge { .. } => St::Mat {
+            out: Vec::new(),
+            pos: 0,
+        },
     };
     OpExec { op, kids, st }
+}
+
+/// What one parallel worker hands back at the join: its partition's
+/// rows (in partition order), its per-operator inclusive tallies, its
+/// CPU counter totals, and its private buffer view's I/O counters.
+struct WorkerOut {
+    rows: Vec<Vec<Value>>,
+    stats: Vec<OpStats>,
+    evals: u64,
+    method_calls: u64,
+    io: IoStats,
+    t_start_ns: u64,
+    t_end_ns: u64,
+    wall_ns: u64,
+}
+
+/// Operator id of a pipeline subtree's driver leaf: the leftmost scan,
+/// reached by following first children down the spine. Only called on
+/// [`oorq_pt::exchange_eligible`] subtrees, whose spine always ends in
+/// an `EntityScan`/`TempScan`.
+fn driver_leaf(op: &PhysOp) -> usize {
+    match op {
+        PhysOp::EntityScan { meta, .. } | PhysOp::TempScan { meta, .. } => meta.id,
+        _ => driver_leaf(op.children()[0]),
+    }
+}
+
+/// Apply a merge leg's column permutation (identical semantics to
+/// `UnionAll`'s right-side permutation).
+fn apply_perm(perm: Option<&Vec<usize>>, r: Vec<Value>) -> Vec<Value> {
+    match perm {
+        None => r,
+        Some(p) => p.iter().map(|&i| r[i].clone()).collect(),
+    }
+}
+
+/// Run one parallel worker: build a private operator tree over the
+/// subtree, install a private buffer-accounting view, drain the tree,
+/// and hand everything back for the coordinator to merge. The worker's
+/// `Rt` shares the database snapshot, indexes, methods, temps and
+/// recorder with the coordinator but owns its counters, per-operator
+/// stats and delta bindings — nothing mutable is shared across threads
+/// except the recorder's internal mutex.
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    op: &PhysOp,
+    db: &Database,
+    indexes: &IndexSet,
+    methods: &MethodRegistry,
+    temps: &HashMap<String, (EntityId, EntityId)>,
+    max_fix_iterations: u32,
+    obs: &oorq_obs::Recorder,
+    delta_active: HashSet<String>,
+    ops_len: usize,
+    partition: Option<Partition>,
+    frames: usize,
+) -> Result<WorkerOut, ExecError> {
+    let counters = Counters::default();
+    let rt = Rt {
+        db,
+        indexes,
+        methods,
+        counters: &counters,
+        temps,
+        delta_active: RefCell::new(delta_active),
+        stats: RefCell::new(vec![
+            OpStats {
+                first_ns: u64::MAX,
+                ..OpStats::default()
+            };
+            ops_len
+        ]),
+        max_fix_iterations,
+        obs,
+        fix_deltas: RefCell::new(Vec::new()),
+        threads: 0,
+        partition,
+        worker_lanes: RefCell::new(Vec::new()),
+    };
+    db.install_worker_buffer(frames);
+    let t_start_ns = obs.now_ns();
+    let wall0 = Instant::now();
+    let mut root = build(op);
+    let res: Result<Vec<Vec<Value>>, ExecError> = (|| {
+        root.open(&rt)?;
+        let mut rows = Vec::new();
+        while let Some(r) = root.next(&rt)? {
+            rows.push(r);
+        }
+        Ok(rows)
+    })();
+    drop(root);
+    // Uninstall the view even on error, or the thread-local would leak
+    // into whatever runs on this thread next.
+    let io = db.take_worker_buffer();
+    let rows = res?;
+    Ok(WorkerOut {
+        rows,
+        stats: rt.stats.into_inner(),
+        evals: counters.evals.get(),
+        method_calls: counters.method_calls.get(),
+        io,
+        t_start_ns,
+        t_end_ns: obs.now_ns(),
+        wall_ns: wall0.elapsed().as_nanos() as u64,
+    })
 }
 
 /// Snapshot of the shared counters, for inclusive-delta charging.
@@ -321,6 +487,110 @@ impl<'a> Rt<'a> {
             s.last_ns = s.last_ns.max(end);
         }
     }
+
+    /// The scan iterator for a leaf: the full entity normally, or this
+    /// worker's page range when the leaf is the partitioned driver of
+    /// the enclosing exchange.
+    fn leaf_scan(&self, entity: EntityId, op_id: usize) -> ScanIter<'a> {
+        match self.partition {
+            Some(p) if p.driver_op == op_id => {
+                let pages = self.db.num_pages(entity) as u64;
+                let lo = (p.worker as u64 * pages / p.workers as u64) as u32;
+                let hi = ((p.worker as u64 + 1) * pages / p.workers as u64) as u32;
+                self.db.scan_iter_range(entity, lo, hi)
+            }
+            _ => self.db.scan_iter(entity),
+        }
+    }
+
+    /// Join a fork's workers in index order: fold their I/O and CPU
+    /// counters into the shared accounting (inside the parallel
+    /// operator's open bracket, so its inclusive tallies stay exact),
+    /// merge their per-operator stats, record one lane and one
+    /// per-worker span each, and concatenate their rows. Deterministic
+    /// by construction — merge order is worker order regardless of
+    /// thread scheduling.
+    fn join_workers(
+        &self,
+        meta: &oorq_pt::OpMeta,
+        results: Vec<Result<WorkerOut, ExecError>>,
+        out: &mut Vec<Vec<Value>>,
+        perms: Option<&[Option<Vec<usize>>]>,
+    ) -> Result<(), ExecError> {
+        let mut first_err = None;
+        for (w, res) in results.into_iter().enumerate() {
+            let wo = match res {
+                Ok(wo) => wo,
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                    continue;
+                }
+            };
+            self.db.absorb_io(wo.io);
+            self.counters
+                .evals
+                .set(self.counters.evals.get() + wo.evals);
+            self.counters
+                .method_calls
+                .set(self.counters.method_calls.get() + wo.method_calls);
+            {
+                let mut stats = self.stats.borrow_mut();
+                for (id, ws) in wo.stats.iter().enumerate() {
+                    let s = &mut stats[id];
+                    s.opens += ws.opens;
+                    s.rows_out += ws.rows_out;
+                    s.page_reads += ws.page_reads;
+                    s.page_hits += ws.page_hits;
+                    s.index_reads += ws.index_reads;
+                    s.page_writes += ws.page_writes;
+                    s.evals += ws.evals;
+                    s.method_calls += ws.method_calls;
+                    s.wall_ns += ws.wall_ns;
+                    s.first_ns = s.first_ns.min(ws.first_ns);
+                    s.last_ns = s.last_ns.max(ws.last_ns);
+                }
+            }
+            if self.obs.enabled() && wo.t_end_ns > wo.t_start_ns {
+                let fields: oorq_obs::Fields = vec![
+                    (
+                        "track".into(),
+                        format!("op#{} {} worker#{w}", meta.id, meta.label).into(),
+                    ),
+                    ("op_id".into(), meta.id.into()),
+                    ("worker".into(), w.into()),
+                    ("rows".into(), (wo.rows.len() as u64).into()),
+                    ("wall_ns".into(), wo.wall_ns.into()),
+                    ("page_reads".into(), wo.io.page_reads.into()),
+                    ("page_hits".into(), wo.io.page_hits.into()),
+                    ("index_reads".into(), wo.io.index_reads.into()),
+                ];
+                self.obs.add_span(
+                    "exec",
+                    &format!("{} worker {w}", meta.label),
+                    None,
+                    wo.t_start_ns,
+                    wo.t_end_ns,
+                    fields,
+                );
+            }
+            self.worker_lanes.borrow_mut().push(WorkerLane {
+                op_id: meta.id,
+                label: meta.label.clone(),
+                worker: w,
+                rows: wo.rows.len() as u64,
+                wall_ns: wo.wall_ns,
+                io: wo.io,
+            });
+            let perm = perms.and_then(|ps| ps.get(w)).and_then(|p| p.as_ref());
+            out.extend(wo.rows.into_iter().map(|r| apply_perm(perm, r)));
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
 }
 
 impl<'a> OpExec<'_, 'a> {
@@ -347,8 +617,8 @@ impl<'a> OpExec<'_, 'a> {
     fn open_inner(&mut self, rt: &Rt<'a>) -> Result<(), ExecError> {
         let OpExec { op, kids, st } = self;
         match (&**op, st) {
-            (PhysOp::EntityScan { entity, .. }, St::Scan(iter)) => {
-                *iter = Some(rt.db.scan_iter(*entity));
+            (PhysOp::EntityScan { entity, meta, .. }, St::Scan(iter)) => {
+                *iter = Some(rt.leaf_scan(*entity, meta.id));
                 Ok(())
             }
             (PhysOp::TempScan { name, .. }, St::Scan(iter)) => {
@@ -361,7 +631,7 @@ impl<'a> OpExec<'_, 'a> {
                 } else {
                     acc
                 };
-                *iter = Some(rt.db.scan_iter(entity));
+                *iter = Some(rt.leaf_scan(entity, op.meta().id));
                 Ok(())
             }
             (PhysOp::IndexSelect { index, key, .. }, St::Probe { oids, pos }) => {
@@ -527,6 +797,134 @@ impl<'a> OpExec<'_, 'a> {
                     );
                 }
                 Ok(())
+            }
+            (PhysOp::Exchange { workers, input, .. }, St::Mat { out, pos }) => {
+                *pos = 0;
+                out.clear();
+                let eff = (*workers).min(rt.threads.max(1) as usize);
+                // Serial fallback (threads <= 1, or a hand-built plan the
+                // eligibility rule rejects): drain the child inline. Same
+                // rows, same order, no fork.
+                if eff < 2 || !oorq_pt::exchange_eligible(input) {
+                    kids[0].open(rt)?;
+                    while let Some(r) = kids[0].next(rt)? {
+                        out.push(r);
+                    }
+                    return Ok(());
+                }
+                let input: &PhysOp = input;
+                let driver = driver_leaf(input);
+                let frames = (rt.db.buffer_frames() / eff).max(1);
+                let ops_len = rt.stats.borrow().len();
+                let delta = rt.delta_active.borrow().clone();
+                let (db, indexes, methods, temps, obs, max_fix) = (
+                    rt.db,
+                    rt.indexes,
+                    rt.methods,
+                    rt.temps,
+                    rt.obs,
+                    rt.max_fix_iterations,
+                );
+                let results: Vec<Result<WorkerOut, ExecError>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..eff)
+                        .map(|w| {
+                            let delta = delta.clone();
+                            let part = Partition {
+                                driver_op: driver,
+                                worker: w,
+                                workers: eff,
+                            };
+                            scope.spawn(move || {
+                                run_worker(
+                                    input,
+                                    db,
+                                    indexes,
+                                    methods,
+                                    temps,
+                                    max_fix,
+                                    obs,
+                                    delta,
+                                    ops_len,
+                                    Some(part),
+                                    frames,
+                                )
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .enumerate()
+                        .map(|(w, h)| {
+                            h.join().unwrap_or_else(|_| {
+                                Err(ExecError::WorkerPanicked(format!(
+                                    "exchange #{} worker {w}",
+                                    op.meta().id
+                                )))
+                            })
+                        })
+                        .collect()
+                });
+                rt.join_workers(op.meta(), results, out, None)
+            }
+            (
+                PhysOp::Merge {
+                    perms, children, ..
+                },
+                St::Mat { out, pos },
+            ) => {
+                *pos = 0;
+                out.clear();
+                let eff = children.len().min(rt.threads.max(1) as usize);
+                if eff < 2 {
+                    // Serial fallback: drain the legs in order, exactly a
+                    // `UnionAll` chain.
+                    for (k, kid) in kids.iter_mut().enumerate() {
+                        kid.open(rt)?;
+                        while let Some(r) = kid.next(rt)? {
+                            out.push(apply_perm(perms[k].as_ref(), r));
+                        }
+                    }
+                    return Ok(());
+                }
+                let frames = (rt.db.buffer_frames() / children.len()).max(1);
+                let ops_len = rt.stats.borrow().len();
+                let delta = rt.delta_active.borrow().clone();
+                let (db, indexes, methods, temps, obs, max_fix) = (
+                    rt.db,
+                    rt.indexes,
+                    rt.methods,
+                    rt.temps,
+                    rt.obs,
+                    rt.max_fix_iterations,
+                );
+                let results: Vec<Result<WorkerOut, ExecError>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = children
+                        .iter()
+                        .map(|leg| {
+                            let delta = delta.clone();
+                            let leg: &PhysOp = leg;
+                            scope.spawn(move || {
+                                run_worker(
+                                    leg, db, indexes, methods, temps, max_fix, obs, delta, ops_len,
+                                    None, frames,
+                                )
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .enumerate()
+                        .map(|(w, h)| {
+                            h.join().unwrap_or_else(|_| {
+                                Err(ExecError::WorkerPanicked(format!(
+                                    "merge #{} leg {w}",
+                                    op.meta().id
+                                )))
+                            })
+                        })
+                        .collect()
+                });
+                rt.join_workers(op.meta(), results, out, Some(perms))
             }
             _ => unreachable!("operator/state shape mismatch"),
         }
@@ -725,7 +1123,8 @@ impl<'a> OpExec<'_, 'a> {
                     }));
                 }
             },
-            (PhysOp::FixPoint { .. }, St::Fix { out, pos }) => {
+            (PhysOp::FixPoint { .. }, St::Fix { out, pos })
+            | (PhysOp::Exchange { .. } | PhysOp::Merge { .. }, St::Mat { out, pos }) => {
                 let r = out.get(*pos).cloned();
                 if r.is_some() {
                     *pos += 1;
@@ -765,6 +1164,15 @@ fn rollup(plan: &PhysPlan, stats: &[OpStats]) -> Vec<OpReport> {
     plan.root.visit(&mut |op| {
         let id = op.meta().id;
         let label = &op.meta().label;
+        // Exchange/Merge cut the wall-attribution chain: their
+        // children's tallies are per-worker sums, so "children <=
+        // parent" holds exactly for the counters (worker totals are
+        // folded back in before the bracket closes) but *not* for wall
+        // time, where the workers' summed wall exceeds the
+        // coordinator's fork-to-join interval by up to the degree of
+        // parallelism. Clamp at the boundary instead of asserting; the
+        // per-worker walls survive in the `WorkerLane`s.
+        let boundary = matches!(op, PhysOp::Exchange { .. } | PhysOp::Merge { .. });
         let s = stats[id];
         let mut kids = OpStats::default();
         let mut rows_in = 0;
@@ -797,7 +1205,12 @@ fn rollup(plan: &PhysPlan, stats: &[OpStats]) -> Vec<OpReport> {
             // some parent bracket on the same monotonic clock, so the
             // children's sum can never exceed the parent's inclusive
             // tally — assert it rather than silently flooring residue.
-            wall_ns: exclusive(s.wall_ns, kids.wall_ns, "wall_ns", id, label),
+            // (Except across a parallel boundary; see above.)
+            wall_ns: if boundary {
+                s.wall_ns.saturating_sub(kids.wall_ns)
+            } else {
+                exclusive(s.wall_ns, kids.wall_ns, "wall_ns", id, label)
+            },
             wall_inclusive_ns: s.wall_ns,
         };
     });

@@ -1,6 +1,6 @@
 //! Executor and reference-evaluator tests on generated music data.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use oorq_datagen::{MusicConfig, MusicDb};
 use oorq_index::{IndexSet, PathIndex, SelectionIndex};
@@ -12,7 +12,7 @@ use oorq_storage::Value;
 use crate::*;
 
 fn small_music() -> MusicDb {
-    let cat = Rc::new(music_catalog());
+    let cat = Arc::new(music_catalog());
     MusicDb::generate(
         cat,
         MusicConfig {
@@ -48,7 +48,7 @@ fn scan_and_select_by_name() {
 #[test]
 fn indexed_select_matches_scan_with_less_io() {
     let mut m = MusicDb::generate(
-        Rc::new(music_catalog()),
+        Arc::new(music_catalog()),
         MusicConfig {
             chains: 20,
             chain_len: 10,
@@ -272,7 +272,7 @@ fn fixpoint_then_selection_matches_reference_evaluator() {
 #[test]
 fn fig3_with_reachable_generation_matches_reference() {
     let mut m = MusicDb::generate(
-        Rc::new(music_catalog()),
+        Arc::new(music_catalog()),
         MusicConfig {
             chains: 2,
             chain_len: 8,
@@ -400,7 +400,7 @@ fn reference_evaluator_handles_fig3_shape() {
 
 #[test]
 fn clustered_execution_costs_less_io_than_scattered() {
-    let cat = Rc::new(music_catalog());
+    let cat = Arc::new(music_catalog());
     let cfg = MusicConfig {
         chains: 10,
         chain_len: 10,
@@ -410,7 +410,7 @@ fn clustered_execution_costs_less_io_than_scattered() {
     };
     let run = |clustered: bool| {
         let mut m = MusicDb::generate(
-            Rc::clone(&cat),
+            Arc::clone(&cat),
             MusicConfig {
                 clustered,
                 ..cfg.clone()
@@ -654,7 +654,7 @@ fn single_iteration_fixpoint_scans_delta_once() {
     // chain, and no composer has a chain tail as master, so the first
     // semi-naive iteration derives nothing new and the loop must stop.
     let mut m = MusicDb::generate(
-        Rc::new(music_catalog()),
+        Arc::new(music_catalog()),
         MusicConfig {
             chains: 3,
             chain_len: 2,

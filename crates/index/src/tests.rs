@@ -1,7 +1,7 @@
 //! Index tests over a small music-like database, plus B+-tree property
 //! tests against a `BTreeMap` oracle.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use oorq_prng::Prng;
 use oorq_schema::{AttributeDef, Catalog, ClassDef, SchemaBuilder, TypeExpr};
@@ -10,8 +10,8 @@ use oorq_storage::{Database, Oid, StorageConfig, Value};
 use crate::btree::BPlusTree;
 use crate::{IndexSet, PathIndex, SelectionIndex};
 
-fn catalog() -> Rc<Catalog> {
-    Rc::new(
+fn catalog() -> Arc<Catalog> {
+    Arc::new(
         SchemaBuilder::new()
             .class(
                 ClassDef::new("Composer")

@@ -139,6 +139,12 @@ pub enum LintCode {
     PhysBadRescan,
     /// An entity scan references an entity out of range.
     PhysBadEntity,
+    /// An exchange operator wraps a subtree it cannot partition (a
+    /// materializing breaker, global dedup, or index-driven root).
+    ExchangeUnderBreaker,
+    /// A merge operator's permutation slots disagree with its child
+    /// count (or a permutation fails to map a child's columns).
+    MergeArityMismatch,
 
     // ---- abstract-interpretation (static bounds) pass ---------------
     /// An observed operator row counter escapes its static interval.
@@ -207,6 +213,8 @@ impl LintCode {
             LintCode::PhysUndefinedTemp => "PX005",
             LintCode::PhysBadRescan => "PX006",
             LintCode::PhysBadEntity => "PX007",
+            LintCode::ExchangeUnderBreaker => "PX008",
+            LintCode::MergeArityMismatch => "PX009",
             LintCode::BoundRowsViolated => "AB001",
             LintCode::BoundPagesViolated => "AB002",
             LintCode::BoundPassesViolated => "AB003",
@@ -246,6 +254,8 @@ impl LintCode {
             | PhysUndefinedTemp
             | PhysBadRescan
             | PhysBadEntity
+            | ExchangeUnderBreaker
+            | MergeArityMismatch
             | BoundRowsViolated
             | BoundPagesViolated
             | BoundPassesViolated
@@ -302,6 +312,8 @@ impl LintCode {
             PhysUndefinedTemp,
             PhysBadRescan,
             PhysBadEntity,
+            ExchangeUnderBreaker,
+            MergeArityMismatch,
             BoundRowsViolated,
             BoundPagesViolated,
             BoundPassesViolated,
@@ -358,6 +370,10 @@ impl LintCode {
             PhysUndefinedTemp => "temp scanned outside a defining fixpoint",
             PhysBadRescan => "nested-loop rescan over a non-rescannable inner",
             PhysBadEntity => "entity scan references an entity out of range",
+            ExchangeUnderBreaker => {
+                "exchange placed under/over a materializing breaker it cannot help"
+            }
+            MergeArityMismatch => "merge permutation slots disagree with its child count",
             BoundRowsViolated => "observed row counter escapes its static interval",
             BoundPagesViolated => "observed page-access counter escapes its static interval",
             BoundPassesViolated => "fixpoint exceeded its static semi-naive pass bound",

@@ -1,8 +1,7 @@
 //! The span/event recorder and the [`Trace`] it accumulates.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// JSONL schema identifier (the header line's `schema` field).
@@ -185,16 +184,25 @@ struct Inner {
     stack: Vec<SpanId>,
 }
 
-/// The recorder handle: cheap to clone, shared by every layer.
+/// Take the recorder's lock; a poisoned lock (a worker panicked while
+/// recording) still yields the data — traces are diagnostics, not
+/// invariants.
+fn lock(inner: &Mutex<Inner>) -> std::sync::MutexGuard<'_, Inner> {
+    inner.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The recorder handle: cheap to clone, shared by every layer — and
+/// across worker threads (the state sits behind an `Arc<Mutex<_>>`, so
+/// exchange workers can record spans and buffer events concurrently).
 /// [`Recorder::disabled`] (also `Default`) makes every call a no-op
 /// behind a single branch.
 #[derive(Debug, Clone, Default)]
-pub struct Recorder(Option<Rc<RefCell<Inner>>>);
+pub struct Recorder(Option<Arc<Mutex<Inner>>>);
 
 impl Recorder {
     /// An enabled recorder with its epoch at "now".
     pub fn new() -> Self {
-        Recorder(Some(Rc::new(RefCell::new(Inner {
+        Recorder(Some(Arc::new(Mutex::new(Inner {
             t0: Instant::now(),
             spans: Vec::new(),
             events: Vec::new(),
@@ -216,7 +224,7 @@ impl Recorder {
     /// Nanoseconds since the recorder's epoch (0 when disabled).
     pub fn now_ns(&self) -> u64 {
         match &self.0 {
-            Some(inner) => inner.borrow().t0.elapsed().as_nanos() as u64,
+            Some(inner) => lock(inner).t0.elapsed().as_nanos() as u64,
             None => 0,
         }
     }
@@ -225,7 +233,7 @@ impl Recorder {
     /// when disabled.
     pub fn begin(&self, cat: &str, name: &str) -> Option<SpanId> {
         let inner = self.0.as_ref()?;
-        let mut r = inner.borrow_mut();
+        let mut r = lock(inner);
         let start_ns = r.t0.elapsed().as_nanos() as u64;
         let id = SpanId(r.spans.len() as u64 + 1);
         let parent = r.stack.last().copied();
@@ -248,7 +256,7 @@ impl Recorder {
         let (Some(inner), Some(id)) = (&self.0, id) else {
             return;
         };
-        let mut r = inner.borrow_mut();
+        let mut r = lock(inner);
         let now = r.t0.elapsed().as_nanos() as u64;
         let Some(pos) = r.stack.iter().rposition(|&s| s == id) else {
             return;
@@ -267,7 +275,7 @@ impl Recorder {
         let (Some(inner), Some(id)) = (&self.0, id) else {
             return;
         };
-        let mut r = inner.borrow_mut();
+        let mut r = lock(inner);
         if let Some(span) = r.spans.get_mut(id.0 as usize - 1) {
             span.fields.extend(fields);
         }
@@ -285,7 +293,7 @@ impl Recorder {
         fields: Fields,
     ) -> Option<SpanId> {
         let inner = self.0.as_ref()?;
-        let mut r = inner.borrow_mut();
+        let mut r = lock(inner);
         let id = SpanId(r.spans.len() as u64 + 1);
         r.spans.push(Span {
             id,
@@ -302,7 +310,7 @@ impl Recorder {
     /// Fire an event scoped to the innermost open span.
     pub fn event(&self, cat: &str, name: &str, fields: Fields) {
         let Some(inner) = &self.0 else { return };
-        let mut r = inner.borrow_mut();
+        let mut r = lock(inner);
         let ts_ns = r.t0.elapsed().as_nanos() as u64;
         let span = r.stack.last().copied();
         r.events.push(Event {
@@ -317,11 +325,7 @@ impl Recorder {
     /// Bump a named counter in the registry.
     pub fn counter_add(&self, name: &str, delta: f64) {
         let Some(inner) = &self.0 else { return };
-        *inner
-            .borrow_mut()
-            .counters
-            .entry(name.to_string())
-            .or_insert(0.0) += delta;
+        *lock(inner).counters.entry(name.to_string()).or_insert(0.0) += delta;
     }
 
     /// Close any still-open spans and return the accumulated trace.
@@ -329,7 +333,7 @@ impl Recorder {
         let Some(inner) = &self.0 else {
             return Trace::default();
         };
-        let mut r = inner.borrow_mut();
+        let mut r = lock(inner);
         let now = r.t0.elapsed().as_nanos() as u64;
         let open: Vec<SpanId> = r.stack.drain(..).collect();
         for s in open {

@@ -17,7 +17,10 @@ pub use analysis::propagated_columns;
 pub use error::PtError;
 pub use node::{type_of_column_expr, AccessMethod, IjStep, JoinAlgo, Pt, PtDisplay, PtEnv};
 pub use pattern::{match_pattern, subtrees, Binding, Bindings, Pattern, TransformAction};
-pub use phys::{eq_literal_conjunct, lower, node_ids, OpMeta, PhysOp, PhysPlan};
+pub use phys::{
+    eq_literal_conjunct, exchange_eligible, lower, lower_with, merge_leg_ok, node_ids, OpMeta,
+    ParallelSpec, PhysOp, PhysPlan,
+};
 
 #[cfg(test)]
 mod tests;

@@ -220,6 +220,37 @@ pub enum PhysOp {
         /// Output columns (the field names).
         cols: Vec<String>,
     },
+    /// Partition-parallel execution of an eligible pipeline subtree:
+    /// `workers` threads each run a copy of `input` whose driver leaf
+    /// scan is restricted to a disjoint page range, and the partition
+    /// outputs are concatenated in partition order — byte-identical to
+    /// the serial scan order. Exchange is an *execution* wrapper: it has
+    /// its own operator id but shares its input's `pt_node`, so cost
+    /// predictions still join against the underlying operator.
+    Exchange {
+        /// Operator identity (`pt_node` = the input root's).
+        meta: OpMeta,
+        /// Degree of parallelism (>= 2; 1 would be a no-op wrapper).
+        workers: usize,
+        /// The partitioned subtree.
+        input: Box<PhysOp>,
+        /// Output columns (same as the input's).
+        cols: Vec<String>,
+    },
+    /// Leg-parallel n-ary union: each child subtree runs on its own
+    /// worker and the results are concatenated in child order (the
+    /// serial `UnionAll` order). Column permutations per child mirror
+    /// [`PhysOp::UnionAll::perm`] (entry 0 is always `None`).
+    Merge {
+        /// Operator identity.
+        meta: OpMeta,
+        /// Per-child output-column permutation into `cols` order.
+        perms: Vec<Option<Vec<usize>>>,
+        /// Child subtrees, one worker each.
+        children: Vec<PhysOp>,
+        /// Output columns (the first child's).
+        cols: Vec<String>,
+    },
 }
 
 impl PhysOp {
@@ -236,7 +267,9 @@ impl PhysOp {
             | PhysOp::NlJoin { meta, .. }
             | PhysOp::IndexJoin { meta, .. }
             | PhysOp::UnionAll { meta, .. }
-            | PhysOp::FixPoint { meta, .. } => meta,
+            | PhysOp::FixPoint { meta, .. }
+            | PhysOp::Exchange { meta, .. }
+            | PhysOp::Merge { meta, .. } => meta,
         }
     }
 
@@ -253,7 +286,9 @@ impl PhysOp {
             | PhysOp::NlJoin { cols, .. }
             | PhysOp::IndexJoin { cols, .. }
             | PhysOp::UnionAll { cols, .. }
-            | PhysOp::FixPoint { cols, .. } => cols,
+            | PhysOp::FixPoint { cols, .. }
+            | PhysOp::Exchange { cols, .. }
+            | PhysOp::Merge { cols, .. } => cols,
         }
     }
 
@@ -272,6 +307,8 @@ impl PhysOp {
                 vec![left, right]
             }
             PhysOp::FixPoint { base, rec, .. } => vec![base, rec],
+            PhysOp::Exchange { input, .. } => vec![input],
+            PhysOp::Merge { children, .. } => children.iter().collect(),
         }
     }
 
@@ -350,11 +387,28 @@ pub fn node_ids(root: &Pt) -> HashMap<*const Pt, usize> {
 /// permutations are resolved statically; a shape mismatch fails the
 /// lowering.
 pub fn lower(env: &PtEnv<'_>, pt: &Pt) -> Result<PhysPlan, PtError> {
+    lower_with(env, pt, &ParallelSpec::new())
+}
+
+/// Degree of parallelism chosen per PT node (pre-order id, as in
+/// [`node_ids`]), produced by the optimizer's parallel-placement pass.
+/// Nodes absent from the spec run serially. A `Union` entry turns the
+/// `UnionAll` into a leg-parallel [`PhysOp::Merge`]; any other entry
+/// wraps the lowered subtree in a [`PhysOp::Exchange`] when
+/// [`exchange_eligible`] admits it (ineligible entries are ignored, so a
+/// stale spec can never produce an unsound plan).
+pub type ParallelSpec = HashMap<usize, usize>;
+
+/// Lower a PT, wrapping the subtrees named by `spec` in parallel
+/// operators. `spec` is advisory: entries on ineligible nodes are
+/// dropped silently, and an empty spec reproduces [`lower`] exactly.
+pub fn lower_with(env: &PtEnv<'_>, pt: &Pt, spec: &ParallelSpec) -> Result<PhysPlan, PtError> {
     let mut lw = Lowering {
         env,
         temp_fields: env.temp_fields.clone(),
         ids: node_ids(pt),
         next_id: 0,
+        spec,
     };
     let root = lw.lower(pt)?;
     Ok(PhysPlan {
@@ -369,6 +423,7 @@ struct Lowering<'e, 'a> {
     temp_fields: HashMap<String, Vec<(String, ResolvedType)>>,
     ids: HashMap<*const Pt, usize>,
     next_id: usize,
+    spec: &'e ParallelSpec,
 }
 
 impl Lowering<'_, '_> {
@@ -399,6 +454,64 @@ impl Lowering<'_, '_> {
     }
 
     fn lower(&mut self, pt: &Pt) -> Result<PhysOp, PtError> {
+        let op = self.lower_inner(pt)?;
+        Ok(self.maybe_parallel(pt, op))
+    }
+
+    /// Apply the parallel spec's choice for this PT node, if any: turn a
+    /// `UnionAll` into a `Merge`, or wrap an eligible pipeline subtree in
+    /// an `Exchange`. Ineligible or sub-2 choices leave the plan serial.
+    fn maybe_parallel(&mut self, pt: &Pt, op: PhysOp) -> PhysOp {
+        let node = self.ids.get(&(pt as *const Pt)).copied().unwrap_or(0);
+        let Some(&dop) = self.spec.get(&node) else {
+            return op;
+        };
+        if dop < 2 {
+            return op;
+        }
+        match op {
+            PhysOp::UnionAll {
+                meta,
+                perm,
+                left,
+                right,
+                cols,
+            } => {
+                if merge_leg_ok(&left) && merge_leg_ok(&right) {
+                    PhysOp::Merge {
+                        meta: OpMeta {
+                            label: "Merge".to_string(),
+                            ..meta
+                        },
+                        perms: vec![None, perm],
+                        children: vec![*left, *right],
+                        cols,
+                    }
+                } else {
+                    PhysOp::UnionAll {
+                        meta,
+                        perm,
+                        left,
+                        right,
+                        cols,
+                    }
+                }
+            }
+            op if exchange_eligible(&op) => {
+                let cols = op.cols().to_vec();
+                let meta = self.meta(pt, format!("Exchange(x{dop})"));
+                PhysOp::Exchange {
+                    meta,
+                    workers: dop,
+                    input: Box::new(op),
+                    cols,
+                }
+            }
+            op => op,
+        }
+    }
+
+    fn lower_inner(&mut self, pt: &Pt) -> Result<PhysOp, PtError> {
         match pt {
             Pt::Entity { id, var } => {
                 let cols = self.col_names(pt)?;
@@ -702,6 +815,50 @@ impl Lowering<'_, '_> {
             cols: field_names,
         })
     }
+}
+
+/// True when an [`PhysOp::Exchange`] over this subtree preserves serial
+/// semantics under page-range partitioning of its driver leaf: the
+/// subtree must be a streaming pipeline whose leftmost (driver) leaf is
+/// a page-partitionable scan, with no operator whose output depends on
+/// rows from *other* partitions. Excluded:
+///
+/// - `Project` (streaming set-dedup is global; per-partition dedup could
+///   emit duplicates across partitions),
+/// - `IndexSelect` (driven by an index probe, not a partitionable scan),
+/// - materializing `NlJoin` (the once-materialized inner is a breaker;
+///   partitioning the outer around it buys nothing — lint PX008),
+/// - `UnionAll`, `FixPoint`, and nested `Exchange`/`Merge`.
+pub fn exchange_eligible(op: &PhysOp) -> bool {
+    match op {
+        PhysOp::EntityScan { .. } | PhysOp::TempScan { .. } => true,
+        PhysOp::Filter { input, .. }
+        | PhysOp::IjDeref { input, .. }
+        | PhysOp::PijLookup { input, .. } => exchange_eligible(input),
+        PhysOp::IndexJoin { left, .. } => exchange_eligible(left),
+        PhysOp::NlJoin {
+            rescan_inner, left, ..
+        } => *rescan_inner && exchange_eligible(left),
+        _ => false,
+    }
+}
+
+/// True when a subtree may run as a [`PhysOp::Merge`] leg on its own
+/// worker: no pipeline breaker that writes shared temporaries (a
+/// `FixPoint` leg would race on the accumulator/delta entities) and no
+/// already-parallel operator (nested parallelism would corrupt the
+/// per-worker buffer accounting).
+pub fn merge_leg_ok(op: &PhysOp) -> bool {
+    let mut ok = true;
+    op.visit(&mut |o| {
+        if matches!(
+            o,
+            PhysOp::FixPoint { .. } | PhysOp::Exchange { .. } | PhysOp::Merge { .. }
+        ) {
+            ok = false;
+        }
+    });
+    ok
 }
 
 /// Find an `var.attr = literal` (or mirrored) conjunct of the predicate.

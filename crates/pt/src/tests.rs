@@ -1,6 +1,6 @@
 //! PT construction, display, typing and pattern-matching tests.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use oorq_query::paper::music_catalog;
 use oorq_query::Expr;
@@ -11,9 +11,9 @@ use crate::*;
 
 /// A database over the Figure 1 schema (no data needed for these tests —
 /// only the physical schema matters).
-fn setup() -> (Rc<Catalog>, Database) {
-    let cat = Rc::new(music_catalog());
-    let db = Database::new(Rc::clone(&cat), StorageConfig::default());
+fn setup() -> (Arc<Catalog>, Database) {
+    let cat = Arc::new(music_catalog());
+    let db = Database::new(Arc::clone(&cat), StorageConfig::default());
     (cat, db)
 }
 

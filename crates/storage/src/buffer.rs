@@ -33,6 +33,14 @@ impl IoStats {
     pub fn total_reads(&self) -> u64 {
         self.page_reads + self.index_reads
     }
+
+    /// Fold another worker's counters into this one (exchange merge).
+    pub fn absorb(&mut self, other: IoStats) {
+        self.page_reads += other.page_reads;
+        self.page_hits += other.page_hits;
+        self.page_writes += other.page_writes;
+        self.index_reads += other.index_reads;
+    }
 }
 
 /// An LRU page cache of a fixed number of frames.
@@ -64,6 +72,25 @@ impl BufferManager {
     /// eviction fires a structured event on it.
     pub fn set_recorder(&mut self, obs: oorq_obs::Recorder) {
         self.obs = obs;
+    }
+
+    /// Fold a worker view's counters into this buffer's statistics.
+    pub fn absorb_stats(&mut self, io: IoStats) {
+        self.stats.absorb(io);
+    }
+
+    /// Spawn a per-worker accounting view: an empty buffer of `frames`
+    /// frames sharing this buffer's recorder. Workers fetch through their
+    /// own view (no cross-thread frame contention); the view's counters
+    /// are merged back via [`IoStats::absorb`] when the worker joins.
+    pub fn fork(&self, frames: usize) -> BufferManager {
+        BufferManager {
+            capacity: frames.max(1),
+            resident: HashMap::new(),
+            clock: 0,
+            stats: IoStats::default(),
+            obs: self.obs.clone(),
+        }
     }
 
     /// Number of frames.

@@ -3,7 +3,7 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, RwLock};
 
 use oorq_schema::{AttrId, AttributeKind, Catalog, ClassId, RelationId, ResolvedType, ViewKind};
 
@@ -46,27 +46,39 @@ enum ClassLayout {
 /// The object database: conceptual catalog + physical schema + segments +
 /// buffer manager.
 ///
-/// All read paths account page I/O through the buffer manager (interior
-/// mutability; the store is single-threaded by design, matching the
-/// paper's centralized cost model). Bulk loading does not count I/O;
-/// call [`Database::reset_io`] before a measured run anyway.
+/// All read paths account page I/O through the buffer manager. The store
+/// is shared-read, per-worker-accounted: segments sit behind an `RwLock`
+/// that is only write-locked during (single-threaded) loading, and every
+/// I/O accounting call routes through either the shared buffer manager
+/// (a `Mutex`, uncontended in serial execution) or — when an exchange
+/// worker has installed one via [`Database::install_worker_buffer`] — a
+/// thread-local per-worker view whose counters are merged back with
+/// [`Database::absorb_io`]. Bulk loading does not count I/O; call
+/// [`Database::reset_io`] before a measured run anyway.
 #[derive(Debug)]
 pub struct Database {
-    catalog: Rc<Catalog>,
+    catalog: Arc<Catalog>,
     physical: PhysicalSchema,
-    segments: RefCell<Vec<Segment>>,
+    segments: RwLock<Vec<Segment>>,
     class_layout: HashMap<ClassId, ClassLayout>,
     relation_home: HashMap<RelationId, EntityId>,
     class_count: HashMap<ClassId, u32>,
     relation_count: HashMap<RelationId, u32>,
-    buffer: RefCell<BufferManager>,
+    buffer: Mutex<BufferManager>,
     width: WidthModel,
+}
+
+thread_local! {
+    /// The calling thread's private buffer-accounting view, if any.
+    /// Installed by exchange workers for the duration of their partition
+    /// so page accounting never contends on the shared buffer lock.
+    static WORKER_BUFFER: RefCell<Option<BufferManager>> = const { RefCell::new(None) };
 }
 
 impl Database {
     /// Create a store for the given catalog: one entity per class and per
     /// stored relation (views get no extension).
-    pub fn new(catalog: Rc<Catalog>, config: StorageConfig) -> Self {
+    pub fn new(catalog: Arc<Catalog>, config: StorageConfig) -> Self {
         let mut physical = PhysicalSchema::new();
         let mut segments = Vec::new();
         let mut class_layout = HashMap::new();
@@ -93,12 +105,12 @@ impl Database {
         Database {
             catalog,
             physical,
-            segments: RefCell::new(segments),
+            segments: RwLock::new(segments),
             class_layout,
             relation_home,
             class_count: HashMap::new(),
             relation_count: HashMap::new(),
-            buffer: RefCell::new(BufferManager::new(config.buffer_frames)),
+            buffer: Mutex::new(BufferManager::new(config.buffer_frames)),
             width: config.width,
         }
     }
@@ -132,8 +144,8 @@ impl Database {
     }
 
     /// Shared handle to the catalog.
-    pub fn catalog_rc(&self) -> Rc<Catalog> {
-        Rc::clone(&self.catalog)
+    pub fn catalog_rc(&self) -> Arc<Catalog> {
+        Arc::clone(&self.catalog)
     }
 
     /// The physical schema (entities, fragments, clustering, indexes).
@@ -196,7 +208,7 @@ impl Database {
         let count = self.class_count.entry(class).or_insert(0);
         let index = *count;
         *count += 1;
-        self.segments.borrow_mut()[home.0 as usize].append(Row { key: index, values });
+        self.segments.write().unwrap()[home.0 as usize].append(Row { key: index, values });
         Ok(Oid::new(class, index))
     }
 
@@ -204,7 +216,7 @@ impl Database {
     /// wire cyclic references such as `master`).
     pub fn set_attr(&mut self, oid: Oid, attr: AttrId, value: Value) -> Result<(), StorageError> {
         let entity = self.entity_holding(oid, attr)?;
-        let mut segs = self.segments.borrow_mut();
+        let mut segs = self.segments.write().unwrap();
         let seg = &mut segs[entity.0 as usize];
         let pos = seg
             .position_of(oid.index)
@@ -245,7 +257,7 @@ impl Database {
         let count = self.relation_count.entry(relation).or_insert(0);
         let id = *count;
         *count += 1;
-        self.segments.borrow_mut()[home.0 as usize].append(Row { key: id, values });
+        self.segments.write().unwrap()[home.0 as usize].append(Row { key: id, values });
         Ok(id)
     }
 
@@ -257,8 +269,8 @@ impl Database {
     /// Scatter the physical placement of an entity (models an unclustered
     /// extension; see [`Segment::shuffle`]).
     pub fn shuffle_entity(&mut self, entity: EntityId, seed: u64) {
-        self.segments.borrow_mut()[entity.0 as usize].shuffle(seed);
-        self.buffer.borrow_mut().invalidate_entity(entity);
+        self.segments.write().unwrap()[entity.0 as usize].shuffle(seed);
+        self.with_buffer(|b| b.invalidate_entity(entity));
     }
 
     // ------------------------------------------------------------------
@@ -288,12 +300,12 @@ impl Database {
                 }),
             );
             let seg = Self::class_segment(&self.catalog, class, Some(group), &self.width);
-            self.segments.borrow_mut().push(seg);
+            self.segments.write().unwrap().push(seg);
             fragments.push(id);
         }
         // Move the data.
         {
-            let mut segs = self.segments.borrow_mut();
+            let mut segs = self.segments.write().unwrap();
             let rows: Vec<Row> = segs[home.0 as usize].iter().cloned().collect();
             for row in rows {
                 for (fi, group) in groups.iter().enumerate() {
@@ -309,7 +321,7 @@ impl Database {
             }
             segs[home.0 as usize].clear();
         }
-        self.buffer.borrow_mut().invalidate_entity(home);
+        self.with_buffer(|b| b.invalidate_entity(home));
         self.physical.deactivate_entity(home);
         self.class_layout.insert(
             class,
@@ -343,7 +355,7 @@ impl Database {
         // First pass: count per fragment for the fraction statistic.
         let mut counts = vec![0u64; n_fragments];
         {
-            let segs = self.segments.borrow();
+            let segs = self.segments.read().unwrap();
             for row in segs[home.0 as usize].iter() {
                 counts[route(&row.values).min(n_fragments - 1)] += 1;
             }
@@ -359,11 +371,11 @@ impl Database {
                 }),
             );
             let seg = Self::class_segment(&self.catalog, class, None, &self.width);
-            self.segments.borrow_mut().push(seg);
+            self.segments.write().unwrap().push(seg);
             fragments.push(id);
         }
         {
-            let mut segs = self.segments.borrow_mut();
+            let mut segs = self.segments.write().unwrap();
             let rows: Vec<Row> = segs[home.0 as usize].iter().cloned().collect();
             for row in rows {
                 let f = route(&row.values).min(n_fragments - 1);
@@ -371,7 +383,7 @@ impl Database {
             }
             segs[home.0 as usize].clear();
         }
-        self.buffer.borrow_mut().invalidate_entity(home);
+        self.with_buffer(|b| b.invalidate_entity(home));
         self.physical.deactivate_entity(home);
         self.class_layout
             .insert(class, ClassLayout::Horizontal(fragments.clone()));
@@ -393,7 +405,8 @@ impl Database {
             .add_entity(name, EntitySource::Temporary, None);
         let rpp = self.width.records_per_page(&field_types);
         self.segments
-            .borrow_mut()
+            .write()
+            .unwrap()
             .push(Segment::with_rpp(field_types, rpp));
         id
     }
@@ -404,13 +417,13 @@ impl Database {
         if self.physical.entity(entity).source != EntitySource::Temporary {
             return Err(StorageError::NotTemporary(entity));
         }
-        let mut segs = self.segments.borrow_mut();
+        let mut segs = self.segments.write().unwrap();
         let seg = &mut segs[entity.0 as usize];
         let key = seg.len() as u32;
         let pos = seg.append(Row { key, values });
         let page = seg.page_of_position(pos);
         if pos.is_multiple_of(seg.rows_per_page()) {
-            self.buffer.borrow_mut().write(PageId { entity, page });
+            self.with_buffer(|b| b.write(PageId { entity, page }));
         }
         Ok(key)
     }
@@ -420,8 +433,8 @@ impl Database {
         if self.physical.entity(entity).source != EntitySource::Temporary {
             return Err(StorageError::NotTemporary(entity));
         }
-        self.segments.borrow_mut()[entity.0 as usize].clear();
-        self.buffer.borrow_mut().invalidate_entity(entity);
+        self.segments.write().unwrap()[entity.0 as usize].clear();
+        self.with_buffer(|b| b.invalidate_entity(entity));
         Ok(())
     }
 
@@ -431,17 +444,17 @@ impl Database {
 
     /// Number of pages of an entity.
     pub fn num_pages(&self, entity: EntityId) -> u32 {
-        self.segments.borrow()[entity.0 as usize].num_pages()
+        self.segments.read().unwrap()[entity.0 as usize].num_pages()
     }
 
     /// Number of records of an entity.
     pub fn entity_len(&self, entity: EntityId) -> u32 {
-        self.segments.borrow()[entity.0 as usize].len() as u32
+        self.segments.read().unwrap()[entity.0 as usize].len() as u32
     }
 
     /// Field types of an entity's records.
     pub fn entity_field_types(&self, entity: EntityId) -> Vec<ResolvedType> {
-        self.segments.borrow()[entity.0 as usize]
+        self.segments.read().unwrap()[entity.0 as usize]
             .field_types()
             .to_vec()
     }
@@ -449,12 +462,12 @@ impl Database {
     /// Fetch one page of an entity and return its records (cloned).
     /// Returns `None` past the last page.
     pub fn scan_page(&self, entity: EntityId, page: u32) -> Option<Vec<Row>> {
-        let segs = self.segments.borrow();
+        let segs = self.segments.read().unwrap();
         let seg = &segs[entity.0 as usize];
         if page >= seg.num_pages() {
             return None;
         }
-        self.buffer.borrow_mut().fetch(PageId { entity, page });
+        self.with_buffer(|b| b.fetch(PageId { entity, page }));
         Some(seg.page_rows(page).to_vec())
     }
 
@@ -463,10 +476,19 @@ impl Database {
     /// a record from it, so consumers never hold more than one page of
     /// records at a time.
     pub fn scan_iter(&self, entity: EntityId) -> ScanIter<'_> {
+        self.scan_iter_range(entity, 0, u32::MAX)
+    }
+
+    /// Stream the pages `page_lo..page_hi` of an entity (clamped to the
+    /// entity's page count). Partition workers scan disjoint page ranges,
+    /// so concatenating their outputs in partition order reproduces the
+    /// serial scan order exactly.
+    pub fn scan_iter_range(&self, entity: EntityId, page_lo: u32, page_hi: u32) -> ScanIter<'_> {
         ScanIter {
             db: self,
             entity,
-            page: 0,
+            page: page_lo,
+            end: page_hi,
             buf: Vec::new(),
             pos: 0,
         }
@@ -479,7 +501,7 @@ impl Database {
 
     /// Scan without I/O accounting (bulk index builds, statistics).
     pub fn scan_raw(&self, entity: EntityId) -> Vec<Row> {
-        self.segments.borrow()[entity.0 as usize]
+        self.segments.read().unwrap()[entity.0 as usize]
             .iter()
             .cloned()
             .collect()
@@ -499,7 +521,7 @@ impl Database {
                 .map(|(e, _)| *e)
                 .ok_or(StorageError::DanglingOid(oid)),
             ClassLayout::Horizontal(frags) => {
-                let segs = self.segments.borrow();
+                let segs = self.segments.read().unwrap();
                 frags
                     .iter()
                     .find(|e| segs[e.0 as usize].position_of(oid.index).is_some())
@@ -524,7 +546,7 @@ impl Database {
     /// builds, statistics, reference loaders).
     pub fn read_attr_raw(&self, oid: Oid, attr: AttrId) -> Result<Value, StorageError> {
         let entity = self.entity_holding(oid, attr)?;
-        let segs = self.segments.borrow();
+        let segs = self.segments.read().unwrap();
         let seg = &segs[entity.0 as usize];
         let pos = seg
             .position_of(oid.index)
@@ -540,13 +562,13 @@ impl Database {
     /// page of the fragment holding that attribute.
     pub fn read_attr(&self, oid: Oid, attr: AttrId) -> Result<Value, StorageError> {
         let entity = self.entity_holding(oid, attr)?;
-        let segs = self.segments.borrow();
+        let segs = self.segments.read().unwrap();
         let seg = &segs[entity.0 as usize];
         let pos = seg
             .position_of(oid.index)
             .ok_or(StorageError::DanglingOid(oid))?;
         let page = seg.page_of_position(pos);
-        self.buffer.borrow_mut().fetch(PageId { entity, page });
+        self.with_buffer(|b| b.fetch(PageId { entity, page }));
         let slot = self.attr_slot(entity, oid.class, attr);
         seg.row_at(pos)
             .and_then(|r| r.values.get(slot))
@@ -566,7 +588,7 @@ impl Database {
             ClassLayout::Single(e) => self.read_object_from(oid, e),
             ClassLayout::Horizontal(frags) => {
                 let entity = {
-                    let segs = self.segments.borrow();
+                    let segs = self.segments.read().unwrap();
                     frags
                         .iter()
                         .find(|e| segs[e.0 as usize].position_of(oid.index).is_some())
@@ -579,13 +601,13 @@ impl Database {
                 let n_attrs = self.catalog.class(oid.class).attrs.len();
                 let mut values = vec![Value::Null; n_attrs];
                 for (entity, attrs) in frags {
-                    let segs = self.segments.borrow();
+                    let segs = self.segments.read().unwrap();
                     let seg = &segs[entity.0 as usize];
                     let pos = seg
                         .position_of(oid.index)
                         .ok_or(StorageError::DanglingOid(oid))?;
                     let page = seg.page_of_position(pos);
-                    self.buffer.borrow_mut().fetch(PageId { entity, page });
+                    self.with_buffer(|b| b.fetch(PageId { entity, page }));
                     let row = seg.row_at(pos).ok_or(StorageError::DanglingOid(oid))?;
                     for (slot, attr) in attrs.iter().enumerate() {
                         values[attr.0 as usize] = row.values[slot].clone();
@@ -597,13 +619,13 @@ impl Database {
     }
 
     fn read_object_from(&self, oid: Oid, entity: EntityId) -> Result<Vec<Value>, StorageError> {
-        let segs = self.segments.borrow();
+        let segs = self.segments.read().unwrap();
         let seg = &segs[entity.0 as usize];
         let pos = seg
             .position_of(oid.index)
             .ok_or(StorageError::DanglingOid(oid))?;
         let page = seg.page_of_position(pos);
-        self.buffer.borrow_mut().fetch(PageId { entity, page });
+        self.with_buffer(|b| b.fetch(PageId { entity, page }));
         Ok(seg
             .row_at(pos)
             .ok_or(StorageError::DanglingOid(oid))?
@@ -615,30 +637,74 @@ impl Database {
     // I/O accounting
     // ------------------------------------------------------------------
 
+    /// Run an accounting operation against the calling thread's buffer
+    /// view: the thread-local worker view when one is installed, else the
+    /// shared buffer manager.
+    fn with_buffer<R>(&self, f: impl FnOnce(&mut BufferManager) -> R) -> R {
+        WORKER_BUFFER.with(|w| {
+            let mut w = w.borrow_mut();
+            match w.as_mut() {
+                Some(view) => f(view),
+                None => f(&mut self.buffer.lock().unwrap()),
+            }
+        })
+    }
+
+    /// Install a private buffer-accounting view for the calling thread
+    /// (`frames` frames, sharing the main buffer's recorder). Every
+    /// subsequent fetch/write/index-read on this thread accounts against
+    /// the view until [`Database::take_worker_buffer`] removes it.
+    pub fn install_worker_buffer(&self, frames: usize) {
+        let view = self.buffer.lock().unwrap().fork(frames);
+        WORKER_BUFFER.with(|w| *w.borrow_mut() = Some(view));
+    }
+
+    /// Remove the calling thread's buffer view and return its counters
+    /// (merge them into the shared stats with [`Database::absorb_io`]).
+    /// Returns zeroed stats if no view was installed.
+    pub fn take_worker_buffer(&self) -> IoStats {
+        WORKER_BUFFER
+            .with(|w| w.borrow_mut().take())
+            .map(|b| b.stats())
+            .unwrap_or_default()
+    }
+
+    /// Fold a worker view's counters into the shared buffer statistics,
+    /// so `io_stats` deltas bracket parallel subtrees exactly.
+    pub fn absorb_io(&self, io: IoStats) {
+        self.buffer.lock().unwrap().absorb_stats(io);
+    }
+
+    /// Number of frames of the shared buffer manager (parallel workers
+    /// split this among themselves for their private views).
+    pub fn buffer_frames(&self) -> usize {
+        self.buffer.lock().unwrap().capacity()
+    }
+
     /// Count index page reads performed by an index probe.
     pub fn note_index_reads(&self, n: u64) {
-        self.buffer.borrow_mut().add_index_reads(n);
+        self.with_buffer(|b| b.add_index_reads(n));
     }
 
     /// Accumulated I/O statistics.
     pub fn io_stats(&self) -> IoStats {
-        self.buffer.borrow().stats()
+        self.with_buffer(|b| b.stats())
     }
 
     /// Reset I/O counters (keeps buffer residency).
     pub fn reset_io(&self) {
-        self.buffer.borrow_mut().reset_stats();
+        self.with_buffer(|b| b.reset_stats());
     }
 
     /// Drop buffer residency and counters (cold-cache measurement).
     pub fn cold_cache(&self) {
-        self.buffer.borrow_mut().clear();
+        self.buffer.lock().unwrap().clear();
     }
 
     /// Attach a trace recorder to the buffer manager: every subsequent
     /// page hit, miss and eviction fires a structured event on it.
     pub fn set_recorder(&self, obs: oorq_obs::Recorder) {
-        self.buffer.borrow_mut().set_recorder(obs);
+        self.buffer.lock().unwrap().set_recorder(obs);
     }
 }
 
@@ -652,6 +718,7 @@ pub struct ScanIter<'a> {
     db: &'a Database,
     entity: EntityId,
     page: u32,
+    end: u32,
     buf: Vec<Row>,
     pos: usize,
 }
@@ -665,6 +732,9 @@ impl Iterator for ScanIter<'_> {
                 let row = self.buf[self.pos].clone();
                 self.pos += 1;
                 return Some(row);
+            }
+            if self.page >= self.end {
+                return None;
             }
             self.buf = self.db.scan_page(self.entity, self.page)?;
             self.page += 1;

@@ -1,6 +1,6 @@
 //! Database-level tests for the object store.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use oorq_schema::{
     AttrId, AttributeDef, Catalog, ClassDef, Field, RelationDef, SchemaBuilder, TypeExpr,
@@ -10,8 +10,8 @@ use crate::*;
 
 /// A small two-class schema: `Owner` with a set of `Item`s and a scalar
 /// self-reference, plus a stored relation.
-fn tiny_catalog() -> Rc<Catalog> {
-    Rc::new(
+fn tiny_catalog() -> Arc<Catalog> {
+    Arc::new(
         SchemaBuilder::new()
             .class(
                 ClassDef::new("Owner")

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example music_influencers`
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use oorq::cost::{CostModel, CostParams};
 use oorq::datagen::{MusicConfig, MusicDb};
@@ -68,9 +68,9 @@ fn run_one(
 }
 
 fn main() {
-    let catalog = Rc::new(music_catalog());
+    let catalog = Arc::new(music_catalog());
     let mut music = MusicDb::generate(
-        Rc::clone(&catalog),
+        Arc::clone(&catalog),
         MusicConfig {
             chains: 10,
             chain_len: 10,

@@ -9,7 +9,7 @@
 //!   select [name: c.name] from c in Composer where c.birth_year >= 1700'
 //! ```
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use oorq::cost::{CostModel, CostParams};
 use oorq::datagen::{MusicConfig, MusicDb};
@@ -40,7 +40,7 @@ fn main() {
     let program = std::env::args()
         .nth(1)
         .unwrap_or_else(|| DEFAULT_PROGRAM.to_string());
-    let catalog = Rc::new(music_catalog());
+    let catalog = Arc::new(music_catalog());
 
     let query = match parse_query(&catalog, &program) {
         Ok(q) => q,
@@ -56,7 +56,7 @@ fn main() {
     println!("parsed query graph:\n{}\n", query.display(&catalog));
 
     let mut music = MusicDb::generate(
-        Rc::clone(&catalog),
+        Arc::clone(&catalog),
         MusicConfig {
             chains: 8,
             chain_len: 8,

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example parts_explosion`
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use oorq::cost::{CostModel, CostParams};
 use oorq::datagen::{parts_catalog, PartsConfig, PartsDb};
@@ -63,9 +63,9 @@ fn contains_view(catalog: &oorq::schema::Catalog) -> ViewRegistry {
 }
 
 fn main() {
-    let catalog = Rc::new(parts_catalog());
+    let catalog = Arc::new(parts_catalog());
     let mut parts = PartsDb::generate(
-        Rc::clone(&catalog),
+        Arc::clone(&catalog),
         PartsConfig {
             roots: 3,
             fanout: 3,

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use oorq::cost::{CostModel, CostParams};
 use oorq::datagen::{MusicConfig, MusicDb};
@@ -18,7 +18,7 @@ fn main() {
     // 1. The conceptual schema (the paper's Figure 1): Person, Composer
     //    isa Person, Composition, Instrument, and the recursive
     //    Influencer view.
-    let catalog = Rc::new(music_catalog());
+    let catalog = Arc::new(music_catalog());
     println!(
         "schema: {} classes, {} relations/views",
         catalog.classes().len(),
@@ -28,7 +28,7 @@ fn main() {
     // 2. A synthetic object base: 8 master-chains of 8 composers, with
     //    nested works and instruments, physically scattered (unclustered).
     let mut music = MusicDb::generate(
-        Rc::clone(&catalog),
+        Arc::clone(&catalog),
         MusicConfig {
             chains: 8,
             chain_len: 8,

@@ -5,7 +5,7 @@
 //! queries — that the semi-naive fixpoint converged (a bounded number
 //! of delta scans, observed through the per-operator counters).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use oorq::cost::{CostModel, CostParams};
 use oorq::datagen::{
@@ -112,7 +112,7 @@ fn diff_configs(
 }
 
 fn music_setup(cfg: MusicConfig) -> (MusicDb, IndexSet) {
-    let cat = Rc::new(music_catalog());
+    let cat = Arc::new(music_catalog());
     let mut m = MusicDb::generate(cat, cfg);
     let mut idx = IndexSet::new();
     idx.add_path(PathIndex::build(
@@ -231,9 +231,9 @@ fn parts_query(cat: &oorq::schema::Catalog) -> QueryGraph {
 #[test]
 fn parts_scenario_differential_across_seeds() {
     for (seed, roots, fanout, depth) in [(1u64, 2u32, 2u32, 3u32), (9, 3, 2, 4), (23, 2, 3, 3)] {
-        let cat = Rc::new(parts_catalog());
+        let cat = Arc::new(parts_catalog());
         let mut p = PartsDb::generate(
-            Rc::clone(&cat),
+            Arc::clone(&cat),
             PartsConfig {
                 roots,
                 fanout,

@@ -2,7 +2,7 @@
 //! under every strategy — must produce exactly the reference evaluator's
 //! answer, across schemas and physical designs.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use oorq::cost::{CostModel, CostParams};
 use oorq::datagen::{
@@ -57,7 +57,7 @@ fn check_equivalence(
 }
 
 fn music_setup(cfg: MusicConfig) -> (MusicDb, IndexSet) {
-    let cat = Rc::new(music_catalog());
+    let cat = Arc::new(music_catalog());
     let mut m = MusicDb::generate(cat, cfg);
     let mut idx = IndexSet::new();
     idx.add_path(PathIndex::build(
@@ -155,9 +155,9 @@ fn queries_with_methods_match_reference() {
 
 #[test]
 fn parts_bom_query_matches_reference() {
-    let cat = Rc::new(parts_catalog());
+    let cat = Arc::new(parts_catalog());
     let mut p = PartsDb::generate(
-        Rc::clone(&cat),
+        Arc::clone(&cat),
         PartsConfig {
             roots: 2,
             fanout: 2,

@@ -6,7 +6,7 @@
 //! Cases are driven by the in-repo deterministic [`Prng`], so every run
 //! explores the same parameter points and failures reproduce exactly.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use oorq::cost::{CostModel, CostParams};
 use oorq::datagen::{ChainConfig, ChainDb, MusicConfig, MusicDb};
@@ -19,7 +19,7 @@ use oorq::storage::DbStats;
 use oorq_prng::Prng;
 
 fn music(chains: u32, len: u32, works: u32, fraction: f64, seed: u64) -> (MusicDb, IndexSet) {
-    let cat = Rc::new(music_catalog());
+    let cat = Arc::new(music_catalog());
     let mut m = MusicDb::generate(
         cat,
         MusicConfig {
