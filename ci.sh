@@ -41,6 +41,16 @@ cargo run --release -q -p oorq-bench --bin reproduce fuzz
 echo "== parallel-execution determinism gate (2 workers vs serial) =="
 cargo run --release -q -p oorq-bench --bin reproduce parallel --threads 2
 
+echo "== reproduce smoke (spill-cliff calibration sweep) =="
+cargo run --release -q -p oorq-bench --bin reproduce spill | grep "median relative page-read error" >/dev/null
+
+echo "== spill-cliff regression gate =="
+cargo run --release -q -p oorq-bench --bin reproduce spill-gate
+
+echo "== low-budget differential smoke (spilling breakers, byte-identical answers) =="
+OORQ_MEMORY_BUDGET=8 cargo test -q --release --test differential --test parallel_differential
+cargo run --release -q -p oorq-bench --bin reproduce parallel --threads 2 --memory-budget 8
+
 echo "== provable-pruning smoke (pruned-proven candidates in the search-space table) =="
 rm -rf target/prune-smoke
 cargo run --release -q -p oorq-bench --bin reproduce trace music-pushjoin target/prune-smoke \

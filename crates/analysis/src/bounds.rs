@@ -1284,7 +1284,25 @@ impl Walk<'_, '_> {
         let pc = self.expr_bounds(pred, &cols);
         let rows_once = Interval::up_to(mul_up(l.rows_once.hi, r.rows_once.hi));
         let rows_total = Interval::up_to(pairs.hi);
+        // A materialized (non-rescannable) inner is the join's own work:
+        // it is written once per open into a page-store temporary (at
+        // most one page per row), then re-scanned once per outer row —
+        // page hits while resident, physical reads once the memory
+        // budget spills it; `data()` bounds reads+hits so both regimes
+        // sit under the same interval. Lower bounds stay 0 (a one-page
+        // inner may stay resident and an empty one writes nothing):
+        // spilling widens intervals, never inverts them.
+        let (mat_writes, mat_rescans) = if rescan {
+            (Interval::zero(), Interval::zero())
+        } else {
+            (
+                Interval::up_to(mul_up(r.rows_once.hi, opens.hi)),
+                Interval::up_to(pairs.hi),
+            )
+        };
         let feats = FeatBounds {
+            seq: mat_rescans,
+            writes: mat_writes,
             deref: Interval::up_to(mul_up(pairs.hi, pc.fetches)),
             evals: Interval::up_to(mul_up(pairs.hi, pc.evals)),
             method_units: Interval::up_to(mul_up(pairs.hi, pc.units)),
@@ -1433,7 +1451,14 @@ impl Walk<'_, '_> {
         // (two appends, each writing at most one page); a non-empty seed
         // writes the first page of both.
         let writes_once = Interval::make(2.0 * k_lo, mul_up(2.0, k_hi));
+        // After convergence the answer streams back out of the
+        // accumulator temporary: at most one fetch per distinct row per
+        // open — page hits while the accumulator stayed resident,
+        // physical reads once the memory budget spilled it (`data()`
+        // bounds reads+hits, so both regimes sit under one interval;
+        // the lower bound stays 0, so spilling widens, never inverts).
         let feats = FeatBounds {
+            seq: Interval::up_to(mul_up(k_hi, opens.hi)),
             writes: writes_once.mul(opens),
             ..FeatBounds::zero()
         };

@@ -4,7 +4,7 @@
 //! `fig1 fig2 fig3 fig4 fig5 fig6 fig7 pushjoin crossover strategies
 //! ablation lint validate analyze calibrate calibrate-fit
 //! calibrate-gate feedback feedback-fit feedback-gate analyze-gate
-//! fuzz parallel all` (default: `all`).
+//! fuzz parallel spill spill-gate all` (default: `all`).
 //!
 //! `reproduce parallel [--threads N]` compares serial against parallel
 //! execution across the scenario corpus (default 4 workers) and fails
@@ -12,6 +12,20 @@
 //! N` flag (or the `OORQ_THREADS` environment variable) sets the worker
 //! pool; `0` — the default everywhere else — keeps execution fully
 //! serial, so every other gate measures the serial engine.
+//!
+//! A `--memory-budget N` flag (or the `OORQ_MEMORY_BUDGET` environment
+//! variable) caps resident pipeline-breaker pages
+//! ([`oorq_exec::ExecConfig::memory_budget_pages`]); `0` — the default —
+//! is unbounded. It applies to the `parallel` differential runs and
+//! overrides the `spill` sweep's budget; `spill-gate` always runs at
+//! the baseline-pinned budget.
+//!
+//! `reproduce spill [--memory-budget N]` sweeps a transitive-closure
+//! workload across the breaker-budget spill cliff and reports predicted
+//! versus observed physical page reads on both sides; `reproduce
+//! spill-gate` fails when either side's median relative error regresses
+//! beyond `crates/bench/spill_baseline.txt` (or the model mis-places
+//! the cliff).
 //!
 //! Gate subcommands (`lint`, `calibrate-gate`, `feedback-gate`,
 //! `analyze-gate`, `fuzz`) all follow one convention: they print their
@@ -82,6 +96,29 @@ fn threads_arg() -> u32 {
         .unwrap_or(0)
 }
 
+/// Resolve the breaker memory budget (pages): a `--memory-budget N`
+/// flag anywhere on the command line beats the `OORQ_MEMORY_BUDGET`
+/// environment variable; absent both, `0` — unbounded, the default
+/// every other gate runs under.
+fn memory_budget_arg() -> u64 {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--memory-budget" {
+            match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => return v,
+                None => {
+                    eprintln!("usage: reproduce <section> [--memory-budget <pages>]");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    std::env::var("OORQ_MEMORY_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 fn main() {
     let section = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     if section == "trace" {
@@ -94,7 +131,21 @@ fn main() {
             0 => 4,
             t => t,
         };
-        return gate("parallel", oorq_bench::parallel::parallel_report(threads));
+        return gate(
+            "parallel",
+            oorq_bench::parallel::parallel_report(threads, memory_budget_arg()),
+        );
+    }
+    if section == "spill" {
+        let budget = match memory_budget_arg() {
+            0 => oorq_bench::spill::SPILL_BUDGET_PAGES,
+            b => b,
+        };
+        println!("{}", oorq_bench::spill::spill_report(budget));
+        return;
+    }
+    if section == "spill-gate" {
+        return gate("spill-gate", oorq_bench::spill::spill_gate());
     }
     if section == "trace-check" {
         return trace_check_main();

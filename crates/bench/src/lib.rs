@@ -13,6 +13,7 @@ pub mod harness;
 pub mod parallel;
 pub mod reports;
 pub mod scenarios;
+pub mod spill;
 pub mod tracing;
 
 pub use scenarios::PaperSetup;

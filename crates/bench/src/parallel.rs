@@ -78,6 +78,14 @@ impl ParallelRun {
     }
 }
 
+/// Worker-pool size and breaker memory budget — the two execution
+/// knobs every run in the corpus shares.
+#[derive(Clone, Copy)]
+struct Knobs {
+    threads: u32,
+    budget: u64,
+}
+
 /// Optimize with a worker budget, execute serial and parallel, compare.
 fn run_one(
     db: &mut Database,
@@ -85,9 +93,10 @@ fn run_one(
     methods: &MethodRegistry,
     q: &QueryGraph,
     config: OptimizerConfig,
-    threads: u32,
+    knobs: Knobs,
     name: String,
 ) -> Result<ParallelRun, String> {
+    let Knobs { threads, budget } = knobs;
     let stats = DbStats::collect(db);
     let model = CostModel::new(db.catalog(), db.physical(), &stats, CostParams::default());
     let mut opt = Optimizer::new(model, OptimizerConfig { threads, ..config });
@@ -96,9 +105,14 @@ fn run_one(
         .map_err(|e| format!("{name}: optimization failed: {e}"))?;
 
     // Serial baseline: the plain plan, no parallel operators at all.
+    // The breaker memory budget applies to both runs, so a differential
+    // pass under a low budget compares spilling against spilling.
     db.cold_cache();
     let (serial_rows, serial_ms, serial_ops) = {
-        let mut ex = Executor::new(db, idx, methods);
+        let mut ex = Executor::new(db, idx, methods).with_config(ExecConfig {
+            memory_budget_pages: budget,
+            ..ExecConfig::default()
+        });
         let t0 = Instant::now();
         let out = ex
             .run(&plan.pt)
@@ -114,6 +128,7 @@ fn run_one(
         let mut ex = Executor::new(db, idx, methods)
             .with_config(ExecConfig {
                 threads,
+                memory_budget_pages: budget,
                 ..ExecConfig::default()
             })
             .with_parallel(plan.parallel.clone());
@@ -178,7 +193,8 @@ fn run_one(
 /// deliberately join-heavy chain scenario (a rescanned nested loop over
 /// an unindexed pair — the O(n²) regime where partitioning the outer
 /// scan pays most).
-pub fn corpus(threads: u32) -> Result<Vec<ParallelRun>, String> {
+pub fn corpus(threads: u32, budget: u64) -> Result<Vec<ParallelRun>, String> {
+    let knobs = Knobs { threads, budget };
     let mut runs = Vec::new();
 
     {
@@ -195,7 +211,7 @@ pub fn corpus(threads: u32) -> Result<Vec<ParallelRun>, String> {
                 &methods,
                 &q,
                 config,
-                threads,
+                knobs,
                 format!("music/fig3/{cname}"),
             )?);
         }
@@ -227,7 +243,7 @@ pub fn corpus(threads: u32) -> Result<Vec<ParallelRun>, String> {
                 &methods,
                 &q,
                 config,
-                threads,
+                knobs,
                 format!("parts/{cname}"),
             )?);
         }
@@ -249,7 +265,7 @@ pub fn corpus(threads: u32) -> Result<Vec<ParallelRun>, String> {
             &methods,
             &q,
             OptimizerConfig::cost_controlled(),
-            threads,
+            knobs,
             "chain/bigjoin".into(),
         )?);
     }
@@ -260,8 +276,8 @@ pub fn corpus(threads: u32) -> Result<Vec<ParallelRun>, String> {
 /// `reproduce parallel [--threads N]`: the serial-vs-parallel report.
 /// Errs (gate failure) when any scenario's parallel answer deviates
 /// from its serial one.
-pub fn parallel_report(threads: u32) -> Result<String, String> {
-    let runs = corpus(threads)?;
+pub fn parallel_report(threads: u32, budget: u64) -> Result<String, String> {
+    let runs = corpus(threads, budget)?;
     let mut out = format!("=== Parallel execution: serial vs {threads} workers, cold cache ===\n");
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())

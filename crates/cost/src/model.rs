@@ -313,6 +313,23 @@ impl<'a> CostModel<'a> {
                 deltas.push(d.max(1.0));
                 d *= prof.decay;
             }
+            // The geometric endpoints-fit matches the curve's extremes
+            // but not necessarily its area: a linearly decaying frontier
+            // sums to far more than its geometric interpolation. When
+            // the profile recorded its mass-over-seed ratio, rescale the
+            // reconstruction so the total transfers exactly — the
+            // accumulator footprint (hence the spill-cliff side) rides
+            // on the total, not the endpoints.
+            if prof.mass_scale > 0.0 {
+                let sum: f64 = deltas.iter().sum();
+                let target = d0 * prof.mass_scale;
+                if sum > 0.0 && target > 0.0 {
+                    let f = target / sum;
+                    for d in &mut deltas {
+                        *d *= f;
+                    }
+                }
+            }
             let total_rows = sane_rows(deltas.iter().sum()).max(1.0);
             FixCurve {
                 temp: temp.to_string(),
@@ -584,9 +601,10 @@ impl EstCtx<'_, '_> {
                 }
                 // Under residency modeling a buffer-fitting temporary is
                 // read hot: its pages are resident because this very plan
-                // materialized them.
-                let hot_temp =
-                    p.residency && p.buffer_frames > 0 && pages <= p.buffer_frames as f64;
+                // materialized them. Temporaries live under the breaker
+                // memory budget, so the capacity is the budget-capped one.
+                let bt = p.breaker_frames();
+                let hot_temp = p.residency && bt > 0.0 && pages <= bt;
                 let feat = CostFeatures {
                     seq_pages: if charge_scan && !hot_temp { pages } else { 0.0 },
                     ..CostFeatures::default()
@@ -928,10 +946,25 @@ impl EstCtx<'_, '_> {
                         }
                         let sel = self.selectivity(pred, &cols);
                         let rows = sane_rows(l.rows * r.rows * sel);
-                        // Inner rescans: free when the inner fits in the
-                        // buffer, a full rescan per outer row otherwise.
-                        let rescan_io = if r.pages <= p.buffer_frames as f64 {
+                        // Inner rescans. A rescannable (leaf-ish) inner is
+                        // re-opened through the buffer: free when it fits
+                        // the buffer, a full rescan per outer row past it.
+                        // A non-rescannable inner is materialized into a
+                        // page-store temporary under the breaker memory
+                        // budget: the build writes its pages once, and
+                        // every outer row rescans the temporary — hot
+                        // while it fits the budget-capped capacity, full
+                        // page re-reads once spilled. The materialization
+                        // terms are residency-gated so the symbolic §4.6
+                        // model keeps its shape.
+                        let bt = p.breaker_frames();
+                        let mat = p.residency && !pt_rescannable(right);
+                        let mat_writes = if mat { r.pages } else { 0.0 };
+                        let cap = if mat { bt } else { p.buffer_frames as f64 };
+                        let rescan_io = if r.pages <= cap {
                             0.0
+                        } else if mat {
+                            l.rows * r.pages
                         } else {
                             (l.rows - 1.0).max(0.0) * r.pages
                         };
@@ -940,6 +973,7 @@ impl EstCtx<'_, '_> {
                         let feat = CostFeatures {
                             seq_pages: rescan_io,
                             deref_pages: self.expr_stream(pairs, &ec),
+                            write_pages: mat_writes,
                             evals: pairs * ec.evals.max(1.0),
                             method_units: pairs * ec.method_units,
                             ..CostFeatures::default()
@@ -1060,14 +1094,25 @@ impl EstCtx<'_, '_> {
                 // page footprint that fits in the buffer is re-touched
                 // hot on passes 2..n, so only the first pass pays cold
                 // reads; CPU work and index probes repeat in full.
-                let b = if p.residency {
-                    p.buffer_frames as f64
+                // Sequential pages of temp-backed lines (delta scans,
+                // materialized join inners, nested fixpoints) live under
+                // the breaker memory budget, so their hot/cold cut is the
+                // budget-capped capacity; base-entity pages use the full
+                // buffer.
+                let (b_base, b_temp) = if p.residency {
+                    (p.buffer_frames as f64, p.breaker_frames())
                 } else {
-                    0.0
+                    (0.0, 0.0)
                 };
-                let first_pages: Vec<(f64, f64)> = self.breakdown[rec_mark..]
+                let first_pages: Vec<(f64, f64, f64)> = self.breakdown[rec_mark..]
                     .iter()
-                    .map(|l| (l.feat.seq_pages, l.feat.deref_pages))
+                    .map(|l| {
+                        let b_seq = match l.kind {
+                            OpKind::TempScan | OpKind::Ej | OpKind::Fix => b_temp,
+                            _ => b_base,
+                        };
+                        (l.feat.seq_pages, l.feat.deref_pages, b_seq)
+                    })
                     .collect();
                 for d in &curve.deltas[1..] {
                     self.temp_rows.insert(temp.clone(), *d);
@@ -1078,13 +1123,13 @@ impl EstCtx<'_, '_> {
                         first_len,
                         "recursive side must produce the same line sequence each pass"
                     );
-                    for (i, &(first_seq, first_deref)) in first_pages.iter().enumerate() {
+                    for (i, &(first_seq, first_deref, b_seq)) in first_pages.iter().enumerate() {
                         let src = self.breakdown[pass_mark + i].clone();
                         let mut add = src.feat;
-                        if b > 0.0 && first_seq <= b {
+                        if b_seq > 0.0 && first_seq <= b_seq {
                             add.seq_pages = 0.0;
                         }
-                        if b > 0.0 && first_deref <= b {
+                        if b_base > 0.0 && first_deref <= b_base {
                             add.deref_pages = 0.0;
                         }
                         let dst = &mut self.breakdown[rec_mark + i];
@@ -1115,12 +1160,24 @@ impl EstCtx<'_, '_> {
                     .ok_or_else(|| CostError::UnknownTemp(temp.clone()))?;
                 let types: Vec<ResolvedType> = fields.iter().map(|(_, t)| t.clone()).collect();
                 let total_pages = self.pages_est(total_rows, &types);
-                // Only the materialization writes: the accumulator's dedup
-                // bookkeeping is not an observable evaluation (the executor
-                // counts comparisons and method calls, not hash probes), so
+                // The materialization writes, plus the readback: the
+                // breaker streams the accumulated temporary back out of
+                // the page store after convergence — all buffer hits
+                // while it fits the breaker memory budget, one full
+                // sequential re-read once spilled. (Residency-gated so
+                // the symbolic §4.6 model keeps its shape.) The dedup
+                // bookkeeping stays uncharged: the executor counts
+                // comparisons and method calls, not hash probes, so
                 // charging it as `evals` was a phantom the calibration
                 // residuals flagged.
+                let bt = p.breaker_frames();
+                let readback = if p.residency && (bt <= 0.0 || total_pages > bt) {
+                    total_pages
+                } else {
+                    0.0
+                };
                 let own_feat = CostFeatures {
+                    seq_pages: readback,
                     write_pages: total_pages,
                     ..CostFeatures::default()
                 };
@@ -1417,5 +1474,24 @@ fn strip(ty: ResolvedType) -> ResolvedType {
     match ty {
         ResolvedType::Set(e) | ResolvedType::List(e) => strip(*e),
         other => other,
+    }
+}
+
+/// Mirror of `PhysOp::rescannable` at the PT level: whether a
+/// nested-loop inner lowers to something the executor can honestly
+/// re-open per outer row (a leaf scan under filters/projections), or
+/// becomes a materialize-once breaker backed by a page-store
+/// temporary. Conservative on index selections, which may still lower
+/// to a rescannable filter fallback.
+fn pt_rescannable(pt: &Pt) -> bool {
+    match pt {
+        Pt::Entity { .. } | Pt::Temp { .. } => true,
+        Pt::Sel {
+            method: AccessMethod::Scan,
+            input,
+            ..
+        }
+        | Pt::Proj { input, .. } => pt_rescannable(input),
+        _ => false,
     }
 }

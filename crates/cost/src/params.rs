@@ -123,6 +123,14 @@ pub struct CostParams {
     /// calibrated snapshot, where the observed counters show the
     /// residency effect dominating the residuals.
     pub residency: bool,
+    /// Memory budget for materializing pipeline breakers, in pages
+    /// (`0` = unbounded). Mirrors the executor's
+    /// `ExecConfig::memory_budget_pages`: past the budget the buffer
+    /// manager spills least-recently-used temporary pages, so breaker
+    /// re-reads that would hit in an unbounded buffer pay full page
+    /// reads. The effective breaker-resident capacity is
+    /// [`CostParams::breaker_frames`].
+    pub memory_budget_pages: u64,
     /// Default number of fixpoint iterations when the statistics carry no
     /// chain-depth information.
     pub default_fix_iterations: f64,
@@ -152,6 +160,7 @@ impl Default for CostParams {
             buffer_frames: 64,
             clustered_access: 0.1,
             residency: false,
+            memory_budget_pages: 0,
             default_fix_iterations: 10.0,
             default_selectivity: 0.1,
             weights: CostWeights::default(),
@@ -180,6 +189,7 @@ impl CostParams {
             buffer_frames: 0,
             clustered_access: 1.0,
             residency: false,
+            memory_budget_pages: 0,
             default_fix_iterations: 10.0,
             default_selectivity: 0.1,
             weights: CostWeights::default(),
@@ -240,6 +250,7 @@ impl CostParams {
                 ("", "buffer_frames") => p.buffer_frames = value as u64,
                 ("", "clustered_access") => p.clustered_access = value,
                 ("", "residency") => p.residency = value != 0.0,
+                ("", "memory_budget_pages") => p.memory_budget_pages = value as u64,
                 ("", "default_fix_iterations") => p.default_fix_iterations = value,
                 ("", "default_selectivity") => p.default_selectivity = value,
                 ("weights", "seq_page") => p.weights.seq_page = value,
@@ -263,6 +274,20 @@ impl CostParams {
         Ok(p)
     }
 
+    /// Effective breaker-resident capacity in pages: `buffer_frames`
+    /// capped by the memory budget when one is set. Materializing
+    /// breakers (fixpoint accumulators and deltas, nested-loop
+    /// materialized inners) whose footprint stays under this stay hot;
+    /// past it the executor spills and re-reads pay in full.
+    pub fn breaker_frames(&self) -> f64 {
+        let b = self.buffer_frames as f64;
+        if self.memory_budget_pages == 0 {
+            b
+        } else {
+            b.min(self.memory_budget_pages as f64)
+        }
+    }
+
     /// Render parameters in the snapshot format (what the calibration
     /// harness emits for check-in).
     pub fn render_snapshot(&self, header: &str) -> String {
@@ -270,7 +295,7 @@ impl CostParams {
         format!(
             "# {header}\n\
              pr = {}\nev = {}\nbuffer_frames = {}\nclustered_access = {}\n\
-             residency = {}\n\
+             residency = {}\nmemory_budget_pages = {}\n\
              default_fix_iterations = {}\ndefault_selectivity = {}\n\n\
              [weights]\n\
              seq_page = {}\nderef_page = {}\nindex_level = {}\nindex_leaf = {}\n\
@@ -280,6 +305,7 @@ impl CostParams {
             self.buffer_frames,
             self.clustered_access,
             if self.residency { 1 } else { 0 },
+            self.memory_budget_pages,
             self.default_fix_iterations,
             self.default_selectivity,
             w.seq_page,

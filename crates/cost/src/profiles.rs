@@ -37,6 +37,13 @@ pub struct FixProfile {
     pub decay: f64,
     /// Total observed delta mass (sum over the curve, seed included).
     pub mass: f64,
+    /// Observed mass over the observed seed (dimensionless, so it
+    /// transfers across data scales): pins the reconstructed curve's
+    /// *total*, which the geometric `decay` endpoints-fit alone
+    /// under-counts for non-geometric (e.g. linearly decaying)
+    /// frontiers. `0` marks a legacy profile with no recorded ratio;
+    /// the estimator then trusts the geometric sum.
+    pub mass_scale: f64,
 }
 
 impl FixProfile {
@@ -68,6 +75,7 @@ impl FixProfile {
             seed_scale: seed / base_rows.max(1.0),
             decay: decay.clamp(0.01, 10.0),
             mass,
+            mass_scale: mass / seed,
         })
     }
 }
@@ -158,6 +166,7 @@ impl FixProfiles {
             seed_scale: med(|p| p.seed_scale),
             decay: med(|p| p.decay),
             mass: med(|p| p.mass),
+            mass_scale: med(|p| p.mass_scale),
         })
     }
 
@@ -192,6 +201,7 @@ impl FixProfiles {
                         seed_scale: 1.0,
                         decay: 1.0,
                         mass: 0.0,
+                        mass_scale: 0.0,
                     },
                 ));
                 continue;
@@ -219,6 +229,7 @@ impl FixProfiles {
                 "seed_scale" => p.seed_scale = value,
                 "decay" => p.decay = value,
                 "mass" => p.mass = value,
+                "mass_scale" => p.mass_scale = value,
                 k => return Err(format!("line {}: unknown key `{k}`", lineno + 1)),
             }
         }
@@ -233,8 +244,8 @@ impl FixProfiles {
         for (key, p) in &self.entries {
             out.push_str(&format!(
                 "\n[{key}]\niterations = {}\niters_per_depth = {}\nseed_scale = {}\n\
-                 decay = {}\nmass = {}\n",
-                p.iterations, p.iters_per_depth, p.seed_scale, p.decay, p.mass,
+                 decay = {}\nmass = {}\nmass_scale = {}\n",
+                p.iterations, p.iters_per_depth, p.seed_scale, p.decay, p.mass, p.mass_scale,
             ));
         }
         out
@@ -277,6 +288,7 @@ mod tests {
                 seed_scale: 1.125,
                 decay: 0.5,
                 mass: 9.0,
+                mass_scale: 2.0,
             },
         );
         ps.insert(
@@ -287,6 +299,7 @@ mod tests {
                 seed_scale: 1.25,
                 decay: 0.63,
                 mass: 40.0,
+                mass_scale: 4.0,
             },
         );
         ps.insert(
@@ -297,6 +310,7 @@ mod tests {
                 seed_scale: 2.0,
                 decay: 0.7,
                 mass: 68.0,
+                mass_scale: 3.4,
             },
         );
         ps

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use oorq_prng::Prng;
-use oorq_query::{Expr, NameRef, QArc, QueryGraph, SpjNode};
+use oorq_query::{Expr, NameRef, QArc, QueryGraph, SpjNode, ViewRegistry};
 use oorq_schema::{Catalog, Field, RelationDef, SchemaBuilder, TypeExpr};
 use oorq_storage::{Database, StorageConfig, Value};
 
@@ -210,6 +210,121 @@ impl ChainDb {
     }
 }
 
+/// Build the transitive-closure schema: a stored `Edge [a, b]` relation
+/// plus the recursive `Path` view declaration over it.
+pub fn closure_catalog() -> Catalog {
+    SchemaBuilder::new()
+        .relation(RelationDef::new(
+            "Edge",
+            TypeExpr::Tuple(vec![
+                Field::new("a", TypeExpr::int()),
+                Field::new("b", TypeExpr::int()),
+            ]),
+        ))
+        .view(RelationDef::new(
+            "Path",
+            TypeExpr::Tuple(vec![
+                Field::new("a", TypeExpr::int()),
+                Field::new("b", TypeExpr::int()),
+            ]),
+        ))
+        .build()
+        .expect("closure schema must validate")
+}
+
+/// Configuration of the transitive-closure generator.
+#[derive(Debug, Clone)]
+pub struct ClosureConfig {
+    /// Number of chain nodes; edges are `(i, i+1)` for `i <
+    /// nodes-1`, so the closure holds `nodes·(nodes-1)/2` paths and
+    /// the fixpoint runs `nodes-1` semi-naive passes. Scaling `nodes`
+    /// scales the accumulator footprint quadratically — the knob the
+    /// spill harness sweeps across the memory-budget cliff.
+    pub nodes: u32,
+}
+
+impl Default for ClosureConfig {
+    fn default() -> Self {
+        ClosureConfig { nodes: 32 }
+    }
+}
+
+/// A generated linear-chain closure database (deterministic; no
+/// randomness — the closure cardinality is exact by construction).
+pub struct ClosureDb {
+    /// The store.
+    pub db: Database,
+    /// The configuration used.
+    pub config: ClosureConfig,
+}
+
+impl ClosureDb {
+    /// Generate the chain-of-`nodes` edge relation.
+    pub fn generate(config: ClosureConfig) -> Self {
+        let catalog = Arc::new(closure_catalog());
+        let mut db = Database::new(Arc::clone(&catalog), StorageConfig::default());
+        let edge = catalog.relation_by_name("Edge").expect("just built");
+        for i in 0..config.nodes.saturating_sub(1) {
+            db.insert_row(edge, vec![Value::Int(i as i64), Value::Int(i as i64 + 1)])
+                .expect("insert edge");
+        }
+        ClosureDb { db, config }
+    }
+
+    /// Exact closure cardinality: every `(i, j)` with `i < j`.
+    pub fn closure_rows(&self) -> u64 {
+        let n = self.config.nodes as u64;
+        n * n.saturating_sub(1) / 2
+    }
+
+    /// The full transitive-closure query: `Path = Edge ∪ (Path ⋈
+    /// Edge on Path.b = Edge.a)`, answering every path endpoint pair.
+    pub fn closure_query(&self) -> QueryGraph {
+        let catalog = self.db.catalog();
+        let edge = catalog.relation_by_name("Edge").expect("closure schema");
+        let path = catalog.relation_by_name("Path").expect("closure schema");
+        let mut reg = ViewRegistry::new();
+        reg.define(
+            path,
+            vec![
+                SpjNode {
+                    inputs: vec![QArc::new(NameRef::Relation(edge), "e")],
+                    pred: Expr::True,
+                    out_proj: vec![
+                        ("a".into(), Expr::path("e", &["a"])),
+                        ("b".into(), Expr::path("e", &["b"])),
+                    ],
+                },
+                SpjNode {
+                    inputs: vec![
+                        QArc::new(NameRef::Relation(path), "p"),
+                        QArc::new(NameRef::Relation(edge), "e"),
+                    ],
+                    pred: Expr::path("p", &["b"]).eq(Expr::path("e", &["a"])),
+                    out_proj: vec![
+                        ("a".into(), Expr::path("p", &["a"])),
+                        ("b".into(), Expr::path("e", &["b"])),
+                    ],
+                },
+            ],
+        );
+        let mut q = QueryGraph::new(NameRef::Derived("Answer".into()));
+        q.add_spj(
+            NameRef::Derived("Answer".into()),
+            SpjNode {
+                inputs: vec![QArc::new(NameRef::Relation(path), "t")],
+                pred: Expr::True,
+                out_proj: vec![
+                    ("a".into(), Expr::path("t", &["a"])),
+                    ("b".into(), Expr::path("t", &["b"])),
+                ],
+            },
+        );
+        reg.expand(&mut q, catalog).expect("Path view must expand");
+        q
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +341,17 @@ mod tests {
         let r2 = c.db.catalog().relation_by_name("R2").unwrap();
         let e = c.db.physical().entities_of_relation(r2)[0];
         assert_eq!(c.db.entity_len(e), 40, "skew doubles each relation");
+    }
+
+    #[test]
+    fn closure_db_generates_and_query_validates() {
+        let c = ClosureDb::generate(ClosureConfig { nodes: 8 });
+        assert_eq!(c.closure_rows(), 28);
+        let q = c.closure_query();
+        q.validate(c.db.catalog()).unwrap();
+        let edge = c.db.catalog().relation_by_name("Edge").unwrap();
+        let e = c.db.physical().entities_of_relation(edge)[0];
+        assert_eq!(c.db.entity_len(e), 7);
     }
 
     #[test]

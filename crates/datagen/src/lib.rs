@@ -11,7 +11,9 @@ pub mod chain;
 pub mod music;
 pub mod parts;
 
-pub use chain::{chain_catalog, generate_skewed, ChainConfig, ChainDb};
+pub use chain::{
+    chain_catalog, closure_catalog, generate_skewed, ChainConfig, ChainDb, ClosureConfig, ClosureDb,
+};
 pub use music::{MusicConfig, MusicDb};
 pub use parts::{parts_catalog, PartsConfig, PartsDb};
 

@@ -24,6 +24,13 @@ pub struct ExecConfig {
     /// thread, preserving fully serial execution; the plan shape is
     /// identical either way.
     pub threads: u32,
+    /// Breaker memory budget: maximum resident pages of pipeline-breaker
+    /// temporaries (fixpoint accumulator/delta, materialized nested-loop
+    /// inners). `0` (the default) is unbounded; a positive budget spills
+    /// the least recently used breaker page and re-fetches it on the
+    /// next pass, so answers are identical but page I/O reflects the
+    /// budget. Parallel workers split the budget evenly.
+    pub memory_budget_pages: u64,
 }
 
 impl Default for ExecConfig {
@@ -31,6 +38,7 @@ impl Default for ExecConfig {
         ExecConfig {
             max_fix_iterations: 10_000,
             threads: 0,
+            memory_budget_pages: 0,
         }
     }
 }
@@ -78,6 +86,13 @@ pub struct Executor<'a> {
     temps: HashMap<String, (EntityId, EntityId)>,
     /// Field shapes of temporaries (for lowering and `PtEnv` typing).
     temp_fields: HashMap<String, Vec<(String, ResolvedType)>>,
+    /// Pool of page-store temporaries backing materialized nested-loop
+    /// inners, keyed by row shape (reused across runs; a run assigns
+    /// distinct pool entries to distinct operators).
+    nl_mat_pool: HashMap<Vec<ResolvedType>, Vec<EntityId>>,
+    /// This run's assignment: materializing `NlJoin` operator id → its
+    /// backing temporary.
+    nl_mats: HashMap<usize, EntityId>,
     /// Per-operator reports of the last completed run.
     last_ops: Vec<OpReport>,
     /// Per-fixpoint delta curves of the last completed run.
@@ -102,6 +117,8 @@ impl<'a> Executor<'a> {
             config: ExecConfig::default(),
             temps: HashMap::new(),
             temp_fields: HashMap::new(),
+            nl_mat_pool: HashMap::new(),
+            nl_mats: HashMap::new(),
             last_ops: Vec::new(),
             last_fix_deltas: Vec::new(),
             last_workers: Vec::new(),
@@ -179,6 +196,8 @@ impl<'a> Executor<'a> {
         self.verify(pt)?;
         let plan = self.lower(pt)?;
         self.prepare_temps(&plan);
+        self.db
+            .set_temp_budget(self.config.memory_budget_pages as usize);
         let (mut rows, ops, fix_deltas, workers) = pipeline::execute(
             &plan,
             self.db,
@@ -186,6 +205,7 @@ impl<'a> Executor<'a> {
             self.methods,
             &self.counters,
             &self.temps,
+            &self.nl_mats,
             self.config.max_fix_iterations,
             &self.obs,
             self.config.threads,
@@ -308,10 +328,20 @@ impl<'a> Executor<'a> {
     /// itself runs over `&Database`.
     fn prepare_temps(&mut self, plan: &PhysPlan) {
         let mut fixes: Vec<(String, Vec<(String, ResolvedType)>)> = Vec::new();
-        plan.root.visit(&mut |op| {
-            if let PhysOp::FixPoint { temp, fields, .. } = op {
+        let mut mats: Vec<(usize, Vec<ResolvedType>)> = Vec::new();
+        plan.root.visit(&mut |op| match op {
+            PhysOp::FixPoint { temp, fields, .. } => {
                 fixes.push((temp.clone(), fields.clone()));
             }
+            PhysOp::NlJoin {
+                meta,
+                rescan_inner: false,
+                mat_types,
+                ..
+            } => {
+                mats.push((meta.id, mat_types.clone()));
+            }
+            _ => {}
         });
         for (temp, fields) in fixes {
             let types: Vec<ResolvedType> = fields.iter().map(|(_, t)| t.clone()).collect();
@@ -321,6 +351,21 @@ impl<'a> Executor<'a> {
                 let delta = self.db.create_temp(format!("{temp}#delta"), types);
                 self.temps.insert(temp, (acc, delta));
             }
+        }
+        // Assign every materializing nested loop a page-store temporary
+        // from the per-shape pool (growing it as needed), so two joins in
+        // one plan — e.g. parallel merge legs — never share a breaker.
+        self.nl_mats.clear();
+        let mut used: HashMap<Vec<ResolvedType>, usize> = HashMap::new();
+        for (op_id, types) in mats {
+            let n = used.entry(types.clone()).or_insert(0);
+            let pool = self.nl_mat_pool.entry(types.clone()).or_default();
+            if *n == pool.len() {
+                let name = format!("#mat{}", pool.len());
+                pool.push(self.db.create_temp(name, types));
+            }
+            self.nl_mats.insert(op_id, pool[*n]);
+            *n += 1;
         }
     }
 }

@@ -128,6 +128,10 @@ struct OpStats {
     first_ns: u64,
     /// Latest bracket end on the recorder's clock.
     last_ns: u64,
+    /// Raw clock-skew magnitude: nanoseconds by which computed bracket
+    /// starts preceded the recorder's epoch (0 when the two clocks
+    /// agree, which the debug-assert convention demands).
+    skew_ns: u64,
 }
 
 /// Shared runtime of one pipeline execution.
@@ -139,6 +143,10 @@ struct Rt<'a> {
     /// Per-temporary: (accumulator entity, delta entity); pre-created by
     /// the executor (creation needs `&mut Database`).
     temps: &'a HashMap<String, (EntityId, EntityId)>,
+    /// Per materializing `NlJoin` (keyed by operator id): the page-store
+    /// temporary backing its materialized inner; pre-created by the
+    /// executor alongside the fixpoint temporaries.
+    nl_mats: &'a HashMap<usize, EntityId>,
     /// Temporaries currently bound to their delta (a fixpoint iteration
     /// is in flight).
     delta_active: RefCell<HashSet<String>>,
@@ -200,6 +208,7 @@ pub(crate) fn execute(
     methods: &MethodRegistry,
     counters: &Counters,
     temps: &HashMap<String, (EntityId, EntityId)>,
+    nl_mats: &HashMap<usize, EntityId>,
     max_fix_iterations: u32,
     obs: &oorq_obs::Recorder,
     threads: u32,
@@ -210,6 +219,7 @@ pub(crate) fn execute(
         methods,
         counters,
         temps,
+        nl_mats,
         delta_active: RefCell::new(HashSet::new()),
         stats: RefCell::new(vec![
             OpStats {
@@ -272,6 +282,12 @@ fn record_op_spans(obs: &oorq_obs::Recorder, reports: &[OpReport], stats: &[OpSt
             ("wall_ns".into(), r.wall_ns.into()),
             ("wall_inclusive_ns".into(), r.wall_inclusive_ns.into()),
         ];
+        let mut fields = fields;
+        if s.skew_ns > 0 {
+            // Raw clock-skew magnitude (release builds clamp the span
+            // start at 0 instead of underflowing; see `Rt::charge`).
+            fields.push(("clock_skew_ns".into(), s.skew_ns.into()));
+        }
         obs.add_span("exec", &r.label, None, s.first_ns, s.last_ns, fields);
     }
 }
@@ -289,18 +305,21 @@ enum St<'a> {
     /// Fan-out operators (IJ, PIJ, index join): produced rows awaiting
     /// emission.
     Queue(VecDeque<Vec<Value>>),
-    /// Nested loop: current outer row, plus the materialized inner when
-    /// the inner is not rescannable (pipeline breaker).
+    /// Nested loop: current outer row, plus (when the inner is not
+    /// rescannable — pipeline breaker) the scan over the page-store
+    /// temporary the inner was materialized into at `open`, re-created
+    /// per outer row so every pass over the inner is budget-visible.
     Nl {
         cur: Option<Vec<Value>>,
-        mat: Option<Vec<Vec<Value>>>,
-        rpos: usize,
+        miter: Option<ScanIter<'a>>,
     },
     /// Union: which operand is being drained.
     Union { on_right: bool },
-    /// Fixpoint: the accumulated result, computed at `open` (the
-    /// canonical pipeline breaker), streamed out by position.
-    Fix { out: Vec<Vec<Value>>, pos: usize },
+    /// Fixpoint: computed at `open` into the accumulator temporary (the
+    /// canonical pipeline breaker), streamed back out of the page store
+    /// so the readback is buffer-accounted (hits while resident, reads
+    /// once the memory budget spilled it).
+    Fix { iter: Option<ScanIter<'a>> },
     /// Exchange/merge: partition (or leg) outputs concatenated in
     /// deterministic order at `open`, streamed out by position.
     Mat { out: Vec<Vec<Value>>, pos: usize },
@@ -327,14 +346,10 @@ fn build<'p, 'a>(op: &'p PhysOp) -> OpExec<'p, 'a> {
         }
         PhysOp::NlJoin { .. } => St::Nl {
             cur: None,
-            mat: None,
-            rpos: 0,
+            miter: None,
         },
         PhysOp::UnionAll { .. } => St::Union { on_right: false },
-        PhysOp::FixPoint { .. } => St::Fix {
-            out: Vec::new(),
-            pos: 0,
-        },
+        PhysOp::FixPoint { .. } => St::Fix { iter: None },
         PhysOp::Exchange { .. } | PhysOp::Merge { .. } => St::Mat {
             out: Vec::new(),
             pos: 0,
@@ -368,6 +383,38 @@ fn driver_leaf(op: &PhysOp) -> usize {
     }
 }
 
+/// A partition worker's page range `[lo, hi)` of a `pages`-page driver
+/// leaf: `worker·pages/workers` scaled in u64, then *checked* back into
+/// the store's u32 page domain. The unchecked `as u32` this replaces
+/// silently wrapped for page counts near `u32::MAX`, making a worker
+/// quietly rescan (or skip) pages instead of failing loudly.
+fn partition_range(pages: u64, worker: u64, workers: u64) -> Result<(u32, u32), ExecError> {
+    debug_assert!(workers > 0 && worker < workers);
+    let bound = |w: u64| -> Result<u32, ExecError> {
+        let scaled = w
+            .checked_mul(pages)
+            .ok_or_else(|| partition_overflow(pages, workers))?
+            / workers.max(1);
+        u32::try_from(scaled).map_err(|_| partition_overflow(pages, workers))
+    };
+    Ok((bound(worker)?, bound(worker + 1)?))
+}
+
+fn partition_overflow(pages: u64, workers: u64) -> ExecError {
+    ExecError::PartitionOverflow { pages, workers }
+}
+
+/// A parallel worker's slice of the breaker memory budget: an even
+/// split, floored at one page so a tiny budget still spills rather than
+/// silently lifting the cap (0 stays 0 = unbounded).
+fn worker_budget(budget: usize, workers: usize) -> usize {
+    if budget == 0 {
+        0
+    } else {
+        (budget / workers.max(1)).max(1)
+    }
+}
+
 /// Apply a merge leg's column permutation (identical semantics to
 /// `UnionAll`'s right-side permutation).
 fn apply_perm(perm: Option<&Vec<usize>>, r: Vec<Value>) -> Vec<Value> {
@@ -391,12 +438,14 @@ fn run_worker(
     indexes: &IndexSet,
     methods: &MethodRegistry,
     temps: &HashMap<String, (EntityId, EntityId)>,
+    nl_mats: &HashMap<usize, EntityId>,
     max_fix_iterations: u32,
     obs: &oorq_obs::Recorder,
     delta_active: HashSet<String>,
     ops_len: usize,
     partition: Option<Partition>,
     frames: usize,
+    temp_budget: usize,
 ) -> Result<WorkerOut, ExecError> {
     let counters = Counters::default();
     let rt = Rt {
@@ -405,6 +454,7 @@ fn run_worker(
         methods,
         counters: &counters,
         temps,
+        nl_mats,
         delta_active: RefCell::new(delta_active),
         stats: RefCell::new(vec![
             OpStats {
@@ -420,7 +470,7 @@ fn run_worker(
         partition,
         worker_lanes: RefCell::new(Vec::new()),
     };
-    db.install_worker_buffer(frames);
+    db.install_worker_buffer(frames, temp_budget);
     let t_start_ns = obs.now_ns();
     let wall0 = Instant::now();
     let mut root = build(op);
@@ -481,9 +531,25 @@ impl<'a> Rt<'a> {
         s.wall_ns += elapsed;
         if self.obs.enabled() {
             // Bracket envelope on the recorder's clock, for the
-            // synthesized per-operator spans.
+            // synthesized per-operator spans. Both `elapsed` and `end`
+            // come from the same monotonic clock family, so a bracket
+            // start before the recorder's epoch is clock skew — assert
+            // it (the PR 4 wall-accounting convention) instead of
+            // silently clamping to 0, and keep the raw magnitude so a
+            // release-build clamp stays auditable.
             let end = self.obs.now_ns();
-            s.first_ns = s.first_ns.min(end.saturating_sub(elapsed));
+            match end.checked_sub(elapsed) {
+                Some(start) => s.first_ns = s.first_ns.min(start),
+                None => {
+                    debug_assert!(
+                        false,
+                        "op #{id}: bracket start precedes the recorder epoch \
+                         (elapsed {elapsed}ns > recorder clock {end}ns)"
+                    );
+                    s.skew_ns += elapsed - end;
+                    s.first_ns = 0;
+                }
+            }
             s.last_ns = s.last_ns.max(end);
         }
     }
@@ -491,16 +557,24 @@ impl<'a> Rt<'a> {
     /// The scan iterator for a leaf: the full entity normally, or this
     /// worker's page range when the leaf is the partitioned driver of
     /// the enclosing exchange.
-    fn leaf_scan(&self, entity: EntityId, op_id: usize) -> ScanIter<'a> {
+    fn leaf_scan(&self, entity: EntityId, op_id: usize) -> Result<ScanIter<'a>, ExecError> {
         match self.partition {
             Some(p) if p.driver_op == op_id => {
                 let pages = self.db.num_pages(entity) as u64;
-                let lo = (p.worker as u64 * pages / p.workers as u64) as u32;
-                let hi = ((p.worker as u64 + 1) * pages / p.workers as u64) as u32;
-                self.db.scan_iter_range(entity, lo, hi)
+                let (lo, hi) = partition_range(pages, p.worker as u64, p.workers as u64)?;
+                Ok(self.db.scan_iter_range(entity, lo, hi))
             }
-            _ => self.db.scan_iter(entity),
+            _ => Ok(self.db.scan_iter(entity)),
         }
+    }
+
+    /// The page-store temporary backing a materializing `NlJoin`'s inner.
+    fn nl_mat(&self, op_id: usize) -> Result<EntityId, ExecError> {
+        self.nl_mats.get(&op_id).copied().ok_or_else(|| {
+            ExecError::BadPlan(format!(
+                "materialized inner temporary for op #{op_id} not prepared"
+            ))
+        })
     }
 
     /// Join a fork's workers in index order: fold their I/O and CPU
@@ -550,6 +624,7 @@ impl<'a> Rt<'a> {
                     s.wall_ns += ws.wall_ns;
                     s.first_ns = s.first_ns.min(ws.first_ns);
                     s.last_ns = s.last_ns.max(ws.last_ns);
+                    s.skew_ns += ws.skew_ns;
                 }
             }
             if self.obs.enabled() && wo.t_end_ns > wo.t_start_ns {
@@ -618,7 +693,7 @@ impl<'a> OpExec<'_, 'a> {
         let OpExec { op, kids, st } = self;
         match (&**op, st) {
             (PhysOp::EntityScan { entity, meta, .. }, St::Scan(iter)) => {
-                *iter = Some(rt.leaf_scan(*entity, meta.id));
+                *iter = Some(rt.leaf_scan(*entity, meta.id)?);
                 Ok(())
             }
             (PhysOp::TempScan { name, .. }, St::Scan(iter)) => {
@@ -631,7 +706,7 @@ impl<'a> OpExec<'_, 'a> {
                 } else {
                     acc
                 };
-                *iter = Some(rt.leaf_scan(entity, op.meta().id));
+                *iter = Some(rt.leaf_scan(entity, op.meta().id)?);
                 Ok(())
             }
             (PhysOp::IndexSelect { index, key, .. }, St::Probe { oids, pos }) => {
@@ -670,23 +745,25 @@ impl<'a> OpExec<'_, 'a> {
                     require_index,
                     ..
                 },
-                St::Nl { cur, mat, rpos },
+                St::Nl { cur, miter },
             ) => {
                 if let Some(idx) = require_index {
                     rt.indexes.selection(*idx).ok_or(ExecError::MissingIndex)?;
                 }
                 *cur = None;
-                *rpos = 0;
-                *mat = None;
+                *miter = None;
                 kids[0].open(rt)?;
                 if !rescan_inner {
-                    // Pipeline breaker: materialize the complex inner once.
+                    // Pipeline breaker: materialize the complex inner once
+                    // into a page-store temporary, so its footprint counts
+                    // against the breaker memory budget and its writes and
+                    // re-reads are charged to this operator's `IoStats`.
+                    let mat_e = rt.nl_mat(op.meta().id)?;
+                    rt.db.truncate_temp(mat_e)?;
                     kids[1].open(rt)?;
-                    let mut rows = Vec::new();
                     while let Some(r) = kids[1].next(rt)? {
-                        rows.push(r);
+                        rt.db.append_temp(mat_e, r)?;
                     }
-                    *mat = Some(rows);
                 }
                 Ok(())
             }
@@ -701,9 +778,8 @@ impl<'a> OpExec<'_, 'a> {
                 *on_right = false;
                 kids[0].open(rt)
             }
-            (PhysOp::FixPoint { temp, perm, .. }, St::Fix { out, pos }) => {
-                *pos = 0;
-                out.clear();
+            (PhysOp::FixPoint { temp, perm, .. }, St::Fix { iter }) => {
+                *iter = None;
                 let (acc_e, delta_e) = *rt
                     .temps
                     .get(temp.as_str())
@@ -732,7 +808,6 @@ impl<'a> OpExec<'_, 'a> {
                 kids[0].open(rt)?;
                 while let Some(row) = kids[0].next(rt)? {
                     if seen.insert(row.clone()) {
-                        out.push(row.clone());
                         rt.db.append_temp(acc_e, row.clone())?;
                         rt.db.append_temp(delta_e, row)?;
                     }
@@ -776,7 +851,6 @@ impl<'a> OpExec<'_, 'a> {
                             Some(p) => p.iter().map(|&i| r[i].clone()).collect(),
                         };
                         if seen.insert(row.clone()) {
-                            out.push(row.clone());
                             rt.db.append_temp(acc_e, row.clone())?;
                             rt.db.append_temp(delta_e, row)?;
                         }
@@ -796,6 +870,12 @@ impl<'a> OpExec<'_, 'a> {
                         ],
                     );
                 }
+                // Converged: stream the answer back out of the
+                // accumulator temporary. The readback is charged to this
+                // operator — page hits while the accumulator stayed
+                // resident, physical re-reads once the memory budget
+                // spilled it.
+                *iter = Some(rt.db.scan_iter(acc_e));
                 Ok(())
             }
             (PhysOp::Exchange { workers, input, .. }, St::Mat { out, pos }) => {
@@ -815,13 +895,15 @@ impl<'a> OpExec<'_, 'a> {
                 let input: &PhysOp = input;
                 let driver = driver_leaf(input);
                 let frames = (rt.db.buffer_frames() / eff).max(1);
+                let wbudget = worker_budget(rt.db.temp_budget_pages(), eff);
                 let ops_len = rt.stats.borrow().len();
                 let delta = rt.delta_active.borrow().clone();
-                let (db, indexes, methods, temps, obs, max_fix) = (
+                let (db, indexes, methods, temps, nl_mats, obs, max_fix) = (
                     rt.db,
                     rt.indexes,
                     rt.methods,
                     rt.temps,
+                    rt.nl_mats,
                     rt.obs,
                     rt.max_fix_iterations,
                 );
@@ -841,12 +923,14 @@ impl<'a> OpExec<'_, 'a> {
                                     indexes,
                                     methods,
                                     temps,
+                                    nl_mats,
                                     max_fix,
                                     obs,
                                     delta,
                                     ops_len,
                                     Some(part),
                                     frames,
+                                    wbudget,
                                 )
                             })
                         })
@@ -887,13 +971,15 @@ impl<'a> OpExec<'_, 'a> {
                     return Ok(());
                 }
                 let frames = (rt.db.buffer_frames() / children.len()).max(1);
+                let wbudget = worker_budget(rt.db.temp_budget_pages(), children.len());
                 let ops_len = rt.stats.borrow().len();
                 let delta = rt.delta_active.borrow().clone();
-                let (db, indexes, methods, temps, obs, max_fix) = (
+                let (db, indexes, methods, temps, nl_mats, obs, max_fix) = (
                     rt.db,
                     rt.indexes,
                     rt.methods,
                     rt.temps,
+                    rt.nl_mats,
                     rt.obs,
                     rt.max_fix_iterations,
                 );
@@ -905,8 +991,8 @@ impl<'a> OpExec<'_, 'a> {
                             let leg: &PhysOp = leg;
                             scope.spawn(move || {
                                 run_worker(
-                                    leg, db, indexes, methods, temps, max_fix, obs, delta, ops_len,
-                                    None, frames,
+                                    leg, db, indexes, methods, temps, nl_mats, max_fix, obs, delta,
+                                    ops_len, None, frames, wbudget,
                                 )
                             })
                         })
@@ -1035,7 +1121,7 @@ impl<'a> OpExec<'_, 'a> {
                 PhysOp::NlJoin {
                     pred, rescan_inner, ..
                 },
-                St::Nl { cur, mat, rpos },
+                St::Nl { cur, miter },
             ) => loop {
                 if cur.is_none() {
                     let Some(l) = kids[0].next(rt)? else {
@@ -1047,16 +1133,21 @@ impl<'a> OpExec<'_, 'a> {
                         // through the buffer manager for every outer row.
                         kids[1].open(rt)?;
                     } else {
-                        *rpos = 0;
+                        // Re-scan the materialized inner from its
+                        // page-store temporary: hits while it stays
+                        // resident, physical re-reads once the memory
+                        // budget spilled it.
+                        *miter = Some(rt.db.scan_iter(rt.nl_mat(op.meta().id)?));
                     }
                 }
                 let rrow = if *rescan_inner {
                     kids[1].next(rt)?
                 } else {
-                    let rows = mat.as_ref().expect("inner materialized at open");
-                    let r = rows.get(*rpos).cloned();
-                    *rpos += 1;
-                    r
+                    miter
+                        .as_mut()
+                        .expect("inner materialized at open")
+                        .next()
+                        .map(|r| r.values)
                 };
                 let Some(rrow) = rrow else {
                     *cur = None;
@@ -1123,8 +1214,10 @@ impl<'a> OpExec<'_, 'a> {
                     }));
                 }
             },
-            (PhysOp::FixPoint { .. }, St::Fix { out, pos })
-            | (PhysOp::Exchange { .. } | PhysOp::Merge { .. }, St::Mat { out, pos }) => {
+            (PhysOp::FixPoint { .. }, St::Fix { iter }) => {
+                Ok(iter.as_mut().and_then(|it| it.next()).map(|r| r.values))
+            }
+            (PhysOp::Exchange { .. } | PhysOp::Merge { .. }, St::Mat { out, pos }) => {
                 let r = out.get(*pos).cloned();
                 if r.is_some() {
                     *pos += 1;
@@ -1215,4 +1308,55 @@ fn rollup(plan: &PhysPlan, stats: &[OpStats]) -> Vec<OpReport> {
         };
     });
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_range_covers_all_pages_without_overlap() {
+        for pages in [0u64, 1, 7, 1000] {
+            for workers in [1u64, 2, 3, 7] {
+                let mut next = 0u32;
+                for w in 0..workers {
+                    let (lo, hi) = partition_range(pages, w, workers).unwrap();
+                    assert_eq!(lo, next, "pages={pages} workers={workers} w={w}");
+                    assert!(hi >= lo);
+                    next = hi;
+                }
+                assert_eq!(next as u64, pages);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_range_at_u32_page_boundary() {
+        // The page domain's ceiling: u32::MAX pages split across workers
+        // must still cover [0, u32::MAX) exactly — the old unchecked
+        // `as u32` arithmetic is only honest if these bounds round-trip.
+        let pages = u32::MAX as u64;
+        let (lo0, hi0) = partition_range(pages, 0, 3).unwrap();
+        let (lo1, hi1) = partition_range(pages, 1, 3).unwrap();
+        let (lo2, hi2) = partition_range(pages, 2, 3).unwrap();
+        assert_eq!(lo0, 0);
+        assert_eq!(hi0, lo1);
+        assert_eq!(hi1, lo2);
+        assert_eq!(hi2, u32::MAX);
+    }
+
+    #[test]
+    fn partition_range_rejects_scaled_overflow() {
+        // worker · pages overflowing u64 must surface as an error, not
+        // wrap into a bogus in-domain page range.
+        let err = partition_range(u64::MAX / 2, 3, 4).unwrap_err();
+        assert!(matches!(err, ExecError::PartitionOverflow { .. }), "{err}");
+    }
+
+    #[test]
+    fn worker_budget_splits_and_floors() {
+        assert_eq!(worker_budget(0, 4), 0, "0 stays unbounded");
+        assert_eq!(worker_budget(8, 2), 4);
+        assert_eq!(worker_budget(3, 4), 1, "floored at one page");
+    }
 }

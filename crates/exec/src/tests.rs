@@ -679,3 +679,63 @@ fn single_iteration_fixpoint_scans_delta_once() {
         "single-iteration fixpoint must scan the delta exactly once"
     );
 }
+
+#[test]
+fn nl_join_materialized_inner_charges_page_store_io() {
+    // A nested loop whose inner is itself a join cannot rescan it; the
+    // executor materializes the inner once into a page-store temporary.
+    // Counter-based pin: the materialization's page writes and the
+    // per-outer-row rescan fetches must land on the `NlJoin`'s own
+    // operator counters (and the run totals), not vanish into an
+    // unaccounted side buffer.
+    let mut m = MusicDb::generate(
+        Arc::new(music_catalog()),
+        MusicConfig {
+            chains: 6,
+            chain_len: 6,
+            ..Default::default()
+        },
+    );
+    let e = m.db.physical().entities_of_class(m.composer)[0];
+    let idx = IndexSet::new();
+    let methods = MethodRegistry::new();
+    // The inner cross join materializes |Composer|² rows — several
+    // pages, so a one-page budget genuinely has to spill it.
+    let pred_inner = Expr::int(1).eq(Expr::int(1));
+    let plan = Pt::ej(
+        Expr::path("a", &["master"]).eq(Expr::path("b", &["master"])),
+        Pt::entity(e, "a"),
+        Pt::ej(pred_inner, Pt::entity(e, "b"), Pt::entity(e, "c")),
+    );
+
+    let mut ex = Executor::new(&mut m.db, &idx, &methods);
+    let out = ex.run(&plan).unwrap();
+    let report = ex.report();
+    let nl = report
+        .ops
+        .iter()
+        .find(|o| o.label.starts_with("EJ") && o.page_writes > 0)
+        .expect("materializing NlJoin charged page writes");
+    assert!(
+        nl.page_reads + nl.page_hits > 0,
+        "rescans of the materialized inner must be fetched (and accounted)"
+    );
+    assert!(report.io.page_writes >= nl.page_writes);
+
+    // Under a one-page breaker budget the inner spills and re-fetches,
+    // but the answer is byte-identical.
+    m.db.cold_cache();
+    let mut ex2 = Executor::new(&mut m.db, &idx, &methods).with_config(ExecConfig {
+        memory_budget_pages: 1,
+        ..ExecConfig::default()
+    });
+    let out2 = ex2.run(&plan).unwrap();
+    assert_eq!(out.rows, out2.rows, "budget must not change the answer");
+    let io2 = ex2.report().io;
+    assert!(
+        io2.page_reads > report.io.page_reads,
+        "a 1-page budget must force re-reads ({} vs {})",
+        io2.page_reads,
+        report.io.page_reads
+    );
+}

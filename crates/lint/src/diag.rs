@@ -123,6 +123,10 @@ pub enum LintCode {
     /// A fixpoint profile's predicted delta mass drifts beyond tolerance
     /// from the observed delta curve's total.
     FixDeltaMassDrift,
+    /// The model and the run disagree about which side of the spill
+    /// cliff the plan is on: breaker pages modeled past the memory
+    /// budget against observed spill evictions.
+    SpillDrift,
 
     // ---- physical-plan pass -----------------------------------------
     /// Physical operator ids are not dense and unique.
@@ -145,6 +149,10 @@ pub enum LintCode {
     /// A merge operator's permutation slots disagree with its child
     /// count (or a permutation fails to map a child's columns).
     MergeArityMismatch,
+    /// A materializing breaker's estimated page footprint exceeds the
+    /// executor's breaker memory budget: the answer stays correct, but
+    /// LRU spill makes its re-reads pay full page I/O.
+    BreakerOverBudget,
 
     // ---- abstract-interpretation (static bounds) pass ---------------
     /// An observed operator row counter escapes its static interval.
@@ -206,6 +214,7 @@ impl LintCode {
             LintCode::UnmatchedOperator => "CX004",
             LintCode::FixIterationsDrift => "CX005",
             LintCode::FixDeltaMassDrift => "CX006",
+            LintCode::SpillDrift => "CX007",
             LintCode::PhysOpIds => "PX001",
             LintCode::PhysColsMismatch => "PX002",
             LintCode::PhysBadPerm => "PX003",
@@ -215,6 +224,7 @@ impl LintCode {
             LintCode::PhysBadEntity => "PX007",
             LintCode::ExchangeUnderBreaker => "PX008",
             LintCode::MergeArityMismatch => "PX009",
+            LintCode::BreakerOverBudget => "PX010",
             LintCode::BoundRowsViolated => "AB001",
             LintCode::BoundPagesViolated => "AB002",
             LintCode::BoundPassesViolated => "AB003",
@@ -262,7 +272,9 @@ impl LintCode {
             | DegenerateInterval => Severity::Error,
             NonLinearRecursion | UnreachableNode | DeadViewCycle | DuplicateColumn
             | EmptyProjection | IoDrift | CpuDrift | RowsDrift | FixIterationsDrift
-            | FixDeltaMassDrift | FixProvablyEmpty => Severity::Warn,
+            | FixDeltaMassDrift | SpillDrift | BreakerOverBudget | FixProvablyEmpty => {
+                Severity::Warn
+            }
             UnusedVariable | CartesianProduct | LinearRecursion | NoPropagatedColumns
             | UnmatchedOperator | DeadComputedColumn | FixKeySpaceUnbounded => Severity::Note,
         }
@@ -305,6 +317,7 @@ impl LintCode {
             UnmatchedOperator,
             FixIterationsDrift,
             FixDeltaMassDrift,
+            SpillDrift,
             PhysOpIds,
             PhysColsMismatch,
             PhysBadPerm,
@@ -314,6 +327,7 @@ impl LintCode {
             PhysBadEntity,
             ExchangeUnderBreaker,
             MergeArityMismatch,
+            BreakerOverBudget,
             BoundRowsViolated,
             BoundPagesViolated,
             BoundPassesViolated,
@@ -363,6 +377,7 @@ impl LintCode {
                 "modeled fixpoint iteration count drifts from the observed passes"
             }
             FixDeltaMassDrift => "modeled fixpoint delta mass drifts from the observed curve",
+            SpillDrift => "modeled spill-cliff side disagrees with observed spill evictions",
             PhysOpIds => "physical operator ids not dense and unique",
             PhysColsMismatch => "physical operator columns disagree with operands",
             PhysBadPerm => "union/fixpoint permutation does not map operand columns",
@@ -374,6 +389,7 @@ impl LintCode {
                 "exchange placed under/over a materializing breaker it cannot help"
             }
             MergeArityMismatch => "merge permutation slots disagree with its child count",
+            BreakerOverBudget => "breaker footprint exceeds the memory budget (expect spill)",
             BoundRowsViolated => "observed row counter escapes its static interval",
             BoundPagesViolated => "observed page-access counter escapes its static interval",
             BoundPassesViolated => "fixpoint exceeded its static semi-naive pass bound",

@@ -164,6 +164,43 @@ pub fn lint_drift(
     report
 }
 
+/// Check the model's spill prediction against the run (`CX007`). The
+/// breakdown's breaker write footprints against the memory budget say
+/// how many breaker pages the model expects to be forced out of
+/// residency; the buffer manager's spill-eviction counter says how many
+/// actually were. Disagreement beyond tolerance means the residency
+/// model put the plan on the wrong side of the spill cliff — the exact
+/// mis-prediction the spill calibration harness gates on. A budget of
+/// `0` (unbounded) never fires.
+pub fn lint_spill_drift(
+    breakdown: &[NodeCost],
+    budget_pages: u64,
+    observed_spill_evictions: f64,
+    tol: DriftTolerance,
+) -> LintReport {
+    let mut report = LintReport::new();
+    if budget_pages == 0 {
+        return report;
+    }
+    let b = budget_pages as f64;
+    let predicted_excess: f64 = breakdown
+        .iter()
+        .map(|l| (l.feat.write_pages - b).max(0.0))
+        .sum();
+    if tol.drifted(predicted_excess, observed_spill_evictions.max(0.0)) {
+        report.push(
+            LintCode::SpillDrift,
+            "plan",
+            format!(
+                "modeled {:.0} breaker pages past the {budget_pages}-page budget, \
+                 observed {:.0} spill evictions",
+                predicted_excess, observed_spill_evictions
+            ),
+        );
+    }
+    report
+}
+
 /// One executed fixpoint's observed delta curve, summarised by the
 /// caller: `iterations` is the recursive-side pass count (curve length
 /// minus the seed entry), `mass` the curve's total delta rows.

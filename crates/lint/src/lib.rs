@@ -31,9 +31,11 @@ mod graph;
 mod phys;
 mod plan;
 
-pub use cost::{lint_cost_figures, lint_plan_cost, lint_selection_rows};
+pub use cost::{lint_breaker_budget, lint_cost_figures, lint_plan_cost, lint_selection_rows};
 pub use diag::{Diagnostic, LintCode, LintReport, Severity};
-pub use drift::{lint_drift, lint_fix_drift, DriftTolerance, ObservedFix, ObservedOp};
+pub use drift::{
+    lint_drift, lint_fix_drift, lint_spill_drift, DriftTolerance, ObservedFix, ObservedOp,
+};
 pub use graph::lint_graph;
 pub use phys::verify_phys;
 pub use plan::verify_pt;

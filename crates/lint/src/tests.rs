@@ -10,8 +10,8 @@ use oorq_schema::Catalog;
 use oorq_storage::{Database, StorageConfig};
 
 use crate::{
-    lint_drift, lint_graph, verify_phys, verify_pt, DriftTolerance, LintCode, LintReport,
-    ObservedOp, Severity,
+    lint_breaker_budget, lint_drift, lint_graph, lint_spill_drift, verify_phys, verify_pt,
+    DriftTolerance, LintCode, LintReport, ObservedOp, Severity,
 };
 
 fn setup() -> (Arc<Catalog>, Database) {
@@ -572,6 +572,7 @@ fn phys_bad_rescan_is_reported() {
         meta: phys_meta(1),
         pred: Expr::True,
         rescan_inner: true,
+        mat_types: Vec::new(),
         require_index: None,
         left: Box::new(phys_scan(&cat, &db, 2, "b")),
         right: Box::new(phys_scan(&cat, &db, 3, "c")),
@@ -581,6 +582,7 @@ fn phys_bad_rescan_is_reported() {
         meta: phys_meta(0),
         pred: Expr::True,
         rescan_inner: true,
+        mat_types: Vec::new(),
         require_index: None,
         left: Box::new(phys_scan(&cat, &db, 4, "a")),
         right: Box::new(inner),
@@ -1016,4 +1018,53 @@ fn phys_bad_index_is_reported() {
     };
     let report = verify_phys(&env, &oorq_pt::PhysPlan { root, ops: 2 });
     assert!(report.has(LintCode::PhysBadIndex), "{report}");
+}
+
+// ---- breaker-budget / spill-drift passes ----------------------------
+
+fn breaker_line(label: &str, write_pages: f64) -> oorq_cost::NodeCost {
+    oorq_cost::NodeCost {
+        label: label.to_string(),
+        kind: oorq_cost::OpKind::Fix,
+        node: Some(0),
+        cost: oorq_cost::Cost::zero(),
+        feat: oorq_cost::CostFeatures {
+            write_pages,
+            ..Default::default()
+        },
+        rows: 1.0,
+        pages: write_pages,
+        fix: None,
+    }
+}
+
+#[test]
+fn breaker_over_budget_is_reported() {
+    let over = vec![breaker_line("Fix(R)", 96.0)];
+    let report = lint_breaker_budget(&over, 8);
+    assert!(report.has(LintCode::BreakerOverBudget), "{report}");
+    assert_eq!(LintCode::BreakerOverBudget.severity(), Severity::Warn);
+    // Fitting breakers and unbounded budgets stay quiet.
+    assert!(lint_breaker_budget(&over, 0).diagnostics.is_empty());
+    let fit = vec![breaker_line("Fix(R)", 4.0)];
+    assert!(lint_breaker_budget(&fit, 8).diagnostics.is_empty());
+}
+
+#[test]
+fn spill_drift_fires_on_cliff_disagreement() {
+    let tol = DriftTolerance::default();
+    let over = vec![breaker_line("Fix(R)", 96.0)];
+    // Modeled 88 pages past the budget but no observed evictions: the
+    // model put the plan on the wrong side of the cliff.
+    let report = lint_spill_drift(&over, 8, 0.0, tol);
+    assert!(report.has(LintCode::SpillDrift), "{report}");
+    // Observed evictions in the modeled ballpark: quiet.
+    let report = lint_spill_drift(&over, 8, 90.0, tol);
+    assert!(report.diagnostics.is_empty(), "{report}");
+    // Modeled fit, observed heavy spilling: drift again.
+    let fit = vec![breaker_line("Fix(R)", 4.0)];
+    let report = lint_spill_drift(&fit, 8, 200.0, tol);
+    assert!(report.has(LintCode::SpillDrift), "{report}");
+    // An unbounded budget never fires.
+    assert!(lint_spill_drift(&fit, 0, 200.0, tol).diagnostics.is_empty());
 }

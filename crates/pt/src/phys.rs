@@ -153,6 +153,10 @@ pub enum PhysOp {
         pred: Expr,
         /// Honest rescan (leaf-ish inner) vs materialize-once breaker.
         rescan_inner: bool,
+        /// Field types of the materialized inner's rows, resolved at
+        /// lowering so the executor can back the breaker with a
+        /// page-store temporary (empty when `rescan_inner`).
+        mat_types: Vec<ResolvedType>,
         /// See [`PhysOp::Filter::require_index`]: set when an index join
         /// degraded to a nested loop at lowering.
         require_index: Option<IndexId>,
@@ -706,11 +710,24 @@ impl Lowering<'_, '_> {
         let mut cols = l.cols().to_vec();
         cols.extend(r.cols().iter().cloned());
         let rescan_inner = r.rescannable();
+        // A materialized inner becomes a page-store temporary at
+        // execution; resolve its row shape here, where the typing
+        // environment is in scope.
+        let mat_types = if rescan_inner {
+            Vec::new()
+        } else {
+            right
+                .output_columns(&self.scoped_env())?
+                .into_iter()
+                .map(|(_, t)| t)
+                .collect()
+        };
         let meta = self.meta(pt, format!("EJ[{pred}]"));
         Ok(PhysOp::NlJoin {
             meta,
             pred: pred.clone(),
             rescan_inner,
+            mat_types,
             require_index,
             left: Box::new(l),
             right: Box::new(r),

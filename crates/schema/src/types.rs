@@ -119,7 +119,7 @@ impl fmt::Display for TypeExpr {
 }
 
 /// A *resolved* type: class names replaced by [`ClassId`]s.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum ResolvedType {
     /// An atomic type.
     Atomic(AtomicType),

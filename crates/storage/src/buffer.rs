@@ -21,6 +21,9 @@ pub struct IoStats {
     pub page_writes: u64,
     /// Index pages read (B+-tree levels and leaves traversed).
     pub index_reads: u64,
+    /// Temporary pages evicted because the breaker memory budget was
+    /// exhausted (spills); capacity evictions are not counted here.
+    pub spill_evictions: u64,
 }
 
 impl IoStats {
@@ -40,15 +43,34 @@ impl IoStats {
         self.page_hits += other.page_hits;
         self.page_writes += other.page_writes;
         self.index_reads += other.index_reads;
+        self.spill_evictions += other.spill_evictions;
     }
+}
+
+/// Residency record for one buffered page.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    /// Clock stamp of last use (LRU victim = smallest stamp).
+    stamp: u64,
+    /// Whether the page belongs to a temporary entity (breaker state);
+    /// only these count against the breaker memory budget.
+    temp: bool,
 }
 
 /// An LRU page cache of a fixed number of frames.
 #[derive(Debug)]
 pub struct BufferManager {
     capacity: usize,
-    /// page -> clock stamp of last use.
-    resident: HashMap<PageId, u64>,
+    /// Breaker memory budget: maximum resident *temporary* pages
+    /// (0 = unbounded, the default). When a temporary page would push
+    /// the temp-resident count past this budget, the least recently
+    /// used temporary page is spilled first.
+    temp_budget: usize,
+    /// Resident temporary pages (maintained incrementally so budget
+    /// checks are O(1)).
+    temp_resident: usize,
+    /// page -> residency record (LRU stamp + temp flag).
+    resident: HashMap<PageId, Frame>,
     clock: u64,
     stats: IoStats,
     /// Trace recorder (disabled by default; page hit/miss/eviction
@@ -61,6 +83,8 @@ impl BufferManager {
     pub fn new(capacity: usize) -> Self {
         BufferManager {
             capacity: capacity.max(1),
+            temp_budget: 0,
+            temp_resident: 0,
             resident: HashMap::new(),
             clock: 0,
             stats: IoStats::default(),
@@ -83,9 +107,13 @@ impl BufferManager {
     /// frames sharing this buffer's recorder. Workers fetch through their
     /// own view (no cross-thread frame contention); the view's counters
     /// are merged back via [`IoStats::absorb`] when the worker joins.
-    pub fn fork(&self, frames: usize) -> BufferManager {
+    /// `temp_budget` is the worker's slice of the breaker memory budget
+    /// (0 = unbounded).
+    pub fn fork(&self, frames: usize, temp_budget: usize) -> BufferManager {
         BufferManager {
             capacity: frames.max(1),
+            temp_budget,
+            temp_resident: 0,
             resident: HashMap::new(),
             clock: 0,
             stats: IoStats::default(),
@@ -98,30 +126,86 @@ impl BufferManager {
         self.capacity
     }
 
+    /// Cap resident temporary (breaker) pages; 0 lifts the cap.
+    pub fn set_temp_budget(&mut self, pages: usize) {
+        self.temp_budget = pages;
+    }
+
+    /// The breaker memory budget in pages (0 = unbounded).
+    pub fn temp_budget(&self) -> usize {
+        self.temp_budget
+    }
+
+    /// Remove `victim` from the frame table, maintaining the temp count.
+    fn drop_frame(&mut self, victim: PageId) -> Option<Frame> {
+        let frame = self.resident.remove(&victim);
+        if let Some(f) = frame {
+            if f.temp {
+                self.temp_resident -= 1;
+            }
+        }
+        frame
+    }
+
     /// Evict the least recently used page to make room.
     fn evict_lru(&mut self) {
-        if let Some((&victim, _)) = self.resident.iter().min_by_key(|(_, &s)| s) {
-            self.resident.remove(&victim);
+        if let Some((&victim, _)) = self.resident.iter().min_by_key(|(_, f)| f.stamp) {
+            self.drop_frame(victim);
             self.obs.counter_add("storage.page_evictions", 1.0);
             self.obs.event("storage", "page-evict", page_fields(victim));
         }
     }
 
-    /// Fetch a page, returning `true` on a physical read (miss).
-    pub fn fetch(&mut self, page: PageId) -> bool {
+    /// Evict the least recently used *temporary* page — a spill forced by
+    /// the breaker memory budget, counted separately from capacity
+    /// evictions.
+    fn spill_lru_temp(&mut self) {
+        let victim = self
+            .resident
+            .iter()
+            .filter(|(_, f)| f.temp)
+            .min_by_key(|(_, f)| f.stamp)
+            .map(|(&p, _)| p);
+        if let Some(victim) = victim {
+            self.drop_frame(victim);
+            self.stats.spill_evictions += 1;
+            self.obs.counter_add("storage.spill_evictions", 1.0);
+            self.obs
+                .event("storage", "spill-evict", page_fields(victim));
+        }
+    }
+
+    /// Make room for one incoming page (temp or not): first enforce the
+    /// breaker budget for temporary pages, then overall capacity.
+    fn make_room(&mut self, temp: bool) {
+        if temp && self.temp_budget > 0 {
+            while self.temp_resident >= self.temp_budget {
+                self.spill_lru_temp();
+            }
+        }
+        if self.resident.len() >= self.capacity {
+            self.evict_lru();
+        }
+    }
+
+    /// Fetch a page, returning `true` on a physical read (miss). `temp`
+    /// marks pages of temporary entities (breaker state), which are the
+    /// only ones counted against the breaker memory budget.
+    pub fn fetch(&mut self, page: PageId, temp: bool) -> bool {
         self.clock += 1;
         let clock = self.clock;
-        if let Some(stamp) = self.resident.get_mut(&page) {
-            *stamp = clock;
+        if let Some(frame) = self.resident.get_mut(&page) {
+            frame.stamp = clock;
             self.stats.page_hits += 1;
             self.obs.counter_add("storage.page_hits", 1.0);
             self.obs.event("storage", "page-hit", page_fields(page));
             false
         } else {
-            if self.resident.len() >= self.capacity {
-                self.evict_lru();
+            self.make_room(temp);
+            self.resident.insert(page, Frame { stamp: clock, temp });
+            if temp {
+                self.temp_resident += 1;
             }
-            self.resident.insert(page, clock);
             self.stats.page_reads += 1;
             self.obs.counter_add("storage.page_misses", 1.0);
             self.obs.event("storage", "page-miss", page_fields(page));
@@ -131,20 +215,36 @@ impl BufferManager {
 
     /// Record a page write (temporary materialization). The written page
     /// becomes resident; writes are counted separately from reads.
-    pub fn write(&mut self, page: PageId) {
+    pub fn write(&mut self, page: PageId, temp: bool) {
         self.clock += 1;
         self.stats.page_writes += 1;
         self.obs.counter_add("storage.page_writes", 1.0);
-        if !self.resident.contains_key(&page) && self.resident.len() >= self.capacity {
-            self.evict_lru();
+        let clock = self.clock;
+        if let Some(frame) = self.resident.get_mut(&page) {
+            // An entity's temp-ness never changes, so the flag is stable.
+            debug_assert_eq!(frame.temp, temp);
+            frame.stamp = clock;
+            return;
         }
-        self.resident.insert(page, self.clock);
+        self.make_room(temp);
+        self.resident.insert(page, Frame { stamp: clock, temp });
+        if temp {
+            self.temp_resident += 1;
+        }
     }
 
     /// Drop every resident page of an entity (e.g. when a temporary is
     /// cleared between fixpoint iterations).
     pub fn invalidate_entity(&mut self, entity: crate::physical::EntityId) {
-        self.resident.retain(|p, _| p.entity != entity);
+        let mut dropped_temps = 0usize;
+        self.resident.retain(|p, f| {
+            let keep = p.entity != entity;
+            if !keep && f.temp {
+                dropped_temps += 1;
+            }
+            keep
+        });
+        self.temp_resident -= dropped_temps;
     }
 
     /// Count index page reads (index nodes are outside the data buffer).
@@ -165,6 +265,7 @@ impl BufferManager {
     /// Drop all residency and counters.
     pub fn clear(&mut self) {
         self.resident.clear();
+        self.temp_resident = 0;
         self.stats = IoStats::default();
         self.clock = 0;
     }
@@ -193,8 +294,8 @@ mod tests {
     #[test]
     fn miss_then_hit() {
         let mut b = BufferManager::new(4);
-        assert!(b.fetch(pid(0, 0)));
-        assert!(!b.fetch(pid(0, 0)));
+        assert!(b.fetch(pid(0, 0), false));
+        assert!(!b.fetch(pid(0, 0), false));
         assert_eq!(b.stats().page_reads, 1);
         assert_eq!(b.stats().page_hits, 1);
         assert_eq!(b.stats().fetches(), 2);
@@ -203,12 +304,12 @@ mod tests {
     #[test]
     fn lru_evicts_least_recent() {
         let mut b = BufferManager::new(2);
-        b.fetch(pid(0, 0));
-        b.fetch(pid(0, 1));
-        b.fetch(pid(0, 0)); // refresh page 0
-        b.fetch(pid(0, 2)); // evicts page 1
-        assert!(!b.fetch(pid(0, 0)), "page 0 still resident");
-        assert!(b.fetch(pid(0, 1)), "page 1 was evicted");
+        b.fetch(pid(0, 0), false);
+        b.fetch(pid(0, 1), false);
+        b.fetch(pid(0, 0), false); // refresh page 0
+        b.fetch(pid(0, 2), false); // evicts page 1
+        assert!(!b.fetch(pid(0, 0), false), "page 0 still resident");
+        assert!(b.fetch(pid(0, 1), false), "page 1 was evicted");
     }
 
     #[test]
@@ -216,7 +317,7 @@ mod tests {
         let mut b = BufferManager::new(3);
         for round in 0..2 {
             for p in 0..10 {
-                b.fetch(pid(0, p));
+                b.fetch(pid(0, p), false);
             }
             // With LRU and a scan longer than the buffer, every fetch is a
             // miss on both rounds.
@@ -227,26 +328,90 @@ mod tests {
     #[test]
     fn invalidate_entity_only_drops_that_entity() {
         let mut b = BufferManager::new(8);
-        b.fetch(pid(0, 0));
-        b.fetch(pid(1, 0));
+        b.fetch(pid(0, 0), false);
+        b.fetch(pid(1, 0), false);
         b.invalidate_entity(EntityId(0));
-        assert!(b.fetch(pid(0, 0)), "entity 0 page dropped");
-        assert!(!b.fetch(pid(1, 0)), "entity 1 page kept");
+        assert!(b.fetch(pid(0, 0), false), "entity 0 page dropped");
+        assert!(!b.fetch(pid(1, 0), false), "entity 1 page kept");
     }
 
     #[test]
     fn writes_counted_separately() {
         let mut b = BufferManager::new(2);
-        b.write(pid(0, 0));
+        b.write(pid(0, 0), false);
         assert_eq!(b.stats().page_writes, 1);
     }
 
     #[test]
     fn clear_resets_everything() {
         let mut b = BufferManager::new(2);
-        b.fetch(pid(0, 0));
+        b.fetch(pid(0, 0), false);
         b.clear();
         assert_eq!(b.stats(), IoStats::default());
-        assert!(b.fetch(pid(0, 0)));
+        assert!(b.fetch(pid(0, 0), false));
+    }
+
+    #[test]
+    fn temp_budget_spills_lru_temp_page() {
+        let mut b = BufferManager::new(16);
+        b.set_temp_budget(2);
+        assert_eq!(b.temp_budget(), 2);
+        b.write(pid(5, 0), true);
+        b.write(pid(5, 1), true);
+        // Third temp page exceeds the budget: page 0 (LRU temp) spills.
+        b.write(pid(5, 2), true);
+        assert_eq!(b.stats().spill_evictions, 1);
+        assert!(b.fetch(pid(5, 0), true), "spilled page re-read is a miss");
+        // The re-fetch of page 0 in turn spills page 1 (now the LRU temp).
+        assert_eq!(b.stats().spill_evictions, 2);
+        assert!(!b.fetch(pid(5, 0), true), "just-fetched page is resident");
+    }
+
+    #[test]
+    fn temp_budget_does_not_touch_base_pages() {
+        let mut b = BufferManager::new(16);
+        b.set_temp_budget(1);
+        b.fetch(pid(0, 0), false);
+        b.fetch(pid(0, 1), false);
+        b.write(pid(5, 0), true);
+        b.write(pid(5, 1), true); // spills temp page 0, not the base pages
+        assert_eq!(b.stats().spill_evictions, 1);
+        assert!(!b.fetch(pid(0, 0), false), "base page survived the spill");
+        assert!(!b.fetch(pid(0, 1), false), "base page survived the spill");
+        assert!(b.fetch(pid(5, 0), true), "temp page 0 was spilled");
+    }
+
+    #[test]
+    fn zero_budget_means_unbounded() {
+        let mut b = BufferManager::new(16);
+        for p in 0..8 {
+            b.write(pid(5, p), true);
+        }
+        assert_eq!(b.stats().spill_evictions, 0);
+        for p in 0..8 {
+            assert!(!b.fetch(pid(5, p), true), "all temp pages resident");
+        }
+    }
+
+    #[test]
+    fn invalidate_entity_releases_budget() {
+        let mut b = BufferManager::new(16);
+        b.set_temp_budget(2);
+        b.write(pid(5, 0), true);
+        b.write(pid(5, 1), true);
+        b.invalidate_entity(EntityId(5));
+        // Budget fully released: two fresh temp pages fit without a spill.
+        b.write(pid(6, 0), true);
+        b.write(pid(6, 1), true);
+        assert_eq!(b.stats().spill_evictions, 0);
+    }
+
+    #[test]
+    fn capacity_eviction_not_counted_as_spill() {
+        let mut b = BufferManager::new(2);
+        b.fetch(pid(0, 0), false);
+        b.fetch(pid(0, 1), false);
+        b.fetch(pid(0, 2), false); // capacity eviction
+        assert_eq!(b.stats().spill_evictions, 0);
     }
 }

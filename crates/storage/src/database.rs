@@ -423,18 +423,32 @@ impl Database {
         let pos = seg.append(Row { key, values });
         let page = seg.page_of_position(pos);
         if pos.is_multiple_of(seg.rows_per_page()) {
-            self.with_buffer(|b| b.write(PageId { entity, page }));
+            self.with_buffer(|b| b.write(PageId { entity, page }, true));
         }
         Ok(key)
     }
 
-    /// Clear a temporary's contents.
+    /// Clear a temporary's contents. Residency is dropped from both the
+    /// calling worker's buffer view (if one is installed) and the shared
+    /// buffer, so no stale frames survive a truncate under any lane.
     pub fn truncate_temp(&self, entity: EntityId) -> Result<(), StorageError> {
         if self.physical.entity(entity).source != EntitySource::Temporary {
             return Err(StorageError::NotTemporary(entity));
         }
         self.segments.write().unwrap()[entity.0 as usize].clear();
-        self.with_buffer(|b| b.invalidate_entity(entity));
+        let in_worker = WORKER_BUFFER.with(|w| {
+            if let Some(view) = w.borrow_mut().as_mut() {
+                view.invalidate_entity(entity);
+                true
+            } else {
+                false
+            }
+        });
+        if in_worker {
+            self.buffer.lock().unwrap().invalidate_entity(entity);
+        } else {
+            self.with_buffer(|b| b.invalidate_entity(entity));
+        }
         Ok(())
     }
 
@@ -467,7 +481,8 @@ impl Database {
         if page >= seg.num_pages() {
             return None;
         }
-        self.with_buffer(|b| b.fetch(PageId { entity, page }));
+        let temp = self.is_temp_entity(entity);
+        self.with_buffer(|b| b.fetch(PageId { entity, page }, temp));
         Some(seg.page_rows(page).to_vec())
     }
 
@@ -568,7 +583,7 @@ impl Database {
             .position_of(oid.index)
             .ok_or(StorageError::DanglingOid(oid))?;
         let page = seg.page_of_position(pos);
-        self.with_buffer(|b| b.fetch(PageId { entity, page }));
+        self.with_buffer(|b| b.fetch(PageId { entity, page }, false));
         let slot = self.attr_slot(entity, oid.class, attr);
         seg.row_at(pos)
             .and_then(|r| r.values.get(slot))
@@ -607,7 +622,7 @@ impl Database {
                         .position_of(oid.index)
                         .ok_or(StorageError::DanglingOid(oid))?;
                     let page = seg.page_of_position(pos);
-                    self.with_buffer(|b| b.fetch(PageId { entity, page }));
+                    self.with_buffer(|b| b.fetch(PageId { entity, page }, false));
                     let row = seg.row_at(pos).ok_or(StorageError::DanglingOid(oid))?;
                     for (slot, attr) in attrs.iter().enumerate() {
                         values[attr.0 as usize] = row.values[slot].clone();
@@ -625,7 +640,7 @@ impl Database {
             .position_of(oid.index)
             .ok_or(StorageError::DanglingOid(oid))?;
         let page = seg.page_of_position(pos);
-        self.with_buffer(|b| b.fetch(PageId { entity, page }));
+        self.with_buffer(|b| b.fetch(PageId { entity, page }, false));
         Ok(seg
             .row_at(pos)
             .ok_or(StorageError::DanglingOid(oid))?
@@ -651,11 +666,13 @@ impl Database {
     }
 
     /// Install a private buffer-accounting view for the calling thread
-    /// (`frames` frames, sharing the main buffer's recorder). Every
-    /// subsequent fetch/write/index-read on this thread accounts against
-    /// the view until [`Database::take_worker_buffer`] removes it.
-    pub fn install_worker_buffer(&self, frames: usize) {
-        let view = self.buffer.lock().unwrap().fork(frames);
+    /// (`frames` frames, sharing the main buffer's recorder, with
+    /// `temp_budget` as the worker's slice of the breaker memory budget;
+    /// 0 = unbounded). Every subsequent fetch/write/index-read on this
+    /// thread accounts against the view until
+    /// [`Database::take_worker_buffer`] removes it.
+    pub fn install_worker_buffer(&self, frames: usize, temp_budget: usize) {
+        let view = self.buffer.lock().unwrap().fork(frames, temp_budget);
         WORKER_BUFFER.with(|w| *w.borrow_mut() = Some(view));
     }
 
@@ -679,6 +696,24 @@ impl Database {
     /// split this among themselves for their private views).
     pub fn buffer_frames(&self) -> usize {
         self.buffer.lock().unwrap().capacity()
+    }
+
+    /// Whether an entity is a temporary (breaker state whose pages count
+    /// against the breaker memory budget).
+    pub fn is_temp_entity(&self, entity: EntityId) -> bool {
+        self.physical.entity(entity).source == EntitySource::Temporary
+    }
+
+    /// Cap resident temporary (breaker) pages in the shared buffer;
+    /// 0 lifts the cap. Parallel workers split this budget among their
+    /// private views.
+    pub fn set_temp_budget(&self, pages: usize) {
+        self.buffer.lock().unwrap().set_temp_budget(pages);
+    }
+
+    /// The breaker memory budget in pages (0 = unbounded).
+    pub fn temp_budget_pages(&self) -> usize {
+        self.buffer.lock().unwrap().temp_budget()
     }
 
     /// Count index page reads performed by an index probe.

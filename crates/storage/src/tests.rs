@@ -288,6 +288,98 @@ fn temporaries_append_scan_truncate() {
 }
 
 #[test]
+fn append_temp_counts_one_write_per_page_started() {
+    // `small_db`'s 256-byte pages hold 10 `[int, int]` records (8-byte
+    // header + two 8-byte fields), so 25 appends start exactly pages
+    // 0, 1 and 2 — the write counter must say 3, not 25 and not 2.
+    let mut db = small_db();
+    let int = oorq_schema::ResolvedType::Atomic(oorq_schema::AtomicType::Int);
+    let t = db.create_temp("acc", vec![int.clone(), int]);
+    db.reset_io();
+    for i in 0..25 {
+        let w = db.io_stats().page_writes;
+        let expect = (i / 10 + 1) as u64;
+        db.append_temp(t, vec![Value::Int(i), Value::Int(-i)])
+            .unwrap();
+        let after = db.io_stats().page_writes;
+        assert_eq!(
+            after, expect,
+            "row {i}: {w} writes before, {after} after (page boundary accounting)"
+        );
+    }
+    assert_eq!(db.num_pages(t), 3);
+}
+
+#[test]
+fn truncated_temp_reuse_restarts_pages_and_accounting() {
+    let mut db = small_db();
+    let int = oorq_schema::ResolvedType::Atomic(oorq_schema::AtomicType::Int);
+    let t = db.create_temp("acc", vec![int.clone(), int]);
+    db.reset_io();
+    for i in 0..12 {
+        db.append_temp(t, vec![Value::Int(i), Value::Int(i)])
+            .unwrap();
+    }
+    assert_eq!(db.io_stats().page_writes, 2, "pages 0 and 1 started");
+    db.truncate_temp(t).unwrap();
+    assert_eq!(db.entity_len(t), 0);
+    assert_eq!(db.num_pages(t), 0);
+    // Reuse restarts at page 0: the fresh first page is written (and
+    // paid for) again, and scans see only the new contents — no frame
+    // from before the truncate may satisfy a read.
+    for i in 0..8 {
+        db.append_temp(t, vec![Value::Int(100 + i), Value::Int(i)])
+            .unwrap();
+    }
+    assert_eq!(db.io_stats().page_writes, 3, "restarted page 0 paid for");
+    assert_eq!(db.num_pages(t), 1);
+    let rows = db.scan(t);
+    assert_eq!(rows.len(), 8);
+    assert!(rows.iter().all(|r| r.values[0].as_int().unwrap() >= 100));
+}
+
+#[test]
+fn worker_views_forked_mid_temp_merge_write_accounting() {
+    // A temporary half-filled by one lane and extended by another (the
+    // exchange pattern: breaker temps outlive a fork) must charge each
+    // page start to exactly one lane, and the merged totals must add up.
+    let mut db = small_db();
+    let int = oorq_schema::ResolvedType::Atomic(oorq_schema::AtomicType::Int);
+    let t = db.create_temp("acc", vec![int.clone(), int]);
+    db.reset_io();
+    for i in 0..5 {
+        db.append_temp(t, vec![Value::Int(i), Value::Int(i)])
+            .unwrap();
+    }
+    assert_eq!(db.io_stats().page_writes, 1, "main lane started page 0");
+
+    // Fork a 2-worker-style view mid-page: rows 5..9 continue page 0
+    // (already paid), row 10 starts page 1 in this lane.
+    db.install_worker_buffer(4, 2);
+    for i in 5..15 {
+        db.append_temp(t, vec![Value::Int(i), Value::Int(i)])
+            .unwrap();
+    }
+    let lane = db.take_worker_buffer();
+    assert_eq!(lane.page_writes, 1, "lane paid only the page it started");
+    db.absorb_io(lane);
+    assert_eq!(db.io_stats().page_writes, 2);
+
+    // A second lane scanning the temp pays its own cold reads (forked
+    // views start empty) and they merge into the shared totals too.
+    db.install_worker_buffer(4, 2);
+    let rows = db.scan(t);
+    let lane2 = db.take_worker_buffer();
+    assert_eq!(rows.len(), 15);
+    assert_eq!(lane2.page_reads, 2, "both temp pages cold in the fork");
+    assert_eq!(lane2.page_writes, 0);
+    db.absorb_io(lane2);
+    let total = db.io_stats();
+    assert_eq!(total.page_writes, 2);
+    assert!(total.page_reads >= 2);
+}
+
+#[test]
 fn relation_rows_roundtrip() {
     let mut db = small_db();
     let likes = db.catalog().relation_by_name("Likes").unwrap();

@@ -11,12 +11,23 @@ use oorq::cost::{CostModel, CostParams};
 use oorq::datagen::{
     parts_catalog, ChainConfig, ChainDb, MusicConfig, MusicDb, PartsConfig, PartsDb,
 };
-use oorq::exec::{eval_query_graph, Executor, MethodRegistry};
+use oorq::exec::{eval_query_graph, ExecConfig, Executor, MethodRegistry};
 use oorq::index::{IndexSet, PathIndex, SelectionIndex};
 use oorq::optimizer::{Optimizer, OptimizerConfig};
 use oorq::query::paper::{influencer_view, music_catalog};
 use oorq::query::{Expr, NameRef, QArc, QueryGraph, SpjNode, ViewRegistry};
 use oorq::storage::{Database, DbStats};
+
+/// Breaker memory budget for every streaming run (pages), from the
+/// `OORQ_MEMORY_BUDGET` environment variable (`0` / unset = unbounded).
+/// CI re-runs this whole suite under a low budget to prove spilling
+/// breakers return byte-identical answers.
+fn env_budget() -> u64 {
+    std::env::var("OORQ_MEMORY_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
 
 /// Optimize under the given config, stream the plan, and compare
 /// against the (pre-computed, sorted) reference answer. Returns the
@@ -36,7 +47,10 @@ fn diff_one(
     let plan = Optimizer::new(model, config)
         .optimize(q)
         .unwrap_or_else(|e| panic!("{label}: optimization failed: {e}"));
-    let mut ex = Executor::new(db, idx, methods);
+    let mut ex = Executor::new(db, idx, methods).with_config(ExecConfig {
+        memory_budget_pages: env_budget(),
+        ..ExecConfig::default()
+    });
     let got = ex
         .run(&plan.pt)
         .unwrap_or_else(|e| panic!("{label}: streaming execution failed: {e}"));
@@ -352,7 +366,10 @@ fn two_independent_fixpoints_report_separate_delta_curves() {
             CostParams::default(),
         );
         let plan = Optimizer::new(model, config).optimize(&q).unwrap();
-        let mut ex = Executor::new(&mut m.db, &idx, &methods);
+        let mut ex = Executor::new(&mut m.db, &idx, &methods).with_config(ExecConfig {
+            memory_budget_pages: env_budget(),
+            ..ExecConfig::default()
+        });
         let mut got = ex.run(&plan.pt).unwrap().rows;
         got.sort();
         assert_eq!(reference, got, "two-fix/{cname}: diverged from reference");

@@ -21,6 +21,17 @@ use oorq::query::{Expr, NameRef, QArc, QueryGraph, SpjNode, ViewRegistry};
 use oorq::storage::{Database, DbStats};
 use oorq_prng::Prng;
 
+/// Breaker memory budget for every run (pages), from the
+/// `OORQ_MEMORY_BUDGET` environment variable (`0` / unset = unbounded).
+/// CI re-runs this suite under a low budget: the determinism contract
+/// must survive spilling breakers on every lane.
+fn env_budget() -> u64 {
+    std::env::var("OORQ_MEMORY_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 /// Optimize once with a 4-worker budget, take the serial answer as the
 /// reference, then replay the *same* parallel spec under pools of 1, 2
 /// and 4 workers and demand row-for-row, in-order identity. Returns
@@ -47,7 +58,10 @@ fn parallel_identity(
     .unwrap_or_else(|e| panic!("{label}: optimization failed: {e}"));
 
     let reference = {
-        let mut ex = Executor::new(db, idx, methods);
+        let mut ex = Executor::new(db, idx, methods).with_config(ExecConfig {
+            memory_budget_pages: env_budget(),
+            ..ExecConfig::default()
+        });
         ex.run(&plan.pt)
             .unwrap_or_else(|e| panic!("{label}: serial execution failed: {e}"))
             .rows
@@ -57,6 +71,7 @@ fn parallel_identity(
         let mut ex = Executor::new(db, idx, methods)
             .with_config(ExecConfig {
                 threads: workers,
+                memory_budget_pages: env_budget(),
                 ..ExecConfig::default()
             })
             .with_parallel(plan.parallel.clone());
