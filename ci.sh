@@ -56,6 +56,14 @@ rm -rf target/prune-smoke
 cargo run --release -q -p oorq-bench --bin reproduce trace music-pushjoin target/prune-smoke \
     | grep "pruned-proven" >/dev/null
 
+echo "== reproduce smoke (always-on metrics: percentiles + EXPLAIN ANALYZE) =="
+cargo run --release -q -p oorq-bench --bin reproduce metrics music > target/metrics-smoke.txt
+grep "p99" target/metrics-smoke.txt >/dev/null
+grep "EXPLAIN ANALYZE" target/metrics-smoke.txt >/dev/null
+
+echo "== metrics gate (stable series names + recorder overhead caps) =="
+cargo run --release -q -p oorq-bench --bin reproduce metrics-gate
+
 echo "== trace smoke (emit + validate trace.json with the in-repo checker) =="
 rm -rf target/trace-smoke
 cargo run --release -q -p oorq-bench --bin reproduce trace music-fig7 target/trace-smoke \

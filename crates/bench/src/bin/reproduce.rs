@@ -4,7 +4,20 @@
 //! `fig1 fig2 fig3 fig4 fig5 fig6 fig7 pushjoin crossover strategies
 //! ablation lint validate analyze calibrate calibrate-fit
 //! calibrate-gate feedback feedback-fit feedback-gate analyze-gate
-//! fuzz parallel spill spill-gate all` (default: `all`).
+//! fuzz parallel spill spill-gate metrics metrics-fit metrics-gate
+//! all` (default: `all`). An unknown section lists the registry and
+//! exits 2.
+//!
+//! `reproduce metrics <scenario>` replays a scenario (`music`,
+//! `pushjoin` or `chain`) five times under the always-on metrics
+//! registry and prints the aggregated series with p50/p90/p99, the
+//! EXPLAIN ANALYZE tree (predicted vs observed per operator, `!!` on a
+//! §11 interval escape), and the Prometheus exposition; it honours
+//! `--threads` and `--memory-budget`. `reproduce metrics-gate` checks
+//! the stable metric names against `crates/bench/metrics_baseline.txt`
+//! and the disabled/enabled recorder overhead caps; `reproduce
+//! metrics-fit` prints the baseline to check in after a deliberate
+//! rename.
 //!
 //! `reproduce parallel [--threads N]` compares serial against parallel
 //! execution across the scenario corpus (default 4 workers) and fails
@@ -119,10 +132,78 @@ fn memory_budget_arg() -> u64 {
         .unwrap_or(0)
 }
 
+/// Every section `reproduce` understands; an unknown one is a usage
+/// error (exit 2) listing the full registry.
+const SECTIONS: &[&str] = &[
+    "all",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "pushjoin",
+    "crossover",
+    "strategies",
+    "ablation",
+    "lint",
+    "validate",
+    "analyze",
+    "analyze-gate",
+    "calibrate",
+    "calibrate-fit",
+    "calibrate-gate",
+    "feedback",
+    "feedback-fit",
+    "feedback-gate",
+    "fuzz",
+    "parallel",
+    "spill",
+    "spill-gate",
+    "trace",
+    "trace-check",
+    "metrics",
+    "metrics-fit",
+    "metrics-gate",
+];
+
 fn main() {
     let section = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    if !SECTIONS.contains(&section.as_str()) {
+        eprintln!("reproduce: unknown section `{section}`");
+        eprintln!("known sections:\n  {}", SECTIONS.join(" "));
+        std::process::exit(2);
+    }
     if section == "trace" {
         return trace_main();
+    }
+    if section == "metrics" {
+        let scenario = std::env::args()
+            .nth(2)
+            .filter(|a| !a.starts_with("--"))
+            .unwrap_or_else(|| "music".to_string());
+        match oorq_bench::metrics::metrics_report(&scenario, threads_arg(), memory_budget_arg()) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("reproduce metrics: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    if section == "metrics-fit" {
+        match oorq_bench::metrics::metrics_fit_report() {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("reproduce metrics-fit: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    if section == "metrics-gate" {
+        return gate("metrics-gate", oorq_bench::metrics::metrics_gate());
     }
     if section == "parallel" {
         // A serial "parallel" comparison is vacuous: without an explicit

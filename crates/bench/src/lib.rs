@@ -10,6 +10,7 @@ pub mod calibrate;
 pub mod feedback;
 pub mod fuzz;
 pub mod harness;
+pub mod metrics;
 pub mod parallel;
 pub mod reports;
 pub mod scenarios;

@@ -1,0 +1,498 @@
+//! `reproduce metrics <scenario>`: replay one scenario under an
+//! always-on [`oorq_obs::MetricsRegistry`], then print the aggregated
+//! series (log-bucketed percentiles), the EXPLAIN ANALYZE tree joining
+//! predicted to observed figures per operator, and the Prometheus-style
+//! text exposition.
+//!
+//! `reproduce metrics-gate` is the CI contract for the subsystem:
+//!
+//! 1. **Stable names** — the series a canonical workload interns must
+//!    match `crates/bench/metrics_baseline.txt` exactly (two-way diff);
+//!    renaming a metric breaks every dashboard scraping it, so a rename
+//!    must show up as a deliberate baseline edit in review.
+//! 2. **Disabled-path overhead** — detached handles are the always-on
+//!    promise: a counter bump or histogram record against a disabled
+//!    registry must stay under a hard per-op cap (one `Option` branch).
+//! 3. **Enabled-path overhead** — the same fixed workload, metered
+//!    versus unmetered, must not slow down beyond a generous factor.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use oorq_analysis::{Analyzer, AnalyzerConfig};
+use oorq_core::{Optimizer, OptimizerConfig};
+use oorq_cost::{CostModel, CostParams};
+use oorq_datagen::{ChainConfig, ChainDb, MusicConfig};
+use oorq_exec::{explain_analyze, ExecConfig, Executor, MethodRegistry};
+use oorq_index::IndexSet;
+use oorq_obs::{CounterHandle, HistogramHandle, MetricsRegistry};
+use oorq_query::QueryGraph;
+use oorq_storage::{Database, DbStats};
+
+use crate::scenarios::PaperSetup;
+
+/// The scenarios `reproduce metrics` understands.
+pub const METRICS_SCENARIOS: &[&str] = &["music", "pushjoin", "chain"];
+
+/// Replays per `reproduce metrics` run — enough samples for the
+/// histogram percentiles to mean something.
+pub const METRICS_REPLAYS: usize = 5;
+
+/// One metered optimize-and-execute replay's residue (the registry
+/// itself accumulates across replays).
+pub struct MeteredRun {
+    /// Answer rows.
+    pub rows: usize,
+    /// Worker lanes the executor forked (0 = fully serial).
+    pub lanes: usize,
+    /// The rendered EXPLAIN ANALYZE tree for this replay.
+    pub explain: String,
+}
+
+/// Optimize and execute one query with the registry attached to every
+/// layer, and render EXPLAIN ANALYZE from the lowered physical plan.
+#[allow(clippy::too_many_arguments)]
+fn run_metered(
+    db: &mut Database,
+    idx: &IndexSet,
+    methods: &MethodRegistry,
+    q: &QueryGraph,
+    config: OptimizerConfig,
+    registry: &MetricsRegistry,
+    threads: u32,
+    budget: u64,
+) -> Result<MeteredRun, String> {
+    let stats = DbStats::collect(db);
+    let model = CostModel::new(db.catalog(), db.physical(), &stats, CostParams::default());
+    let mut opt =
+        Optimizer::new(model, OptimizerConfig { threads, ..config }).with_metrics(registry);
+    let plan = opt
+        .optimize(q)
+        .map_err(|e| format!("optimization failed: {e}"))?;
+    let temp_fields = opt.model.temp_fields.clone();
+
+    // The §11 sound bounds for the chosen plan, so EXPLAIN ANALYZE can
+    // flag an observed counter escaping its interval.
+    let analyzer = Analyzer {
+        catalog: db.catalog(),
+        physical: db.physical(),
+        stats: &stats,
+        params: CostParams::default(),
+        config: AnalyzerConfig::default(),
+    };
+    let analysis = analyzer.analyze_with_temps(&plan.pt, temp_fields).ok();
+
+    db.cold_cache();
+    let mut ex = Executor::new(db, idx, methods)
+        .with_config(ExecConfig {
+            threads,
+            memory_budget_pages: budget,
+            ..ExecConfig::default()
+        })
+        .with_parallel(plan.parallel.clone())
+        .with_metrics(registry.clone());
+    let out = ex
+        .run(&plan.pt)
+        .map_err(|e| format!("execution failed: {e}"))?;
+    let report = ex.report();
+    let explain = ex
+        .last_plan()
+        .map(|p| explain_analyze(p, &plan.cost.breakdown, analysis.as_ref(), &report))
+        .unwrap_or_default();
+    Ok(MeteredRun {
+        rows: out.rows.len(),
+        lanes: report.workers.len(),
+        explain,
+    })
+}
+
+/// Run a named scenario `replays` times into one registry; returns the
+/// last replay's residue.
+pub fn replay_scenario(
+    scenario: &str,
+    registry: &MetricsRegistry,
+    threads: u32,
+    budget: u64,
+    replays: usize,
+) -> Result<MeteredRun, String> {
+    match scenario {
+        "music" | "pushjoin" => {
+            let mut setup = PaperSetup::new(PaperSetup::paper_scale());
+            let methods = MethodRegistry::new();
+            let q = if scenario == "pushjoin" {
+                setup.pushjoin()
+            } else {
+                setup.fig3()
+            };
+            replay_query(
+                &mut setup.m.db,
+                &setup.idx,
+                &methods,
+                &q,
+                registry,
+                threads,
+                budget,
+                replays,
+            )
+        }
+        "chain" => {
+            // The O(n²) nested-loop regime from the parallel corpus —
+            // big enough that a worker budget actually forks lanes.
+            let mut chain = ChainDb::generate(ChainConfig {
+                relations: 2,
+                rows: 1400,
+                domain: 64,
+                seed: 0x5eed,
+            });
+            let methods = MethodRegistry::new();
+            let idx = IndexSet::new();
+            let q = chain.chain_query(64);
+            replay_query(
+                &mut chain.db,
+                &idx,
+                &methods,
+                &q,
+                registry,
+                threads,
+                budget,
+                replays,
+            )
+        }
+        other => Err(format!(
+            "unknown metrics scenario `{other}` (known: {})",
+            METRICS_SCENARIOS.join(", ")
+        )),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn replay_query(
+    db: &mut Database,
+    idx: &IndexSet,
+    methods: &MethodRegistry,
+    q: &QueryGraph,
+    registry: &MetricsRegistry,
+    threads: u32,
+    budget: u64,
+    replays: usize,
+) -> Result<MeteredRun, String> {
+    let mut last = None;
+    for _ in 0..replays.max(1) {
+        last = Some(run_metered(
+            db,
+            idx,
+            methods,
+            q,
+            OptimizerConfig::cost_controlled(),
+            registry,
+            threads,
+            budget,
+        )?);
+    }
+    Ok(last.expect("at least one replay"))
+}
+
+/// `reproduce metrics <scenario>`: the aggregated-series table, the
+/// EXPLAIN ANALYZE tree, and the Prometheus exposition.
+pub fn metrics_report(scenario: &str, threads: u32, budget: u64) -> Result<String, String> {
+    let registry = MetricsRegistry::new();
+    let run = replay_scenario(scenario, &registry, threads, budget, METRICS_REPLAYS)?;
+    let mut out = format!(
+        "=== Query metrics: {scenario} × {METRICS_REPLAYS} replays \
+         (threads {threads}, breaker budget {budget} pages) ===\n"
+    );
+    let _ = writeln!(
+        out,
+        "answer rows: {}; worker lanes (last replay): {}",
+        run.rows, run.lanes
+    );
+    out.push('\n');
+    out.push_str(&registry.render_table());
+    out.push('\n');
+    out.push_str(&run.explain);
+    out.push_str("\n### Prometheus exposition\n\n");
+    out.push_str(&registry.render_prometheus());
+    Ok(out)
+}
+
+/// The fixed workload behind the gate's name baseline and overhead
+/// comparison: one serial, unbounded replay of a small music Figure-3
+/// run (recursive, indexed, with a fixpoint — it interns every
+/// optimizer, executor, fixpoint and storage series).
+fn gate_workload(registry: &MetricsRegistry) -> Result<MeteredRun, String> {
+    let mut setup = PaperSetup::new(MusicConfig {
+        chains: 4,
+        chain_len: 4,
+        ..PaperSetup::paper_scale()
+    });
+    let methods = MethodRegistry::new();
+    let q = setup.fig3();
+    replay_query(&mut setup.m.db, &setup.idx, &methods, &q, registry, 0, 0, 1)
+}
+
+/// The checked-in stable-name baseline (regenerate with
+/// `reproduce metrics-fit`).
+const BASELINE: &str = include_str!("../metrics_baseline.txt");
+
+/// Hard cap on one detached-handle probe. A detached bump is one
+/// `Option` branch; 25 ns leaves an order of magnitude of headroom over
+/// anything resembling a healthy build.
+const DISABLED_NS_PER_OP_CAP: f64 = 25.0;
+
+/// Enabled-path budget: metered workload wall ≤ this factor over the
+/// unmetered one, plus fixed slack for timer noise on small workloads.
+const ENABLED_FACTOR_CAP: f64 = 2.0;
+const ENABLED_SLACK_MS: f64 = 50.0;
+
+/// `reproduce metrics-fit`: print the canonical workload's interned
+/// series, ready to check in as `crates/bench/metrics_baseline.txt`.
+pub fn metrics_fit_report() -> Result<String, String> {
+    let registry = MetricsRegistry::new();
+    gate_workload(&registry)?;
+    let mut out = String::from(
+        "# Stable metric names interned by the canonical workload\n\
+         # (small music fig3, serial, unbounded). Regenerate with\n\
+         # `reproduce metrics-fit`; a diff here is a dashboard-breaking\n\
+         # rename and must be deliberate.\n",
+    );
+    for name in registry.names() {
+        let _ = writeln!(out, "{name}");
+    }
+    Ok(out)
+}
+
+/// `reproduce metrics-gate`: stable names + overhead caps.
+pub fn metrics_gate() -> Result<String, String> {
+    let mut out = String::from("=== Metrics gate: stable names and overhead caps ===\n");
+    let mut bad = 0usize;
+
+    // (1) Stable metric names: exact two-way diff against the baseline.
+    let registry = MetricsRegistry::new();
+    gate_workload(&registry)?;
+    let got = registry.names();
+    let want: Vec<&str> = BASELINE
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    for name in &want {
+        if !got.iter().any(|g| g == name) {
+            let _ = writeln!(out, "MISSING series `{name}` (in baseline, not interned)");
+            bad += 1;
+        }
+    }
+    for name in &got {
+        if !want.contains(&name.as_str()) {
+            let _ = writeln!(out, "UNKNOWN series `{name}` (interned, not in baseline)");
+            bad += 1;
+        }
+    }
+    let _ = writeln!(
+        out,
+        "stable names: {} series interned, {} in baseline",
+        got.len(),
+        want.len()
+    );
+
+    // (2) Disabled-path cost: detached handles against a hard ns/op cap.
+    let counter = CounterHandle::default();
+    let hist = HistogramHandle::default();
+    let iters: u64 = 2_000_000;
+    let t0 = Instant::now();
+    for i in 0..iters {
+        counter.add(std::hint::black_box(1));
+        hist.record(std::hint::black_box(i));
+    }
+    let ns_per_op = t0.elapsed().as_nanos() as f64 / (iters * 2) as f64;
+    let _ = writeln!(
+        out,
+        "disabled-path probe: {ns_per_op:.2} ns/op over {} ops (cap {DISABLED_NS_PER_OP_CAP})",
+        iters * 2
+    );
+    if ns_per_op > DISABLED_NS_PER_OP_CAP {
+        let _ = writeln!(out, "disabled-path cost exceeds the cap");
+        bad += 1;
+    }
+
+    // (3) Enabled-path cost: metered vs unmetered fixed workload.
+    let t0 = Instant::now();
+    gate_workload(&MetricsRegistry::disabled())?;
+    let off_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    gate_workload(&MetricsRegistry::new())?;
+    let on_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cap_ms = off_ms * ENABLED_FACTOR_CAP + ENABLED_SLACK_MS;
+    let _ = writeln!(
+        out,
+        "enabled-path workload: {on_ms:.1} ms metered vs {off_ms:.1} ms unmetered \
+         (cap {cap_ms:.1} ms)"
+    );
+    if on_ms > cap_ms {
+        let _ = writeln!(out, "metered workload exceeds the overhead cap");
+        bad += 1;
+    }
+
+    let _ = writeln!(out, "{bad} violation(s)");
+    if bad > 0 {
+        Err(out)
+    } else {
+        Ok(out)
+    }
+}
+
+/// A deterministic small-config EXPLAIN ANALYZE rendering, wall-time
+/// scrubbed — the golden-test subject (`golden_explain_{music,chain}.txt`).
+/// Everything except wall time is machine-independent: seeded data,
+/// cold cache, serial execution.
+pub fn golden_explain(scenario: &str) -> Result<String, String> {
+    let registry = MetricsRegistry::disabled();
+    let run = match scenario {
+        "music" => {
+            let mut setup = PaperSetup::new(MusicConfig {
+                chains: 3,
+                chain_len: 4,
+                ..PaperSetup::paper_scale()
+            });
+            let methods = MethodRegistry::new();
+            let q = setup.fig3();
+            replay_query(
+                &mut setup.m.db,
+                &setup.idx,
+                &methods,
+                &q,
+                &registry,
+                0,
+                0,
+                1,
+            )?
+        }
+        "chain" => {
+            let mut chain = ChainDb::generate(ChainConfig {
+                relations: 3,
+                rows: 60,
+                domain: 12,
+                seed: 0x5eed,
+            });
+            let methods = MethodRegistry::new();
+            let idx = IndexSet::new();
+            let q = chain.chain_query(8);
+            replay_query(&mut chain.db, &idx, &methods, &q, &registry, 0, 0, 1)?
+        }
+        other => return Err(format!("no golden for scenario `{other}`")),
+    };
+    Ok(scrub_wall(&run.explain))
+}
+
+/// Scrub wall-clock figures (`wall=12.3µs`, and the gate's `ms`
+/// figures) out of an EXPLAIN ANALYZE rendering so deterministic parts
+/// can be golden-tested across machines.
+pub fn scrub_wall(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find("wall=") {
+        let (head, tail) = rest.split_at(pos + "wall=".len());
+        out.push_str(head);
+        let end = tail
+            .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+            .unwrap_or(tail.len());
+        out.push('?');
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_scenario_is_rejected() {
+        let registry = MetricsRegistry::new();
+        assert!(replay_scenario("no-such", &registry, 0, 0, 1).is_err());
+    }
+
+    /// Satellite: the EXPLAIN ANALYZE rendering is pinned for one music
+    /// and one chain plan (wall times scrubbed; everything else — tree
+    /// shape, observed counters, predictions — is deterministic).
+    /// Regenerate by writing `golden_explain(scenario)` back to
+    /// `crates/bench/golden_explain_<scenario>.txt` after a deliberate
+    /// format or plan change.
+    #[test]
+    fn explain_analyze_matches_music_golden() {
+        let got = golden_explain("music").expect("music golden runs");
+        assert_eq!(got, include_str!("../golden_explain_music.txt"));
+    }
+
+    #[test]
+    fn explain_analyze_matches_chain_golden() {
+        let got = golden_explain("chain").expect("chain golden runs");
+        assert_eq!(got, include_str!("../golden_explain_chain.txt"));
+    }
+
+    #[test]
+    fn scrub_wall_erases_only_wall_figures() {
+        let s = "#0 Fix  rows obs=3 wall=12.5µs\n#1 EJ wall=0.9µs est rows=4.0\n";
+        assert_eq!(
+            scrub_wall(s),
+            "#0 Fix  rows obs=3 wall=?µs\n#1 EJ wall=?µs est rows=4.0\n"
+        );
+    }
+
+    /// The tentpole integration check: a small metered replay interns
+    /// series from every layer, and the per-query histograms carry one
+    /// sample per replay.
+    #[test]
+    fn gate_workload_interns_every_layer() {
+        let registry = MetricsRegistry::new();
+        gate_workload(&registry).expect("workload runs");
+        let names = registry.names();
+        for expect in [
+            "optimizer.queries",
+            "optimizer.optimize_ns",
+            "optimizer.candidates.enumerated",
+            "exec.queries",
+            "exec.query.wall_ns",
+            "exec.fix.iterations",
+            "storage.page_misses",
+        ] {
+            assert!(names.iter().any(|n| n == expect), "missing {expect}");
+        }
+        assert_eq!(registry.counter("exec.queries").get(), 1);
+        assert_eq!(registry.histogram("exec.query.wall_ns").count(), 1);
+        assert_eq!(
+            registry.counter("optimizer.candidates.enumerated").get(),
+            registry.counter("optimizer.candidates.accepted").get()
+                + registry.counter("optimizer.candidates.rejected").get()
+                + registry.counter("optimizer.candidates.pruned").get()
+                + registry.counter("optimizer.candidates.pruned_proven").get(),
+            "every enumerated candidate lands in exactly one bucket"
+        );
+    }
+
+    /// Satellite: worker-lane registries fork and merge back — under a
+    /// real parallel run with a tight breaker budget, the registry sees
+    /// every lane and the spill traffic.
+    #[test]
+    fn registry_merges_parallel_worker_lanes() {
+        let registry = MetricsRegistry::new();
+        let run = replay_scenario("chain", &registry, 4, 8, 1).expect("chain scenario runs");
+        assert!(
+            run.lanes > 0,
+            "the chain big-join must fork worker lanes at 4 threads"
+        );
+        assert_eq!(
+            registry.histogram("exec.worker.wall_ns").count() as usize,
+            run.lanes,
+            "one worker wall sample per lane, merged from the lane forks"
+        );
+        assert_eq!(
+            registry.histogram("exec.worker.rows").count() as usize,
+            run.lanes
+        );
+        assert!(
+            registry.counter("storage.page_misses").get() > 0,
+            "worker-lane buffer traffic lands in the shared storage series"
+        );
+    }
+}

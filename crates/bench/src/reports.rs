@@ -353,6 +353,12 @@ pub fn fig7_report(setup: &mut PaperSetup) -> String {
     );
     let _ = writeln!(
         out,
+        "Breaker traffic: PT(i): {} spill evictions, {} temp-page reads; \
+         PT(ii): {}, {} (nonzero only under a breaker memory budget)",
+        ri.io.spill_evictions, ri.io.temp_reads, rii.io.spill_evictions, rii.io.temp_reads,
+    );
+    let _ = writeln!(
+        out,
         "Fixpoint delta sizes (semi-naive, seed first): PT(i): [{}]; PT(ii): [{}]",
         render_fix_curves(&ri.fix_deltas),
         render_fix_curves(&rii.fix_deltas),
@@ -399,7 +405,8 @@ pub fn predicted_vs_observed(
 ) -> String {
     let mut out = String::from(
         "| op | operator | est. io | obs. pages | est. cpu | obs. evals | \
-         est. rows | obs. rows | wall µs |\n|---|---|---|---|---|---|---|---|---|\n",
+         est. rows | obs. rows | writes | temp rd | spills | wall µs |\n\
+         |---|---|---|---|---|---|---|---|---|---|---|---|\n",
     );
     for op in ops {
         let est = breakdown.iter().find(|n| n.node == Some(op.pt_node));
@@ -414,7 +421,7 @@ pub fn predicted_vs_observed(
         let obs_pages = op.page_reads + op.index_reads + op.page_writes;
         let _ = writeln!(
             out,
-            "| {} | {} | {} | {} | {} | {} | {} | {} | {:.0} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {:.0} |",
             op.id,
             op.label,
             eio,
@@ -423,6 +430,9 @@ pub fn predicted_vs_observed(
             op.evals + op.method_calls,
             erows,
             op.rows_out,
+            op.page_writes,
+            op.temp_reads,
+            op.spill_evictions,
             op.wall_ns as f64 / 1000.0,
         );
     }

@@ -110,6 +110,19 @@ impl PaperSetup {
         config: OptimizerConfig,
         obs: oorq_obs::Recorder,
     ) -> Optimized {
+        self.optimize_metered(q, config, obs, &oorq_obs::MetricsRegistry::disabled())
+    }
+
+    /// Optimize with both a recorder and an aggregating metrics registry
+    /// attached (the registry accumulates across queries; the recorder
+    /// traces one run).
+    pub fn optimize_metered(
+        &self,
+        q: &QueryGraph,
+        config: OptimizerConfig,
+        obs: oorq_obs::Recorder,
+        registry: &oorq_obs::MetricsRegistry,
+    ) -> Optimized {
         let model = CostModel::new(
             self.m.db.catalog(),
             self.m.db.physical(),
@@ -118,6 +131,7 @@ impl PaperSetup {
         );
         Optimizer::new(model, config)
             .with_recorder(obs)
+            .with_metrics(registry)
             .optimize(q)
             .expect("optimization must succeed")
     }
@@ -130,9 +144,22 @@ impl PaperSetup {
     /// Execute with a structured-tracing recorder attached (per-operator
     /// spans, fixpoint-iteration events, buffer-manager page events).
     pub fn execute_traced(&mut self, pt: &Pt, obs: oorq_obs::Recorder) -> (ExecReport, usize) {
+        self.execute_metered(pt, obs, &oorq_obs::MetricsRegistry::disabled())
+    }
+
+    /// Execute with both a recorder and a metrics registry attached
+    /// (per-query snapshots land in the registry's aggregated series).
+    pub fn execute_metered(
+        &mut self,
+        pt: &Pt,
+        obs: oorq_obs::Recorder,
+        registry: &oorq_obs::MetricsRegistry,
+    ) -> (ExecReport, usize) {
         let methods = MethodRegistry::new();
         self.m.db.cold_cache();
-        let mut ex = Executor::new(&mut self.m.db, &self.idx, &methods).with_recorder(obs);
+        let mut ex = Executor::new(&mut self.m.db, &self.idx, &methods)
+            .with_recorder(obs)
+            .with_metrics(registry.clone());
         let out = ex.run(pt).expect("execution must succeed");
         (ex.report(), out.len())
     }

@@ -68,14 +68,24 @@ pub fn trace_scenario(scenario: &str) -> Result<TraceArtifacts, String> {
     };
 
     let obs = Recorder::new();
+    let registry = oorq_obs::MetricsRegistry::new();
     let mut setup = PaperSetup::new(cfg);
     let q = if scenario == "music-pushjoin" {
         setup.pushjoin()
     } else {
         setup.fig3()
     };
-    let optimized = setup.optimize_traced(&q, OptimizerConfig::cost_controlled(), obs.clone());
-    let (report, answer) = setup.execute_traced(&optimized.pt, obs.clone());
+    let optimized = setup.optimize_metered(
+        &q,
+        OptimizerConfig::cost_controlled(),
+        obs.clone(),
+        &registry,
+    );
+    let (report, answer) = setup.execute_metered(&optimized.pt, obs.clone(), &registry);
+    // Fold the aggregated series into the trace as `metrics.*` counters,
+    // so the Chrome export carries them as `C` samples and the JSONL
+    // header round-trips them — no schema change, just more counters.
+    registry.publish_to_recorder(&obs);
     let trace = obs.finish();
 
     let mut summary = String::new();

@@ -83,6 +83,7 @@ pub fn generate_pt(
     arc_chains: &[Vec<ArcChain>],
     strategy: SpjStrategy,
     obs: &oorq_obs::Recorder,
+    cand_metrics: &crate::metrics::CandidateMetrics,
 ) -> Result<(Pt, Vec<String>, f64), OptError> {
     // Combined substitution (alternatives of one arc share theirs).
     let mut subst: HashMap<String, Expr> = HashMap::new();
@@ -146,6 +147,13 @@ pub fn generate_pt(
             return Err(OptError::Unplannable(format!("arc {i}")));
         }
         cands.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+        for rank in 0..cands.len() {
+            if rank < KEEP_PER_ARC {
+                cand_metrics.outcome("accept", "kept in arc beam");
+            } else {
+                cand_metrics.outcome("prune", "beyond keep-per-arc beam");
+            }
+        }
         if obs.enabled() {
             obs.counter_add("optimizer.candidates.enumerated", cands.len() as f64);
             let best_fp = format!("{:016x}", cands[0].pt.fingerprint());
@@ -215,6 +223,7 @@ pub fn generate_pt(
         .cost(&pt)
         .map_err(OptError::Cost)?
         .total(&model.params);
+    cand_metrics.outcome("accept", "join-enumeration winner");
     if obs.enabled() {
         obs.event(
             "optimizer",

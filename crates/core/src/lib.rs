@@ -19,6 +19,7 @@
 
 mod error;
 mod generate;
+mod metrics;
 mod optimizer;
 mod rewrite;
 mod trace;
@@ -27,6 +28,7 @@ mod translate;
 
 pub use error::OptError;
 pub use generate::{generate_pt, rewrite_expr, Candidate, SpjStrategy};
+pub use metrics::CandidateMetrics;
 pub use optimizer::{Optimized, Optimizer, OptimizerConfig, ParallelChoice, VerifyLevel};
 pub use rewrite::{fixpoint_action, fixpoint_recursion, rewrite, union_action};
 pub use trace::{OptTrace, Step, StepTrace, StrategyKind};

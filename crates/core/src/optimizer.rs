@@ -200,6 +200,9 @@ pub struct Optimizer<'a> {
     /// Structured-tracing recorder (disabled by default: every probe is
     /// one branch).
     pub obs: oorq_obs::Recorder,
+    /// Aggregated metric series, pre-resolved at attach time (detached
+    /// by default: every bump is one branch).
+    metrics: crate::metrics::OptimizerMetrics,
     fresh: usize,
 }
 
@@ -210,6 +213,7 @@ impl<'a> Optimizer<'a> {
             model,
             config,
             obs: oorq_obs::Recorder::disabled(),
+            metrics: crate::metrics::OptimizerMetrics::default(),
             fresh: 0,
         }
     }
@@ -221,11 +225,27 @@ impl<'a> Optimizer<'a> {
         self
     }
 
+    /// Attach a metrics registry: every optimization publishes its wall
+    /// time (`optimizer.optimize_ns`), and each enumerated candidate —
+    /// arc beam, push decision, randomized-walk move — lands in one
+    /// `optimizer.candidates.*` outcome bucket.
+    pub fn with_metrics(mut self, registry: &oorq_obs::MetricsRegistry) -> Self {
+        self.metrics = crate::metrics::OptimizerMetrics::resolve(registry);
+        self
+    }
+
     /// Optimize a query graph into an execution plan.
     pub fn optimize(&mut self, graph: &QueryGraph) -> Result<Optimized, OptError> {
         let catalog = self.model.catalog;
         let sp_opt = self.obs.begin("optimizer", "optimize");
+        let wall0 = std::time::Instant::now();
         let result = self.optimize_inner(graph);
+        if result.is_ok() {
+            self.metrics.queries.inc();
+            self.metrics
+                .optimize_ns
+                .record(wall0.elapsed().as_nanos() as u64);
+        }
         if let Ok(plan) = &result {
             self.obs.span_fields(
                 sp_opt,
@@ -306,6 +326,7 @@ impl<'a> Optimizer<'a> {
                     self.config.verify.active(),
                     Some(&mut trace),
                     &self.obs,
+                    &self.metrics.candidates,
                 );
                 self.obs.end(sp);
                 outcome.pt
@@ -477,6 +498,7 @@ impl<'a> Optimizer<'a> {
             self.obs
                 .counter_add("optimizer.parallel_choices", choices.len() as f64);
         }
+        self.metrics.parallel_choices.add(choices.len() as u64);
         Ok((spec, choices))
     }
 
@@ -751,6 +773,7 @@ impl<'a> Optimizer<'a> {
                 &chains,
                 self.config.spj_strategy,
                 &self.obs,
+                &self.metrics.candidates,
             );
             self.obs.end(sp);
             let r = r?;
@@ -834,6 +857,7 @@ impl<'a> Optimizer<'a> {
                         ("reason".into(), reason.into()),
                     ],
                 );
+                self.metrics.candidates.outcome(outcome, reason);
                 if keep_pushed {
                     // The displaced incumbent is itself a rejected
                     // candidate of this decision.
@@ -854,7 +878,11 @@ impl<'a> Optimizer<'a> {
                             ),
                         ],
                     );
+                    self.metrics
+                        .candidates
+                        .outcome("reject", "displaced by the pushed plan");
                 }
+                self.metrics.push_decisions.inc();
                 self.obs.counter_add("optimizer.push_decisions", 1.0);
             }
             self.obs.end(sp);

@@ -869,6 +869,7 @@ fn broken_transformation_action_is_caught_by_the_verifier() {
         true,
         Some(&mut trace),
         &obs,
+        &crate::metrics::CandidateMetrics::default(),
     );
     assert!(
         outcome.violations > 0,

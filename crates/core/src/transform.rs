@@ -672,6 +672,7 @@ pub fn rand_optimize(model: &CostModel<'_>, start: Pt, config: &RandConfig) -> P
         false,
         None,
         &oorq_obs::Recorder::disabled(),
+        &crate::metrics::CandidateMetrics::default(),
     )
     .pt
 }
@@ -683,6 +684,7 @@ pub fn rand_optimize(model: &CostModel<'_>, start: Pt, config: &RandConfig) -> P
 /// and the rejection is recorded in the trace. The move generator is a
 /// parameter so tests can inject a broken transformation action and
 /// observe the verifier catching it.
+#[allow(clippy::too_many_arguments)]
 pub fn rand_optimize_with(
     model: &CostModel<'_>,
     start: Pt,
@@ -691,10 +693,14 @@ pub fn rand_optimize_with(
     verify: bool,
     mut trace: Option<&mut crate::trace::OptTrace>,
     obs: &oorq_obs::Recorder,
+    cand_metrics: &crate::metrics::CandidateMetrics,
 ) -> RandOutcome {
-    // One structured `candidate` event per attempted move.
+    // One structured `candidate` event per attempted move; each also
+    // lands in one candidate-outcome metric bucket (metrics aggregate
+    // even when tracing is off).
     let candidate_event =
         |pick: &Pt, c: Option<f64>, incumbent: f64, outcome: &str, reason: &str| {
+            cand_metrics.outcome(outcome, reason);
             if !obs.enabled() {
                 return;
             }

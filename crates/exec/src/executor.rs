@@ -104,6 +104,12 @@ pub struct Executor<'a> {
     parallel: oorq_pt::ParallelSpec,
     /// Trace recorder (disabled by default).
     obs: oorq_obs::Recorder,
+    /// Aggregated metric series (disabled by default; every run then
+    /// costs one branch at publish time).
+    metrics: oorq_obs::MetricsRegistry,
+    /// The lowered physical plan of the last completed run (joined with
+    /// `last_ops` by EXPLAIN ANALYZE renderers).
+    last_plan: Option<PhysPlan>,
 }
 
 impl<'a> Executor<'a> {
@@ -124,6 +130,8 @@ impl<'a> Executor<'a> {
             last_workers: Vec::new(),
             parallel: oorq_pt::ParallelSpec::new(),
             obs: oorq_obs::Recorder::disabled(),
+            metrics: oorq_obs::MetricsRegistry::disabled(),
+            last_plan: None,
         }
     }
 
@@ -150,6 +158,23 @@ impl<'a> Executor<'a> {
         self.db.set_recorder(obs.clone());
         self.obs = obs;
         self
+    }
+
+    /// Attach a metrics registry: every completed run publishes its
+    /// per-query wall/rows/evals, per-operator-kind and fixpoint series
+    /// (`exec.*`), and the store's buffer manager bumps its `storage.*`
+    /// counters inline. Worker lanes record into per-lane forks that are
+    /// merged back at publish time, so parallel runs aggregate into the
+    /// same series contention-free.
+    pub fn with_metrics(mut self, metrics: oorq_obs::MetricsRegistry) -> Self {
+        self.db.set_metrics(&metrics);
+        self.metrics = metrics;
+        self
+    }
+
+    /// The lowered physical plan of the last completed run.
+    pub fn last_plan(&self) -> Option<&PhysPlan> {
+        self.last_plan.as_ref()
     }
 
     /// Reset I/O and CPU counters (e.g. after a warm-up run).
@@ -182,13 +207,60 @@ impl<'a> Executor<'a> {
     /// [`ExecError::PlanLint`] before it can touch the store.
     pub fn run(&mut self, pt: &Pt) -> Result<Batch, ExecError> {
         let span = self.obs.begin("exec", "run");
+        let wall0 = std::time::Instant::now();
+        let evals0 = self.counters.evals.get();
         let res = self.run_inner(pt);
         if let Ok(batch) = &res {
             self.obs
                 .span_fields(span, vec![("rows".into(), batch.rows.len().into())]);
+            self.publish_metrics(
+                wall0.elapsed().as_nanos() as u64,
+                batch.rows.len() as u64,
+                self.counters.evals.get() - evals0,
+            );
         }
         self.obs.end(span);
         res
+    }
+
+    /// Publish one completed run into the metrics registry: the
+    /// per-query series, one histogram pair per operator *kind*
+    /// (aggregating e.g. every `EntityScan` in the plan), the fixpoint
+    /// convergence series, and per-worker lanes through forked
+    /// registries merged back in (the lanes were produced by concurrent
+    /// workers; the fork/merge path is the same one a sharded serving
+    /// layer would use).
+    fn publish_metrics(&self, wall_ns: u64, rows: u64, evals: u64) {
+        if !self.metrics.enabled() {
+            return;
+        }
+        self.metrics.counter("exec.queries").inc();
+        self.metrics.histogram("exec.query.wall_ns").record(wall_ns);
+        self.metrics.histogram("exec.query.rows").record(rows);
+        self.metrics.histogram("exec.query.evals").record(evals);
+        for op in &self.last_ops {
+            let kind = op_kind(&op.label);
+            self.metrics
+                .histogram(&format!("exec.op.{kind}.wall_ns"))
+                .record(op.wall_ns);
+            self.metrics
+                .histogram(&format!("exec.op.{kind}.rows"))
+                .record(op.rows_out);
+        }
+        for curve in &self.last_fix_deltas {
+            self.metrics
+                .histogram("exec.fix.iterations")
+                .record((curve.deltas.len() as u64).saturating_sub(1));
+            self.metrics
+                .histogram("exec.fix.delta_mass")
+                .record(curve.deltas.iter().sum());
+        }
+        for lane in &self.last_workers {
+            let fork = self.metrics.fork();
+            fork.histogram("exec.worker.wall_ns").record(lane.wall_ns);
+            fork.histogram("exec.worker.rows").record(lane.rows);
+            self.metrics.merge_from(&fork);
+        }
     }
 
     fn run_inner(&mut self, pt: &Pt) -> Result<Batch, ExecError> {
@@ -224,6 +296,7 @@ impl<'a> Executor<'a> {
         self.last_ops = ops;
         self.last_fix_deltas = fix_deltas;
         self.last_workers = workers;
+        self.last_plan = Some(plan);
         #[cfg(debug_assertions)]
         self.assert_bounds(pt);
         rows.dedup();
@@ -368,6 +441,17 @@ impl<'a> Executor<'a> {
             *n += 1;
         }
     }
+}
+
+/// Operator *kind* of a physical-operator label: its leading
+/// alphanumeric run (`EntityScan(Composer)` → `EntityScan`,
+/// `Exchange(x2)` → `Exchange`) — the grouping key of the
+/// `exec.op.<kind>.*` metric series.
+pub fn op_kind(label: &str) -> &str {
+    let end = label
+        .find(|c: char| !c.is_ascii_alphanumeric())
+        .unwrap_or(label.len());
+    &label[..end]
 }
 
 /// Map lowering failures onto the executor's error vocabulary (the

@@ -16,13 +16,15 @@
 mod error;
 mod eval;
 mod executor;
+mod explain;
 mod methods;
 mod pipeline;
 mod reference;
 
 pub use error::ExecError;
 pub use eval::{lit_value, Batch, Counters, EvalCtx};
-pub use executor::{ExecConfig, ExecReport, Executor};
+pub use executor::{op_kind, ExecConfig, ExecReport, Executor};
+pub use explain::explain_analyze;
 pub use methods::{MethodFn, MethodRegistry};
 pub use pipeline::{FixDeltaCurve, OpReport};
 pub use reference::eval_query_graph;

@@ -53,6 +53,12 @@ pub struct OpReport {
     pub index_reads: u64,
     /// Pages written (temporary spills).
     pub page_writes: u64,
+    /// Physical re-reads of temporary pages (spilled breaker state
+    /// fetched back from the page store); a subset of `page_reads`.
+    pub temp_reads: u64,
+    /// Temporary pages this operator's work forced out under the
+    /// breaker memory budget.
+    pub spill_evictions: u64,
     /// Predicate comparisons evaluated.
     pub evals: u64,
     /// Method (computed-attribute) invocations.
@@ -120,6 +126,8 @@ struct OpStats {
     page_hits: u64,
     index_reads: u64,
     page_writes: u64,
+    temp_reads: u64,
+    spill_evictions: u64,
     evals: u64,
     method_calls: u64,
     wall_ns: u64,
@@ -277,6 +285,8 @@ fn record_op_spans(obs: &oorq_obs::Recorder, reports: &[OpReport], stats: &[OpSt
             ("page_hits".into(), r.page_hits.into()),
             ("index_reads".into(), r.index_reads.into()),
             ("page_writes".into(), r.page_writes.into()),
+            ("temp_reads".into(), r.temp_reads.into()),
+            ("spill_evictions".into(), r.spill_evictions.into()),
             ("evals".into(), r.evals.into()),
             ("method_calls".into(), r.method_calls.into()),
             ("wall_ns".into(), r.wall_ns.into()),
@@ -525,6 +535,8 @@ impl<'a> Rt<'a> {
         s.page_hits += io.page_hits - snap.io.page_hits;
         s.index_reads += io.index_reads - snap.io.index_reads;
         s.page_writes += io.page_writes - snap.io.page_writes;
+        s.temp_reads += io.temp_reads - snap.io.temp_reads;
+        s.spill_evictions += io.spill_evictions - snap.io.spill_evictions;
         s.evals += self.counters.evals.get() - snap.evals;
         s.method_calls += self.counters.method_calls.get() - snap.method_calls;
         let elapsed = snap.t0.elapsed().as_nanos() as u64;
@@ -619,6 +631,8 @@ impl<'a> Rt<'a> {
                     s.page_hits += ws.page_hits;
                     s.index_reads += ws.index_reads;
                     s.page_writes += ws.page_writes;
+                    s.temp_reads += ws.temp_reads;
+                    s.spill_evictions += ws.spill_evictions;
                     s.evals += ws.evals;
                     s.method_calls += ws.method_calls;
                     s.wall_ns += ws.wall_ns;
@@ -1276,6 +1290,8 @@ fn rollup(plan: &PhysPlan, stats: &[OpStats]) -> Vec<OpReport> {
             kids.page_hits += cs.page_hits;
             kids.index_reads += cs.index_reads;
             kids.page_writes += cs.page_writes;
+            kids.temp_reads += cs.temp_reads;
+            kids.spill_evictions += cs.spill_evictions;
             kids.evals += cs.evals;
             kids.method_calls += cs.method_calls;
             kids.wall_ns += cs.wall_ns;
@@ -1291,6 +1307,14 @@ fn rollup(plan: &PhysPlan, stats: &[OpStats]) -> Vec<OpReport> {
             page_hits: exclusive(s.page_hits, kids.page_hits, "page_hits", id, label),
             index_reads: exclusive(s.index_reads, kids.index_reads, "index_reads", id, label),
             page_writes: exclusive(s.page_writes, kids.page_writes, "page_writes", id, label),
+            temp_reads: exclusive(s.temp_reads, kids.temp_reads, "temp_reads", id, label),
+            spill_evictions: exclusive(
+                s.spill_evictions,
+                kids.spill_evictions,
+                "spill_evictions",
+                id,
+                label,
+            ),
             evals: exclusive(s.evals, kids.evals, "evals", id, label),
             method_calls: exclusive(s.method_calls, kids.method_calls, "method_calls", id, label),
             // Wall time obeys the same invariant as the counters: every

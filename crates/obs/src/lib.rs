@@ -34,10 +34,15 @@ mod chrome;
 mod folded;
 pub mod json;
 mod jsonl;
+pub mod metrics;
 mod recorder;
 mod search;
 
 pub use chrome::{check_chrome_trace, ChromeSummary};
+pub use metrics::{
+    Counter, CounterHandle, Gauge, GaugeHandle, Histogram, HistogramHandle, HistogramSnapshot,
+    MetricsRegistry, MetricsSnapshot,
+};
 pub use recorder::{
     Event, FieldValue, Fields, Recorder, Span, SpanId, Trace, SCHEMA_NAME, SCHEMA_VERSION,
 };

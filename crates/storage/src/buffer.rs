@@ -24,6 +24,9 @@ pub struct IoStats {
     /// Temporary pages evicted because the breaker memory budget was
     /// exhausted (spills); capacity evictions are not counted here.
     pub spill_evictions: u64,
+    /// Physical reads of *temporary* pages (spilled breaker state
+    /// re-fetched from the page store); a subset of `page_reads`.
+    pub temp_reads: u64,
 }
 
 impl IoStats {
@@ -44,6 +47,33 @@ impl IoStats {
         self.page_writes += other.page_writes;
         self.index_reads += other.index_reads;
         self.spill_evictions += other.spill_evictions;
+        self.temp_reads += other.temp_reads;
+    }
+}
+
+/// Pre-resolved metric series for the buffer's hot path: handles are
+/// interned once at [`BufferManager::set_metrics`] time, so each page
+/// operation costs one branch (detached) or one relaxed atomic add.
+#[derive(Debug, Clone, Default)]
+struct BufferMetrics {
+    page_hits: oorq_obs::CounterHandle,
+    page_misses: oorq_obs::CounterHandle,
+    page_writes: oorq_obs::CounterHandle,
+    page_evictions: oorq_obs::CounterHandle,
+    spill_evictions: oorq_obs::CounterHandle,
+    temp_page_reads: oorq_obs::CounterHandle,
+}
+
+impl BufferMetrics {
+    fn resolve(registry: &oorq_obs::MetricsRegistry) -> Self {
+        BufferMetrics {
+            page_hits: registry.counter("storage.page_hits"),
+            page_misses: registry.counter("storage.page_misses"),
+            page_writes: registry.counter("storage.page_writes"),
+            page_evictions: registry.counter("storage.page_evictions"),
+            spill_evictions: registry.counter("storage.spill_evictions"),
+            temp_page_reads: registry.counter("storage.temp_page_reads"),
+        }
     }
 }
 
@@ -76,6 +106,11 @@ pub struct BufferManager {
     /// Trace recorder (disabled by default; page hit/miss/eviction
     /// events then cost a single branch).
     obs: oorq_obs::Recorder,
+    /// Aggregated metric series (detached by default; same one-branch
+    /// discipline as the recorder). Handles share their atomics across
+    /// [`BufferManager::fork`] views, so worker-lane traffic lands in
+    /// the same series without a merge step.
+    metrics: BufferMetrics,
 }
 
 impl BufferManager {
@@ -89,6 +124,7 @@ impl BufferManager {
             clock: 0,
             stats: IoStats::default(),
             obs: oorq_obs::Recorder::disabled(),
+            metrics: BufferMetrics::default(),
         }
     }
 
@@ -96,6 +132,12 @@ impl BufferManager {
     /// eviction fires a structured event on it.
     pub fn set_recorder(&mut self, obs: oorq_obs::Recorder) {
         self.obs = obs;
+    }
+
+    /// Attach a metrics registry; every subsequent page hit, miss,
+    /// write, eviction and spill bumps its `storage.*` counter series.
+    pub fn set_metrics(&mut self, registry: &oorq_obs::MetricsRegistry) {
+        self.metrics = BufferMetrics::resolve(registry);
     }
 
     /// Fold a worker view's counters into this buffer's statistics.
@@ -118,6 +160,7 @@ impl BufferManager {
             clock: 0,
             stats: IoStats::default(),
             obs: self.obs.clone(),
+            metrics: self.metrics.clone(),
         }
     }
 
@@ -151,6 +194,7 @@ impl BufferManager {
     fn evict_lru(&mut self) {
         if let Some((&victim, _)) = self.resident.iter().min_by_key(|(_, f)| f.stamp) {
             self.drop_frame(victim);
+            self.metrics.page_evictions.inc();
             self.obs.counter_add("storage.page_evictions", 1.0);
             self.obs.event("storage", "page-evict", page_fields(victim));
         }
@@ -169,6 +213,7 @@ impl BufferManager {
         if let Some(victim) = victim {
             self.drop_frame(victim);
             self.stats.spill_evictions += 1;
+            self.metrics.spill_evictions.inc();
             self.obs.counter_add("storage.spill_evictions", 1.0);
             self.obs
                 .event("storage", "spill-evict", page_fields(victim));
@@ -197,6 +242,7 @@ impl BufferManager {
         if let Some(frame) = self.resident.get_mut(&page) {
             frame.stamp = clock;
             self.stats.page_hits += 1;
+            self.metrics.page_hits.inc();
             self.obs.counter_add("storage.page_hits", 1.0);
             self.obs.event("storage", "page-hit", page_fields(page));
             false
@@ -205,8 +251,11 @@ impl BufferManager {
             self.resident.insert(page, Frame { stamp: clock, temp });
             if temp {
                 self.temp_resident += 1;
+                self.stats.temp_reads += 1;
+                self.metrics.temp_page_reads.inc();
             }
             self.stats.page_reads += 1;
+            self.metrics.page_misses.inc();
             self.obs.counter_add("storage.page_misses", 1.0);
             self.obs.event("storage", "page-miss", page_fields(page));
             true
@@ -218,6 +267,7 @@ impl BufferManager {
     pub fn write(&mut self, page: PageId, temp: bool) {
         self.clock += 1;
         self.stats.page_writes += 1;
+        self.metrics.page_writes.inc();
         self.obs.counter_add("storage.page_writes", 1.0);
         let clock = self.clock;
         if let Some(frame) = self.resident.get_mut(&page) {
@@ -404,6 +454,46 @@ mod tests {
         b.write(pid(6, 0), true);
         b.write(pid(6, 1), true);
         assert_eq!(b.stats().spill_evictions, 0);
+    }
+
+    #[test]
+    fn temp_reads_count_only_temp_page_misses() {
+        let mut b = BufferManager::new(16);
+        b.fetch(pid(0, 0), false); // base miss
+        b.fetch(pid(5, 0), true); // temp miss
+        b.fetch(pid(5, 0), true); // temp hit: not a temp read
+        assert_eq!(b.stats().page_reads, 2);
+        assert_eq!(b.stats().temp_reads, 1);
+        let other = IoStats {
+            temp_reads: 3,
+            ..Default::default()
+        };
+        let mut io = b.stats();
+        io.absorb(other);
+        assert_eq!(io.temp_reads, 4);
+    }
+
+    #[test]
+    fn metrics_registry_counts_buffer_traffic_across_forks() {
+        let m = oorq_obs::MetricsRegistry::new();
+        let mut b = BufferManager::new(2);
+        b.set_metrics(&m);
+        b.set_temp_budget(1);
+        b.fetch(pid(0, 0), false); // miss
+        b.fetch(pid(0, 0), false); // hit
+        b.write(pid(5, 0), true);
+        b.write(pid(5, 1), true); // spills temp page 0
+        b.fetch(pid(0, 1), false); // miss; capacity-evicts something
+                                   // A worker view shares the same series atomics.
+        let mut w = b.fork(2, 0);
+        w.fetch(pid(0, 7), true); // temp miss in the fork
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["storage.page_misses"], 3);
+        assert_eq!(snap.counters["storage.page_hits"], 1);
+        assert_eq!(snap.counters["storage.page_writes"], 2);
+        assert_eq!(snap.counters["storage.spill_evictions"], 1);
+        assert_eq!(snap.counters["storage.temp_page_reads"], 1);
+        assert!(snap.counters["storage.page_evictions"] >= 1);
     }
 
     #[test]

@@ -741,6 +741,14 @@ impl Database {
     pub fn set_recorder(&self, obs: oorq_obs::Recorder) {
         self.buffer.lock().unwrap().set_recorder(obs);
     }
+
+    /// Attach a metrics registry to the buffer manager: every subsequent
+    /// page hit, miss, write, eviction and spill bumps the `storage.*`
+    /// counter series. Worker views forked after this call share the
+    /// same series atomics.
+    pub fn set_metrics(&self, registry: &oorq_obs::MetricsRegistry) {
+        self.buffer.lock().unwrap().set_metrics(registry);
+    }
 }
 
 /// A streaming, page-at-a-time scan of one entity (see
