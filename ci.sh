@@ -48,7 +48,8 @@ echo "== spill-cliff regression gate =="
 cargo run --release -q -p oorq-bench --bin reproduce spill-gate
 
 echo "== low-budget differential smoke (spilling breakers, byte-identical answers) =="
-OORQ_MEMORY_BUDGET=8 cargo test -q --release --test differential --test parallel_differential
+OORQ_MEMORY_BUDGET=8 cargo test -q --release --test differential --test parallel_differential \
+    --test serve_differential
 cargo run --release -q -p oorq-bench --bin reproduce parallel --threads 2 --memory-budget 8
 
 echo "== provable-pruning smoke (pruned-proven candidates in the search-space table) =="
@@ -69,5 +70,11 @@ rm -rf target/trace-smoke
 cargo run --release -q -p oorq-bench --bin reproduce trace music-fig7 target/trace-smoke \
     | grep "Rejected candidates" >/dev/null
 cargo run --release -q -p oorq-bench --bin reproduce trace-check target/trace-smoke/trace-music-fig7.json
+
+echo "== serve smoke (concurrent sessions, byte-identity, 2 threads) =="
+cargo run --release -q -p oorq-bench --bin reproduce serve --queries 120 --sessions 2 --threads 2
+
+echo "== serve gate (full replay, plan-cache hit rate) =="
+cargo run --release -q -p oorq-bench --bin reproduce serve-gate
 
 echo "CI OK"

@@ -33,6 +33,14 @@
 //! overrides the `spill` sweep's budget; `spill-gate` always runs at
 //! the baseline-pinned budget.
 //!
+//! `reproduce serve [--queries N] [--sessions N]` replays a mixed
+//! music/chain corpus through N concurrent serving sessions sharing one
+//! plan cache per scenario family (defaults: 1000 queries, 4 sessions)
+//! and fails when any answer deviates from the single-session reference
+//! replay; it reports p50/p99 request latency and the
+//! `serve.cache.*` hit/miss/evict counters. `reproduce serve-gate` runs
+//! the full-size replay and additionally pins the plan-cache hit rate.
+//!
 //! `reproduce spill [--memory-budget N]` sweeps a transitive-closure
 //! workload across the breaker-budget spill cliff and reports predicted
 //! versus observed physical page reads on both sides; `reproduce
@@ -87,26 +95,46 @@ fn gate(name: &str, outcome: Result<String, String>) {
     }
 }
 
-/// Resolve the executor worker-pool size: a `--threads N` flag anywhere
-/// on the command line beats the `OORQ_THREADS` environment variable;
-/// absent both, `0` — the fully serial default every gate runs under.
-fn threads_arg() -> u32 {
+/// Read a numeric flag's value from anywhere on the command line; a
+/// present flag with a missing or unparseable value is a usage error
+/// (exit 2).
+fn flag_arg(flag: &str) -> Option<u64> {
     let mut args = std::env::args();
     while let Some(a) = args.next() {
-        if a == "--threads" {
+        if a == flag {
             match args.next().and_then(|v| v.parse().ok()) {
-                Some(v) => return v,
+                Some(v) => return Some(v),
                 None => {
-                    eprintln!("usage: reproduce <section> [--threads <N>]");
+                    eprintln!("usage: reproduce <section> [{flag} <N>]");
                     std::process::exit(2);
                 }
             }
         }
     }
-    std::env::var("OORQ_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0)
+    None
+}
+
+/// Read a numeric environment variable. A variable that is set but does
+/// not parse as an unsigned integer is a hard error (exit 2) — a typo'd
+/// `OORQ_THREADS=four` must not silently run the serial default.
+fn env_arg(name: &str) -> Option<u64> {
+    let v = std::env::var(name).ok()?;
+    match v.parse() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!("reproduce: {name} must be an unsigned integer, got `{v}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Resolve the executor worker-pool size: a `--threads N` flag anywhere
+/// on the command line beats the `OORQ_THREADS` environment variable;
+/// absent both, `0` — the fully serial default every gate runs under.
+fn threads_arg() -> u32 {
+    flag_arg("--threads")
+        .or_else(|| env_arg("OORQ_THREADS"))
+        .unwrap_or(0) as u32
 }
 
 /// Resolve the breaker memory budget (pages): a `--memory-budget N`
@@ -114,21 +142,8 @@ fn threads_arg() -> u32 {
 /// environment variable; absent both, `0` — unbounded, the default
 /// every other gate runs under.
 fn memory_budget_arg() -> u64 {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--memory-budget" {
-            match args.next().and_then(|v| v.parse().ok()) {
-                Some(v) => return v,
-                None => {
-                    eprintln!("usage: reproduce <section> [--memory-budget <pages>]");
-                    std::process::exit(2);
-                }
-            }
-        }
-    }
-    std::env::var("OORQ_MEMORY_BUDGET")
-        .ok()
-        .and_then(|v| v.parse().ok())
+    flag_arg("--memory-budget")
+        .or_else(|| env_arg("OORQ_MEMORY_BUDGET"))
         .unwrap_or(0)
 }
 
@@ -166,9 +181,16 @@ const SECTIONS: &[&str] = &[
     "metrics",
     "metrics-fit",
     "metrics-gate",
+    "serve",
+    "serve-gate",
 ];
 
 fn main() {
+    // Validate the numeric environment knobs up front, whatever the
+    // section: a typo'd value must fail loudly, not silently fall back
+    // to the default.
+    env_arg("OORQ_THREADS");
+    env_arg("OORQ_MEMORY_BUDGET");
     let section = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     if !SECTIONS.contains(&section.as_str()) {
         eprintln!("reproduce: unknown section `{section}`");
@@ -204,6 +226,22 @@ fn main() {
     }
     if section == "metrics-gate" {
         return gate("metrics-gate", oorq_bench::metrics::metrics_gate());
+    }
+    if section == "serve" {
+        let queries = flag_arg("--queries").unwrap_or(oorq_bench::serve::GATE_QUERIES as u64);
+        let sessions = flag_arg("--sessions").unwrap_or(oorq_bench::serve::GATE_SESSIONS as u64);
+        return gate(
+            "serve",
+            oorq_bench::serve::serve_report(
+                queries as usize,
+                (sessions as usize).max(1),
+                threads_arg(),
+                memory_budget_arg(),
+            ),
+        );
+    }
+    if section == "serve-gate" {
+        return gate("serve-gate", oorq_bench::serve::serve_gate());
     }
     if section == "parallel" {
         // A serial "parallel" comparison is vacuous: without an explicit

@@ -14,6 +14,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod reports;
 pub mod scenarios;
+pub mod serve;
 pub mod spill;
 pub mod tracing;
 

@@ -1,0 +1,306 @@
+//! The multi-session serving harness behind `reproduce serve` and
+//! `reproduce serve-gate`.
+//!
+//! Replays a mixed corpus — the paper's music queries (Figure 3 and the
+//! §4.5 push-join, with generation-bound variants) plus chain
+//! join/closure queries — through concurrent [`oorq_serve::Session`]s
+//! of one [`oorq_serve::Server`] per scenario family, and checks three
+//! things:
+//!
+//! 1. **byte-identity** — every concurrent answer equals the
+//!    single-session reference replay, rendered byte for byte;
+//! 2. **amortization** — the plan cache absorbs repeated optimization
+//!    (`serve-gate` pins the hit rate at [`GATE_HIT_RATE`]);
+//! 3. **observability** — the `serve.*` counters and the request-latency
+//!    histogram report coherent totals (p50/p99 land in the report).
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use oorq_datagen::{ChainConfig, ChainDb};
+use oorq_exec::{ExecConfig, MethodRegistry};
+use oorq_index::IndexSet;
+use oorq_query::QueryGraph;
+use oorq_serve::{Server, ServerConfig};
+use oorq_storage::Value;
+
+use crate::PaperSetup;
+
+/// CI smoke parameters: enough traffic to exercise warm/cold paths
+/// without dominating the suite.
+pub const SMOKE_QUERIES: usize = 120;
+/// CI smoke session count.
+pub const SMOKE_SESSIONS: usize = 2;
+/// Full-run (and gate) query count.
+pub const GATE_QUERIES: usize = 1000;
+/// Full-run (and gate) concurrent-session count.
+pub const GATE_SESSIONS: usize = 4;
+/// Minimum plan-cache hit rate `serve-gate` accepts.
+pub const GATE_HIT_RATE: f64 = 0.9;
+
+/// One scenario family: a server plus its distinct query mix.
+struct Workload {
+    name: &'static str,
+    server: Server,
+    queries: Vec<(String, QueryGraph)>,
+}
+
+fn server_config(threads: u32, memory_budget: u64) -> ServerConfig {
+    ServerConfig {
+        exec: ExecConfig {
+            threads,
+            memory_budget_pages: memory_budget,
+            ..ExecConfig::default()
+        },
+        ..ServerConfig::default()
+    }
+}
+
+/// The paper's music database with its physical design, serving the
+/// Figure 3 and §4.5 queries plus generation-bound variants.
+fn music_workload(threads: u32, memory_budget: u64) -> Workload {
+    let setup = PaperSetup::new(PaperSetup::paper_scale());
+    let mut queries: Vec<(String, QueryGraph)> = vec![
+        ("music/fig3".into(), setup.fig3()),
+        ("music/pushjoin".into(), setup.pushjoin()),
+    ];
+    for g in [1i64, 2, 3, 4] {
+        queries.push((format!("music/fig3-gen{g}"), setup.fig3_gen(g)));
+    }
+    let PaperSetup { m, idx, .. } = setup;
+    Workload {
+        name: "music",
+        server: Server::new(
+            m.db,
+            idx,
+            MethodRegistry::new(),
+            server_config(threads, memory_budget),
+        ),
+        queries,
+    }
+}
+
+/// A linear chain of joined relations, serving join-chain and
+/// selective-tail closure queries at several bounds.
+fn chain_workload(threads: u32, memory_budget: u64) -> Workload {
+    let chain = ChainDb::generate(ChainConfig {
+        relations: 3,
+        rows: 120,
+        domain: 16,
+        seed: 11,
+    });
+    let mut queries: Vec<(String, QueryGraph)> = Vec::new();
+    for l in [4i64, 8, 12] {
+        queries.push((format!("chain/limit{l}"), chain.chain_query(l)));
+    }
+    for l in [2i64, 3, 5] {
+        queries.push((format!("chain/tail{l}"), chain.selective_tail_query(l)));
+    }
+    Workload {
+        name: "chain",
+        server: Server::new(
+            chain.db,
+            IndexSet::new(),
+            MethodRegistry::new(),
+            server_config(threads, memory_budget),
+        ),
+        queries,
+    }
+}
+
+/// Render an answer's rows for byte-comparison.
+fn rendered(rows: &[Vec<Value>]) -> Vec<String> {
+    rows.iter().map(|r| format!("{r:?}")).collect()
+}
+
+/// Per-workload tallies after the replay.
+struct WorkloadStats {
+    name: &'static str,
+    queries_run: usize,
+    distinct: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+    p50_us: u64,
+    p99_us: u64,
+    errors: Vec<String>,
+}
+
+/// Replay one workload: a single-session reference pass over every
+/// distinct query, then `sessions` concurrent sessions replaying the
+/// mix round-robin until `total` answers are produced, each compared
+/// byte-for-byte against the reference.
+fn run_workload(w: Workload, total: usize, sessions: usize) -> WorkloadStats {
+    let Workload {
+        name,
+        server,
+        queries,
+    } = w;
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let reference: Vec<Option<Vec<String>>> = {
+        let mut s = server.session();
+        queries
+            .iter()
+            .map(|(qname, q)| match s.execute(q) {
+                Ok(a) => Some(rendered(&a.batch.rows)),
+                Err(e) => {
+                    errors
+                        .lock()
+                        .unwrap()
+                        .push(format!("{qname}: reference replay failed: {e}"));
+                    None
+                }
+            })
+            .collect()
+    };
+
+    let per_session = total.div_ceil(sessions.max(1));
+    std::thread::scope(|scope| {
+        for sess in 0..sessions {
+            let (server, queries, reference, errors) = (&server, &queries, &reference, &errors);
+            scope.spawn(move || {
+                let mut s = server.session();
+                for i in 0..per_session {
+                    let slot = i % queries.len();
+                    let (qname, q) = &queries[slot];
+                    let Some(want) = &reference[slot] else {
+                        continue;
+                    };
+                    match s.execute(q) {
+                        Ok(a) => {
+                            if &rendered(&a.batch.rows) != want {
+                                errors.lock().unwrap().push(format!(
+                                    "{qname}: session {sess} diverged from the reference replay"
+                                ));
+                            }
+                        }
+                        Err(e) => {
+                            errors
+                                .lock()
+                                .unwrap()
+                                .push(format!("{qname}: session {sess} failed: {e}"));
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let snap = server.metrics().snapshot();
+    let counter = |n: &str| snap.counters.get(n).copied().unwrap_or(0);
+    let wall = snap.histograms.get("serve.query.wall_ns");
+    WorkloadStats {
+        name,
+        queries_run: per_session * sessions,
+        distinct: queries.len(),
+        hits: counter("serve.cache.hits"),
+        misses: counter("serve.cache.misses"),
+        evictions: counter("serve.cache.evictions"),
+        invalidations: counter("serve.cache.invalidations"),
+        p50_us: wall.map(|h| h.p50 / 1_000).unwrap_or(0),
+        p99_us: wall.map(|h| h.p99 / 1_000).unwrap_or(0),
+        errors: errors.into_inner().unwrap(),
+    }
+}
+
+/// The serve replay: mixed corpus, concurrent sessions, byte-identity
+/// against a single-session reference. Returns the report and the
+/// overall plan-cache hit rate; `Err` carries the report when any
+/// answer diverged or failed.
+fn serve_run(
+    total: usize,
+    sessions: usize,
+    threads: u32,
+    memory_budget: u64,
+) -> Result<(String, f64), String> {
+    let split = total / 2;
+    let stats = [
+        run_workload(music_workload(threads, memory_budget), split, sessions),
+        run_workload(
+            chain_workload(threads, memory_budget),
+            total - split,
+            sessions,
+        ),
+    ];
+
+    let mut out = String::new();
+    let _ = writeln!(out, "-- serve: multi-session serving harness --");
+    let _ = writeln!(
+        out,
+        "{} sessions per workload, {} concurrent queries + {} reference replays",
+        sessions,
+        stats.iter().map(|s| s.queries_run).sum::<usize>(),
+        stats.iter().map(|s| s.distinct).sum::<usize>(),
+    );
+    let _ = writeln!(
+        out,
+        "| workload | distinct | queries | hits | misses | evict | inval | p50(us) | p99(us) |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
+    let (mut hits, mut misses) = (0u64, 0u64);
+    let mut errors: Vec<&String> = Vec::new();
+    for s in &stats {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            s.name,
+            s.distinct,
+            s.queries_run,
+            s.hits,
+            s.misses,
+            s.evictions,
+            s.invalidations,
+            s.p50_us,
+            s.p99_us
+        );
+        hits += s.hits;
+        misses += s.misses;
+        errors.extend(&s.errors);
+    }
+    let rate = hits as f64 / (hits + misses).max(1) as f64;
+    let _ = writeln!(
+        out,
+        "plan-cache hit rate: {rate:.3} ({hits} hits / {misses} misses)"
+    );
+
+    if errors.is_empty() {
+        let _ = writeln!(
+            out,
+            "byte-identity: OK — every concurrent answer matched the single-session replay"
+        );
+        Ok((out, rate))
+    } else {
+        let _ = writeln!(out, "byte-identity: FAILED ({} divergences)", errors.len());
+        for e in errors.iter().take(10) {
+            let _ = writeln!(out, "  {e}");
+        }
+        Err(out)
+    }
+}
+
+/// `reproduce serve`: print the replay report; answer divergence is the
+/// only failure.
+pub fn serve_report(
+    total: usize,
+    sessions: usize,
+    threads: u32,
+    memory_budget: u64,
+) -> Result<String, String> {
+    serve_run(total, sessions, threads, memory_budget).map(|(report, _)| report)
+}
+
+/// `reproduce serve-gate`: the full-size replay, additionally pinning
+/// the plan-cache hit rate at [`GATE_HIT_RATE`].
+pub fn serve_gate() -> Result<String, String> {
+    let (mut report, rate) = serve_run(GATE_QUERIES, GATE_SESSIONS, 0, 0)?;
+    let _ = writeln!(
+        report,
+        "gate: hit rate {rate:.3} (minimum {GATE_HIT_RATE:.3})"
+    );
+    if rate < GATE_HIT_RATE {
+        Err(report)
+    } else {
+        Ok(report)
+    }
+}

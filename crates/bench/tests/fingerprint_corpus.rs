@@ -1,0 +1,109 @@
+//! Plan-fingerprint distinctness over the optimizer corpus.
+//!
+//! `Pt::fingerprint` keys the serving layer's plan cache, so it must be
+//! injective in practice: two structurally different plans must never
+//! share a fingerprint, and one plan must always hash the same. This
+//! suite optimizes the paper's scenario corpus under every enumeration
+//! strategy, collects the chosen plans *and every subtree of them*
+//! (each subtree is a plan the optimizer's bottom-up enumeration
+//! considered), and checks fingerprint ↔ canonical-text injectivity
+//! pairwise across the whole pool.
+
+use std::collections::HashMap;
+
+use oorq_bench::PaperSetup;
+use oorq_core::{Optimizer, OptimizerConfig};
+use oorq_cost::{CostModel, CostParams};
+use oorq_datagen::{ChainConfig, ChainDb};
+use oorq_pt::Pt;
+use oorq_storage::DbStats;
+
+/// Collect a plan and all of its subtrees as (fingerprint, canonical
+/// text) pairs.
+fn harvest(pt: &Pt, pool: &mut Vec<(u64, String)>) {
+    pt.visit(&mut |n| pool.push((n.fingerprint(), format!("{n:?}"))));
+}
+
+fn corpus() -> Vec<(u64, String)> {
+    let mut pool: Vec<(u64, String)> = Vec::new();
+
+    let setup = PaperSetup::new(PaperSetup::paper_scale());
+    let configs = [
+        OptimizerConfig::cost_controlled(),
+        OptimizerConfig::never_push(),
+        OptimizerConfig::deductive_heuristic(),
+        OptimizerConfig::exhaustive(),
+    ];
+    for q in [setup.fig3(), setup.pushjoin()] {
+        for config in &configs {
+            harvest(&setup.optimize(&q, config.clone()).pt, &mut pool);
+        }
+    }
+
+    let chain = ChainDb::generate(ChainConfig {
+        relations: 3,
+        rows: 80,
+        domain: 16,
+        seed: 5,
+    });
+    let stats = DbStats::collect(&chain.db);
+    for q in [chain.chain_query(8), chain.selective_tail_query(3)] {
+        for config in [
+            OptimizerConfig::cost_controlled(),
+            OptimizerConfig::exhaustive(),
+        ] {
+            let model = CostModel::new(
+                chain.db.catalog(),
+                chain.db.physical(),
+                &stats,
+                CostParams::default(),
+            );
+            let plan = Optimizer::new(model, config)
+                .optimize(&q)
+                .expect("chain optimization");
+            harvest(&plan.pt, &mut pool);
+        }
+    }
+
+    pool
+}
+
+#[test]
+fn fingerprints_are_injective_across_the_optimizer_corpus() {
+    let pool = corpus();
+    assert!(
+        pool.len() >= 100,
+        "corpus too small to be meaningful: {} subtrees",
+        pool.len()
+    );
+
+    // fingerprint → canonical text: one fingerprint must never cover
+    // two different plans (a collision would let the plan cache serve
+    // the wrong plan but for its text re-verification).
+    let mut by_fp: HashMap<u64, &String> = HashMap::new();
+    // canonical text → fingerprint: one plan must always hash the same.
+    let mut by_text: HashMap<&String, u64> = HashMap::new();
+    let mut distinct = 0usize;
+    for (fp, text) in &pool {
+        match by_fp.get(fp) {
+            None => {
+                by_fp.insert(*fp, text);
+                distinct += 1;
+            }
+            Some(prev) => assert_eq!(
+                *prev, text,
+                "fingerprint collision: {fp:#018x} covers two distinct plans"
+            ),
+        }
+        match by_text.get(text) {
+            None => {
+                by_text.insert(text, *fp);
+            }
+            Some(prev) => assert_eq!(*prev, *fp, "unstable fingerprint: one plan hashed two ways"),
+        }
+    }
+    assert!(
+        distinct >= 30,
+        "corpus collapsed to too few distinct subtrees: {distinct}"
+    );
+}

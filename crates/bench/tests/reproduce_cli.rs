@@ -1,0 +1,76 @@
+//! CLI contract of the `reproduce` binary: the numeric environment
+//! knobs must be strictly parsed (a typo'd value exits 2 with a
+//! message, never a silent default), and unknown sections list the
+//! registry and exit 2.
+
+use std::process::Command;
+
+fn reproduce() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+}
+
+/// A cheap section that still goes through `main`'s env validation.
+const CHEAP: &[&str] = &["lint", "--explain", "CX003"];
+
+#[test]
+fn unparseable_threads_env_is_rejected() {
+    let out = reproduce()
+        .args(CHEAP)
+        .env("OORQ_THREADS", "four")
+        .output()
+        .expect("spawn reproduce");
+    assert_eq!(out.status.code(), Some(2), "exit 2 on bad OORQ_THREADS");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("OORQ_THREADS") && stderr.contains("four"),
+        "message must name the variable and the bad value, got: {stderr}"
+    );
+}
+
+#[test]
+fn unparseable_memory_budget_env_is_rejected() {
+    let out = reproduce()
+        .args(CHEAP)
+        .env("OORQ_MEMORY_BUDGET", "-3")
+        .output()
+        .expect("spawn reproduce");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "exit 2 on bad OORQ_MEMORY_BUDGET"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("OORQ_MEMORY_BUDGET"),
+        "message must name the variable, got: {stderr}"
+    );
+}
+
+#[test]
+fn valid_env_values_are_accepted() {
+    let out = reproduce()
+        .args(CHEAP)
+        .env("OORQ_THREADS", "2")
+        .env("OORQ_MEMORY_BUDGET", "16")
+        .output()
+        .expect("spawn reproduce");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("CX003"));
+}
+
+#[test]
+fn unknown_section_lists_registry_and_exits_2() {
+    let out = reproduce().arg("no-such-section").output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown section"));
+    assert!(
+        stderr.contains("serve-gate"),
+        "registry must list serve-gate"
+    );
+}

@@ -43,6 +43,28 @@ impl Default for ExecConfig {
     }
 }
 
+/// The durable part of an executor: the breaker temporaries it has
+/// created in its database and their registered shapes.
+///
+/// An [`Executor`] borrows the database mutably, so a serving session
+/// that holds a database across many queries cannot keep one executor
+/// alive between them. Instead it carries this state: build each
+/// per-query executor with [`Executor::with_state`], and take the state
+/// back with [`Executor::into_state`] when the query completes. Temps
+/// and nested-loop materialization pools are then reused by name/shape
+/// instead of growing the physical schema by a fresh set of temporary
+/// entities per query.
+#[derive(Debug, Clone, Default)]
+pub struct ExecState {
+    /// Per-temporary: (accumulator entity, delta entity).
+    pub temps: HashMap<String, (EntityId, EntityId)>,
+    /// Field shapes of temporaries (for lowering and `PtEnv` typing).
+    pub temp_fields: HashMap<String, Vec<(String, ResolvedType)>>,
+    /// Pool of page-store temporaries backing materialized nested-loop
+    /// inners, keyed by row shape.
+    pub nl_mat_pool: HashMap<Vec<ResolvedType>, Vec<EntityId>>,
+}
+
 /// A report of the resources one execution consumed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecReport {
@@ -139,6 +161,26 @@ impl<'a> Executor<'a> {
     pub fn with_config(mut self, config: ExecConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// Adopt the durable state of a previous executor over the *same*
+    /// database (see [`ExecState`]): temporaries it created are reused
+    /// rather than recreated.
+    pub fn with_state(mut self, state: ExecState) -> Self {
+        self.temps = state.temps;
+        self.temp_fields = state.temp_fields;
+        self.nl_mat_pool = state.nl_mat_pool;
+        self
+    }
+
+    /// Surrender the durable state for the next executor over this
+    /// database.
+    pub fn into_state(self) -> ExecState {
+        ExecState {
+            temps: self.temps,
+            temp_fields: self.temp_fields,
+            nl_mat_pool: self.nl_mat_pool,
+        }
     }
 
     /// Apply an optimizer-chosen parallel placement: subsequent runs

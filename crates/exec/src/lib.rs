@@ -23,7 +23,7 @@ mod reference;
 
 pub use error::ExecError;
 pub use eval::{lit_value, Batch, Counters, EvalCtx};
-pub use executor::{op_kind, ExecConfig, ExecReport, Executor};
+pub use executor::{op_kind, ExecConfig, ExecReport, ExecState, Executor};
 pub use explain::explain_analyze;
 pub use methods::{MethodFn, MethodRegistry};
 pub use pipeline::{FixDeltaCurve, OpReport};

@@ -377,38 +377,29 @@ impl MetricsRegistry {
 
     /// Intern (or look up) a counter series.
     pub fn counter(&self, name: &str) -> CounterHandle {
-        CounterHandle(self.0.as_ref().map(|inner| {
-            Arc::clone(
-                lock(inner)
-                    .counters
-                    .entry(name.to_string())
-                    .or_default(),
-            )
-        }))
+        CounterHandle(
+            self.0
+                .as_ref()
+                .map(|inner| Arc::clone(lock(inner).counters.entry(name.to_string()).or_default())),
+        )
     }
 
     /// Intern (or look up) a gauge series.
     pub fn gauge(&self, name: &str) -> GaugeHandle {
-        GaugeHandle(self.0.as_ref().map(|inner| {
-            Arc::clone(
-                lock(inner)
-                    .gauges
-                    .entry(name.to_string())
-                    .or_default(),
-            )
-        }))
+        GaugeHandle(
+            self.0
+                .as_ref()
+                .map(|inner| Arc::clone(lock(inner).gauges.entry(name.to_string()).or_default())),
+        )
     }
 
     /// Intern (or look up) a histogram series.
     pub fn histogram(&self, name: &str) -> HistogramHandle {
-        HistogramHandle(self.0.as_ref().map(|inner| {
-            Arc::clone(
-                lock(inner)
-                    .histograms
-                    .entry(name.to_string())
-                    .or_default(),
-            )
-        }))
+        HistogramHandle(
+            self.0.as_ref().map(|inner| {
+                Arc::clone(lock(inner).histograms.entry(name.to_string()).or_default())
+            }),
+        )
     }
 
     /// A private registry for a worker lane: enabled iff this one is.

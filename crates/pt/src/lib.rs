@@ -9,12 +9,14 @@
 
 mod analysis;
 mod error;
+pub mod fingerprint;
 mod node;
 mod pattern;
 pub mod phys;
 
 pub use analysis::propagated_columns;
 pub use error::PtError;
+pub use fingerprint::{fnv64_str, Fnv64, FNV_OFFSET, FNV_PRIME};
 pub use node::{type_of_column_expr, AccessMethod, IjStep, JoinAlgo, Pt, PtDisplay, PtEnv};
 pub use pattern::{match_pattern, subtrees, Binding, Bindings, Pattern, TransformAction};
 pub use phys::{

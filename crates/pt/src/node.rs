@@ -22,6 +22,7 @@ use oorq_schema::{AttrId, Catalog, ClassId, ResolvedType};
 use oorq_storage::{EntityId, EntitySource, IndexId, IndexKindDesc, PhysicalSchema};
 
 use crate::error::PtError;
+use crate::fingerprint::Fnv64;
 
 /// Access method of a selection over an entity leaf.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -229,26 +230,112 @@ impl Pt {
         }
     }
 
-    /// Structural fingerprint: FNV-1a over the tree's full structure
-    /// (operators, predicates, access methods, entities). Two PTs have
-    /// equal fingerprints iff they are structurally equal (modulo hash
-    /// collisions), so candidate plans can be identified across a trace
-    /// without serializing whole trees. Render as hex for transport —
-    /// a JSON `f64` cannot carry all 64 bits.
+    /// Structural fingerprint: framed FNV-1a over the tree's full
+    /// structure (operators, predicates, access methods, entities). Two
+    /// PTs have equal fingerprints iff they are structurally equal
+    /// (modulo hash collisions), so candidate plans can be identified
+    /// across a trace — and, since the serving layer's plan cache keys
+    /// on it, aliasing is not acceptable: every variant writes a
+    /// discriminant tag and every variable-length field is
+    /// length-prefixed through [`Fnv64`], so no two distinct trees feed
+    /// the hash the same byte stream. Render as hex for transport — a
+    /// JSON `f64` cannot carry all 64 bits.
     pub fn fingerprint(&self) -> u64 {
-        struct Fnv(u64);
-        impl fmt::Write for Fnv {
-            fn write_str(&mut self, s: &str) -> fmt::Result {
-                for b in s.bytes() {
-                    self.0 ^= b as u64;
-                    self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        let mut h = Fnv64::new();
+        self.hash_into(&mut h);
+        h.finish()
+    }
+
+    /// Walk the tree into a framed hasher (see [`Pt::fingerprint`]).
+    fn hash_into(&self, h: &mut Fnv64) {
+        match self {
+            Pt::Entity { id, var } => {
+                h.write_tag(0);
+                h.write_u64(id.0 as u64);
+                h.write_str(var);
+            }
+            Pt::Temp { name, var } => {
+                h.write_tag(1);
+                h.write_str(name);
+                h.write_str(var);
+            }
+            Pt::Sel {
+                pred,
+                method,
+                input,
+            } => {
+                h.write_tag(2);
+                h.write_debug(pred);
+                h.write_debug(method);
+                input.hash_into(h);
+            }
+            Pt::Proj { cols, input } => {
+                h.write_tag(3);
+                h.write_u64(cols.len() as u64);
+                for (name, expr) in cols {
+                    h.write_str(name);
+                    h.write_debug(expr);
                 }
-                Ok(())
+                input.hash_into(h);
+            }
+            Pt::IJ {
+                on,
+                step,
+                out,
+                input,
+                target,
+            } => {
+                h.write_tag(4);
+                h.write_debug(on);
+                h.write_str(&step.name);
+                h.write_debug(&step.class_attr);
+                h.write_str(out);
+                input.hash_into(h);
+                target.hash_into(h);
+            }
+            Pt::PIJ {
+                index,
+                on,
+                outs,
+                input,
+                targets,
+            } => {
+                h.write_tag(5);
+                h.write_u64(index.0 as u64);
+                h.write_debug(on);
+                h.write_u64(outs.len() as u64);
+                for o in outs {
+                    h.write_str(o);
+                }
+                input.hash_into(h);
+                h.write_u64(targets.len() as u64);
+                for t in targets {
+                    t.hash_into(h);
+                }
+            }
+            Pt::EJ {
+                pred,
+                algo,
+                left,
+                right,
+            } => {
+                h.write_tag(6);
+                h.write_debug(pred);
+                h.write_debug(algo);
+                left.hash_into(h);
+                right.hash_into(h);
+            }
+            Pt::Union { left, right } => {
+                h.write_tag(7);
+                left.hash_into(h);
+                right.hash_into(h);
+            }
+            Pt::Fix { temp, body } => {
+                h.write_tag(8);
+                h.write_str(temp);
+                body.hash_into(h);
             }
         }
-        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
-        let _ = fmt::write(&mut h, format_args!("{self:?}"));
-        h.0
     }
 
     /// Children in operand order.

@@ -436,3 +436,73 @@ fn column_expr_typing_handles_qualified_names() {
     let t = type_of_column_expr(&cat, &Expr::path("i", &["gen"]), &cols).unwrap();
     assert_eq!(t, ResolvedType::Atomic(oorq_schema::AtomicType::Int));
 }
+
+/// Known-good fingerprints under the corrected FNV prime. The values
+/// are pinned so a regression to the old mistyped prime
+/// (`0x100_0000_01b3`, a digit short of `0x100000001b3`) — or any
+/// accidental change to the framing — fails loudly: the serving
+/// layer's plan cache keys on these hashes.
+#[test]
+fn fingerprint_pinned_known_good() {
+    let (cat, db) = setup();
+    let composer = cat.class_by_name("Composer").unwrap();
+    let e = db.physical().entities_of_class(composer)[0];
+
+    let leaf = Pt::entity(e, "c");
+    let temp = Pt::temp("Influencer", "i");
+    let sel = Pt::sel(
+        Expr::path("c", &["name"]).eq(Expr::text("Bach")),
+        Pt::entity(e, "c"),
+    );
+    let fix = Pt::Fix {
+        temp: "Influencer".into(),
+        body: Box::new(Pt::union(Pt::temp("Influencer", "i"), Pt::entity(e, "c"))),
+    };
+
+    assert_eq!(leaf.fingerprint(), 0xbc7b2416ef78ba94);
+    assert_eq!(temp.fingerprint(), 0x67e54f443c9d0dcb);
+    assert_eq!(sel.fingerprint(), 0xe1566e06ced47825);
+    assert_eq!(fix.fingerprint(), 0x5f6e5261eeb3dd88);
+}
+
+/// Framing: structurally distinct small PTs whose unframed renderings
+/// could alias must produce distinct fingerprints.
+#[test]
+fn fingerprint_framing_no_alias() {
+    let (cat, db) = setup();
+    let composer = cat.class_by_name("Composer").unwrap();
+    let e = db.physical().entities_of_class(composer)[0];
+
+    // Name/var boundary shifts: ("ab","c") vs ("a","bc").
+    assert_ne!(
+        Pt::temp("ab", "c").fingerprint(),
+        Pt::temp("a", "bc").fingerprint()
+    );
+    assert_ne!(
+        Pt::temp("", "abc").fingerprint(),
+        Pt::temp("abc", "").fingerprint()
+    );
+    // Variant confusion: a Temp and an Entity with superficially
+    // similar payloads.
+    assert_ne!(
+        Pt::temp("T", "x").fingerprint(),
+        Pt::entity(e, "x").fingerprint()
+    );
+    // Var moved across the operator boundary.
+    assert_ne!(
+        Pt::union(Pt::temp("T", "ab"), Pt::temp("U", "c")).fingerprint(),
+        Pt::union(Pt::temp("T", "a"), Pt::temp("Ub", "c")).fingerprint()
+    );
+    // Projection column split: one column "ab" vs columns "a","b".
+    let one = Pt::proj(vec![("ab".into(), Expr::var("x"))], Pt::entity(e, "x"));
+    let two = Pt::proj(
+        vec![("a".into(), Expr::var("x")), ("b".into(), Expr::var("x"))],
+        Pt::entity(e, "x"),
+    );
+    assert_ne!(one.fingerprint(), two.fingerprint());
+    // Equal trees agree, of course.
+    assert_eq!(
+        Pt::temp("T", "x").fingerprint(),
+        Pt::temp("T", "x").fingerprint()
+    );
+}

@@ -1,0 +1,215 @@
+//! Serving-layer tests: cache hit/miss patterns, concurrent-session
+//! byte-identity, and drift-lint invalidation.
+
+use oorq_datagen::{ChainConfig, ChainDb};
+use oorq_exec::MethodRegistry;
+use oorq_index::IndexSet;
+use oorq_storage::{DbStats, Value};
+
+use crate::*;
+
+fn chain_server(rows: u32) -> Server {
+    let chain = ChainDb::generate(ChainConfig {
+        relations: 3,
+        rows,
+        domain: 16,
+        seed: 7,
+    });
+    Server::new(
+        chain.db,
+        IndexSet::new(),
+        MethodRegistry::new(),
+        ServerConfig::default(),
+    )
+}
+
+fn chain_graph(server: &Server, limit: i64) -> oorq_query::QueryGraph {
+    // Rebuild the query against the server's catalog (the ChainDb was
+    // consumed by the server).
+    let chain = ChainDb {
+        db: server.database().snapshot(),
+        names: (0..3).map(|i| format!("R{i}")).collect(),
+        config: ChainConfig {
+            relations: 3,
+            rows: 0,
+            domain: 16,
+            seed: 7,
+        },
+    };
+    chain.chain_query(limit)
+}
+
+/// Render an answer's rows for byte-comparison.
+fn rendered(rows: &[Vec<Value>]) -> Vec<String> {
+    rows.iter().map(|r| format!("{r:?}")).collect()
+}
+
+#[test]
+fn warm_cold_cache_pattern_and_counters() {
+    let server = chain_server(60);
+    let q = chain_graph(&server, 8);
+    let mut s = server.session();
+
+    let a1 = s.execute(&q).unwrap();
+    assert_eq!(a1.cache, CacheOutcome::Miss);
+    assert!(!a1.invalidated, "fresh statistics must not drift");
+    let a2 = s.execute(&q).unwrap();
+    assert_eq!(a2.cache, CacheOutcome::Hit);
+    let a3 = s.execute(&q).unwrap();
+    assert_eq!(a3.cache, CacheOutcome::Hit);
+
+    // Same plan, identical answers, coherent counters.
+    assert_eq!(a1.plan_fingerprint, a2.plan_fingerprint);
+    assert_eq!(rendered(&a1.batch.rows), rendered(&a2.batch.rows));
+    assert_eq!(rendered(&a1.batch.rows), rendered(&a3.batch.rows));
+    let m = server.metrics();
+    assert_eq!(m.counter("serve.cache.misses").get(), 1);
+    assert_eq!(m.counter("serve.cache.hits").get(), 2);
+    assert_eq!(m.counter("serve.queries").get(), 3);
+    assert_eq!(m.counter("serve.cache.evictions").get(), 0);
+    assert_eq!(server.cached_plans(), 1);
+    assert_eq!(m.histogram("serve.query.wall_ns").count(), 3);
+}
+
+#[test]
+fn prepared_queries_share_the_cache() {
+    let server = chain_server(40);
+    let q = chain_graph(&server, 6);
+
+    let mut s1 = server.session();
+    let mut s2 = server.session();
+    s1.prepare_graph("chain", q.clone());
+    s2.prepare_graph("chain", q.clone());
+
+    let a1 = s1.execute_prepared("chain").unwrap();
+    assert_eq!(a1.cache, CacheOutcome::Miss);
+    // The second session hits the plan the first one optimized, and an
+    // ad-hoc execution of the same graph maps to the same key.
+    let a2 = s2.execute_prepared("chain").unwrap();
+    assert_eq!(a2.cache, CacheOutcome::Hit);
+    let a3 = s2.execute(&q).unwrap();
+    assert_eq!(a3.cache, CacheOutcome::Hit);
+    assert_eq!(rendered(&a1.batch.rows), rendered(&a2.batch.rows));
+    assert_eq!(rendered(&a1.batch.rows), rendered(&a3.batch.rows));
+
+    assert!(matches!(
+        s1.execute_prepared("nope"),
+        Err(ServeError::UnknownPrepared(_))
+    ));
+}
+
+#[test]
+fn concurrent_sessions_match_single_session_replay() {
+    let server = chain_server(80);
+    let queries: Vec<_> = [3, 6, 9, 12]
+        .iter()
+        .map(|&l| chain_graph(&server, l))
+        .collect();
+
+    // Single-session reference replay.
+    let reference: Vec<Vec<String>> = {
+        let mut s = server.session();
+        queries
+            .iter()
+            .map(|q| rendered(&s.execute(q).unwrap().batch.rows))
+            .collect()
+    };
+
+    // Four concurrent sessions, each replaying the whole mix twice.
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                let mut s = server.session();
+                for _round in 0..2 {
+                    for (q, want) in queries.iter().zip(&reference) {
+                        let got = s.execute(q).unwrap();
+                        assert_eq!(
+                            &rendered(&got.batch.rows),
+                            want,
+                            "answers must be byte-identical across sessions"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let m = server.metrics();
+    // 4 reference queries + 4 sessions * 2 rounds * 4 queries.
+    assert_eq!(m.counter("serve.queries").get(), 4 + 32);
+    // Every distinct query optimized at most once... unless two sessions
+    // raced the same cold key, which the cache resolves by replacement.
+    assert!(m.counter("serve.cache.misses").get() >= 4);
+    assert!(m.counter("serve.cache.hits").get() >= 28);
+    assert_eq!(m.counter("serve.sessions").get(), 5);
+}
+
+#[test]
+fn stale_statistics_invalidate_evict_and_recalibrate() {
+    // Data: a real chain. Statistics: collected from a near-empty twin,
+    // then installed — the stale-checkpoint bootstrap case. The first
+    // execution's observed counters dwarf the predictions, the CX drift
+    // lints fire, the entry is evicted and statistics recalibrated; the
+    // re-optimized plan is then clean and cacheable.
+    let server = chain_server(120);
+    let tiny = ChainDb::generate(ChainConfig {
+        relations: 3,
+        rows: 2,
+        domain: 16,
+        seed: 7,
+    });
+    server.install_stats(DbStats::collect(&tiny.db));
+
+    let q = chain_graph(&server, 12);
+    let mut s = server.session();
+
+    let a1 = s.execute(&q).unwrap();
+    assert_eq!(a1.cache, CacheOutcome::Miss);
+    assert!(a1.invalidated, "stale statistics must trip the drift lints");
+    assert_eq!(server.cached_plans(), 0, "stale entry must be evicted");
+    let m = server.metrics();
+    assert_eq!(m.counter("serve.cache.invalidations").get(), 1);
+    assert_eq!(m.counter("serve.recalibrations").get(), 1);
+
+    // Recalibrated: the next request re-optimizes and stays cached.
+    let a2 = s.execute(&q).unwrap();
+    assert_eq!(a2.cache, CacheOutcome::Miss);
+    assert!(!a2.invalidated, "fresh statistics must be clean");
+    assert_eq!(server.cached_plans(), 1);
+    let a3 = s.execute(&q).unwrap();
+    assert_eq!(a3.cache, CacheOutcome::Hit);
+    assert!(!a3.invalidated);
+
+    // Same answers throughout: invalidation is about cost honesty, not
+    // correctness.
+    assert_eq!(rendered(&a1.batch.rows), rendered(&a2.batch.rows));
+    assert_eq!(rendered(&a1.batch.rows), rendered(&a3.batch.rows));
+}
+
+#[test]
+fn lru_capacity_bounds_the_cache() {
+    let chain = ChainDb::generate(ChainConfig {
+        relations: 3,
+        rows: 30,
+        domain: 16,
+        seed: 7,
+    });
+    let server = Server::new(
+        chain.db,
+        IndexSet::new(),
+        MethodRegistry::new(),
+        ServerConfig {
+            plan_cache_capacity: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let mut s = server.session();
+    for limit in [1, 2, 3, 4] {
+        s.execute(&chain_graph(&server, limit)).unwrap();
+    }
+    assert_eq!(server.cached_plans(), 2);
+    assert_eq!(server.metrics().counter("serve.cache.evictions").get(), 2);
+    // The most recent plan is still warm.
+    let a = s.execute(&chain_graph(&server, 4)).unwrap();
+    assert_eq!(a.cache, CacheOutcome::Hit);
+}

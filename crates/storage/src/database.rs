@@ -59,7 +59,7 @@ enum ClassLayout {
 pub struct Database {
     catalog: Arc<Catalog>,
     physical: PhysicalSchema,
-    segments: RwLock<Vec<Segment>>,
+    segments: RwLock<Vec<Arc<Segment>>>,
     class_layout: HashMap<ClassId, ClassLayout>,
     relation_home: HashMap<RelationId, EntityId>,
     class_count: HashMap<ClassId, u32>,
@@ -86,7 +86,12 @@ impl Database {
         for (i, c) in catalog.classes().iter().enumerate() {
             let cid = ClassId(i as u32);
             let id = physical.add_entity(c.name.clone(), EntitySource::Class(cid), None);
-            segments.push(Self::class_segment(&catalog, cid, None, &config.width));
+            segments.push(Arc::new(Self::class_segment(
+                &catalog,
+                cid,
+                None,
+                &config.width,
+            )));
             debug_assert_eq!(id.0 as usize, segments.len() - 1);
             class_layout.insert(cid, ClassLayout::Single(id));
         }
@@ -98,7 +103,7 @@ impl Database {
             let id = physical.add_entity(r.name.clone(), EntitySource::Relation(rid), None);
             let types: Vec<ResolvedType> = r.fields.iter().map(|(_, t)| t.clone()).collect();
             let rpp = config.width.records_per_page(&types);
-            segments.push(Segment::with_rpp(types, rpp));
+            segments.push(Arc::new(Segment::with_rpp(types, rpp)));
             debug_assert_eq!(id.0 as usize, segments.len() - 1);
             relation_home.insert(rid, id);
         }
@@ -164,6 +169,31 @@ impl Database {
         &self.width
     }
 
+    /// An independent read view of this database for a serving session.
+    ///
+    /// Segment data is shared copy-on-write (each segment sits behind an
+    /// `Arc`; a later mutation on either side clones just the touched
+    /// segment), the cheap metadata (physical schema, layouts, counts)
+    /// is cloned, and the snapshot gets its own empty buffer manager so
+    /// every session accounts page I/O — and spends its breaker memory
+    /// budget — independently. Queries executed against the snapshot
+    /// return byte-identical answers to the source database: position
+    /// order, record keys and page boundaries are all part of the shared
+    /// segment state.
+    pub fn snapshot(&self) -> Database {
+        Database {
+            catalog: Arc::clone(&self.catalog),
+            physical: self.physical.clone(),
+            segments: RwLock::new(self.segments.read().unwrap().clone()),
+            class_layout: self.class_layout.clone(),
+            relation_home: self.relation_home.clone(),
+            class_count: self.class_count.clone(),
+            relation_count: self.relation_count.clone(),
+            buffer: Mutex::new(BufferManager::new(self.buffer_frames())),
+            width: self.width,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Loading
     // ------------------------------------------------------------------
@@ -208,7 +238,8 @@ impl Database {
         let count = self.class_count.entry(class).or_insert(0);
         let index = *count;
         *count += 1;
-        self.segments.write().unwrap()[home.0 as usize].append(Row { key: index, values });
+        Arc::make_mut(&mut self.segments.write().unwrap()[home.0 as usize])
+            .append(Row { key: index, values });
         Ok(Oid::new(class, index))
     }
 
@@ -217,7 +248,7 @@ impl Database {
     pub fn set_attr(&mut self, oid: Oid, attr: AttrId, value: Value) -> Result<(), StorageError> {
         let entity = self.entity_holding(oid, attr)?;
         let mut segs = self.segments.write().unwrap();
-        let seg = &mut segs[entity.0 as usize];
+        let seg = Arc::make_mut(&mut segs[entity.0 as usize]);
         let pos = seg
             .position_of(oid.index)
             .ok_or(StorageError::DanglingOid(oid))?;
@@ -257,7 +288,8 @@ impl Database {
         let count = self.relation_count.entry(relation).or_insert(0);
         let id = *count;
         *count += 1;
-        self.segments.write().unwrap()[home.0 as usize].append(Row { key: id, values });
+        Arc::make_mut(&mut self.segments.write().unwrap()[home.0 as usize])
+            .append(Row { key: id, values });
         Ok(id)
     }
 
@@ -269,7 +301,7 @@ impl Database {
     /// Scatter the physical placement of an entity (models an unclustered
     /// extension; see [`Segment::shuffle`]).
     pub fn shuffle_entity(&mut self, entity: EntityId, seed: u64) {
-        self.segments.write().unwrap()[entity.0 as usize].shuffle(seed);
+        Arc::make_mut(&mut self.segments.write().unwrap()[entity.0 as usize]).shuffle(seed);
         self.with_buffer(|b| b.invalidate_entity(entity));
     }
 
@@ -300,7 +332,7 @@ impl Database {
                 }),
             );
             let seg = Self::class_segment(&self.catalog, class, Some(group), &self.width);
-            self.segments.write().unwrap().push(seg);
+            self.segments.write().unwrap().push(Arc::new(seg));
             fragments.push(id);
         }
         // Move the data.
@@ -313,13 +345,13 @@ impl Database {
                         .iter()
                         .map(|a| row.values[a.0 as usize].clone())
                         .collect();
-                    segs[fragments[fi].0 as usize].append(Row {
+                    Arc::make_mut(&mut segs[fragments[fi].0 as usize]).append(Row {
                         key: row.key,
                         values: vals,
                     });
                 }
             }
-            segs[home.0 as usize].clear();
+            Arc::make_mut(&mut segs[home.0 as usize]).clear();
         }
         self.with_buffer(|b| b.invalidate_entity(home));
         self.physical.deactivate_entity(home);
@@ -371,7 +403,7 @@ impl Database {
                 }),
             );
             let seg = Self::class_segment(&self.catalog, class, None, &self.width);
-            self.segments.write().unwrap().push(seg);
+            self.segments.write().unwrap().push(Arc::new(seg));
             fragments.push(id);
         }
         {
@@ -379,9 +411,9 @@ impl Database {
             let rows: Vec<Row> = segs[home.0 as usize].iter().cloned().collect();
             for row in rows {
                 let f = route(&row.values).min(n_fragments - 1);
-                segs[fragments[f].0 as usize].append(row);
+                Arc::make_mut(&mut segs[fragments[f].0 as usize]).append(row);
             }
-            segs[home.0 as usize].clear();
+            Arc::make_mut(&mut segs[home.0 as usize]).clear();
         }
         self.with_buffer(|b| b.invalidate_entity(home));
         self.physical.deactivate_entity(home);
@@ -407,7 +439,7 @@ impl Database {
         self.segments
             .write()
             .unwrap()
-            .push(Segment::with_rpp(field_types, rpp));
+            .push(Arc::new(Segment::with_rpp(field_types, rpp)));
         id
     }
 
@@ -418,7 +450,7 @@ impl Database {
             return Err(StorageError::NotTemporary(entity));
         }
         let mut segs = self.segments.write().unwrap();
-        let seg = &mut segs[entity.0 as usize];
+        let seg = Arc::make_mut(&mut segs[entity.0 as usize]);
         let key = seg.len() as u32;
         let pos = seg.append(Row { key, values });
         let page = seg.page_of_position(pos);
@@ -435,7 +467,7 @@ impl Database {
         if self.physical.entity(entity).source != EntitySource::Temporary {
             return Err(StorageError::NotTemporary(entity));
         }
-        self.segments.write().unwrap()[entity.0 as usize].clear();
+        Arc::make_mut(&mut self.segments.write().unwrap()[entity.0 as usize]).clear();
         let in_worker = WORKER_BUFFER.with(|w| {
             if let Some(view) = w.borrow_mut().as_mut() {
                 view.invalidate_entity(entity);

@@ -471,3 +471,36 @@ fn chain_stats_survive_cycles() {
         "cycle guard terminates"
     );
 }
+
+#[test]
+fn snapshot_shares_data_and_isolates_mutation_and_io() {
+    let mut db = small_db();
+    let item_cls = db.catalog().class_by_name("Item").unwrap();
+    for i in 0..10 {
+        db.insert_object(item_cls, vec![Value::Text(format!("it{i}")), Value::Int(i)])
+            .unwrap();
+    }
+    let item_entity = db.physical().entities_of_class(item_cls)[0];
+
+    let snap = db.snapshot();
+    // Identical data, independently accounted I/O.
+    assert_eq!(db.scan_raw(item_entity), snap.scan_raw(item_entity));
+    snap.scan(item_entity);
+    assert!(snap.io_stats().page_reads > 0);
+    assert_eq!(db.io_stats().page_reads, 0, "source buffer untouched");
+
+    // A temp created in the snapshot does not exist in the source.
+    let int = oorq_schema::ResolvedType::Atomic(oorq_schema::AtomicType::Int);
+    let mut snap = snap;
+    let t = snap.create_temp("session_tmp", vec![int]);
+    snap.append_temp(t, vec![Value::Int(7)]).unwrap();
+    assert_eq!(snap.entity_len(t), 1);
+    assert!(db.physical().entities().len() < snap.physical().entities().len());
+
+    // Copy-on-write: mutating the source after the snapshot leaves the
+    // snapshot's view of shared segments intact.
+    db.insert_object(item_cls, vec![Value::Text("new".into()), Value::Int(99)])
+        .unwrap();
+    assert_eq!(db.entity_len(item_entity), 11);
+    assert_eq!(snap.entity_len(item_entity), 10);
+}

@@ -3,7 +3,8 @@
 //! See the individual crates for details:
 //! [`oorq_schema`], [`oorq_storage`], [`oorq_index`], [`oorq_query`],
 //! [`oorq_pt`], [`oorq_cost`], [`oorq_exec`], [`oorq_core`],
-//! [`oorq_datagen`], [`oorq_analysis`], [`oorq_lint`], [`oorq_obs`].
+//! [`oorq_datagen`], [`oorq_analysis`], [`oorq_lint`], [`oorq_obs`],
+//! [`oorq_serve`].
 pub use oorq_analysis as analysis;
 pub use oorq_core as optimizer;
 pub use oorq_cost as cost;
@@ -15,4 +16,5 @@ pub use oorq_obs as obs;
 pub use oorq_pt as pt;
 pub use oorq_query as query;
 pub use oorq_schema as schema;
+pub use oorq_serve as serve;
 pub use oorq_storage as storage;

@@ -1,0 +1,207 @@
+//! Serving-layer differential tests: N concurrent sessions over shared
+//! copy-on-write snapshots must return answers byte-identical to a
+//! single-session replay, the plan cache must show the warm/cold
+//! counter pattern, and stale statistics must trip the CX drift lints
+//! into eviction + recalibration. The whole suite honours
+//! `OORQ_MEMORY_BUDGET` (CI re-runs it under a low budget to prove
+//! spilling sessions still serve identical answers).
+
+use std::sync::Arc;
+
+use oorq::datagen::{ChainConfig, ChainDb, MusicConfig, MusicDb};
+use oorq::exec::{ExecConfig, MethodRegistry};
+use oorq::index::{IndexSet, PathIndex, SelectionIndex};
+use oorq::query::paper::{fig3_query, influencer_view, music_catalog};
+use oorq::query::QueryGraph;
+use oorq::serve::{CacheOutcome, Server, ServerConfig};
+use oorq::storage::{DbStats, Value};
+
+/// Breaker memory budget (pages) from `OORQ_MEMORY_BUDGET` (`0` / unset
+/// = unbounded).
+fn env_budget() -> u64 {
+    std::env::var("OORQ_MEMORY_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn config() -> ServerConfig {
+    ServerConfig {
+        exec: ExecConfig {
+            memory_budget_pages: env_budget(),
+            ..ExecConfig::default()
+        },
+        ..ServerConfig::default()
+    }
+}
+
+/// The paper's music database with its physical design, plus the
+/// Figure 3 query (view expanded).
+fn music_server() -> (Server, QueryGraph) {
+    let cat = Arc::new(music_catalog());
+    let mut m = MusicDb::generate(
+        Arc::clone(&cat),
+        MusicConfig {
+            chains: 6,
+            chain_len: 8,
+            works_per_composer: 3,
+            instruments_per_work: 3,
+            instrument_pool: 12,
+            harpsichord_fraction: 0.25,
+            clustered: false,
+            buffer_frames: 32,
+            seed: 42,
+        },
+    );
+    let mut idx = IndexSet::new();
+    idx.add_path(PathIndex::build(
+        &mut m.db,
+        vec![
+            (m.composer, m.works_attr),
+            (m.composition, m.instruments_attr),
+        ],
+    ));
+    idx.add_selection(SelectionIndex::build(&mut m.db, m.composer, m.name_attr));
+    let mut q = fig3_query(&cat);
+    influencer_view(&cat).expand(&mut q, &cat).unwrap();
+    (Server::new(m.db, idx, MethodRegistry::new(), config()), q)
+}
+
+fn chain_server(rows: u32) -> (Server, Vec<QueryGraph>) {
+    let chain = ChainDb::generate(ChainConfig {
+        relations: 3,
+        rows,
+        domain: 16,
+        seed: 9,
+    });
+    let queries = vec![
+        chain.chain_query(4),
+        chain.chain_query(10),
+        chain.selective_tail_query(3),
+    ];
+    (
+        Server::new(chain.db, IndexSet::new(), MethodRegistry::new(), config()),
+        queries,
+    )
+}
+
+fn rendered(rows: &[Vec<Value>]) -> Vec<String> {
+    rows.iter().map(|r| format!("{r:?}")).collect()
+}
+
+#[test]
+fn concurrent_music_sessions_match_single_session_replay() {
+    let (server, q) = music_server();
+    let reference = {
+        let mut s = server.session();
+        rendered(&s.execute(&q).unwrap().batch.rows)
+    };
+    assert!(!reference.is_empty(), "fig3 must have an answer");
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                let mut s = server.session();
+                for _ in 0..3 {
+                    let got = s.execute(&q).unwrap();
+                    assert_eq!(
+                        rendered(&got.batch.rows),
+                        reference,
+                        "concurrent session diverged from single-session replay"
+                    );
+                }
+            });
+        }
+    });
+
+    let m = server.metrics();
+    assert_eq!(m.counter("serve.sessions").get(), 5);
+    assert_eq!(m.counter("serve.queries").get(), 13);
+    // One cold optimization; every other request hit the shared cache.
+    assert_eq!(m.counter("serve.cache.misses").get(), 1);
+    assert_eq!(m.counter("serve.cache.hits").get(), 12);
+}
+
+#[test]
+fn concurrent_chain_sessions_match_single_session_replay() {
+    let (server, queries) = chain_server(100);
+    let reference: Vec<Vec<String>> = {
+        let mut s = server.session();
+        queries
+            .iter()
+            .map(|q| rendered(&s.execute(q).unwrap().batch.rows))
+            .collect()
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                let mut s = server.session();
+                for _round in 0..2 {
+                    for (q, want) in queries.iter().zip(&reference) {
+                        let got = s.execute(q).unwrap();
+                        assert_eq!(&rendered(&got.batch.rows), want);
+                    }
+                }
+            });
+        }
+    });
+
+    let m = server.metrics();
+    assert_eq!(m.counter("serve.queries").get(), 3 + 4 * 2 * 3);
+    assert!(m.counter("serve.cache.hits").get() >= 3 + 4 * 2 * 3 - 2 * 3);
+}
+
+#[test]
+fn warm_cold_pattern_over_the_music_corpus() {
+    let (server, q) = music_server();
+    let mut s = server.session();
+    let cold = s.execute(&q).unwrap();
+    assert_eq!(cold.cache, CacheOutcome::Miss);
+    assert!(!cold.invalidated, "fresh statistics must not drift");
+    let warm = s.execute(&q).unwrap();
+    assert_eq!(warm.cache, CacheOutcome::Hit);
+    assert_eq!(cold.plan_fingerprint, warm.plan_fingerprint);
+    assert_eq!(rendered(&cold.batch.rows), rendered(&warm.batch.rows));
+    assert_eq!(server.cached_plans(), 1);
+}
+
+#[test]
+fn stale_statistics_trip_drift_eviction_and_recalibration() {
+    let (server, queries) = chain_server(120);
+    // Statistics from a near-empty twin: the stale-checkpoint case.
+    let tiny = ChainDb::generate(ChainConfig {
+        relations: 3,
+        rows: 2,
+        domain: 16,
+        seed: 9,
+    });
+    server.install_stats(DbStats::collect(&tiny.db));
+
+    let q = &queries[1];
+    let mut s = server.session();
+    let a1 = s.execute(q).unwrap();
+    assert_eq!(a1.cache, CacheOutcome::Miss);
+    assert!(
+        a1.invalidated,
+        "stale statistics must trip the CX drift lints"
+    );
+    assert_eq!(server.cached_plans(), 0, "drifted entry must be evicted");
+    assert_eq!(
+        server.metrics().counter("serve.cache.invalidations").get(),
+        1
+    );
+    assert_eq!(server.metrics().counter("serve.recalibrations").get(), 1);
+
+    // Re-optimized under recalibrated statistics: clean and cached.
+    let a2 = s.execute(q).unwrap();
+    assert_eq!(a2.cache, CacheOutcome::Miss);
+    assert!(!a2.invalidated);
+    assert_eq!(server.cached_plans(), 1);
+    let a3 = s.execute(q).unwrap();
+    assert_eq!(a3.cache, CacheOutcome::Hit);
+
+    // Invalidation is about cost honesty, never about answers.
+    assert_eq!(rendered(&a1.batch.rows), rendered(&a2.batch.rows));
+    assert_eq!(rendered(&a1.batch.rows), rendered(&a3.batch.rows));
+}
